@@ -1,0 +1,125 @@
+// Ablations for the design decisions DESIGN.md stars:
+//   1. multi-port collectives via log N dimension-rotated trees vs naively
+//      running the single-tree (one-port) schedule on multi-port hardware;
+//   2. Cannon's unit shift on a binary-reflected-Gray-code ring (one link
+//      per step) vs a binary-ordered ring that needs multi-hop routing.
+// Both knobs are what make the Table 1 / Table 2 multi-port and Cannon
+// terms achievable at all.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/coll/builders.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/ring.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/router.hpp"
+#include "hcmm/support/gray.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+void ablate_bcast(std::uint32_t d, std::size_t words) {
+  const Subcube sc(0, (1u << d) - 1);
+  // Rotated trees (the library default on multi-port machines).
+  Machine rotated(Hypercube(d), PortModel::kMultiPort, CostParams{1, 1, 1});
+  rotated.store().put(0, make_tag(1), std::vector<double>(words, 1.0));
+  rotated.reset_stats();
+  coll::op_bcast(rotated, sc, 0, make_tag(1));
+  // Single SBT on the same multi-port machine.
+  Machine single(Hypercube(d), PortModel::kMultiPort, CostParams{1, 1, 1});
+  single.store().put(0, make_tag(1), std::vector<double>(words, 1.0));
+  single.reset_stats();
+  const Tag tags[] = {make_tag(1)};
+  single.run(coll::sbt_bcast(sc, 0, coll::identity_order(d), tags));
+  const auto r = rotated.report().totals();
+  const auto s = single.report().totals();
+  std::printf(
+      "  bcast    N=%3u M=%4zu : rotated trees b=%7.0f, single tree b=%7.0f"
+      "  (x%.1f bandwidth)\n",
+      1u << d, words, r.word_cost, s.word_cost, s.word_cost / r.word_cost);
+}
+
+void ablate_allgather(std::uint32_t d, std::size_t words) {
+  const Subcube sc(0, (1u << d) - 1);
+  auto fill = [&](Machine& m, std::vector<Tag>& tags) {
+    tags.resize(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      tags[r] = make_tag(1, static_cast<std::uint16_t>(r));
+      m.store().put(sc.node_at(r), tags[r], std::vector<double>(words, 1.0));
+    }
+    m.reset_stats();
+  };
+  Machine rotated(Hypercube(d), PortModel::kMultiPort, CostParams{1, 1, 1});
+  std::vector<Tag> tags;
+  fill(rotated, tags);
+  coll::op_allgather(rotated, sc, tags);
+  Machine single(Hypercube(d), PortModel::kMultiPort, CostParams{1, 1, 1});
+  fill(single, tags);
+  std::vector<std::vector<Tag>> lists(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) lists[r] = {tags[r]};
+  single.run(coll::rd_allgather(sc, coll::identity_order(d), lists));
+  const auto r = rotated.report().totals();
+  const auto s = single.report().totals();
+  std::printf(
+      "  allgather N=%3u M=%4zu: rotated trees b=%7.0f, single tree b=%7.0f"
+      "  (x%.1f bandwidth)\n",
+      1u << d, words, r.word_cost, s.word_cost, s.word_cost / r.word_cost);
+}
+
+void ablate_ring(std::uint32_t p) {
+  const Grid2D grid(p);
+  const std::uint32_t q = grid.q();
+  const std::size_t words = 256;
+  // Gray ring (library default): one round, one link per step.
+  Machine gray(grid.cube(), PortModel::kOnePort, CostParams{1, 1, 1});
+  const Subcube row = grid.row_chain(0);
+  std::vector<std::vector<Tag>> tags(q);
+  for (std::uint32_t c = 0; c < q; ++c) {
+    tags[c] = {make_tag(1, static_cast<std::uint16_t>(c))};
+    gray.store().put(coll::ring_node(row, c), tags[c][0],
+                     std::vector<double>(words, 1.0));
+  }
+  gray.reset_stats();
+  gray.run(coll::ring_shift_unit(row, tags, +1));
+  // Binary-ordered ring: position c sits at rank c, successors are up to
+  // log q hops away, so each "unit shift" is a routed permutation.
+  Machine bin(grid.cube(), PortModel::kOnePort, CostParams{1, 1, 1});
+  std::vector<RouteRequest> reqs;
+  for (std::uint32_t c = 0; c < q; ++c) {
+    const Tag t = make_tag(1, static_cast<std::uint16_t>(c));
+    bin.store().put(row.node_at(c), t, std::vector<double>(words, 1.0));
+    reqs.push_back({.src = row.node_at(c),
+                    .dst = row.node_at((c + 1) % q),
+                    .tags = {t}});
+  }
+  bin.reset_stats();
+  bin.run(route_p2p(grid.cube(), bin.port(), reqs));
+  const auto g = gray.report().totals();
+  const auto b = bin.report().totals();
+  std::printf(
+      "  unit shift q=%2u M=%zu : gray ring a=%llu b=%5.0f, binary ring "
+      "a=%llu b=%5.0f  (x%.1f words)\n",
+      q, words, static_cast<unsigned long long>(g.rounds), g.word_cost,
+      static_cast<unsigned long long>(b.rounds), b.word_cost,
+      b.word_cost / g.word_cost);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation 1: multi-port collectives — rotated trees vs single tree");
+  for (const std::uint32_t d : {3u, 4u, 6u, 8u}) ablate_bcast(d, 240);
+  for (const std::uint32_t d : {3u, 4u, 6u}) ablate_allgather(d, 240);
+  std::printf("  -> the rotated-tree schedules deliver the log N bandwidth "
+              "factor of Table 1.\n");
+
+  bench::header("Ablation 2: Cannon's shift — Gray-code ring vs binary ring");
+  for (const std::uint32_t p : {16u, 64u, 256u, 1024u}) ablate_ring(p);
+  std::printf("  -> Gray embedding keeps every shift-multiply-add step at "
+              "t_s + t_w*m;\n     a binary ring pays multi-hop routing on "
+              "every one of the sqrt(p)-1 steps.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// google-benchmark wall-clock benchmarks of the simulator itself: how fast
+// the host executes collective schedules and full algorithm runs.  This is
+// about the reproduction infrastructure (schedule building, payload
+// movement), not the simulated machine's modeled time.
+
+#include <benchmark/benchmark.h>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/machine.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+void BM_SimAllgather(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t words = 1024;
+  for (auto _ : state) {
+    Machine m(Hypercube(d), PortModel::kOnePort, CostParams{1, 1, 1});
+    const Subcube sc(0, (1u << d) - 1);
+    std::vector<Tag> tags(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      tags[r] = make_tag(1, static_cast<std::uint16_t>(r));
+      m.store().put(sc.node_at(r), tags[r], std::vector<double>(words, 1.0));
+    }
+    coll::op_allgather(m, sc, tags);
+    benchmark::DoNotOptimize(m.store().words(0));
+  }
+}
+BENCHMARK(BM_SimAllgather)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_SimAlltoallMultiport(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Machine m(Hypercube(d), PortModel::kMultiPort, CostParams{1, 1, 1});
+    const Subcube sc(0, (1u << d) - 1);
+    const std::uint32_t n = sc.size();
+    std::vector<Tag> flat(static_cast<std::size_t>(n) * n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::uint32_t t = 0; t < n; ++t) {
+        flat[static_cast<std::size_t>(s) * n + t] =
+            make_tag(1, static_cast<std::uint16_t>(s),
+                     static_cast<std::uint16_t>(t));
+        m.store().put(sc.node_at(s), flat[static_cast<std::size_t>(s) * n + t],
+                      std::vector<double>(d * 16, 1.0));
+      }
+    }
+    coll::op_alltoall(m, sc, flat);
+    benchmark::DoNotOptimize(m.store().words(0));
+  }
+}
+BENCHMARK(BM_SimAlltoallMultiport)->Arg(3)->Arg(5);
+
+void BM_AlgorithmEndToEnd(benchmark::State& state) {
+  const auto id = static_cast<algo::AlgoId>(state.range(0));
+  const auto alg = algo::make_algorithm(id);
+  const std::size_t n = 64;
+  const std::uint32_t p = 64;
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    Machine m(Hypercube::with_nodes(p), PortModel::kMultiPort,
+              CostParams{150, 3, 1});
+    benchmark::DoNotOptimize(alg->run(a, b, m));
+  }
+  state.SetLabel(alg->name());
+}
+BENCHMARK(BM_AlgorithmEndToEnd)
+    ->Arg(static_cast<int>(algo::AlgoId::kCannon))
+    ->Arg(static_cast<int>(algo::AlgoId::kHJE))
+    ->Arg(static_cast<int>(algo::AlgoId::kDiag3D))
+    ->Arg(static_cast<int>(algo::AlgoId::kAll3D));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Validates the paper's §5/§6 who-wins claims with *simulated end-to-end
+// runs* (not just the closed forms): at concrete power-of-two machines,
+// every applicable algorithm multiplies the same matrices and we rank them
+// by measured communication time.
+//
+// Claims exercised:
+//   * p <= n^{3/2}: 3D All has the least overhead (one-port and multi-port);
+//   * 3DD always beats DNS, 3D All always beats All_Trans;
+//   * multi-port: HJE beats Cannon where applicable;
+//   * small ts flips 3DD vs Cannon in the n^{3/2} < p <= n^2 band
+//     (shown with the closed forms at scale, since p > n^{3/2} machines of
+//     feasible simulated size have tiny blocks).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/cost/model.hpp"
+#include "hcmm/matrix/generate.hpp"
+
+namespace {
+
+using namespace hcmm;
+using algo::AlgoId;
+
+void rank_at(std::size_t n, std::uint32_t p, PortModel port,
+             const CostParams& cp) {
+  struct Row {
+    std::string name;
+    double comm;
+    double total;
+  };
+  std::vector<Row> rows;
+  const Matrix a = random_matrix(n, n, 41);
+  const Matrix b = random_matrix(n, n, 42);
+  for (const auto& alg : algo::all_algorithms()) {
+    if (!alg->supports(port) || !alg->applicable(n, p)) continue;
+    Machine machine(Hypercube::with_nodes(p), port, cp);
+    const auto result = alg->run(a, b, machine);
+    const auto t = result.report.totals();
+    rows.push_back({alg->name(), t.comm_time, t.time()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& x, const Row& y) { return x.comm < y.comm; });
+  std::printf("\n n=%zu p=%u %s (ts=%.0f tw=%.0f): ranking by measured comm time\n",
+              n, p, to_string(port), cp.ts, cp.tw);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("   %zu. %-20s comm %12.1f   total %12.1f\n", i + 1,
+                rows[i].name.c_str(), rows[i].comm, rows[i].total);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Crossover study: simulated end-to-end rankings (paper §5-§6)");
+  const CostParams headline{150.0, 3.0, 1.0};
+  const CostParams tiny_ts{2.0, 3.0, 1.0};
+
+  // Region p <= n^{3/2}: 3D All should rank first in every panel below.
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    rank_at(64, 64, port, headline);
+    rank_at(128, 64, port, headline);
+    rank_at(64, 512, port, headline);
+    rank_at(128, 512, port, headline);
+    rank_at(64, 256, port, headline);  // p = q^4: includes the rect grid
+  }
+  // Very small ts promotes the shift-based algorithms.
+  rank_at(128, 64, PortModel::kOnePort, tiny_ts);
+  rank_at(128, 64, PortModel::kMultiPort, tiny_ts);
+
+  // The n^{3/2} < p <= n^2 band at realistic scale via the closed forms.
+  bench::header("n^{3/2} < p <= n^2 band (closed forms, n=256, p=32768)");
+  const double n = 256;
+  const double p = 32768;
+  for (const auto* cp : {&headline, &tiny_ts}) {
+    algo::AlgoId best{};
+    const auto cands = cost::contenders(PortModel::kOnePort);
+    (void)cost::best_algorithm(PortModel::kOnePort, n, p, *cp, cands, best);
+    std::printf("  ts=%-4.0f tw=%.0f : winner %s   (Cannon %.0f vs 3DD %.0f)\n",
+                cp->ts, cp->tw, algo::to_string(best),
+                cost::table2(AlgoId::kCannon, PortModel::kOnePort, n, p)
+                    .time(*cp),
+                cost::table2(AlgoId::kDiag3D, PortModel::kOnePort, n, p)
+                    .time(*cp));
+  }
+  std::printf(
+      "\nExpected: 3D All first everywhere above; in the band, 3DD wins at"
+      "\n ts=150 and Cannon at ts=2 — the crossover of Fig. 13.\n");
+  return 0;
+}

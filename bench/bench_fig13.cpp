@@ -1,0 +1,37 @@
+// Reproduces Figure 13 of the paper: for one-port hypercubes, which
+// algorithm has the least communication overhead in each region of the
+// (n, p) parameter space.  Four panels for four (t_s, t_w) settings — the
+// paper names (150, 3) explicitly and "very small values of t_s"; the
+// remaining sets are representative interpolations (see DESIGN.md).
+//
+// Legend: A = 3D All, D = 3D Diagonal, B = Berntsen, C = Cannon,
+//         . = no contender applicable (p > n^3).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/cost/model.hpp"
+
+int main() {
+  using namespace hcmm;
+  const CostParams panels[] = {
+      {150.0, 3.0, 1.0}, {50.0, 3.0, 1.0}, {10.0, 3.0, 1.0}, {2.0, 3.0, 1.0}};
+  const char* names[] = {"(a) ts=150 tw=3", "(b) ts=50 tw=3",
+                         "(c) ts=10 tw=3", "(d) ts=2 tw=3 (very small ts)"};
+  const auto cands = cost::contenders(PortModel::kOnePort);
+  bench::header("Figure 13: best algorithm regions, ONE-PORT hypercubes");
+  std::printf("contenders: Cannon (C), Berntsen (B), 3DD (D), 3D All (A)\n");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("\n--- %s ---\n", names[i]);
+    std::printf("%s", cost::region_map(PortModel::kOnePort, panels[i], cands,
+                                       /*log2n*/ 4.0, 14.0,
+                                       /*log2p*/ 3.0, 33.0,
+                                       /*cols*/ 56, /*rows*/ 26)
+                          .c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper §5.1): 3D All (A) fills p <= n^{3/2}; 3DD (D)"
+      "\n rules n^{3/2} < p <= n^3 at large ts, ceding ground to Cannon (C)"
+      "\n in n^{3/2} < p <= n^2 as ts shrinks.\n");
+  return 0;
+}

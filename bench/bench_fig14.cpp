@@ -1,0 +1,37 @@
+// Reproduces Figure 14 of the paper: best-algorithm regions for MULTI-PORT
+// hypercubes, same four (t_s, t_w) panels as Figure 13.  The multi-port
+// contender set adds Ho–Johnsson–Edelman (H), which replaces Cannon
+// wherever its n >= sqrt(p) log sqrt(p) condition holds.
+//
+// Legend: A = 3D All, D = 3D Diagonal, B = Berntsen, H = HJE, C = Cannon,
+//         . = no contender applicable.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/cost/model.hpp"
+
+int main() {
+  using namespace hcmm;
+  const CostParams panels[] = {
+      {150.0, 3.0, 1.0}, {50.0, 3.0, 1.0}, {10.0, 3.0, 1.0}, {2.0, 3.0, 1.0}};
+  const char* names[] = {"(a) ts=150 tw=3", "(b) ts=50 tw=3",
+                         "(c) ts=10 tw=3", "(d) ts=2 tw=3 (very small ts)"};
+  const auto cands = cost::contenders(PortModel::kMultiPort);
+  bench::header("Figure 14: best algorithm regions, MULTI-PORT hypercubes");
+  std::printf(
+      "contenders: Cannon (C), HJE (H), Berntsen (B), 3DD (D), 3D All (A)\n");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("\n--- %s ---\n", names[i]);
+    std::printf("%s", cost::region_map(PortModel::kMultiPort, panels[i], cands,
+                                       /*log2n*/ 4.0, 14.0,
+                                       /*log2p*/ 3.0, 33.0,
+                                       /*cols*/ 56, /*rows*/ 26)
+                          .c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper §5.2): 3D All (A) wins wherever applicable;"
+      "\n in n^{3/2} < p <= n^2, 3DD (D) and Cannon/HJE split the region,"
+      "\n Cannon edging 3DD only at very small ts.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Machine-readable companion to bench_fig13 / bench_fig14: emits the full
+// best-algorithm dataset as CSV (stdout) so the figures can be re-plotted
+// with any tool.  One block per (port, t_s) panel.
+
+#include <cstdio>
+
+#include "hcmm/cost/model.hpp"
+
+int main() {
+  using namespace hcmm;
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    const auto cands = cost::contenders(port);
+    for (const double ts : {150.0, 50.0, 10.0, 2.0}) {
+      const CostParams cp{ts, 3.0, 1.0};
+      std::fputs(cost::region_csv(port, cp, cands, 4.0, 14.0, 3.0, 33.0, 41,
+                                  31)
+                     .c_str(),
+                 stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks of the local multiply kernels the
+// distributed algorithms spend their compute phases in.
+
+#include <benchmark/benchmark.h>
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_naive(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_tiled(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_threaded(a, b, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmThreaded)->Args({256, 1})->Args({256, 2})->Args({256, 4});
+
+void BM_GemmAccumulateBlocks(benchmark::State& state) {
+  // The distributed algorithms' inner shape: accumulate q narrow products.
+  const std::size_t bh = 64;
+  const std::size_t bw = 16;
+  const Matrix a = random_matrix(bh, bw, 1);
+  const Matrix b = random_matrix(bw, bh, 2);
+  Matrix c(bh, bh);
+  for (auto _ : state) {
+    gemm_accumulate(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmAccumulateBlocks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Link-level traffic analysis: how evenly each algorithm spreads its words
+// over the hypercube's links.  The paper's analysis is node-centric; this
+// view shows *why* the schedules achieve their costs — the collectives-based
+// algorithms keep link loads flat, while the hot spots of the diagonal
+// schemes sit on the broadcast trees of the diagonal planes.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/matrix/generate.hpp"
+
+namespace {
+
+using namespace hcmm;
+using algo::AlgoId;
+
+void analyze(AlgoId id, PortModel port, std::size_t n, std::uint32_t p) {
+  const auto alg = algo::make_algorithm(id);
+  if (!alg->supports(port) || !alg->applicable(n, p)) return;
+  const Matrix a = random_matrix(n, n, 81);
+  const Matrix b = random_matrix(n, n, 82);
+  Machine machine(Hypercube::with_nodes(p), port, CostParams{150, 3, 1});
+  machine.set_link_accounting(true);
+  const auto result = alg->run(a, b, machine);
+  const auto loads = machine.link_loads();
+  const auto bal = summarize_links(loads, machine.cube().link_count());
+  std::printf(
+      "%-20s %-10s | %6llu links (%4.0f%% of machine) | max %7llu  mean "
+      "%9.1f  imbalance %5.2f\n",
+      alg->name().c_str(), to_string(port),
+      static_cast<unsigned long long>(bal.links_used), 100.0 * bal.coverage,
+      static_cast<unsigned long long>(bal.max_words), bal.mean_words,
+      bal.imbalance);
+  (void)result;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Link-load balance at n=64, p=64 (directed links)");
+  std::printf("%-20s %-10s | %s\n", "algorithm", "port",
+              "traffic spread over links");
+  bench::rule();
+  const AlgoId all[] = {AlgoId::kSimple,   AlgoId::kCannon,
+                        AlgoId::kHJE,      AlgoId::kBerntsen,
+                        AlgoId::kDNS,      AlgoId::kDiag2D,
+                        AlgoId::kDiag3D,   AlgoId::kAllTrans,
+                        AlgoId::kAll3D};
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (const AlgoId id : all) analyze(id, port, 64, 64);
+    bench::rule();
+  }
+  std::printf(
+      "\nimbalance = busiest link / mean used link; coverage = used links /"
+      "\n all directed links.  The all-to-all style algorithms (Simple,"
+      "\n 3D All) and Cannon's rings load the machine almost evenly; the"
+      "\n diagonal schemes concentrate traffic on their broadcast trees,"
+      "\n which is invisible in node-centric cost models but real on a"
+      "\n machine.\n");
+  return 0;
+}

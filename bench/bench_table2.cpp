@@ -1,0 +1,77 @@
+// Reproduces Table 2 of the paper: communication overheads (a, b) with
+// time = a*t_s + b*t_w for every algorithm on one-port and multi-port
+// hypercubes.  Each algorithm is executed on the simulator; measured terms
+// are printed beside the paper's closed-form entries.  Exactness is
+// expected for Simple/3DD/All_Trans/3D All; the shift/route-based
+// algorithms may come in slightly under the closed forms (their alignment
+// terms are worst-case) — "better" in the check column.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/cost/model.hpp"
+#include "hcmm/matrix/generate.hpp"
+
+namespace {
+
+using namespace hcmm;
+using algo::AlgoId;
+
+void run_case(AlgoId id, PortModel port, std::size_t n, std::uint32_t p) {
+  const auto alg = algo::make_algorithm(id);
+  if (!alg->supports(port) || !alg->applicable(n, p)) return;
+  const Matrix a = random_matrix(n, n, 21);
+  const Matrix b = random_matrix(n, n, 22);
+  Machine machine(Hypercube::with_nodes(p), port, CostParams{150.0, 3.0, 1.0});
+  const auto result = alg->run(a, b, machine);
+  const auto t = result.report.totals();
+  const auto f = cost::table2(id, port, static_cast<double>(n),
+                              static_cast<double>(p));
+  const double mt = static_cast<double>(t.rounds) * 150.0 + t.word_cost * 3.0;
+  const double ft = f.a * 150.0 + f.b * 3.0;
+  std::printf("%-20s %-10s %5zu %6u | %6llu %8.1f | %9.1f %9.1f | %10.1f %10.1f  %s\n",
+              alg->name().c_str(), to_string(port), n, p,
+              static_cast<unsigned long long>(t.rounds), f.a, t.word_cost,
+              f.b, mt, ft, bench::verdict(mt, ft, 0.05));
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Table 2: communication overhead (a, b), measured vs closed form "
+      "(ts=150 tw=3)");
+  std::printf("%-20s %-10s %5s %6s | %6s %8s | %9s %9s | %10s %10s  %s\n",
+              "algorithm", "port", "n", "p", "a meas", "a form", "b meas",
+              "b form", "t meas", "t form", "check");
+  bench::rule();
+  const AlgoId all[] = {AlgoId::kSimple,   AlgoId::kCannon,
+                        AlgoId::kHJE,      AlgoId::kBerntsen,
+                        AlgoId::kDNS,      AlgoId::kDiag2D,
+                        AlgoId::kDiag3D,   AlgoId::kAllTrans,
+                        AlgoId::kAll3D,    AlgoId::kAll3DRect,
+                        AlgoId::kDNSCannon, AlgoId::kDiag3DCannon};
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (const AlgoId id : all) {
+      run_case(id, port, 48, 16);
+      run_case(id, port, 48, 64);
+      run_case(id, port, 64, 64);
+      run_case(id, port, 64, 512);
+      run_case(id, port, 128, 512);
+      run_case(id, port, 32, 256);   // rect-grid extension shapes (p = q^4)
+      run_case(id, port, 64, 256);
+      run_case(id, port, 32, 32);    // supernode shapes (p = s^3 r^2)
+      run_case(id, port, 32, 128);
+    }
+    bench::rule();
+  }
+  std::printf(
+      "\n'exact'  = measured equals the Table 2 entry to machine precision;"
+      "\n'better' = honest routing beat the paper's worst-case alignment/p2p"
+      "\n           terms (pipelining across rounds);"
+      "\n'ok'     = within 5%%.  2D Diagonal and the rect-grid 3D All have no"
+      "\n           Table 2 rows in the paper; their formulas are our"
+      "\n           derivations (DESIGN.md).\n");
+  return 0;
+}

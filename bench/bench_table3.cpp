@@ -1,0 +1,86 @@
+// Reproduces Table 3 of the paper: architecture-independent traits — the
+// processor-count bound p <= n^k and the overall space used.  Space is
+// *measured* as the sum over nodes of peak resident words during the run
+// and printed beside the paper's leading-order formula.  (The paper's
+// entries drop lower-order terms such as the n^2 for C itself, so ratios
+// hover slightly above 1.)
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/cost/model.hpp"
+#include "hcmm/matrix/generate.hpp"
+
+namespace {
+
+using namespace hcmm;
+using algo::AlgoId;
+
+const char* bound_name(AlgoId id) {
+  switch (id) {
+    case AlgoId::kSimple:
+    case AlgoId::kCannon:
+    case AlgoId::kHJE:
+    case AlgoId::kDiag2D:
+      return "p <= n^2";
+    case AlgoId::kBerntsen:
+    case AlgoId::kAllTrans:
+    case AlgoId::kAll3D:
+      return "p <= n^{3/2}";
+    case AlgoId::kDNS:
+    case AlgoId::kDiag3D:
+      return "p <= n^3";
+    case AlgoId::kAll3DRect:
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon:
+      return "p <= n^2";
+  }
+  return "?";
+}
+
+void run_case(AlgoId id, PortModel port, std::size_t n, std::uint32_t p) {
+  const auto alg = algo::make_algorithm(id);
+  if (!alg->supports(port) || !alg->applicable(n, p)) return;
+  const Matrix a = random_matrix(n, n, 31);
+  const Matrix b = random_matrix(n, n, 32);
+  Machine machine(Hypercube::with_nodes(p), port, CostParams{150.0, 3.0, 1.0});
+  const auto result = alg->run(a, b, machine);
+  const double meas = static_cast<double>(result.report.peak_words_total);
+  const double form = cost::space_words(id, static_cast<double>(n),
+                                        static_cast<double>(p));
+  std::printf("%-20s %-13s %5zu %6u | %12.0f %12.0f | ratio %5.2f\n",
+              alg->name().c_str(), bound_name(id), n, p, meas, form,
+              meas / form);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3: applicability bounds and overall space used (words)");
+  std::printf("%-20s %-13s %5s %6s | %12s %12s |\n", "algorithm", "bound", "n",
+              "p", "meas peak", "Table 3");
+  bench::rule();
+  const AlgoId all[] = {AlgoId::kSimple,   AlgoId::kCannon,
+                        AlgoId::kHJE,      AlgoId::kBerntsen,
+                        AlgoId::kDNS,      AlgoId::kDiag3D,
+                        AlgoId::kAllTrans, AlgoId::kAll3D,
+                        AlgoId::kAll3DRect,
+                        AlgoId::kDNSCannon, AlgoId::kDiag3DCannon};
+  for (const AlgoId id : all) {
+    const PortModel port = id == AlgoId::kHJE ? PortModel::kMultiPort
+                                              : PortModel::kOnePort;
+    run_case(id, port, 48, 64);
+    run_case(id, port, 64, 64);
+    run_case(id, port, 64, 512);
+    run_case(id, port, 64, 256);  // rect-grid extension shape
+    run_case(id, port, 32, 128);  // supernode combination shape
+  }
+  std::printf(
+      "\nTable 3 keeps leading terms only (it omits the n^2 words of C and"
+      "\n alignment copies), so honest metering lands a little above 1.0 for"
+      "\n the low-replication algorithms and at ~1.0 for the replicating"
+      "\n ones.  The applicability bounds are enforced by applicable() and"
+      "\n unit-tested.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#pragma once
+// Shared output helpers for the table/figure reproduction binaries.
+
+#include <cstdio>
+#include <string>
+
+namespace hcmm::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("%s\n", std::string(100, '-').c_str());
+}
+
+/// measured/formula with a tolerance-free textual verdict.
+inline const char* verdict(double measured, double formula, double tol = 0.02) {
+  if (formula == 0.0) return measured == 0.0 ? "exact" : "DIFF";
+  const double r = measured / formula;
+  if (r > 1.0 - 1e-9 && r < 1.0 + 1e-9) return "exact";
+  if (r >= 1.0 - tol && r <= 1.0 + tol) return "ok";
+  if (r < 1.0) return "better";
+  return "WORSE";
+}
+
+}  // namespace hcmm::bench

@@ -1,0 +1,80 @@
+// Run every applicable algorithm on the same problem and machine and rank
+// them by simulated time — an interactive version of the paper's §5
+// comparison.
+//
+//   ./compare_algorithms [n] [p] [one|multi] [ts] [tw]
+//   defaults:            64   64   multi      150   3
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcmm;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const auto p =
+      static_cast<std::uint32_t>(argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64);
+  const PortModel port = (argc > 3 && std::strcmp(argv[3], "one") == 0)
+                             ? PortModel::kOnePort
+                             : PortModel::kMultiPort;
+  const double ts = argc > 4 ? std::strtod(argv[4], nullptr) : 150.0;
+  const double tw = argc > 5 ? std::strtod(argv[5], nullptr) : 3.0;
+  if (!is_pow2(p)) {
+    std::fprintf(stderr, "p must be a power of two\n");
+    return 1;
+  }
+
+  std::printf("n=%zu, p=%u, %s hypercube, ts=%.1f tw=%.1f tc=1\n\n", n, p,
+              to_string(port), ts, tw);
+  const Matrix a = random_matrix(n, n, 11);
+  const Matrix b = random_matrix(n, n, 12);
+  const Matrix oracle = multiply_naive(a, b);
+
+  struct Row {
+    std::string name;
+    std::uint64_t startups;
+    double comm;
+    double total;
+    std::uint64_t space;
+    bool correct;
+  };
+  std::vector<Row> rows;
+  for (const auto& alg : algo::all_algorithms()) {
+    if (!alg->supports(port)) {
+      std::printf("  %-22s (not defined for %s nodes)\n", alg->name().c_str(),
+                  to_string(port));
+      continue;
+    }
+    if (!alg->applicable(n, p)) {
+      std::printf("  %-22s (not applicable at n=%zu, p=%u)\n",
+                  alg->name().c_str(), n, p);
+      continue;
+    }
+    Machine machine(Hypercube::with_nodes(p), port, CostParams{ts, tw, 1.0});
+    const auto result = alg->run(a, b, machine);
+    const auto t = result.report.totals();
+    rows.push_back({alg->name(), t.rounds, t.comm_time, t.time(),
+                    result.report.peak_words_total,
+                    max_abs_diff(result.c, oracle) < 1e-9});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& x, const Row& y) { return x.total < y.total; });
+
+  std::printf("\n%-4s %-22s %10s %14s %14s %12s %s\n", "rank", "algorithm",
+              "start-ups", "comm time", "total time", "space(words)",
+              "verified");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%-4zu %-22s %10llu %14.1f %14.1f %12llu %s\n", i + 1,
+                r.name.c_str(), static_cast<unsigned long long>(r.startups),
+                r.comm, r.total, static_cast<unsigned long long>(r.space),
+                r.correct ? "yes" : "NO");
+  }
+  return 0;
+}

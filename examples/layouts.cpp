@@ -1,0 +1,111 @@
+// Textual reproduction of the paper's schematic figures — the data layouts
+// of Figures 1, 3, 4, 6, 8, 9 and 12 — printed from the same partitioning
+// rules the algorithm implementations stage with.  Handy when reading the
+// paper side by side with the code.
+//
+//   ./layouts [q]      supernode/grid side, default 2 (p = 8 for 3-D views)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "hcmm/topology/grid.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+void figure1(std::uint32_t q) {
+  std::printf("\n-- Figure 1: matrix A partitioned into %ux%u blocks --\n", q,
+              q);
+  for (std::uint32_t i = 0; i < q; ++i) {
+    for (std::uint32_t j = 0; j < q; ++j) std::printf("  A%u%u", i, j);
+    std::printf("\n");
+  }
+}
+
+void figure3(std::uint32_t q) {
+  std::printf("\n-- Figure 3: DNS — initial face z=0, then A to z=j, B to "
+              "z=i --\n");
+  for (std::uint32_t i = 0; i < q; ++i) {
+    for (std::uint32_t j = 0; j < q; ++j) {
+      std::printf("  p(%u,%u,0): A%u%u B%u%u   -> A to p(%u,%u,%u), B to "
+                  "p(%u,%u,%u)\n",
+                  i, j, i, j, i, j, i, j, j, i, j, i);
+    }
+  }
+}
+
+void figure4(std::uint32_t q) {
+  std::printf("\n-- Figure 4: 2-D Diagonal — column groups of A and row "
+              "groups of B on the diagonal --\n");
+  for (std::uint32_t j = 0; j < q; ++j) {
+    std::printf("  p(%u,%u): A[:, group %u]  B[group %u, :]\n", j, j, j, j);
+  }
+  std::printf("  phase 1: p(j,j) scatters B pieces and broadcasts A down "
+              "column j;\n  phase 2: reduce along rows onto the diagonal.\n");
+}
+
+void figure6(std::uint32_t q) {
+  std::printf("\n-- Figure 6/7: 3-D Diagonal — plane x = y holds A_{k,i}, "
+              "B_{k,i} at p(i,i,k) --\n");
+  for (std::uint32_t i = 0; i < q; ++i) {
+    for (std::uint32_t k = 0; k < q; ++k) {
+      std::printf("  p(%u,%u,%u): A%u%u B%u%u   (B -> p(%u,%u,%u) in phase "
+                  "1)\n",
+                  i, i, k, k, i, k, i, i, k, k);
+    }
+  }
+}
+
+void figures8and9(std::uint32_t q) {
+  const Grid3D grid(q * q * q);
+  std::printf("\n-- Figure 8: A partitioned %u x %u for 3-D All (f(i,j) = "
+              "i*%u+j) --\n",
+              q, q * q, q);
+  for (std::uint32_t k = 0; k < q; ++k) {
+    for (std::uint32_t f = 0; f < q * q; ++f) std::printf("  A_{%u,%u}", k, f);
+    std::printf("\n");
+  }
+  std::printf("\n-- Figure 9: B partitioned %u x %u (the transposed view "
+              "phase 1 reconstructs) --\n",
+              q * q, q);
+  for (std::uint32_t f = 0; f < q * q; ++f) {
+    for (std::uint32_t k = 0; k < q; ++k) std::printf("  B_{%u,%u}", f, k);
+    std::printf("\n");
+  }
+  std::printf("\n   placement: p(i,j,k) holds A_{k,f(i,j)} and B_{k,f(i,j)}"
+              ", e.g. ");
+  std::printf("p(1,0,%u) -> A_{%u,%u}\n", q - 1, q - 1, grid.f(1, 0));
+}
+
+void figure12(std::uint32_t q) {
+  std::printf("\n-- Figure 12: 3-D All phases at p(i,j,k) --\n");
+  std::printf("  1. all-to-all personalized along y: row group l of "
+              "B_{k,f(i,j)} -> p(i,l,k)\n");
+  std::printf("  2. all-to-all broadcast of A along x  ||  of the B pieces "
+              "along z\n");
+  std::printf("  3. I_{k,i} = sum_m A_{k,f(m,j)} B_{f(m,j),i}\n");
+  std::printf("  4. all-to-all reduction along y: piece l -> p(i,l,k) as "
+              "C_{k,f(i,l)}\n");
+  std::printf("  (q = %u: every phase runs in log %u rounds per chain)\n", q,
+              q);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto q = static_cast<std::uint32_t>(
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2);
+  if (q < 2 || q > 4 || (q & (q - 1)) != 0) {
+    std::fprintf(stderr, "q must be 2 or 4\n");
+    return 1;
+  }
+  std::printf("Data layouts of the paper's schematic figures, q = %u\n", q);
+  figure1(q);
+  figure3(q);
+  figure4(q);
+  figure6(q);
+  figures8and9(q);
+  figure12(q);
+  return 0;
+}

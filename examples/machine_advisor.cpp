@@ -1,0 +1,69 @@
+// Algorithm selection for a hypothetical hypercube machine: given the
+// machine's (t_s, t_w) and a problem size, evaluate the paper's Table 2
+// closed forms for every algorithm and recommend the fastest, then show
+// the surrounding region of the (n, p) space — a personal slice of the
+// paper's Figures 13/14.
+//
+//   ./machine_advisor [n] [p] [one|multi] [ts] [tw]
+//   defaults:          1024  4096  one     150   3
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/cost/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcmm;
+  using algo::AlgoId;
+  const double n = argc > 1 ? std::strtod(argv[1], nullptr) : 1024;
+  const double p = argc > 2 ? std::strtod(argv[2], nullptr) : 4096;
+  const PortModel port = (argc > 3 && std::strcmp(argv[3], "multi") == 0)
+                             ? PortModel::kMultiPort
+                             : PortModel::kOnePort;
+  const CostParams cp{argc > 4 ? std::strtod(argv[4], nullptr) : 150.0,
+                      argc > 5 ? std::strtod(argv[5], nullptr) : 3.0, 1.0};
+
+  std::printf("machine: %s hypercube, ts=%.1f, tw=%.1f; problem: n=%.0f on "
+              "p=%.0f nodes\n\n",
+              to_string(port), cp.ts, cp.tw, n, p);
+  std::printf("%-22s %12s %14s %16s  %s\n", "algorithm", "a (ts)", "b (tw)",
+              "comm time", "notes");
+  const AlgoId all[] = {AlgoId::kSimple,   AlgoId::kCannon,  AlgoId::kHJE,
+                        AlgoId::kBerntsen, AlgoId::kDNS,     AlgoId::kDiag3D,
+                        AlgoId::kAllTrans, AlgoId::kAll3D,
+                        AlgoId::kAll3DRect};
+  for (const AlgoId id : all) {
+    if (!cost::within_processor_bound(id, n, p)) {
+      std::printf("%-22s %46s\n", algo::to_string(id),
+                  "(p exceeds the algorithm's bound)");
+      continue;
+    }
+    const auto c = cost::table2(id, port, n, p);
+    const bool full_bw = cost::meets_port_condition(id, port, n, p);
+    std::printf("%-22s %12.1f %14.1f %16.1f  %s\n", algo::to_string(id), c.a,
+                c.b, c.time(cp),
+                full_bw ? "" : "(messages too small for full bandwidth)");
+  }
+
+  algo::AlgoId best{};
+  const auto cands = cost::contenders(port);
+  if (cost::best_algorithm(port, n, p, cp, cands, best)) {
+    std::printf("\nrecommended (among the paper's §5 contenders): %s\n",
+                algo::to_string(best));
+  } else {
+    std::printf("\nno contender is applicable at this (n, p)\n");
+  }
+
+  const double ln = std::log2(n);
+  const double lp = std::log2(p);
+  std::printf("\nneighborhood of your point (rows: log2 p in [%.1f, %.1f], "
+              "cols: log2 n in [%.1f, %.1f]):\n",
+              lp - 4, lp + 4, ln - 4, ln + 4);
+  std::printf("%s", cost::region_map(port, cp, cands, ln - 4, ln + 4, lp - 4,
+                                     lp + 4, 33, 17)
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The algorithms as real parallel programs: run 3-D All and Cannon on the
+// thread-per-rank SPMD runtime (one OS thread per simulated processor,
+// genuine message passing), time them against the serial kernel, and
+// verify all three agree.
+//
+//   ./spmd_demo [n]        default 128 (must divide by 16 for 64 ranks)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcmm;
+  using clock = std::chrono::steady_clock;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  if (n % 16 != 0) {
+    std::fprintf(stderr, "n must divide by 16 (64 ranks)\n");
+    return 1;
+  }
+  const Matrix a = random_matrix(n, n, 71);
+  const Matrix b = random_matrix(n, n, 72);
+
+  std::printf("n=%zu, 64 ranks (OS threads), wall-clock timings:\n", n);
+
+  auto t0 = clock::now();
+  const Matrix serial = multiply_tiled(a, b);
+  const auto serial_ms = std::chrono::duration<double, std::milli>(
+      clock::now() - t0).count();
+  std::printf("  serial tiled gemm        : %8.2f ms\n", serial_ms);
+
+  rt::Team cannon_team(64);
+  t0 = clock::now();
+  const Matrix c1 = rt::spmd_cannon(cannon_team, a, b);
+  std::printf("  SPMD Cannon   (64 ranks) : %8.2f ms   max|diff| = %.2e\n",
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count(),
+              max_abs_diff(c1, serial));
+
+  rt::Team cube(64);
+  t0 = clock::now();
+  const Matrix c2 = rt::spmd_all3d(cube, a, b);
+  std::printf("  SPMD 3D All   (64 ranks) : %8.2f ms   max|diff| = %.2e\n",
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count(),
+              max_abs_diff(c2, serial));
+
+  t0 = clock::now();
+  const Matrix c3 = rt::spmd_diag3d(cube, a, b);
+  std::printf("  SPMD 3DD      (64 ranks) : %8.2f ms   max|diff| = %.2e\n",
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count(),
+              max_abs_diff(c3, serial));
+
+  t0 = clock::now();
+  const Matrix c4 = rt::spmd_dns(cube, a, b);
+  std::printf("  SPMD DNS      (64 ranks) : %8.2f ms   max|diff| = %.2e\n",
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count(),
+              max_abs_diff(c4, serial));
+
+  t0 = clock::now();
+  const Matrix c5 = rt::spmd_berntsen(cube, a, b);
+  std::printf("  SPMD Berntsen (64 ranks) : %8.2f ms   max|diff| = %.2e\n",
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count(),
+              max_abs_diff(c5, serial));
+
+  std::printf(
+      "\n(On a many-core host the SPMD runs overlap their gemm calls; the\n"
+      " per-rank message counts mirror the simulated algorithms', which is\n"
+      " what bench_table2 measures in the paper's cost model.)\n");
+  return max_abs_diff(c1, serial) < 1e-9 && max_abs_diff(c2, serial) < 1e-9
+             ? 0
+             : 1;
+}

@@ -1,0 +1,233 @@
+// 3-D All algorithm (paper §4.2.2) — the paper's headline contribution.
+// Same A-style partition for BOTH operands (p_{i,j,k} holds A_{k,f(i,j)}
+// and B_{k,f(i,j)}, Fig. 8).  Phase 1 is an all-to-all personalized
+// exchange of B row-groups along y, which re-shuffles B into the transposed
+// layout 3D All_Trans assumes — at a cost of only (t_s + t_w n^2/2p) log q.
+// Phase 2 all-to-all broadcasts A along x and the B piece bundles along z
+// (overlapped on multi-port nodes); phase 3 is the same all-to-all
+// reduction along y as All_Trans.  C comes out aligned like A and B.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class All3D final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kAll3D; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 3 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 3);
+    // Row groups of a block are (n/q^2) x (n/q^2); need n divisible by q^2.
+    return n % (static_cast<std::size_t>(q) * q) == 0 &&
+           static_cast<std::uint64_t>(p) * p <=
+               static_cast<std::uint64_t>(n) * n * n;  // p <= n^{3/2}
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "All3D: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "All3D: not applicable for n=" << n << " p="
+                                              << machine.cube().size());
+    const Grid3D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t bh = n / q;        // block height
+    const std::size_t bw = n / (q * q);  // block width == row-group height
+    DataStore& store = machine.store();
+
+    auto ta = [](std::uint32_t k, std::uint32_t f) { return tag3(kSpaceA, k, f); };
+    auto tb = [](std::uint32_t k, std::uint32_t f) { return tag3(kSpaceB, k, f); };
+    // Row-group piece: group `dst` of B_{k, f(i, src)} inside chain (i,k).
+    auto tpb = [q](std::uint32_t i, std::uint32_t k, std::uint32_t src,
+                   std::uint32_t dst) {
+      return tag3(kSpacePieceB, i, k, src * q + dst);
+    };
+    auto ti = [](std::uint32_t k, std::uint32_t i, std::uint32_t l) {
+      return tag3(kSpaceI, k, i, l);
+    };
+
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const NodeId nd = grid.node(i, j, k);
+          const std::uint32_t f = grid.f(i, j);
+          put_mat(store, nd, ta(k, f), a.block(k * bh, f * bw, bh, bw));
+          put_mat(store, nd, tb(k, f), b.block(k * bh, f * bw, bh, bw));
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: cut each local B block into q row groups and exchange them
+    // all-to-all (personalized) along y: group l of B_{k,f(i,j)} goes to
+    // p_{i,l,k}.  (The cutting is local data movement, not communication.)
+    machine.begin_phase("alltoall B");
+    {
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          for (std::uint32_t k = 0; k < q; ++k) {
+            const NodeId nd = grid.node(i, j, k);
+            const Matrix blk = mat_from(store, nd, tb(k, grid.f(i, j)), bh, bw);
+            store.erase(nd, tb(k, grid.f(i, j)));
+            for (std::uint32_t l = 0; l < q; ++l) {
+              put_mat(store, nd, tpb(i, k, j, l), blk.block(l * bw, 0, bw, bw));
+            }
+          }
+        }
+      }
+      std::vector<coll::PreparedColl> exchanges;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const Subcube chain = grid.y_chain(i, k);
+          std::vector<Tag> flat(static_cast<std::size_t>(q) * q, 0);
+          for (std::uint32_t j = 0; j < q; ++j) {
+            const std::uint32_t src_rank = chain.rank_of(grid.node(i, j, k));
+            for (std::uint32_t l = 0; l < q; ++l) {
+              const std::uint32_t dst_rank = chain.rank_of(grid.node(i, l, k));
+              flat[static_cast<std::size_t>(src_rank) * q + dst_rank] =
+                  tpb(i, k, j, l);
+            }
+          }
+          exchanges.push_back(coll::prep_alltoall(machine, chain, flat));
+        }
+      }
+      coll::run_prepared(machine, exchanges);
+    }
+
+    // Phase 2: all-to-all broadcast of A along x, and of the B piece
+    // bundles along z.  After this p_{i,j,k} holds A_{k,f(*,j)} and
+    // group j of B_{m,f(i,*)} for every m — i.e. B_{f(*,j),i} of Fig. 9.
+    std::vector<coll::PreparedColl> ag_a;
+    std::vector<coll::PreparedColl> ag_b;
+    for (std::uint32_t j = 0; j < q; ++j) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        const Subcube chain = grid.x_chain(j, k);
+        std::vector<Tag> tags(q);
+        for (std::uint32_t i = 0; i < q; ++i) {
+          tags[chain.rank_of(grid.node(i, j, k))] = ta(k, grid.f(i, j));
+        }
+        ag_a.push_back(coll::prep_allgather(machine, chain, tags));
+      }
+    }
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        const Subcube chain = grid.z_chain(i, j);
+        std::vector<std::vector<Tag>> bundles(q);
+        for (std::uint32_t k = 0; k < q; ++k) {
+          auto& bundle = bundles[chain.rank_of(grid.node(i, j, k))];
+          bundle.reserve(q);
+          // After phase 1, p_{i,j,k} holds pieces tpb(i, k, l, j) for all l.
+          for (std::uint32_t l = 0; l < q; ++l) {
+            bundle.push_back(tpb(i, k, l, j));
+          }
+        }
+        ag_b.push_back(coll::prep_allgather_bundles(machine, chain, bundles));
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("allgather A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : ag_a) all.push_back(std::move(c));
+      for (auto& c : ag_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("allgather A");
+      coll::run_prepared(machine, ag_a);
+      machine.begin_phase("allgather B");
+      coll::run_prepared(machine, ag_b);
+    }
+
+    // Compute: I_{k,i} = sum_m A_{k,f(m,j)} * B_{f(m,j),i}, where
+    // B_{f(m,j),i} is the column-wise concatenation over l of piece
+    // tpb(i, m, l, j).  Then cut I into its q column pieces for phase 3.
+    machine.begin_phase("compute");
+    {
+      std::vector<GemmJob> jobs;
+      std::vector<std::size_t> owner;
+      std::vector<NodeId> nodes;
+      std::vector<Matrix> partials;
+      std::vector<std::array<std::uint32_t, 3>> coords;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          for (std::uint32_t k = 0; k < q; ++k) {
+            const NodeId nd = grid.node(i, j, k);
+            const std::size_t slot = nodes.size();
+            nodes.push_back(nd);
+            partials.emplace_back(bh, bh);
+            coords.push_back({i, j, k});
+            for (std::uint32_t m = 0; m < q; ++m) {
+              Matrix bmat(bw, bh);
+              for (std::uint32_t l = 0; l < q; ++l) {
+                bmat.set_block(0, l * bw,
+                               mat_from(store, nd, tpb(i, m, l, j), bw, bw));
+              }
+              jobs.push_back(
+                  GemmJob{nd, mat_from(store, nd, ta(k, grid.f(m, j)), bh, bw),
+                          std::move(bmat)});
+              owner.push_back(slot);
+            }
+          }
+        }
+      }
+      run_gemm_jobs(machine, std::move(jobs),
+                    [&](std::size_t idx, Matrix&& m) {
+                      partials[owner[idx]] += m;
+                    });
+      for (std::size_t s = 0; s < nodes.size(); ++s) {
+        const auto [i, j, k] = coords[s];
+        for (std::uint32_t l = 0; l < q; ++l) {
+          put_mat(store, nodes[s], ti(k, i, l),
+                  partials[s].block(0, l * bw, bh, bw));
+        }
+      }
+    }
+
+    // Phase 3: all-to-all reduction along y (identical to All_Trans).
+    machine.begin_phase("reduce-scatter");
+    {
+      std::vector<coll::PreparedColl> reductions;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const Subcube chain = grid.y_chain(i, k);
+          std::vector<Tag> tags(q);
+          for (std::uint32_t l = 0; l < q; ++l) {
+            tags[chain.rank_of(grid.node(i, l, k))] = ti(k, i, l);
+          }
+          reductions.push_back(
+              coll::prep_reduce_scatter(machine, chain, tags));
+        }
+      }
+      coll::run_prepared(machine, reductions);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          out.c.set_block(k * bh, grid.f(i, j) * bw,
+                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
+                                   bh, bw));
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_all3d() {
+  return std::make_unique<All3D>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,223 @@
+// 3-D All on a rectangular p^{1/4} x p^{1/4} x sqrt(p) grid — the
+// extension the paper sketches in §4.2.2's closing paragraph: "mapping a
+// 3-D grid of size p^{1/4} x p^{1/4} x sqrt(p) onto a p-processor hypercube
+// can allow us to use upto n^2 processors ... the overall space requirement
+// increases to n^2 sqrt(p) + n^2 p^{1/4}".
+//
+// With qx = qy = p^{1/4} and qz = sqrt(p) = qx*qy, the blocks become square
+// (n/sqrt(p) each side) and B's row partition aligns directly with A's
+// column partition, which simplifies phase 1 from an all-to-all
+// personalized exchange to gathers along y:
+//   stage   : p_{i,j,k} holds A_{k,f(i,j)} and B_{k,f(i,j)}, f(i,j)=i*qy+j;
+//   phase 1 : along every y-chain (i,*,k), the blocks B_{k,f(i,*)} gather
+//             to the member y = k mod qy (whose plane needs row-block k);
+//   phase 2 : all-to-all broadcast of A along x, and of the gathered B
+//             bundles along z (only the members with k = m*qy + j
+//             contribute) — each node acquires A_{k,f(*,j)} (n^2 p^{1/4}
+//             overall) and B's full plane-j row set (n^2 sqrt(p) overall,
+//             the paper's space figures);
+//   compute : I^j_{k,i} = sum_m A_{k,f(m,j)} * B[rows f(m,j), col-group i]
+//             — complete within the plane, no partial sums;
+//   phase 3 : all-to-all reduction along y sums the planes and leaves
+//             C_{k,f(i,j)} at p_{i,j,k}, aligned with A and B.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class All3DRect final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override {
+    return AlgoId::kAll3DRect;
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 4 != 0) return false;
+    const std::uint32_t qz = 1u << (exact_log2(p) / 2);  // sqrt(p)
+    return n % qz == 0 && static_cast<std::uint64_t>(p) <= n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "All3DRect: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "All3DRect: not applicable for n=" << n << " p="
+                                                  << machine.cube().size());
+    const std::uint32_t q1 = 1u << (exact_log2(machine.cube().size()) / 4);
+    const std::uint32_t qz = q1 * q1;
+    const Grid3DRect grid(q1, q1, qz);
+    const std::size_t blk = n / qz;  // square block edge
+    DataStore& store = machine.store();
+
+    auto ta = [](std::uint32_t k, std::uint32_t f) { return tag3(kSpaceA, k, f); };
+    auto tb = [](std::uint32_t k, std::uint32_t f) { return tag3(kSpaceB, k, f); };
+    auto ti = [](std::uint32_t k, std::uint32_t i, std::uint32_t l) {
+      return tag3(kSpaceI, k, i, l);
+    };
+
+    for (std::uint32_t i = 0; i < q1; ++i) {
+      for (std::uint32_t j = 0; j < q1; ++j) {
+        for (std::uint32_t k = 0; k < qz; ++k) {
+          const NodeId nd = grid.node(i, j, k);
+          const std::uint32_t f = grid.f(i, j);
+          put_mat(store, nd, ta(k, f), a.block(k * blk, f * blk, blk, blk));
+          put_mat(store, nd, tb(k, f), b.block(k * blk, f * blk, blk, blk));
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: along each y-chain, gather B_{k, f(i,*)} to y = k mod qy.
+    machine.begin_phase("gather B along y");
+    {
+      std::vector<coll::PreparedColl> gathers;
+      for (std::uint32_t i = 0; i < q1; ++i) {
+        for (std::uint32_t k = 0; k < qz; ++k) {
+          const Subcube chain = grid.y_chain(i, k);
+          std::vector<Tag> tags(q1);
+          for (std::uint32_t l = 0; l < q1; ++l) {
+            tags[chain.rank_of(grid.node(i, l, k))] = tb(k, grid.f(i, l));
+          }
+          gathers.push_back(coll::prep_gather(
+              machine, chain, grid.node(i, k % q1, k), tags));
+        }
+      }
+      coll::run_prepared(machine, gathers);
+    }
+
+    // Phase 2: all-to-all broadcast of A along x; all-to-all broadcast of
+    // the gathered B bundles along z (sparse: only k = m*qy + j members
+    // contribute on chain (i,j,*)).
+    std::vector<coll::PreparedColl> ag_a;
+    std::vector<coll::PreparedColl> ag_b;
+    for (std::uint32_t j = 0; j < q1; ++j) {
+      for (std::uint32_t k = 0; k < qz; ++k) {
+        const Subcube chain = grid.x_chain(j, k);
+        std::vector<Tag> tags(q1);
+        for (std::uint32_t i = 0; i < q1; ++i) {
+          tags[chain.rank_of(grid.node(i, j, k))] = ta(k, grid.f(i, j));
+        }
+        ag_a.push_back(coll::prep_allgather(machine, chain, tags));
+      }
+    }
+    for (std::uint32_t i = 0; i < q1; ++i) {
+      for (std::uint32_t j = 0; j < q1; ++j) {
+        const Subcube chain = grid.z_chain(i, j);
+        std::vector<std::vector<Tag>> bundles(qz);
+        for (std::uint32_t m = 0; m < q1; ++m) {
+          const std::uint32_t k = m * q1 + j;
+          auto& bundle = bundles[chain.rank_of(grid.node(i, j, k))];
+          for (std::uint32_t l = 0; l < q1; ++l) {
+            bundle.push_back(tb(k, grid.f(i, l)));
+          }
+        }
+        ag_b.push_back(coll::prep_allgather_bundles(machine, chain, bundles));
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("allgather A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : ag_a) all.push_back(std::move(c));
+      for (auto& c : ag_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("allgather A");
+      coll::run_prepared(machine, ag_a);
+      machine.begin_phase("allgather B");
+      coll::run_prepared(machine, ag_b);
+    }
+
+    // Compute: the complete plane-j product slice I^j_{k,i}
+    // (blk x qy*blk), then cut into qy column pieces for phase 3.
+    machine.begin_phase("compute");
+    {
+      std::vector<GemmJob> jobs;
+      std::vector<std::size_t> owner;
+      std::vector<NodeId> nodes;
+      std::vector<Matrix> slices;
+      std::vector<std::array<std::uint32_t, 3>> coords;
+      for (std::uint32_t i = 0; i < q1; ++i) {
+        for (std::uint32_t j = 0; j < q1; ++j) {
+          for (std::uint32_t k = 0; k < qz; ++k) {
+            const NodeId nd = grid.node(i, j, k);
+            const std::size_t slot = nodes.size();
+            nodes.push_back(nd);
+            slices.emplace_back(blk, static_cast<std::size_t>(q1) * blk);
+            coords.push_back({i, j, k});
+            for (std::uint32_t m = 0; m < q1; ++m) {
+              const std::uint32_t row_block = m * q1 + j;
+              Matrix rmat(blk, static_cast<std::size_t>(q1) * blk);
+              for (std::uint32_t l = 0; l < q1; ++l) {
+                rmat.set_block(
+                    0, l * blk,
+                    mat_from(store, nd, tb(row_block, grid.f(i, l)), blk, blk));
+              }
+              jobs.push_back(GemmJob{
+                  nd, mat_from(store, nd, ta(k, grid.f(m, j)), blk, blk),
+                  std::move(rmat)});
+              owner.push_back(slot);
+            }
+          }
+        }
+      }
+      run_gemm_jobs(machine, std::move(jobs),
+                    [&](std::size_t idx, Matrix&& m) {
+                      slices[owner[idx]] += m;
+                    });
+      for (std::size_t s = 0; s < nodes.size(); ++s) {
+        const auto [i, j, k] = coords[s];
+        for (std::uint32_t l = 0; l < q1; ++l) {
+          put_mat(store, nodes[s], ti(k, i, l),
+                  slices[s].block(0, l * blk, blk, blk));
+        }
+      }
+    }
+
+    // Phase 3: all-to-all reduction along y sums the plane slices.
+    machine.begin_phase("reduce-scatter");
+    {
+      std::vector<coll::PreparedColl> reductions;
+      for (std::uint32_t i = 0; i < q1; ++i) {
+        for (std::uint32_t k = 0; k < qz; ++k) {
+          const Subcube chain = grid.y_chain(i, k);
+          std::vector<Tag> tags(q1);
+          for (std::uint32_t l = 0; l < q1; ++l) {
+            tags[chain.rank_of(grid.node(i, l, k))] = ti(k, i, l);
+          }
+          reductions.push_back(
+              coll::prep_reduce_scatter(machine, chain, tags));
+        }
+      }
+      coll::run_prepared(machine, reductions);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < q1; ++i) {
+      for (std::uint32_t j = 0; j < q1; ++j) {
+        for (std::uint32_t k = 0; k < qz; ++k) {
+          out.c.set_block(k * blk, grid.f(i, j) * blk,
+                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
+                                   blk, blk));
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_all3d_rect() {
+  return std::make_unique<All3DRect>();
+}
+
+}  // namespace hcmm::algo::detail

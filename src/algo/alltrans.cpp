@@ -1,0 +1,203 @@
+// 3-D All_Trans algorithm (paper §4.2.1) — the 2-D Diagonal scheme extended
+// so that EVERY processor column holds operand data, not just the diagonal.
+// A is partitioned q x q^2 (Fig. 8) and B q^2 x q (Fig. 9) with p_{i,j,k}
+// holding A_{k,f(i,j)} and B_{f(i,j),k}, f(i,j) = i*q + j — i.e. B starts
+// distributed like A's transpose.  Phase 1 gathers each row of B along x to
+// the plane x = z; phase 2 all-to-all broadcasts A along x while the
+// gathered B bundles broadcast along z; phase 3 is an all-to-all reduction
+// along y that leaves C aligned like A.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class AllTrans final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override {
+    return AlgoId::kAllTrans;
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 3 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 3);
+    // Blocks are (n/q) x (n/q^2); the reduction pieces are (n/q) x (n/q^2).
+    return n % (static_cast<std::size_t>(q) * q) == 0 &&
+           static_cast<std::uint64_t>(p) * p <=
+               static_cast<std::uint64_t>(n) * n * n;  // p <= n^{3/2}
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "AllTrans: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "AllTrans: not applicable for n=" << n << " p="
+                                                 << machine.cube().size());
+    const Grid3D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t bh = n / q;        // block height of A pieces
+    const std::size_t bw = n / (q * q);  // block width of A pieces
+    DataStore& store = machine.store();
+
+    // A_{k, f(i,j)}: k-th block row, f(i,j)-th block column (Fig. 8).
+    auto ta = [](std::uint32_t k, std::uint32_t f) { return tag3(kSpaceA, k, f); };
+    // B_{f(i,j), k} (Fig. 9): stored transposed relative to A's layout.
+    auto tb = [](std::uint32_t f, std::uint32_t k) { return tag3(kSpaceB, f, k); };
+    // I piece destined to y = l (becomes C_{k, f(i,l)}).
+    auto ti = [](std::uint32_t k, std::uint32_t i, std::uint32_t l) {
+      return tag3(kSpaceI, k, i, l);
+    };
+
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const NodeId nd = grid.node(i, j, k);
+          const std::uint32_t f = grid.f(i, j);
+          put_mat(store, nd, ta(k, f), a.block(k * bh, f * bw, bh, bw));
+          put_mat(store, nd, tb(f, k), b.block(f * bw, k * bh, bw, bh));
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: gather B_{f(*,j),k} along each x-chain to the node x = k.
+    machine.begin_phase("gather B");
+    {
+      std::vector<coll::PreparedColl> gathers;
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const Subcube chain = grid.x_chain(j, k);
+          std::vector<Tag> tags(q);
+          for (std::uint32_t i = 0; i < q; ++i) {
+            tags[chain.rank_of(grid.node(i, j, k))] = tb(grid.f(i, j), k);
+          }
+          gathers.push_back(
+              coll::prep_gather(machine, chain, grid.node(k, j, k), tags));
+        }
+      }
+      coll::run_prepared(machine, gathers);
+    }
+
+    // Phase 2: all-to-all broadcast of A along x; one-to-all broadcast of
+    // the gathered B bundle from p_{k,j,k} along z.  Multi-port overlaps.
+    std::vector<coll::PreparedColl> ag_a;
+    std::vector<coll::PreparedColl> bc_b;
+    for (std::uint32_t j = 0; j < q; ++j) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        const Subcube chain = grid.x_chain(j, k);
+        std::vector<Tag> tags(q);
+        for (std::uint32_t i = 0; i < q; ++i) {
+          tags[chain.rank_of(grid.node(i, j, k))] = ta(k, grid.f(i, j));
+        }
+        ag_a.push_back(coll::prep_allgather(machine, chain, tags));
+      }
+    }
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        // Node p_{i,j,i} holds B_{f(*,j),i}; broadcast the bundle along z.
+        std::vector<Tag> bundle(q);
+        for (std::uint32_t l = 0; l < q; ++l) bundle[l] = tb(grid.f(l, j), i);
+        bc_b.push_back(coll::prep_bcast_bundle(machine, grid.z_chain(i, j),
+                                               grid.node(i, j, i), bundle));
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("allgather A||bcast B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : ag_a) all.push_back(std::move(c));
+      for (auto& c : bc_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("allgather A");
+      coll::run_prepared(machine, ag_a);
+      machine.begin_phase("bcast B");
+      coll::run_prepared(machine, bc_b);
+    }
+
+    // Compute: p_{i,j,k} forms I_{k,i} = sum_l A_{k,f(l,j)} B_{f(l,j),i},
+    // then cuts it into q column pieces for the reduction.
+    machine.begin_phase("compute");
+    {
+      std::vector<GemmJob> jobs;
+      std::vector<std::size_t> owner;  // job -> node index in flat order
+      std::vector<NodeId> nodes;
+      std::vector<Matrix> partials;
+      std::vector<std::array<std::uint32_t, 3>> coords;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          for (std::uint32_t k = 0; k < q; ++k) {
+            const NodeId nd = grid.node(i, j, k);
+            const std::size_t slot = nodes.size();
+            nodes.push_back(nd);
+            partials.emplace_back(bh, bh);
+            coords.push_back({i, j, k});
+            for (std::uint32_t l = 0; l < q; ++l) {
+              jobs.push_back(
+                  GemmJob{nd, mat_from(store, nd, ta(k, grid.f(l, j)), bh, bw),
+                          mat_from(store, nd, tb(grid.f(l, j), i), bw, bh)});
+              owner.push_back(slot);
+            }
+          }
+        }
+      }
+      run_gemm_jobs(machine, std::move(jobs),
+                    [&](std::size_t idx, Matrix&& m) {
+                      partials[owner[idx]] += m;
+                    });
+      for (std::size_t s = 0; s < nodes.size(); ++s) {
+        const auto [i, j, k] = coords[s];
+        for (std::uint32_t l = 0; l < q; ++l) {
+          put_mat(store, nodes[s], ti(k, i, l),
+                  partials[s].block(0, l * bw, bh, bw));
+        }
+      }
+    }
+
+    // Phase 3: all-to-all reduction along y; piece l of I_{k,i} lands at
+    // p_{i,l,k} as C_{k,f(i,l)}.
+    machine.begin_phase("reduce-scatter");
+    {
+      std::vector<coll::PreparedColl> reductions;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const Subcube chain = grid.y_chain(i, k);
+          std::vector<Tag> tags(q);
+          for (std::uint32_t l = 0; l < q; ++l) {
+            tags[chain.rank_of(grid.node(i, l, k))] = ti(k, i, l);
+          }
+          reductions.push_back(
+              coll::prep_reduce_scatter(machine, chain, tags));
+        }
+      }
+      coll::run_prepared(machine, reductions);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          out.c.set_block(k * bh, grid.f(i, j) * bw,
+                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
+                                   bh, bw));
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_alltrans() {
+  return std::make_unique<AllTrans>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,168 @@
+// Berntsen's algorithm (paper §3.4): split A by columns and B by rows into
+// cbrt(p) sets; subcube k (one x-y plane of the 3-D grid) computes the
+// outer product of set k with Cannon's algorithm on its q x q face; the
+// cbrt(p) outer products then combine by an all-to-all reduction along z.
+// Applicable for p <= n^{3/2}; starts from a non-checkerboard distribution
+// and ends with C distributed differently from A and B (the drawback the
+// paper notes).
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/ring.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/sim/router.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Berntsen final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override {
+    return AlgoId::kBerntsen;
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 3 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 3);
+    // A sub-blocks are (n/q) x (n/q^2) and the final reduce-scatter cuts
+    // (n/q) x (n/q) outer-product blocks into q row groups.
+    return n % (static_cast<std::size_t>(q) * q) == 0 &&
+           static_cast<std::uint64_t>(p) * p <=
+               static_cast<std::uint64_t>(n) * n * n;  // p <= n^{3/2}
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Berntsen: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "Berntsen: not applicable for n=" << n << " p="
+                                                 << machine.cube().size());
+    const Grid3D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t bh = n / q;        // Cannon block height on each face
+    const std::size_t bw = n / (q * q);  // A block width / B block height
+    DataStore& store = machine.store();
+
+    // Face k (plane z = k) gets column set k of A, block (i,j) of the set
+    // at face position (row i, col j), and row set k of B likewise.
+    auto face_node = [&grid](std::uint32_t k, std::uint32_t row,
+                             std::uint32_t col) {
+      return grid.node(col, row, k);  // row = y, col = x
+    };
+    auto ta = [](std::uint32_t k, std::uint32_t i, std::uint32_t j) {
+      return tag3(kSpaceA, k, i, j);
+    };
+    auto tb = [](std::uint32_t k, std::uint32_t i, std::uint32_t j) {
+      return tag3(kSpaceB, k, i, j);
+    };
+    auto to = [](std::uint32_t k, std::uint32_t i, std::uint32_t j) {
+      return tag3(kSpaceI, k, i, j);
+    };
+    // Final C piece: row group z of outer-product block (i,j).
+    auto tc = [](std::uint32_t i, std::uint32_t j, std::uint32_t z) {
+      return tag3(kSpaceC, i, j, z);
+    };
+
+    for (std::uint32_t k = 0; k < q; ++k) {
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          // A set k is columns [k*n/q, (k+1)*n/q); its (i,j) sub-block is
+          // (n/q) x (n/q^2).  B set k is the corresponding rows.
+          put_mat(store, face_node(k, i, j), ta(k, i, j),
+                  a.block(i * bh, k * bh + j * bw, bh, bw));
+          put_mat(store, face_node(k, i, j), tb(k, i, j),
+                  b.block(k * bh + i * bw, j * bh, bw, bh));
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Outer products: Cannon on every face, all faces in lockstep (they
+    // are disjoint subcubes, so each round carries every face's transfers
+    // and the measured cost equals one face's schedule).
+    {
+      std::vector<CannonFace> faces;
+      faces.reserve(q);
+      for (std::uint32_t k = 0; k < q; ++k) {
+        faces.push_back(CannonFace{
+            GridFace{
+                .q = q,
+                .node = [&grid, k](std::uint32_t row, std::uint32_t col) {
+                  return grid.node(col, row, k);
+                },
+                .row_chain = [&grid, k](std::uint32_t row) {
+                  return grid.x_chain(row, k);
+                },
+                .col_chain = [&grid, k](std::uint32_t col) {
+                  return grid.y_chain(col, k);
+                },
+            },
+            [ta, k](std::uint32_t i, std::uint32_t j) { return ta(k, i, j); },
+            [tb, k](std::uint32_t i, std::uint32_t j) { return tb(k, i, j); },
+            [to, k](std::uint32_t i, std::uint32_t j) { return to(k, i, j); },
+        });
+      }
+      cannon_lockstep(machine, faces, bh, bw, bh, "cannon ");
+    }
+
+    // Reduction: corresponding processors across faces form z-chains; cut
+    // each outer-product block into q row groups and reduce-scatter so that
+    // face z keeps group z.
+    machine.begin_phase("reduce-scatter z");
+    {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        for (std::uint32_t i = 0; i < q; ++i) {
+          for (std::uint32_t j = 0; j < q; ++j) {
+            const NodeId nd = face_node(k, i, j);
+            const Matrix blk = mat_from(store, nd, to(k, i, j), bh, bh);
+            store.erase(nd, to(k, i, j));
+            for (std::uint32_t z = 0; z < q; ++z) {
+              put_mat(store, nd, tc(i, j, z), blk.block(z * bw, 0, bw, bh));
+            }
+          }
+        }
+      }
+      std::vector<coll::PreparedColl> reductions;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          const Subcube chain = grid.z_chain(j, i);  // x = col j, y = row i
+          std::vector<Tag> tags(q);
+          for (std::uint32_t z = 0; z < q; ++z) {
+            tags[chain.rank_of(face_node(z, i, j))] = tc(i, j, z);
+          }
+          reductions.push_back(
+              coll::prep_reduce_scatter(machine, chain, tags));
+        }
+      }
+      coll::run_prepared(machine, reductions);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t z = 0; z < q; ++z) {
+          out.c.set_block(i * bh + z * bw, j * bh,
+                          mat_from(store, face_node(z, i, j), tc(i, j, z),
+                                   bw, bh));
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_berntsen() {
+  return std::make_unique<Berntsen>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,67 @@
+// Cannon's algorithm (paper §3.2): skew-align A and B on the sqrt(p) x
+// sqrt(p) grid, then sqrt(p) shift-multiply-add steps along Gray-code rings.
+// Constant storage (3 n^2 overall) but O(sqrt(p)) start-ups.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Cannon final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kCannon; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p)) return false;
+    if (exact_log2(p) % 2 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 2);
+    return n % q == 0 && static_cast<std::uint64_t>(p) <= n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Cannon: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "Cannon: not applicable for n=" << n << " p="
+                                               << machine.cube().size());
+    const Grid2D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t blk = n / q;
+    auto node = [&grid](std::uint32_t i, std::uint32_t j) {
+      return grid.node(i, j);
+    };
+    auto ta = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceA, i, j); };
+    auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
+    auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
+
+    stage_blocks(machine, a, q, q, node, ta);
+    stage_blocks(machine, b, q, q, node, tb);
+    machine.reset_stats();
+
+    GridFace face{
+        .q = q,
+        .node = node,
+        .row_chain = [&grid](std::uint32_t i) { return grid.row_chain(i); },
+        .col_chain = [&grid](std::uint32_t j) { return grid.col_chain(j); },
+    };
+    cannon_core(machine, face, ta, tb, tc, blk, blk, blk, "");
+
+    RunResult out;
+    out.c = gather_blocks(machine, n, q, q, node, tc);
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_cannon() {
+  return std::make_unique<Cannon>();
+}
+
+}  // namespace hcmm::algo::detail

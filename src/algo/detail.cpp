@@ -1,0 +1,245 @@
+#include "hcmm/algo/detail.hpp"
+#include <unordered_map>
+
+#include "hcmm/coll/ring.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/sim/router.hpp"
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::algo::detail {
+
+Tag tag3(std::uint16_t space, std::uint32_t a, std::uint32_t b,
+         std::uint32_t c) {
+  HCMM_CHECK(a < 0x10000 && b < 0x10000 && c < 0x10000,
+             "tag3: coordinate too large");
+  return make_tag(space, static_cast<std::uint16_t>(a),
+                  static_cast<std::uint16_t>(b), static_cast<std::uint16_t>(c));
+}
+
+Matrix mat_from(const DataStore& store, NodeId node, Tag tag, std::size_t r,
+                std::size_t c) {
+  const Payload& p = store.get(node, tag);
+  HCMM_CHECK(p->size() == r * c, "mat_from: payload of " << p->size()
+                                                         << " words is not "
+                                                         << r << "x" << c);
+  return Matrix(r, c, *p);
+}
+
+void put_mat(DataStore& store, NodeId node, Tag tag, Matrix&& m) {
+  store.put(node, tag, std::move(m).take());
+}
+
+void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
+                   const std::function<void(std::size_t, Matrix&&)>& sink) {
+  std::vector<Matrix> products(jobs.size());
+  std::vector<std::function<void()>> work;
+  work.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    work.emplace_back([&jobs, &products, i] {
+      products[i] = multiply_tiled(jobs[i].a, jobs[i].b);
+    });
+  }
+  machine.pool().run_batch(std::move(work));
+
+  // A node may own several jobs in one batch (e.g. the log q group
+  // products of an HJE step); it performs them back to back, so its charge
+  // is the sum.
+  std::unordered_map<NodeId, std::uint64_t> per_node;
+  for (const auto& j : jobs) {
+    per_node[j.node] += gemm_flops(j.a.rows(), j.a.cols(), j.b.cols());
+  }
+  std::vector<std::pair<NodeId, std::uint64_t>> flops(per_node.begin(),
+                                                      per_node.end());
+  machine.charge_compute(flops);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    sink(i, std::move(products[i]));
+  }
+}
+
+void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
+                     std::size_t ar, std::size_t ac, std::size_t bc,
+                     const std::string& phase_prefix) {
+  if (faces.empty()) return;
+  const std::uint32_t q = faces[0].grid.q;
+  for (const auto& f : faces) {
+    HCMM_CHECK(f.grid.q == q, "cannon_lockstep: faces must share one q");
+  }
+  const std::size_t nf = faces.size();
+  DataStore& store = machine.store();
+
+  // cur_a[f][i][c]: tag of the A block currently at face f position (i, c).
+  std::vector<std::vector<std::vector<Tag>>> cur_a(nf), cur_b(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    cur_a[f].assign(q, std::vector<Tag>(q));
+    cur_b[f].assign(q, std::vector<Tag>(q));
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        cur_a[f][i][j] = faces[f].a_tag(i, j);
+        cur_b[f][i][j] = faces[f].b_tag(i, j);
+        put_mat(store, faces[f].grid.node(i, j), faces[f].c_tag(i, j),
+                Matrix(ar, bc));
+      }
+    }
+  }
+
+  // Alignment: A_{i,j} moves left by i (to column j-i), B_{i,j} moves up by
+  // j (to row i-j), so position (i,j) holds k-index (i+j) afterwards.
+  // The alignment saturates every chain (all nodes shift at once), so
+  // multipath splitting buys nothing and plain dimension-ordered routing is
+  // used; multi-port overlaps the A and B permutations, halving the phase
+  // exactly as §3.2 assumes.
+  machine.begin_phase(phase_prefix + "align");
+  std::vector<RouteRequest> reqs_a;
+  std::vector<RouteRequest> reqs_b;
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        reqs_a.push_back({.src = faces[f].grid.node(i, j),
+                          .dst = faces[f].grid.node(i, (j + q - i) % q),
+                          .tags = {cur_a[f][i][j]}});
+        reqs_b.push_back({.src = faces[f].grid.node(i, j),
+                          .dst = faces[f].grid.node((i + q - j) % q, j),
+                          .tags = {cur_b[f][i][j]}});
+      }
+    }
+  }
+  const Schedule align_a = route_p2p(machine.cube(), machine.port(), reqs_a);
+  const Schedule align_b = route_p2p(machine.cube(), machine.port(), reqs_b);
+  if (machine.port() == PortModel::kMultiPort) {
+    const Schedule both[] = {align_a, align_b};
+    machine.run(par(both));
+  } else {
+    machine.run(align_a);
+    machine.run(align_b);
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    std::vector<std::vector<Tag>> na(q, std::vector<Tag>(q));
+    std::vector<std::vector<Tag>> nb(q, std::vector<Tag>(q));
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        na[i][(j + q - i) % q] = cur_a[f][i][j];
+        nb[(i + q - j) % q][j] = cur_b[f][i][j];
+      }
+    }
+    cur_a[f] = std::move(na);
+    cur_b[f] = std::move(nb);
+  }
+
+  // q steps of multiply-add; q-1 of them followed by a unit shift of A
+  // left along each row ring and of B up along each column ring.
+  machine.begin_phase(phase_prefix + "steps");
+  for (std::uint32_t step = 0; step < q; ++step) {
+    std::vector<GemmJob> jobs;
+    jobs.reserve(nf * q * q);
+    std::vector<std::pair<NodeId, Tag>> dests;
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          const NodeId node = faces[f].grid.node(i, j);
+          jobs.push_back(GemmJob{node,
+                                 mat_from(store, node, cur_a[f][i][j], ar, ac),
+                                 mat_from(store, node, cur_b[f][i][j], ac, bc)});
+          dests.emplace_back(node, faces[f].c_tag(i, j));
+        }
+      }
+    }
+    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
+      store.combine(dests[idx].first, dests[idx].second,
+                    std::make_shared<const std::vector<double>>(
+                        std::move(m).take()));
+    });
+    if (step + 1 == q) break;
+
+    // Ring position along a row is the column coordinate; along a column it
+    // is the row coordinate.
+    std::vector<Schedule> shifts_a;
+    std::vector<Schedule> shifts_b;
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::uint32_t i = 0; i < q; ++i) {
+        std::vector<std::vector<Tag>> row_tags(q);
+        for (std::uint32_t c = 0; c < q; ++c) row_tags[c] = {cur_a[f][i][c]};
+        shifts_a.push_back(
+            coll::ring_shift_unit(faces[f].grid.row_chain(i), row_tags, -1));
+      }
+      for (std::uint32_t c = 0; c < q; ++c) {
+        std::vector<std::vector<Tag>> col_tags(q);
+        for (std::uint32_t i = 0; i < q; ++i) col_tags[i] = {cur_b[f][i][c]};
+        shifts_b.push_back(
+            coll::ring_shift_unit(faces[f].grid.col_chain(c), col_tags, -1));
+      }
+    }
+    const Schedule shift_a = par(shifts_a);
+    const Schedule shift_b = par(shifts_b);
+    if (machine.port() == PortModel::kMultiPort) {
+      const Schedule both[] = {shift_a, shift_b};
+      machine.run(par(both));
+    } else {
+      machine.run(shift_a);
+      machine.run(shift_b);
+    }
+    // Apply the circular moves to the tag maps.
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::uint32_t i = 0; i < q; ++i) {
+        std::vector<Tag> row(q);
+        for (std::uint32_t c = 0; c < q; ++c) {
+          row[(c + q - 1) % q] = cur_a[f][i][c];
+        }
+        cur_a[f][i] = std::move(row);
+      }
+      for (std::uint32_t c = 0; c < q; ++c) {
+        std::vector<Tag> col(q);
+        for (std::uint32_t i = 0; i < q; ++i) {
+          col[(i + q - 1) % q] = cur_b[f][i][c];
+        }
+        for (std::uint32_t i = 0; i < q; ++i) cur_b[f][i][c] = col[i];
+      }
+    }
+  }
+}
+
+void cannon_core(Machine& machine, const GridFace& face,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& a_tag,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& b_tag,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& c_tag,
+                 std::size_t ar, std::size_t ac, std::size_t bc,
+                 const std::string& phase_prefix) {
+  const CannonFace faces[] = {CannonFace{face, a_tag, b_tag, c_tag}};
+  cannon_lockstep(machine, faces, ar, ac, bc, phase_prefix);
+}
+
+void stage_blocks(Machine& machine, const Matrix& a, std::uint32_t bh,
+                  std::uint32_t bw,
+                  const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
+                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag) {
+  HCMM_CHECK(a.rows() % bh == 0 && a.cols() % bw == 0,
+             "stage_blocks: " << a.rows() << "x" << a.cols()
+                              << " not divisible into " << bh << "x" << bw
+                              << " blocks");
+  const std::size_t h = a.rows() / bh;
+  const std::size_t w = a.cols() / bw;
+  for (std::uint32_t bi = 0; bi < bh; ++bi) {
+    for (std::uint32_t bj = 0; bj < bw; ++bj) {
+      put_mat(machine.store(), placer(bi, bj), tag(bi, bj),
+              a.block(bi * h, bj * w, h, w));
+    }
+  }
+}
+
+Matrix gather_blocks(
+    const Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
+    const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
+    const std::function<Tag(std::uint32_t, std::uint32_t)>& tag) {
+  Matrix out(n, n);
+  const std::size_t h = n / bh;
+  const std::size_t w = n / bw;
+  for (std::uint32_t bi = 0; bi < bh; ++bi) {
+    for (std::uint32_t bj = 0; bj < bw; ++bj) {
+      out.set_block(bi * h, bj * w,
+                    mat_from(machine.store(), placer(bi, bj), tag(bi, bj), h, w));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm::algo::detail

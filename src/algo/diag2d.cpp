@@ -1,0 +1,137 @@
+// 2-D Diagonal algorithm (paper §4.1.1) — the building block of the 3-D
+// Diagonal scheme, runnable in its own right.  Matrix A is split into q
+// column groups and B into q row groups, both held by the diagonal
+// processors p_{j,j} of a q x q grid.  Column j of processors computes the
+// outer product of group j: p_{j,j} broadcasts its A columns and scatters
+// its B rows down the processor column, every node multiplies, and partial
+// results reduce across processor rows back onto the diagonal, leaving C
+// aligned exactly like A.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Diag2D final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kDiag2D; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p)) return false;
+    if (exact_log2(p) % 2 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 2);
+    // Column groups of A and row groups of B must split evenly, and the
+    // scatter pieces of B are (n/q) x (n/q) blocks.
+    return n % q == 0 && q <= n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Diag2D: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "Diag2D: not applicable for n=" << n << " p="
+                                               << machine.cube().size());
+    const Grid2D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t w = n / q;  // group width
+    DataStore& store = machine.store();
+
+    // Stage: p_{j,j} holds A's column group j (n x w) and B's row group j
+    // (w x n), the latter pre-cut into its q scatter pieces (w x w each).
+    auto ta = [](std::uint32_t j) { return tag3(kSpaceA, j); };
+    auto tb_piece = [](std::uint32_t j, std::uint32_t i) {
+      return tag3(kSpacePieceB, j, i);
+    };
+    auto tc_piece = [](std::uint32_t i) { return tag3(kSpaceC, i); };
+    for (std::uint32_t j = 0; j < q; ++j) {
+      const NodeId diag = grid.node(j, j);
+      put_mat(store, diag, ta(j), a.block(0, j * w, n, w));
+      for (std::uint32_t i = 0; i < q; ++i) {
+        put_mat(store, diag, tb_piece(j, i), b.block(j * w, i * w, w, w));
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: p_{j,j} scatters B pieces down its processor column (piece i
+    // to p_{i,j}).  All columns run concurrently (disjoint chains).
+    machine.begin_phase("scatter B");
+    {
+      std::vector<coll::PreparedColl> scatters;
+      for (std::uint32_t j = 0; j < q; ++j) {
+        const Subcube chain = grid.col_chain(j);
+        std::vector<Tag> tags(q);
+        for (std::uint32_t i = 0; i < q; ++i) {
+          tags[chain.rank_of(grid.node(i, j))] = tb_piece(j, i);
+        }
+        scatters.push_back(
+            coll::prep_scatter(machine, chain, grid.node(j, j), tags));
+      }
+      coll::run_prepared(machine, scatters);
+    }
+
+    // Phase 2: p_{j,j} broadcasts its A column group down the same chains.
+    machine.begin_phase("bcast A");
+    {
+      std::vector<coll::PreparedColl> bcasts;
+      for (std::uint32_t j = 0; j < q; ++j) {
+        bcasts.push_back(coll::prep_bcast(machine, grid.col_chain(j),
+                                          grid.node(j, j), ta(j)));
+      }
+      coll::run_prepared(machine, bcasts);
+    }
+
+    // Compute: p_{i,j} forms columns [i*w, (i+1)*w) of outer product j:
+    // A-group-j (n x w) times B piece (w x w).
+    machine.begin_phase("compute");
+    {
+      std::vector<GemmJob> jobs;
+      std::vector<std::pair<NodeId, Tag>> dests;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          const NodeId nd = grid.node(i, j);
+          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(j), n, w),
+                                 mat_from(store, nd, tb_piece(j, i), w, w)});
+          dests.emplace_back(nd, tc_piece(i));
+        }
+      }
+      run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
+        put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
+      });
+    }
+
+    // Phase 3: reduce C's column group i across processor row i onto the
+    // diagonal p_{i,i}.
+    machine.begin_phase("reduce");
+    {
+      std::vector<coll::PreparedColl> reduces;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        reduces.push_back(coll::prep_reduce(machine, grid.row_chain(i),
+                                            grid.node(i, i), tc_piece(i)));
+      }
+      coll::run_prepared(machine, reduces);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      out.c.set_block(0, i * w,
+                      mat_from(store, grid.node(i, i), tc_piece(i), n, w));
+    }
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_diag2d() {
+  return std::make_unique<Diag2D>();
+}
+
+}  // namespace hcmm::algo::detail

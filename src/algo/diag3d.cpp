@@ -1,0 +1,138 @@
+// 3-D Diagonal algorithm (paper §4.1.2) — the first of the paper's two new
+// algorithms.  Operands live on the diagonal plane x = y of a cbrt(p)^3
+// grid, identically distributed: p_{i,i,k} holds A_{k,i} and B_{k,i}.
+// Phase 1 moves B blocks point-to-point to the plane y = z; phase 2
+// broadcasts A along x and the relocated B along z (overlapping on
+// multi-port nodes); each node multiplies one block pair; phase 3 reduces
+// along y back onto the diagonal plane, leaving C aligned like A and B.
+// Versus DNS this saves a third of the start-ups and words (Table 2).
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Diag3D final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kDiag3D; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 3 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 3);
+    return n % q == 0 &&
+           static_cast<std::uint64_t>(p) <=
+               static_cast<std::uint64_t>(n) * n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Diag3D: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "Diag3D: not applicable for n=" << n << " p="
+                                               << machine.cube().size());
+    const Grid3D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t blk = n / q;
+    DataStore& store = machine.store();
+    auto ta = [](std::uint32_t k, std::uint32_t i) { return tag3(kSpaceA, k, i); };
+    auto tb = [](std::uint32_t k, std::uint32_t i) { return tag3(kSpaceB, k, i); };
+    auto tc = [](std::uint32_t k, std::uint32_t i) { return tag3(kSpaceC, k, i); };
+
+    // Stage on the diagonal plane: p_{i,i,k} holds A_{k,i} and B_{k,i}.
+    auto diag_node = [&grid](std::uint32_t k, std::uint32_t i) {
+      return grid.node(i, i, k);
+    };
+    stage_blocks(machine, a, q, q, diag_node, ta);
+    stage_blocks(machine, b, q, q, diag_node, tb);
+    machine.reset_stats();
+
+    // Phase 1: p_{i,i,k} sends B_{k,i} to p_{i,k,k}.  Each message travels
+    // inside its own y-chain, so the pattern is congestion-free and takes
+    // log q rounds.
+    machine.begin_phase("p2p B");
+    std::vector<RouteRequest> reqs;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        if (i == k) continue;
+        reqs.push_back({.src = grid.node(i, i, k),
+                        .dst = grid.node(i, k, k),
+                        .tags = {tb(k, i)}});
+      }
+    }
+    coll::op_route(machine, reqs);
+
+    // Phase 2: p_{i,i,k} broadcasts A_{k,i} along x to p_{*,i,k};
+    // p_{i,k,k} broadcasts B_{k,i} along z to p_{i,k,*}.
+    std::vector<coll::PreparedColl> bcast_a;
+    std::vector<coll::PreparedColl> bcast_b;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        bcast_a.push_back(coll::prep_bcast(machine, grid.x_chain(i, k),
+                                           grid.node(i, i, k), ta(k, i)));
+        bcast_b.push_back(coll::prep_bcast(machine, grid.z_chain(i, k),
+                                           grid.node(i, k, k), tb(k, i)));
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("bcast A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : bcast_a) all.push_back(std::move(c));
+      for (auto& c : bcast_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("bcast A");
+      coll::run_prepared(machine, bcast_a);
+      machine.begin_phase("bcast B");
+      coll::run_prepared(machine, bcast_b);
+    }
+
+    // Compute: p_{i,j,k} forms I_{k,i} = A_{k,j} * B_{j,i}.
+    machine.begin_phase("compute");
+    std::vector<GemmJob> jobs;
+    std::vector<std::pair<NodeId, Tag>> dests;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const NodeId nd = grid.node(i, j, k);
+          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(k, j), blk, blk),
+                                 mat_from(store, nd, tb(j, i), blk, blk)});
+          dests.emplace_back(nd, tc(k, i));
+        }
+      }
+    }
+    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
+      put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
+    });
+
+    // Phase 3: all-to-one reduction along y onto the diagonal plane.
+    machine.begin_phase("reduce");
+    std::vector<coll::PreparedColl> reduces;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        reduces.push_back(coll::prep_reduce(machine, grid.y_chain(i, k),
+                                            grid.node(i, i, k), tc(k, i)));
+      }
+    }
+    coll::run_prepared(machine, reduces);
+
+    RunResult out;
+    out.c = gather_blocks(machine, n, q, q, diag_node, tc);
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_diag3d() {
+  return std::make_unique<Diag3D>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,228 @@
+// 3-D Diagonal x Cannon combination (paper §3.5): the hypercube is viewed
+// as a sigma^3 grid of supernodes, each a rho x rho Cannon mesh
+// (p = sigma^3 rho^2).  Superblocks move between supernodes exactly as in
+// the 3-D Diagonal algorithm — per intra-position (u, v), over chains of
+// corresponding processors — and each supernode multiplies its superblock
+// pair with Cannon's algorithm internally.  The paper presents only the
+// DNS x Cannon instance and notes that "the combination of any proposed new
+// algorithm with Cannon's algorithm would yield an algorithm better than
+// the combination algorithm of the DNS and Cannon"; this is that better
+// combination.  Space drops from 2n^2 p^{1/3} to 2n^2 sigma at the price of
+// 2(rho - 1) extra start-ups, and the sigma^3 rho^2 shapes fill the
+// processor counts where no pure algorithm applies (p = 32, 128, ...).
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/algo/supergrid.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Diag3DCannon final : public DistributedMatmul {
+ public:
+  explicit Diag3DCannon(
+      std::optional<std::pair<std::uint32_t, std::uint32_t>> split)
+      : split_(split) {}
+
+  [[nodiscard]] AlgoId id() const noexcept override {
+    return AlgoId::kDiag3DCannon;
+  }
+
+  [[nodiscard]] std::optional<std::pair<std::uint32_t, std::uint32_t>>
+  split_for(std::uint32_t p) const {
+    if (split_) {
+      const auto [sigma, rho] = *split_;
+      if (static_cast<std::uint64_t>(sigma) * sigma * sigma * rho * rho != p) {
+        return std::nullopt;
+      }
+      return split_;
+    }
+    return default_super_split(p);
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    const auto split = split_for(p);
+    if (!split) return false;
+    const auto [sigma, rho] = *split;
+    const std::uint64_t side = static_cast<std::uint64_t>(sigma) * rho;
+    return n % side == 0 &&
+           static_cast<std::uint64_t>(p) <=
+               static_cast<std::uint64_t>(n) * n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    const std::uint32_t p = machine.cube().size();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Diag3DCannon: square operands required");
+    HCMM_CHECK(applicable(n, p), "Diag3DCannon: not applicable for n="
+                                     << n << " p=" << p);
+    const auto [sigma, rho] = *split_for(p);
+    const SuperGrid sg(sigma, rho);
+    const std::size_t bs = n / (static_cast<std::size_t>(sigma) * rho);
+    DataStore& store = machine.store();
+
+    // Superblock (r, c) of A, sub-block (u, v): tag packs (r*sigma + c).
+    auto ta = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceA, r * sigma + c, u, v);
+    };
+    auto tb = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceB, r * sigma + c, u, v);
+    };
+    auto ti = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceI, r * sigma + c, u, v);
+    };
+    auto sub = [&](const Matrix& src, std::uint32_t r, std::uint32_t c,
+                   std::uint32_t u, std::uint32_t v) {
+      return src.block((static_cast<std::size_t>(r) * rho + u) * bs,
+                       (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
+    };
+
+    // Stage on the diagonal supernode plane: supernode (i,i,k) holds the
+    // superblocks A_{k,i} and B_{k,i}, Cannon-checkerboarded.
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t k = 0; k < sigma; ++k) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            const NodeId nd = sg.node(u, v, i, i, k);
+            put_mat(store, nd, ta(k, i, u, v), sub(a, k, i, u, v));
+            put_mat(store, nd, tb(k, i, u, v), sub(b, k, i, u, v));
+          }
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: B superblocks to the plane y = z, per intra-position.
+    machine.begin_phase("p2p B");
+    {
+      std::vector<RouteRequest> reqs;
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t k = 0; k < sigma; ++k) {
+          if (i == k) continue;
+          for (std::uint32_t u = 0; u < rho; ++u) {
+            for (std::uint32_t v = 0; v < rho; ++v) {
+              reqs.push_back({.src = sg.node(u, v, i, i, k),
+                              .dst = sg.node(u, v, i, k, k),
+                              .tags = {tb(k, i, u, v)}});
+            }
+          }
+        }
+      }
+      coll::op_route(machine, reqs);
+    }
+
+    // Phase 2: A along supernode-x, relocated B along supernode-z.
+    std::vector<coll::PreparedColl> bcast_a;
+    std::vector<coll::PreparedColl> bcast_b;
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t k = 0; k < sigma; ++k) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            bcast_a.push_back(coll::prep_bcast(machine,
+                                               sg.super_x_chain(u, v, i, k),
+                                               sg.node(u, v, i, i, k),
+                                               ta(k, i, u, v)));
+            bcast_b.push_back(coll::prep_bcast(machine,
+                                               sg.super_z_chain(u, v, i, k),
+                                               sg.node(u, v, i, k, k),
+                                               tb(k, i, u, v)));
+          }
+        }
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("bcast A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : bcast_a) all.push_back(std::move(c));
+      for (auto& c : bcast_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("bcast A");
+      coll::run_prepared(machine, bcast_a);
+      machine.begin_phase("bcast B");
+      coll::run_prepared(machine, bcast_b);
+    }
+
+    // Compute: every supernode (i,j,k) multiplies A_{k,j} * B_{j,i} with
+    // Cannon on its rho x rho face; all sigma^3 faces run in lockstep.
+    {
+      std::vector<CannonFace> faces;
+      faces.reserve(static_cast<std::size_t>(sigma) * sigma * sigma);
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t j = 0; j < sigma; ++j) {
+          for (std::uint32_t k = 0; k < sigma; ++k) {
+            faces.push_back(CannonFace{
+                sg.face(i, j, k),
+                [ta, k, j](std::uint32_t u, std::uint32_t v) {
+                  return ta(k, j, u, v);
+                },
+                [tb, j, i](std::uint32_t u, std::uint32_t v) {
+                  return tb(j, i, u, v);
+                },
+                [ti, k, i](std::uint32_t u, std::uint32_t v) {
+                  return ti(k, i, u, v);
+                },
+            });
+          }
+        }
+      }
+      cannon_lockstep(machine, faces, bs, bs, bs, "cannon ");
+    }
+
+    // Phase 3: reduce the supernode partial products along supernode-y
+    // back onto the diagonal plane.
+    machine.begin_phase("reduce");
+    {
+      std::vector<coll::PreparedColl> reduces;
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t k = 0; k < sigma; ++k) {
+          for (std::uint32_t u = 0; u < rho; ++u) {
+            for (std::uint32_t v = 0; v < rho; ++v) {
+              reduces.push_back(coll::prep_reduce(
+                  machine, sg.super_y_chain(u, v, i, k),
+                  sg.node(u, v, i, i, k), ti(k, i, u, v)));
+            }
+          }
+        }
+      }
+      coll::run_prepared(machine, reduces);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t k = 0; k < sigma; ++k) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            out.c.set_block((static_cast<std::size_t>(k) * rho + u) * bs,
+                            (static_cast<std::size_t>(i) * rho + v) * bs,
+                            mat_from(store, sg.node(u, v, i, i, k),
+                                     ti(k, i, u, v), bs, bs));
+          }
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+
+ private:
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> split_;
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_diag3d_cannon(
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> split) {
+  return std::make_unique<Diag3DCannon>(split);
+}
+
+}  // namespace hcmm::algo::detail

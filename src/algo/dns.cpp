@@ -1,0 +1,141 @@
+// Dekel–Nassimi–Sahni (paper §3.5, generalized block form): operands start
+// on the z = 0 face of a cbrt(p)^3 grid; A and B travel to their diagonal
+// planes point-to-point, are broadcast along y / x, every node multiplies
+// one block pair, and partial products reduce along z back to the face.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Dns final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kDNS; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p) || exact_log2(p) % 3 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 3);
+    return n % q == 0 &&
+           static_cast<std::uint64_t>(p) <=
+               static_cast<std::uint64_t>(n) * n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "DNS: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "DNS: not applicable for n=" << n << " p="
+                                            << machine.cube().size());
+    const Grid3D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t blk = n / q;
+    DataStore& store = machine.store();
+    auto ta = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceA, i, j); };
+    auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
+    auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
+    auto face_node = [&grid](std::uint32_t i, std::uint32_t j) {
+      return grid.node(i, j, 0);
+    };
+
+    stage_blocks(machine, a, q, q, face_node, ta);
+    stage_blocks(machine, b, q, q, face_node, tb);
+    machine.reset_stats();
+
+    // Phase 1: A_ij to p_{i,j,j} and B_ij to p_{i,j,i}, point-to-point
+    // along z.  Both messages leave the same source, so they serialize on
+    // one-port nodes and contend for z links on multi-port nodes, exactly
+    // the paper's observation that this phase cannot be overlapped.
+    machine.begin_phase("p2p to planes");
+    std::vector<RouteRequest> reqs;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        if (j != 0) {
+          reqs.push_back({.src = grid.node(i, j, 0),
+                          .dst = grid.node(i, j, j),
+                          .tags = {ta(i, j)}});
+        }
+        if (i != 0) {
+          reqs.push_back({.src = grid.node(i, j, 0),
+                          .dst = grid.node(i, j, i),
+                          .tags = {tb(i, j)}});
+        }
+      }
+    }
+    coll::op_route(machine, reqs);
+
+    // Phase 2: broadcast A_ij from p_{i,j,j} along y (to p_{i,*,j}) and
+    // B_ij from p_{i,j,i} along x (to p_{*,j,i}); afterwards p_{i,j,k}
+    // holds A_{i,k} and B_{k,j}.  Multi-port overlaps the two.
+    std::vector<coll::PreparedColl> bcast_a;
+    std::vector<coll::PreparedColl> bcast_b;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        bcast_a.push_back(coll::prep_bcast(machine, grid.y_chain(i, j),
+                                           grid.node(i, j, j), ta(i, j)));
+        bcast_b.push_back(coll::prep_bcast(machine, grid.x_chain(j, i),
+                                           grid.node(i, j, i), tb(i, j)));
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("bcast A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : bcast_a) all.push_back(std::move(c));
+      for (auto& c : bcast_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("bcast A");
+      coll::run_prepared(machine, bcast_a);
+      machine.begin_phase("bcast B");
+      coll::run_prepared(machine, bcast_b);
+    }
+
+    // Compute: p_{i,j,k} multiplies A_{i,k} * B_{k,j}.
+    machine.begin_phase("compute");
+    std::vector<GemmJob> jobs;
+    std::vector<std::pair<NodeId, Tag>> dests;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        for (std::uint32_t k = 0; k < q; ++k) {
+          const NodeId nd = grid.node(i, j, k);
+          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(i, k), blk, blk),
+                                 mat_from(store, nd, tb(k, j), blk, blk)});
+          dests.emplace_back(nd, tc(i, j));
+        }
+      }
+    }
+    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
+      put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
+    });
+
+    // Phase 3: all-to-one reduction along z back to the face.
+    machine.begin_phase("reduce");
+    std::vector<coll::PreparedColl> reduces;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        reduces.push_back(coll::prep_reduce(machine, grid.z_chain(i, j),
+                                            grid.node(i, j, 0), tc(i, j)));
+      }
+    }
+    coll::run_prepared(machine, reduces);
+
+    RunResult out;
+    out.c = gather_blocks(machine, n, q, q, face_node, tc);
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_dns() {
+  return std::make_unique<Dns>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,226 @@
+// DNS x Cannon combination (paper §3.5): the generalized Dekel–Nassimi–
+// Sahni scheme on a sigma^3 grid of supernodes, each computing its
+// superblock product with Cannon on a rho x rho mesh (p = sigma^3 rho^2).
+// This is the combination the paper describes and then deliberately omits,
+// because 3DD x Cannon (diag3d_cannon.cpp) dominates it — which our
+// benches confirm.  It is the space-saving DNS: replication drops from
+// 2n^2 p^{1/3} to 2n^2 sigma.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/algo/supergrid.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/route.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class DnsCannon final : public DistributedMatmul {
+ public:
+  explicit DnsCannon(
+      std::optional<std::pair<std::uint32_t, std::uint32_t>> split)
+      : split_(split) {}
+
+  [[nodiscard]] AlgoId id() const noexcept override {
+    return AlgoId::kDNSCannon;
+  }
+
+  [[nodiscard]] std::optional<std::pair<std::uint32_t, std::uint32_t>>
+  split_for(std::uint32_t p) const {
+    if (split_) {
+      const auto [sigma, rho] = *split_;
+      if (static_cast<std::uint64_t>(sigma) * sigma * sigma * rho * rho != p) {
+        return std::nullopt;
+      }
+      return split_;
+    }
+    return default_super_split(p);
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    const auto split = split_for(p);
+    if (!split) return false;
+    const auto [sigma, rho] = *split;
+    const std::uint64_t side = static_cast<std::uint64_t>(sigma) * rho;
+    return n % side == 0 &&
+           static_cast<std::uint64_t>(p) <=
+               static_cast<std::uint64_t>(n) * n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    const std::uint32_t p = machine.cube().size();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "DnsCannon: square operands required");
+    HCMM_CHECK(applicable(n, p),
+               "DnsCannon: not applicable for n=" << n << " p=" << p);
+    const auto [sigma, rho] = *split_for(p);
+    const SuperGrid sg(sigma, rho);
+    const std::size_t bs = n / (static_cast<std::size_t>(sigma) * rho);
+    DataStore& store = machine.store();
+
+    auto ta = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceA, r * sigma + c, u, v);
+    };
+    auto tb = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceB, r * sigma + c, u, v);
+    };
+    auto tc = [sigma = sigma](std::uint32_t r, std::uint32_t c,
+                              std::uint32_t u, std::uint32_t v) {
+      return tag3(kSpaceC, r * sigma + c, u, v);
+    };
+    auto sub = [&](const Matrix& src, std::uint32_t r, std::uint32_t c,
+                   std::uint32_t u, std::uint32_t v) {
+      return src.block((static_cast<std::size_t>(r) * rho + u) * bs,
+                       (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
+    };
+
+    // Stage on the z = 0 supernode face.
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t j = 0; j < sigma; ++j) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            const NodeId nd = sg.node(u, v, i, j, 0);
+            put_mat(store, nd, ta(i, j, u, v), sub(a, i, j, u, v));
+            put_mat(store, nd, tb(i, j, u, v), sub(b, i, j, u, v));
+          }
+        }
+      }
+    }
+    machine.reset_stats();
+
+    // Phase 1: A_{ij} to supernode (i,j,j) and B_{ij} to (i,j,i), per
+    // intra-position, point-to-point along supernode-z.
+    machine.begin_phase("p2p to planes");
+    {
+      std::vector<RouteRequest> reqs;
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t j = 0; j < sigma; ++j) {
+          for (std::uint32_t u = 0; u < rho; ++u) {
+            for (std::uint32_t v = 0; v < rho; ++v) {
+              if (j != 0) {
+                reqs.push_back({.src = sg.node(u, v, i, j, 0),
+                                .dst = sg.node(u, v, i, j, j),
+                                .tags = {ta(i, j, u, v)}});
+              }
+              if (i != 0) {
+                reqs.push_back({.src = sg.node(u, v, i, j, 0),
+                                .dst = sg.node(u, v, i, j, i),
+                                .tags = {tb(i, j, u, v)}});
+              }
+            }
+          }
+        }
+      }
+      coll::op_route(machine, reqs);
+    }
+
+    // Phase 2: A along supernode-y, B along supernode-x.
+    std::vector<coll::PreparedColl> bcast_a;
+    std::vector<coll::PreparedColl> bcast_b;
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t j = 0; j < sigma; ++j) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            bcast_a.push_back(coll::prep_bcast(machine,
+                                               sg.super_y_chain(u, v, i, j),
+                                               sg.node(u, v, i, j, j),
+                                               ta(i, j, u, v)));
+            bcast_b.push_back(coll::prep_bcast(machine,
+                                               sg.super_x_chain(u, v, j, i),
+                                               sg.node(u, v, i, j, i),
+                                               tb(i, j, u, v)));
+          }
+        }
+      }
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("bcast A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : bcast_a) all.push_back(std::move(c));
+      for (auto& c : bcast_b) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("bcast A");
+      coll::run_prepared(machine, bcast_a);
+      machine.begin_phase("bcast B");
+      coll::run_prepared(machine, bcast_b);
+    }
+
+    // Compute: supernode (i,j,k) multiplies A_{i,k} * B_{k,j} with Cannon.
+    {
+      std::vector<CannonFace> faces;
+      faces.reserve(static_cast<std::size_t>(sigma) * sigma * sigma);
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t j = 0; j < sigma; ++j) {
+          for (std::uint32_t k = 0; k < sigma; ++k) {
+            faces.push_back(CannonFace{
+                sg.face(i, j, k),
+                [ta, i, k](std::uint32_t u, std::uint32_t v) {
+                  return ta(i, k, u, v);
+                },
+                [tb, k, j](std::uint32_t u, std::uint32_t v) {
+                  return tb(k, j, u, v);
+                },
+                [tc, i, j](std::uint32_t u, std::uint32_t v) {
+                  return tc(i, j, u, v);
+                },
+            });
+          }
+        }
+      }
+      cannon_lockstep(machine, faces, bs, bs, bs, "cannon ");
+    }
+
+    // Phase 3: reduce along supernode-z back to the face.
+    machine.begin_phase("reduce");
+    {
+      std::vector<coll::PreparedColl> reduces;
+      for (std::uint32_t i = 0; i < sigma; ++i) {
+        for (std::uint32_t j = 0; j < sigma; ++j) {
+          for (std::uint32_t u = 0; u < rho; ++u) {
+            for (std::uint32_t v = 0; v < rho; ++v) {
+              reduces.push_back(coll::prep_reduce(
+                  machine, sg.super_z_chain(u, v, i, j),
+                  sg.node(u, v, i, j, 0), tc(i, j, u, v)));
+            }
+          }
+        }
+      }
+      coll::run_prepared(machine, reduces);
+    }
+
+    RunResult out;
+    out.c = Matrix(n, n);
+    for (std::uint32_t i = 0; i < sigma; ++i) {
+      for (std::uint32_t j = 0; j < sigma; ++j) {
+        for (std::uint32_t u = 0; u < rho; ++u) {
+          for (std::uint32_t v = 0; v < rho; ++v) {
+            out.c.set_block((static_cast<std::size_t>(i) * rho + u) * bs,
+                            (static_cast<std::size_t>(j) * rho + v) * bs,
+                            mat_from(store, sg.node(u, v, i, j, 0),
+                                     tc(i, j, u, v), bs, bs));
+          }
+        }
+      }
+    }
+    out.report = machine.report();
+    return out;
+  }
+
+ private:
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> split_;
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_dns_cannon(
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> split) {
+  return std::make_unique<DnsCannon>(split);
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,232 @@
+// Ho–Johnsson–Edelman (paper §3.3, Algorithm 1): Cannon's algorithm
+// re-engineered to use the full bandwidth of a multi-port hypercube.  Each
+// local A block is cut into log q column groups and each B block into
+// log q row groups; group l follows its own Hamiltonian walk whose
+// dimension sequence is the binary-reflected Gray code's rotated left by l,
+// so at every step the log q groups of A travel on distinct row links and
+// the log q groups of B on distinct column links — all 2 log q ports busy,
+// shrinking the per-step data term by a factor of log q.
+//
+// Alignment is the XOR skew of Algorithm 1's first loop: A's column field
+// is XORed with the row field (and vice versa for B) one bit at a time, so
+// after it processor (u, v) holds the operand pair with common k-index
+// gray_decode(u ^ v).  Each walk then visits each k-index exactly once
+// (accumulated masks rotl(gray(k), l) are distinct), which is the
+// correctness argument for summing group products per step.
+//
+// One-port machines gain nothing over Cannon here (the paper lists "-"),
+// so this implementation is multi-port only.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/gray.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Hje final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kHJE; }
+
+  [[nodiscard]] bool supports(PortModel port) const override {
+    return port == PortModel::kMultiPort;
+  }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p)) return false;
+    if (exact_log2(p) % 2 != 0) return false;
+    const std::uint32_t q = 1u << (exact_log2(p) / 2);
+    const std::uint32_t g = exact_log2(p) / 2;
+    // The paper requires each processor to hold at least log sqrt(p) rows
+    // and columns: n / sqrt(p) >= log sqrt(p).
+    return n % q == 0 && n / q >= std::max(1u, g);
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "HJE: square operands required");
+    HCMM_CHECK(machine.port() == PortModel::kMultiPort,
+               "HJE: defined for multi-port hypercubes only");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "HJE: not applicable for n=" << n << " p="
+                                            << machine.cube().size());
+    const Grid2D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::uint32_t g = grid.chain_dim();
+    const std::size_t blk = n / q;
+    const std::uint32_t p = grid.p();
+    DataStore& store = machine.store();
+
+    auto ta = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceA, i, j); };
+    auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
+    auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
+    auto node_of = [&grid](std::uint32_t i, std::uint32_t j) {
+      return grid.node(i, j);
+    };
+    stage_blocks(machine, a, q, q, node_of, ta);
+    stage_blocks(machine, b, q, q, node_of, tb);
+    machine.reset_stats();
+
+    // Current whole-block tag per node (indexed by node id).
+    std::vector<Tag> cur_a(p), cur_b(p);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < q; ++j) {
+        cur_a[node_of(i, j)] = ta(i, j);
+        cur_b[node_of(i, j)] = tb(i, j);
+        put_mat(store, node_of(i, j), tc(i, j), Matrix(blk, blk));
+      }
+    }
+
+    // Alignment: bit k of the row field (global bit g+k) drives an exchange
+    // of A across column-field bit k, and vice versa for B — Algorithm 1's
+    // first loop.  A and B exchanges ride different fields, so each of the
+    // g rounds carries both.
+    machine.begin_phase("xor align");
+    for (std::uint32_t k = 0; k < g; ++k) {
+      Round round;
+      std::vector<Tag> next_a = cur_a;
+      std::vector<Tag> next_b = cur_b;
+      for (NodeId nd = 0; nd < p; ++nd) {
+        const std::uint32_t v = nd & (q - 1);  // column field
+        const std::uint32_t u = nd >> g;       // row field
+        if (bit_of(u, k) != 0) {
+          const NodeId partner = flip_bit(nd, k);
+          round.transfers.push_back(Transfer{.src = nd,
+                                             .dst = partner,
+                                             .tags = {cur_a[nd]},
+                                             .combine = false,
+                                             .move_src = true});
+          next_a[partner] = cur_a[nd];
+        }
+        if (bit_of(v, k) != 0) {
+          const NodeId partner = flip_bit(nd, g + k);
+          round.transfers.push_back(Transfer{.src = nd,
+                                             .dst = partner,
+                                             .tags = {cur_b[nd]},
+                                             .combine = false,
+                                             .move_src = true});
+          next_b[partner] = cur_b[nd];
+        }
+      }
+      Schedule s;
+      s.rounds.push_back(std::move(round));
+      machine.run(s);
+      cur_a = std::move(next_a);
+      cur_b = std::move(next_b);
+    }
+
+    // Cut every aligned block into g pieces (A by columns, B by rows).
+    // Piece widths follow chunk_bounds over the block edge.
+    auto tpa = [](std::uint32_t i, std::uint32_t j, std::uint32_t l) {
+      return tag3(kSpacePieceA, i, j, l);
+    };
+    auto tpb = [](std::uint32_t i, std::uint32_t j, std::uint32_t l) {
+      return tag3(kSpacePieceB, i, j, l);
+    };
+    // piece tag + owner-block coordinates currently held, per node, per l.
+    std::vector<std::vector<Tag>> cur_pa(p, std::vector<Tag>(g));
+    std::vector<std::vector<Tag>> cur_pb(p, std::vector<Tag>(g));
+    for (NodeId nd = 0; nd < p; ++nd) {
+      const Matrix am = mat_from(store, nd, cur_a[nd], blk, blk);
+      const Matrix bm = mat_from(store, nd, cur_b[nd], blk, blk);
+      const auto [ai, aj] = unpack(cur_a[nd]);
+      const auto [bi, bj] = unpack(cur_b[nd]);
+      store.erase(nd, cur_a[nd]);
+      store.erase(nd, cur_b[nd]);
+      for (std::uint32_t l = 0; l < g; ++l) {
+        const auto [lo, hi] = chunk_bounds(blk, g, l);
+        put_mat(store, nd, tpa(ai, aj, l), am.block(0, lo, blk, hi - lo));
+        put_mat(store, nd, tpb(bi, bj, l), bm.block(lo, 0, hi - lo, blk));
+        cur_pa[nd][l] = tpa(ai, aj, l);
+        cur_pb[nd][l] = tpb(bi, bj, l);
+      }
+    }
+
+    // Main loop: q multiply steps; between steps, piece l of A swaps across
+    // column-field bit (c_k + l) mod g and piece l of B across the same bit
+    // of the row field, where c_k is the Gray-code change bit of step k.
+    machine.begin_phase("steps");
+    for (std::uint32_t step = 0; step < q; ++step) {
+      std::vector<GemmJob> jobs;
+      std::vector<std::pair<NodeId, Tag>> dests;
+      for (NodeId nd = 0; nd < p; ++nd) {
+        const std::uint32_t v = nd & (q - 1);
+        const std::uint32_t u = nd >> g;
+        const Tag ct = tc(gray_decode(u), gray_decode(v));
+        for (std::uint32_t l = 0; l < g; ++l) {
+          const auto [lo, hi] = chunk_bounds(blk, g, l);
+          jobs.push_back(GemmJob{
+              nd, mat_from(store, nd, cur_pa[nd][l], blk, hi - lo),
+              mat_from(store, nd, cur_pb[nd][l], hi - lo, blk)});
+          dests.emplace_back(nd, ct);
+        }
+      }
+      // Group products accumulate into the node's C block.
+      std::vector<Matrix> csums(p);
+      for (NodeId nd = 0; nd < p; ++nd) csums[nd] = Matrix(blk, blk);
+      run_gemm_jobs(machine, std::move(jobs),
+                    [&](std::size_t idx, Matrix&& m) {
+                      csums[dests[idx].first] += m;
+                    });
+      for (NodeId nd = 0; nd < p; ++nd) {
+        store.combine(nd, dests[static_cast<std::size_t>(nd) * g].second,
+                      std::make_shared<const std::vector<double>>(
+                          std::move(csums[nd]).take()));
+      }
+      if (step + 1 == q) break;
+
+      const std::uint32_t c = gray_change_bit(step, g);
+      Round round;
+      std::vector<std::vector<Tag>> next_pa = cur_pa;
+      std::vector<std::vector<Tag>> next_pb = cur_pb;
+      for (NodeId nd = 0; nd < p; ++nd) {
+        for (std::uint32_t l = 0; l < g; ++l) {
+          const std::uint32_t delta = (c + l) % g;
+          const NodeId pa_partner = flip_bit(nd, delta);      // column field
+          const NodeId pb_partner = flip_bit(nd, g + delta);  // row field
+          round.transfers.push_back(Transfer{.src = nd,
+                                             .dst = pa_partner,
+                                             .tags = {cur_pa[nd][l]},
+                                             .combine = false,
+                                             .move_src = true});
+          next_pa[pa_partner][l] = cur_pa[nd][l];
+          round.transfers.push_back(Transfer{.src = nd,
+                                             .dst = pb_partner,
+                                             .tags = {cur_pb[nd][l]},
+                                             .combine = false,
+                                             .move_src = true});
+          next_pb[pb_partner][l] = cur_pb[nd][l];
+        }
+      }
+      Schedule s;
+      s.rounds.push_back(std::move(round));
+      machine.run(s);
+      cur_pa = std::move(next_pa);
+      cur_pb = std::move(next_pb);
+    }
+
+    RunResult out;
+    out.c = gather_blocks(machine, n, q, q, node_of, tc);
+    out.report = machine.report();
+    return out;
+  }
+
+ private:
+  // Recover (i, j) block coordinates from an A/B tag.
+  static std::pair<std::uint32_t, std::uint32_t> unpack(Tag t) {
+    return {static_cast<std::uint32_t>((t >> 32) & 0xFFFF),
+            static_cast<std::uint32_t>((t >> 16) & 0xFFFF)};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_hje() {
+  return std::make_unique<Hje>();
+}
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,33 @@
+#include "hcmm/algo/padded.hpp"
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::algo {
+
+std::size_t padded_size(const DistributedMatmul& alg, std::size_t n,
+                        std::uint32_t p) {
+  for (std::size_t cand = n; cand <= 4 * n; ++cand) {
+    if (alg.applicable(cand, p)) return cand;
+  }
+  return 0;
+}
+
+RunResult padded_multiply(const DistributedMatmul& alg, const Matrix& a,
+                          const Matrix& b, Machine& machine) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "padded_multiply: square operands required");
+  const std::size_t np = padded_size(alg, n, machine.cube().size());
+  HCMM_CHECK(np != 0, "padded_multiply: no applicable padded size for "
+                          << alg.name() << " at p=" << machine.cube().size());
+  if (np == n) return alg.run(a, b, machine);
+  Matrix ap(np, np);
+  Matrix bp(np, np);
+  ap.set_block(0, 0, a);
+  bp.set_block(0, 0, b);
+  RunResult r = alg.run(ap, bp, machine);
+  r.c = r.c.block(0, 0, n, n);
+  return r;
+}
+
+}  // namespace hcmm::algo

@@ -1,0 +1,58 @@
+#include "hcmm/algo/api.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::algo {
+
+const char* to_string(AlgoId id) noexcept {
+  switch (id) {
+    case AlgoId::kSimple:   return "Simple";
+    case AlgoId::kCannon:   return "Cannon";
+    case AlgoId::kHJE:      return "Ho-Johnsson-Edelman";
+    case AlgoId::kBerntsen: return "Berntsen";
+    case AlgoId::kDNS:      return "DNS";
+    case AlgoId::kDiag2D:   return "2D Diagonal";
+    case AlgoId::kDiag3D:   return "3D Diagonal";
+    case AlgoId::kAllTrans: return "3D All_Trans";
+    case AlgoId::kAll3D:    return "3D All";
+    case AlgoId::kAll3DRect: return "3D All (rect grid)";
+    case AlgoId::kDNSCannon: return "DNS x Cannon";
+    case AlgoId::kDiag3DCannon: return "3DD x Cannon";
+  }
+  return "?";
+}
+
+bool DistributedMatmul::supports(PortModel) const { return true; }
+
+std::unique_ptr<DistributedMatmul> make_algorithm(AlgoId id) {
+  switch (id) {
+    case AlgoId::kSimple:   return detail::make_simple();
+    case AlgoId::kCannon:   return detail::make_cannon();
+    case AlgoId::kHJE:      return detail::make_hje();
+    case AlgoId::kBerntsen: return detail::make_berntsen();
+    case AlgoId::kDNS:      return detail::make_dns();
+    case AlgoId::kDiag2D:   return detail::make_diag2d();
+    case AlgoId::kDiag3D:   return detail::make_diag3d();
+    case AlgoId::kAllTrans: return detail::make_alltrans();
+    case AlgoId::kAll3D:    return detail::make_all3d();
+    case AlgoId::kAll3DRect: return detail::make_all3d_rect();
+    case AlgoId::kDNSCannon: return detail::make_dns_cannon();
+    case AlgoId::kDiag3DCannon: return detail::make_diag3d_cannon();
+  }
+  HCMM_CHECK(false, "make_algorithm: unknown id");
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<DistributedMatmul>> all_algorithms() {
+  std::vector<std::unique_ptr<DistributedMatmul>> out;
+  for (const AlgoId id :
+       {AlgoId::kSimple, AlgoId::kCannon, AlgoId::kHJE, AlgoId::kBerntsen,
+        AlgoId::kDNS, AlgoId::kDiag2D, AlgoId::kDiag3D, AlgoId::kAllTrans,
+        AlgoId::kAll3D, AlgoId::kAll3DRect, AlgoId::kDNSCannon,
+        AlgoId::kDiag3DCannon}) {
+    out.push_back(make_algorithm(id));
+  }
+  return out;
+}
+
+}  // namespace hcmm::algo

@@ -1,0 +1,118 @@
+// Algorithm Simple (paper §3.1): block-checkerboard layout on a sqrt(p) x
+// sqrt(p) grid; every row all-to-all broadcasts its A blocks, every column
+// its B blocks, then each node owns everything it needs for its C block.
+// Space-hungry (2 n^2 sqrt(p) overall) but only 2 log sqrt(p) start-ups.
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm::algo::detail {
+namespace {
+
+class Simple final : public DistributedMatmul {
+ public:
+  [[nodiscard]] AlgoId id() const noexcept override { return AlgoId::kSimple; }
+
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override {
+    if (!is_pow2(p)) return false;
+    if (exact_log2(p) % 2 != 0) return false;  // needs a square grid
+    const std::uint32_t q = 1u << (exact_log2(p) / 2);
+    return n % q == 0 && static_cast<std::uint64_t>(p) <= n * n;
+  }
+
+  [[nodiscard]] RunResult run(const Matrix& a, const Matrix& b,
+                              Machine& machine) const override {
+    const std::size_t n = a.rows();
+    HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+               "Simple: square operands required");
+    HCMM_CHECK(applicable(n, machine.cube().size()),
+               "Simple: not applicable for n=" << n << " p="
+                                               << machine.cube().size());
+    const Grid2D grid(machine.cube().size());
+    const std::uint32_t q = grid.q();
+    const std::size_t blk = n / q;
+    auto node = [&grid](std::uint32_t i, std::uint32_t j) {
+      return grid.node(i, j);
+    };
+    auto ta = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceA, i, j); };
+    auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
+    auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
+
+    stage_blocks(machine, a, q, q, node, ta);
+    stage_blocks(machine, b, q, q, node, tb);
+    machine.reset_stats();
+
+    // Phase 1: all-to-all broadcast of A inside every row; phase 2: of B
+    // inside every column.  Distinct rows (columns) are disjoint chains, so
+    // they always overlap; the two phases themselves overlap only on
+    // multi-port nodes (paper §3.1).
+    std::vector<coll::PreparedColl> rows;
+    std::vector<coll::PreparedColl> cols;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      const Subcube chain = grid.row_chain(i);
+      std::vector<Tag> tags(q);
+      for (std::uint32_t j = 0; j < q; ++j) {
+        tags[chain.rank_of(grid.node(i, j))] = ta(i, j);
+      }
+      rows.push_back(coll::prep_allgather(machine, chain, tags));
+    }
+    for (std::uint32_t j = 0; j < q; ++j) {
+      const Subcube chain = grid.col_chain(j);
+      std::vector<Tag> tags(q);
+      for (std::uint32_t i = 0; i < q; ++i) {
+        tags[chain.rank_of(grid.node(i, j))] = tb(i, j);
+      }
+      cols.push_back(coll::prep_allgather(machine, chain, tags));
+    }
+    if (machine.port() == PortModel::kMultiPort) {
+      machine.begin_phase("allgather A||B");
+      std::vector<coll::PreparedColl> all;
+      for (auto& c : rows) all.push_back(std::move(c));
+      for (auto& c : cols) all.push_back(std::move(c));
+      coll::run_prepared(machine, all);
+    } else {
+      machine.begin_phase("allgather A rows");
+      coll::run_prepared(machine, rows);
+      machine.begin_phase("allgather B cols");
+      coll::run_prepared(machine, cols);
+    }
+
+    // Local C_ij = sum_k A_ik * B_kj.
+    machine.begin_phase("compute");
+    DataStore& store = machine.store();
+    for (std::uint32_t k = 0; k < q; ++k) {
+      std::vector<GemmJob> jobs;
+      std::vector<std::pair<NodeId, Tag>> dests;
+      for (std::uint32_t i = 0; i < q; ++i) {
+        for (std::uint32_t j = 0; j < q; ++j) {
+          const NodeId nd = node(i, j);
+          if (k == 0) put_mat(store, nd, tc(i, j), Matrix(blk, blk));
+          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(i, k), blk, blk),
+                                 mat_from(store, nd, tb(k, j), blk, blk)});
+          dests.emplace_back(nd, tc(i, j));
+        }
+      }
+      run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
+        store.combine(dests[idx].first, dests[idx].second,
+                      std::make_shared<const std::vector<double>>(
+                          std::move(m).take()));
+      });
+    }
+
+    RunResult out;
+    out.c = gather_blocks(machine, n, q, q, node, tc);
+    out.report = machine.report();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DistributedMatmul> make_simple() {
+  return std::make_unique<Simple>();
+}
+
+}  // namespace hcmm::algo::detail

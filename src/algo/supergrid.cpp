@@ -1,0 +1,79 @@
+#include "hcmm/algo/supergrid.hpp"
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/gray.hpp"
+
+namespace hcmm::algo::detail {
+
+SuperGrid::SuperGrid(std::uint32_t sigma, std::uint32_t rho)
+    : sigma_(sigma),
+      rho_(rho),
+      gs_(exact_log2(sigma)),
+      gr_(exact_log2(rho)) {
+  HCMM_CHECK(3 * gs_ + 2 * gr_ <= 20, "SuperGrid: machine too large");
+}
+
+NodeId SuperGrid::node(std::uint32_t u, std::uint32_t v, std::uint32_t i,
+                       std::uint32_t j, std::uint32_t k) const {
+  HCMM_CHECK(u < rho_ && v < rho_, "SuperGrid: intra position out of range");
+  HCMM_CHECK(i < sigma_ && j < sigma_ && k < sigma_,
+             "SuperGrid: supernode out of range");
+  NodeId n = gray_encode(v);
+  n |= gray_encode(u) << gr_;
+  n |= gray_encode(i) << (2 * gr_);
+  n |= gray_encode(j) << (2 * gr_ + gs_);
+  n |= gray_encode(k) << (2 * gr_ + 2 * gs_);
+  return n;
+}
+
+namespace {
+std::uint32_t field_mask(std::uint32_t width, std::uint32_t shift) {
+  return width == 0 ? 0u : ((1u << width) - 1u) << shift;
+}
+}  // namespace
+
+Subcube SuperGrid::super_x_chain(std::uint32_t u, std::uint32_t v,
+                                 std::uint32_t j, std::uint32_t k) const {
+  return Subcube(node(u, v, 0, j, k), field_mask(gs_, 2 * gr_));
+}
+
+Subcube SuperGrid::super_y_chain(std::uint32_t u, std::uint32_t v,
+                                 std::uint32_t i, std::uint32_t k) const {
+  return Subcube(node(u, v, i, 0, k), field_mask(gs_, 2 * gr_ + gs_));
+}
+
+Subcube SuperGrid::super_z_chain(std::uint32_t u, std::uint32_t v,
+                                 std::uint32_t i, std::uint32_t j) const {
+  return Subcube(node(u, v, i, j, 0), field_mask(gs_, 2 * gr_ + 2 * gs_));
+}
+
+GridFace SuperGrid::face(std::uint32_t i, std::uint32_t j,
+                         std::uint32_t k) const {
+  return GridFace{
+      .q = rho_,
+      .node = [this, i, j, k](std::uint32_t row, std::uint32_t col) {
+        return node(row, col, i, j, k);
+      },
+      .row_chain = [this, i, j, k](std::uint32_t row) {
+        return Subcube(node(row, 0, i, j, k), field_mask(gr_, 0));
+      },
+      .col_chain = [this, i, j, k](std::uint32_t col) {
+        return Subcube(node(0, col, i, j, k), field_mask(gr_, gr_));
+      },
+  };
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>> default_super_split(
+    std::uint32_t p) {
+  if (!is_pow2(p)) return std::nullopt;
+  const std::uint32_t lp = exact_log2(p);
+  // Largest sigma = 2^a with 3a <= lp and lp - 3a even.
+  for (std::uint32_t a = lp / 3 + 1; a-- > 0;) {
+    if ((lp - 3 * a) % 2 == 0) {
+      return std::pair{1u << a, 1u << ((lp - 3 * a) / 2)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hcmm::algo::detail

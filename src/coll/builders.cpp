@@ -1,0 +1,278 @@
+#include "hcmm/coll/builders.hpp"
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::coll {
+namespace {
+
+// Spread the low bits of @p idx over the local dimensions order[0..count).
+std::uint32_t spread(std::uint32_t idx, const DimOrder& order,
+                     std::uint32_t count) {
+  std::uint32_t rank = 0;
+  for (std::uint32_t b = 0; b < count; ++b) {
+    if (bit_of(idx, b) != 0) rank |= (1u << order[b]);
+  }
+  return rank;
+}
+
+void check_order(const Subcube& sc, const DimOrder& order) {
+  HCMM_CHECK(order.size() == sc.dim(), "dim order size != subcube dim");
+  std::uint32_t seen = 0;
+  for (const std::uint32_t o : order) {
+    HCMM_CHECK(o < sc.dim(), "dim order entry out of range");
+    HCMM_CHECK((seen & (1u << o)) == 0, "dim order entry repeated");
+    seen |= (1u << o);
+  }
+}
+
+}  // namespace
+
+DimOrder identity_order(std::uint32_t d) {
+  DimOrder o(d);
+  for (std::uint32_t i = 0; i < d; ++i) o[i] = i;
+  return o;
+}
+
+DimOrder rotated_order(std::uint32_t d, std::uint32_t j) {
+  DimOrder o(d);
+  for (std::uint32_t i = 0; i < d; ++i) o[i] = (j + i) % d;
+  return o;
+}
+
+Schedule sbt_bcast(const Subcube& sc, std::uint32_t root_rank,
+                   const DimOrder& order, std::span<const Tag> tags) {
+  check_order(sc, order);
+  HCMM_CHECK(root_rank < sc.size(), "root rank out of range");
+  const std::uint32_t d = sc.dim();
+  Schedule out;
+  out.rounds.reserve(d);
+  const std::vector<Tag> tag_vec(tags.begin(), tags.end());
+  for (std::uint32_t r = 0; r < d; ++r) {
+    Round round;
+    round.transfers.reserve(1u << r);
+    for (std::uint32_t s = 0; s < (1u << r); ++s) {
+      const std::uint32_t rel = spread(s, order, r);
+      const std::uint32_t from = root_rank ^ rel;
+      const std::uint32_t to = from ^ (1u << order[r]);
+      round.transfers.push_back(Transfer{.src = sc.node_at(from),
+                                         .dst = sc.node_at(to),
+                                         .tags = tag_vec,
+                                         .combine = false,
+                                         .move_src = false});
+    }
+    out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule sbt_reduce(const Subcube& sc, std::uint32_t root_rank,
+                    const DimOrder& order, std::span<const Tag> tags) {
+  check_order(sc, order);
+  HCMM_CHECK(root_rank < sc.size(), "root rank out of range");
+  const std::uint32_t d = sc.dim();
+  Schedule out;
+  out.rounds.reserve(d);
+  const std::vector<Tag> tag_vec(tags.begin(), tags.end());
+  for (std::uint32_t r = d; r-- > 0;) {
+    Round round;
+    round.transfers.reserve(1u << r);
+    for (std::uint32_t s = 0; s < (1u << r); ++s) {
+      const std::uint32_t rel = spread(s, order, r);
+      const std::uint32_t to = root_rank ^ rel;
+      const std::uint32_t from = to ^ (1u << order[r]);
+      round.transfers.push_back(Transfer{.src = sc.node_at(from),
+                                         .dst = sc.node_at(to),
+                                         .tags = tag_vec,
+                                         .combine = true,
+                                         .move_src = true});
+    }
+    out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule rh_scatter(const Subcube& sc, std::uint32_t root_rank,
+                    const DimOrder& order,
+                    std::span<const std::vector<Tag>> tags_by_rank) {
+  check_order(sc, order);
+  const std::uint32_t d = sc.dim();
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "scatter: need one tag list per rank");
+  Schedule out;
+  out.rounds.reserve(d);
+  for (std::uint32_t t = 0; t < d; ++t) {
+    const std::uint32_t r = d - 1 - t;  // dimension being split this round
+    Round round;
+    round.transfers.reserve(1u << t);
+    for (std::uint32_t s = 0; s < (1u << t); ++s) {
+      // Processed (higher) dims: order[r+1..d-1].
+      std::uint32_t rel_base = 0;
+      for (std::uint32_t b = 0; b < t; ++b) {
+        if (bit_of(s, b) != 0) rel_base |= (1u << order[r + 1 + b]);
+      }
+      const std::uint32_t from = root_rank ^ rel_base;
+      const std::uint32_t to = from ^ (1u << order[r]);
+      Transfer tr{.src = sc.node_at(from),
+                  .dst = sc.node_at(to),
+                  .tags = {},
+                  .combine = false,
+                  .move_src = true};
+      for (std::uint32_t low = 0; low < (1u << r); ++low) {
+        const std::uint32_t rel_dest =
+            rel_base ^ (1u << order[r]) ^ spread(low, order, r);
+        const std::uint32_t dest = root_rank ^ rel_dest;
+        const auto& dest_tags = tags_by_rank[dest];
+        tr.tags.insert(tr.tags.end(), dest_tags.begin(), dest_tags.end());
+      }
+      if (!tr.tags.empty()) round.transfers.push_back(std::move(tr));
+    }
+    if (!round.empty()) out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule bin_gather(const Subcube& sc, std::uint32_t root_rank,
+                    const DimOrder& order,
+                    std::span<const std::vector<Tag>> tags_by_rank) {
+  check_order(sc, order);
+  const std::uint32_t d = sc.dim();
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "gather: need one tag list per rank");
+  Schedule out;
+  out.rounds.reserve(d);
+  for (std::uint32_t t = 0; t < d; ++t) {
+    Round round;
+    for (std::uint32_t s = 0; s < (1u << (d - 1 - t)); ++s) {
+      // Unprocessed (higher) dims: order[t+1..d-1].
+      std::uint32_t rel_high = 0;
+      for (std::uint32_t b = 0; b < d - 1 - t; ++b) {
+        if (bit_of(s, b) != 0) rel_high |= (1u << order[t + 1 + b]);
+      }
+      const std::uint32_t from_rel = rel_high | (1u << order[t]);
+      Transfer tr{.src = sc.node_at(root_rank ^ from_rel),
+                  .dst = sc.node_at(root_rank ^ rel_high),
+                  .tags = {},
+                  .combine = false,
+                  .move_src = true};
+      // The sender holds the items of every rank in from_rel + processed span.
+      for (std::uint32_t low = 0; low < (1u << t); ++low) {
+        const std::uint32_t holder =
+            root_rank ^ from_rel ^ spread(low, order, t);
+        const auto& held = tags_by_rank[holder];
+        tr.tags.insert(tr.tags.end(), held.begin(), held.end());
+      }
+      if (!tr.tags.empty()) round.transfers.push_back(std::move(tr));
+    }
+    if (!round.empty()) out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule rd_allgather(const Subcube& sc, const DimOrder& order,
+                      std::span<const std::vector<Tag>> tags_by_rank) {
+  check_order(sc, order);
+  const std::uint32_t d = sc.dim();
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "allgather: need one tag list per rank");
+  Schedule out;
+  out.rounds.reserve(d);
+  for (std::uint32_t r = 0; r < d; ++r) {
+    Round round;
+    round.transfers.reserve(sc.size());
+    for (std::uint32_t x = 0; x < sc.size(); ++x) {
+      Transfer tr{.src = sc.node_at(x),
+                  .dst = sc.node_at(x ^ (1u << order[r])),
+                  .tags = {},
+                  .combine = false,
+                  .move_src = false};
+      for (std::uint32_t low = 0; low < (1u << r); ++low) {
+        const std::uint32_t held = x ^ spread(low, order, r);
+        const auto& tags = tags_by_rank[held];
+        tr.tags.insert(tr.tags.end(), tags.begin(), tags.end());
+      }
+      if (!tr.tags.empty()) round.transfers.push_back(std::move(tr));
+    }
+    if (!round.empty()) out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule rh_reduce_scatter(const Subcube& sc, const DimOrder& order,
+                           std::span<const std::vector<Tag>> tags_by_rank) {
+  check_order(sc, order);
+  const std::uint32_t d = sc.dim();
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "reduce_scatter: need one tag list per rank");
+  Schedule out;
+  out.rounds.reserve(d);
+  for (std::uint32_t t = 0; t < d; ++t) {
+    const std::uint32_t r = d - 1 - t;
+    // Mask of already-processed dims (order[r+1..d-1]).
+    std::uint32_t processed = 0;
+    for (std::uint32_t b = r + 1; b < d; ++b) processed |= (1u << order[b]);
+    Round round;
+    round.transfers.reserve(sc.size());
+    for (std::uint32_t x = 0; x < sc.size(); ++x) {
+      const std::uint32_t partner = x ^ (1u << order[r]);
+      Transfer tr{.src = sc.node_at(x),
+                  .dst = sc.node_at(partner),
+                  .tags = {},
+                  .combine = true,
+                  .move_src = true};
+      for (std::uint32_t low = 0; low < (1u << r); ++low) {
+        // Destination ranks on the partner's side that are still live at x.
+        const std::uint32_t dest = (x & processed) |
+                                   (partner & (1u << order[r])) |
+                                   spread(low, order, r);
+        const auto& tags = tags_by_rank[dest];
+        tr.tags.insert(tr.tags.end(), tags.begin(), tags.end());
+      }
+      if (!tr.tags.empty()) round.transfers.push_back(std::move(tr));
+    }
+    if (!round.empty()) out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+Schedule aapc(const Subcube& sc, const DimOrder& order,
+              const std::function<std::vector<Tag>(std::uint32_t,
+                                                   std::uint32_t)>& tag_fn) {
+  check_order(sc, order);
+  const std::uint32_t d = sc.dim();
+  const std::uint32_t n = sc.size();
+  Schedule out;
+  out.rounds.reserve(d);
+  std::uint32_t processed = 0;
+  for (std::uint32_t r = 0; r < d; ++r) {
+    const std::uint32_t bit = 1u << order[r];
+    // Group crossing items by their (from -> to) link.
+    std::vector<Transfer> transfers;
+    for (std::uint32_t from = 0; from < n; ++from) {
+      Transfer tr{.src = sc.node_at(from),
+                  .dst = sc.node_at(from ^ bit),
+                  .tags = {},
+                  .combine = false,
+                  .move_src = true};
+      // Items (s, dest) located at `from` before this round:
+      // from = (s & ~processed) | (dest & processed); they cross iff
+      // s and dest differ on `bit`, i.e. dest's bit != from's bit.
+      for (std::uint32_t s = 0; s < n; ++s) {
+        if ((s & ~processed) != (from & ~processed)) continue;
+        for (std::uint32_t dest = 0; dest < n; ++dest) {
+          if ((dest & processed) != (from & processed)) continue;
+          if (((dest ^ from) & bit) == 0) continue;
+          auto tags = tag_fn(s, dest);
+          tr.tags.insert(tr.tags.end(), tags.begin(), tags.end());
+        }
+      }
+      if (!tr.tags.empty()) transfers.push_back(std::move(tr));
+    }
+    processed |= bit;
+    if (!transfers.empty()) {
+      out.rounds.push_back(Round{.transfers = std::move(transfers)});
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm::coll

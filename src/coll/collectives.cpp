@@ -1,0 +1,463 @@
+#include "hcmm/coll/collectives.hpp"
+
+#include <limits>
+
+#include "hcmm/coll/builders.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::coll {
+namespace {
+
+bool multiport(const Machine& m, const Subcube& sc) {
+  // A 1-dimensional "chain" has a single link per node, so the rotated-tree
+  // machinery degenerates to the one-port schedule; skip the split overhead.
+  return m.port() == PortModel::kMultiPort && sc.dim() >= 2;
+}
+
+// The paper's Table 2 "conditions" column in action: full multi-port
+// bandwidth needs every message to be at least log N words, else the
+// chunks cannot keep all links busy and the single-tree schedule is used
+// ("multiple ports can be used only for the [other] phases", §4.2.2).
+bool splittable(const Machine& m, const Subcube& sc, std::size_t min_words) {
+  return multiport(m, sc) && min_words >= sc.dim();
+}
+
+std::vector<std::vector<Tag>> singleton_lists(std::span<const Tag> tags) {
+  std::vector<std::vector<Tag>> out(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) out[i] = {tags[i]};
+  return out;
+}
+
+// Spread a bundle of items over d rotated-tree instances with *exactly*
+// balanced loads: the concatenated bundle of T words is sliced at the
+// boundaries T*j/d, items straddling a boundary are cut there
+// (split_sizes), and each slice rides one instance.  Round costs follow the
+// max instance load, so exact balance is what makes the measured multi-port
+// bundle costs land on Table 1's (N-1)M/log N to the word.  Cut items'
+// rejoin actions are appended for every node in @p join_nodes.
+std::vector<std::vector<Tag>> spread_bundle(
+    Machine& m, NodeId holder, std::span<const Tag> tags, std::uint32_t d,
+    std::span<const NodeId> join_nodes, std::vector<JoinAction>& joins) {
+  std::vector<std::vector<Tag>> per_instance(d);
+  std::size_t total = 0;
+  for (const Tag tag : tags) total += m.store().item_words(holder, tag);
+  auto boundary = [&](std::uint32_t j) { return total * j / d; };
+  // Instance owning stream position x: the last slice starting at or
+  // before x.
+  auto inst_of = [&](std::size_t x) {
+    std::uint32_t j = d - 1;
+    while (j > 0 && boundary(j) > x) --j;
+    return j;
+  };
+  std::size_t off = 0;
+  for (const Tag tag : tags) {
+    const std::size_t words = m.store().item_words(holder, tag);
+    if (words == 0) {
+      per_instance[inst_of(off)].push_back(tag);
+      continue;
+    }
+    // Cut the item at every slice boundary strictly inside it.
+    std::vector<std::size_t> cut_sizes;
+    std::size_t prev = off;
+    for (std::uint32_t j = inst_of(off) + 1; j < d; ++j) {
+      const std::size_t b = boundary(j);
+      if (b <= prev) continue;
+      if (b >= off + words) break;
+      cut_sizes.push_back(b - prev);
+      prev = b;
+    }
+    cut_sizes.push_back(off + words - prev);
+    if (cut_sizes.size() == 1) {
+      per_instance[inst_of(off)].push_back(tag);  // rides whole
+      off += words;
+      continue;
+    }
+    const auto parts = m.store().split_sizes(holder, tag, cut_sizes);
+    std::size_t start = off;
+    for (const Tag part : parts) {
+      per_instance[inst_of(start)].push_back(part);
+      start += m.store().item_words(holder, part);
+    }
+    for (const NodeId node : join_nodes) {
+      joins.push_back(JoinAction{node, parts, tag});
+    }
+    off += words;
+  }
+  return per_instance;
+}
+
+}  // namespace
+
+PreparedColl prep_bcast(Machine& m, const Subcube& sc, NodeId root, Tag tag) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  const std::uint32_t root_rank = sc.rank_of(root);
+  if (!splittable(m, sc, m.store().item_words(root, tag))) {
+    const Tag tags[] = {tag};
+    out.schedule = sbt_bcast(sc, root_rank, identity_order(sc.dim()), tags);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  const std::vector<Tag> parts = m.store().split(root, tag, d);
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    const Tag tags[] = {parts[j]};
+    insts.push_back(sbt_bcast(sc, root_rank, rotated_order(d, j), tags));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    out.joins.push_back(JoinAction{sc.node_at(r), parts, tag});
+  }
+  return out;
+}
+
+PreparedColl prep_bcast_bundle(Machine& m, const Subcube& sc, NodeId root,
+                               std::span<const Tag> tags) {
+  PreparedColl out;
+  if (sc.dim() == 0 || tags.empty()) return out;
+  const std::uint32_t root_rank = sc.rank_of(root);
+  if (!multiport(m, sc)) {
+    out.schedule = sbt_bcast(sc, root_rank, identity_order(sc.dim()), tags);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  // Spread the bundle over the d rotated trees; large items are chunked,
+  // small ones travel whole on the lightest tree.
+  const std::vector<NodeId> members = sc.nodes();
+  const auto per_instance = spread_bundle(m, root, tags, d, members, out.joins);
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    if (per_instance[j].empty()) continue;
+    insts.push_back(sbt_bcast(sc, root_rank, rotated_order(d, j),
+                              per_instance[j]));
+  }
+  out.schedule = par(insts);
+  return out;
+}
+
+PreparedColl prep_allgather_bundles(
+    Machine& m, const Subcube& sc,
+    std::span<const std::vector<Tag>> tags_by_rank) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "prep_allgather_bundles: one bundle per rank required");
+  if (!multiport(m, sc)) {
+    out.schedule =
+        rd_allgather(sc, identity_order(sc.dim()), tags_by_rank);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  // Spread every rank's bundle over the d rotated instances; chunked items
+  // are rejoined on every member after the run.
+  const std::vector<NodeId> members = sc.nodes();
+  std::vector<std::vector<std::vector<Tag>>> per_rank(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    per_rank[r] = spread_bundle(m, sc.node_at(r), tags_by_rank[r], d, members,
+                                out.joins);
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    std::vector<std::vector<Tag>> lists(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) lists[r] = per_rank[r][j];
+    insts.push_back(rd_allgather(sc, rotated_order(d, j), lists));
+  }
+  out.schedule = par(insts);
+  return out;
+}
+
+PreparedColl prep_reduce(Machine& m, const Subcube& sc, NodeId root, Tag tag) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  const std::uint32_t root_rank = sc.rank_of(root);
+  if (!splittable(m, sc, m.store().item_words(root, tag))) {
+    const Tag tags[] = {tag};
+    out.schedule = sbt_reduce(sc, root_rank, identity_order(sc.dim()), tags);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  std::vector<Tag> parts;
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    parts = m.store().split(sc.node_at(r), tag, d);  // same derived tags everywhere
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    const Tag tags[] = {parts[j]};
+    insts.push_back(sbt_reduce(sc, root_rank, rotated_order(d, j), tags));
+  }
+  out.schedule = par(insts);
+  out.joins.push_back(JoinAction{root, parts, tag});
+  return out;
+}
+
+PreparedColl prep_scatter(Machine& m, const Subcube& sc, NodeId root,
+                          std::span<const Tag> tags_by_rank) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "prep_scatter: one tag per rank required");
+  const std::uint32_t root_rank = sc.rank_of(root);
+  std::size_t min_words = std::numeric_limits<std::size_t>::max();
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;
+    min_words = std::min(min_words, m.store().item_words(root, tags_by_rank[r]));
+  }
+  if (!splittable(m, sc, min_words)) {
+    auto lists = singleton_lists(tags_by_rank);
+    out.schedule = rh_scatter(sc, root_rank, identity_order(sc.dim()), lists);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  // parts_of[r][j]: chunk j of the item destined to rank r.
+  std::vector<std::vector<Tag>> parts_of(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;  // root's own item never moves
+    parts_of[r] = m.store().split(root, tags_by_rank[r], d);
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    std::vector<std::vector<Tag>> lists(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      // Rotate which instance carries each rank's (unevenly sized) chunks
+      // so the big remainders average out across instances.
+      if (r != root_rank) lists[r] = {parts_of[r][(j + r) % d]};
+    }
+    insts.push_back(rh_scatter(sc, root_rank, rotated_order(d, j), lists));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;
+    out.joins.push_back(JoinAction{sc.node_at(r), parts_of[r], tags_by_rank[r]});
+  }
+  return out;
+}
+
+PreparedColl prep_gather(Machine& m, const Subcube& sc, NodeId root,
+                         std::span<const Tag> tags_by_rank) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "prep_gather: one tag per rank required");
+  const std::uint32_t root_rank = sc.rank_of(root);
+  std::size_t min_words = std::numeric_limits<std::size_t>::max();
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;
+    min_words = std::min(min_words,
+                         m.store().item_words(sc.node_at(r), tags_by_rank[r]));
+  }
+  if (!splittable(m, sc, min_words)) {
+    auto lists = singleton_lists(tags_by_rank);
+    out.schedule = bin_gather(sc, root_rank, identity_order(sc.dim()), lists);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  std::vector<std::vector<Tag>> parts_of(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;
+    parts_of[r] = m.store().split(sc.node_at(r), tags_by_rank[r], d);
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    std::vector<std::vector<Tag>> lists(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      if (r != root_rank) lists[r] = {parts_of[r][(j + r) % d]};
+    }
+    insts.push_back(bin_gather(sc, root_rank, rotated_order(d, j), lists));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    if (r == root_rank) continue;
+    out.joins.push_back(JoinAction{root, parts_of[r], tags_by_rank[r]});
+  }
+  return out;
+}
+
+PreparedColl prep_allgather(Machine& m, const Subcube& sc,
+                            std::span<const Tag> tags_by_rank) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "prep_allgather: one tag per rank required");
+  std::size_t min_words = std::numeric_limits<std::size_t>::max();
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    min_words = std::min(min_words,
+                         m.store().item_words(sc.node_at(r), tags_by_rank[r]));
+  }
+  if (!splittable(m, sc, min_words)) {
+    auto lists = singleton_lists(tags_by_rank);
+    out.schedule = rd_allgather(sc, identity_order(sc.dim()), lists);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  std::vector<std::vector<Tag>> parts_of(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    parts_of[r] = m.store().split(sc.node_at(r), tags_by_rank[r], d);
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    std::vector<std::vector<Tag>> lists(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      lists[r] = {parts_of[r][(j + r) % d]};
+    }
+    insts.push_back(rd_allgather(sc, rotated_order(d, j), lists));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t node_r = 0; node_r < sc.size(); ++node_r) {
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      out.joins.push_back(
+          JoinAction{sc.node_at(node_r), parts_of[r], tags_by_rank[r]});
+    }
+  }
+  return out;
+}
+
+PreparedColl prep_reduce_scatter(Machine& m, const Subcube& sc,
+                                 std::span<const Tag> tags_by_rank) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  HCMM_CHECK(tags_by_rank.size() == sc.size(),
+             "prep_reduce_scatter: one tag per rank required");
+  std::size_t min_words = std::numeric_limits<std::size_t>::max();
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    min_words = std::min(min_words,
+                         m.store().item_words(sc.node_at(0), tags_by_rank[r]));
+  }
+  if (!splittable(m, sc, min_words)) {
+    auto lists = singleton_lists(tags_by_rank);
+    out.schedule = rh_reduce_scatter(sc, identity_order(sc.dim()), lists);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  std::vector<std::vector<Tag>> parts_of(sc.size());
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    for (std::uint32_t node_r = 0; node_r < sc.size(); ++node_r) {
+      parts_of[r] = m.store().split(sc.node_at(node_r), tags_by_rank[r], d);
+    }
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    std::vector<std::vector<Tag>> lists(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      lists[r] = {parts_of[r][(j + r) % d]};
+    }
+    insts.push_back(rh_reduce_scatter(sc, rotated_order(d, j), lists));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    out.joins.push_back(JoinAction{sc.node_at(r), parts_of[r], tags_by_rank[r]});
+  }
+  return out;
+}
+
+PreparedColl prep_alltoall(Machine& m, const Subcube& sc,
+                           std::span<const Tag> tags_flat) {
+  PreparedColl out;
+  if (sc.dim() == 0) return out;
+  const std::uint32_t n = sc.size();
+  HCMM_CHECK(tags_flat.size() == static_cast<std::size_t>(n) * n,
+             "prep_alltoall: need N*N tag entries");
+  std::size_t min_words = std::numeric_limits<std::size_t>::max();
+  for (std::uint32_t s2 = 0; s2 < n; ++s2) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      const Tag t = tags_flat[static_cast<std::size_t>(s2) * n + dst];
+      if (t == 0 || s2 == dst) continue;
+      min_words = std::min(min_words, m.store().item_words(sc.node_at(s2), t));
+    }
+  }
+  if (!splittable(m, sc, min_words)) {
+    auto tag_fn = [&tags_flat, n](std::uint32_t s,
+                                  std::uint32_t dst) -> std::vector<Tag> {
+      const Tag t = tags_flat[static_cast<std::size_t>(s) * n + dst];
+      if (t == 0 || s == dst) return {};
+      return {t};
+    };
+    out.schedule = aapc(sc, identity_order(sc.dim()), tag_fn);
+    return out;
+  }
+  const std::uint32_t d = sc.dim();
+  // parts[s * n + dst] = chunk tags of item (s, dst).
+  std::vector<std::vector<Tag>> parts(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      const Tag t = tags_flat[static_cast<std::size_t>(s) * n + dst];
+      if (t == 0 || s == dst) continue;
+      parts[static_cast<std::size_t>(s) * n + dst] =
+          m.store().split(sc.node_at(s), t, d);
+    }
+  }
+  std::vector<Schedule> insts;
+  insts.reserve(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    auto tag_fn = [&parts, n, j, d](std::uint32_t s,
+                                    std::uint32_t dst) -> std::vector<Tag> {
+      const auto& ps = parts[static_cast<std::size_t>(s) * n + dst];
+      if (ps.empty()) return {};
+      // Rotate chunk assignment per (src, dst) so uneven chunk remainders
+      // spread evenly over the d concurrent instances.
+      return {ps[(j + s + dst) % d]};
+    };
+    insts.push_back(aapc(sc, rotated_order(d, j), tag_fn));
+  }
+  out.schedule = par(insts);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      const auto& ps = parts[static_cast<std::size_t>(s) * n + dst];
+      if (ps.empty()) continue;
+      out.joins.push_back(JoinAction{
+          sc.node_at(dst), ps, tags_flat[static_cast<std::size_t>(s) * n + dst]});
+    }
+  }
+  return out;
+}
+
+void run_prepared(Machine& m, std::span<PreparedColl> colls) {
+  std::vector<Schedule> schedules;
+  schedules.reserve(colls.size());
+  for (const auto& c : colls) schedules.push_back(c.schedule);
+  m.run(par(schedules));
+  for (const auto& c : colls) {
+    for (const auto& j : c.joins) m.store().join(j.node, j.parts, j.out);
+  }
+}
+
+void run_prepared(Machine& m, PreparedColl&& coll) {
+  PreparedColl colls[] = {std::move(coll)};
+  run_prepared(m, colls);
+}
+
+void op_bcast(Machine& m, const Subcube& sc, NodeId root, Tag tag) {
+  run_prepared(m, prep_bcast(m, sc, root, tag));
+}
+void op_reduce(Machine& m, const Subcube& sc, NodeId root, Tag tag) {
+  run_prepared(m, prep_reduce(m, sc, root, tag));
+}
+void op_scatter(Machine& m, const Subcube& sc, NodeId root,
+                std::span<const Tag> tags_by_rank) {
+  run_prepared(m, prep_scatter(m, sc, root, tags_by_rank));
+}
+void op_gather(Machine& m, const Subcube& sc, NodeId root,
+               std::span<const Tag> tags_by_rank) {
+  run_prepared(m, prep_gather(m, sc, root, tags_by_rank));
+}
+void op_allgather(Machine& m, const Subcube& sc,
+                  std::span<const Tag> tags_by_rank) {
+  run_prepared(m, prep_allgather(m, sc, tags_by_rank));
+}
+void op_reduce_scatter(Machine& m, const Subcube& sc,
+                       std::span<const Tag> tags_by_rank) {
+  run_prepared(m, prep_reduce_scatter(m, sc, tags_by_rank));
+}
+void op_alltoall(Machine& m, const Subcube& sc,
+                 std::span<const Tag> tags_flat) {
+  run_prepared(m, prep_alltoall(m, sc, tags_flat));
+}
+
+}  // namespace hcmm::coll

@@ -1,0 +1,42 @@
+#include "hcmm/coll/ring.hpp"
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/gray.hpp"
+
+namespace hcmm::coll {
+
+NodeId ring_node(const Subcube& sc, std::uint32_t c) {
+  HCMM_CHECK(c < sc.size(), "ring position " << c << " out of range");
+  return sc.node_at(gray_encode(c));
+}
+
+std::uint32_t ring_position(const Subcube& sc, NodeId node) {
+  return gray_decode(sc.rank_of(node));
+}
+
+Schedule ring_shift_unit(const Subcube& sc,
+                         std::span<const std::vector<Tag>> tags_by_pos,
+                         int direction) {
+  HCMM_CHECK(direction == 1 || direction == -1,
+             "ring_shift_unit: direction must be +/-1");
+  HCMM_CHECK(tags_by_pos.size() == sc.size(),
+             "ring_shift_unit: one tag list per position required");
+  Schedule out;
+  if (sc.dim() == 0) return out;
+  const std::uint32_t q = sc.size();
+  Round round;
+  round.transfers.reserve(q);
+  for (std::uint32_t c = 0; c < q; ++c) {
+    if (tags_by_pos[c].empty()) continue;
+    const std::uint32_t to = direction == 1 ? (c + 1) % q : (c + q - 1) % q;
+    round.transfers.push_back(Transfer{.src = ring_node(sc, c),
+                                       .dst = ring_node(sc, to),
+                                       .tags = tags_by_pos[c],
+                                       .combine = false,
+                                       .move_src = true});
+  }
+  if (!round.empty()) out.rounds.push_back(std::move(round));
+  return out;
+}
+
+}  // namespace hcmm::coll

@@ -1,0 +1,110 @@
+#include "hcmm/coll/route.hpp"
+
+#include <limits>
+#include <unordered_set>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::coll {
+namespace {
+
+// One in-flight sub-message: travels its dimension order from front to back.
+struct Part {
+  NodeId pos;
+  NodeId dst;
+  std::vector<std::uint32_t> order;  // global dimensions, rotated
+  std::uint32_t next = 0;
+  std::vector<Tag> tags;
+};
+
+Schedule pack_rounds(std::vector<Part> parts) {
+  Schedule out;
+  std::erase_if(parts, [](const Part& p) { return p.pos == p.dst; });
+  while (!parts.empty()) {
+    Round round;
+    std::unordered_set<std::uint64_t> out_busy;
+    std::unordered_set<std::uint64_t> in_busy;
+    for (auto& p : parts) {
+      const std::uint32_t dim = p.order[p.next];
+      const NodeId next_pos = flip_bit(p.pos, dim);
+      const std::uint64_t ok = (static_cast<std::uint64_t>(p.pos) << 8) | dim;
+      const std::uint64_t ik = (static_cast<std::uint64_t>(next_pos) << 8) | dim;
+      if (out_busy.contains(ok) || in_busy.contains(ik)) continue;
+      out_busy.insert(ok);
+      in_busy.insert(ik);
+      round.transfers.push_back(Transfer{.src = p.pos,
+                                         .dst = next_pos,
+                                         .tags = p.tags,
+                                         .combine = false,
+                                         .move_src = true});
+      p.pos = next_pos;
+      ++p.next;
+    }
+    HCMM_CHECK(!round.empty(), "prep_route: no progress (internal error)");
+    out.rounds.push_back(std::move(round));
+    std::erase_if(parts, [](const Part& p) { return p.next == p.order.size(); });
+  }
+  return out;
+}
+
+}  // namespace
+
+PreparedColl prep_route(Machine& m, std::span<const RouteRequest> reqs) {
+  PreparedColl out;
+  if (m.port() == PortModel::kOnePort) {
+    out.schedule = route_p2p(m.cube(), m.port(), reqs);
+    return out;
+  }
+  // All messages split into the same number of chunks, H = the longest hop
+  // count in the phase.  A message with h < H hops sends its H chunks over
+  // its h rotated paths, ceil(H/h) per path, pipelined over the rounds the
+  // longer messages need anyway — so every round carries M/H words per link
+  // and the phase costs H*t_s + t_w*M, the multi-port point-to-point cost
+  // the paper charges (e.g. 3DD phase 1).
+  std::uint32_t max_h = 0;
+  for (const RouteRequest& r : reqs) {
+    HCMM_CHECK(m.cube().contains(r.src) && m.cube().contains(r.dst),
+               "prep_route: endpoint out of range");
+    max_h = std::max(max_h, popcount32(r.src ^ r.dst));
+  }
+  std::vector<Part> parts;
+  for (const RouteRequest& r : reqs) {
+    if (r.src == r.dst) continue;
+    HCMM_CHECK(!r.tags.empty(), "prep_route: request with no tags");
+    std::vector<std::uint32_t> dims;
+    for (std::uint32_t b = 0; b < m.cube().dim(); ++b) {
+      if (bit_of(r.src ^ r.dst, b) != 0) dims.push_back(b);
+    }
+    const auto h = static_cast<std::uint32_t>(dims.size());
+    std::size_t min_words = std::numeric_limits<std::size_t>::max();
+    for (const Tag t : r.tags) {
+      min_words = std::min(min_words, m.store().item_words(r.src, t));
+    }
+    if (max_h == 1 || min_words < max_h) {
+      // Too small to keep the parallel paths busy: ship whole.
+      parts.push_back(Part{r.src, r.dst, dims, 0, r.tags});
+      continue;
+    }
+    std::vector<std::vector<Tag>> chunk_tags(r.tags.size());
+    for (std::size_t t = 0; t < r.tags.size(); ++t) {
+      chunk_tags[t] = m.store().split(r.src, r.tags[t], max_h);
+      out.joins.push_back(JoinAction{r.dst, chunk_tags[t], r.tags[t]});
+    }
+    for (std::uint32_t i = 0; i < max_h; ++i) {
+      std::vector<std::uint32_t> order(h);
+      for (std::uint32_t s = 0; s < h; ++s) order[s] = dims[(i + s) % h];
+      std::vector<Tag> tags;
+      tags.reserve(r.tags.size());
+      for (const auto& ct : chunk_tags) tags.push_back(ct[i]);
+      parts.push_back(Part{r.src, r.dst, std::move(order), 0, std::move(tags)});
+    }
+  }
+  out.schedule = pack_rounds(std::move(parts));
+  return out;
+}
+
+void op_route(Machine& m, std::span<const RouteRequest> reqs) {
+  run_prepared(m, prep_route(m, reqs));
+}
+
+}  // namespace hcmm::coll

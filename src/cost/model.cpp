@@ -1,0 +1,363 @@
+#include "hcmm/cost/model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::cost {
+namespace {
+
+using algo::AlgoId;
+
+double lg(double x) { return std::log2(x); }
+
+}  // namespace
+
+CommCost table2(AlgoId id, PortModel port, double n, double p) {
+  HCMM_CHECK(n >= 1 && p >= 1, "table2: n and p must be >= 1");
+  if (p <= 1) return {0.0, 0.0};
+  const double n2 = n * n;
+  const double sp = std::sqrt(p);         // sqrt(p)
+  const double cp = std::cbrt(p);         // cbrt(p)
+  const double p23 = cp * cp;             // p^(2/3)
+  const double logp = lg(p);
+  const bool multi = port == PortModel::kMultiPort;
+
+  switch (id) {
+    case AlgoId::kSimple:
+      if (multi) {
+        return {0.5 * logp, n2 / (sp * lg(sp)) * (1.0 - 1.0 / sp)};
+      }
+      return {logp, 2.0 * n2 / sp * (1.0 - 1.0 / sp)};
+
+    case AlgoId::kCannon:
+      if (multi) {
+        return {sp - 1.0 + 0.5 * logp,
+                n2 / sp * (1.0 - 1.0 / sp + logp / (2.0 * sp))};
+      }
+      return {2.0 * (sp - 1.0) + logp,
+              n2 / sp * (2.0 - 2.0 / sp + logp / sp)};
+
+    case AlgoId::kHJE:
+      if (multi) {
+        return {sp - 1.0 + 0.5 * logp,
+                n2 / sp * (2.0 / logp - 2.0 / (sp * logp) + logp / (2.0 * sp))};
+      }
+      return table2(AlgoId::kCannon, port, n, p);  // paper lists "-"
+
+    case AlgoId::kBerntsen:
+      if (multi) {
+        return {cp - 1.0 + (2.0 / 3.0) * logp,
+                n2 / p23 * ((1.0 + 3.0 / logp) * (1.0 - 1.0 / cp) +
+                            logp / (3.0 * cp))};
+      }
+      return {2.0 * (cp - 1.0) + logp,
+              n2 / p23 * (3.0 * (1.0 - 1.0 / cp) + 2.0 * logp / (3.0 * cp))};
+
+    case AlgoId::kDNS:
+      if (multi) return {(4.0 / 3.0) * logp, 4.0 * n2 / p23};
+      return {(5.0 / 3.0) * logp, n2 / p23 * (5.0 / 3.0) * logp};
+
+    case AlgoId::kDiag2D: {
+      // Derived (not tabulated in the paper): scatter + broadcast along
+      // columns, reduce along rows, all three sequential; messages of
+      // n^2/sqrt(p).  Multi-port divides only the data terms that Table 1
+      // improves: scatter by log sqrt(p); the broadcast and reduction of
+      // whole n^2/sqrt(p) groups become t_w * M.
+      const double m = n2 / sp;
+      if (multi) {
+        const double lsp = std::max(1.0, lg(sp));
+        return {1.5 * logp, m * (1.0 - 1.0 / sp) / lsp + 2.0 * m};
+      }
+      return {1.5 * logp, m * (1.0 - 1.0 / sp) + 2.0 * m * lg(sp)};
+    }
+
+    case AlgoId::kDiag3D:
+      if (multi) return {logp, 3.0 * n2 / p23};
+      return {(4.0 / 3.0) * logp, n2 / p23 * (4.0 / 3.0) * logp};
+
+    case AlgoId::kAllTrans:
+      if (multi) {
+        return {logp, n2 / p23 * ((6.0 / logp) * (1.0 - 1.0 / cp) + 1.0)};
+      }
+      return {(4.0 / 3.0) * logp,
+              n2 / p23 * (3.0 * (1.0 - 1.0 / cp) + logp / 3.0)};
+
+    case AlgoId::kAll3DRect: {
+      // Derived for the extension (not tabulated in the paper): qx = qy =
+      // q1 = p^{1/4}, qz = sqrt(p), square blocks of m = n^2/p words.
+      // Phases: gather along y ((q1-1)m), allgather A along x ((q1-1)m),
+      // allgather of the sparse B bundles along z — q1 contributors of
+      // q1*m each, costing q1*m*(lg q1 + q1 - 1) with a contributor-aware
+      // dimension order — and reduce-scatter along y ((q1-1)m).  The
+      // one-port terms are measured exactly; the multi-port z-term is the
+      // ideal rotated-tree bound, which rank clustering of the sparse
+      // contributors misses by up to ~1.5x (see EXPERIMENTS.md).
+      const double q1 = std::sqrt(sp);
+      const double m = n2 / p;
+      const double lq1 = std::max(1.0, lg(q1));
+      const double lqz = std::max(1.0, lg(sp));
+      const double zterm = q1 * m * (lg(q1) + q1 - 1.0);
+      if (multi) {
+        return {2.0 * lg(q1) + lqz,
+                2.0 * (q1 - 1.0) * m / lq1 +
+                    std::max((q1 - 1.0) * m / lq1, zterm / lqz)};
+      }
+      return {3.0 * lg(q1) + lg(sp), 3.0 * (q1 - 1.0) * m + zterm};
+    }
+
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon: {
+      // Derived for the §3.5 combinations with the canonical split
+      // (largest sigma, p = sigma^3 rho^2): superblock movement costs the
+      // base algorithm's pattern on messages of m = n^2/(sigma^2 rho^2)
+      // per processor, plus an internal Cannon of rho x rho on the same
+      // message size.  With rho = 1 these reduce to DNS / 3DD exactly.
+      double a3 = std::cbrt(p);  // fallback when no exact split exists
+      double rho = 1.0;
+      const double lp = lg(p);
+      for (int ai = static_cast<int>(lp / 3); ai >= 0; --ai) {
+        const double rem = lp - 3 * ai;
+        if (rem >= 0 && std::fmod(rem, 2.0) == 0.0) {
+          a3 = std::exp2(ai);
+          rho = std::exp2(rem / 2.0);
+          break;
+        }
+      }
+      const double m = n2 / (a3 * a3 * rho * rho);
+      const double ls = lg(a3);
+      const double lr = std::max(0.0, lg(rho));
+      const double move = id == AlgoId::kDNSCannon ? 5.0 : 4.0;  // phases 1-3
+      if (multi) {
+        const double move_m = id == AlgoId::kDNSCannon ? 4.0 : 3.0;
+        return {move_m * ls + lr + (rho - 1.0),
+                m * (move_m + lr + (rho - 1.0))};
+      }
+      return {move * ls + 2.0 * lr + 2.0 * (rho - 1.0),
+              m * (move * ls + 2.0 * lr + 2.0 * (rho - 1.0))};
+    }
+
+    case AlgoId::kAll3D:
+      if (multi) {
+        // Two regimes: with large enough messages phase 1 also drives all
+        // ports (first Table 2 row); otherwise only phases 2 and 3 do.
+        const double phase1_msg = n2 / (p * cp);
+        const double base = (6.0 / logp) * (1.0 - 1.0 / cp);
+        if (phase1_msg >= lg(cp)) {
+          return {logp, n2 / p23 * (base + 1.0 / (2.0 * cp))};
+        }
+        return {logp, n2 / p23 * (base + logp / (6.0 * cp))};
+      }
+      return {(4.0 / 3.0) * logp,
+              n2 / p23 * (3.0 * (1.0 - 1.0 / cp) + logp / (6.0 * cp))};
+  }
+  HCMM_CHECK(false, "table2: unknown algorithm");
+  return {};
+}
+
+bool within_processor_bound(AlgoId id, double n, double p) {
+  switch (id) {
+    case AlgoId::kSimple:
+    case AlgoId::kCannon:
+    case AlgoId::kHJE:
+    case AlgoId::kDiag2D:
+      return p <= n * n;
+    case AlgoId::kBerntsen:
+    case AlgoId::kAllTrans:
+    case AlgoId::kAll3D:
+      return p <= std::pow(n, 1.5);
+    case AlgoId::kDNS:
+    case AlgoId::kDiag3D:
+      return p <= n * n * n;
+    case AlgoId::kAll3DRect:
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon:
+      return p <= n * n;
+  }
+  return false;
+}
+
+bool meets_port_condition(AlgoId id, PortModel port, double n, double p) {
+  if (port == PortModel::kOnePort) {
+    // One-port imposes no message-size condition beyond p <= n^k, except
+    // HJE which simply is not defined (we treat it as Cannon).
+    return true;
+  }
+  const double n2 = n * n;
+  const double cp = std::cbrt(p);
+  const double sp = std::sqrt(p);
+  switch (id) {
+    case AlgoId::kSimple:
+      return n2 >= p * lg(sp);
+    case AlgoId::kCannon:
+    case AlgoId::kDiag2D:
+      return true;
+    case AlgoId::kHJE:
+      return n >= sp * lg(sp);
+    case AlgoId::kBerntsen:
+    case AlgoId::kAllTrans:
+      return n2 >= p * lg(cp);
+    case AlgoId::kDNS:
+    case AlgoId::kDiag3D:
+      return n2 >= cp * cp * lg(cp);
+    case AlgoId::kAll3D:
+      return n2 >= p * lg(cp);  // weaker second-row condition
+    case AlgoId::kAll3DRect:
+      return n2 >= p * lg(sp);
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon:
+      return true;
+  }
+  return false;
+}
+
+bool applicable(AlgoId id, PortModel port, double n, double p) {
+  return within_processor_bound(id, n, p) &&
+         meets_port_condition(id, port, n, p);
+}
+
+double space_words(AlgoId id, double n, double p) {
+  const double n2 = n * n;
+  switch (id) {
+    case AlgoId::kSimple:
+      return 2.0 * n2 * std::sqrt(p);
+    case AlgoId::kCannon:
+    case AlgoId::kHJE:
+      return 3.0 * n2;
+    case AlgoId::kBerntsen:
+      return 2.0 * n2 + n2 * std::cbrt(p);
+    case AlgoId::kDNS:
+    case AlgoId::kDiag3D:
+    case AlgoId::kAllTrans:
+    case AlgoId::kAll3D:
+      return 2.0 * n2 * std::cbrt(p);
+    case AlgoId::kDiag2D:
+      return 2.0 * n2 + n2 * std::sqrt(p) / std::sqrt(p);  // ~3 n^2
+    case AlgoId::kAll3DRect:
+      // The paper's stated figure for the extension.
+      return n2 * std::sqrt(p) + n2 * std::sqrt(std::sqrt(p));
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon: {
+      // 2 n^2 sigma with the canonical split.
+      const double lp = lg(p);
+      for (int ai = static_cast<int>(lp / 3); ai >= 0; --ai) {
+        if (std::fmod(lp - 3 * ai, 2.0) == 0.0) {
+          return 2.0 * n2 * std::exp2(ai);
+        }
+      }
+      return 2.0 * n2 * std::cbrt(p);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<algo::AlgoId> contenders(PortModel port) {
+  if (port == PortModel::kMultiPort) {
+    return {AlgoId::kCannon, AlgoId::kHJE, AlgoId::kBerntsen, AlgoId::kDiag3D,
+            AlgoId::kAll3D};
+  }
+  return {AlgoId::kCannon, AlgoId::kBerntsen, AlgoId::kDiag3D, AlgoId::kAll3D};
+}
+
+bool best_algorithm(PortModel port, double n, double p, const CostParams& cp,
+                    std::span<const algo::AlgoId> candidates,
+                    algo::AlgoId& best) {
+  double best_time = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const AlgoId id : candidates) {
+    if (!applicable(id, port, n, p)) continue;
+    const double t = table2(id, port, n, p).time(cp);
+    if (t < best_time) {
+      best_time = t;
+      best = id;
+      found = true;
+    }
+  }
+  return found;
+}
+
+char map_letter(algo::AlgoId id) noexcept {
+  switch (id) {
+    case AlgoId::kSimple:   return 'S';
+    case AlgoId::kCannon:   return 'C';
+    case AlgoId::kHJE:      return 'H';
+    case AlgoId::kBerntsen: return 'B';
+    case AlgoId::kDNS:      return 'N';
+    case AlgoId::kDiag2D:   return '2';
+    case AlgoId::kDiag3D:   return 'D';
+    case AlgoId::kAllTrans: return 'T';
+    case AlgoId::kAll3D:    return 'A';
+    case AlgoId::kAll3DRect: return 'R';
+    case AlgoId::kDNSCannon: return 'n';
+    case AlgoId::kDiag3DCannon: return 'd';
+  }
+  return '?';
+}
+
+std::string region_map(PortModel port, const CostParams& cp,
+                       std::span<const algo::AlgoId> candidates,
+                       double log2n_min, double log2n_max, double log2p_min,
+                       double log2p_max, std::size_t cols, std::size_t rows) {
+  HCMM_CHECK(cols >= 2 && rows >= 2, "region_map: grid too small");
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double log2p =
+        log2p_max - (log2p_max - log2p_min) * static_cast<double>(r) /
+                        static_cast<double>(rows - 1);
+    os.width(6);
+    os.precision(1);
+    os << std::fixed << log2p << " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double log2n =
+          log2n_min + (log2n_max - log2n_min) * static_cast<double>(c) /
+                          static_cast<double>(cols - 1);
+      algo::AlgoId best{};
+      if (best_algorithm(port, std::exp2(log2n), std::exp2(log2p), cp,
+                         candidates, best)) {
+        os << map_letter(best);
+      } else {
+        os << '.';
+      }
+    }
+    os << '\n';
+  }
+  os << "log2(p)" << std::string(cols > 10 ? cols - 10 : 0, ' ')
+     << "  (x: log2 n in [" << log2n_min << ", " << log2n_max << "])\n";
+  return os.str();
+}
+
+std::string region_csv(PortModel port, const CostParams& cp,
+                       std::span<const algo::AlgoId> candidates,
+                       double log2n_min, double log2n_max, double log2p_min,
+                       double log2p_max, std::size_t cols, std::size_t rows) {
+  HCMM_CHECK(cols >= 2 && rows >= 2, "region_csv: grid too small");
+  std::ostringstream os;
+  os << "port,ts,tw,log2n,log2p,winner,comm_time\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double log2p =
+        log2p_min + (log2p_max - log2p_min) * static_cast<double>(r) /
+                        static_cast<double>(rows - 1);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double log2n =
+          log2n_min + (log2n_max - log2n_min) * static_cast<double>(c) /
+                          static_cast<double>(cols - 1);
+      const double n = std::exp2(log2n);
+      const double p = std::exp2(log2p);
+      algo::AlgoId best{};
+      os << (port == PortModel::kOnePort ? "one" : "multi") << ',' << cp.ts
+         << ',' << cp.tw << ',' << log2n << ',' << log2p << ',';
+      if (best_algorithm(port, n, p, cp, candidates, best)) {
+        os << algo::to_string(best) << ','
+           << table2(best, port, n, p).time(cp);
+      } else {
+        os << "-,inf";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hcmm::cost

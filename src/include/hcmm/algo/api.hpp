@@ -1,0 +1,79 @@
+#pragma once
+// Public interface of the distributed matrix-multiplication algorithms:
+// the paper's two contributions (3-D Diagonal and 3-D All, plus their
+// intermediate forms 2-D Diagonal and 3-D All_Trans) and every baseline it
+// compares against (Simple, Cannon, Ho–Johnsson–Edelman, Berntsen, DNS).
+//
+// Usage: construct a Machine for the target hypercube/port model, pick an
+// algorithm, and call run().  The algorithm stages the operands in the
+// paper's initial distribution (not charged), executes its communication
+// and computation phases on the simulated machine (charged and reported per
+// phase), and gathers the product for verification.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hcmm/matrix/matrix.hpp"
+#include "hcmm/sim/machine.hpp"
+
+namespace hcmm::algo {
+
+enum class AlgoId : std::uint8_t {
+  kSimple,    ///< §3.1 all-to-all broadcast algorithm
+  kCannon,    ///< §3.2 Cannon's algorithm
+  kHJE,       ///< §3.3 Ho–Johnsson–Edelman (multi-port only)
+  kBerntsen,  ///< §3.4 Berntsen's algorithm
+  kDNS,       ///< §3.5 Dekel–Nassimi–Sahni
+  kDiag2D,    ///< §4.1.1 2-D Diagonal (building block of 3DD)
+  kDiag3D,    ///< §4.1.2 3-D Diagonal — first proposed algorithm
+  kAllTrans,  ///< §4.2.1 3-D All_Trans (building block of 3D All)
+  kAll3D,     ///< §4.2.2 3-D All — second proposed algorithm
+  kAll3DRect, ///< §4.2.2 closing remark: 3-D All on a p^{1/4} x p^{1/4} x
+              ///< sqrt(p) grid, usable up to p <= n^2 (extension)
+  kDNSCannon,    ///< §3.5 DNS x Cannon supernode combination
+  kDiag3DCannon, ///< §3.5 3DD x Cannon — the "better combination" the
+                 ///< paper asserts but does not spell out
+};
+
+[[nodiscard]] const char* to_string(AlgoId id) noexcept;
+
+/// Outcome of one distributed run: the assembled product and the per-phase
+/// cost report measured by the Machine.
+struct RunResult {
+  Matrix c;
+  SimReport report;
+};
+
+class DistributedMatmul {
+ public:
+  virtual ~DistributedMatmul() = default;
+
+  [[nodiscard]] virtual AlgoId id() const noexcept = 0;
+  [[nodiscard]] std::string name() const { return to_string(id()); }
+
+  /// True iff the algorithm can run an n x n product on p nodes: processor
+  /// count of the right shape (square / cube power of two), the paper's
+  /// p <= n^k bound (Table 3), and block divisibility.
+  [[nodiscard]] virtual bool applicable(std::size_t n,
+                                        std::uint32_t p) const = 0;
+
+  /// True iff the algorithm is defined for @p port.  Only HJE is
+  /// restricted (multi-port; on one-port machines it degenerates to
+  /// Cannon, which the paper lists as "-").
+  [[nodiscard]] virtual bool supports(PortModel port) const;
+
+  /// Execute a*b on @p machine.  Requires applicable(a.rows(),
+  /// machine.cube().size()) and square equal-sized operands.
+  [[nodiscard]] virtual RunResult run(const Matrix& a, const Matrix& b,
+                                      Machine& machine) const = 0;
+};
+
+/// Factory for a single algorithm.
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_algorithm(AlgoId id);
+
+/// All ten algorithms (nine from the paper plus the rectangular-grid
+/// 3-D All extension), in the paper's presentation order.
+[[nodiscard]] std::vector<std::unique_ptr<DistributedMatmul>> all_algorithms();
+
+}  // namespace hcmm::algo

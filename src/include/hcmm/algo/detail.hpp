@@ -1,0 +1,108 @@
+#pragma once
+// Shared machinery for the algorithm implementations: tag vocabulary,
+// Matrix <-> payload conversion, the parallel local-compute helper, and the
+// Cannon core reused by both Cannon's algorithm and Berntsen's subcube
+// outer products.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/matrix.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::algo::detail {
+
+// Tag spaces (first field of make_tag).  Kept below 0x100 so the store's
+// part-tag byte stays clear.
+inline constexpr std::uint16_t kSpaceA = 1;
+inline constexpr std::uint16_t kSpaceB = 2;
+inline constexpr std::uint16_t kSpaceC = 3;
+inline constexpr std::uint16_t kSpaceI = 4;       // outer-product partials
+inline constexpr std::uint16_t kSpacePieceA = 5;  // sub-block pieces of A
+inline constexpr std::uint16_t kSpacePieceB = 6;
+inline constexpr std::uint16_t kSpacePieceI = 7;
+
+[[nodiscard]] Tag tag3(std::uint16_t space, std::uint32_t a,
+                       std::uint32_t b = 0, std::uint32_t c = 0);
+
+/// Read item (node, tag) as an r x c matrix (copies the payload).
+[[nodiscard]] Matrix mat_from(const DataStore& store, NodeId node, Tag tag,
+                              std::size_t r, std::size_t c);
+
+/// Store a matrix as item (node, tag).
+void put_mat(DataStore& store, NodeId node, Tag tag, Matrix&& m);
+
+/// One local multiply-accumulate unit: result[job] = a * b.
+struct GemmJob {
+  NodeId node = 0;
+  Matrix a;
+  Matrix b;
+};
+
+/// Run all jobs on the machine's thread pool, charge t_c per multiply-add
+/// (max over nodes, accumulating per node across jobs), and hand each
+/// product to @p sink(job_index, product).  Deterministic: products are
+/// computed in parallel but consumed in job order.
+void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
+                   const std::function<void(std::size_t, Matrix&&)>& sink);
+
+/// A q x q processor grid view: Cannon's core runs on any structure that
+/// provides node lookup and row/column chain subcubes (the whole machine for
+/// Cannon, one x-y plane for Berntsen).
+struct GridFace {
+  std::uint32_t q = 0;
+  std::function<NodeId(std::uint32_t row, std::uint32_t col)> node;
+  std::function<Subcube(std::uint32_t row)> row_chain;
+  std::function<Subcube(std::uint32_t col)> col_chain;
+};
+
+/// One Cannon face: a q x q grid view plus the tag layout of its operands.
+struct CannonFace {
+  GridFace grid;
+  std::function<Tag(std::uint32_t, std::uint32_t)> a_tag;
+  std::function<Tag(std::uint32_t, std::uint32_t)> b_tag;
+  std::function<Tag(std::uint32_t, std::uint32_t)> c_tag;
+};
+
+/// Cannon's algorithm on every face in lockstep: operands already staged as
+/// a_tag(i,j) / b_tag(i,j) at grid.node(i,j) with block shapes (ar x ac)
+/// and (ac x bc); the alignment and the q shift-multiply-add steps
+/// accumulate into store items c_tag(i,j) of shape ar x bc (created here).
+/// Faces must live on pairwise link-disjoint node sets (disjoint subcubes)
+/// and share one q, so each round carries every face's transfers and the
+/// measured cost equals a single face's schedule — which is how Berntsen's
+/// subcube outer products and the DNS/3DD x Cannon supernode combinations
+/// execute on the real machine.
+///
+/// Multi-port machines overlap the A and B movements of each phase, exactly
+/// as the paper's §3.2 analysis assumes.
+void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
+                     std::size_t ar, std::size_t ac, std::size_t bc,
+                     const std::string& phase_prefix);
+
+/// Single-face convenience used by plain Cannon.
+void cannon_core(Machine& machine, const GridFace& face,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& a_tag,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& b_tag,
+                 const std::function<Tag(std::uint32_t, std::uint32_t)>& c_tag,
+                 std::size_t ar, std::size_t ac, std::size_t bc,
+                 const std::string& phase_prefix);
+
+/// Stage a's blocks: block (bi, bj) of the bh x bw block grid goes to
+/// placer(bi, bj) under tag(bi, bj).  Not charged (initial distribution).
+void stage_blocks(Machine& machine, const Matrix& a, std::uint32_t bh,
+                  std::uint32_t bw,
+                  const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
+                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag);
+
+/// Assemble an n x n matrix from blocks: block (bi, bj) read from
+/// placer(bi, bj) under tag(bi, bj).
+[[nodiscard]] Matrix gather_blocks(
+    const Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
+    const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
+    const std::function<Tag(std::uint32_t, std::uint32_t)>& tag);
+
+}  // namespace hcmm::algo::detail

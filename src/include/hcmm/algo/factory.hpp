@@ -1,0 +1,31 @@
+#pragma once
+// Internal per-algorithm factories (one translation unit each); the public
+// entry points are make_algorithm / all_algorithms in api.hpp.
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "hcmm/algo/api.hpp"
+
+namespace hcmm::algo::detail {
+
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_simple();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_cannon();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_hje();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_berntsen();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_dns();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_diag2d();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_diag3d();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_alltrans();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_all3d();
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_all3d_rect();
+
+/// The §3.5 supernode combinations; @p split optionally pins
+/// (sigma, rho) with p = sigma^3 * rho^2 (default: largest sigma).
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_dns_cannon(
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> split = {});
+[[nodiscard]] std::unique_ptr<DistributedMatmul> make_diag3d_cannon(
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> split = {});
+
+}  // namespace hcmm::algo::detail

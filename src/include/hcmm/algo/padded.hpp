@@ -1,0 +1,24 @@
+#pragma once
+// Arbitrary-size frontend: every algorithm in this library requires n to
+// divide evenly into its block grid (the paper assumes as much).  For
+// arbitrary n, pad A and B with zeros up to the algorithm's granularity,
+// run, and crop — the zero rows/columns contribute nothing to the product.
+
+#include "hcmm/algo/api.hpp"
+
+namespace hcmm::algo {
+
+/// Smallest n' >= n at which @p alg is applicable on p nodes (n' is probed
+/// in steps of 1 up to 4x n); 0 if none exists (e.g. p of the wrong shape).
+[[nodiscard]] std::size_t padded_size(const DistributedMatmul& alg,
+                                      std::size_t n, std::uint32_t p);
+
+/// Multiply two (not necessarily square-divisible) n x n matrices with
+/// @p alg on @p machine by zero-padding to padded_size() and cropping the
+/// result.  The report reflects the padded run (that is what the machine
+/// executed).  Throws if no padded size exists.
+[[nodiscard]] RunResult padded_multiply(const DistributedMatmul& alg,
+                                        const Matrix& a, const Matrix& b,
+                                        Machine& machine);
+
+}  // namespace hcmm::algo

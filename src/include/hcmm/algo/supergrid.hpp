@@ -1,0 +1,59 @@
+#pragma once
+// Supernode decomposition for the paper's §3.5 combination algorithms: the
+// hypercube is viewed as a sigma x sigma x sigma 3-D grid of supernodes,
+// each supernode a rho x rho Cannon mesh (p = sigma^3 * rho^2).  Superblock
+// movement between supernodes happens per intra-position (u, v) — the
+// corresponding processors of the supernodes form chains that are genuine
+// subcubes — and each supernode multiplies its superblocks with Cannon's
+// algorithm internally, trading start-ups for replication space.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "hcmm/algo/detail.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::algo::detail {
+
+class SuperGrid {
+ public:
+  /// @p sigma supernode grid side, @p rho Cannon mesh side (both powers of
+  /// two); the machine has sigma^3 * rho^2 nodes.
+  SuperGrid(std::uint32_t sigma, std::uint32_t rho);
+
+  [[nodiscard]] std::uint32_t sigma() const noexcept { return sigma_; }
+  [[nodiscard]] std::uint32_t rho() const noexcept { return rho_; }
+  [[nodiscard]] std::uint32_t p() const noexcept {
+    return sigma_ * sigma_ * sigma_ * rho_ * rho_;
+  }
+
+  /// Hypercube node of intra-position (u, v) in supernode (i, j, k).
+  [[nodiscard]] NodeId node(std::uint32_t u, std::uint32_t v, std::uint32_t i,
+                            std::uint32_t j, std::uint32_t k) const;
+
+  /// Chains of corresponding processors across supernodes (u, v fixed).
+  [[nodiscard]] Subcube super_x_chain(std::uint32_t u, std::uint32_t v,
+                                      std::uint32_t j, std::uint32_t k) const;
+  [[nodiscard]] Subcube super_y_chain(std::uint32_t u, std::uint32_t v,
+                                      std::uint32_t i, std::uint32_t k) const;
+  [[nodiscard]] Subcube super_z_chain(std::uint32_t u, std::uint32_t v,
+                                      std::uint32_t i, std::uint32_t j) const;
+
+  /// The rho x rho Cannon face of supernode (i, j, k): face position
+  /// (row u, col v) -> node(u, v, i, j, k).
+  [[nodiscard]] GridFace face(std::uint32_t i, std::uint32_t j,
+                              std::uint32_t k) const;
+
+ private:
+  std::uint32_t sigma_, rho_;
+  std::uint32_t gs_, gr_;  // log2 sizes
+};
+
+/// Canonical (sigma, rho) split of p = sigma^3 * rho^2: the largest sigma
+/// (most supernode parallelism, fewest Cannon start-ups) whose remainder is
+/// a perfect square.  Empty when log2(p) cannot be written as 3a + 2b.
+[[nodiscard]] std::optional<std::pair<std::uint32_t, std::uint32_t>>
+default_super_split(std::uint32_t p);
+
+}  // namespace hcmm::algo::detail

@@ -1,0 +1,82 @@
+#pragma once
+// Pure schedule builders for the hypercube collectives of Table 1 of the
+// paper (Johnsson & Ho's optimal broadcasting / personalized communication).
+// Each builder is parameterized by a *dimension order* — a permutation of the
+// subcube's local dimensions.  One-port collectives use a single instance
+// with the identity order; multi-port collectives run log N instances with
+// rotated orders concurrently (one spanning binomial tree per rotation, all
+// edge-disjoint within every round), which is what buys the extra factor of
+// log N bandwidth in Table 1.
+//
+// Conventions:
+//  * ranks are subcube-local (0..N-1); node = sc.node_at(rank);
+//  * "tags_by_rank[r]" are the item(s) owned by / destined to local rank r;
+//  * builders never touch payloads — the Machine moves data at run time.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::coll {
+
+/// A permutation of 0..d-1 (local dimension indices).
+using DimOrder = std::vector<std::uint32_t>;
+
+/// Identity order 0,1,...,d-1.
+[[nodiscard]] DimOrder identity_order(std::uint32_t d);
+/// Identity order rotated left by @p j: j, j+1, ..., j-1 (mod d).
+[[nodiscard]] DimOrder rotated_order(std::uint32_t d, std::uint32_t j);
+
+/// One-to-all broadcast over a spanning binomial tree rooted at local rank
+/// @p root_rank.  d rounds; in round r every covered node relays @p tags
+/// along dimension order[r].  Sources keep their copies.
+[[nodiscard]] Schedule sbt_bcast(const Subcube& sc, std::uint32_t root_rank,
+                                 const DimOrder& order,
+                                 std::span<const Tag> tags);
+
+/// All-to-one reduction: exact inverse of sbt_bcast with combining moves.
+/// Every member must hold every tag in @p tags; afterwards only the root
+/// does (element-wise sums).
+[[nodiscard]] Schedule sbt_reduce(const Subcube& sc, std::uint32_t root_rank,
+                                  const DimOrder& order,
+                                  std::span<const Tag> tags);
+
+/// One-to-all personalized broadcast (scatter) by recursive halving: the
+/// root initially holds tags_by_rank[r] for every rank r; afterwards each
+/// rank holds its own.  d rounds moving (N/2 + N/4 + ... + 1) items.
+[[nodiscard]] Schedule rh_scatter(const Subcube& sc, std::uint32_t root_rank,
+                                  const DimOrder& order,
+                                  std::span<const std::vector<Tag>> tags_by_rank);
+
+/// All-to-one personalized gather: inverse of rh_scatter (no combining);
+/// rank r starts with tags_by_rank[r], the root ends with all of them.
+[[nodiscard]] Schedule bin_gather(const Subcube& sc, std::uint32_t root_rank,
+                                  const DimOrder& order,
+                                  std::span<const std::vector<Tag>> tags_by_rank);
+
+/// All-to-all broadcast by recursive doubling: rank r starts with
+/// tags_by_rank[r]; everyone ends with everything.  Round r exchanges the
+/// 2^r items accumulated so far (single start-up per round).
+[[nodiscard]] Schedule rd_allgather(const Subcube& sc, const DimOrder& order,
+                                    std::span<const std::vector<Tag>> tags_by_rank);
+
+/// All-to-all reduction (reduce-scatter) by recursive halving: every member
+/// holds ALL tags (partial sums); afterwards rank r holds only
+/// tags_by_rank[r], fully combined.  Inverse of rd_allgather with combining.
+[[nodiscard]] Schedule rh_reduce_scatter(
+    const Subcube& sc, const DimOrder& order,
+    std::span<const std::vector<Tag>> tags_by_rank);
+
+/// All-to-all personalized communication: item (s,d) starts at rank s and
+/// ends at rank d.  Round r routes every item across dimension order[r] if
+/// source and destination differ there; each node relays N items per round
+/// (N/2 of them crossing), the Table 1 cost (t_s + t_w*N*M/2) * log N.
+/// @p tag_fn(s, d) yields the tags of item (s,d); empty means no item.
+[[nodiscard]] Schedule aapc(
+    const Subcube& sc, const DimOrder& order,
+    const std::function<std::vector<Tag>(std::uint32_t, std::uint32_t)>& tag_fn);
+
+}  // namespace hcmm::coll

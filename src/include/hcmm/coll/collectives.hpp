@@ -1,0 +1,107 @@
+#pragma once
+// Machine-level collective operations.  Each prep_* function compiles one
+// collective for the machine's port model:
+//   one-port  : a single identity-order instance of the Table 1 schedule;
+//   multi-port: every payload is split into log N chunks and log N
+//               dimension-rotated instances run concurrently (edge-disjoint
+//               per round), realizing the Table 1 multi-port bandwidths.
+// The returned PreparedColl carries the schedule plus the store fix-ups
+// (chunk joins) to apply after execution.  Preparing is what performs the
+// splits, so prepare only immediately before running.
+//
+// Several collectives can be overlapped on a multi-port machine by preparing
+// each and passing them together to run_prepared — the paper does this
+// wherever it says two phases "can occur in parallel" (e.g. the A and B
+// broadcasts of the 3DD second phase, which travel along different grid
+// dimensions).
+
+#include <span>
+#include <vector>
+
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::coll {
+
+/// Post-execution store fix-up: join chunk items back into a whole.
+struct JoinAction {
+  NodeId node = 0;
+  std::vector<Tag> parts;
+  Tag out = 0;
+};
+
+/// A compiled collective: schedule plus deferred joins.
+struct PreparedColl {
+  Schedule schedule;
+  std::vector<JoinAction> joins;
+};
+
+/// One-to-all broadcast of @p tag from @p root to every member of @p sc.
+[[nodiscard]] PreparedColl prep_bcast(Machine& m, const Subcube& sc,
+                                      NodeId root, Tag tag);
+
+/// Bundle broadcast: several items travel together (one start-up per round).
+/// Used e.g. by 3D All_Trans phase 2, where the root broadcasts the q B
+/// blocks gathered in phase 1 as one message.
+[[nodiscard]] PreparedColl prep_bcast_bundle(Machine& m, const Subcube& sc,
+                                             NodeId root,
+                                             std::span<const Tag> tags);
+
+/// Bundle all-to-all broadcast: rank r contributes all of tags_by_rank[r];
+/// every member ends with every bundle.  Used by 3D All phase 2, where each
+/// node's contribution is the set of B pieces acquired in phase 1.
+[[nodiscard]] PreparedColl prep_allgather_bundles(
+    Machine& m, const Subcube& sc,
+    std::span<const std::vector<Tag>> tags_by_rank);
+
+/// All-to-one reduction (element-wise sum) of @p tag into @p root; every
+/// member must hold @p tag, and afterwards only the root does.
+[[nodiscard]] PreparedColl prep_reduce(Machine& m, const Subcube& sc,
+                                       NodeId root, Tag tag);
+
+/// Scatter: the root holds tags_by_rank[r] for every local rank r and keeps
+/// only its own; rank r receives tags_by_rank[r].
+[[nodiscard]] PreparedColl prep_scatter(Machine& m, const Subcube& sc,
+                                        NodeId root,
+                                        std::span<const Tag> tags_by_rank);
+
+/// Gather: rank r holds tags_by_rank[r]; afterwards the root holds all.
+[[nodiscard]] PreparedColl prep_gather(Machine& m, const Subcube& sc,
+                                       NodeId root,
+                                       std::span<const Tag> tags_by_rank);
+
+/// All-to-all broadcast: rank r starts with tags_by_rank[r]; every member
+/// ends with every tag.
+[[nodiscard]] PreparedColl prep_allgather(Machine& m, const Subcube& sc,
+                                          std::span<const Tag> tags_by_rank);
+
+/// All-to-all reduction (reduce-scatter): every member holds all tags as
+/// partial sums; afterwards rank r holds only tags_by_rank[r], combined.
+[[nodiscard]] PreparedColl prep_reduce_scatter(
+    Machine& m, const Subcube& sc, std::span<const Tag> tags_by_rank);
+
+/// All-to-all personalized: tags_flat[s * N + d] moves from rank s to rank
+/// d (entries may be 0 == absent; diagonal entries stay put).
+[[nodiscard]] PreparedColl prep_alltoall(Machine& m, const Subcube& sc,
+                                         std::span<const Tag> tags_flat);
+
+/// Execute prepared collectives concurrently (parallel round merge), then
+/// apply their joins.
+void run_prepared(Machine& m, std::span<PreparedColl> colls);
+void run_prepared(Machine& m, PreparedColl&& coll);
+
+// ---- single-shot conveniences (prepare + run) ----
+void op_bcast(Machine& m, const Subcube& sc, NodeId root, Tag tag);
+void op_reduce(Machine& m, const Subcube& sc, NodeId root, Tag tag);
+void op_scatter(Machine& m, const Subcube& sc, NodeId root,
+                std::span<const Tag> tags_by_rank);
+void op_gather(Machine& m, const Subcube& sc, NodeId root,
+               std::span<const Tag> tags_by_rank);
+void op_allgather(Machine& m, const Subcube& sc,
+                  std::span<const Tag> tags_by_rank);
+void op_reduce_scatter(Machine& m, const Subcube& sc,
+                       std::span<const Tag> tags_by_rank);
+void op_alltoall(Machine& m, const Subcube& sc,
+                 std::span<const Tag> tags_flat);
+
+}  // namespace hcmm::coll

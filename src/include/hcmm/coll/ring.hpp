@@ -1,0 +1,28 @@
+#pragma once
+// Ring communication inside a chain subcube.  Ring position c maps to the
+// member with local rank gray_encode(c), so positions c and c+1 (mod q) are
+// hypercube neighbors and a circular unit shift crosses exactly one link —
+// the property Cannon's shift-multiply-add steps rely on (paper §3.2).
+
+#include <span>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::coll {
+
+/// Hypercube member node sitting at ring position @p c of chain @p sc.
+[[nodiscard]] NodeId ring_node(const Subcube& sc, std::uint32_t c);
+
+/// Ring position of member @p node.
+[[nodiscard]] std::uint32_t ring_position(const Subcube& sc, NodeId node);
+
+/// Circular shift by one position: the holder at position c sends
+/// tags_by_pos[c] to position (c + direction) mod q.  One round, one link
+/// per node each way; @p direction is +1 (right/down) or -1.
+[[nodiscard]] Schedule ring_shift_unit(
+    const Subcube& sc, std::span<const std::vector<Tag>> tags_by_pos,
+    int direction);
+
+}  // namespace hcmm::coll

@@ -1,0 +1,26 @@
+#pragma once
+// Machine-level point-to-point phases.  On one-port machines this is plain
+// dimension-ordered routing (sim/router.hpp).  On multi-port machines each
+// message of m words over h hops is cut into h parts sent along the h
+// edge-disjoint rotated dimension orders, pipelining to h*t_s + t_w*m —
+// the multi-port cost the paper charges for the DNS and 3DD first phases.
+// Contention between different messages is resolved honestly by greedy
+// round packing, so saturated patterns (e.g. Cannon's alignment, where
+// every node in a chain is sending) serialize instead of assuming ideal
+// bandwidth.
+
+#include <span>
+
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/sim/router.hpp"
+
+namespace hcmm::coll {
+
+/// Compile a point-to-point phase for the machine's port model.
+[[nodiscard]] PreparedColl prep_route(Machine& m,
+                                      std::span<const RouteRequest> reqs);
+
+/// Convenience: prep + run + join.
+void op_route(Machine& m, std::span<const RouteRequest> reqs);
+
+}  // namespace hcmm::coll

@@ -1,0 +1,36 @@
+#pragma once
+// Local (single-node) dense multiply kernels.  The distributed algorithms
+// spend their compute time in gemm_accumulate on sub-blocks; the tiled and
+// threaded variants exist so the examples/benches can show realistic local
+// arithmetic rates, and the naive variant is the oracle the others are
+// tested against.
+
+#include <cstddef>
+
+#include "hcmm/matrix/matrix.hpp"
+
+namespace hcmm {
+
+class ThreadPool;
+
+/// C = A * B with the textbook triple loop (i-k-j order).  Oracle kernel.
+[[nodiscard]] Matrix multiply_naive(const Matrix& a, const Matrix& b);
+
+/// C += A * B, cache-tiled.  This is the kernel every distributed algorithm
+/// calls on its local sub-blocks.
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B, cache-tiled.
+[[nodiscard]] Matrix multiply_tiled(const Matrix& a, const Matrix& b);
+
+/// C = A * B with rows of C partitioned across @p pool's threads.
+[[nodiscard]] Matrix multiply_threaded(const Matrix& a, const Matrix& b,
+                                       ThreadPool& pool);
+
+/// Number of fused multiply-add operations a m x k by k x n product performs.
+[[nodiscard]] constexpr std::uint64_t gemm_flops(std::size_t m, std::size_t k,
+                                                 std::size_t n) noexcept {
+  return static_cast<std::uint64_t>(m) * k * n;
+}
+
+}  // namespace hcmm

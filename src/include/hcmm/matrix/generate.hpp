@@ -1,0 +1,26 @@
+#pragma once
+// Deterministic matrix generators for tests, examples and benchmarks.
+
+#include <cstdint>
+
+#include "hcmm/matrix/matrix.hpp"
+#include "hcmm/support/prng.hpp"
+
+namespace hcmm {
+
+/// Uniform random entries in [-1, 1), reproducible from @p seed.
+[[nodiscard]] Matrix random_matrix(std::size_t rows, std::size_t cols,
+                                   std::uint64_t seed);
+
+/// Entry (i,j) = i*cols + j; handy for tracking data movement in tests
+/// because every element value identifies its origin.
+[[nodiscard]] Matrix index_matrix(std::size_t rows, std::size_t cols);
+
+/// Symmetric diagonally-dominant matrix (useful for iterative examples).
+[[nodiscard]] Matrix spd_matrix(std::size_t n, std::uint64_t seed);
+
+/// Row-stochastic matrix (rows sum to 1) — a random-walk transition matrix,
+/// used by the Markov-chain example.
+[[nodiscard]] Matrix stochastic_matrix(std::size_t n, std::uint64_t seed);
+
+}  // namespace hcmm

@@ -1,0 +1,73 @@
+#pragma once
+// Dense row-major matrix of doubles.  Deliberately minimal: the distributed
+// algorithms move *blocks* of these around, so the operations that matter are
+// block extraction/insertion and the local multiply kernels (gemm.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcmm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix adopting @p data (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double> take() && noexcept { return std::move(data_); }
+
+  /// Copy of the h x w block whose top-left element is (r0, c0).
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t c0, std::size_t h,
+                             std::size_t w) const;
+
+  /// Overwrite the block at (r0, c0) with @p b.
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& b);
+
+  /// Add @p b element-wise into the block at (r0, c0).
+  void add_block(std::size_t r0, std::size_t c0, const Matrix& b);
+
+  /// Element-wise in-place addition; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] static Matrix zeros(std::size_t rows, std::size_t cols);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// max_{ij} |a_ij - b_ij|; shapes must match.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+[[nodiscard]] double frobenius_norm(const Matrix& m);
+
+/// True iff shapes match and max_abs_diff <= tol.
+[[nodiscard]] bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace hcmm

@@ -1,0 +1,49 @@
+#pragma once
+// The paper's algorithms as real SPMD message-passing programs on the
+// thread-per-rank runtime (rt::Team) — topology-agnostic, the way one would
+// write them over MPI today.  The simulated-machine implementations in
+// algo/ are the cost-faithful reproduction; these exist to demonstrate the
+// same dataflow executing with genuine concurrency, and they share no code
+// with the simulator, so agreement between the two is itself a check.
+
+#include "hcmm/matrix/matrix.hpp"
+#include "hcmm/runtime/team.hpp"
+
+namespace hcmm::rt {
+
+/// Cannon's algorithm on a sqrt(p) x sqrt(p) rank grid; the team must have
+/// p ranks with p a perfect square and n divisible by sqrt(p).
+[[nodiscard]] Matrix spmd_cannon(Team& team, const Matrix& a, const Matrix& b);
+
+/// 3-D All on a cbrt(p)^3 rank grid; the team must have p ranks with p a
+/// perfect cube and n divisible by cbrt(p)^2.
+[[nodiscard]] Matrix spmd_all3d(Team& team, const Matrix& a, const Matrix& b);
+
+/// Algorithm Simple: all-to-all broadcasts along rank-grid rows and
+/// columns; p a perfect square, n divisible by sqrt(p).
+[[nodiscard]] Matrix spmd_simple(Team& team, const Matrix& a, const Matrix& b);
+
+/// DNS on a cbrt(p)^3 rank grid; n divisible by cbrt(p).
+[[nodiscard]] Matrix spmd_dns(Team& team, const Matrix& a, const Matrix& b);
+
+/// 3-D Diagonal on a cbrt(p)^3 rank grid; n divisible by cbrt(p).
+[[nodiscard]] Matrix spmd_diag3d(Team& team, const Matrix& a, const Matrix& b);
+
+/// Berntsen on a cbrt(p)^3 rank grid (Cannon inside each z-plane, reduction
+/// across planes); n divisible by cbrt(p)^2.
+[[nodiscard]] Matrix spmd_berntsen(Team& team, const Matrix& a,
+                                   const Matrix& b);
+
+/// 2-D Diagonal on a sqrt(p)^2 rank grid; n divisible by sqrt(p).
+[[nodiscard]] Matrix spmd_diag2d(Team& team, const Matrix& a, const Matrix& b);
+
+/// 3-D All_Trans on a cbrt(p)^3 rank grid (B starts in the transposed
+/// layout of Fig. 9); n divisible by cbrt(p)^2.
+[[nodiscard]] Matrix spmd_alltrans(Team& team, const Matrix& a,
+                                   const Matrix& b);
+
+// (Ho–Johnsson–Edelman has no topology-agnostic port: its whole point is
+// driving all log p hypercube links at once, which a rank abstraction
+// cannot express; on the simulated machine see algo/hje.cpp.)
+
+}  // namespace hcmm::rt

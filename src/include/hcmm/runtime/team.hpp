@@ -1,0 +1,91 @@
+#pragma once
+// A minimal SPMD runtime: one OS thread per rank, blocking point-to-point
+// matrix messages and a barrier — the MPI subset the paper's algorithms
+// need, so they can run as real parallel programs (runtime/spmd_matmul.hpp)
+// and not only on the simulated machine.  Messages between a (from, to)
+// pair with the same key are delivered in FIFO order; recv blocks until a
+// matching message arrives and fails loudly after a timeout instead of
+// deadlocking silently.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "hcmm/matrix/matrix.hpp"
+
+namespace hcmm::rt {
+
+class Rank;
+
+class Team {
+ public:
+  /// @p ranks number of SPMD ranks (threads); @p recv_timeout how long a
+  /// recv may wait before the run is declared deadlocked.
+  explicit Team(std::uint32_t ranks,
+                std::chrono::milliseconds recv_timeout =
+                    std::chrono::milliseconds(30000));
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return ranks_; }
+
+  /// Run @p fn on every rank concurrently and join.  The first exception
+  /// thrown by any rank is rethrown here (other ranks may then time out and
+  /// are joined regardless).  Reusable for successive runs.
+  void run(const std::function<void(Rank&)>& fn);
+
+ private:
+  friend class Rank;
+
+  struct Key {
+    std::uint32_t to;
+    std::uint32_t from;
+    std::uint64_t tag;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag, Matrix m);
+  [[nodiscard]] Matrix recv(std::uint32_t to, std::uint32_t from,
+                            std::uint64_t tag);
+  void barrier_wait();
+
+  std::uint32_t ranks_;
+  std::chrono::milliseconds timeout_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Matrix>> mailboxes_;
+  // Generation-counting barrier.
+  std::uint32_t barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool failed_ = false;  // a rank threw: wake everyone so they can unwind
+};
+
+/// Per-rank handle passed to the SPMD function.
+class Rank {
+ public:
+  Rank(Team& team, std::uint32_t id) : team_(team), id_(id) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return team_.size(); }
+
+  /// Asynchronous: enqueue @p m for @p to under @p tag and return.
+  void send(std::uint32_t to, std::uint64_t tag, Matrix m) {
+    team_.send(id_, to, tag, std::move(m));
+  }
+
+  /// Block until a message from @p from under @p tag arrives.
+  [[nodiscard]] Matrix recv(std::uint32_t from, std::uint64_t tag) {
+    return team_.recv(id_, from, tag);
+  }
+
+  /// Block until every rank reaches the barrier.
+  void barrier() { team_.barrier_wait(); }
+
+ private:
+  Team& team_;
+  std::uint32_t id_;
+};
+
+}  // namespace hcmm::rt

@@ -1,0 +1,150 @@
+#pragma once
+// The simulated hypercube machine: per-node data stores plus bulk-synchronous
+// execution of communication schedules under the paper's cost model.
+//
+// Cost accounting (paper §2): executing one round costs every *active* node
+//   one-port  : t_s + t_w * max(words sent, words received)
+//   multi-port: max over links of (t_s + t_w * max(out, in on that link))
+// and the round's cost is the max over nodes; a phase is the sum of its
+// rounds.  The measured pair (a, b) with time = a*t_s + b*t_w is what
+// Table 2 of the paper tabulates per algorithm, so the Machine reports both
+// terms separately.
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/store.hpp"
+#include "hcmm/sim/types.hpp"
+#include "hcmm/support/thread_pool.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+
+/// Measured costs of one named phase of an algorithm.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t rounds = 0;       ///< measured a-term (start-ups on the critical path)
+  double word_cost = 0.0;         ///< measured b-term (word-times on the critical path)
+  std::uint64_t messages = 0;     ///< total point-to-point messages
+  std::uint64_t link_words = 0;   ///< total words crossing links (aggregate traffic)
+  std::uint64_t flops = 0;        ///< multiply-adds on the critical path
+  double comm_time = 0.0;
+  double compute_time = 0.0;
+  [[nodiscard]] double time() const noexcept { return comm_time + compute_time; }
+  void add(const PhaseStats& other);
+};
+
+/// Traffic carried by one directed link over a run (link accounting).
+struct LinkLoad {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t words = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Aggregate view of how evenly an algorithm loads the machine's links.
+struct LinkBalance {
+  std::uint64_t links_used = 0;
+  std::uint64_t max_words = 0;
+  double mean_words = 0.0;
+  /// max/mean over used links; 1.0 = perfectly even traffic.
+  double imbalance = 0.0;
+  /// Fraction of the machine's directed links that carried any traffic.
+  double coverage = 0.0;
+};
+
+/// Summarize per-link traffic against a machine of @p total_links
+/// undirected links (each counted twice for the directed view).
+[[nodiscard]] LinkBalance summarize_links(std::span<const LinkLoad> loads,
+                                          std::uint64_t total_links);
+
+/// Full execution report of one distributed algorithm run.
+struct SimReport {
+  PortModel port = PortModel::kOnePort;
+  CostParams params;
+  std::vector<PhaseStats> phases;
+  std::uint64_t peak_words_total = 0;  ///< Table 3's "overall space used"
+  /// End-to-end makespan under asynchronous execution of the same
+  /// schedules: a transfer starts as soon as its payload is resident at the
+  /// source and both ports are free — no round or phase barriers — while
+  /// local compute stages barrier the DAG.  Always <= totals().time(); the
+  /// gap is what the paper's phase-synchronous accounting leaves on the
+  /// table (see bench_async).
+  double async_makespan = 0.0;
+
+  [[nodiscard]] PhaseStats totals() const;
+  /// Multi-line human-readable table.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Machine {
+ public:
+  /// @p pool optional shared thread pool for local compute; a private
+  /// single-thread pool is created when omitted.
+  Machine(Hypercube cube, PortModel port, CostParams params,
+          std::shared_ptr<ThreadPool> pool = nullptr);
+
+  [[nodiscard]] const Hypercube& cube() const noexcept { return cube_; }
+  [[nodiscard]] PortModel port() const noexcept { return port_; }
+  [[nodiscard]] const CostParams& params() const noexcept { return params_; }
+  [[nodiscard]] DataStore& store() noexcept { return store_; }
+  [[nodiscard]] const DataStore& store() const noexcept { return store_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Start a new named phase; subsequent run()/charge_compute() calls
+  /// accumulate into it.
+  void begin_phase(std::string name);
+
+  /// Validate and execute @p s, moving payloads and charging costs.
+  void run(const Schedule& s);
+
+  /// Charge local computation: the current phase's compute time grows by
+  /// t_c * max(flops) (bulk-synchronous step), flops counts multiply-adds.
+  void charge_compute(std::span<const std::pair<NodeId, std::uint64_t>> per_node);
+
+  /// Phases measured since construction / reset_stats().
+  [[nodiscard]] SimReport report() const;
+
+  /// Forget measured phases and reset store peak metering; use after staging
+  /// initial operands so distribution does not count as algorithm cost.
+  void reset_stats();
+
+  /// Enable per-directed-link traffic accounting (off by default; small
+  /// per-transfer overhead).  Counters clear with reset_stats().
+  void set_link_accounting(bool on) { link_accounting_ = on; }
+
+  /// Per-link traffic recorded since reset_stats(), busiest first.
+  [[nodiscard]] std::vector<LinkLoad> link_loads() const;
+
+ private:
+  PhaseStats& current_phase();
+  void execute_round(const Round& round, PhaseStats& ph);
+  void validate_round(const Round& round) const;
+
+  // Run-wide asynchronous timing state (reset by reset_stats).  Transfers
+  // chain through data_ready/port_free across phase boundaries; compute
+  // acts as a global barrier by raising `floor`.
+  struct AsyncState {
+    std::map<std::pair<NodeId, Tag>, double> data_ready;
+    std::map<std::uint64_t, double> port_free;  // keyed per port model
+    double makespan = 0.0;
+    double floor = 0.0;
+  };
+  AsyncState async_;
+
+  Hypercube cube_;
+  PortModel port_;
+  CostParams params_;
+  DataStore store_;
+  std::shared_ptr<ThreadPool> pool_;
+  std::vector<PhaseStats> phases_;
+  bool link_accounting_ = false;
+  std::unordered_map<std::uint64_t, LinkLoad> link_traffic_;
+};
+
+}  // namespace hcmm

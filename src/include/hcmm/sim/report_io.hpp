@@ -1,0 +1,21 @@
+#pragma once
+// Machine-readable export of execution reports and region maps, for
+// downstream plotting or regression tracking: CSV (one row per phase) and a
+// minimal JSON document.  Both are plain strings — the caller decides where
+// they go.
+
+#include <string>
+
+#include "hcmm/sim/machine.hpp"
+
+namespace hcmm {
+
+/// CSV with header: phase,a_ts,b_tw,messages,link_words,flops,comm_time,
+/// compute_time — one row per phase plus a TOTAL row.
+[[nodiscard]] std::string report_csv(const SimReport& report);
+
+/// JSON object: {"port": ..., "params": {...}, "phases": [...],
+/// "totals": {...}, "peak_words_total": ...}.
+[[nodiscard]] std::string report_json(const SimReport& report);
+
+}  // namespace hcmm

@@ -1,0 +1,34 @@
+#pragma once
+// Store-and-forward point-to-point routing for communication phases that are
+// not collectives (the paper's "point-to-point communication" phases, e.g.
+// 3DD phase 1 and DNS phase 1, and Cannon's alignment shifts).
+//
+// Dimension-ordered (e-cube) routing: a message always corrects the lowest
+// bit in which its current position differs from its destination.  Rounds
+// are packed greedily subject to the port model, so congestion-free patterns
+// (the ones the paper charges max-distance * (t_s + t_w*m) for) finish in
+// max-distance rounds, and contended patterns serialize honestly instead of
+// assuming ideal cost.
+
+#include <span>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm {
+
+/// One end-to-end message: all @p tags travel together (single start-up per
+/// hop).  Copies at intermediate hops are moved, not replicated.
+struct RouteRequest {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<Tag> tags;
+};
+
+/// Compile @p reqs into a round schedule legal under @p port.
+/// Requests with src == dst are no-ops and contribute no cost.
+[[nodiscard]] Schedule route_p2p(const Hypercube& cube, PortModel port,
+                                 std::span<const RouteRequest> reqs);
+
+}  // namespace hcmm

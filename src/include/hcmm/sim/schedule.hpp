@@ -1,0 +1,60 @@
+#pragma once
+// A Schedule is the compiled form of one communication phase: a sequence of
+// synchronous rounds, each a set of single-link transfers.  Collective
+// builders (coll/) emit schedules; the Machine executes them, validating the
+// port model and charging t_s + t_w*m per round (max over nodes).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm {
+
+/// One message crossing one hypercube link during one round.  A message may
+/// bundle several store items (tags) — they share a single start-up, which
+/// is how e.g. recursive-doubling all-to-all broadcast keeps its t_s term at
+/// log N while its data term grows.
+struct Transfer {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<Tag> tags;
+  /// If set, each tag is element-wise added into the destination's existing
+  /// item (reduction semantics) instead of inserted as a new item.
+  bool combine = false;
+  /// If set, the source's copy is erased after the round (shift/route/reduce
+  /// semantics: data moves rather than replicates).
+  bool move_src = false;
+};
+
+/// All transfers that happen concurrently in one synchronous step.
+struct Round {
+  std::vector<Transfer> transfers;
+  [[nodiscard]] bool empty() const noexcept { return transfers.empty(); }
+};
+
+/// A sequence of rounds.
+struct Schedule {
+  std::vector<Round> rounds;
+
+  [[nodiscard]] std::size_t round_count() const noexcept { return rounds.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rounds.empty(); }
+
+  /// Total number of point-to-point messages.
+  [[nodiscard]] std::size_t transfer_count() const noexcept;
+
+  /// Append @p other after this schedule's rounds.
+  void append(const Schedule& other);
+};
+
+/// Sequential composition: rounds of each schedule in order.
+[[nodiscard]] Schedule seq(std::span<const Schedule> parts);
+
+/// Parallel composition: round i of the result is the union of round i of
+/// every part.  Legal on multi-port machines when the parts use disjoint
+/// link sets per round (e.g. broadcasts along different grid dimensions);
+/// the Machine's validator rejects genuinely conflicting merges.
+[[nodiscard]] Schedule par(std::span<const Schedule> parts);
+
+}  // namespace hcmm

@@ -1,0 +1,98 @@
+#pragma once
+// Per-node data stores.  Every simulated node owns a map Tag -> payload;
+// the Machine moves payloads between stores when executing schedules.
+// Payloads are immutable and shared (broadcast replicates a pointer, not the
+// words), but the store meters *logical* words per node — the quantity
+// Table 3 of the paper calls "overall space used".
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm {
+
+/// Immutable shared payload of `words` doubles.
+using Payload = std::shared_ptr<const std::vector<double>>;
+
+/// Inclusive chunk boundaries used whenever a payload is split into nearly
+/// equal parts (multi-port collectives): part i of n covers
+/// [total*i/n, total*(i+1)/n).  Shared so schedule builders and the store
+/// always agree on part sizes.
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> chunk_bounds(
+    std::size_t total, std::size_t parts, std::size_t i) noexcept {
+  return {total * i / parts, total * (i + 1) / parts};
+}
+
+class DataStore {
+ public:
+  /// @p n_nodes number of simulated nodes.
+  explicit DataStore(std::uint32_t n_nodes);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Insert a new item; the tag must not already exist on @p node.
+  void put(NodeId node, Tag tag, std::vector<double> data);
+  void put_shared(NodeId node, Tag tag, Payload payload);
+
+  /// Fetch an existing item.
+  [[nodiscard]] const Payload& get(NodeId node, Tag tag) const;
+  [[nodiscard]] bool has(NodeId node, Tag tag) const;
+  [[nodiscard]] std::size_t item_words(NodeId node, Tag tag) const;
+
+  /// Remove an item (must exist).
+  void erase(NodeId node, Tag tag);
+
+  /// Element-wise add @p addend into the existing item @p tag.
+  void combine(NodeId node, Tag tag, const Payload& addend);
+
+  /// Replace item @p tag with @p parts chunk items tagged
+  /// make_part_tag(tag, i); returns the part tags.  Boundaries follow
+  /// chunk_bounds so builders can predict part sizes.
+  std::vector<Tag> split(NodeId node, Tag tag, std::size_t parts);
+
+  /// Like split() but with explicit part sizes (must sum to the item's
+  /// size; at most 255 parts).  Used for exactly balanced bundle slicing.
+  std::vector<Tag> split_sizes(NodeId node, Tag tag,
+                               std::span<const std::size_t> sizes);
+
+  /// Concatenate the items @p part_tags (erased) into a new item @p out_tag.
+  void join(NodeId node, std::span<const Tag> part_tags, Tag out_tag);
+
+  /// Deterministic derived tag for part @p i of @p tag (what split() uses).
+  [[nodiscard]] static Tag make_part_tag(Tag tag, std::size_t i) noexcept;
+
+  /// Current logical words resident on @p node.
+  [[nodiscard]] std::size_t words(NodeId node) const;
+  /// High-water logical words on @p node since construction / reset.
+  [[nodiscard]] std::size_t peak_words(NodeId node) const;
+  /// Sum of per-node peaks — the paper's "overall space used".
+  [[nodiscard]] std::uint64_t total_peak_words() const;
+
+  /// Reset peak metering to current occupancy (e.g. after staging inputs).
+  void reset_peaks();
+
+  /// Number of items on @p node.
+  [[nodiscard]] std::size_t item_count(NodeId node) const;
+
+ private:
+  struct NodeStore {
+    std::unordered_map<Tag, Payload> items;
+    std::size_t cur_words = 0;
+    std::size_t peak_words = 0;
+  };
+
+  NodeStore& at(NodeId node);
+  [[nodiscard]] const NodeStore& at(NodeId node) const;
+  void bump(NodeStore& ns, std::ptrdiff_t delta);
+
+  std::vector<NodeStore> nodes_;
+};
+
+}  // namespace hcmm

@@ -1,0 +1,48 @@
+#pragma once
+// Shared simulator vocabulary: tags naming data items, the two port models
+// of the paper (§2), and the linear communication-cost parameters.
+
+#include <cstdint>
+
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+
+/// Names one data item in a node's store.  The same Tag on different nodes
+/// refers to *that node's copy* (stores are per-node namespaces), which is
+/// exactly what broadcast/reduce semantics need.
+using Tag = std::uint64_t;
+
+/// Structured tag from up to four 16-bit fields: (space, a, b, c).
+/// `space` distinguishes matrices / phases; a,b,c are block coordinates.
+[[nodiscard]] constexpr Tag make_tag(std::uint16_t space, std::uint16_t a = 0,
+                                     std::uint16_t b = 0,
+                                     std::uint16_t c = 0) noexcept {
+  return (static_cast<Tag>(space) << 48) | (static_cast<Tag>(a) << 32) |
+         (static_cast<Tag>(b) << 16) | static_cast<Tag>(c);
+}
+
+/// The two hypercube node architectures analyzed in the paper.
+enum class PortModel : std::uint8_t {
+  /// At most one send and one receive in flight at a time (concurrent
+  /// send+receive allowed — the paper's Cannon/all-to-all accounting
+  /// charges a bidirectional exchange a single t_s + t_w*m).
+  kOnePort,
+  /// All log p links may be driven simultaneously, one transfer per link
+  /// per direction.
+  kMultiPort,
+};
+
+[[nodiscard]] const char* to_string(PortModel m) noexcept;
+
+/// Linear communication/computation cost parameters (paper §2):
+/// moving m words across one link costs ts + tw*m; one scalar multiply-add
+/// costs tc.  Units are arbitrary but must be consistent; the paper uses
+/// "word transmission times".
+struct CostParams {
+  double ts = 150.0;  ///< message start-up cost (paper's headline set)
+  double tw = 3.0;    ///< per-word transmission time
+  double tc = 1.0;    ///< per multiply-add computation time
+};
+
+}  // namespace hcmm

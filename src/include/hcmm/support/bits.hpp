@@ -1,0 +1,55 @@
+#pragma once
+// Bit-manipulation helpers used throughout the hypercube topology and
+// collective-schedule code.  All node ids are unsigned 32-bit; a p-processor
+// hypercube has dimension d = log2(p) with p an exact power of two.
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace hcmm {
+
+/// True iff @p x is a (positive) power of two.
+[[nodiscard]] constexpr bool is_pow2(std::uint32_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x > 0.
+[[nodiscard]] constexpr std::uint32_t ilog2(std::uint32_t x) {
+  if (x == 0) throw std::invalid_argument("ilog2: x must be positive");
+  return 31u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// Exact log2; requires x to be a power of two.
+[[nodiscard]] constexpr std::uint32_t exact_log2(std::uint32_t x) {
+  if (!is_pow2(x)) throw std::invalid_argument("exact_log2: not a power of two");
+  return ilog2(x);
+}
+
+/// Extract bit @p k of @p x (0 = least significant).
+[[nodiscard]] constexpr std::uint32_t bit_of(std::uint32_t x, std::uint32_t k) noexcept {
+  return (x >> k) & 1u;
+}
+
+/// Flip bit @p k of @p x.
+[[nodiscard]] constexpr std::uint32_t flip_bit(std::uint32_t x, std::uint32_t k) noexcept {
+  return x ^ (1u << k);
+}
+
+/// Number of set bits — Hamming weight.
+[[nodiscard]] constexpr std::uint32_t popcount32(std::uint32_t x) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(x));
+}
+
+/// Hamming distance between two node ids = hop distance on the hypercube.
+[[nodiscard]] constexpr std::uint32_t hamming(std::uint32_t a, std::uint32_t b) noexcept {
+  return popcount32(a ^ b);
+}
+
+/// Exact integer cube root for perfect cubes (p = q^3); throws otherwise.
+[[nodiscard]] std::uint32_t exact_cbrt(std::uint32_t p);
+
+/// Exact integer square root for perfect squares; throws otherwise.
+[[nodiscard]] std::uint32_t exact_sqrt(std::uint32_t p);
+
+}  // namespace hcmm

@@ -1,0 +1,35 @@
+#pragma once
+// Precondition / invariant checking.  HCMM_CHECK throws hcmm::CheckError with
+// a formatted message; it is used for programmer-visible API contracts and
+// for the simulator's schedule validators (which must never be compiled out:
+// a schedule that violates the port model silently would invalidate every
+// measured cost in the benchmarks).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hcmm {
+
+/// Thrown when an HCMM_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace hcmm
+
+#define HCMM_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream hcmm_check_os_;                                  \
+      hcmm_check_os_ << msg; /* NOLINT */                                 \
+      ::hcmm::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                   hcmm_check_os_.str());                 \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,36 @@
+#pragma once
+// Binary-reflected Gray codes (BRGC).  Used to embed rings into hypercubes:
+// consecutive Gray codewords differ in exactly one bit, so walking positions
+// 0,1,...,2^d-1 of the code visits hypercube nodes along single links.
+// Cannon's shift-multiply-add steps ride these rings (paper §3.2), and the
+// Ho–Johnsson–Edelman schedule is defined in terms of the bit position in
+// which successive (shifted) Gray codewords differ (paper Algorithm 1).
+
+#include <cstdint>
+#include <vector>
+
+namespace hcmm {
+
+/// k-th codeword of the binary-reflected Gray code.
+[[nodiscard]] constexpr std::uint32_t gray_encode(std::uint32_t k) noexcept {
+  return k ^ (k >> 1);
+}
+
+/// Inverse of gray_encode: the rank of codeword @p g in the BRGC sequence.
+[[nodiscard]] constexpr std::uint32_t gray_decode(std::uint32_t g) noexcept {
+  std::uint32_t k = 0;
+  for (; g != 0; g >>= 1) k ^= g;
+  return k;
+}
+
+/// Bit position in which the k-th and (k+1)-th d-bit Gray codewords differ.
+/// For the BRGC this is the number of trailing ones of k ... equivalently the
+/// position of the lowest set bit of (k+1).  Indices wrap modulo 2^d, so
+/// gray_change_bit(2^d - 1, d) closes the ring back to codeword 0.
+[[nodiscard]] std::uint32_t gray_change_bit(std::uint32_t k, std::uint32_t d);
+
+/// The full d-bit Gray sequence: 2^d codewords, adjacent ones 1 bit apart,
+/// and the last adjacent to the first (a Hamiltonian ring of the d-cube).
+[[nodiscard]] std::vector<std::uint32_t> gray_sequence(std::uint32_t d);
+
+}  // namespace hcmm

@@ -1,0 +1,32 @@
+#pragma once
+// Deterministic PRNG (splitmix64 / xoshiro256**) so that every test, example
+// and benchmark generates identical matrices across platforms and standard
+// library versions.  std::mt19937 seeding/distributions are implementation-
+// defined in subtle ways; this keeps experiment outputs reproducible.
+
+#include <cstdint>
+
+namespace hcmm {
+
+/// xoshiro256** seeded through splitmix64.  Deterministic across platforms.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) via rejection-free Lemire reduction.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hcmm

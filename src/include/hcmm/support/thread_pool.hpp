@@ -1,0 +1,47 @@
+#pragma once
+// Minimal fixed-size thread pool used to run the per-node local gemm work of
+// a simulated phase in parallel, and by the threaded gemm kernel.  Jobs in a
+// batch must write to disjoint outputs; results are then independent of
+// scheduling, keeping every run bit-reproducible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcmm {
+
+class ThreadPool {
+ public:
+  /// @p n_threads 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Run all @p jobs (possibly on the calling thread too) and wait for
+  /// completion.  Exceptions from jobs are rethrown (first one wins).
+  void run_batch(std::vector<std::function<void()>> jobs);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::function<void()>>* batch_ = nullptr;
+  std::size_t next_job_ = 0;
+  std::size_t jobs_done_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace hcmm

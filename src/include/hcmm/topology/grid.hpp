@@ -1,0 +1,117 @@
+#pragma once
+// Virtual 2-D and 3-D processor grids embedded into a hypercube.
+//
+// Embedding: the node id is split into one bit field per grid axis and each
+// coordinate is placed in its field in *binary-reflected Gray code*.  Two
+// consequences, both used by the algorithms (paper §2, §3.2):
+//   1. every one-dimensional chain of the grid (fix all coordinates but one)
+//      is a subcube, so collectives inside a chain run at hypercube speed;
+//   2. consecutive coordinates along an axis differ in exactly one bit, so a
+//      circular unit shift along a grid line crosses exactly one link —
+//      which is what makes Cannon's shift-multiply-add steps cost
+//      t_s + t_w*m each.
+
+#include <array>
+#include <cstdint>
+
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+
+/// A q x q grid of processors (p = q^2) embedded in a (2 log q)-cube.
+/// Coordinates are (row r, col c); matrices map block (i,j) to grid (i,j).
+class Grid2D {
+ public:
+  /// @p p total processors; must be an even power of two (p = q^2).
+  explicit Grid2D(std::uint32_t p);
+
+  [[nodiscard]] std::uint32_t p() const noexcept { return q_ * q_; }
+  [[nodiscard]] std::uint32_t q() const noexcept { return q_; }
+  /// log2(q): the dimension of each chain subcube.
+  [[nodiscard]] std::uint32_t chain_dim() const noexcept { return g_; }
+  [[nodiscard]] const Hypercube& cube() const noexcept { return cube_; }
+
+  /// Hypercube node hosting grid position (row, col).
+  [[nodiscard]] NodeId node(std::uint32_t row, std::uint32_t col) const;
+  /// Inverse of node(): {row, col}.
+  [[nodiscard]] std::array<std::uint32_t, 2> coords(NodeId n) const;
+
+  /// Chain subcube of row @p row (col varies).
+  [[nodiscard]] Subcube row_chain(std::uint32_t row) const;
+  /// Chain subcube of column @p col (row varies).
+  [[nodiscard]] Subcube col_chain(std::uint32_t col) const;
+
+ private:
+  std::uint32_t q_;
+  std::uint32_t g_;  // log2(q)
+  Hypercube cube_;
+};
+
+/// A q x q x q grid of processors (p = q^3) embedded in a (3 log q)-cube.
+/// Coordinates follow the paper's p_{i,j,k} convention: i runs along the
+/// x-direction, j along y, k along z.  f(i,j) = i*q + j (paper §4.2).
+class Grid3D {
+ public:
+  /// @p p total processors; must be a power of two that is a perfect cube.
+  explicit Grid3D(std::uint32_t p);
+
+  [[nodiscard]] std::uint32_t p() const noexcept { return q_ * q_ * q_; }
+  [[nodiscard]] std::uint32_t q() const noexcept { return q_; }
+  [[nodiscard]] std::uint32_t chain_dim() const noexcept { return g_; }
+  [[nodiscard]] const Hypercube& cube() const noexcept { return cube_; }
+
+  /// Hypercube node hosting grid position (i, j, k) = (x, y, z).
+  [[nodiscard]] NodeId node(std::uint32_t i, std::uint32_t j,
+                            std::uint32_t k) const;
+  /// Inverse of node(): {i, j, k}.
+  [[nodiscard]] std::array<std::uint32_t, 3> coords(NodeId n) const;
+
+  /// Chain along x: {p_{*,j,k}}.
+  [[nodiscard]] Subcube x_chain(std::uint32_t j, std::uint32_t k) const;
+  /// Chain along y: {p_{i,*,k}}.
+  [[nodiscard]] Subcube y_chain(std::uint32_t i, std::uint32_t k) const;
+  /// Chain along z: {p_{i,j,*}}.
+  [[nodiscard]] Subcube z_chain(std::uint32_t i, std::uint32_t j) const;
+
+  /// The paper's linearization f(i,j) = i*q + j of an x-y position.
+  [[nodiscard]] std::uint32_t f(std::uint32_t i, std::uint32_t j) const;
+
+ private:
+  std::uint32_t q_;
+  std::uint32_t g_;  // log2(q)
+  Hypercube cube_;
+};
+
+/// A qx x qy x qz grid of processors (p = qx*qy*qz, each side a power of
+/// two) embedded in a hypercube — the shape behind the paper's §4.2.2
+/// closing remark: a p^{1/4} x p^{1/4} x sqrt(p) grid lets the 3-D All
+/// scheme use up to n^2 processors.  Same Gray-coded bit-field embedding as
+/// the square grids.
+class Grid3DRect {
+ public:
+  Grid3DRect(std::uint32_t qx, std::uint32_t qy, std::uint32_t qz);
+
+  [[nodiscard]] std::uint32_t p() const noexcept { return qx_ * qy_ * qz_; }
+  [[nodiscard]] std::uint32_t qx() const noexcept { return qx_; }
+  [[nodiscard]] std::uint32_t qy() const noexcept { return qy_; }
+  [[nodiscard]] std::uint32_t qz() const noexcept { return qz_; }
+  [[nodiscard]] const Hypercube& cube() const noexcept { return cube_; }
+
+  [[nodiscard]] NodeId node(std::uint32_t i, std::uint32_t j,
+                            std::uint32_t k) const;
+  [[nodiscard]] std::array<std::uint32_t, 3> coords(NodeId n) const;
+
+  [[nodiscard]] Subcube x_chain(std::uint32_t j, std::uint32_t k) const;
+  [[nodiscard]] Subcube y_chain(std::uint32_t i, std::uint32_t k) const;
+  [[nodiscard]] Subcube z_chain(std::uint32_t i, std::uint32_t j) const;
+
+  /// f(i,j) = i*qy + j, the x-y linearization (range [0, qx*qy)).
+  [[nodiscard]] std::uint32_t f(std::uint32_t i, std::uint32_t j) const;
+
+ private:
+  std::uint32_t qx_, qy_, qz_;
+  std::uint32_t gx_, gy_, gz_;  // per-axis log2 sizes
+  Hypercube cube_;
+};
+
+}  // namespace hcmm

@@ -1,0 +1,92 @@
+#pragma once
+// The 2-ary n-cube ("hypercube") topology.  Nodes are numbered 0..2^d-1 and
+// two nodes are joined by a (full-duplex) link iff their ids differ in
+// exactly one bit.  All communication in the simulator happens along these
+// links only; anything longer-range is routed hop by hop.
+
+#include <cstdint>
+#include <vector>
+
+#include "hcmm/support/bits.hpp"
+
+namespace hcmm {
+
+using NodeId = std::uint32_t;
+
+/// A d-dimensional hypercube with 2^d nodes.
+class Hypercube {
+ public:
+  /// Construct a hypercube of dimension @p dim (2^dim nodes); dim <= 20.
+  explicit Hypercube(std::uint32_t dim);
+
+  /// Construct the hypercube with exactly @p p nodes; p must be a power of 2.
+  [[nodiscard]] static Hypercube with_nodes(std::uint32_t p);
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return 1u << dim_; }
+
+  /// Neighbor of @p node across dimension @p k (flip bit k).
+  [[nodiscard]] NodeId neighbor(NodeId node, std::uint32_t k) const;
+
+  /// True iff @p a and @p b are joined by a link.
+  [[nodiscard]] bool are_neighbors(NodeId a, NodeId b) const noexcept {
+    return a < size() && b < size() && hamming(a, b) == 1;
+  }
+
+  /// Hop distance (Hamming distance) between two nodes.
+  [[nodiscard]] std::uint32_t distance(NodeId a, NodeId b) const;
+
+  /// All dim() neighbors of @p node.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// Total number of (undirected) links: d * 2^(d-1).
+  [[nodiscard]] std::uint64_t link_count() const noexcept {
+    return dim_ == 0 ? 0 : static_cast<std::uint64_t>(dim_) << (dim_ - 1);
+  }
+
+  [[nodiscard]] bool contains(NodeId node) const noexcept { return node < size(); }
+
+ private:
+  std::uint32_t dim_;
+};
+
+/// A subcube of a larger hypercube: the set of nodes agreeing with @p base on
+/// every bit outside @p dims_mask.  One-dimensional chains of a virtual grid
+/// embedded by bit fields are exactly such subcubes (paper §2), which is what
+/// lets every collective run at hypercube speed inside a grid line.
+class Subcube {
+ public:
+  /// @p base      a member node (its bits inside dims_mask are ignored)
+  /// @p dims_mask bitmask of the free dimensions
+  Subcube(NodeId base, std::uint32_t dims_mask);
+
+  /// Number of free dimensions (the subcube's own hypercube dimension).
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  /// Number of member nodes, 2^dim().
+  [[nodiscard]] std::uint32_t size() const noexcept { return 1u << dim_; }
+  /// Global bit position of the k-th free dimension (ascending order).
+  [[nodiscard]] std::uint32_t dim_bit(std::uint32_t k) const;
+  /// Bitmask of free dimensions.
+  [[nodiscard]] std::uint32_t dims_mask() const noexcept { return dims_mask_; }
+  /// The fixed bits shared by every member.
+  [[nodiscard]] NodeId base() const noexcept { return base_; }
+
+  /// Member with local rank @p r: bits of r spread over the free dimensions.
+  [[nodiscard]] NodeId node_at(std::uint32_t r) const;
+  /// Local rank of member @p node (inverse of node_at).
+  [[nodiscard]] std::uint32_t rank_of(NodeId node) const;
+  [[nodiscard]] bool contains(NodeId node) const noexcept {
+    return (node & ~dims_mask_) == base_;
+  }
+
+  /// All members in rank order.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+ private:
+  NodeId base_;
+  std::uint32_t dims_mask_;
+  std::uint32_t dim_;
+  std::vector<std::uint32_t> bit_positions_;
+};
+
+}  // namespace hcmm

@@ -1,0 +1,90 @@
+#include "hcmm/matrix/gemm.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace hcmm {
+namespace {
+
+constexpr std::size_t kTile = 64;
+
+// C[r0:r1] += A[r0:r1] * B, tiled over k and j for cache reuse.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t kk = a.cols();
+  const std::size_t nn = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  for (std::size_t k0 = 0; k0 < kk; k0 += kTile) {
+    const std::size_t k1 = std::min(kk, k0 + kTile);
+    for (std::size_t j0 = 0; j0 < nn; j0 += kTile) {
+      const std::size_t j1 = std::min(nn, j0 + kTile);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* arow = pa + i * kk;
+        double* crow = pc + i * nn;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = arow[k];
+          const double* brow = pb + k * nn;
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix multiply_naive(const Matrix& a, const Matrix& b) {
+  HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ ("
+                                       << a.cols() << " vs " << b.rows() << ")");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  HCMM_CHECK(a.cols() == b.rows(), "gemm_accumulate: inner dimensions differ ("
+                                       << a.cols() << " vs " << b.rows() << ")");
+  HCMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+             "gemm_accumulate: output shape mismatch");
+  gemm_rows(a, b, c, 0, a.rows());
+}
+
+Matrix multiply_tiled(const Matrix& a, const Matrix& b) {
+  HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  gemm_rows(a, b, c, 0, a.rows());
+  return c;
+}
+
+Matrix multiply_threaded(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+  HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t nchunks = std::min(m, 4 * pool.thread_count());
+  if (nchunks <= 1) {
+    gemm_rows(a, b, c, 0, m);
+    return c;
+  }
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(nchunks);
+  for (std::size_t t = 0; t < nchunks; ++t) {
+    const std::size_t r0 = m * t / nchunks;
+    const std::size_t r1 = m * (t + 1) / nchunks;
+    if (r0 == r1) continue;
+    jobs.push_back([&a, &b, &c, r0, r1] { gemm_rows(a, b, c, r0, r1); });
+  }
+  pool.run_batch(std::move(jobs));
+  return c;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,49 @@
+#include "hcmm/matrix/generate.hpp"
+
+namespace hcmm {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Prng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix index_matrix(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  double v = 0.0;
+  for (double& x : m.data()) x = v++;
+  return m;
+}
+
+Matrix spd_matrix(std::size_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  // Diagonal dominance makes it positive definite.
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += static_cast<double>(n);
+  return m;
+}
+
+Matrix stochastic_matrix(std::size_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = rng.next_double() + 1e-3;
+      m(i, j) = v;
+      sum += v;
+    }
+    for (std::size_t j = 0; j < n; ++j) m(i, j) /= sum;
+  }
+  return m;
+}
+
+}  // namespace hcmm

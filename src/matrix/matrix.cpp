@@ -1,0 +1,101 @@
+#include "hcmm/matrix/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HCMM_CHECK(data_.size() == rows * cols,
+             "Matrix: data size " << data_.size() << " != " << rows << "x" << cols);
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t h,
+                     std::size_t w) const {
+  HCMM_CHECK(r0 + h <= rows_ && c0 + w <= cols_,
+             "block (" << r0 << "," << c0 << ")+" << h << "x" << w
+                       << " exceeds " << rows_ << "x" << cols_);
+  Matrix out(h, w);
+  for (std::size_t r = 0; r < h; ++r) {
+    const double* src = data_.data() + (r0 + r) * cols_ + c0;
+    std::copy(src, src + w, out.data_.data() + r * w);
+  }
+  return out;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  HCMM_CHECK(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+             "set_block target exceeds matrix bounds");
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    const double* src = b.data_.data() + r * b.cols_;
+    std::copy(src, src + b.cols_, data_.data() + (r0 + r) * cols_ + c0);
+  }
+}
+
+void Matrix::add_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  HCMM_CHECK(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+             "add_block target exceeds matrix bounds");
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    double* dst = data_.data() + (r0 + r) * cols_ + c0;
+    const double* src = b.data_.data() + r * b.cols_;
+    for (std::size_t c = 0; c < b.cols_; ++c) dst[c] += src[c];
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  HCMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  HCMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: shape mismatch " << a.rows() << "x" << a.cols()
+                                             << " vs " << b.rows() << "x"
+                                             << b.cols());
+  double worst = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::abs(da[i] - db[i]));
+  }
+  return worst;
+}
+
+double frobenius_norm(const Matrix& m) {
+  double sum = 0.0;
+  for (const double v : m.data()) sum += v * v;
+  return std::sqrt(sum);
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,484 @@
+#include "hcmm/runtime/spmd_matmul.hpp"
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/support/bits.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::rt {
+namespace {
+
+// Tag spaces.  Fine-grained tags are (space << 32) | counter; FIFO per
+// (from, to, tag) makes reuse across phases safe as long as spaces differ.
+constexpr std::uint64_t kAlignA = 1ull << 32;
+constexpr std::uint64_t kAlignB = 2ull << 32;
+constexpr std::uint64_t kShiftA = 3ull << 32;
+constexpr std::uint64_t kShiftB = 4ull << 32;
+constexpr std::uint64_t kScatterB = 5ull << 32;
+constexpr std::uint64_t kGatherA = 6ull << 32;
+constexpr std::uint64_t kBundleB = 7ull << 32;
+constexpr std::uint64_t kReduceI = 8ull << 32;
+
+}  // namespace
+
+Matrix spmd_cannon(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_cannon: square operands required");
+  const std::uint32_t q = exact_sqrt(team.size());
+  HCMM_CHECK(n % q == 0, "spmd_cannon: n must divide by sqrt(p)");
+  const std::size_t blk = n / q;
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / q;
+    const std::uint32_t j = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj) {
+      return ri * q + rj;
+    };
+    // Initial distribution: this rank owns blocks (i, j).
+    Matrix blk_a = a.block(i * blk, j * blk, blk, blk);
+    Matrix blk_b = b.block(i * blk, j * blk, blk, blk);
+
+    // Alignment: A left by i, B up by j.
+    if (i != 0) {
+      r.send(rank_of(i, (j + q - i) % q), kAlignA, std::move(blk_a));
+      blk_a = r.recv(rank_of(i, (j + i) % q), kAlignA);
+    }
+    if (j != 0) {
+      r.send(rank_of((i + q - j) % q, j), kAlignB, std::move(blk_b));
+      blk_b = r.recv(rank_of((i + j) % q, j), kAlignB);
+    }
+
+    Matrix c(blk, blk);
+    for (std::uint32_t step = 0; step < q; ++step) {
+      gemm_accumulate(blk_a, blk_b, c);
+      if (step + 1 == q) break;
+      r.send(rank_of(i, (j + q - 1) % q), kShiftA + step, std::move(blk_a));
+      blk_a = r.recv(rank_of(i, (j + 1) % q), kShiftA + step);
+      r.send(rank_of((i + q - 1) % q, j), kShiftB + step, std::move(blk_b));
+      blk_b = r.recv(rank_of((i + 1) % q, j), kShiftB + step);
+    }
+    // Disjoint block writes: no synchronization needed.
+    out.set_block(i * blk, j * blk, c);
+  });
+  return out;
+}
+
+Matrix spmd_all3d(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_all3d: square operands required");
+  const std::uint32_t q = exact_cbrt(team.size());
+  HCMM_CHECK(n % (static_cast<std::size_t>(q) * q) == 0,
+             "spmd_all3d: n must divide by cbrt(p)^2");
+  const std::size_t bh = n / q;
+  const std::size_t bw = n / (static_cast<std::size_t>(q) * q);
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / (q * q);
+    const std::uint32_t j = (r.id() / q) % q;
+    const std::uint32_t k = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj, std::uint32_t rk) {
+      return (ri * q + rj) * q + rk;
+    };
+    const std::uint32_t f = i * q + j;
+    const Matrix blk_a = a.block(k * bh, f * bw, bh, bw);
+    const Matrix blk_b = b.block(k * bh, f * bw, bh, bw);
+
+    // Phase 1: all-to-all personalized exchange of B row groups along y.
+    for (std::uint32_t l = 0; l < q; ++l) {
+      if (l == j) continue;
+      r.send(rank_of(i, l, k), kScatterB, blk_b.block(l * bw, 0, bw, bw));
+    }
+    // pieces[l] = group j of B_{k, f(i,l)}.
+    std::vector<Matrix> pieces(q);
+    for (std::uint32_t l = 0; l < q; ++l) {
+      pieces[l] = (l == j) ? blk_b.block(j * bw, 0, bw, bw)
+                           : r.recv(rank_of(i, l, k), kScatterB);
+    }
+
+    // Phase 2a: all-to-all broadcast of A along x.
+    for (std::uint32_t m = 0; m < q; ++m) {
+      if (m != i) r.send(rank_of(m, j, k), kGatherA, blk_a);
+    }
+    std::vector<Matrix> a_blocks(q);
+    for (std::uint32_t m = 0; m < q; ++m) {
+      a_blocks[m] = (m == i) ? blk_a : r.recv(rank_of(m, j, k), kGatherA);
+    }
+
+    // Phase 2b: all-to-all broadcast of the B piece bundles along z.
+    for (std::uint32_t m = 0; m < q; ++m) {
+      if (m == k) continue;
+      for (std::uint32_t l = 0; l < q; ++l) {
+        r.send(rank_of(i, j, m), kBundleB + l, pieces[l]);
+      }
+    }
+    // bz[m][l] = group j of B_{m, f(i,l)}.
+    std::vector<std::vector<Matrix>> bz(q);
+    for (std::uint32_t m = 0; m < q; ++m) {
+      bz[m].resize(q);
+      for (std::uint32_t l = 0; l < q; ++l) {
+        bz[m][l] = (m == k) ? pieces[l]
+                            : r.recv(rank_of(i, j, m), kBundleB + l);
+      }
+    }
+
+    // Compute I_{k,i} = sum_m A_{k,f(m,j)} * B_{f(m,j),i}.
+    Matrix partial(bh, bh);
+    for (std::uint32_t m = 0; m < q; ++m) {
+      Matrix rhs(bw, bh);
+      for (std::uint32_t l = 0; l < q; ++l) {
+        rhs.set_block(0, l * bw, bz[m][l]);
+      }
+      gemm_accumulate(a_blocks[m], rhs, partial);
+    }
+
+    // Phase 3: all-to-all reduction along y of the column pieces.
+    for (std::uint32_t l = 0; l < q; ++l) {
+      if (l == j) continue;
+      r.send(rank_of(i, l, k), kReduceI, partial.block(0, l * bw, bh, bw));
+    }
+    Matrix c_piece = partial.block(0, j * bw, bh, bw);
+    for (std::uint32_t l = 0; l < q; ++l) {
+      if (l == j) continue;
+      c_piece += r.recv(rank_of(i, l, k), kReduceI);
+    }
+    out.set_block(k * bh, f * bw, c_piece);
+  });
+  return out;
+}
+
+Matrix spmd_simple(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_simple: square operands required");
+  const std::uint32_t q = exact_sqrt(team.size());
+  HCMM_CHECK(n % q == 0, "spmd_simple: n must divide by sqrt(p)");
+  const std::size_t blk = n / q;
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / q;
+    const std::uint32_t j = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj) {
+      return ri * q + rj;
+    };
+    const Matrix blk_a = a.block(i * blk, j * blk, blk, blk);
+    const Matrix blk_b = b.block(i * blk, j * blk, blk, blk);
+
+    // All-to-all broadcast of A along the row, of B along the column.
+    for (std::uint32_t c = 0; c < q; ++c) {
+      if (c != j) r.send(rank_of(i, c), kGatherA, blk_a);
+    }
+    for (std::uint32_t ri = 0; ri < q; ++ri) {
+      if (ri != i) r.send(rank_of(ri, j), kScatterB, blk_b);
+    }
+    std::vector<Matrix> row_a(q);
+    std::vector<Matrix> col_b(q);
+    for (std::uint32_t c = 0; c < q; ++c) {
+      row_a[c] = (c == j) ? blk_a : r.recv(rank_of(i, c), kGatherA);
+    }
+    for (std::uint32_t ri = 0; ri < q; ++ri) {
+      col_b[ri] = (ri == i) ? blk_b : r.recv(rank_of(ri, j), kScatterB);
+    }
+
+    Matrix c(blk, blk);
+    for (std::uint32_t k = 0; k < q; ++k) {
+      gemm_accumulate(row_a[k], col_b[k], c);
+    }
+    out.set_block(i * blk, j * blk, c);
+  });
+  return out;
+}
+
+Matrix spmd_dns(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_dns: square operands required");
+  const std::uint32_t q = exact_cbrt(team.size());
+  HCMM_CHECK(n % q == 0, "spmd_dns: n must divide by cbrt(p)");
+  const std::size_t blk = n / q;
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / (q * q);
+    const std::uint32_t j = (r.id() / q) % q;
+    const std::uint32_t k = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj, std::uint32_t rk) {
+      return (ri * q + rj) * q + rk;
+    };
+
+    // Phase 1: the z = 0 face sends A_ij to (i,j,j) and B_ij to (i,j,i).
+    if (k == 0) {
+      Matrix blk_a = a.block(i * blk, j * blk, blk, blk);
+      Matrix blk_b = b.block(i * blk, j * blk, blk, blk);
+      if (j != 0) r.send(rank_of(i, j, j), kAlignA, std::move(blk_a));
+      if (i != 0) r.send(rank_of(i, j, i), kAlignB, std::move(blk_b));
+    }
+    // Phase 2: (i,j,j) broadcasts A_ij along y; (i,j,i) broadcasts B_ij
+    // along x.  This rank's operands end up being A_{i,k} and B_{k,j}.
+    if (k == j) {
+      const Matrix blk_a = (j == 0 && k == 0)
+                               ? a.block(i * blk, j * blk, blk, blk)
+                               : r.recv(rank_of(i, j, 0), kAlignA);
+      for (std::uint32_t y = 0; y < q; ++y) {
+        r.send(rank_of(i, y, k), kGatherA, blk_a);
+      }
+    }
+    if (k == i) {
+      const Matrix blk_b = (i == 0 && k == 0)
+                               ? b.block(i * blk, j * blk, blk, blk)
+                               : r.recv(rank_of(i, j, 0), kAlignB);
+      for (std::uint32_t x = 0; x < q; ++x) {
+        r.send(rank_of(x, j, k), kScatterB, blk_b);
+      }
+    }
+    const Matrix my_a = r.recv(rank_of(i, k, k), kGatherA);
+    const Matrix my_b = r.recv(rank_of(k, j, k), kScatterB);
+
+    Matrix partial(blk, blk);
+    gemm_accumulate(my_a, my_b, partial);
+
+    // Phase 3: reduce along z onto the face.
+    if (k != 0) {
+      r.send(rank_of(i, j, 0), kReduceI, std::move(partial));
+      return;
+    }
+    for (std::uint32_t z = 1; z < q; ++z) {
+      partial += r.recv(rank_of(i, j, z), kReduceI);
+    }
+    out.set_block(i * blk, j * blk, partial);
+  });
+  return out;
+}
+
+Matrix spmd_diag3d(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_diag3d: square operands required");
+  const std::uint32_t q = exact_cbrt(team.size());
+  HCMM_CHECK(n % q == 0, "spmd_diag3d: n must divide by cbrt(p)");
+  const std::size_t blk = n / q;
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / (q * q);
+    const std::uint32_t j = (r.id() / q) % q;
+    const std::uint32_t k = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj, std::uint32_t rk) {
+      return (ri * q + rj) * q + rk;
+    };
+
+    // Diagonal plane x = y holds A_{k,i} and B_{k,i} at (i,i,k).
+    if (i == j) {
+      const Matrix blk_a = a.block(k * blk, i * blk, blk, blk);
+      // Phase 1: B_{k,i} travels to (i,k,k); phase 2a: broadcast A along x.
+      if (i != k) {
+        r.send(rank_of(i, k, k), kAlignB,
+               b.block(k * blk, i * blk, blk, blk));
+      }
+      for (std::uint32_t x = 0; x < q; ++x) {
+        r.send(rank_of(x, i, k), kGatherA, blk_a);
+      }
+    }
+    // Phase 2b: (i,k,k) broadcasts the relocated B_{k,i} along z.
+    if (j == k) {
+      const Matrix blk_b = (i == j) ? b.block(k * blk, i * blk, blk, blk)
+                                    : r.recv(rank_of(i, i, k), kAlignB);
+      for (std::uint32_t z = 0; z < q; ++z) {
+        r.send(rank_of(i, j, z), kBundleB, blk_b);
+      }
+    }
+    const Matrix my_a = r.recv(rank_of(j, j, k), kGatherA);   // A_{k,j}
+    const Matrix my_b = r.recv(rank_of(i, j, j), kBundleB);   // B_{j,i}
+
+    Matrix partial(blk, blk);
+    gemm_accumulate(my_a, my_b, partial);
+
+    // Phase 3: reduce along y back onto the diagonal plane.
+    if (i != j) {
+      r.send(rank_of(i, i, k), kReduceI, std::move(partial));
+      return;
+    }
+    for (std::uint32_t y = 0; y < q; ++y) {
+      if (y != i) partial += r.recv(rank_of(i, y, k), kReduceI);
+    }
+    out.set_block(k * blk, i * blk, partial);  // C_{k,i}, aligned like A
+  });
+  return out;
+}
+
+Matrix spmd_berntsen(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_berntsen: square operands required");
+  const std::uint32_t q = exact_cbrt(team.size());
+  HCMM_CHECK(n % (static_cast<std::size_t>(q) * q) == 0,
+             "spmd_berntsen: n must divide by cbrt(p)^2");
+  const std::size_t bh = n / q;
+  const std::size_t bw = n / (static_cast<std::size_t>(q) * q);
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    // Face k computes the outer product of A's column set k and B's row set
+    // k with Cannon on its q x q plane.
+    const std::uint32_t i = r.id() / (q * q);  // face row
+    const std::uint32_t j = (r.id() / q) % q;  // face column
+    const std::uint32_t k = r.id() % q;        // face (z)
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj, std::uint32_t rk) {
+      return (ri * q + rj) * q + rk;
+    };
+    Matrix blk_a = a.block(i * bh, k * bh + j * bw, bh, bw);
+    Matrix blk_b = b.block(k * bh + i * bw, j * bh, bw, bh);
+
+    // Cannon alignment and steps within the face.
+    if (i != 0) {
+      r.send(rank_of(i, (j + q - i) % q, k), kAlignA, std::move(blk_a));
+      blk_a = r.recv(rank_of(i, (j + i) % q, k), kAlignA);
+    }
+    if (j != 0) {
+      r.send(rank_of((i + q - j) % q, j, k), kAlignB, std::move(blk_b));
+      blk_b = r.recv(rank_of((i + j) % q, j, k), kAlignB);
+    }
+    Matrix outer(bh, bh);
+    for (std::uint32_t step = 0; step < q; ++step) {
+      gemm_accumulate(blk_a, blk_b, outer);
+      if (step + 1 == q) break;
+      r.send(rank_of(i, (j + q - 1) % q, k), kShiftA + step, std::move(blk_a));
+      blk_a = r.recv(rank_of(i, (j + 1) % q, k), kShiftA + step);
+      r.send(rank_of((i + q - 1) % q, j, k), kShiftB + step, std::move(blk_b));
+      blk_b = r.recv(rank_of((i + 1) % q, j, k), kShiftB + step);
+    }
+
+    // All-to-all reduction across faces: row group z of the outer-product
+    // block lands on face z.
+    for (std::uint32_t z = 0; z < q; ++z) {
+      if (z != k) {
+        r.send(rank_of(i, j, z), kReduceI, outer.block(z * bw, 0, bw, bh));
+      }
+    }
+    Matrix piece = outer.block(k * bw, 0, bw, bh);
+    for (std::uint32_t z = 0; z < q; ++z) {
+      if (z != k) piece += r.recv(rank_of(i, j, z), kReduceI);
+    }
+    out.set_block(i * bh + k * bw, j * bh, piece);
+  });
+  return out;
+}
+
+Matrix spmd_diag2d(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_diag2d: square operands required");
+  const std::uint32_t q = exact_sqrt(team.size());
+  HCMM_CHECK(n % q == 0, "spmd_diag2d: n must divide by sqrt(p)");
+  const std::size_t w = n / q;
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / q;
+    const std::uint32_t j = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj) {
+      return ri * q + rj;
+    };
+    // The diagonal rank (j,j) owns A's column group j and B's row group j;
+    // it scatters B pieces down its column and broadcasts the A group.
+    if (i == j) {
+      const Matrix a_group = a.block(0, j * w, n, w);
+      for (std::uint32_t x = 0; x < q; ++x) {
+        r.send(rank_of(x, j), kScatterB, b.block(j * w, x * w, w, w));
+        r.send(rank_of(x, j), kGatherA, a_group);
+      }
+    }
+    const Matrix piece_b = r.recv(rank_of(j, j), kScatterB);
+    const Matrix a_group = r.recv(rank_of(j, j), kGatherA);
+
+    Matrix partial(n, w);
+    gemm_accumulate(a_group, piece_b, partial);
+
+    // Reduce C's column group i across row i onto the diagonal.
+    if (i != j) {
+      r.send(rank_of(i, i), kReduceI, std::move(partial));
+      return;
+    }
+    for (std::uint32_t c = 0; c < q; ++c) {
+      if (c != i) partial += r.recv(rank_of(i, c), kReduceI);
+    }
+    out.set_block(0, i * w, partial);
+  });
+  return out;
+}
+
+Matrix spmd_alltrans(Team& team, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  HCMM_CHECK(a.cols() == n && b.rows() == n && b.cols() == n,
+             "spmd_alltrans: square operands required");
+  const std::uint32_t q = exact_cbrt(team.size());
+  HCMM_CHECK(n % (static_cast<std::size_t>(q) * q) == 0,
+             "spmd_alltrans: n must divide by cbrt(p)^2");
+  const std::size_t bh = n / q;
+  const std::size_t bw = n / (static_cast<std::size_t>(q) * q);
+  Matrix out(n, n);
+
+  team.run([&](Rank& r) {
+    const std::uint32_t i = r.id() / (q * q);
+    const std::uint32_t j = (r.id() / q) % q;
+    const std::uint32_t k = r.id() % q;
+    auto rank_of = [q](std::uint32_t ri, std::uint32_t rj, std::uint32_t rk) {
+      return (ri * q + rj) * q + rk;
+    };
+    const std::uint32_t f = i * q + j;
+    const Matrix blk_a = a.block(k * bh, f * bw, bh, bw);
+    // B starts in the transposed layout of Fig. 9: B_{f(i,j),k}.
+    const Matrix blk_b = b.block(f * bw, k * bh, bw, bh);
+
+    // Phase 1: gather B_{f(*,j),k} along x to the rank with x = k.
+    if (i != k) r.send(rank_of(k, j, k), kAlignB, blk_b);
+    // Phase 2a: all-to-all broadcast of A along x.
+    for (std::uint32_t m = 0; m < q; ++m) {
+      if (m != i) r.send(rank_of(m, j, k), kGatherA, blk_a);
+    }
+    // Phase 2b: the gathered bundle broadcasts along z from (i,j,i).
+    if (i == k) {
+      std::vector<Matrix> bundle(q);
+      for (std::uint32_t l = 0; l < q; ++l) {
+        bundle[l] = (l == i) ? blk_b : r.recv(rank_of(l, j, k), kAlignB);
+      }
+      for (std::uint32_t z = 0; z < q; ++z) {
+        for (std::uint32_t l = 0; l < q; ++l) {
+          r.send(rank_of(i, j, z), kBundleB + l, bundle[l]);
+        }
+      }
+    }
+    std::vector<Matrix> a_blocks(q);
+    for (std::uint32_t m = 0; m < q; ++m) {
+      a_blocks[m] = (m == i) ? blk_a : r.recv(rank_of(m, j, k), kGatherA);
+    }
+    std::vector<Matrix> b_rows(q);
+    for (std::uint32_t l = 0; l < q; ++l) {
+      b_rows[l] = r.recv(rank_of(i, j, i), kBundleB + l);
+    }
+
+    // I_{k,i} = sum_l A_{k,f(l,j)} * B_{f(l,j),i}.
+    Matrix partial(bh, bh);
+    for (std::uint32_t l = 0; l < q; ++l) {
+      gemm_accumulate(a_blocks[l], b_rows[l], partial);
+    }
+
+    // Phase 3: all-to-all reduction along y of the column pieces.
+    for (std::uint32_t l = 0; l < q; ++l) {
+      if (l == j) continue;
+      r.send(rank_of(i, l, k), kReduceI, partial.block(0, l * bw, bh, bw));
+    }
+    Matrix c_piece = partial.block(0, j * bw, bh, bw);
+    for (std::uint32_t l = 0; l < q; ++l) {
+      if (l == j) continue;
+      c_piece += r.recv(rank_of(i, l, k), kReduceI);
+    }
+    out.set_block(k * bh, f * bw, c_piece);  // aligned like A
+  });
+  return out;
+}
+
+}  // namespace hcmm::rt

@@ -1,0 +1,92 @@
+#include "hcmm/runtime/team.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::rt {
+
+Team::Team(std::uint32_t ranks, std::chrono::milliseconds recv_timeout)
+    : ranks_(ranks), timeout_(recv_timeout) {
+  HCMM_CHECK(ranks >= 1 && ranks <= 4096, "Team: bad rank count " << ranks);
+}
+
+void Team::run(const std::function<void(Rank&)>& fn) {
+  {
+    std::lock_guard lock(mu_);
+    mailboxes_.clear();
+    barrier_waiting_ = 0;
+    failed_ = false;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (std::uint32_t r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, &fn, r, &err_mu, &first_error] {
+      Rank rank(*this, r);
+      try {
+        fn(rank);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::lock_guard lock(mu_);
+        failed_ = true;
+        cv_.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Team::send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
+                Matrix m) {
+  HCMM_CHECK(to < ranks_, "Team::send: rank " << to << " out of range");
+  {
+    std::lock_guard lock(mu_);
+    mailboxes_[Key{to, from, tag}].push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Matrix Team::recv(std::uint32_t to, std::uint32_t from, std::uint64_t tag) {
+  HCMM_CHECK(from < ranks_, "Team::recv: rank " << from << " out of range");
+  std::unique_lock lock(mu_);
+  const Key key{to, from, tag};
+  const bool ok = cv_.wait_for(lock, timeout_, [&] {
+    if (failed_) return true;
+    const auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  if (failed_) throw std::runtime_error("Team: aborting after peer failure");
+  HCMM_CHECK(ok, "Team::recv: rank " << to << " timed out waiting for ("
+                                     << from << ", tag " << tag
+                                     << ") — deadlock?");
+  auto& box = mailboxes_[key];
+  Matrix m = std::move(box.front());
+  box.pop_front();
+  if (box.empty()) mailboxes_.erase(key);
+  return m;
+}
+
+void Team::barrier_wait() {
+  std::unique_lock lock(mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_waiting_ == ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
+    return;
+  }
+  const bool ok = cv_.wait_for(lock, timeout_, [&] {
+    return failed_ || barrier_generation_ != gen;
+  });
+  if (failed_) throw std::runtime_error("Team: aborting after peer failure");
+  HCMM_CHECK(ok, "Team::barrier: timed out — a rank is missing");
+}
+
+}  // namespace hcmm::rt

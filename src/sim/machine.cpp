@@ -1,0 +1,265 @@
+#include "hcmm/sim/machine.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+
+const char* to_string(PortModel m) noexcept {
+  return m == PortModel::kOnePort ? "one-port" : "multi-port";
+}
+
+void PhaseStats::add(const PhaseStats& other) {
+  rounds += other.rounds;
+  word_cost += other.word_cost;
+  messages += other.messages;
+  link_words += other.link_words;
+  flops += other.flops;
+  comm_time += other.comm_time;
+  compute_time += other.compute_time;
+}
+
+LinkBalance summarize_links(std::span<const LinkLoad> loads,
+                            std::uint64_t total_links) {
+  LinkBalance out;
+  out.links_used = loads.size();
+  if (loads.empty()) return out;
+  std::uint64_t sum = 0;
+  for (const auto& l : loads) {
+    out.max_words = std::max(out.max_words, l.words);
+    sum += l.words;
+  }
+  out.mean_words = static_cast<double>(sum) / static_cast<double>(loads.size());
+  out.imbalance = out.mean_words > 0
+                      ? static_cast<double>(out.max_words) / out.mean_words
+                      : 0.0;
+  const double directed = 2.0 * static_cast<double>(total_links);
+  out.coverage =
+      directed > 0 ? static_cast<double>(loads.size()) / directed : 0.0;
+  return out;
+}
+
+PhaseStats SimReport::totals() const {
+  PhaseStats t;
+  t.name = "TOTAL";
+  for (const auto& p : phases) t.add(p);
+  return t;
+}
+
+std::string SimReport::to_string() const {
+  std::ostringstream os;
+  os << "port=" << hcmm::to_string(port) << "  ts=" << params.ts
+     << " tw=" << params.tw << " tc=" << params.tc << "\n";
+  os << std::left << std::setw(22) << "phase" << std::right << std::setw(10)
+     << "a(ts)" << std::setw(14) << "b(tw)" << std::setw(10) << "msgs"
+     << std::setw(14) << "link words" << std::setw(14) << "comm time"
+     << std::setw(14) << "compute" << "\n";
+  auto row = [&os](const PhaseStats& p) {
+    os << std::left << std::setw(22) << p.name << std::right << std::setw(10)
+       << p.rounds << std::setw(14) << std::fixed << std::setprecision(1)
+       << p.word_cost << std::setw(10) << p.messages << std::setw(14)
+       << p.link_words << std::setw(14) << std::setprecision(1) << p.comm_time
+       << std::setw(14) << p.compute_time << "\n";
+  };
+  for (const auto& p : phases) row(p);
+  row(totals());
+  os << "peak store words (all nodes): " << peak_words_total << "\n";
+  return os.str();
+}
+
+Machine::Machine(Hypercube cube, PortModel port, CostParams params,
+                 std::shared_ptr<ThreadPool> pool)
+    : cube_(cube),
+      port_(port),
+      params_(params),
+      store_(cube.size()),
+      pool_(pool ? std::move(pool) : std::make_shared<ThreadPool>(1)) {}
+
+PhaseStats& Machine::current_phase() {
+  if (phases_.empty()) phases_.push_back(PhaseStats{.name = "main"});
+  return phases_.back();
+}
+
+void Machine::begin_phase(std::string name) {
+  phases_.push_back(PhaseStats{.name = std::move(name)});
+}
+
+void Machine::run(const Schedule& s) {
+  PhaseStats& ph = current_phase();
+  for (const Round& round : s.rounds) {
+    if (round.empty()) continue;
+    validate_round(round);
+    execute_round(round, ph);
+  }
+}
+
+void Machine::validate_round(const Round& round) const {
+  // Direction-resolved activity per node (one-port) / per node-link
+  // (multi-port).  Any double-booking means the schedule builder violated
+  // the architecture being simulated — a hard error, never a cost.
+  std::unordered_map<std::uint64_t, int> out_use;
+  std::unordered_map<std::uint64_t, int> in_use;
+  for (const Transfer& t : round.transfers) {
+    HCMM_CHECK(cube_.contains(t.src) && cube_.contains(t.dst),
+               "transfer endpoint out of range");
+    HCMM_CHECK(cube_.are_neighbors(t.src, t.dst),
+               "transfer " << t.src << "->" << t.dst
+                           << " does not follow a hypercube link");
+    HCMM_CHECK(!t.tags.empty(), "transfer with no tags");
+    std::uint64_t out_key;
+    std::uint64_t in_key;
+    if (port_ == PortModel::kOnePort) {
+      out_key = t.src;
+      in_key = t.dst;
+    } else {
+      const std::uint32_t dim = exact_log2(t.src ^ t.dst);
+      out_key = (static_cast<std::uint64_t>(t.src) << 8) | dim;
+      in_key = (static_cast<std::uint64_t>(t.dst) << 8) | dim;
+    }
+    HCMM_CHECK(++out_use[out_key] == 1,
+               to_string(port_) << " violation: node " << t.src
+                                << " sends twice in one round");
+    HCMM_CHECK(++in_use[in_key] == 1,
+               to_string(port_) << " violation: node " << t.dst
+                                << " receives twice in one round");
+  }
+}
+
+void Machine::execute_round(const Round& round, PhaseStats& ph) {
+  struct Delivery {
+    NodeId dst;
+    Tag tag;
+    Payload payload;
+    bool combine;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<std::pair<NodeId, Tag>> erasures;
+
+  // words sent/received per node; multi-port additionally resolved per link.
+  std::unordered_map<std::uint64_t, std::size_t> out_words;
+  std::unordered_map<std::uint64_t, std::size_t> in_words;
+
+  for (const Transfer& t : round.transfers) {
+    std::size_t words = 0;
+    for (const Tag tag : t.tags) {
+      Payload p = store_.get(t.src, tag);  // throws if absent: schedule bug
+      words += p->size();
+      deliveries.push_back({t.dst, tag, std::move(p), t.combine});
+      if (t.move_src) erasures.emplace_back(t.src, tag);
+    }
+    std::uint64_t out_key;
+    std::uint64_t in_key;
+    if (port_ == PortModel::kOnePort) {
+      out_key = t.src;
+      in_key = t.dst;
+    } else {
+      const std::uint32_t dim = exact_log2(t.src ^ t.dst);
+      out_key = (static_cast<std::uint64_t>(t.src) << 8) | dim;
+      in_key = (static_cast<std::uint64_t>(t.dst) << 8) | dim;
+    }
+    out_words[out_key] += words;
+    in_words[in_key] += words;
+    ph.messages += 1;
+    ph.link_words += words;
+
+    // Asynchronous (no round barriers) timing: start when the payload is
+    // resident at the source and both ports are free.
+    double start = 0.0;
+    for (const Tag tag : t.tags) {
+      const auto it = async_.data_ready.find({t.src, tag});
+      if (it != async_.data_ready.end()) start = std::max(start, it->second);
+    }
+    const std::uint64_t aout = (out_key << 1) | 0u;
+    const std::uint64_t ain = (in_key << 1) | 1u;
+    start = std::max(
+        {start, async_.floor, async_.port_free[aout], async_.port_free[ain]});
+    const double end =
+        start + params_.ts + params_.tw * static_cast<double>(words);
+    async_.port_free[aout] = end;
+    async_.port_free[ain] = end;
+    for (const Tag tag : t.tags) {
+      auto& dr = async_.data_ready[{t.dst, tag}];
+      dr = std::max(dr, end);
+    }
+    async_.makespan = std::max(async_.makespan, end);
+    if (link_accounting_) {
+      const std::uint64_t lk =
+          (static_cast<std::uint64_t>(t.src) << 32) | t.dst;
+      auto& ll = link_traffic_[lk];
+      ll.src = t.src;
+      ll.dst = t.dst;
+      ll.words += words;
+      ll.messages += 1;
+    }
+  }
+
+  // Per-node (per-port) critical word count for this round.
+  std::size_t round_words = 0;
+  for (const auto& [k, w] : out_words) round_words = std::max(round_words, w);
+  for (const auto& [k, w] : in_words) round_words = std::max(round_words, w);
+
+  // All reads above saw pre-round state; now apply moves, then deliveries.
+  for (const auto& [node, tag] : erasures) store_.erase(node, tag);
+  for (auto& d : deliveries) {
+    if (d.combine) {
+      store_.combine(d.dst, d.tag, d.payload);
+    } else {
+      store_.put_shared(d.dst, d.tag, std::move(d.payload));
+    }
+  }
+
+  ph.rounds += 1;
+  ph.word_cost += static_cast<double>(round_words);
+  ph.comm_time += params_.ts + params_.tw * static_cast<double>(round_words);
+}
+
+void Machine::charge_compute(
+    std::span<const std::pair<NodeId, std::uint64_t>> per_node) {
+  std::uint64_t max_flops = 0;
+  for (const auto& [node, flops] : per_node) {
+    HCMM_CHECK(cube_.contains(node), "charge_compute: node out of range");
+    max_flops = std::max(max_flops, flops);
+  }
+  PhaseStats& ph = current_phase();
+  ph.flops += max_flops;
+  ph.compute_time += params_.tc * static_cast<double>(max_flops);
+  // Compute is a barrier for the asynchronous DAG: later transfers cannot
+  // leave before the results they carry exist.
+  async_.floor = std::max(async_.floor, async_.makespan) +
+                 params_.tc * static_cast<double>(max_flops);
+}
+
+SimReport Machine::report() const {
+  SimReport r;
+  r.port = port_;
+  r.params = params_;
+  r.phases = phases_;
+  r.async_makespan = std::max(async_.makespan, async_.floor);
+  r.peak_words_total = store_.total_peak_words();
+  return r;
+}
+
+void Machine::reset_stats() {
+  phases_.clear();
+  store_.reset_peaks();
+  link_traffic_.clear();
+  async_ = AsyncState{};
+}
+
+std::vector<LinkLoad> Machine::link_loads() const {
+  std::vector<LinkLoad> out;
+  out.reserve(link_traffic_.size());
+  for (const auto& [key, ll] : link_traffic_) out.push_back(ll);
+  std::sort(out.begin(), out.end(), [](const LinkLoad& a, const LinkLoad& b) {
+    if (a.words != b.words) return a.words > b.words;
+    return std::pair{a.src, a.dst} < std::pair{b.src, b.dst};
+  });
+  return out;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,57 @@
+#include "hcmm/sim/report_io.hpp"
+
+#include <sstream>
+
+namespace hcmm {
+namespace {
+
+void csv_row(std::ostringstream& os, const PhaseStats& p) {
+  os << '"' << p.name << "\"," << p.rounds << ',' << p.word_cost << ','
+     << p.messages << ',' << p.link_words << ',' << p.flops << ','
+     << p.comm_time << ',' << p.compute_time << '\n';
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void json_phase(std::ostringstream& os, const PhaseStats& p) {
+  os << "{\"name\": ";
+  json_escape(os, p.name);
+  os << ", \"a_ts\": " << p.rounds << ", \"b_tw\": " << p.word_cost
+     << ", \"messages\": " << p.messages << ", \"link_words\": "
+     << p.link_words << ", \"flops\": " << p.flops << ", \"comm_time\": "
+     << p.comm_time << ", \"compute_time\": " << p.compute_time << "}";
+}
+
+}  // namespace
+
+std::string report_csv(const SimReport& report) {
+  std::ostringstream os;
+  os << "phase,a_ts,b_tw,messages,link_words,flops,comm_time,compute_time\n";
+  for (const auto& p : report.phases) csv_row(os, p);
+  csv_row(os, report.totals());
+  return os.str();
+}
+
+std::string report_json(const SimReport& report) {
+  std::ostringstream os;
+  os << "{\"port\": \"" << to_string(report.port) << "\", \"params\": {"
+     << "\"ts\": " << report.params.ts << ", \"tw\": " << report.params.tw
+     << ", \"tc\": " << report.params.tc << "}, \"phases\": [";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    if (i != 0) os << ", ";
+    json_phase(os, report.phases[i]);
+  }
+  os << "], \"totals\": ";
+  json_phase(os, report.totals());
+  os << ", \"peak_words_total\": " << report.peak_words_total << "}";
+  return os.str();
+}
+
+}  // namespace hcmm

@@ -1,0 +1,62 @@
+#include "hcmm/sim/router.hpp"
+
+#include <bit>
+#include <unordered_set>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+
+Schedule route_p2p(const Hypercube& cube, PortModel port,
+                   std::span<const RouteRequest> reqs) {
+  struct InFlight {
+    NodeId pos;
+    NodeId dst;
+    const RouteRequest* req;
+  };
+  std::vector<InFlight> live;
+  live.reserve(reqs.size());
+  for (const RouteRequest& r : reqs) {
+    HCMM_CHECK(cube.contains(r.src) && cube.contains(r.dst),
+               "route_p2p: endpoint out of range");
+    HCMM_CHECK(!r.tags.empty(), "route_p2p: request with no tags");
+    if (r.src != r.dst) live.push_back({r.src, r.dst, &r});
+  }
+
+  Schedule out;
+  while (!live.empty()) {
+    Round round;
+    std::unordered_set<std::uint64_t> out_busy;
+    std::unordered_set<std::uint64_t> in_busy;
+    for (auto& m : live) {
+      const std::uint32_t diff = m.pos ^ m.dst;
+      const auto dim =
+          static_cast<std::uint32_t>(std::countr_zero(diff));  // e-cube: lowest bit
+      const NodeId next = flip_bit(m.pos, dim);
+      std::uint64_t out_key;
+      std::uint64_t in_key;
+      if (port == PortModel::kOnePort) {
+        out_key = m.pos;
+        in_key = next;
+      } else {
+        out_key = (static_cast<std::uint64_t>(m.pos) << 8) | dim;
+        in_key = (static_cast<std::uint64_t>(next) << 8) | dim;
+      }
+      if (out_busy.contains(out_key) || in_busy.contains(in_key)) continue;
+      out_busy.insert(out_key);
+      in_busy.insert(in_key);
+      round.transfers.push_back(Transfer{.src = m.pos,
+                                         .dst = next,
+                                         .tags = m.req->tags,
+                                         .combine = false,
+                                         .move_src = true});
+      m.pos = next;
+    }
+    HCMM_CHECK(!round.empty(), "route_p2p: no progress (internal error)");
+    out.rounds.push_back(std::move(round));
+    std::erase_if(live, [](const InFlight& m) { return m.pos == m.dst; });
+  }
+  return out;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,38 @@
+#include "hcmm/sim/schedule.hpp"
+
+#include <algorithm>
+
+namespace hcmm {
+
+std::size_t Schedule::transfer_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : rounds) n += r.transfers.size();
+  return n;
+}
+
+void Schedule::append(const Schedule& other) {
+  rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+}
+
+Schedule seq(std::span<const Schedule> parts) {
+  Schedule out;
+  for (const auto& s : parts) out.append(s);
+  return out;
+}
+
+Schedule par(std::span<const Schedule> parts) {
+  Schedule out;
+  std::size_t longest = 0;
+  for (const auto& s : parts) longest = std::max(longest, s.rounds.size());
+  out.rounds.resize(longest);
+  for (const auto& s : parts) {
+    for (std::size_t i = 0; i < s.rounds.size(); ++i) {
+      auto& dst = out.rounds[i].transfers;
+      dst.insert(dst.end(), s.rounds[i].transfers.begin(),
+                 s.rounds[i].transfers.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,160 @@
+#include "hcmm/sim/store.hpp"
+
+#include <algorithm>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+
+DataStore::DataStore(std::uint32_t n_nodes) : nodes_(n_nodes) {}
+
+DataStore::NodeStore& DataStore::at(NodeId node) {
+  HCMM_CHECK(node < nodes_.size(), "store: node " << node << " out of range");
+  return nodes_[node];
+}
+
+const DataStore::NodeStore& DataStore::at(NodeId node) const {
+  HCMM_CHECK(node < nodes_.size(), "store: node " << node << " out of range");
+  return nodes_[node];
+}
+
+void DataStore::bump(NodeStore& ns, std::ptrdiff_t delta) {
+  ns.cur_words = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(ns.cur_words) + delta);
+  ns.peak_words = std::max(ns.peak_words, ns.cur_words);
+}
+
+void DataStore::put(NodeId node, Tag tag, std::vector<double> data) {
+  put_shared(node, tag, std::make_shared<const std::vector<double>>(std::move(data)));
+}
+
+void DataStore::put_shared(NodeId node, Tag tag, Payload payload) {
+  HCMM_CHECK(payload != nullptr, "store: null payload");
+  auto& ns = at(node);
+  const auto [it, inserted] = ns.items.emplace(tag, std::move(payload));
+  HCMM_CHECK(inserted, "store: node " << node << " already holds tag 0x"
+                                      << std::hex << tag);
+  bump(ns, static_cast<std::ptrdiff_t>(it->second->size()));
+}
+
+const Payload& DataStore::get(NodeId node, Tag tag) const {
+  const auto& ns = at(node);
+  const auto it = ns.items.find(tag);
+  HCMM_CHECK(it != ns.items.end(),
+             "store: node " << node << " has no tag 0x" << std::hex << tag);
+  return it->second;
+}
+
+bool DataStore::has(NodeId node, Tag tag) const {
+  const auto& ns = at(node);
+  return ns.items.find(tag) != ns.items.end();
+}
+
+std::size_t DataStore::item_words(NodeId node, Tag tag) const {
+  return get(node, tag)->size();
+}
+
+void DataStore::erase(NodeId node, Tag tag) {
+  auto& ns = at(node);
+  const auto it = ns.items.find(tag);
+  HCMM_CHECK(it != ns.items.end(),
+             "store: erase of absent tag 0x" << std::hex << tag << std::dec
+                                             << " on node " << node);
+  bump(ns, -static_cast<std::ptrdiff_t>(it->second->size()));
+  ns.items.erase(it);
+}
+
+void DataStore::combine(NodeId node, Tag tag, const Payload& addend) {
+  auto& ns = at(node);
+  const auto it = ns.items.find(tag);
+  HCMM_CHECK(it != ns.items.end(), "store: combine into absent tag 0x"
+                                       << std::hex << tag << std::dec
+                                       << " on node " << node);
+  HCMM_CHECK(it->second->size() == addend->size(),
+             "store: combine size mismatch (" << it->second->size() << " vs "
+                                              << addend->size() << ")");
+  auto sum = std::vector<double>(*it->second);
+  const auto& add = *addend;
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += add[i];
+  it->second = std::make_shared<const std::vector<double>>(std::move(sum));
+}
+
+Tag DataStore::make_part_tag(Tag tag, std::size_t i) noexcept {
+  // Part index rides in the (reserved) top byte; see split() for the
+  // contract that algorithm tags keep that byte clear.
+  return tag | (static_cast<Tag>(i + 1) << 56);
+}
+
+std::vector<Tag> DataStore::split(NodeId node, Tag tag, std::size_t parts) {
+  HCMM_CHECK(parts >= 1 && parts <= 255, "store: bad part count " << parts);
+  const std::size_t total = item_words(node, tag);
+  std::vector<std::size_t> sizes(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    const auto [lo, hi] = chunk_bounds(total, parts, i);
+    sizes[i] = hi - lo;
+  }
+  return split_sizes(node, tag, sizes);
+}
+
+std::vector<Tag> DataStore::split_sizes(NodeId node, Tag tag,
+                                        std::span<const std::size_t> sizes) {
+  HCMM_CHECK(!sizes.empty() && sizes.size() <= 255,
+             "store: bad part count " << sizes.size());
+  HCMM_CHECK((tag >> 56) == 0,
+             "store: nested split / reserved tag byte in use");
+  const Payload whole = get(node, tag);
+  std::size_t total = 0;
+  for (const std::size_t s : sizes) total += s;
+  HCMM_CHECK(total == whole->size(), "store: split sizes sum to "
+                                         << total << " != item size "
+                                         << whole->size());
+  std::vector<Tag> out;
+  out.reserve(sizes.size());
+  erase(node, tag);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Tag pt = make_part_tag(tag, i);
+    put(node, pt,
+        std::vector<double>(whole->begin() + static_cast<std::ptrdiff_t>(off),
+                            whole->begin() +
+                                static_cast<std::ptrdiff_t>(off + sizes[i])));
+    off += sizes[i];
+    out.push_back(pt);
+  }
+  return out;
+}
+
+void DataStore::join(NodeId node, std::span<const Tag> part_tags, Tag out_tag) {
+  std::vector<double> joined;
+  std::size_t total = 0;
+  for (const Tag t : part_tags) total += item_words(node, t);
+  joined.reserve(total);
+  for (const Tag t : part_tags) {
+    const Payload p = get(node, t);
+    joined.insert(joined.end(), p->begin(), p->end());
+    erase(node, t);
+  }
+  put(node, out_tag, std::move(joined));
+}
+
+std::size_t DataStore::words(NodeId node) const { return at(node).cur_words; }
+
+std::size_t DataStore::peak_words(NodeId node) const {
+  return at(node).peak_words;
+}
+
+std::uint64_t DataStore::total_peak_words() const {
+  std::uint64_t sum = 0;
+  for (const auto& ns : nodes_) sum += ns.peak_words;
+  return sum;
+}
+
+void DataStore::reset_peaks() {
+  for (auto& ns : nodes_) ns.peak_words = ns.cur_words;
+}
+
+std::size_t DataStore::item_count(NodeId node) const {
+  return at(node).items.size();
+}
+
+}  // namespace hcmm

@@ -1,0 +1,27 @@
+#include "hcmm/support/bits.hpp"
+
+#include <string>
+
+namespace hcmm {
+
+std::uint32_t exact_cbrt(std::uint32_t p) {
+  std::uint32_t q = 0;
+  while (static_cast<std::uint64_t>(q + 1) * (q + 1) * (q + 1) <= p) ++q;
+  if (static_cast<std::uint64_t>(q) * q * q != p) {
+    throw std::invalid_argument("exact_cbrt: " + std::to_string(p) +
+                                " is not a perfect cube");
+  }
+  return q;
+}
+
+std::uint32_t exact_sqrt(std::uint32_t p) {
+  std::uint32_t q = 0;
+  while (static_cast<std::uint64_t>(q + 1) * (q + 1) <= p) ++q;
+  if (static_cast<std::uint64_t>(q) * q != p) {
+    throw std::invalid_argument("exact_sqrt: " + std::to_string(p) +
+                                " is not a perfect square");
+  }
+  return q;
+}
+
+}  // namespace hcmm

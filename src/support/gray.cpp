@@ -1,0 +1,27 @@
+#include "hcmm/support/gray.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "hcmm/support/bits.hpp"
+
+namespace hcmm {
+
+std::uint32_t gray_change_bit(std::uint32_t k, std::uint32_t d) {
+  if (d == 0 || d > 31) throw std::invalid_argument("gray_change_bit: bad dimension");
+  const std::uint32_t mask = (1u << d) - 1u;
+  const std::uint32_t k0 = k & mask;
+  const std::uint32_t k1 = (k0 + 1u) & mask;
+  const std::uint32_t diff = gray_encode(k0) ^ gray_encode(k1);
+  return static_cast<std::uint32_t>(std::countr_zero(diff));
+}
+
+std::vector<std::uint32_t> gray_sequence(std::uint32_t d) {
+  if (d > 20) throw std::invalid_argument("gray_sequence: dimension too large");
+  std::vector<std::uint32_t> seq;
+  seq.reserve(1u << d);
+  for (std::uint32_t k = 0; k < (1u << d); ++k) seq.push_back(gray_encode(k));
+  return seq;
+}
+
+}  // namespace hcmm

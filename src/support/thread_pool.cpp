@@ -1,0 +1,78 @@
+#include "hcmm/support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hcmm {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  std::unique_lock lock(mu_);
+  batch_ = &jobs;
+  next_job_ = 0;
+  jobs_done_ = 0;
+  first_error_ = nullptr;
+  cv_work_.notify_all();
+  // The calling thread pitches in as well so a 1-thread pool still makes
+  // progress even if its worker is descheduled.
+  while (true) {
+    if (next_job_ >= jobs.size()) break;
+    const std::size_t j = next_job_++;
+    lock.unlock();
+    try {
+      jobs[j]();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      ++jobs_done_;
+      continue;
+    }
+    lock.lock();
+    ++jobs_done_;
+  }
+  cv_done_.wait(lock, [&] { return jobs_done_ == jobs.size(); });
+  batch_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] {
+      return stop_ || (batch_ != nullptr && next_job_ < batch_->size());
+    });
+    if (stop_) return;
+    auto* jobs = batch_;
+    const std::size_t j = next_job_++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*jobs)[j]();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    if (++jobs_done_ == jobs->size()) cv_done_.notify_all();
+  }
+}
+
+}  // namespace hcmm

@@ -1,0 +1,125 @@
+#include "hcmm/topology/grid.hpp"
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/gray.hpp"
+
+namespace hcmm {
+namespace {
+
+// g == 0 (a 1-node grid axis) would make chain masks empty; the grids below
+// allow it so that tiny configurations (p = 1) remain usable in tests.
+std::uint32_t field_mask(std::uint32_t g, std::uint32_t field) {
+  return g == 0 ? 0u : ((1u << g) - 1u) << (g * field);
+}
+
+}  // namespace
+
+Grid2D::Grid2D(std::uint32_t p)
+    : q_(exact_sqrt(p)), g_(exact_log2(q_)), cube_(2 * g_) {
+  HCMM_CHECK(is_pow2(q_), "Grid2D: side " << q_ << " must be a power of two");
+}
+
+NodeId Grid2D::node(std::uint32_t row, std::uint32_t col) const {
+  HCMM_CHECK(row < q_ && col < q_, "Grid2D coords (" << row << "," << col
+                                                     << ") out of range");
+  // col lives in the low field, row in the high field.
+  return gray_encode(col) | (gray_encode(row) << g_);
+}
+
+std::array<std::uint32_t, 2> Grid2D::coords(NodeId n) const {
+  HCMM_CHECK(cube_.contains(n), "node out of range");
+  const std::uint32_t low = n & ((1u << g_) - 1u);
+  const std::uint32_t high = n >> g_;
+  return {gray_decode(high), gray_decode(low)};
+}
+
+Subcube Grid2D::row_chain(std::uint32_t row) const {
+  return Subcube(node(row, 0), field_mask(g_, 0));
+}
+
+Subcube Grid2D::col_chain(std::uint32_t col) const {
+  return Subcube(node(0, col), field_mask(g_, 1));
+}
+
+Grid3D::Grid3D(std::uint32_t p)
+    : q_(exact_cbrt(p)), g_(exact_log2(q_)), cube_(3 * g_) {}
+
+NodeId Grid3D::node(std::uint32_t i, std::uint32_t j, std::uint32_t k) const {
+  HCMM_CHECK(i < q_ && j < q_ && k < q_,
+             "Grid3D coords (" << i << "," << j << "," << k << ") out of range");
+  return gray_encode(i) | (gray_encode(j) << g_) | (gray_encode(k) << (2 * g_));
+}
+
+std::array<std::uint32_t, 3> Grid3D::coords(NodeId n) const {
+  HCMM_CHECK(cube_.contains(n), "node out of range");
+  const std::uint32_t mask = g_ == 0 ? 0u : (1u << g_) - 1u;
+  return {gray_decode(n & mask), gray_decode((n >> g_) & mask),
+          gray_decode((n >> (2 * g_)) & mask)};
+}
+
+Subcube Grid3D::x_chain(std::uint32_t j, std::uint32_t k) const {
+  return Subcube(node(0, j, k), field_mask(g_, 0));
+}
+
+Subcube Grid3D::y_chain(std::uint32_t i, std::uint32_t k) const {
+  return Subcube(node(i, 0, k), field_mask(g_, 1));
+}
+
+Subcube Grid3D::z_chain(std::uint32_t i, std::uint32_t j) const {
+  return Subcube(node(i, j, 0), field_mask(g_, 2));
+}
+
+std::uint32_t Grid3D::f(std::uint32_t i, std::uint32_t j) const {
+  HCMM_CHECK(i < q_ && j < q_, "Grid3D::f coords out of range");
+  return i * q_ + j;
+}
+
+Grid3DRect::Grid3DRect(std::uint32_t qx, std::uint32_t qy, std::uint32_t qz)
+    : qx_(qx),
+      qy_(qy),
+      qz_(qz),
+      gx_(exact_log2(qx)),
+      gy_(exact_log2(qy)),
+      gz_(exact_log2(qz)),
+      cube_(gx_ + gy_ + gz_) {}
+
+NodeId Grid3DRect::node(std::uint32_t i, std::uint32_t j,
+                        std::uint32_t k) const {
+  HCMM_CHECK(i < qx_ && j < qy_ && k < qz_,
+             "Grid3DRect coords (" << i << "," << j << "," << k
+                                   << ") out of range");
+  return gray_encode(i) | (gray_encode(j) << gx_) |
+         (gray_encode(k) << (gx_ + gy_));
+}
+
+std::array<std::uint32_t, 3> Grid3DRect::coords(NodeId n) const {
+  HCMM_CHECK(cube_.contains(n), "node out of range");
+  const std::uint32_t mx = gx_ == 0 ? 0u : (1u << gx_) - 1u;
+  const std::uint32_t my = gy_ == 0 ? 0u : (1u << gy_) - 1u;
+  const std::uint32_t mz = gz_ == 0 ? 0u : (1u << gz_) - 1u;
+  return {gray_decode(n & mx), gray_decode((n >> gx_) & my),
+          gray_decode((n >> (gx_ + gy_)) & mz)};
+}
+
+Subcube Grid3DRect::x_chain(std::uint32_t j, std::uint32_t k) const {
+  const std::uint32_t mask = gx_ == 0 ? 0u : (1u << gx_) - 1u;
+  return Subcube(node(0, j, k), mask);
+}
+
+Subcube Grid3DRect::y_chain(std::uint32_t i, std::uint32_t k) const {
+  const std::uint32_t mask = gy_ == 0 ? 0u : ((1u << gy_) - 1u) << gx_;
+  return Subcube(node(i, 0, k), mask);
+}
+
+Subcube Grid3DRect::z_chain(std::uint32_t i, std::uint32_t j) const {
+  const std::uint32_t mask =
+      gz_ == 0 ? 0u : ((1u << gz_) - 1u) << (gx_ + gy_);
+  return Subcube(node(i, j, 0), mask);
+}
+
+std::uint32_t Grid3DRect::f(std::uint32_t i, std::uint32_t j) const {
+  HCMM_CHECK(i < qx_ && j < qy_, "Grid3DRect::f coords out of range");
+  return i * qy_ + j;
+}
+
+}  // namespace hcmm

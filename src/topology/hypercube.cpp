@@ -1,0 +1,75 @@
+#include "hcmm/topology/hypercube.hpp"
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+
+Hypercube::Hypercube(std::uint32_t dim) : dim_(dim) {
+  HCMM_CHECK(dim <= 20, "hypercube dimension " << dim << " too large");
+}
+
+Hypercube Hypercube::with_nodes(std::uint32_t p) {
+  HCMM_CHECK(is_pow2(p), "hypercube size " << p << " is not a power of two");
+  return Hypercube(exact_log2(p));
+}
+
+NodeId Hypercube::neighbor(NodeId node, std::uint32_t k) const {
+  HCMM_CHECK(node < size(), "node " << node << " out of range");
+  HCMM_CHECK(k < dim_, "dimension " << k << " out of range");
+  return flip_bit(node, k);
+}
+
+std::uint32_t Hypercube::distance(NodeId a, NodeId b) const {
+  HCMM_CHECK(a < size() && b < size(), "node out of range");
+  return hamming(a, b);
+}
+
+std::vector<NodeId> Hypercube::neighbors(NodeId node) const {
+  HCMM_CHECK(node < size(), "node " << node << " out of range");
+  std::vector<NodeId> out;
+  out.reserve(dim_);
+  for (std::uint32_t k = 0; k < dim_; ++k) out.push_back(flip_bit(node, k));
+  return out;
+}
+
+Subcube::Subcube(NodeId base, std::uint32_t dims_mask)
+    : base_(base & ~dims_mask),
+      dims_mask_(dims_mask),
+      dim_(popcount32(dims_mask)) {
+  bit_positions_.reserve(dim_);
+  for (std::uint32_t b = 0; b < 32; ++b) {
+    if (bit_of(dims_mask, b) != 0) bit_positions_.push_back(b);
+  }
+}
+
+std::uint32_t Subcube::dim_bit(std::uint32_t k) const {
+  HCMM_CHECK(k < dim_, "subcube dimension index " << k << " out of range");
+  return bit_positions_[k];
+}
+
+NodeId Subcube::node_at(std::uint32_t r) const {
+  HCMM_CHECK(r < size(), "subcube rank " << r << " out of range");
+  NodeId node = base_;
+  for (std::uint32_t k = 0; k < dim_; ++k) {
+    if (bit_of(r, k) != 0) node |= (1u << bit_positions_[k]);
+  }
+  return node;
+}
+
+std::uint32_t Subcube::rank_of(NodeId node) const {
+  HCMM_CHECK(contains(node), "node " << node << " not in subcube");
+  std::uint32_t r = 0;
+  for (std::uint32_t k = 0; k < dim_; ++k) {
+    if (bit_of(node, bit_positions_[k]) != 0) r |= (1u << k);
+  }
+  return r;
+}
+
+std::vector<NodeId> Subcube::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  for (std::uint32_t r = 0; r < size(); ++r) out.push_back(node_at(r));
+  return out;
+}
+
+}  // namespace hcmm

@@ -1,0 +1,230 @@
+// End-to-end tests of all twelve distributed algorithms (nine from the
+// paper plus three extensions): every algorithm, on
+// both port models, across machine sizes, must reproduce the serial product
+// exactly (up to roundoff), perform exactly n^3/p multiply-adds per node on
+// the critical path, and be deterministic.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/algo/factory.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+using algo::AlgoId;
+
+struct AlgoCase {
+  AlgoId id;
+  PortModel port;
+  std::size_t n;
+  std::uint32_t p;
+};
+
+std::string case_name(const testing::TestParamInfo<AlgoCase>& info) {
+  std::string name = algo::to_string(info.param.id);
+  std::erase_if(name, [](char ch) { return ch == '(' || ch == ')'; });
+  for (auto& ch : name) {
+    if (ch == ' ' || ch == '-') ch = '_';
+  }
+  return name + (info.param.port == PortModel::kOnePort ? "_one" : "_multi") +
+         "_n" + std::to_string(info.param.n) + "_p" +
+         std::to_string(info.param.p);
+}
+
+class AlgoRun : public testing::TestWithParam<AlgoCase> {};
+
+TEST_P(AlgoRun, MatchesSerialOracle) {
+  const auto [id, port, n, p] = GetParam();
+  const auto alg = algo::make_algorithm(id);
+  ASSERT_TRUE(alg->supports(port));
+  ASSERT_TRUE(alg->applicable(n, p))
+      << alg->name() << " must be applicable for n=" << n << " p=" << p;
+
+  const Matrix a = random_matrix(n, n, 1000 + n);
+  const Matrix b = random_matrix(n, n, 2000 + p);
+  Machine machine(Hypercube::with_nodes(p), port, CostParams{150.0, 3.0, 1.0});
+  const auto result = alg->run(a, b, machine);
+  const Matrix oracle = multiply_naive(a, b);
+
+  EXPECT_LE(max_abs_diff(result.c, oracle), 1e-10 * static_cast<double>(n))
+      << alg->name() << " produced a wrong product";
+
+  const auto totals = result.report.totals();
+  EXPECT_EQ(totals.flops,
+            static_cast<std::uint64_t>(n) * n * n / p)
+      << "critical-path multiply-adds must be n^3/p (perfect load balance)";
+  if (p > 1) {
+    EXPECT_GT(totals.rounds, 0u);
+    EXPECT_GT(totals.comm_time, 0.0);
+    EXPECT_GT(result.report.peak_words_total, 0u);
+    // Dependency-driven execution can only be faster than the
+    // phase-synchronous accounting, never slower.
+    EXPECT_LE(result.report.async_makespan, totals.time() + 1e-6);
+    EXPECT_GT(result.report.async_makespan, 0.0);
+  }
+}
+
+TEST_P(AlgoRun, DeterministicAcrossRuns) {
+  const auto [id, port, n, p] = GetParam();
+  if (p > 64) GTEST_SKIP() << "determinism spot-check on small machines only";
+  const auto alg = algo::make_algorithm(id);
+  const Matrix a = random_matrix(n, n, 7);
+  const Matrix b = random_matrix(n, n, 8);
+  Machine m1(Hypercube::with_nodes(p), port, CostParams{10.0, 1.0, 1.0});
+  Machine m2(Hypercube::with_nodes(p), port, CostParams{10.0, 1.0, 1.0});
+  const auto r1 = alg->run(a, b, m1);
+  const auto r2 = alg->run(a, b, m2);
+  EXPECT_LE(max_abs_diff(r1.c, r2.c), 0.0) << "must be bit-identical";
+  EXPECT_DOUBLE_EQ(r1.report.totals().comm_time, r2.report.totals().comm_time);
+  EXPECT_EQ(r1.report.peak_words_total, r2.report.peak_words_total);
+}
+
+std::vector<AlgoCase> make_cases() {
+  std::vector<AlgoCase> cases;
+  const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
+  const AlgoId grid2d[] = {AlgoId::kSimple, AlgoId::kCannon, AlgoId::kDiag2D};
+  const AlgoId grid3d[] = {AlgoId::kBerntsen, AlgoId::kDNS, AlgoId::kDiag3D,
+                           AlgoId::kAllTrans, AlgoId::kAll3D};
+  for (const PortModel port : ports) {
+    for (const AlgoId id : grid2d) {
+      cases.push_back({id, port, 8, 4});
+      cases.push_back({id, port, 16, 16});
+      cases.push_back({id, port, 24, 64});
+      cases.push_back({id, port, 32, 256});  // q = 16 chains
+    }
+    // HJE needs n/sqrt(p) >= log sqrt(p) and is multi-port only.
+    if (port == PortModel::kMultiPort) {
+      cases.push_back({AlgoId::kHJE, port, 8, 4});
+      cases.push_back({AlgoId::kHJE, port, 16, 16});
+      cases.push_back({AlgoId::kHJE, port, 32, 64});
+      cases.push_back({AlgoId::kHJE, port, 64, 256});
+    }
+    for (const AlgoId id : grid3d) {
+      cases.push_back({id, port, 8, 8});
+      cases.push_back({id, port, 32, 64});
+    }
+    // A non-divisible-but-legal shape: blocks of uneven chunking inside
+    // multi-port splits (n/q^2 = 3 pieces of width 3 over 2-dim chains).
+    cases.push_back({AlgoId::kAll3D, port, 48, 64});
+    // One larger machine to exercise q = 8 chains in 3-D.
+    cases.push_back({AlgoId::kDiag3D, port, 64, 512});
+    cases.push_back({AlgoId::kAll3D, port, 64, 512});
+    // The rectangular-grid extension (p = q^4 shapes, reaching p <= n^2).
+    cases.push_back({AlgoId::kAll3DRect, port, 8, 16});
+    cases.push_back({AlgoId::kAll3DRect, port, 16, 16});
+    cases.push_back({AlgoId::kAll3DRect, port, 32, 256});
+    cases.push_back({AlgoId::kAll3DRect, port, 48, 256});
+    // The §3.5 supernode combinations, including processor counts where no
+    // pure algorithm applies (32 = 2^3*2^2, 128 = 2^3*4^2).
+    for (const AlgoId id : {AlgoId::kDNSCannon, AlgoId::kDiag3DCannon}) {
+      cases.push_back({id, port, 16, 32});
+      cases.push_back({id, port, 32, 32});
+      cases.push_back({id, port, 32, 128});
+      cases.push_back({id, port, 32, 256});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgoRun, testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST(AlgoApi, NamesAreUnique) {
+  const auto algs = algo::all_algorithms();
+  ASSERT_EQ(algs.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& a : algs) EXPECT_TRUE(names.insert(a->name()).second);
+}
+
+TEST(AlgoApi, HjeRejectsOnePort) {
+  const auto hje = algo::make_algorithm(AlgoId::kHJE);
+  EXPECT_FALSE(hje->supports(PortModel::kOnePort));
+  EXPECT_TRUE(hje->supports(PortModel::kMultiPort));
+  const Matrix a = random_matrix(16, 16, 1);
+  Machine m(Hypercube::with_nodes(16), PortModel::kOnePort,
+            CostParams{10, 1, 1});
+  EXPECT_THROW((void)hje->run(a, a, m), CheckError);
+}
+
+TEST(AlgoApi, ApplicabilityShapes) {
+  const auto cannon = algo::make_algorithm(AlgoId::kCannon);
+  EXPECT_TRUE(cannon->applicable(16, 16));
+  EXPECT_FALSE(cannon->applicable(16, 8)) << "8 is not a square";
+  EXPECT_FALSE(cannon->applicable(17, 16)) << "17 % 4 != 0";
+  EXPECT_FALSE(cannon->applicable(2, 64)) << "p > n^2";
+
+  const auto all3d = algo::make_algorithm(AlgoId::kAll3D);
+  EXPECT_TRUE(all3d->applicable(32, 64));
+  EXPECT_FALSE(all3d->applicable(32, 16)) << "16 is not a cube";
+  EXPECT_FALSE(all3d->applicable(24, 64)) << "24 % 16 != 0";
+  EXPECT_FALSE(all3d->applicable(16, 4096)) << "p > n^{3/2}";
+
+  const auto dns = algo::make_algorithm(AlgoId::kDNS);
+  EXPECT_TRUE(dns->applicable(8, 512)) << "DNS reaches p = n^3";
+  EXPECT_FALSE(all3d->applicable(8, 512)) << "3D All stops at n^{3/2}";
+
+  const auto rect = algo::make_algorithm(AlgoId::kAll3DRect);
+  EXPECT_TRUE(rect->applicable(16, 256)) << "rect grid reaches p = n^2";
+  EXPECT_FALSE(all3d->applicable(16, 256)) << "square grid cannot";
+  EXPECT_FALSE(rect->applicable(16, 64)) << "64 is not a fourth power";
+  EXPECT_FALSE(rect->applicable(24, 256)) << "24 % sqrt(p) != 0";
+  EXPECT_FALSE(rect->applicable(8, 4096)) << "p > n^2";
+
+  const auto combo = algo::make_algorithm(AlgoId::kDiag3DCannon);
+  EXPECT_TRUE(combo->applicable(16, 32)) << "fills non-cube counts";
+  EXPECT_TRUE(combo->applicable(16, 128));
+  EXPECT_FALSE(combo->applicable(10, 32)) << "10 % (sigma*rho) != 0";
+  EXPECT_FALSE(dns->applicable(16, 32)) << "pure DNS needs a cube";
+}
+
+TEST(AlgoApi, ExplicitSuperSplit) {
+  // An explicit (sigma, rho) split overrides the canonical one and must be
+  // rejected when it does not factor p.
+  using algo::detail::make_diag3d_cannon;
+  const auto good = make_diag3d_cannon(std::pair{2u, 4u});  // 8 * 16 = 128
+  EXPECT_TRUE(good->applicable(32, 128));
+  EXPECT_FALSE(good->applicable(32, 64)) << "split does not match p";
+  const Matrix a = random_matrix(16, 16, 1);
+  const Matrix b = random_matrix(16, 16, 2);
+  Machine m(Hypercube::with_nodes(128), PortModel::kOnePort,
+            CostParams{10, 1, 1});
+  const auto r = good->run(a, b, m);
+  EXPECT_LE(max_abs_diff(r.c, multiply_naive(a, b)), 1e-12);
+}
+
+TEST(AlgoApi, IdentityProduct) {
+  for (const auto& alg : algo::all_algorithms()) {
+    const std::uint32_t p = 64;
+    const std::size_t n = 32;
+    if (!alg->applicable(n, p)) continue;
+    Machine m(Hypercube::with_nodes(p), PortModel::kMultiPort,
+              CostParams{10, 1, 1});
+    if (!alg->supports(m.port())) continue;
+    const Matrix a = random_matrix(n, n, 99);
+    const auto r = alg->run(a, Matrix::identity(n), m);
+    EXPECT_LE(max_abs_diff(r.c, a), 1e-12) << alg->name() << " * I != A";
+  }
+}
+
+TEST(AlgoApi, SingleNodeMachine) {
+  // p = 1 is a degenerate but legal machine for the 2-D and 3-D grids.
+  for (const AlgoId id : {AlgoId::kSimple, AlgoId::kCannon, AlgoId::kDNS,
+                          AlgoId::kDiag3D, AlgoId::kAll3D}) {
+    const auto alg = algo::make_algorithm(id);
+    ASSERT_TRUE(alg->applicable(4, 1)) << alg->name();
+    Machine m(Hypercube::with_nodes(1), PortModel::kOnePort,
+              CostParams{10, 1, 1});
+    const Matrix a = random_matrix(4, 4, 5);
+    const Matrix b = random_matrix(4, 4, 6);
+    const auto r = alg->run(a, b, m);
+    EXPECT_LE(max_abs_diff(r.c, multiply_naive(a, b)), 1e-13) << alg->name();
+    EXPECT_DOUBLE_EQ(r.report.totals().comm_time, 0.0) << alg->name();
+  }
+}
+
+}  // namespace
+}  // namespace hcmm

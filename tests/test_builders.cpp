@@ -1,0 +1,173 @@
+// Structural tests of the raw schedule builders: tree shapes, round
+// legality under both port models, edge-disjointness of the rotated trees
+// (the property that buys the multi-port bandwidth of Table 1), and the
+// composition operators seq/par.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hcmm/coll/builders.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+namespace {
+
+using coll::identity_order;
+using coll::rotated_order;
+
+TEST(SbtBcast, TreeStructure) {
+  const Subcube sc(0, 0b111);
+  const Tag tags[] = {make_tag(1)};
+  const Schedule s = coll::sbt_bcast(sc, 0, identity_order(3), tags);
+  ASSERT_EQ(s.round_count(), 3u);
+  EXPECT_EQ(s.rounds[0].transfers.size(), 1u);
+  EXPECT_EQ(s.rounds[1].transfers.size(), 2u);
+  EXPECT_EQ(s.rounds[2].transfers.size(), 4u);
+  // Every node is reached exactly once.
+  std::set<NodeId> reached{0};
+  for (const auto& round : s.rounds) {
+    for (const auto& t : round.transfers) {
+      EXPECT_TRUE(reached.contains(t.src)) << "sender must already be covered";
+      EXPECT_TRUE(reached.insert(t.dst).second) << "node reached twice";
+      EXPECT_FALSE(t.move_src) << "broadcast keeps the source copy";
+      EXPECT_FALSE(t.combine);
+    }
+  }
+  EXPECT_EQ(reached.size(), 8u);
+}
+
+TEST(SbtBcast, NonZeroRootRelabelsTree) {
+  const Subcube sc(0, 0b1111);
+  const Tag tags[] = {make_tag(1)};
+  const Schedule s = coll::sbt_bcast(sc, 9, identity_order(4), tags);
+  EXPECT_EQ(s.rounds[0].transfers[0].src, sc.node_at(9));
+}
+
+TEST(SbtReduce, MirrorsBcast) {
+  const Subcube sc(0, 0b111);
+  const Tag tags[] = {make_tag(1)};
+  const Schedule b = coll::sbt_bcast(sc, 0, identity_order(3), tags);
+  const Schedule r = coll::sbt_reduce(sc, 0, identity_order(3), tags);
+  ASSERT_EQ(b.round_count(), r.round_count());
+  // Reduce round i is broadcast round (d-1-i) with src/dst swapped.
+  for (std::size_t i = 0; i < r.round_count(); ++i) {
+    const auto& br = b.rounds[b.round_count() - 1 - i].transfers;
+    const auto& rr = r.rounds[i].transfers;
+    ASSERT_EQ(br.size(), rr.size());
+    std::set<std::pair<NodeId, NodeId>> bset;
+    for (const auto& t : br) bset.insert({t.dst, t.src});
+    for (const auto& t : rr) {
+      EXPECT_TRUE(bset.contains({t.src, t.dst}));
+      EXPECT_TRUE(t.combine);
+      EXPECT_TRUE(t.move_src);
+    }
+  }
+}
+
+TEST(RotatedTrees, EdgeDisjointPerRound) {
+  // The log N trees of the multi-port broadcast must use distinct directed
+  // links within every round — that is what makes them concurrent.
+  for (const std::uint32_t d : {2u, 3u, 4u, 5u}) {
+    const Subcube sc(0, (1u << d) - 1);
+    std::vector<Schedule> trees;
+    for (std::uint32_t j = 0; j < d; ++j) {
+      const Tag tags[] = {make_tag(1, static_cast<std::uint16_t>(j))};
+      trees.push_back(coll::sbt_bcast(sc, 0, rotated_order(d, j), tags));
+    }
+    for (std::uint32_t r = 0; r < d; ++r) {
+      std::set<std::pair<NodeId, NodeId>> links;
+      for (std::uint32_t j = 0; j < d; ++j) {
+        for (const auto& t : trees[j].rounds[r].transfers) {
+          EXPECT_TRUE(links.insert({t.src, t.dst}).second)
+              << "d=" << d << " round " << r << " link reused";
+        }
+      }
+    }
+  }
+}
+
+TEST(Allgather, ExchangePairsEveryRound) {
+  const Subcube sc(0, 0b1111);
+  std::vector<std::vector<Tag>> tags(16);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    tags[r] = {make_tag(1, static_cast<std::uint16_t>(r))};
+  }
+  const Schedule s = coll::rd_allgather(sc, identity_order(4), tags);
+  ASSERT_EQ(s.round_count(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto& round = s.rounds[r].transfers;
+    EXPECT_EQ(round.size(), 16u) << "every node sends every round";
+    std::map<NodeId, std::size_t> sent;
+    for (const auto& t : round) {
+      EXPECT_EQ(t.tags.size(), 1u << r) << "accumulated set doubles";
+      ++sent[t.src];
+    }
+    for (const auto& [node, cnt] : sent) EXPECT_EQ(cnt, 1u);
+  }
+}
+
+TEST(Scatter, HalvesBundlesPerRound) {
+  const Subcube sc(0, 0b111);
+  std::vector<std::vector<Tag>> tags(8);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    tags[r] = {make_tag(1, static_cast<std::uint16_t>(r))};
+  }
+  const Schedule s = coll::rh_scatter(sc, 0, identity_order(3), tags);
+  ASSERT_EQ(s.round_count(), 3u);
+  EXPECT_EQ(s.rounds[0].transfers[0].tags.size(), 4u);
+  EXPECT_EQ(s.rounds[1].transfers[0].tags.size(), 2u);
+  EXPECT_EQ(s.rounds[2].transfers[0].tags.size(), 1u);
+  for (const auto& round : s.rounds) {
+    for (const auto& t : round.transfers) EXPECT_TRUE(t.move_src);
+  }
+}
+
+TEST(Aapc, ItemsCrossOnlyWhenBitsDiffer) {
+  const Subcube sc(0, 0b11);
+  auto tag_fn = [](std::uint32_t s, std::uint32_t d) -> std::vector<Tag> {
+    if (s == d) return {};
+    return {make_tag(1, static_cast<std::uint16_t>(s),
+                     static_cast<std::uint16_t>(d))};
+  };
+  const Schedule s = coll::aapc(sc, identity_order(2), tag_fn);
+  ASSERT_EQ(s.round_count(), 2u);
+  // Round 0 routes across dim 0: every node relays the two items whose
+  // destination differs in bit 0.
+  for (const auto& t : s.rounds[0].transfers) {
+    EXPECT_EQ(t.tags.size(), 2u);
+    EXPECT_EQ(popcount32(t.src ^ t.dst), 1u);
+  }
+}
+
+TEST(Compose, SeqConcatenatesParZips) {
+  Schedule a;
+  a.rounds.resize(2);
+  a.rounds[0].transfers.push_back({.src = 0, .dst = 1, .tags = {make_tag(1)}});
+  a.rounds[1].transfers.push_back({.src = 1, .dst = 0, .tags = {make_tag(1)}});
+  Schedule b;
+  b.rounds.resize(1);
+  b.rounds[0].transfers.push_back({.src = 2, .dst = 3, .tags = {make_tag(2)}});
+
+  const Schedule parts[] = {a, b};
+  const Schedule s = seq(parts);
+  EXPECT_EQ(s.round_count(), 3u);
+  EXPECT_EQ(s.transfer_count(), 3u);
+
+  const Schedule z = par(parts);
+  EXPECT_EQ(z.round_count(), 2u);
+  EXPECT_EQ(z.rounds[0].transfers.size(), 2u);
+  EXPECT_EQ(z.rounds[1].transfers.size(), 1u);
+}
+
+TEST(Builders, SingleNodeSubcubeYieldsEmptySchedules) {
+  const Subcube sc(5, 0);
+  const Tag tags[] = {make_tag(1)};
+  EXPECT_TRUE(coll::sbt_bcast(sc, 0, identity_order(0), tags).empty());
+  EXPECT_TRUE(coll::sbt_reduce(sc, 0, identity_order(0), tags).empty());
+}
+
+}  // namespace
+}  // namespace hcmm

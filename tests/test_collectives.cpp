@@ -1,0 +1,549 @@
+// Collective-communication tests: functional correctness of every
+// collective on both port models, and *exact* agreement of measured costs
+// with Table 1 of the paper (message length chosen divisible by log N so
+// the multi-port chunking is exact).
+//
+//   collective                 a (t_s)   b one-port     b multi-port
+//   one-to-all broadcast       log N     M log N        M
+//   one-to-all personalized    log N     (N-1)M         (N-1)M / log N
+//   all-to-all broadcast       log N     (N-1)M         (N-1)M / log N
+//   all-to-all personalized    log N     N M log N / 2  N M / 2
+//   (reductions are the inverses with identical costs)
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hcmm/coll/builders.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/coll/ring.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm {
+namespace {
+
+using coll::PreparedColl;
+
+constexpr double kTs = 1000.0;
+constexpr double kTw = 1.0;
+
+struct CollParam {
+  PortModel port;
+  std::uint32_t dim;  // subcube dimension d (N = 2^d)
+};
+
+std::string param_name(const testing::TestParamInfo<CollParam>& info) {
+  return std::string(info.param.port == PortModel::kOnePort ? "oneport"
+                                                            : "multiport") +
+         "_d" + std::to_string(info.param.dim);
+}
+
+class CollTest : public testing::TestWithParam<CollParam> {
+ protected:
+  CollTest()
+      : machine_(Hypercube(GetParam().dim + 2),  // embed in a larger cube
+                 GetParam().port, CostParams{kTs, kTw, 1.0}),
+        // Use free dims {2 .. 2+d-1} so the subcube is a strict subset of
+        // the machine — collectives must work inside chains, not just on
+        // whole hypercubes.
+        sc_(0b01, ((1u << GetParam().dim) - 1u) << 2) {}
+
+  [[nodiscard]] std::uint32_t d() const { return GetParam().dim; }
+  [[nodiscard]] std::uint32_t n() const { return 1u << GetParam().dim; }
+  /// Message length divisible by d (and by N for personalized payloads).
+  [[nodiscard]] std::size_t msg_words() const { return 60u * n(); }
+
+  [[nodiscard]] bool is_multi() const {
+    return GetParam().port == PortModel::kMultiPort && d() >= 2;
+  }
+  [[nodiscard]] double b_scale() const {
+    return is_multi() ? static_cast<double>(d()) : 1.0;
+  }
+
+  std::vector<double> value_vec(std::size_t words, double v) {
+    return std::vector<double>(words, v);
+  }
+
+  Machine machine_;
+  Subcube sc_;
+};
+
+TEST_P(CollTest, BcastDeliversToAllMembers) {
+  const Tag tag = make_tag(1);
+  const NodeId root = sc_.node_at(1 % n());
+  machine_.store().put(root, tag, value_vec(msg_words(), 3.5));
+  machine_.reset_stats();
+  coll::op_bcast(machine_, sc_, root, tag);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    ASSERT_TRUE(machine_.store().has(sc_.node_at(r), tag)) << "rank " << r;
+    const auto& data = *machine_.store().get(sc_.node_at(r), tag);
+    ASSERT_EQ(data.size(), msg_words());
+    EXPECT_EQ(data.front(), 3.5);
+    EXPECT_EQ(data.back(), 3.5);
+  }
+}
+
+TEST_P(CollTest, BcastCostMatchesTable1) {
+  if (d() == 0) GTEST_SKIP();
+  const Tag tag = make_tag(1);
+  const NodeId root = sc_.node_at(0);
+  machine_.store().put(root, tag, value_vec(msg_words(), 1.0));
+  machine_.reset_stats();
+  coll::op_bcast(machine_, sc_, root, tag);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  const double m = static_cast<double>(msg_words());
+  EXPECT_DOUBLE_EQ(t.word_cost, m * static_cast<double>(d()) / b_scale());
+}
+
+TEST_P(CollTest, ReduceSumsIntoRoot) {
+  const Tag tag = make_tag(2);
+  const NodeId root = sc_.node_at(n() - 1);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    machine_.store().put(sc_.node_at(r), tag,
+                         value_vec(msg_words(), static_cast<double>(r + 1)));
+  }
+  machine_.reset_stats();
+  coll::op_reduce(machine_, sc_, root, tag);
+  const double expect = static_cast<double>(n()) * (n() + 1) / 2.0;
+  const auto& data = *machine_.store().get(root, tag);
+  ASSERT_EQ(data.size(), msg_words());
+  EXPECT_DOUBLE_EQ(data.front(), expect);
+  EXPECT_DOUBLE_EQ(data.back(), expect);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    if (sc_.node_at(r) != root) {
+      EXPECT_FALSE(machine_.store().has(sc_.node_at(r), tag));
+    }
+  }
+}
+
+TEST_P(CollTest, ReduceCostEqualsBcastCost) {
+  if (d() == 0) GTEST_SKIP();
+  const Tag tag = make_tag(2);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    machine_.store().put(sc_.node_at(r), tag, value_vec(msg_words(), 1.0));
+  }
+  machine_.reset_stats();
+  coll::op_reduce(machine_, sc_, sc_.node_at(0), tag);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  EXPECT_DOUBLE_EQ(t.word_cost,
+                   static_cast<double>(msg_words()) * d() / b_scale());
+}
+
+TEST_P(CollTest, ScatterDeliversPersonalizedItems) {
+  const NodeId root = sc_.node_at(0);
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words() / n();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(3, static_cast<std::uint16_t>(r));
+    machine_.store().put(root, tags[r], value_vec(item, 100.0 + r));
+  }
+  machine_.reset_stats();
+  coll::op_scatter(machine_, sc_, root, tags);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    ASSERT_TRUE(machine_.store().has(sc_.node_at(r), tags[r]));
+    const auto& data = *machine_.store().get(sc_.node_at(r), tags[r]);
+    ASSERT_EQ(data.size(), item);
+    EXPECT_EQ(data.front(), 100.0 + r);
+    if (r != 0) {
+      EXPECT_FALSE(machine_.store().has(root, tags[r]));
+    }
+  }
+}
+
+TEST_P(CollTest, ScatterCostMatchesTable1) {
+  if (d() == 0) GTEST_SKIP();
+  const NodeId root = sc_.node_at(0);
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words();  // M per destination
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(3, static_cast<std::uint16_t>(r));
+    machine_.store().put(root, tags[r], value_vec(item, 1.0));
+  }
+  machine_.reset_stats();
+  coll::op_scatter(machine_, sc_, root, tags);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  EXPECT_DOUBLE_EQ(t.word_cost,
+                   static_cast<double>((n() - 1) * item) / b_scale());
+}
+
+TEST_P(CollTest, GatherCollectsAllItems) {
+  const NodeId root = sc_.node_at(n() / 2);
+  std::vector<Tag> tags(n());
+  const std::size_t item = 6 * n();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(4, static_cast<std::uint16_t>(r));
+    machine_.store().put(sc_.node_at(r), tags[r], value_vec(item, 7.0 + r));
+  }
+  machine_.reset_stats();
+  coll::op_gather(machine_, sc_, root, tags);
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    ASSERT_TRUE(machine_.store().has(root, tags[r])) << "rank " << r;
+    EXPECT_EQ((*machine_.store().get(root, tags[r])).front(), 7.0 + r);
+  }
+}
+
+TEST_P(CollTest, GatherCostMatchesScatter) {
+  if (d() == 0) GTEST_SKIP();
+  const NodeId root = sc_.node_at(0);
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(4, static_cast<std::uint16_t>(r));
+    machine_.store().put(sc_.node_at(r), tags[r], value_vec(item, 1.0));
+  }
+  machine_.reset_stats();
+  coll::op_gather(machine_, sc_, root, tags);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  EXPECT_DOUBLE_EQ(t.word_cost,
+                   static_cast<double>((n() - 1) * item) / b_scale());
+}
+
+TEST_P(CollTest, AllgatherReplicatesEverything) {
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(5, static_cast<std::uint16_t>(r));
+    machine_.store().put(sc_.node_at(r), tags[r], value_vec(item, 1.0 + r));
+  }
+  machine_.reset_stats();
+  coll::op_allgather(machine_, sc_, tags);
+  for (std::uint32_t holder = 0; holder < n(); ++holder) {
+    for (std::uint32_t r = 0; r < n(); ++r) {
+      ASSERT_TRUE(machine_.store().has(sc_.node_at(holder), tags[r]))
+          << "holder " << holder << " rank " << r;
+      const auto& data = *machine_.store().get(sc_.node_at(holder), tags[r]);
+      ASSERT_EQ(data.size(), item);
+      EXPECT_EQ(data.front(), 1.0 + r);
+      EXPECT_EQ(data.back(), 1.0 + r);
+    }
+  }
+}
+
+TEST_P(CollTest, AllgatherCostMatchesTable1) {
+  if (d() == 0) GTEST_SKIP();
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(5, static_cast<std::uint16_t>(r));
+    machine_.store().put(sc_.node_at(r), tags[r], value_vec(item, 1.0));
+  }
+  machine_.reset_stats();
+  coll::op_allgather(machine_, sc_, tags);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  EXPECT_DOUBLE_EQ(t.word_cost,
+                   static_cast<double>((n() - 1) * item) / b_scale());
+}
+
+TEST_P(CollTest, ReduceScatterCombinesAndDistributes) {
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words() / n();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(6, static_cast<std::uint16_t>(r));
+  }
+  // Node at rank h contributes value (h+1) to every piece.
+  for (std::uint32_t h = 0; h < n(); ++h) {
+    for (std::uint32_t r = 0; r < n(); ++r) {
+      machine_.store().put(sc_.node_at(h), tags[r],
+                           value_vec(item, static_cast<double>(h + 1)));
+    }
+  }
+  machine_.reset_stats();
+  coll::op_reduce_scatter(machine_, sc_, tags);
+  const double expect = static_cast<double>(n()) * (n() + 1) / 2.0;
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    ASSERT_TRUE(machine_.store().has(sc_.node_at(r), tags[r]));
+    const auto& data = *machine_.store().get(sc_.node_at(r), tags[r]);
+    ASSERT_EQ(data.size(), item);
+    EXPECT_DOUBLE_EQ(data.front(), expect);
+    EXPECT_DOUBLE_EQ(data.back(), expect);
+    // Other pieces are gone from this node.
+    for (std::uint32_t other = 0; other < n(); ++other) {
+      if (other != r) {
+        EXPECT_FALSE(machine_.store().has(sc_.node_at(r), tags[other]));
+      }
+    }
+  }
+}
+
+TEST_P(CollTest, ReduceScatterCostMatchesAllgather) {
+  if (d() == 0) GTEST_SKIP();
+  std::vector<Tag> tags(n());
+  const std::size_t item = msg_words();
+  for (std::uint32_t r = 0; r < n(); ++r) {
+    tags[r] = make_tag(6, static_cast<std::uint16_t>(r));
+  }
+  for (std::uint32_t h = 0; h < n(); ++h) {
+    for (std::uint32_t r = 0; r < n(); ++r) {
+      machine_.store().put(sc_.node_at(h), tags[r], value_vec(item, 1.0));
+    }
+  }
+  machine_.reset_stats();
+  coll::op_reduce_scatter(machine_, sc_, tags);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  EXPECT_DOUBLE_EQ(t.word_cost,
+                   static_cast<double>((n() - 1) * item) / b_scale());
+}
+
+TEST_P(CollTest, AlltoallRoutesEveryPair) {
+  const std::size_t item = msg_words() / n();
+  std::vector<Tag> flat(static_cast<std::size_t>(n()) * n(), 0);
+  for (std::uint32_t s = 0; s < n(); ++s) {
+    for (std::uint32_t dst = 0; dst < n(); ++dst) {
+      const Tag t = make_tag(7, static_cast<std::uint16_t>(s),
+                             static_cast<std::uint16_t>(dst));
+      flat[static_cast<std::size_t>(s) * n() + dst] = t;
+      machine_.store().put(sc_.node_at(s), t,
+                           value_vec(item, static_cast<double>(s * 100 + dst)));
+    }
+  }
+  machine_.reset_stats();
+  coll::op_alltoall(machine_, sc_, flat);
+  for (std::uint32_t s = 0; s < n(); ++s) {
+    for (std::uint32_t dst = 0; dst < n(); ++dst) {
+      const Tag t = flat[static_cast<std::size_t>(s) * n() + dst];
+      ASSERT_TRUE(machine_.store().has(sc_.node_at(dst), t))
+          << "pair " << s << "->" << dst;
+      const auto& data = *machine_.store().get(sc_.node_at(dst), t);
+      ASSERT_EQ(data.size(), item);
+      EXPECT_EQ(data.front(), s * 100 + dst);
+      if (dst != s) {
+        EXPECT_FALSE(machine_.store().has(sc_.node_at(s), t));
+      }
+    }
+  }
+}
+
+TEST_P(CollTest, AlltoallCostMatchesTable1) {
+  if (d() == 0) GTEST_SKIP();
+  const std::size_t item = msg_words();  // M per (src,dst) pair
+  std::vector<Tag> flat(static_cast<std::size_t>(n()) * n(), 0);
+  for (std::uint32_t s = 0; s < n(); ++s) {
+    for (std::uint32_t dst = 0; dst < n(); ++dst) {
+      const Tag t = make_tag(7, static_cast<std::uint16_t>(s),
+                             static_cast<std::uint16_t>(dst));
+      flat[static_cast<std::size_t>(s) * n() + dst] = t;
+      machine_.store().put(sc_.node_at(s), t, value_vec(item, 1.0));
+    }
+  }
+  machine_.reset_stats();
+  coll::op_alltoall(machine_, sc_, flat);
+  const auto t = machine_.report().totals();
+  EXPECT_EQ(t.rounds, d());
+  // One-port: d rounds of N*M/2 each; multi-port divides by d.
+  EXPECT_DOUBLE_EQ(t.word_cost, static_cast<double>(n()) *
+                                    static_cast<double>(item) *
+                                    static_cast<double>(d()) / 2.0 /
+                                    b_scale());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollTest,
+    testing::Values(CollParam{PortModel::kOnePort, 1},
+                    CollParam{PortModel::kOnePort, 2},
+                    CollParam{PortModel::kOnePort, 3},
+                    CollParam{PortModel::kOnePort, 4},
+                    CollParam{PortModel::kOnePort, 5},
+                    CollParam{PortModel::kMultiPort, 1},
+                    CollParam{PortModel::kMultiPort, 2},
+                    CollParam{PortModel::kMultiPort, 3},
+                    CollParam{PortModel::kMultiPort, 4},
+                    CollParam{PortModel::kMultiPort, 5}),
+    param_name);
+
+// ---- non-parameterized collective tests ----
+
+TEST(CollOverlap, TwoBcastsOnDisjointChainsShareRounds) {
+  // 3DD phase 2 shape: A along an x-chain, B along a z-chain, multi-port.
+  const Grid3D grid(64);
+  Machine m(grid.cube(), PortModel::kMultiPort, {kTs, kTw, 1.0});
+  const Tag ta = make_tag(1);
+  const Tag tb = make_tag(2);
+  const std::size_t words = 8;
+  const Subcube xc = grid.x_chain(1, 2);
+  const Subcube zc = grid.z_chain(3, 1);
+  const NodeId ra = grid.node(0, 1, 2);
+  const NodeId rb = grid.node(3, 1, 0);
+  m.store().put(ra, ta, std::vector<double>(words, 1.0));
+  m.store().put(rb, tb, std::vector<double>(words, 2.0));
+  m.reset_stats();
+  PreparedColl colls[] = {coll::prep_bcast(m, xc, ra, ta),
+                          coll::prep_bcast(m, zc, rb, tb)};
+  coll::run_prepared(m, colls);
+  const auto t = m.report().totals();
+  EXPECT_EQ(t.rounds, grid.chain_dim()) << "overlap must not add start-ups";
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    EXPECT_TRUE(m.store().has(grid.node(i, 1, 2), ta));
+    EXPECT_TRUE(m.store().has(grid.node(3, 1, i), tb));
+  }
+}
+
+TEST(CollOverlap, SequentialBcastsAddRounds) {
+  const Grid3D grid(64);
+  Machine m(grid.cube(), PortModel::kOnePort, {kTs, kTw, 1.0});
+  const Tag ta = make_tag(1);
+  const Tag tb = make_tag(2);
+  const Subcube xc = grid.x_chain(1, 2);
+  const Subcube zc = grid.z_chain(3, 1);
+  m.store().put(grid.node(0, 1, 2), ta, std::vector<double>(8, 1.0));
+  m.store().put(grid.node(3, 1, 0), tb, std::vector<double>(8, 2.0));
+  m.reset_stats();
+  coll::op_bcast(m, xc, grid.node(0, 1, 2), ta);
+  coll::op_bcast(m, zc, grid.node(3, 1, 0), tb);
+  EXPECT_EQ(m.report().totals().rounds, 2 * grid.chain_dim());
+}
+
+TEST(Ring, UnitShiftMovesEveryItemOneStep) {
+  const Grid2D grid(64);
+  Machine m(grid.cube(), PortModel::kOnePort, {kTs, kTw, 1.0});
+  const Subcube row = grid.row_chain(3);
+  std::vector<std::vector<Tag>> tags(row.size());
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    const Tag t = make_tag(8, static_cast<std::uint16_t>(c));
+    tags[c] = {t};
+    m.store().put(coll::ring_node(row, c), t, {static_cast<double>(c)});
+  }
+  m.reset_stats();
+  m.run(coll::ring_shift_unit(row, tags, +1));
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.rounds, 1u) << "unit shift is a single round";
+  EXPECT_DOUBLE_EQ(totals.word_cost, 1.0);
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    const NodeId dst = coll::ring_node(row, (c + 1) % grid.q());
+    ASSERT_TRUE(m.store().has(dst, tags[c][0]));
+    EXPECT_EQ((*m.store().get(dst, tags[c][0]))[0], c);
+  }
+}
+
+TEST(Ring, ShiftLeftInvertsShiftRight) {
+  const Grid2D grid(16);
+  Machine m(grid.cube(), PortModel::kOnePort, {kTs, kTw, 1.0});
+  const Subcube col = grid.col_chain(2);
+  std::vector<std::vector<Tag>> tags(col.size());
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    const Tag t = make_tag(8, static_cast<std::uint16_t>(c));
+    tags[c] = {t};
+    m.store().put(coll::ring_node(col, c), t, {static_cast<double>(c)});
+  }
+  m.run(coll::ring_shift_unit(col, tags, +1));
+  // After the shift, position c+1 holds item c; build the shifted tag map.
+  std::vector<std::vector<Tag>> shifted(col.size());
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    shifted[(c + 1) % grid.q()] = tags[c];
+  }
+  m.run(coll::ring_shift_unit(col, shifted, -1));
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    EXPECT_TRUE(m.store().has(coll::ring_node(col, c), tags[c][0]));
+  }
+}
+
+TEST(Ring, PositionRoundTrip) {
+  const Grid2D grid(64);
+  const Subcube row = grid.row_chain(5);
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    EXPECT_EQ(coll::ring_position(row, coll::ring_node(row, c)), c);
+  }
+}
+
+TEST(Bundles, BcastBundleDeliversAllItems) {
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    Machine m(Hypercube(4), port, CostParams{kTs, kTw, 1.0});
+    const Subcube sc(0, 0b1111);
+    std::vector<Tag> tags;
+    std::vector<std::vector<double>> payloads;
+    for (std::uint16_t t = 0; t < 5; ++t) {
+      tags.push_back(make_tag(9, t));
+      payloads.emplace_back(7 + 3 * t, 1.5 + t);
+      m.store().put(3, tags.back(), payloads.back());
+    }
+    m.reset_stats();
+    coll::run_prepared(m, coll::prep_bcast_bundle(m, sc, 3, tags));
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      for (std::size_t t = 0; t < tags.size(); ++t) {
+        ASSERT_TRUE(m.store().has(sc.node_at(r), tags[t]))
+            << to_string(port) << " rank " << r << " item " << t;
+        EXPECT_EQ(*m.store().get(sc.node_at(r), tags[t]), payloads[t]);
+      }
+    }
+    EXPECT_EQ(m.report().totals().rounds, 4u);
+  }
+}
+
+TEST(Bundles, BcastBundleMultiPortUsesFullBandwidth) {
+  // Total bundle T = 48 words over a 4-cube: rotated trees must move it in
+  // 4 rounds of T/4 words per link -> b == T exactly (balanced slicing).
+  Machine m(Hypercube(4), PortModel::kMultiPort, CostParams{kTs, kTw, 1.0});
+  const Subcube sc(0, 0b1111);
+  std::vector<Tag> tags;
+  for (std::uint16_t t = 0; t < 3; ++t) {
+    tags.push_back(make_tag(9, t));
+    m.store().put(0, tags.back(), std::vector<double>(16, 1.0));
+  }
+  m.reset_stats();
+  coll::run_prepared(m, coll::prep_bcast_bundle(m, sc, 0, tags));
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.rounds, 4u);
+  EXPECT_DOUBLE_EQ(totals.word_cost, 48.0);
+}
+
+TEST(Bundles, AllgatherBundlesReplicateEveryBundle) {
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    Machine m(Hypercube(3), port, CostParams{kTs, kTw, 1.0});
+    const Subcube sc(0, 0b111);
+    std::vector<std::vector<Tag>> bundles(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      // Uneven bundles, including an empty one (a sparse contributor).
+      const std::uint32_t items = r % 3;
+      for (std::uint32_t t = 0; t < items; ++t) {
+        const Tag tag = make_tag(10, static_cast<std::uint16_t>(r),
+                                 static_cast<std::uint16_t>(t));
+        bundles[r].push_back(tag);
+        m.store().put(sc.node_at(r), tag,
+                      std::vector<double>(6, r + 0.25 * t));
+      }
+    }
+    m.reset_stats();
+    coll::run_prepared(m, coll::prep_allgather_bundles(m, sc, bundles));
+    for (std::uint32_t holder = 0; holder < sc.size(); ++holder) {
+      for (std::uint32_t r = 0; r < sc.size(); ++r) {
+        for (const Tag tag : bundles[r]) {
+          ASSERT_TRUE(m.store().has(sc.node_at(holder), tag))
+              << to_string(port) << " holder " << holder;
+          EXPECT_EQ((*m.store().get(sc.node_at(holder), tag))[0],
+                    r + 0.25 * static_cast<double>((tag >> 16) & 0xFFFF));
+        }
+      }
+    }
+  }
+}
+
+TEST(Builders, RotatedOrdersAreDistinctPermutations) {
+  for (std::uint32_t d = 1; d <= 5; ++d) {
+    for (std::uint32_t j = 0; j < d; ++j) {
+      const auto o = coll::rotated_order(d, j);
+      ASSERT_EQ(o.size(), d);
+      std::uint32_t seen = 0;
+      for (const auto v : o) seen |= (1u << v);
+      EXPECT_EQ(seen, (1u << d) - 1) << "must be a permutation";
+      EXPECT_EQ(o[0], j);
+    }
+  }
+}
+
+TEST(Builders, BcastRejectsBadOrder) {
+  const Subcube sc(0, 0b111);
+  const Tag tags[] = {make_tag(1)};
+  EXPECT_THROW(coll::sbt_bcast(sc, 0, {0, 1}, tags), CheckError);
+  EXPECT_THROW(coll::sbt_bcast(sc, 0, {0, 1, 1}, tags), CheckError);
+  EXPECT_THROW(coll::sbt_bcast(sc, 8, {0, 1, 2}, tags), CheckError);
+}
+
+}  // namespace
+}  // namespace hcmm

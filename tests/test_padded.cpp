@@ -1,0 +1,81 @@
+// Tests for the arbitrary-size frontend: zero-padding to the algorithm's
+// granularity must reproduce the exact product for awkward sizes.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/algo/padded.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+using algo::AlgoId;
+
+TEST(Padded, SizeProbing) {
+  const auto cannon = algo::make_algorithm(AlgoId::kCannon);
+  EXPECT_EQ(algo::padded_size(*cannon, 17, 16), 20u) << "next multiple of 4";
+  EXPECT_EQ(algo::padded_size(*cannon, 16, 16), 16u) << "already applicable";
+  EXPECT_EQ(algo::padded_size(*cannon, 17, 8), 0u) << "8 is not a square";
+
+  const auto all3d = algo::make_algorithm(AlgoId::kAll3D);
+  EXPECT_EQ(algo::padded_size(*all3d, 17, 64), 32u) << "next multiple of 16";
+}
+
+class PaddedRun
+    : public testing::TestWithParam<std::tuple<AlgoId, std::size_t>> {};
+
+TEST_P(PaddedRun, AwkwardSizesProduceExactProducts) {
+  const auto [id, n] = GetParam();
+  const auto alg = algo::make_algorithm(id);
+  const std::uint32_t p = 64;
+  const Matrix a = random_matrix(n, n, 101 + n);
+  const Matrix b = random_matrix(n, n, 202 + n);
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    if (!alg->supports(port)) continue;
+    Machine machine(Hypercube::with_nodes(p), port, CostParams{150, 3, 1});
+    const auto r = algo::padded_multiply(*alg, a, b, machine);
+    ASSERT_EQ(r.c.rows(), n);
+    ASSERT_EQ(r.c.cols(), n);
+    EXPECT_LE(max_abs_diff(r.c, multiply_naive(a, b)),
+              1e-10 * static_cast<double>(n))
+        << alg->name() << " n=" << n << " " << to_string(port);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PaddedRun,
+    testing::Combine(testing::Values(AlgoId::kCannon, AlgoId::kSimple,
+                                     AlgoId::kDiag3D, AlgoId::kAll3D,
+                                     AlgoId::kBerntsen, AlgoId::kHJE),
+                     testing::Values(std::size_t{17}, std::size_t{30},
+                                     std::size_t{33}, std::size_t{47})),
+    [](const testing::TestParamInfo<std::tuple<AlgoId, std::size_t>>& pinfo) {
+      std::string name = algo::to_string(std::get<0>(pinfo.param));
+      std::erase_if(name, [](char ch) { return ch == '(' || ch == ')'; });
+      for (auto& ch : name) {
+        if (ch == ' ' || ch == '-') ch = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(Padded, ThrowsWhenNoSizeExists) {
+  const auto cannon = algo::make_algorithm(AlgoId::kCannon);
+  const Matrix a = random_matrix(4, 4, 1);
+  Machine m(Hypercube::with_nodes(8), PortModel::kOnePort,
+            CostParams{10, 1, 1});  // 8 is not a square grid
+  EXPECT_THROW((void)algo::padded_multiply(*cannon, a, a, m), CheckError);
+}
+
+TEST(Padded, RectangularInputsRejected) {
+  const auto cannon = algo::make_algorithm(AlgoId::kCannon);
+  Machine m(Hypercube::with_nodes(16), PortModel::kOnePort,
+            CostParams{10, 1, 1});
+  const Matrix a = random_matrix(4, 6, 1);
+  const Matrix b = random_matrix(6, 4, 2);
+  EXPECT_THROW((void)algo::padded_multiply(*cannon, a, b, m), CheckError);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,60 @@
+// Tests for the machine-readable report exports.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/report_io.hpp"
+
+namespace hcmm {
+namespace {
+
+SimReport sample_report() {
+  const auto alg = algo::make_algorithm(algo::AlgoId::kDiag3D);
+  Machine m(Hypercube::with_nodes(64), PortModel::kOnePort,
+            CostParams{150, 3, 1});
+  const Matrix a = random_matrix(32, 32, 1);
+  return alg->run(a, a, m).report;
+}
+
+TEST(ReportIo, CsvHasHeaderAndTotalRow) {
+  const std::string csv = report_csv(sample_report());
+  EXPECT_EQ(csv.find("phase,a_ts,b_tw,messages,link_words,flops,comm_time,"
+                     "compute_time\n"),
+            0u);
+  EXPECT_NE(csv.find("\"TOTAL\","), std::string::npos);
+  EXPECT_NE(csv.find("\"p2p B\","), std::string::npos);
+  // One line per phase + header + total.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(sample_report().phases.size()) + 2);
+}
+
+TEST(ReportIo, JsonRoundTripFields) {
+  const auto rep = sample_report();
+  const std::string json = report_json(rep);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"port\": \"one-port\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 150"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"totals\": "), std::string::npos);
+  EXPECT_NE(json.find("\"peak_words_total\": " +
+                      std::to_string(rep.peak_words_total)),
+            std::string::npos);
+}
+
+TEST(ReportIo, JsonEscapesQuotes) {
+  SimReport rep;
+  rep.phases.push_back(PhaseStats{.name = "odd \"name\""});
+  const std::string json = report_json(rep);
+  EXPECT_NE(json.find("odd \\\"name\\\""), std::string::npos);
+}
+
+TEST(ReportIo, EmptyReport) {
+  SimReport rep;
+  EXPECT_NE(report_csv(rep).find("TOTAL"), std::string::npos);
+  EXPECT_NE(report_json(rep).find("\"phases\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcmm

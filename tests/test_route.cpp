@@ -1,0 +1,142 @@
+// Tests for the machine-level point-to-point layer (coll::prep_route):
+// multi-port multipath splitting over rotated edge-disjoint paths, the
+// small-message fallback, and the costs the paper charges for the 3DD/DNS
+// first phases.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/coll/route.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/prng.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(PrepRoute, OnePortMatchesPlainRouting) {
+  const Hypercube hc(4);
+  Machine m(hc, PortModel::kOnePort, {1.0, 1.0, 1.0});
+  m.store().put(0, make_tag(1), std::vector<double>(12, 2.5));
+  const RouteRequest reqs[] = {{.src = 0, .dst = 0b1110, .tags = {make_tag(1)}}};
+  coll::op_route(m, reqs);
+  EXPECT_TRUE(m.store().has(0b1110, make_tag(1)));
+  const auto t = m.report().totals();
+  EXPECT_EQ(t.rounds, 3u);
+  EXPECT_DOUBLE_EQ(t.word_cost, 36.0) << "3 hops x 12 words, store-and-forward";
+}
+
+TEST(PrepRoute, MultiPortSplitsAcrossDisjointPaths) {
+  // One message, distance 3, 12 words: 3 parts of 4 words pipelined over 3
+  // rotated paths -> 3 rounds of 4 words each: b = 12, not 36.
+  const Hypercube hc(4);
+  Machine m(hc, PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  Prng rng(5);
+  std::vector<double> payload(12);
+  for (auto& v : payload) v = rng.next_double();
+  m.store().put(0, make_tag(1), payload);
+  const RouteRequest reqs[] = {{.src = 0, .dst = 0b1110, .tags = {make_tag(1)}}};
+  coll::op_route(m, reqs);
+  ASSERT_TRUE(m.store().has(0b1110, make_tag(1)));
+  EXPECT_EQ(*m.store().get(0b1110, make_tag(1)), payload)
+      << "chunks must rejoin in order";
+  const auto t = m.report().totals();
+  EXPECT_EQ(t.rounds, 3u);
+  EXPECT_DOUBLE_EQ(t.word_cost, 12.0) << "t_s*h + t_w*M, the paper's "
+                                         "multi-port point-to-point cost";
+}
+
+TEST(PrepRoute, SmallMessageFallsBackToSinglePath) {
+  // 2 words over 3 hops cannot keep 3 paths busy; ships whole.
+  const Hypercube hc(3);
+  Machine m(hc, PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  m.store().put(0, make_tag(1), {1.0, 2.0});
+  const RouteRequest reqs[] = {{.src = 0, .dst = 0b111, .tags = {make_tag(1)}}};
+  coll::op_route(m, reqs);
+  EXPECT_TRUE(m.store().has(0b111, make_tag(1)));
+  const auto t = m.report().totals();
+  EXPECT_EQ(t.rounds, 3u);
+  EXPECT_DOUBLE_EQ(t.word_cost, 6.0);
+}
+
+TEST(PrepRoute, MixedDistancesBalancePerRound) {
+  // The 3DD phase-1 shape: disjoint-chain messages of distances 1..2, all
+  // of M = 64 words, on a multi-port machine: every round moves M/2 words
+  // per link and the phase costs 2 t_s + t_w M.
+  const Grid3D grid(64);
+  Machine m(grid.cube(), PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  std::vector<RouteRequest> reqs;
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    for (std::uint32_t k = 0; k < grid.q(); ++k) {
+      if (i == k) continue;
+      const Tag t = make_tag(2, static_cast<std::uint16_t>(i),
+                             static_cast<std::uint16_t>(k));
+      m.store().put(grid.node(i, i, k), t, std::vector<double>(64, 1.0));
+      reqs.push_back({.src = grid.node(i, i, k),
+                      .dst = grid.node(i, k, k),
+                      .tags = {t}});
+    }
+  }
+  m.reset_stats();
+  coll::op_route(m, reqs);
+  const auto t = m.report().totals();
+  EXPECT_EQ(t.rounds, 2u) << "max distance = log q = 2";
+  EXPECT_DOUBLE_EQ(t.word_cost, 64.0) << "t_w * M despite multi-hop";
+  for (const auto& r : reqs) {
+    EXPECT_TRUE(m.store().has(r.dst, r.tags[0]));
+    EXPECT_EQ(m.store().item_words(r.dst, r.tags[0]), 64u);
+  }
+}
+
+TEST(PrepRoute, ManyTagsTravelTogether) {
+  const Hypercube hc(3);
+  Machine m(hc, PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  m.store().put(1, make_tag(1), std::vector<double>(8, 1.0));
+  m.store().put(1, make_tag(2), std::vector<double>(8, 2.0));
+  const RouteRequest reqs[] = {
+      {.src = 1, .dst = 0b110, .tags = {make_tag(1), make_tag(2)}}};
+  coll::op_route(m, reqs);
+  EXPECT_TRUE(m.store().has(0b110, make_tag(1)));
+  EXPECT_TRUE(m.store().has(0b110, make_tag(2)));
+  EXPECT_EQ((*m.store().get(0b110, make_tag(2)))[0], 2.0);
+}
+
+TEST(PrepRoute, RandomPermutationDeliversUnderBothPorts) {
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    const Hypercube hc(5);
+    Machine m(hc, port, {1.0, 1.0, 1.0});
+    Prng rng(99);
+    std::vector<std::uint32_t> perm(hc.size());
+    for (std::uint32_t i = 0; i < hc.size(); ++i) perm[i] = i;
+    for (std::uint32_t i = hc.size(); i-- > 1;) {
+      std::swap(perm[i], perm[rng.next_below(i + 1)]);
+    }
+    std::vector<RouteRequest> reqs;
+    for (std::uint32_t i = 0; i < hc.size(); ++i) {
+      if (perm[i] == i) continue;
+      const Tag t = make_tag(4, static_cast<std::uint16_t>(i));
+      m.store().put(i, t, std::vector<double>(10, static_cast<double>(i)));
+      reqs.push_back({.src = i, .dst = perm[i], .tags = {t}});
+    }
+    coll::op_route(m, reqs);
+    for (const auto& r : reqs) {
+      ASSERT_TRUE(m.store().has(r.dst, r.tags[0])) << to_string(port);
+      EXPECT_EQ(m.store().item_words(r.dst, r.tags[0]), 10u);
+      EXPECT_FALSE(m.store().has(r.src, r.tags[0]));
+    }
+  }
+}
+
+TEST(PrepRoute, EmptyAndSelfRequestsAreFree) {
+  const Hypercube hc(3);
+  Machine m(hc, PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  m.store().put(5, make_tag(1), {1.0});
+  const RouteRequest reqs[] = {{.src = 5, .dst = 5, .tags = {make_tag(1)}}};
+  coll::op_route(m, reqs);
+  EXPECT_EQ(m.report().totals().rounds, 0u);
+  EXPECT_TRUE(m.store().has(5, make_tag(1)));
+  coll::op_route(m, {});
+  EXPECT_EQ(m.report().totals().rounds, 0u);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,146 @@
+// Tests for dimension-ordered point-to-point routing: delivery, hop-count
+// optimality on congestion-free patterns, honest serialization under port
+// constraints, and the costs the paper charges for its p2p phases.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/router.hpp"
+#include "hcmm/support/prng.hpp"
+#include "hcmm/topology/grid.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(Router, DeliversAcrossMultipleHops) {
+  const Hypercube hc(4);
+  Machine m(hc, PortModel::kOnePort, {1.0, 1.0, 1.0});
+  m.store().put(0b0000, make_tag(1), {42.0});
+  const RouteRequest reqs[] = {{.src = 0b0000, .dst = 0b1011, .tags = {make_tag(1)}}};
+  const Schedule s = route_p2p(hc, m.port(), reqs);
+  EXPECT_EQ(s.round_count(), 3u) << "hamming distance 3 -> 3 rounds";
+  m.run(s);
+  EXPECT_TRUE(m.store().has(0b1011, make_tag(1)));
+  EXPECT_FALSE(m.store().has(0b0000, make_tag(1)));
+  // No residue at intermediate hops.
+  EXPECT_FALSE(m.store().has(0b0001, make_tag(1)));
+  EXPECT_FALSE(m.store().has(0b0011, make_tag(1)));
+}
+
+TEST(Router, SelfSendIsFree) {
+  const Hypercube hc(3);
+  const RouteRequest reqs[] = {{.src = 5, .dst = 5, .tags = {make_tag(1)}}};
+  EXPECT_TRUE(route_p2p(hc, PortModel::kOnePort, reqs).empty());
+}
+
+TEST(Router, DisjointSubcubePatternIsCongestionFree) {
+  // The 3DD first phase: p_{i,i,k} -> p_{i,k,k}.  Every message stays inside
+  // its own y-chain subcube, so e-cube routing needs exactly log q rounds.
+  const Grid3D grid(64);
+  Machine m(grid.cube(), PortModel::kOnePort, {1.0, 1.0, 1.0});
+  std::vector<RouteRequest> reqs;
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    for (std::uint32_t k = 0; k < grid.q(); ++k) {
+      const Tag t = make_tag(2, static_cast<std::uint16_t>(i),
+                             static_cast<std::uint16_t>(k));
+      m.store().put(grid.node(i, i, k), t, {static_cast<double>(i * 10 + k)});
+      reqs.push_back({.src = grid.node(i, i, k),
+                      .dst = grid.node(i, k, k),
+                      .tags = {t}});
+    }
+  }
+  const Schedule s = route_p2p(grid.cube(), m.port(), reqs);
+  EXPECT_LE(s.round_count(), grid.chain_dim())
+      << "paper charges log q rounds for this pattern";
+  m.run(s);
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    for (std::uint32_t k = 0; k < grid.q(); ++k) {
+      const Tag t = make_tag(2, static_cast<std::uint16_t>(i),
+                             static_cast<std::uint16_t>(k));
+      ASSERT_TRUE(m.store().has(grid.node(i, k, k), t));
+      EXPECT_EQ((*m.store().get(grid.node(i, k, k), t))[0], i * 10 + k);
+    }
+  }
+}
+
+TEST(Router, OnePortSerializesTwoMessagesFromOneSource) {
+  // DNS phase 1 shape: one node emits two messages; one-port must stagger.
+  const Hypercube hc(3);
+  Machine m(hc, PortModel::kOnePort, {1.0, 1.0, 1.0});
+  m.store().put(0, make_tag(1), {1.0});
+  m.store().put(0, make_tag(2), {2.0});
+  const RouteRequest reqs[] = {
+      {.src = 0, .dst = 1, .tags = {make_tag(1)}},
+      {.src = 0, .dst = 2, .tags = {make_tag(2)}},
+  };
+  const Schedule s = route_p2p(hc, m.port(), reqs);
+  EXPECT_EQ(s.round_count(), 2u);
+  m.run(s);
+  EXPECT_TRUE(m.store().has(1, make_tag(1)));
+  EXPECT_TRUE(m.store().has(2, make_tag(2)));
+}
+
+TEST(Router, MultiPortOverlapsDistinctLinks) {
+  const Hypercube hc(3);
+  Machine m(hc, PortModel::kMultiPort, {1.0, 1.0, 1.0});
+  m.store().put(0, make_tag(1), {1.0});
+  m.store().put(0, make_tag(2), {2.0});
+  const RouteRequest reqs[] = {
+      {.src = 0, .dst = 1, .tags = {make_tag(1)}},
+      {.src = 0, .dst = 2, .tags = {make_tag(2)}},
+  };
+  const Schedule s = route_p2p(hc, m.port(), reqs);
+  EXPECT_EQ(s.round_count(), 1u) << "different first-hop dimensions overlap";
+  m.run(s);
+}
+
+TEST(Router, ContendedReceiverSerializes) {
+  // Two single-hop messages to the same destination: one-port allows only
+  // one receive per round, so the router must stagger them.
+  const Hypercube hc(2);
+  Machine m(hc, PortModel::kOnePort, {1.0, 1.0, 1.0});
+  m.store().put(1, make_tag(1), {1.0});
+  m.store().put(2, make_tag(2), {2.0});
+  const RouteRequest reqs[] = {
+      {.src = 1, .dst = 0, .tags = {make_tag(1)}},
+      {.src = 2, .dst = 0, .tags = {make_tag(2)}},
+  };
+  const Schedule s = route_p2p(hc, m.port(), reqs);
+  EXPECT_EQ(s.round_count(), 2u);
+  m.run(s);
+  EXPECT_TRUE(m.store().has(0, make_tag(1)));
+  EXPECT_TRUE(m.store().has(0, make_tag(2)));
+}
+
+TEST(Router, PermutationCostNeverExceedsSequentialBound) {
+  // Random permutations on a 5-cube: e-cube with greedy packing must beat
+  // routing the messages one after another.
+  const Hypercube hc(5);
+  Prng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint32_t> perm(hc.size());
+    for (std::uint32_t i = 0; i < hc.size(); ++i) perm[i] = i;
+    for (std::uint32_t i = hc.size(); i-- > 1;) {
+      std::swap(perm[i], perm[rng.next_below(i + 1)]);
+    }
+    Machine m(hc, PortModel::kOnePort, {1.0, 1.0, 1.0});
+    std::vector<RouteRequest> reqs;
+    std::uint32_t total_hops = 0;
+    for (std::uint32_t i = 0; i < hc.size(); ++i) {
+      if (perm[i] == i) continue;
+      const Tag t = make_tag(3, static_cast<std::uint16_t>(i));
+      m.store().put(i, t, {static_cast<double>(i)});
+      reqs.push_back({.src = i, .dst = perm[i], .tags = {t}});
+      total_hops += hc.distance(i, perm[i]);
+    }
+    const Schedule s = route_p2p(hc, m.port(), reqs);
+    EXPECT_LE(s.round_count(), total_hops);
+    m.run(s);
+    for (const auto& r : reqs) {
+      EXPECT_TRUE(m.store().has(r.dst, r.tags[0]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcmm

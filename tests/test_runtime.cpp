@@ -1,0 +1,231 @@
+// Tests for the SPMD runtime: message ordering, barriers, failure
+// propagation, and the two SPMD algorithm ports against the serial oracle
+// and against the simulated-machine implementations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+using rt::Rank;
+using rt::Team;
+
+TEST(Team, PingPong) {
+  Team team(2, std::chrono::milliseconds(5000));
+  team.run([](Rank& r) {
+    if (r.id() == 0) {
+      r.send(1, 7, Matrix(1, 1, {42.0}));
+      const Matrix back = r.recv(1, 8);
+      EXPECT_EQ(back(0, 0), 43.0);
+    } else {
+      Matrix m = r.recv(0, 7);
+      m(0, 0) += 1.0;
+      r.send(0, 8, std::move(m));
+    }
+  });
+}
+
+TEST(Team, FifoOrderPerTag) {
+  Team team(2, std::chrono::milliseconds(5000));
+  team.run([](Rank& r) {
+    if (r.id() == 0) {
+      for (int s = 0; s < 20; ++s) {
+        r.send(1, 1, Matrix(1, 1, {static_cast<double>(s)}));
+      }
+    } else {
+      for (int s = 0; s < 20; ++s) {
+        EXPECT_EQ(r.recv(0, 1)(0, 0), s) << "messages must arrive in order";
+      }
+    }
+  });
+}
+
+TEST(Team, BarrierSynchronizes) {
+  Team team(8, std::chrono::milliseconds(5000));
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  team.run([&](Rank& r) {
+    ++before;
+    r.barrier();
+    if (before.load() != 8) violated = true;
+    r.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Team, RecvTimesOutOnDeadlock) {
+  Team team(2, std::chrono::milliseconds(100));
+  EXPECT_THROW(team.run([](Rank& r) {
+                 if (r.id() == 0) (void)r.recv(1, 99);  // never sent
+               }),
+               CheckError);
+}
+
+TEST(Team, PeerFailurePropagates) {
+  Team team(2, std::chrono::milliseconds(10000));
+  EXPECT_THROW(team.run([](Rank& r) {
+                 if (r.id() == 0) throw std::runtime_error("rank 0 died");
+                 (void)r.recv(0, 1);  // must be woken, not time out
+               }),
+               std::runtime_error);
+}
+
+TEST(Team, ReusableAcrossRuns) {
+  Team team(4, std::chrono::milliseconds(5000));
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> count{0};
+    team.run([&](Rank&) { ++count; });
+    EXPECT_EQ(count.load(), 4);
+  }
+}
+
+TEST(SpmdCannon, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 4u, 16u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(n, n, 301);
+    const Matrix b = random_matrix(n, n, 302);
+    const Matrix c = rt::spmd_cannon(team, a, b);
+    EXPECT_LE(max_abs_diff(c, multiply_naive(a, b)), 1e-11) << "p=" << p;
+  }
+}
+
+TEST(SpmdAll3D, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 8u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(n, n, 303);
+    const Matrix b = random_matrix(n, n, 304);
+    const Matrix c = rt::spmd_all3d(team, a, b);
+    EXPECT_LE(max_abs_diff(c, multiply_naive(a, b)), 1e-11) << "p=" << p;
+  }
+}
+
+TEST(SpmdSimple, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 4u, 16u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(n, n, 311);
+    const Matrix b = random_matrix(n, n, 312);
+    EXPECT_LE(max_abs_diff(rt::spmd_simple(team, a, b), multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(SpmdDns, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 8u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 24;
+    const Matrix a = random_matrix(n, n, 313);
+    const Matrix b = random_matrix(n, n, 314);
+    EXPECT_LE(max_abs_diff(rt::spmd_dns(team, a, b), multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(SpmdDiag3D, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 8u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 24;
+    const Matrix a = random_matrix(n, n, 315);
+    const Matrix b = random_matrix(n, n, 316);
+    EXPECT_LE(max_abs_diff(rt::spmd_diag3d(team, a, b), multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(SpmdBerntsen, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 8u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(n, n, 317);
+    const Matrix b = random_matrix(n, n, 318);
+    EXPECT_LE(max_abs_diff(rt::spmd_berntsen(team, a, b),
+                           multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(SpmdDiag2D, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 4u, 16u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 16;
+    const Matrix a = random_matrix(n, n, 331);
+    const Matrix b = random_matrix(n, n, 332);
+    EXPECT_LE(max_abs_diff(rt::spmd_diag2d(team, a, b), multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(SpmdAllTrans, MatchesOracle) {
+  for (const std::uint32_t p : {1u, 8u, 64u}) {
+    Team team(p, std::chrono::milliseconds(20000));
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(n, n, 333);
+    const Matrix b = random_matrix(n, n, 334);
+    EXPECT_LE(max_abs_diff(rt::spmd_alltrans(team, a, b),
+                           multiply_naive(a, b)),
+              1e-11)
+        << "p=" << p;
+  }
+}
+
+TEST(Spmd, AllPortsAgreePairwise) {
+  // Five independent dataflows, one product.
+  const std::size_t n = 48;
+  const Matrix a = random_matrix(n, n, 321);
+  const Matrix b = random_matrix(n, n, 322);
+  Team cube(64, std::chrono::milliseconds(20000));
+  const Matrix c1 = rt::spmd_all3d(cube, a, b);
+  const Matrix c2 = rt::spmd_dns(cube, a, b);
+  const Matrix c3 = rt::spmd_diag3d(cube, a, b);
+  const Matrix c4 = rt::spmd_berntsen(cube, a, b);
+  Team square(16, std::chrono::milliseconds(20000));
+  const Matrix c5 = rt::spmd_simple(square, a, b);
+  EXPECT_LE(max_abs_diff(c1, c2), 1e-10);
+  EXPECT_LE(max_abs_diff(c2, c3), 1e-10);
+  EXPECT_LE(max_abs_diff(c3, c4), 1e-10);
+  EXPECT_LE(max_abs_diff(c4, c5), 1e-10);
+}
+
+TEST(Spmd, AgreesWithSimulatedMachine) {
+  // The SPMD port and the simulator implementation share no code; matching
+  // outputs cross-validate both dataflows.
+  const std::size_t n = 48;
+  const Matrix a = random_matrix(n, n, 305);
+  const Matrix b = random_matrix(n, n, 306);
+  Team team(64, std::chrono::milliseconds(20000));
+  const Matrix spmd = rt::spmd_all3d(team, a, b);
+  const auto alg = algo::make_algorithm(algo::AlgoId::kAll3D);
+  Machine machine(Hypercube::with_nodes(64), PortModel::kOnePort,
+                  CostParams{150, 3, 1});
+  const auto sim = alg->run(a, b, machine);
+  EXPECT_LE(max_abs_diff(spmd, sim.c), 1e-11);
+}
+
+TEST(Spmd, RejectsBadShapes) {
+  Team team(8, std::chrono::milliseconds(1000));
+  const Matrix a = random_matrix(8, 8, 1);
+  EXPECT_THROW((void)rt::spmd_cannon(team, a, a), std::invalid_argument)
+      << "8 ranks are not a square grid";
+  Team team9(16, std::chrono::milliseconds(1000));
+  const Matrix odd = random_matrix(9, 9, 1);
+  EXPECT_THROW((void)rt::spmd_cannon(team9, odd, odd), CheckError)
+      << "9 does not divide by 4";
+}
+
+}  // namespace
+}  // namespace hcmm

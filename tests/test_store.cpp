@@ -1,0 +1,181 @@
+// Tests for the per-node data store: item lifecycle, combine semantics,
+// split/join round trips, and the word metering behind Table 3.
+
+#include <gtest/gtest.h>
+
+#include "hcmm/sim/store.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+const Tag kT1 = make_tag(1, 2, 3);
+const Tag kT2 = make_tag(1, 2, 4);
+
+TEST(MakeTag, FieldsArePacked) {
+  EXPECT_NE(make_tag(1, 0, 0, 0), make_tag(0, 1, 0, 0));
+  EXPECT_NE(make_tag(0, 0, 1, 0), make_tag(0, 0, 0, 1));
+  EXPECT_EQ(make_tag(0), 0u);
+  // Top byte must stay clear for the part-tag scheme.
+  EXPECT_EQ(make_tag(0xFF, 0xFFFF, 0xFFFF, 0xFFFF) >> 56, 0u);
+}
+
+TEST(ChunkBounds, CoversExactly) {
+  for (std::size_t total : {0u, 1u, 5u, 64u, 100u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const auto [lo, hi] = chunk_bounds(total, parts, i);
+        EXPECT_EQ(lo, prev_end);
+        EXPECT_LE(hi, total);
+        covered += hi - lo;
+        prev_end = hi;
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ChunkBounds, NearlyEqual) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto [lo, hi] = chunk_bounds(10, 3, i);
+    EXPECT_GE(hi - lo, 3u);
+    EXPECT_LE(hi - lo, 4u);
+  }
+}
+
+TEST(DataStore, PutGetErase) {
+  DataStore st(4);
+  st.put(0, kT1, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(st.has(0, kT1));
+  EXPECT_FALSE(st.has(1, kT1));
+  EXPECT_EQ(st.item_words(0, kT1), 3u);
+  EXPECT_EQ((*st.get(0, kT1))[1], 2.0);
+  st.erase(0, kT1);
+  EXPECT_FALSE(st.has(0, kT1));
+}
+
+TEST(DataStore, SameTagDifferentNodesAreIndependent) {
+  DataStore st(2);
+  st.put(0, kT1, {1.0});
+  st.put(1, kT1, {9.0});
+  EXPECT_EQ((*st.get(0, kT1))[0], 1.0);
+  EXPECT_EQ((*st.get(1, kT1))[0], 9.0);
+}
+
+TEST(DataStore, DuplicatePutRejected) {
+  DataStore st(2);
+  st.put(0, kT1, {1.0});
+  EXPECT_THROW(st.put(0, kT1, {2.0}), CheckError);
+}
+
+TEST(DataStore, GetAbsentRejected) {
+  DataStore st(2);
+  EXPECT_THROW((void)st.get(0, kT1), CheckError);
+  EXPECT_THROW(st.erase(1, kT1), CheckError);
+}
+
+TEST(DataStore, CombineAddsElementwise) {
+  DataStore st(2);
+  st.put(0, kT1, {1.0, 2.0});
+  st.combine(0, kT1, std::make_shared<const std::vector<double>>(
+                         std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ((*st.get(0, kT1))[0], 11.0);
+  EXPECT_EQ((*st.get(0, kT1))[1], 22.0);
+}
+
+TEST(DataStore, CombineSizeMismatchRejected) {
+  DataStore st(1);
+  st.put(0, kT1, {1.0, 2.0});
+  EXPECT_THROW(st.combine(0, kT1,
+                          std::make_shared<const std::vector<double>>(
+                              std::vector<double>{1.0})),
+               CheckError);
+}
+
+TEST(DataStore, SplitJoinRoundTrip) {
+  DataStore st(1);
+  std::vector<double> data;
+  for (int i = 0; i < 10; ++i) data.push_back(i);
+  st.put(0, kT1, data);
+  const auto parts = st.split(0, kT1, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_FALSE(st.has(0, kT1));
+  std::size_t total = 0;
+  for (const Tag p : parts) total += st.item_words(0, p);
+  EXPECT_EQ(total, 10u);
+  st.join(0, parts, kT1);
+  EXPECT_EQ(*st.get(0, kT1), data);
+  for (const Tag p : parts) EXPECT_FALSE(st.has(0, p));
+}
+
+TEST(DataStore, SplitSmallerThanParts) {
+  DataStore st(1);
+  st.put(0, kT1, {1.0, 2.0});
+  const auto parts = st.split(0, kT1, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  st.join(0, parts, kT1);
+  EXPECT_EQ((*st.get(0, kT1)), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(DataStore, SplitSizesExactBoundaries) {
+  DataStore st(1);
+  st.put(0, kT1, {0, 1, 2, 3, 4, 5, 6});
+  const std::size_t sizes[] = {1, 4, 0, 2};
+  const auto parts = st.split_sizes(0, kT1, sizes);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(*st.get(0, parts[0]), (std::vector<double>{0}));
+  EXPECT_EQ(*st.get(0, parts[1]), (std::vector<double>{1, 2, 3, 4}));
+  EXPECT_TRUE(st.get(0, parts[2])->empty());
+  EXPECT_EQ(*st.get(0, parts[3]), (std::vector<double>{5, 6}));
+  st.join(0, parts, kT1);
+  EXPECT_EQ(*st.get(0, kT1), (std::vector<double>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DataStore, SplitSizesMustSumToItem) {
+  DataStore st(1);
+  st.put(0, kT1, {1, 2, 3});
+  const std::size_t bad[] = {1, 1};
+  EXPECT_THROW((void)st.split_sizes(0, kT1, bad), CheckError);
+  EXPECT_TRUE(st.has(0, kT1)) << "failed split must not consume the item";
+}
+
+TEST(DataStore, NestedSplitRejected) {
+  DataStore st(1);
+  st.put(0, kT1, {1.0, 2.0, 3.0, 4.0});
+  const auto parts = st.split(0, kT1, 2);
+  EXPECT_THROW(st.split(0, parts[0], 2), CheckError);
+}
+
+TEST(DataStore, WordMetering) {
+  DataStore st(2);
+  EXPECT_EQ(st.words(0), 0u);
+  st.put(0, kT1, {1, 2, 3});
+  st.put(0, kT2, {4, 5});
+  EXPECT_EQ(st.words(0), 5u);
+  EXPECT_EQ(st.peak_words(0), 5u);
+  st.erase(0, kT1);
+  EXPECT_EQ(st.words(0), 2u);
+  EXPECT_EQ(st.peak_words(0), 5u) << "peak persists";
+  EXPECT_EQ(st.total_peak_words(), 5u);
+  st.reset_peaks();
+  EXPECT_EQ(st.peak_words(0), 2u);
+}
+
+TEST(DataStore, PeakAcrossNodes) {
+  DataStore st(3);
+  st.put(0, kT1, std::vector<double>(10, 0.0));
+  st.put(1, kT1, std::vector<double>(20, 0.0));
+  st.put(2, kT1, std::vector<double>(30, 0.0));
+  st.erase(2, kT1);
+  EXPECT_EQ(st.total_peak_words(), 60u);
+}
+
+TEST(DataStore, NodeOutOfRangeRejected) {
+  DataStore st(2);
+  EXPECT_THROW(st.put(2, kT1, {1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,216 @@
+// Unit tests for the support layer: bit utilities, Gray codes, the
+// deterministic PRNG, contract checks and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "hcmm/support/bits.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/gray.hpp"
+#include "hcmm/support/prng.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_THROW((void)ilog2(0), std::invalid_argument);
+}
+
+TEST(Bits, ExactLog2) {
+  EXPECT_EQ(exact_log2(1), 0u);
+  EXPECT_EQ(exact_log2(512), 9u);
+  EXPECT_THROW((void)exact_log2(3), std::invalid_argument);
+  EXPECT_THROW((void)exact_log2(0), std::invalid_argument);
+}
+
+TEST(Bits, BitOps) {
+  EXPECT_EQ(bit_of(0b1010, 1), 1u);
+  EXPECT_EQ(bit_of(0b1010, 0), 0u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(popcount32(0b1011), 3u);
+  EXPECT_EQ(hamming(0b1010, 0b0110), 2u);
+}
+
+TEST(Bits, ExactRoots) {
+  EXPECT_EQ(exact_sqrt(0), 0u);
+  EXPECT_EQ(exact_sqrt(64), 8u);
+  EXPECT_EQ(exact_sqrt(1024), 32u);
+  EXPECT_THROW((void)exact_sqrt(50), std::invalid_argument);
+  EXPECT_EQ(exact_cbrt(8), 2u);
+  EXPECT_EQ(exact_cbrt(512), 8u);
+  EXPECT_EQ(exact_cbrt(4096), 16u);
+  EXPECT_THROW((void)exact_cbrt(9), std::invalid_argument);
+}
+
+TEST(Gray, EncodeDecodeRoundTrip) {
+  for (std::uint32_t k = 0; k < 4096; ++k) {
+    EXPECT_EQ(gray_decode(gray_encode(k)), k);
+  }
+}
+
+TEST(Gray, AdjacentCodewordsDifferInOneBit) {
+  for (std::uint32_t k = 0; k + 1 < 4096; ++k) {
+    EXPECT_EQ(popcount32(gray_encode(k) ^ gray_encode(k + 1)), 1u);
+  }
+}
+
+TEST(Gray, SequenceIsHamiltonianRing) {
+  for (std::uint32_t d = 1; d <= 8; ++d) {
+    const auto seq = gray_sequence(d);
+    ASSERT_EQ(seq.size(), 1u << d);
+    std::set<std::uint32_t> seen(seq.begin(), seq.end());
+    EXPECT_EQ(seen.size(), seq.size()) << "all codewords distinct";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const auto next = seq[(i + 1) % seq.size()];
+      EXPECT_EQ(popcount32(seq[i] ^ next), 1u) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Gray, ChangeBitMatchesSequence) {
+  for (std::uint32_t d = 1; d <= 8; ++d) {
+    const auto seq = gray_sequence(d);
+    for (std::uint32_t k = 0; k < (1u << d); ++k) {
+      const auto next = seq[(k + 1) % seq.size()];
+      EXPECT_EQ(1u << gray_change_bit(k, d), seq[k] ^ next);
+    }
+  }
+}
+
+TEST(Gray, EncodeIsGf2Linear) {
+  // Linearity over GF(2) is what lets coordinate XOR-shifts translate to
+  // node-space XOR-shifts in the grid embedding.
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(1u << 16));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(1u << 16));
+    EXPECT_EQ(gray_encode(a ^ b), gray_encode(a) ^ gray_encode(b));
+  }
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, SeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, UniformRange) {
+  Prng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 2.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 2.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.0, 0.1);
+}
+
+TEST(Prng, NextBelowBounds) {
+  Prng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    HCMM_CHECK(1 == 2, "custom detail " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(HCMM_CHECK(true, "never"));
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 100; ++i) jobs.emplace_back([&count] { ++count; });
+  pool.run_batch(std::move(jobs));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DisjointWritesAreComplete) {
+  ThreadPool pool(3);
+  std::vector<int> out(257, 0);
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    jobs.emplace_back([&out, i] { out[i] = static_cast<int>(i) + 1; });
+  }
+  pool.run_batch(std::move(jobs));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 10; ++i) jobs.emplace_back([] {});
+  jobs.emplace_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) jobs.emplace_back([] {});
+  EXPECT_THROW(pool.run_batch(std::move(jobs)), std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 20; ++i) jobs.emplace_back([&count] { ++count; });
+    pool.run_batch(std::move(jobs));
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, EmptyBatchIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+}  // namespace
+}  // namespace hcmm

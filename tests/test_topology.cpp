@@ -1,0 +1,227 @@
+// Tests for the hypercube topology, subcubes, and the 2-D/3-D grid
+// embeddings — including the two properties the paper's algorithms rely on:
+// every grid chain is a subcube, and unit steps along a grid axis are
+// single hypercube links.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/grid.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+namespace {
+
+TEST(Hypercube, SizesAndDims) {
+  EXPECT_EQ(Hypercube(0).size(), 1u);
+  EXPECT_EQ(Hypercube(3).size(), 8u);
+  EXPECT_EQ(Hypercube::with_nodes(64).dim(), 6u);
+  EXPECT_THROW((void)Hypercube::with_nodes(63), CheckError);
+  EXPECT_THROW(Hypercube(21), CheckError);
+}
+
+TEST(Hypercube, NeighborsFlipOneBit) {
+  const Hypercube hc(4);
+  for (NodeId n = 0; n < hc.size(); ++n) {
+    const auto nbrs = hc.neighbors(n);
+    ASSERT_EQ(nbrs.size(), 4u);
+    std::set<NodeId> uniq(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (const NodeId m : nbrs) {
+      EXPECT_TRUE(hc.are_neighbors(n, m));
+      EXPECT_EQ(hc.distance(n, m), 1u);
+    }
+  }
+}
+
+TEST(Hypercube, NotNeighborsAtDistanceTwo) {
+  const Hypercube hc(4);
+  EXPECT_FALSE(hc.are_neighbors(0b0000, 0b0011));
+  EXPECT_FALSE(hc.are_neighbors(5, 5));
+  EXPECT_EQ(hc.distance(0b0000, 0b1111), 4u);
+}
+
+TEST(Hypercube, LinkCount) {
+  EXPECT_EQ(Hypercube(0).link_count(), 0u);
+  EXPECT_EQ(Hypercube(3).link_count(), 12u);   // 3 * 8 / 2
+  EXPECT_EQ(Hypercube(10).link_count(), 5120u);
+}
+
+TEST(Hypercube, BoundsChecked) {
+  const Hypercube hc(3);
+  EXPECT_THROW((void)hc.neighbor(8, 0), CheckError);
+  EXPECT_THROW((void)hc.neighbor(0, 3), CheckError);
+}
+
+TEST(Subcube, EnumeratesMembers) {
+  // Free dims {1, 3} of a 4-cube anchored at 0b0101 -> members vary bits 1,3.
+  const Subcube sc(0b0101, 0b1010);
+  EXPECT_EQ(sc.dim(), 2u);
+  EXPECT_EQ(sc.size(), 4u);
+  EXPECT_EQ(sc.node_at(0), 0b0101u);
+  EXPECT_EQ(sc.node_at(1), 0b0111u);
+  EXPECT_EQ(sc.node_at(2), 0b1101u);
+  EXPECT_EQ(sc.node_at(3), 0b1111u);
+  EXPECT_EQ(sc.dim_bit(0), 1u);
+  EXPECT_EQ(sc.dim_bit(1), 3u);
+}
+
+TEST(Subcube, RankRoundTrip) {
+  const Subcube sc(0b0001, 0b0110);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    EXPECT_EQ(sc.rank_of(sc.node_at(r)), r);
+    EXPECT_TRUE(sc.contains(sc.node_at(r)));
+  }
+  EXPECT_FALSE(sc.contains(0b0000));
+  EXPECT_THROW((void)sc.rank_of(0b0000), CheckError);
+}
+
+TEST(Subcube, AdjacentRanksDifferInOneGlobalBit) {
+  const Subcube sc(0b10000, 0b01101);
+  for (std::uint32_t r = 0; r < sc.size(); ++r) {
+    for (std::uint32_t k = 0; k < sc.dim(); ++k) {
+      const NodeId a = sc.node_at(r);
+      const NodeId b = sc.node_at(r ^ (1u << k));
+      EXPECT_EQ(popcount32(a ^ b), 1u);
+    }
+  }
+}
+
+TEST(Grid2D, CoordsRoundTrip) {
+  const Grid2D grid(64);
+  EXPECT_EQ(grid.q(), 8u);
+  std::set<NodeId> seen;
+  for (std::uint32_t r = 0; r < grid.q(); ++r) {
+    for (std::uint32_t c = 0; c < grid.q(); ++c) {
+      const NodeId n = grid.node(r, c);
+      EXPECT_TRUE(seen.insert(n).second) << "node reused";
+      const auto [rr, cc] = grid.coords(n);
+      EXPECT_EQ(rr, r);
+      EXPECT_EQ(cc, c);
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Grid2D, RowAndColChainsAreSubcubes) {
+  const Grid2D grid(64);
+  for (std::uint32_t r = 0; r < grid.q(); ++r) {
+    const Subcube row = grid.row_chain(r);
+    EXPECT_EQ(row.size(), grid.q());
+    for (std::uint32_t c = 0; c < grid.q(); ++c) {
+      EXPECT_TRUE(row.contains(grid.node(r, c)))
+          << "row " << r << " col " << c;
+    }
+  }
+  for (std::uint32_t c = 0; c < grid.q(); ++c) {
+    const Subcube col = grid.col_chain(c);
+    EXPECT_EQ(col.size(), grid.q());
+    for (std::uint32_t r = 0; r < grid.q(); ++r) {
+      EXPECT_TRUE(col.contains(grid.node(r, c)));
+    }
+  }
+}
+
+TEST(Grid2D, UnitStepsAreSingleLinks) {
+  const Grid2D grid(256);
+  const Hypercube& hc = grid.cube();
+  for (std::uint32_t r = 0; r < grid.q(); ++r) {
+    for (std::uint32_t c = 0; c < grid.q(); ++c) {
+      // Circular: last wraps to first, still one link (BRGC ring property).
+      EXPECT_TRUE(hc.are_neighbors(grid.node(r, c),
+                                   grid.node(r, (c + 1) % grid.q())));
+      EXPECT_TRUE(hc.are_neighbors(grid.node(r, c),
+                                   grid.node((r + 1) % grid.q(), c)));
+    }
+  }
+}
+
+TEST(Grid2D, RejectsNonSquare) {
+  EXPECT_THROW(Grid2D(32), std::invalid_argument);  // not a perfect square
+  EXPECT_THROW(Grid2D(36), std::invalid_argument);  // square but q not pow2
+}
+
+TEST(Grid2D, SingleNode) {
+  const Grid2D grid(1);
+  EXPECT_EQ(grid.node(0, 0), 0u);
+  EXPECT_EQ(grid.row_chain(0).size(), 1u);
+}
+
+TEST(Grid3D, CoordsRoundTrip) {
+  const Grid3D grid(512);
+  EXPECT_EQ(grid.q(), 8u);
+  std::set<NodeId> seen;
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    for (std::uint32_t j = 0; j < grid.q(); ++j) {
+      for (std::uint32_t k = 0; k < grid.q(); ++k) {
+        const NodeId n = grid.node(i, j, k);
+        EXPECT_TRUE(seen.insert(n).second);
+        const auto ijk = grid.coords(n);
+        EXPECT_EQ(ijk[0], i);
+        EXPECT_EQ(ijk[1], j);
+        EXPECT_EQ(ijk[2], k);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u);
+}
+
+TEST(Grid3D, ChainsAreSubcubesAlongEachAxis) {
+  const Grid3D grid(64);
+  for (std::uint32_t a = 0; a < grid.q(); ++a) {
+    for (std::uint32_t b = 0; b < grid.q(); ++b) {
+      const Subcube x = grid.x_chain(a, b);
+      const Subcube y = grid.y_chain(a, b);
+      const Subcube z = grid.z_chain(a, b);
+      for (std::uint32_t t = 0; t < grid.q(); ++t) {
+        EXPECT_TRUE(x.contains(grid.node(t, a, b)));
+        EXPECT_TRUE(y.contains(grid.node(a, t, b)));
+        EXPECT_TRUE(z.contains(grid.node(a, b, t)));
+      }
+    }
+  }
+}
+
+TEST(Grid3D, ChainsPartitionTheMachine) {
+  const Grid3D grid(512);
+  std::set<NodeId> all;
+  for (std::uint32_t j = 0; j < grid.q(); ++j) {
+    for (std::uint32_t k = 0; k < grid.q(); ++k) {
+      for (const NodeId n : grid.x_chain(j, k).nodes()) {
+        EXPECT_TRUE(all.insert(n).second) << "x-chains must be disjoint";
+      }
+    }
+  }
+  EXPECT_EQ(all.size(), grid.p());
+}
+
+TEST(Grid3D, UnitStepsAreSingleLinks) {
+  const Grid3D grid(512);
+  const Hypercube& hc = grid.cube();
+  for (std::uint32_t i = 0; i < grid.q(); ++i) {
+    EXPECT_TRUE(hc.are_neighbors(grid.node(i, 0, 0),
+                                 grid.node((i + 1) % grid.q(), 0, 0)));
+    EXPECT_TRUE(hc.are_neighbors(grid.node(0, i, 0),
+                                 grid.node(0, (i + 1) % grid.q(), 0)));
+    EXPECT_TRUE(hc.are_neighbors(grid.node(0, 0, i),
+                                 grid.node(0, 0, (i + 1) % grid.q())));
+  }
+}
+
+TEST(Grid3D, FLinearization) {
+  const Grid3D grid(64);
+  EXPECT_EQ(grid.f(0, 0), 0u);
+  EXPECT_EQ(grid.f(1, 2), 6u);
+  EXPECT_EQ(grid.f(3, 3), 15u);
+  EXPECT_THROW((void)grid.f(4, 0), CheckError);
+}
+
+TEST(Grid3D, RejectsNonCube) {
+  EXPECT_THROW(Grid3D(16), std::invalid_argument);
+  EXPECT_THROW(Grid3D(27), std::invalid_argument);  // cube but q not pow2
+}
+
+}  // namespace
+}  // namespace hcmm
