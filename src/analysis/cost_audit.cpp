@@ -1,0 +1,216 @@
+#include "hcmm/analysis/cost_audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "hcmm/analysis/legality.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::analysis {
+
+StaticCost static_cost(const Schedule& schedule, const Hypercube& cube,
+                       PortModel port, const Placement& initial) {
+  StaticCost out;
+  Placement cur = initial;
+  for (const Round& round : schedule.rounds) {
+    if (round.empty()) continue;  // empty rounds are free (Machine::run)
+    std::unordered_map<std::uint64_t, std::size_t> out_words;
+    std::unordered_map<std::uint64_t, std::size_t> in_words;
+    struct Pending {
+      NodeId dst;
+      Tag tag;
+      std::size_t words;
+    };
+    std::vector<Pending> deliveries;
+    std::vector<std::pair<NodeId, Tag>> erasures;
+    for (const Transfer& t : round.transfers) {
+      if (!cube.contains(t.src) || !cube.contains(t.dst) ||
+          !cube.are_neighbors(t.src, t.dst)) {
+        out.exact = false;  // the topology pass owns reporting this
+        continue;
+      }
+      std::size_t words = 0;
+      for (const Tag tag : t.tags) {
+        if (!cur.has(t.src, tag)) {
+          out.exact = false;  // the dataflow pass owns reporting this
+          continue;
+        }
+        words += cur.words(t.src, tag);
+        deliveries.push_back({t.dst, tag, cur.words(t.src, tag)});
+        if (t.move_src) erasures.emplace_back(t.src, tag);
+      }
+      const PortKeys keys = port_keys(port, t.src, t.dst);
+      out_words[keys.out] += words;
+      in_words[keys.in] += words;
+    }
+    for (const auto& [node, tag] : erasures) cur.erase(node, tag);
+    for (const Pending& p : deliveries) {
+      if (!cur.has(p.dst, p.tag)) cur.add(p.dst, p.tag, p.words);
+    }
+    std::size_t round_words = 0;
+    for (const auto& [k, w] : out_words) round_words = std::max(round_words, w);
+    for (const auto& [k, w] : in_words) round_words = std::max(round_words, w);
+    out.a += 1;
+    out.b += round_words;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> item(std::size_t m_words) {
+  return std::vector<double>(m_words, 1.0);
+}
+
+// Tag naming for audit items: space 0x7A, (a, b) = rank coordinates.
+Tag rank_tag(std::uint32_t r) {
+  return make_tag(0x7A, static_cast<std::uint16_t>(r));
+}
+Tag pair_tag(std::uint32_t s, std::uint32_t d) {
+  return make_tag(0x7B, static_cast<std::uint16_t>(s),
+                  static_cast<std::uint16_t>(d));
+}
+
+std::vector<BuilderCase> make_cases() {
+  using cost::CollKind;
+  std::vector<BuilderCase> cases;
+
+  cases.push_back({"bcast (sbt_bcast)", CollKind::kBcast,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     const NodeId root = sc.node_at(0);
+                     m.store().put(root, rank_tag(0), item(mw));
+                     return coll::prep_bcast(m, sc, root, rank_tag(0)).schedule;
+                   }});
+
+  cases.push_back({"reduce (sbt_reduce)", CollKind::kReduce,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                       m.store().put(sc.node_at(r), rank_tag(0), item(mw));
+                     }
+                     const NodeId root = sc.node_at(0);
+                     return coll::prep_reduce(m, sc, root, rank_tag(0))
+                         .schedule;
+                   }});
+
+  cases.push_back({"scatter (rh_scatter)", CollKind::kScatter,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     const NodeId root = sc.node_at(0);
+                     std::vector<Tag> tags(sc.size());
+                     for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                       tags[r] = rank_tag(r);
+                       m.store().put(root, tags[r], item(mw));
+                     }
+                     return coll::prep_scatter(m, sc, root, tags).schedule;
+                   }});
+
+  cases.push_back({"gather (bin_gather)", CollKind::kGather,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     std::vector<Tag> tags(sc.size());
+                     for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                       tags[r] = rank_tag(r);
+                       m.store().put(sc.node_at(r), tags[r], item(mw));
+                     }
+                     const NodeId root = sc.node_at(0);
+                     return coll::prep_gather(m, sc, root, tags).schedule;
+                   }});
+
+  cases.push_back({"allgather (rd_allgather)", CollKind::kAllgather,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     std::vector<Tag> tags(sc.size());
+                     for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                       tags[r] = rank_tag(r);
+                       m.store().put(sc.node_at(r), tags[r], item(mw));
+                     }
+                     return coll::prep_allgather(m, sc, tags).schedule;
+                   }});
+
+  cases.push_back({"reduce-scatter (rh_reduce_scatter)",
+                   CollKind::kReduceScatter,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     std::vector<Tag> tags(sc.size());
+                     for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                       tags[r] = rank_tag(r);
+                     }
+                     for (std::uint32_t nr = 0; nr < sc.size(); ++nr) {
+                       for (std::uint32_t r = 0; r < sc.size(); ++r) {
+                         m.store().put(sc.node_at(nr), tags[r], item(mw));
+                       }
+                     }
+                     return coll::prep_reduce_scatter(m, sc, tags).schedule;
+                   }});
+
+  cases.push_back({"all-to-all (aapc)", CollKind::kAllToAll,
+                   [](Machine& m, const Subcube& sc, std::size_t mw) {
+                     const std::uint32_t n = sc.size();
+                     std::vector<Tag> flat(static_cast<std::size_t>(n) * n, 0);
+                     for (std::uint32_t s = 0; s < n; ++s) {
+                       for (std::uint32_t d = 0; d < n; ++d) {
+                         if (s == d) continue;
+                         const Tag t = pair_tag(s, d);
+                         flat[static_cast<std::size_t>(s) * n + d] = t;
+                         m.store().put(sc.node_at(s), t, item(mw));
+                       }
+                     }
+                     return coll::prep_alltoall(m, sc, flat).schedule;
+                   }});
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<BuilderCase>& collective_builder_cases() {
+  static const std::vector<BuilderCase> cases = make_cases();
+  return cases;
+}
+
+DiagnosticList audit_collective_builders(std::uint32_t dim,
+                                         std::size_t m_words, PortModel port) {
+  HCMM_CHECK(dim >= 1 && m_words > 0 && m_words % dim == 0,
+             "audit: m_words must be a positive multiple of dim for exact "
+             "chunk balance");
+  DiagnosticList out;
+  const Hypercube cube(dim);
+  const Subcube sc(0, cube.size() - 1);
+  for (const BuilderCase& bc : collective_builder_cases()) {
+    Machine m(cube, port, CostParams{});
+    const Schedule s = bc.prepare(m, sc, m_words);
+    const Placement placed = snapshot_placement(m.store());
+    const StaticCost got = static_cost(s, cube, port, placed);
+    const cost::CommCost want = cost::table1(
+        bc.kind, port, cube.size(), static_cast<double>(m_words));
+    if (!got.exact) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.pass = "cost-audit";
+      d.code = "cost.inexact";
+      d.message = bc.name + ": static cost could not be computed exactly "
+                            "(absent tags in the compiled schedule)";
+      out.add(std::move(d));
+      continue;
+    }
+    const auto want_a = static_cast<std::uint64_t>(want.a);
+    const auto want_b = static_cast<std::uint64_t>(want.b);
+    if (got.a != want_a || got.b != want_b) {
+      std::ostringstream os;
+      os << bc.name << " on " << cube.size() << " nodes (" << to_string(port)
+         << ", M=" << m_words << "): static (a, b) = (" << got.a << ", "
+         << got.b << ") but Table 1 says (" << want_a << ", " << want_b
+         << ")";
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.pass = "cost-audit";
+      d.code = got.a != want_a ? "cost.startup-mismatch" : "cost.word-mismatch";
+      d.message = os.str();
+      d.hint =
+          "the builder lost its Table 1 optimality — check round structure "
+          "(a) or bundle/chunk balance (b)";
+      out.add(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm::analysis

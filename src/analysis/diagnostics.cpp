@@ -1,0 +1,58 @@
+#include "hcmm/analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace hcmm::analysis {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote:    return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError:   return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << analysis::to_string(severity) << ": [" << code << "]";
+  if (round != kNoLoc) {
+    os << " round " << round;
+    if (transfer != kNoLoc) os << ", transfer " << transfer;
+  }
+  os << ": " << message;
+  if (!hint.empty()) os << "\n  hint: " << hint;
+  return os.str();
+}
+
+void DiagnosticList::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void DiagnosticList::merge(DiagnosticList other) {
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+std::size_t DiagnosticList::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+void DiagnosticList::sort_by_location() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.round, a.transfer, a.code) <
+                            std::tie(b.round, b.transfer, b.code);
+                   });
+}
+
+std::string DiagnosticList::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace hcmm::analysis

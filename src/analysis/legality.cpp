@@ -1,0 +1,98 @@
+#include "hcmm/analysis/legality.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "hcmm/support/bits.hpp"
+
+namespace hcmm::analysis {
+namespace {
+
+RoundViolation make_violation(RoundViolation::Rule rule, std::size_t transfer,
+                              std::string message) {
+  RoundViolation v;
+  v.rule = rule;
+  v.transfer = transfer;
+  v.message = std::move(message);
+  return v;
+}
+
+bool topology_ok(const Hypercube& cube, const Transfer& t) {
+  return cube.contains(t.src) && cube.contains(t.dst) &&
+         cube.are_neighbors(t.src, t.dst);
+}
+
+}  // namespace
+
+std::vector<RoundViolation> check_round_topology(const Hypercube& cube,
+                                                 const Round& round) {
+  std::vector<RoundViolation> out;
+  for (std::size_t i = 0; i < round.transfers.size(); ++i) {
+    const Transfer& t = round.transfers[i];
+    if (!cube.contains(t.src) || !cube.contains(t.dst)) {
+      std::ostringstream os;
+      os << "transfer endpoint out of range (" << t.src << "->" << t.dst
+         << " on a " << cube.size() << "-node cube)";
+      out.push_back(make_violation(RoundViolation::Rule::kEndpointOutOfRange,
+                                   i, os.str()));
+    } else if (!cube.are_neighbors(t.src, t.dst)) {
+      std::ostringstream os;
+      os << "transfer " << t.src << "->" << t.dst
+         << " does not follow a hypercube link";
+      out.push_back(
+          make_violation(RoundViolation::Rule::kNotALink, i, os.str()));
+    }
+    if (t.tags.empty()) {
+      out.push_back(make_violation(RoundViolation::Rule::kEmptyTags, i,
+                                   "transfer with no tags"));
+    }
+  }
+  return out;
+}
+
+PortKeys port_keys(PortModel port, NodeId src, NodeId dst) {
+  PortKeys k;
+  if (port == PortModel::kOnePort) {
+    k.out = src;
+    k.in = dst;
+  } else {
+    const std::uint32_t dim = exact_log2(src ^ dst);
+    k.out = (static_cast<std::uint64_t>(src) << 8) | dim;
+    k.in = (static_cast<std::uint64_t>(dst) << 8) | dim;
+  }
+  return k;
+}
+
+std::vector<RoundViolation> check_round_ports(const Hypercube& cube,
+                                              PortModel port,
+                                              const Round& round) {
+  std::vector<RoundViolation> out;
+  std::unordered_map<std::uint64_t, int> out_use;
+  std::unordered_map<std::uint64_t, int> in_use;
+  const bool multi = port == PortModel::kMultiPort;
+  for (std::size_t i = 0; i < round.transfers.size(); ++i) {
+    const Transfer& t = round.transfers[i];
+    if (!topology_ok(cube, t)) continue;  // reported by the topology rules
+    const PortKeys keys = port_keys(port, t.src, t.dst);
+    if (++out_use[keys.out] != 1) {
+      std::ostringstream os;
+      os << to_string(port) << " violation: node " << t.src << " sends twice";
+      if (multi) os << " on link dimension " << exact_log2(t.src ^ t.dst);
+      os << " in one round";
+      out.push_back(
+          make_violation(RoundViolation::Rule::kDoubleSend, i, os.str()));
+    }
+    if (++in_use[keys.in] != 1) {
+      std::ostringstream os;
+      os << to_string(port) << " violation: node " << t.dst
+         << " receives twice";
+      if (multi) os << " on link dimension " << exact_log2(t.src ^ t.dst);
+      os << " in one round";
+      out.push_back(
+          make_violation(RoundViolation::Rule::kDoubleReceive, i, os.str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,300 @@
+#include "hcmm/analysis/passes.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "hcmm/analysis/legality.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::analysis {
+namespace {
+
+std::string tag_str(Tag tag) {
+  std::ostringstream os;
+  os << "0x" << std::hex << tag;
+  return os.str();
+}
+
+Diagnostic diag(Severity sev, std::string_view pass, std::string code,
+                std::size_t round, std::size_t transfer, std::string message,
+                std::string hint) {
+  Diagnostic d;
+  d.severity = sev;
+  d.pass = std::string(pass);
+  d.code = std::move(code);
+  d.round = round;
+  d.transfer = transfer;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+// ---- topology -------------------------------------------------------------
+
+class TopologyPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "topology";
+  }
+
+  void run(const AnalysisInput& in, DiagnosticList& out) const override {
+    const Schedule& s = *in.schedule;
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      for (const RoundViolation& v :
+           check_round_topology(in.cube, s.rounds[r])) {
+        std::string code = "topology.not-a-link";
+        std::string hint =
+            "multi-hop moves must be routed hop by hop (sim/Router); direct "
+            "transfers may only cross one hypercube link";
+        switch (v.rule) {
+          case RoundViolation::Rule::kEndpointOutOfRange:
+            code = "topology.endpoint-range";
+            hint = "keep transfer endpoints below the cube size";
+            break;
+          case RoundViolation::Rule::kEmptyTags:
+            code = "topology.empty-tags";
+            hint = "drop the transfer or attach the items it should carry";
+            break;
+          default:
+            break;
+        }
+        out.add(diag(Severity::kError, name(), std::move(code), r, v.transfer,
+                     v.message, std::move(hint)));
+      }
+    }
+  }
+};
+
+// ---- port model -----------------------------------------------------------
+
+class PortPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "port";
+  }
+
+  void run(const AnalysisInput& in, DiagnosticList& out) const override {
+    const Schedule& s = *in.schedule;
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      for (const RoundViolation& v :
+           check_round_ports(in.cube, in.port, s.rounds[r])) {
+        const bool send = v.rule == RoundViolation::Rule::kDoubleSend;
+        out.add(diag(
+            Severity::kError, name(),
+            send ? "port.double-send" : "port.double-recv", r, v.transfer,
+            v.message,
+            "move the transfer to its own round, or (one-port) serialize the "
+            "conflicting schedules with seq() instead of par()"));
+      }
+    }
+  }
+};
+
+// ---- dataflow -------------------------------------------------------------
+
+class DataflowPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dataflow";
+  }
+
+  void run(const AnalysisInput& in, DiagnosticList& out) const override {
+    if (in.initial == nullptr) return;  // nothing to interpret against
+    const Schedule& s = *in.schedule;
+    Placement cur = *in.initial;
+
+    using Loc = std::pair<NodeId, Tag>;
+    std::map<Loc, std::size_t> moved;  // -> round the item was moved away in
+    struct Delivery {
+      std::size_t round;
+      std::size_t transfer;
+      bool used;
+    };
+    std::vector<Delivery> deliveries;
+    std::map<Loc, std::vector<std::size_t>> contribs;  // current copy's makers
+
+    const auto mark_read = [&](NodeId node, Tag tag) {
+      const auto it = contribs.find({node, tag});
+      if (it == contribs.end()) return;
+      for (const std::size_t di : it->second) deliveries[di].used = true;
+    };
+
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      struct Pending {
+        NodeId dst;
+        Tag tag;
+        std::size_t words;
+        bool combine;
+        std::size_t transfer;
+      };
+      std::vector<Pending> pend;
+      std::vector<Loc> erasures;
+      for (std::size_t ti = 0; ti < s.rounds[r].transfers.size(); ++ti) {
+        const Transfer& t = s.rounds[r].transfers[ti];
+        for (const Tag tag : t.tags) {
+          if (!cur.has(t.src, tag)) {
+            const auto mv = moved.find({t.src, tag});
+            if (mv != moved.end()) {
+              std::ostringstream os;
+              os << "node " << t.src << " sends tag " << tag_str(tag)
+                 << " which it moved away in round " << mv->second;
+              out.add(diag(Severity::kError, name(), "dataflow.use-after-move",
+                           r, ti, os.str(),
+                           "clear move_src on the earlier transfer, or "
+                           "re-deliver the item before reusing it"));
+            } else {
+              std::ostringstream os;
+              os << "node " << t.src << " does not hold tag " << tag_str(tag)
+                 << " when this round starts";
+              out.add(diag(Severity::kError, name(), "dataflow.absent-tag", r,
+                           ti, os.str(),
+                           "stage the item in the initial placement or fix "
+                           "the source rank computation"));
+            }
+            continue;
+          }
+          mark_read(t.src, tag);
+          pend.push_back({t.dst, tag, cur.words(t.src, tag), t.combine, ti});
+          if (t.move_src) erasures.emplace_back(t.src, tag);
+        }
+      }
+      // All reads above saw pre-round state (Machine semantics): apply the
+      // moves first, then the deliveries.
+      for (const Loc& loc : erasures) {
+        cur.erase(loc.first, loc.second);
+        contribs.erase(loc);
+        moved[loc] = r;
+      }
+      for (const Pending& p : pend) {
+        const std::size_t di = deliveries.size();
+        deliveries.push_back({r, p.transfer, false});
+        if (p.combine) {
+          if (!cur.has(p.dst, p.tag)) {
+            std::ostringstream os;
+            os << "combine into absent item: node " << p.dst
+               << " holds no tag " << tag_str(p.tag);
+            out.add(diag(Severity::kError, name(),
+                         "dataflow.combine-into-absent", r, p.transfer,
+                         os.str(),
+                         "deliver or stage the base item first, or clear "
+                         "`combine` to insert a fresh copy"));
+            deliveries[di].used = true;  // already reported; not also "dead"
+            continue;
+          }
+          const std::size_t have = cur.words(p.dst, p.tag);
+          if (have != 0 && p.words != 0 && have != p.words) {
+            std::ostringstream os;
+            os << "combine size mismatch on node " << p.dst << " tag "
+               << tag_str(p.tag) << " (" << have << " vs " << p.words
+               << " words)";
+            out.add(diag(Severity::kError, name(),
+                         "dataflow.combine-size-mismatch", r, p.transfer,
+                         os.str(),
+                         "element-wise reduction requires equal item sizes"));
+          }
+          contribs[{p.dst, p.tag}].push_back(di);
+        } else {
+          if (cur.has(p.dst, p.tag)) {
+            std::ostringstream os;
+            os << "node " << p.dst << " already holds tag " << tag_str(p.tag)
+               << "; the store rejects duplicate inserts";
+            out.add(diag(Severity::kError, name(),
+                         "dataflow.duplicate-delivery", r, p.transfer,
+                         os.str(),
+                         "set `combine` for reductions, or move/erase the "
+                         "old copy before re-delivering"));
+            deliveries[di].used = true;
+            continue;
+          }
+          cur.add(p.dst, p.tag, p.words);
+          moved.erase({p.dst, p.tag});
+          contribs[{p.dst, p.tag}] = {di};
+        }
+      }
+    }
+
+    if (in.expected_final == nullptr) return;
+    // Items required at the end count as read; everything else delivered but
+    // never consumed marks its transfer dead.
+    for (const auto& [node, tags] : in.expected_final->nodes()) {
+      for (const auto& [tag, words] : tags) {
+        (void)words;
+        if (!cur.has(node, tag)) {
+          std::ostringstream os;
+          os << "expected final item tag " << tag_str(tag) << " on node "
+             << node << " never arrives";
+          out.add(diag(Severity::kError, name(), "dataflow.final-missing",
+                       kNoLoc, kNoLoc, os.str(),
+                       "the schedule ends before delivering this item"));
+          continue;
+        }
+        mark_read(node, tag);
+      }
+    }
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::pair<std::size_t, std::size_t>>
+        per_transfer;  // (round, transfer) -> (unused, total)
+    for (const Delivery& d : deliveries) {
+      auto& e = per_transfer[{d.round, d.transfer}];
+      e.second += 1;
+      if (!d.used) e.first += 1;
+    }
+    for (const auto& [loc, counts] : per_transfer) {
+      if (counts.first != counts.second || counts.second == 0) continue;
+      std::ostringstream os;
+      os << "dead transfer: none of its " << counts.second
+         << " delivered item(s) is ever read or required in the final "
+            "placement";
+      out.add(diag(Severity::kWarning, name(), "dataflow.dead-transfer",
+                   loc.first, loc.second, os.str(),
+                   "delete the transfer; it spends bandwidth on data nobody "
+                   "consumes"));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_topology_pass() {
+  return std::make_unique<TopologyPass>();
+}
+std::unique_ptr<Pass> make_port_pass() { return std::make_unique<PortPass>(); }
+std::unique_ptr<Pass> make_dataflow_pass() {
+  return std::make_unique<DataflowPass>();
+}
+
+Analyzer Analyzer::with_default_passes() {
+  Analyzer a;
+  a.add_pass(make_topology_pass());
+  a.add_pass(make_port_pass());
+  a.add_pass(make_dataflow_pass());
+  return a;
+}
+
+Analyzer& Analyzer::add_pass(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+DiagnosticList Analyzer::analyze(const AnalysisInput& in) const {
+  HCMM_CHECK(in.schedule != nullptr, "analyze: null schedule");
+  DiagnosticList out;
+  for (const auto& pass : passes_) pass->run(in, out);
+  out.sort_by_location();
+  return out;
+}
+
+DiagnosticList analyze_schedule(const Schedule& schedule, const Hypercube& cube,
+                                PortModel port, const Placement* initial,
+                                const Placement* expected_final) {
+  AnalysisInput in;
+  in.schedule = &schedule;
+  in.cube = cube;
+  in.port = port;
+  in.initial = initial;
+  in.expected_final = expected_final;
+  return Analyzer::with_default_passes().analyze(in);
+}
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,33 @@
+#include "hcmm/analysis/placement.hpp"
+
+namespace hcmm::analysis {
+
+void Placement::erase(NodeId node, Tag tag) {
+  const auto it = items_.find(node);
+  if (it == items_.end()) return;
+  it->second.erase(tag);
+}
+
+bool Placement::has(NodeId node, Tag tag) const {
+  const auto it = items_.find(node);
+  return it != items_.end() && it->second.count(tag) != 0;
+}
+
+std::size_t Placement::words(NodeId node, Tag tag) const {
+  const auto it = items_.find(node);
+  if (it == items_.end()) return 0;
+  const auto jt = it->second.find(tag);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+Placement snapshot_placement(const DataStore& store) {
+  Placement out;
+  for (NodeId node = 0; node < store.node_count(); ++node) {
+    for (const auto& [tag, words] : store.items(node)) {
+      out.add(node, tag, words);
+    }
+  }
+  return out;
+}
+
+}  // namespace hcmm::analysis

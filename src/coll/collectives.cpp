@@ -422,7 +422,10 @@ void run_prepared(Machine& m, std::span<PreparedColl> colls) {
   std::vector<Schedule> schedules;
   schedules.reserve(colls.size());
   for (const auto& c : colls) schedules.push_back(c.schedule);
-  m.run(par(schedules));
+  // Checked merge: the prepared collectives were built independently, so
+  // their per-round link disjointness is a claim the static port-legality
+  // pass verifies here, naming the offending round and link on failure.
+  m.run(par(schedules, m.cube(), m.port()));
   for (const auto& c : colls) {
     for (const auto& j : c.joins) m.store().join(j.node, j.parts, j.out);
   }

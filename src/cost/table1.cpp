@@ -1,0 +1,51 @@
+#include "hcmm/cost/table1.hpp"
+
+#include "hcmm/support/bits.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::cost {
+
+const char* to_string(CollKind k) noexcept {
+  switch (k) {
+    case CollKind::kBcast:         return "bcast";
+    case CollKind::kReduce:        return "reduce";
+    case CollKind::kScatter:       return "scatter";
+    case CollKind::kGather:        return "gather";
+    case CollKind::kAllgather:     return "allgather";
+    case CollKind::kReduceScatter: return "reduce-scatter";
+    case CollKind::kAllToAll:      return "all-to-all";
+  }
+  return "?";
+}
+
+CommCost table1(CollKind kind, PortModel port, std::uint32_t n_nodes,
+                double m_words) {
+  HCMM_CHECK(is_pow2(n_nodes), "table1: N must be a power of two");
+  const auto d = static_cast<double>(exact_log2(n_nodes));
+  const auto n = static_cast<double>(n_nodes);
+  if (d == 0) return {};  // a single node: every collective is a no-op
+  CommCost c;
+  c.a = d;
+  switch (kind) {
+    case CollKind::kBcast:
+    case CollKind::kReduce:
+      c.b = d * m_words;
+      break;
+    case CollKind::kScatter:
+    case CollKind::kGather:
+    case CollKind::kAllgather:
+    case CollKind::kReduceScatter:
+      c.b = (n - 1.0) * m_words;
+      break;
+    case CollKind::kAllToAll:
+      c.b = d * n * m_words / 2.0;
+      break;
+  }
+  // All log N ports drivable only from dimension 2 and messages of at least
+  // log N words (the Table 2 "conditions" column); coll/collectives falls
+  // back to the single-tree schedule below that, and so does the bound.
+  if (port == PortModel::kMultiPort && d >= 2.0 && m_words >= d) c.b /= d;
+  return c;
+}
+
+}  // namespace hcmm::cost

@@ -1,0 +1,64 @@
+#pragma once
+// Static communication-cost extraction and the Table 1 audit.
+//
+// static_cost() computes the (a, b) pair a schedule will be charged by the
+// Machine — a = start-ups (non-empty rounds), b = word-times on the critical
+// path — purely from the schedule and an abstract placement, mirroring
+// Machine::execute_round's accounting without moving a payload.
+//
+// audit_collective_builders() drives every registered collective builder
+// through the real coll::prep_* compilation path on a d-cube, extracts its
+// static cost and compares against the cost::table1 closed form: the a-term
+// must match exactly (integer equality), the b-term to the word when the
+// item size divides evenly over the log N chunk instances (the audit
+// requires d | M so it always does).  Any mismatch is an error diagnostic —
+// a builder that silently lost its Table 1 optimality fails the lint gate.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hcmm/analysis/diagnostics.hpp"
+#include "hcmm/analysis/placement.hpp"
+#include "hcmm/cost/table1.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::analysis {
+
+/// Statically computed cost of one schedule.
+struct StaticCost {
+  std::uint64_t a = 0;  ///< non-empty rounds = start-ups on the critical path
+  std::uint64_t b = 0;  ///< sum over rounds of the max per-port word count
+  /// False when a transferred tag was absent from the interpreted placement
+  /// (b is then a lower bound); the dataflow pass reports the actual bug.
+  bool exact = true;
+};
+
+[[nodiscard]] StaticCost static_cost(const Schedule& schedule,
+                                     const Hypercube& cube, PortModel port,
+                                     const Placement& initial);
+
+/// One registered collective builder under audit.
+struct BuilderCase {
+  std::string name;
+  cost::CollKind kind = cost::CollKind::kBcast;
+  /// Stage initial items of m_words per rank on the machine, compile via the
+  /// real coll::prep_* path, and return the compiled schedule.
+  std::function<Schedule(Machine& m, const Subcube& sc, std::size_t m_words)>
+      prepare;
+};
+
+/// The registry: all seven Table 1 builders of coll/builders.hpp via their
+/// coll/collectives compilation wrappers.
+[[nodiscard]] const std::vector<BuilderCase>& collective_builder_cases();
+
+/// Audit every registered builder on a @p dim-cube with items of @p m_words
+/// words (must be a positive multiple of @p dim) under @p port.
+[[nodiscard]] DiagnosticList audit_collective_builders(std::uint32_t dim,
+                                                       std::size_t m_words,
+                                                       PortModel port);
+
+}  // namespace hcmm::analysis

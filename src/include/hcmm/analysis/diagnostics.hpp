@@ -1,0 +1,61 @@
+#pragma once
+// Diagnostics engine of the static schedule analyzer.  A Diagnostic pins one
+// rule violation to a (round, transfer) location with a severity, a stable
+// machine-readable code ("port.double-send"), a human message and a fix
+// hint; DiagnosticList collects, sorts, counts and formats them.  The JSON
+// exporter lives in sim/report_io next to the other machine-readable output.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcmm::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Location value for schedule-wide diagnostics (no specific round/transfer).
+inline constexpr std::size_t kNoLoc = static_cast<std::size_t>(-1);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string pass;               ///< pass that produced it
+  std::string code;               ///< stable id, e.g. "port.double-send"
+  std::size_t round = kNoLoc;     ///< 0-based round index
+  std::size_t transfer = kNoLoc;  ///< 0-based transfer index within the round
+  std::string message;
+  std::string hint;               ///< suggested fix; may be empty
+
+  /// "error: [port.double-send] round 3, transfer 2: ...\n  hint: ..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DiagnosticList {
+ public:
+  void add(Diagnostic d);
+  void merge(DiagnosticList other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diags() const noexcept {
+    return diags_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diags_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return diags_.size(); }
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    return count(Severity::kError);
+  }
+  [[nodiscard]] bool has_errors() const noexcept { return error_count() > 0; }
+
+  /// Order by (round, transfer, code); schedule-wide diagnostics last.
+  void sort_by_location();
+
+  /// One line per diagnostic (empty string when clean).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,51 @@
+#pragma once
+// The single implementation of per-round schedule legality, shared by the
+// static analyzer (analysis/passes) and the runtime validator
+// (Machine::validate_round) so the two can never drift apart.  Rules are the
+// paper's §2 architecture constraints: transfers cross real hypercube links
+// only, and each node drives its ports within the one-port / multi-port
+// budget every round.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::analysis {
+
+/// One violated rule inside one round.
+struct RoundViolation {
+  enum class Rule : std::uint8_t {
+    kEndpointOutOfRange,  ///< src or dst is not a node of the cube
+    kNotALink,            ///< src->dst is not a hypercube edge
+    kEmptyTags,           ///< transfer carries no items
+    kDoubleSend,          ///< one-port: second send by a node; multi-port:
+                          ///< second send on one directed link
+    kDoubleReceive,       ///< likewise for the receive side
+  };
+  Rule rule = Rule::kNotALink;
+  std::size_t transfer = 0;  ///< index into round.transfers
+  std::string message;
+};
+
+/// Structural / topology rules (port-model independent).
+[[nodiscard]] std::vector<RoundViolation> check_round_topology(
+    const Hypercube& cube, const Round& round);
+
+/// Port-model occupancy rules.  Transfers failing the topology rules are
+/// skipped (their link dimension is undefined).
+[[nodiscard]] std::vector<RoundViolation> check_round_ports(
+    const Hypercube& cube, PortModel port, const Round& round);
+
+/// Direction-resolved port keys of one transfer: per node under one-port,
+/// per node-link under multi-port.  This is the quantity the validators
+/// book occupancy on and the Machine's cost accounting maxes over.
+struct PortKeys {
+  std::uint64_t out = 0;
+  std::uint64_t in = 0;
+};
+[[nodiscard]] PortKeys port_keys(PortModel port, NodeId src, NodeId dst);
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,74 @@
+#pragma once
+// Pass-based static verifier for communication schedules.  Every collective
+// builder and algorithm phase can be checked against the paper's §2
+// architecture rules and against an abstract data placement *before* any
+// payload moves — the same "verify the schedule, not the run" discipline the
+// runtime validator applies too late and with no diagnostics.
+//
+// Passes:
+//   topology  — every transfer crosses a real link of the target cube
+//   port      — one-port / multi-port occupancy per round (static twin of
+//               Machine::validate_round; both call analysis/legality)
+//   dataflow  — abstract interpretation of rounds over a Placement: sends of
+//               absent tags, use-after-move, combine into missing items,
+//               duplicate deliveries, dead transfers never read again
+//
+// The cost-audit pass lives in analysis/cost_audit (it needs the Table 1
+// closed forms from src/cost).  How to add a pass: docs/ANALYSIS.md.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hcmm/analysis/diagnostics.hpp"
+#include "hcmm/analysis/placement.hpp"
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::analysis {
+
+/// Everything a pass may look at.  The optional placements gate optional
+/// checks: without `initial` the dataflow pass has nothing to interpret and
+/// stays silent; `expected_final` additionally enables dead-transfer and
+/// final-state checking.
+struct AnalysisInput {
+  const Schedule* schedule = nullptr;
+  Hypercube cube{0};
+  PortModel port = PortModel::kOnePort;
+  const Placement* initial = nullptr;
+  const Placement* expected_final = nullptr;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual void run(const AnalysisInput& in, DiagnosticList& out) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Pass> make_topology_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_port_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_dataflow_pass();
+
+/// Pass manager: an ordered pipeline of passes over one AnalysisInput.
+class Analyzer {
+ public:
+  Analyzer() = default;
+
+  /// topology + port + dataflow, in that order.
+  [[nodiscard]] static Analyzer with_default_passes();
+
+  Analyzer& add_pass(std::unique_ptr<Pass> pass);
+  [[nodiscard]] DiagnosticList analyze(const AnalysisInput& in) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Convenience: run the default pipeline over one schedule.
+[[nodiscard]] DiagnosticList analyze_schedule(
+    const Schedule& schedule, const Hypercube& cube, PortModel port,
+    const Placement* initial = nullptr,
+    const Placement* expected_final = nullptr);
+
+}  // namespace hcmm::analysis

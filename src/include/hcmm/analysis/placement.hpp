@@ -1,0 +1,43 @@
+#pragma once
+// Abstract placement: which tags live on which node and how many words each
+// holds.  The dataflow and cost passes interpret schedules over this state
+// instead of moving real payloads — "verify the schedule, not the run".
+// A word count of 0 means "present, size unknown"; size-dependent checks
+// are skipped for such items.
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "hcmm/sim/store.hpp"
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm::analysis {
+
+class Placement {
+ public:
+  using TagMap = std::unordered_map<Tag, std::size_t>;
+
+  void add(NodeId node, Tag tag, std::size_t words = 0) {
+    items_[node][tag] = words;
+  }
+  void erase(NodeId node, Tag tag);
+
+  [[nodiscard]] bool has(NodeId node, Tag tag) const;
+  /// Word count of an item; 0 when absent or of unknown size.
+  [[nodiscard]] std::size_t words(NodeId node, Tag tag) const;
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] const std::unordered_map<NodeId, TagMap>& nodes()
+      const noexcept {
+    return items_;
+  }
+
+ private:
+  std::unordered_map<NodeId, TagMap> items_;
+};
+
+/// Snapshot of a DataStore's current contents with real word counts — the
+/// initial state the lint tool hands the analyzer before each phase.
+[[nodiscard]] Placement snapshot_placement(const DataStore& store);
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,20 @@
+#pragma once
+// The (a, b) communication-overhead pair with time = a*t_s + b*t_w — the
+// shape in which Tables 1 and 2 of the paper tabulate every cost.  Split out
+// of cost/model.hpp so the static analyzer can audit against the closed
+// forms without pulling in the whole algorithm-level model.
+
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm::cost {
+
+struct CommCost {
+  double a = 0.0;
+  double b = 0.0;
+
+  [[nodiscard]] double time(const CostParams& cp) const noexcept {
+    return a * cp.ts + b * cp.tw;
+  }
+};
+
+}  // namespace hcmm::cost

@@ -1,0 +1,39 @@
+#pragma once
+// Closed forms of Table 1 of the paper (Johnsson & Ho's optimal collective
+// costs on an N-node hypercube) for an item size of M words per rank, in
+// both port models — exactly what the schedules built by coll/builders (and
+// their rotated-tree multi-port compositions in coll/collectives) achieve.
+// The static analyzer's cost audit compares every builder's statically
+// extracted (a, b) against these expressions.
+
+#include <cstdint>
+
+#include "hcmm/cost/comm_cost.hpp"
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm::cost {
+
+/// The Table 1 collectives as implemented by coll/builders.
+enum class CollKind : std::uint8_t {
+  kBcast,          ///< one-to-all broadcast (sbt_bcast)
+  kReduce,         ///< all-to-one reduction (sbt_reduce)
+  kScatter,        ///< personalized broadcast (rh_scatter)
+  kGather,         ///< personalized gather (bin_gather)
+  kAllgather,      ///< all-to-all broadcast (rd_allgather)
+  kReduceScatter,  ///< all-to-all reduction (rh_reduce_scatter)
+  kAllToAll,       ///< all-to-all personalized (aapc)
+};
+
+[[nodiscard]] const char* to_string(CollKind k) noexcept;
+
+/// Table 1 cost for @p n_nodes = 2^d nodes and items of @p m_words words:
+/// one-port      a = d for all;  b: bcast/reduce d*M, scatter/gather and
+///               (all)gather/reduce-scatter (N-1)*M, all-to-all d*N*M/2.
+/// multi-port    same a; b divided by d (the log N rotated edge-disjoint
+///               tree instances), provided d >= 2 and M >= d — below that
+///               the builders fall back to the one-port schedule, and so
+///               does this function.
+[[nodiscard]] CommCost table1(CollKind kind, PortModel port,
+                              std::uint32_t n_nodes, double m_words);
+
+}  // namespace hcmm::cost

@@ -10,6 +10,7 @@
 // Table 2 of the paper tabulates per algorithm, so the Machine reports both
 // terms separately.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -121,6 +122,14 @@ class Machine {
   /// Per-link traffic recorded since reset_stats(), busiest first.
   [[nodiscard]] std::vector<LinkLoad> link_loads() const;
 
+  /// Install a hook invoked with every schedule at the top of run(), before
+  /// any round executes.  Used by tools (hcmm_lint) to statically analyze
+  /// each schedule an algorithm emits against the live store placement.
+  /// Pass an empty function to remove.
+  void set_schedule_observer(std::function<void(const Schedule&)> obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   PhaseStats& current_phase();
   void execute_round(const Round& round, PhaseStats& ph);
@@ -145,6 +154,7 @@ class Machine {
   std::vector<PhaseStats> phases_;
   bool link_accounting_ = false;
   std::unordered_map<std::uint64_t, LinkLoad> link_traffic_;
+  std::function<void(const Schedule&)> observer_;
 };
 
 }  // namespace hcmm

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "hcmm/analysis/diagnostics.hpp"
 #include "hcmm/sim/machine.hpp"
 
 namespace hcmm {
@@ -17,5 +18,11 @@ namespace hcmm {
 /// JSON object: {"port": ..., "params": {...}, "phases": [...],
 /// "totals": {...}, "peak_words_total": ...}.
 [[nodiscard]] std::string report_json(const SimReport& report);
+
+/// JSON export of static-analysis findings: {"errors": n, "warnings": n,
+/// "notes": n, "diagnostics": [{"severity", "pass", "code", "round",
+/// "transfer", "message", "hint"}, ...]}.  Locationless findings emit
+/// round/transfer as null.
+[[nodiscard]] std::string diagnostics_json(const analysis::DiagnosticList& dl);
 
 }  // namespace hcmm

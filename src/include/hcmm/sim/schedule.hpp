@@ -57,4 +57,14 @@ struct Schedule {
 /// the Machine's validator rejects genuinely conflicting merges.
 [[nodiscard]] Schedule par(std::span<const Schedule> parts);
 
+class Hypercube;  // topology/hypercube.hpp
+
+/// Checked parallel composition: merges like par(parts), then runs the
+/// static port-legality pass on every merged round and throws CheckError
+/// naming the offending round and link if the parts collide under @p port
+/// on @p cube.  Use when merging independently built schedules whose link
+/// disjointness is a claim, not a construction invariant.
+[[nodiscard]] Schedule par(std::span<const Schedule> parts,
+                           const Hypercube& cube, PortModel port);
+
 }  // namespace hcmm

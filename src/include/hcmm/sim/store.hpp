@@ -81,6 +81,11 @@ class DataStore {
   /// Number of items on @p node.
   [[nodiscard]] std::size_t item_count(NodeId node) const;
 
+  /// All items on @p node as (tag, words) pairs, unspecified order; what the
+  /// static analyzer snapshots as a schedule's initial placement.
+  [[nodiscard]] std::vector<std::pair<Tag, std::size_t>> items(
+      NodeId node) const;
+
  private:
   struct NodeStore {
     std::unordered_map<Tag, Payload> items;

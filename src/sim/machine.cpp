@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hcmm/analysis/legality.hpp"
 #include "hcmm/support/check.hpp"
 
 namespace hcmm {
@@ -90,6 +91,7 @@ void Machine::begin_phase(std::string name) {
 }
 
 void Machine::run(const Schedule& s) {
+  if (observer_) observer_(s);
   PhaseStats& ph = current_phase();
   for (const Round& round : s.rounds) {
     if (round.empty()) continue;
@@ -99,35 +101,14 @@ void Machine::run(const Schedule& s) {
 }
 
 void Machine::validate_round(const Round& round) const {
-  // Direction-resolved activity per node (one-port) / per node-link
-  // (multi-port).  Any double-booking means the schedule builder violated
-  // the architecture being simulated — a hard error, never a cost.
-  std::unordered_map<std::uint64_t, int> out_use;
-  std::unordered_map<std::uint64_t, int> in_use;
-  for (const Transfer& t : round.transfers) {
-    HCMM_CHECK(cube_.contains(t.src) && cube_.contains(t.dst),
-               "transfer endpoint out of range");
-    HCMM_CHECK(cube_.are_neighbors(t.src, t.dst),
-               "transfer " << t.src << "->" << t.dst
-                           << " does not follow a hypercube link");
-    HCMM_CHECK(!t.tags.empty(), "transfer with no tags");
-    std::uint64_t out_key;
-    std::uint64_t in_key;
-    if (port_ == PortModel::kOnePort) {
-      out_key = t.src;
-      in_key = t.dst;
-    } else {
-      const std::uint32_t dim = exact_log2(t.src ^ t.dst);
-      out_key = (static_cast<std::uint64_t>(t.src) << 8) | dim;
-      in_key = (static_cast<std::uint64_t>(t.dst) << 8) | dim;
-    }
-    HCMM_CHECK(++out_use[out_key] == 1,
-               to_string(port_) << " violation: node " << t.src
-                                << " sends twice in one round");
-    HCMM_CHECK(++in_use[in_key] == 1,
-               to_string(port_) << " violation: node " << t.dst
-                                << " receives twice in one round");
-  }
+  // Any violation means the schedule builder broke the architecture being
+  // simulated — a hard error, never a cost.  The rules themselves live in
+  // analysis/legality, shared with the static analyzer so the runtime and
+  // static checks cannot drift apart.
+  const auto topo = analysis::check_round_topology(cube_, round);
+  HCMM_CHECK(topo.empty(), topo.front().message);
+  const auto ports = analysis::check_round_ports(cube_, port_, round);
+  HCMM_CHECK(ports.empty(), ports.front().message);
 }
 
 void Machine::execute_round(const Round& round, PhaseStats& ph) {

@@ -54,4 +54,42 @@ std::string report_json(const SimReport& report) {
   return os.str();
 }
 
+std::string diagnostics_json(const analysis::DiagnosticList& dl) {
+  using analysis::kNoLoc;
+  using analysis::Severity;
+  std::ostringstream os;
+  os << "{\"errors\": " << dl.count(Severity::kError)
+     << ", \"warnings\": " << dl.count(Severity::kWarning)
+     << ", \"notes\": " << dl.count(Severity::kNote) << ", \"diagnostics\": [";
+  bool first = true;
+  for (const auto& d : dl.diags()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"severity\": \"" << analysis::to_string(d.severity)
+       << "\", \"pass\": ";
+    json_escape(os, d.pass);
+    os << ", \"code\": ";
+    json_escape(os, d.code);
+    os << ", \"round\": ";
+    if (d.round == kNoLoc) {
+      os << "null";
+    } else {
+      os << d.round;
+    }
+    os << ", \"transfer\": ";
+    if (d.transfer == kNoLoc) {
+      os << "null";
+    } else {
+      os << d.transfer;
+    }
+    os << ", \"message\": ";
+    json_escape(os, d.message);
+    os << ", \"hint\": ";
+    json_escape(os, d.hint);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace hcmm

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "hcmm/analysis/legality.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
 namespace hcmm {
 
 std::size_t Schedule::transfer_count() const noexcept {
@@ -31,6 +35,17 @@ Schedule par(std::span<const Schedule> parts) {
       dst.insert(dst.end(), s.rounds[i].transfers.begin(),
                  s.rounds[i].transfers.end());
     }
+  }
+  return out;
+}
+
+Schedule par(std::span<const Schedule> parts, const Hypercube& cube,
+             PortModel port) {
+  Schedule out = par(parts);
+  for (std::size_t r = 0; r < out.rounds.size(); ++r) {
+    const auto bad = analysis::check_round_ports(cube, port, out.rounds[r]);
+    HCMM_CHECK(bad.empty(), "par: merged parts collide in round "
+                                << r << ": " << bad.front().message);
   }
   return out;
 }

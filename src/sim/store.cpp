@@ -157,4 +157,14 @@ std::size_t DataStore::item_count(NodeId node) const {
   return at(node).items.size();
 }
 
+std::vector<std::pair<Tag, std::size_t>> DataStore::items(NodeId node) const {
+  const auto& ns = at(node);
+  std::vector<std::pair<Tag, std::size_t>> out;
+  out.reserve(ns.items.size());
+  for (const auto& [tag, payload] : ns.items) {
+    out.emplace_back(tag, payload->size());
+  }
+  return out;
+}
+
 }  // namespace hcmm

@@ -1,0 +1,411 @@
+// Tests for the static schedule analyzer (src/analysis): hand-built illegal
+// schedules must produce exactly the expected diagnostics, legal builder
+// output must analyze clean, the Table 1 cost audit must accept every
+// registered builder, and the checked par() must reject colliding merges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hcmm/analysis/cost_audit.hpp"
+#include "hcmm/analysis/legality.hpp"
+#include "hcmm/analysis/passes.hpp"
+#include "hcmm/analysis/placement.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/report_io.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::DiagnosticList;
+using analysis::Placement;
+using analysis::Severity;
+
+constexpr Tag kTagA = make_tag(1, 1);
+constexpr Tag kTagB = make_tag(1, 2);
+
+Transfer xfer(NodeId src, NodeId dst, Tag tag, bool combine = false,
+              bool move_src = false) {
+  return Transfer{src, dst, {tag}, combine, move_src};
+}
+
+Schedule one_round(std::vector<Transfer> ts) {
+  Schedule s;
+  s.rounds.push_back(Round{std::move(ts)});
+  return s;
+}
+
+std::vector<std::string> codes(const DiagnosticList& dl) {
+  std::vector<std::string> out;
+  for (const auto& d : dl.diags()) out.push_back(d.code);
+  return out;
+}
+
+bool has_code(const DiagnosticList& dl, std::string_view code) {
+  const auto& ds = dl.diags();
+  return std::any_of(ds.begin(), ds.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+// ---- topology pass --------------------------------------------------------
+
+TEST(AnalysisTopology, NonLinkTransferIsError) {
+  const Hypercube cube(3);
+  // 0 -> 3 differs in two bits: not a hypercube link.
+  const Schedule s = one_round({xfer(0, 3, kTagA)});
+  const DiagnosticList dl = analysis::analyze_schedule(s, cube, PortModel::kOnePort);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "topology.not-a-link");
+  EXPECT_EQ(dl.diags()[0].severity, Severity::kError);
+  EXPECT_EQ(dl.diags()[0].round, 0u);
+  EXPECT_EQ(dl.diags()[0].transfer, 0u);
+}
+
+TEST(AnalysisTopology, OutOfRangeAndEmptyTags) {
+  const Hypercube cube(2);
+  Schedule s = one_round({xfer(0, 9, kTagA)});
+  s.rounds.push_back(Round{{Transfer{0, 1, {}, false, false}}});
+  const DiagnosticList dl = analysis::analyze_schedule(s, cube, PortModel::kOnePort);
+  EXPECT_TRUE(has_code(dl, "topology.endpoint-range"));
+  EXPECT_TRUE(has_code(dl, "topology.empty-tags"));
+}
+
+// ---- port pass ------------------------------------------------------------
+
+TEST(AnalysisPort, OnePortDoubleSendIsError) {
+  const Hypercube cube(3);
+  // Node 0 sends on two different links in one round: legal multi-port,
+  // a one-port violation.
+  const Schedule s = one_round({xfer(0, 1, kTagA), xfer(0, 2, kTagB)});
+  const DiagnosticList one =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.diags()[0].code, "port.double-send");
+  EXPECT_EQ(one.diags()[0].round, 0u);
+  EXPECT_EQ(one.diags()[0].transfer, 1u);
+  EXPECT_TRUE(
+      analysis::analyze_schedule(s, cube, PortModel::kMultiPort).empty());
+}
+
+TEST(AnalysisPort, OnePortConcurrentSendRecvIsLegal) {
+  const Hypercube cube(1);
+  const Schedule s = one_round({xfer(0, 1, kTagA), xfer(1, 0, kTagB)});
+  EXPECT_TRUE(analysis::analyze_schedule(s, cube, PortModel::kOnePort).empty());
+}
+
+TEST(AnalysisPort, MultiPortSameLinkCollisionIsError) {
+  const Hypercube cube(3);
+  // Two transfers both drive link dimension 0 out of node 0.
+  const Schedule s = one_round({xfer(0, 1, kTagA), xfer(0, 1, kTagB)});
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kMultiPort);
+  EXPECT_TRUE(has_code(dl, "port.double-send"));
+  EXPECT_TRUE(has_code(dl, "port.double-recv"));
+}
+
+// ---- dataflow pass --------------------------------------------------------
+
+TEST(AnalysisDataflow, SilentWithoutInitialPlacement) {
+  const Hypercube cube(1);
+  const Schedule s = one_round({xfer(0, 1, kTagA)});
+  EXPECT_TRUE(analysis::analyze_schedule(s, cube, PortModel::kOnePort).empty());
+}
+
+TEST(AnalysisDataflow, AbsentTagIsError) {
+  const Hypercube cube(1);
+  Placement init;  // empty: node 0 holds nothing
+  const Schedule s = one_round({xfer(0, 1, kTagA)});
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.absent-tag");
+}
+
+TEST(AnalysisDataflow, UseAfterMoveIsError) {
+  const Hypercube cube(2);
+  Placement init;
+  init.add(0, kTagA, 4);
+  Schedule s = one_round({xfer(0, 1, kTagA, false, /*move_src=*/true)});
+  s.append(one_round({xfer(0, 2, kTagA)}));
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.use-after-move");
+  EXPECT_EQ(dl.diags()[0].round, 1u);
+}
+
+TEST(AnalysisDataflow, CombineIntoAbsentIsError) {
+  const Hypercube cube(1);
+  Placement init;
+  init.add(0, kTagA, 4);  // node 1 has no copy to combine into
+  const Schedule s = one_round({xfer(0, 1, kTagA, /*combine=*/true)});
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.combine-into-absent");
+}
+
+TEST(AnalysisDataflow, CombineSizeMismatchIsError) {
+  const Hypercube cube(1);
+  Placement init;
+  init.add(0, kTagA, 4);
+  init.add(1, kTagA, 8);
+  const Schedule s = one_round({xfer(0, 1, kTagA, /*combine=*/true)});
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init);
+  EXPECT_TRUE(has_code(dl, "dataflow.combine-size-mismatch"));
+}
+
+TEST(AnalysisDataflow, DuplicateDeliveryIsError) {
+  const Hypercube cube(1);
+  Placement init;
+  init.add(0, kTagA, 4);
+  init.add(1, kTagA, 4);  // destination already holds the tag
+  const Schedule s = one_round({xfer(0, 1, kTagA)});
+  const DiagnosticList dl =
+      analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.duplicate-delivery");
+}
+
+TEST(AnalysisDataflow, DeadTransferIsWarning) {
+  const Hypercube cube(2);
+  Placement init;
+  init.add(0, kTagA, 4);
+  init.add(0, kTagB, 4);
+  // kTagA reaches node 1 (required in the final placement); kTagB's hop to
+  // node 2 is read by nobody and required nowhere: dead.
+  Schedule s = one_round({xfer(0, 1, kTagA)});
+  s.append(one_round({xfer(0, 2, kTagB)}));
+  Placement want;
+  want.add(1, kTagA);
+  const DiagnosticList dl = analysis::analyze_schedule(
+      s, cube, PortModel::kOnePort, &init, &want);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.dead-transfer");
+  EXPECT_EQ(dl.diags()[0].severity, Severity::kWarning);
+  EXPECT_EQ(dl.diags()[0].round, 1u);
+}
+
+TEST(AnalysisDataflow, ForwardedItemIsNotDead) {
+  const Hypercube cube(2);
+  Placement init;
+  init.add(0, kTagA, 4);
+  // 0 -> 1 -> 3: the first hop is read by the second, the second by the
+  // final placement; neither is dead.
+  Schedule s = one_round({xfer(0, 1, kTagA)});
+  s.append(one_round({xfer(1, 3, kTagA, false, /*move_src=*/true)}));
+  Placement want;
+  want.add(3, kTagA);
+  EXPECT_TRUE(analysis::analyze_schedule(s, cube, PortModel::kOnePort, &init,
+                                         &want)
+                  .empty());
+}
+
+TEST(AnalysisDataflow, MissingFinalItemIsError) {
+  const Hypercube cube(1);
+  Placement init;
+  init.add(0, kTagA, 4);
+  const Schedule s;  // nothing moves
+  Placement want;
+  want.add(1, kTagA);
+  const DiagnosticList dl = analysis::analyze_schedule(
+      s, cube, PortModel::kOnePort, &init, &want);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_EQ(dl.diags()[0].code, "dataflow.final-missing");
+}
+
+// ---- clean schedules ------------------------------------------------------
+
+TEST(AnalysisClean, PreparedCollectivesAnalyzeClean) {
+  for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    const Hypercube cube(3);
+    const Subcube sc(0, cube.size() - 1);
+    Machine m(cube, port, CostParams{});
+    const NodeId root = 0;
+    m.store().put(root, kTagA, std::vector<double>(12, 1.0));
+    const Schedule s = coll::prep_bcast(m, sc, root, kTagA).schedule;
+    const Placement placed = analysis::snapshot_placement(m.store());
+    const DiagnosticList dl =
+        analysis::analyze_schedule(s, cube, port, &placed);
+    EXPECT_TRUE(dl.empty()) << to_string(port) << ":\n" << dl.to_string();
+  }
+}
+
+// ---- static cost + Table 1 audit ------------------------------------------
+
+TEST(AnalysisCost, StaticCostCountsRoundsAndCriticalWords) {
+  const Hypercube cube(2);
+  Placement init;
+  init.add(0, kTagA, 5);
+  init.add(0, kTagB, 7);
+  // Round 0: node 0 sends both tags on different links.  One-port charges
+  // the node port 5+7 = 12; multi-port charges per link, max(5, 7) = 7.
+  // Round 1 is empty (free), so a = 1 either way.
+  Schedule s = one_round({xfer(0, 1, kTagA), xfer(0, 2, kTagB)});
+  s.rounds.emplace_back();
+  const analysis::StaticCost one =
+      analysis::static_cost(s, cube, PortModel::kOnePort, init);
+  EXPECT_TRUE(one.exact);
+  EXPECT_EQ(one.a, 1u);
+  EXPECT_EQ(one.b, 12u);
+  const analysis::StaticCost multi =
+      analysis::static_cost(s, cube, PortModel::kMultiPort, init);
+  EXPECT_TRUE(multi.exact);
+  EXPECT_EQ(multi.a, 1u);
+  EXPECT_EQ(multi.b, 7u);
+}
+
+TEST(AnalysisCost, StaticCostMatchesMachineMeasurement) {
+  for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    const Hypercube cube(3);
+    const Subcube sc(0, cube.size() - 1);
+    Machine m(cube, port, CostParams{});
+    m.store().put(0, kTagA, std::vector<double>(24, 1.0));
+    auto prepared = coll::prep_bcast(m, sc, 0, kTagA);
+    const Placement placed = analysis::snapshot_placement(m.store());
+    const analysis::StaticCost c =
+        analysis::static_cost(prepared.schedule, cube, port, placed);
+    m.reset_stats();
+    coll::run_prepared(m, std::move(prepared));
+    const PhaseStats t = m.report().totals();
+    EXPECT_EQ(c.a, t.rounds) << to_string(port);
+    EXPECT_EQ(static_cast<double>(c.b), t.word_cost) << to_string(port);
+  }
+}
+
+TEST(AnalysisCost, AuditAcceptsAllBuilders) {
+  for (const std::uint32_t dim : {2u, 3u}) {
+    for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+      const DiagnosticList dl =
+          analysis::audit_collective_builders(dim, dim * 6, port);
+      EXPECT_TRUE(dl.empty())
+          << "dim " << dim << " " << to_string(port) << ":\n" << dl.to_string();
+    }
+  }
+}
+
+TEST(AnalysisCost, AuditCatchesWrongClosedForm) {
+  // Sanity-check the audit machinery itself: a deliberately wrong Table 1
+  // comparison must fail.  bcast on 4 nodes one-port is (2, 2M); claiming
+  // all-to-all's form for it cannot match.
+  const cost::CommCost bcast =
+      cost::table1(cost::CollKind::kBcast, PortModel::kOnePort, 4, 12.0);
+  const cost::CommCost aapc =
+      cost::table1(cost::CollKind::kAllToAll, PortModel::kOnePort, 4, 12.0);
+  EXPECT_NE(bcast.b, aapc.b);
+}
+
+// ---- machine delegation ---------------------------------------------------
+
+TEST(AnalysisMachine, RuntimeValidationUsesSharedRules) {
+  const Hypercube cube(3);
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  m.store().put(0, kTagA, std::vector<double>(4, 1.0));
+  m.store().put(0, kTagB, std::vector<double>(4, 1.0));
+  const Schedule bad = one_round({xfer(0, 1, kTagA), xfer(0, 2, kTagB)});
+  EXPECT_THROW(m.run(bad), CheckError);
+  const Schedule non_link = one_round({xfer(0, 3, kTagA)});
+  EXPECT_THROW(m.run(non_link), CheckError);
+}
+
+TEST(AnalysisMachine, ObserverSeesEveryScheduleBeforeExecution) {
+  const Hypercube cube(1);
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  m.store().put(0, kTagA, std::vector<double>(4, 1.0));
+  std::size_t seen = 0;
+  m.set_schedule_observer([&](const Schedule& s) {
+    ++seen;
+    EXPECT_EQ(s.round_count(), 1u);
+    EXPECT_FALSE(m.store().has(1, kTagA));  // before execution
+  });
+  m.run(one_round({xfer(0, 1, kTagA)}));
+  EXPECT_EQ(seen, 1u);
+  EXPECT_TRUE(m.store().has(1, kTagA));
+}
+
+// ---- checked par ----------------------------------------------------------
+
+TEST(AnalysisPar, CheckedParRejectsCollidingMerge) {
+  const Hypercube cube(3);
+  const Schedule p1 = one_round({xfer(0, 1, kTagA)});
+  const Schedule p2 = one_round({xfer(0, 2, kTagB)});
+  const Schedule parts[] = {p1, p2};
+  // Unchecked merge succeeds; checked merge under one-port rejects the
+  // double send and names round 0.
+  EXPECT_EQ(par(parts).rounds[0].transfers.size(), 2u);
+  EXPECT_NO_THROW((void)par(parts, cube, PortModel::kMultiPort));
+  try {
+    (void)par(parts, cube, PortModel::kOnePort);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("round 0"), std::string::npos);
+  }
+}
+
+// ---- diagnostics plumbing -------------------------------------------------
+
+TEST(AnalysisDiagnostics, SortAndFormat) {
+  DiagnosticList dl;
+  Diagnostic later;
+  later.severity = Severity::kWarning;
+  later.pass = "p";
+  later.code = "b.code";
+  later.round = 2;
+  later.transfer = 0;
+  later.message = "later";
+  Diagnostic wide;  // schedule-wide: sorts last
+  wide.pass = "p";
+  wide.code = "c.code";
+  wide.message = "wide";
+  Diagnostic first;
+  first.pass = "p";
+  first.code = "a.code";
+  first.round = 0;
+  first.transfer = 1;
+  first.message = "first";
+  first.hint = "fix it";
+  dl.add(later);
+  dl.add(wide);
+  dl.add(first);
+  dl.sort_by_location();
+  EXPECT_EQ(codes(dl),
+            (std::vector<std::string>{"a.code", "b.code", "c.code"}));
+  EXPECT_EQ(dl.error_count(), 2u);
+  EXPECT_EQ(dl.count(Severity::kWarning), 1u);
+  const std::string text = dl.diags()[0].to_string();
+  EXPECT_NE(text.find("error: [a.code] round 0, transfer 1: first"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: fix it"), std::string::npos);
+}
+
+TEST(AnalysisDiagnostics, JsonExport) {
+  DiagnosticList dl;
+  Diagnostic d;
+  d.pass = "port";
+  d.code = "port.double-send";
+  d.round = 1;
+  d.transfer = 3;
+  d.message = "a \"quoted\" message";
+  d.hint = "h";
+  dl.add(d);
+  const std::string js = diagnostics_json(dl);
+  EXPECT_NE(js.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"code\": \"port.double-send\""), std::string::npos);
+  EXPECT_NE(js.find("\"round\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\\\"quoted\\\""), std::string::npos);
+  // Locationless findings export null locations.
+  DiagnosticList wide;
+  Diagnostic w;
+  w.pass = "dataflow";
+  w.code = "dataflow.final-missing";
+  w.message = "m";
+  wide.add(w);
+  EXPECT_NE(diagnostics_json(wide).find("\"round\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -1,0 +1,141 @@
+// hcmm_lint: static schedule verifier for the whole algorithm registry.
+//
+// Drives every registered matrix-multiplication algorithm on small 8- and
+// 64-node machines under both port models, intercepting every Schedule the
+// algorithm hands to Machine::run via the schedule observer and running the
+// default analysis pipeline (topology, port model, tag dataflow) against the
+// live store placement *before* the machine executes it.  Afterwards audits
+// every registered collective builder's static (a, b) cost against the
+// Table 1 closed forms.  Exits nonzero on any error-severity finding, so the
+// ctest/CI wiring turns a schedule-legality or cost regression into a build
+// failure.
+//
+// Usage: hcmm_lint [--json]
+
+#include <cstdint>
+#include <iostream>
+#include <string_view>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/analysis/cost_audit.hpp"
+#include "hcmm/analysis/passes.hpp"
+#include "hcmm/analysis/placement.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/report_io.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+/// Append @p found to @p all with a "context: " prefix on every message.
+void merge_with_context(analysis::DiagnosticList& all,
+                        const analysis::DiagnosticList& found,
+                        const std::string& context) {
+  for (analysis::Diagnostic d : found.diags()) {
+    d.message = context + ": " + d.message;
+    all.add(std::move(d));
+  }
+}
+
+/// Smallest problem size the algorithm accepts on @p p nodes, 0 if none.
+std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
+  for (const std::size_t n : {4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 256u}) {
+    if (alg.applicable(n, p)) return n;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      std::cerr << "usage: hcmm_lint [--json]\n";
+      return 2;
+    }
+  }
+
+  analysis::DiagnosticList all;
+  std::size_t schedules_checked = 0;
+  std::size_t runs = 0;
+  std::size_t skipped = 0;
+
+  const std::uint32_t dims[] = {3, 6};
+  const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
+  const analysis::Analyzer analyzer = analysis::Analyzer::with_default_passes();
+
+  for (const std::uint32_t dim : dims) {
+    const Hypercube cube(dim);
+    for (const PortModel port : ports) {
+      for (const auto& alg : algo::all_algorithms()) {
+        if (!alg->supports(port)) {
+          ++skipped;
+          continue;
+        }
+        const std::size_t n = pick_n(*alg, cube.size());
+        if (n == 0) {
+          ++skipped;
+          continue;
+        }
+        Machine m(cube, port, CostParams{});
+        std::size_t sched_idx = 0;
+        analysis::DiagnosticList found;
+        const std::string context = alg->name() + " on " +
+                                    std::to_string(cube.size()) + " nodes (" +
+                                    to_string(port) + ")";
+        m.set_schedule_observer([&](const Schedule& s) {
+          const analysis::Placement placed =
+              analysis::snapshot_placement(m.store());
+          analysis::AnalysisInput in;
+          in.schedule = &s;
+          in.cube = m.cube();
+          in.port = m.port();
+          in.initial = &placed;
+          merge_with_context(found, analyzer.analyze(in),
+                             context + ", schedule #" +
+                                 std::to_string(sched_idx));
+          ++schedules_checked;
+          ++sched_idx;
+        });
+        const Matrix a = random_matrix(n, n, 17);
+        const Matrix b = random_matrix(n, n, 18);
+        (void)alg->run(a, b, m);
+        ++runs;
+        all.merge(std::move(found));
+      }
+    }
+  }
+
+  // Static (a, b) of every collective builder vs. the Table 1 closed forms;
+  // item size a multiple of dim so the multi-port chunking is exact.
+  for (const std::uint32_t dim : dims) {
+    for (const PortModel port : ports) {
+      const std::string context = "builder audit on " +
+                                  std::to_string(1u << dim) + " nodes (" +
+                                  to_string(port) + ")";
+      merge_with_context(
+          all, analysis::audit_collective_builders(dim, dim * 8u, port),
+          context);
+    }
+  }
+
+  if (json) {
+    std::cout << diagnostics_json(all) << "\n";
+  } else {
+    std::cout << "hcmm_lint: " << runs << " algorithm runs, "
+              << schedules_checked << " schedules analyzed, " << skipped
+              << " combinations skipped (unsupported/inapplicable)\n";
+    if (all.empty()) {
+      std::cout << "no findings\n";
+    } else {
+      std::cout << all.to_string();
+      std::cout << all.error_count() << " error(s), "
+                << all.count(analysis::Severity::kWarning) << " warning(s)\n";
+    }
+  }
+  return all.has_errors() ? 1 : 0;
+}
