@@ -1,5 +1,6 @@
 #include "hcmm/analysis/legality.hpp"
 
+#include <iterator>
 #include <sstream>
 #include <unordered_map>
 
@@ -92,6 +93,15 @@ std::vector<RoundViolation> check_round_ports(const Hypercube& cube,
           make_violation(RoundViolation::Rule::kDoubleReceive, i, os.str()));
     }
   }
+  return out;
+}
+
+std::vector<RoundViolation> check_round(const Hypercube& cube, PortModel port,
+                                        const Round& round) {
+  std::vector<RoundViolation> out = check_round_topology(cube, round);
+  std::vector<RoundViolation> ports = check_round_ports(cube, port, round);
+  out.insert(out.end(), std::make_move_iterator(ports.begin()),
+             std::make_move_iterator(ports.end()));
   return out;
 }
 

@@ -1,0 +1,134 @@
+#include "hcmm/fault/plan.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::fault {
+namespace {
+
+// splitmix64 finalizer: the same mixer the Prng seeds through, reused here
+// as a stateless hash so transient-fault decisions need no mutable state.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the attempt coordinates.
+[[nodiscard]] double hash_unit(std::uint64_t seed, std::uint64_t round,
+                               NodeId src, NodeId dst,
+                               std::uint32_t attempt) noexcept {
+  std::uint64_t h = mix(seed);
+  h = mix(h ^ round);
+  h = mix(h ^ ((static_cast<std::uint64_t>(src) << 32) | dst));
+  h = mix(h ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kSpike: return "latency-spike";
+    case FaultKind::kReroute: return "reroute";
+    case FaultKind::kNodeDeath: return "node-death";
+    case FaultKind::kRetryExhausted: return "retry-exhausted";
+    case FaultKind::kUnroutable: return "unroutable";
+    case FaultKind::kHostless: return "hostless";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << fault::to_string(kind) << ": " << src << " -> " << dst << ", round "
+     << round;
+  if (attempt != 0) os << ", attempt " << attempt;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+FaultAbort::FaultAbort(FaultEvent event)
+    : std::runtime_error("fault abort — " + event.to_string()),
+      event_(std::move(event)) {}
+
+void FaultSet::fail_link(NodeId a, NodeId b) {
+  HCMM_CHECK(a != b, "FaultSet::fail_link: " << a << " is not a link");
+  links_.insert(link_key(a, b));
+}
+
+void FaultSet::kill_node(NodeId n) { dead_.insert(n); }
+
+bool FaultSet::connected(const Hypercube& cube) const {
+  // BFS over live nodes and healthy links from the lowest live node.
+  const std::uint32_t p = cube.size();
+  std::vector<bool> seen(p, false);
+  NodeId start = p;  // sentinel: no live node
+  for (NodeId n = 0; n < p; ++n) {
+    if (!node_dead(n)) {
+      start = n;
+      break;
+    }
+  }
+  if (start == p) return false;  // everything dead
+  std::vector<NodeId> queue{start};
+  seen[start] = true;
+  std::size_t live_seen = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+      const NodeId v = cube.neighbor(u, k);
+      if (seen[v] || node_dead(v) || link_failed(u, v)) continue;
+      seen[v] = true;
+      ++live_seen;
+      queue.push_back(v);
+    }
+  }
+  std::size_t live_total = 0;
+  for (NodeId n = 0; n < p; ++n) {
+    if (!node_dead(n)) ++live_total;
+  }
+  return live_seen == live_total;
+}
+
+NodeId FaultSet::host(const Hypercube& cube, NodeId n) const {
+  HCMM_CHECK(cube.contains(n), "FaultSet::host: node " << n << " out of range");
+  if (!node_dead(n)) return n;
+  for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+    const NodeId partner = cube.neighbor(n, k);
+    if (!node_dead(partner)) return partner;
+  }
+  throw FaultAbort(FaultEvent{.kind = FaultKind::kHostless,
+                              .src = n,
+                              .dst = n,
+                              .round = 0,
+                              .attempt = 0,
+                              .detail = "every neighbor of the dead node is "
+                                        "dead too — no partner to contract "
+                                        "onto"});
+}
+
+FaultKind FaultPlan::attempt_outcome(std::uint64_t round, NodeId src,
+                                     NodeId dst,
+                                     std::uint32_t attempt) const noexcept {
+  if (!transient.any()) return FaultKind::kNone;
+  const double u = hash_unit(transient.seed, round, src, dst, attempt);
+  if (u < transient.drop_prob) return FaultKind::kDrop;
+  if (u < transient.drop_prob + transient.corrupt_prob) {
+    return FaultKind::kCorrupt;
+  }
+  if (u < transient.drop_prob + transient.corrupt_prob +
+              transient.spike_prob) {
+    return FaultKind::kSpike;
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace hcmm::fault

@@ -1,0 +1,112 @@
+#include "hcmm/fault/scenarios.hpp"
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/prng.hpp"
+
+namespace hcmm::fault {
+namespace {
+
+/// A random link of @p cube.
+[[nodiscard]] std::pair<NodeId, NodeId> random_link(Prng& rng,
+                                                    const Hypercube& cube) {
+  const auto a = static_cast<NodeId>(rng.next_below(cube.size()));
+  const auto k = static_cast<std::uint32_t>(rng.next_below(cube.dim()));
+  return {a, cube.neighbor(a, k)};
+}
+
+/// A random live node whose death keeps the live cube connected.
+[[nodiscard]] NodeId random_safe_victim(Prng& rng, const Hypercube& cube,
+                                        const FaultSet& base) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const auto n = static_cast<NodeId>(rng.next_below(cube.size()));
+    if (base.node_dead(n)) continue;
+    FaultSet with = base;
+    with.kill_node(n);
+    if (with.connected(cube)) return n;
+  }
+  HCMM_CHECK(false, "chaos_scenarios: no safe victim node found");
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+FaultSet random_connected_link_faults(const Hypercube& cube,
+                                      std::uint64_t seed,
+                                      std::uint32_t count) {
+  Prng rng(seed);
+  FaultSet set;
+  const std::uint32_t budget = count * 16 + 16;  // bounded rejection sampling
+  for (std::uint32_t tries = 0;
+       tries < budget && set.failed_links().size() < count; ++tries) {
+    const auto [a, b] = random_link(rng, cube);
+    if (set.link_failed(a, b)) continue;
+    FaultSet with = set;
+    with.fail_link(a, b);
+    if (with.connected(cube)) set = std::move(with);
+  }
+  return set;
+}
+
+std::vector<Scenario> chaos_scenarios(const Hypercube& cube,
+                                      std::uint64_t seed) {
+  HCMM_CHECK(cube.dim() >= 2, "chaos_scenarios: cube too small to break");
+  Prng rng(seed);
+  std::vector<Scenario> out;
+
+  // Baseline: an installed-but-empty plan.  The campaign checks this run is
+  // bit-identical to a plan-free run — the zero-overhead guarantee.
+  out.push_back({"baseline-empty-plan", FaultPlan{}});
+
+  {
+    Scenario s{"single-link-failure", FaultPlan{}};
+    const auto [a, b] = random_link(rng, cube);
+    s.plan.set.fail_link(a, b);  // one link never disconnects a d>=2 cube
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"transient-drops", FaultPlan{}};
+    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
+                                     .drop_prob = 0.06,
+                                     .corrupt_prob = 0.02,
+                                     .spike_prob = 0.0,
+                                     .spike_time = 0.0,
+                                     .max_attempts = 10,
+                                     .backoff_base = 8.0};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"latency-spikes", FaultPlan{}};
+    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
+                                     .drop_prob = 0.0,
+                                     .corrupt_prob = 0.0,
+                                     .spike_prob = 0.1,
+                                     .spike_time = 400.0,
+                                     .max_attempts = 6,
+                                     .backoff_base = 0.0};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s{"single-node-death", FaultPlan{}};
+    s.plan.set.kill_node(random_safe_victim(rng, cube, FaultSet{}));
+    out.push_back(std::move(s));
+  }
+  {
+    // Everything at once: a few broken links, a dead node, drops and spikes.
+    Scenario s{"storm", FaultPlan{}};
+    s.plan.set = random_connected_link_faults(cube, rng.next_u64(),
+                                              cube.dim() >= 4 ? 3u : 1u);
+    s.plan.set.kill_node(random_safe_victim(rng, cube, s.plan.set));
+    HCMM_CHECK(s.plan.set.connected(cube), "chaos_scenarios: storm broke the cube");
+    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
+                                     .drop_prob = 0.04,
+                                     .corrupt_prob = 0.01,
+                                     .spike_prob = 0.05,
+                                     .spike_time = 200.0,
+                                     .max_attempts = 12,
+                                     .backoff_base = 4.0};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hcmm::fault

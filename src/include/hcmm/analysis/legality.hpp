@@ -39,6 +39,13 @@ struct RoundViolation {
 [[nodiscard]] std::vector<RoundViolation> check_round_ports(
     const Hypercube& cube, PortModel port, const Round& round);
 
+/// All rules at once: topology violations followed by port violations.
+/// This is what Machine::validate_round and the fault-repair path run, so
+/// repaired rounds face exactly the rules original schedules do.
+[[nodiscard]] std::vector<RoundViolation> check_round(const Hypercube& cube,
+                                                      PortModel port,
+                                                      const Round& round);
+
 /// Direction-resolved port keys of one transfer: per node under one-port,
 /// per node-link under multi-port.  This is the quantity the validators
 /// book occupancy on and the Machine's cost accounting maxes over.

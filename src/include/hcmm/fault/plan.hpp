@@ -1,0 +1,140 @@
+#pragma once
+// Deterministic fault injection for the simulated hypercube.  A FaultPlan
+// describes, up front and fully seeded, which links and nodes are down for
+// the whole run plus a reproducible stochastic model of transient
+// per-message faults (drops, detected corruption, latency spikes).  The
+// Machine consumes a plan through set_fault_plan() and applies layered
+// recovery: retry with exponential backoff for transient faults, fault-aware
+// e-cube rerouting around failed links, and subcube contraction of each dead
+// node onto its bit-interleaving partner.  The same plan always produces the
+// same faults, the same recovery, and the same measured costs — chaos runs
+// are experiments, not noise.  docs/FAULTS.md is the narrative description.
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::fault {
+
+/// Canonical undirected key of the link {a, b}.
+[[nodiscard]] constexpr std::uint64_t link_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// What went wrong with one message attempt / one structural element.
+enum class FaultKind : std::uint8_t {
+  kNone,            ///< no fault on this attempt
+  kDrop,            ///< message lost in flight; sender must resend
+  kCorrupt,         ///< payload rejected at the receiver (CRC); resend
+  kSpike,           ///< delivered, but with extra latency
+  kReroute,         ///< transfer detoured around failed links / a dead host
+  kNodeDeath,       ///< node dead for the whole run; hosted by its partner
+  kRetryExhausted,  ///< transient fault persisted past the attempt budget
+  kUnroutable,      ///< no healthy path between the physical endpoints
+  kHostless,        ///< dead node with every neighbor dead too
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// One located fault occurrence — the unit of chaos diagnosis.  `round` is
+/// the machine's run-wide round sequence number at the time of the fault
+/// (0-based, reset together with the stats).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNone;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t round = 0;
+  std::uint32_t attempt = 0;
+  std::string detail;
+
+  /// "drop: 3 -> 7, round 12, attempt 2 (detail)"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown when recovery is impossible (retry budget exhausted, healthy cube
+/// disconnected, dead node with no live partner).  Carries the located
+/// FaultEvent so a failed chaos run aborts with a diagnosis, never a crash.
+class FaultAbort : public std::runtime_error {
+ public:
+  explicit FaultAbort(FaultEvent event);
+  [[nodiscard]] const FaultEvent& event() const noexcept { return event_; }
+
+ private:
+  FaultEvent event_;
+};
+
+/// Permanent structural faults: links that never carry a message again and
+/// nodes that are dead for the whole run.  Ordered containers so iteration
+/// (reports, host resolution) is deterministic.
+class FaultSet {
+ public:
+  void fail_link(NodeId a, NodeId b);
+  void kill_node(NodeId n);
+
+  [[nodiscard]] bool link_failed(NodeId a, NodeId b) const {
+    return links_.contains(link_key(a, b));
+  }
+  [[nodiscard]] bool node_dead(NodeId n) const { return dead_.contains(n); }
+  [[nodiscard]] bool empty() const noexcept {
+    return links_.empty() && dead_.empty();
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& failed_links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const std::set<NodeId>& dead_nodes() const noexcept {
+    return dead_;
+  }
+
+  /// True iff the live nodes of @p cube are mutually reachable over healthy
+  /// links (the precondition for fault-aware rerouting to always succeed).
+  [[nodiscard]] bool connected(const Hypercube& cube) const;
+
+  /// Physical host of @p n under subcube contraction: n itself when alive,
+  /// otherwise its lowest-dimension live neighbor (the bit-interleaving
+  /// partner).  Throws FaultAbort(kHostless) when every neighbor is dead.
+  [[nodiscard]] NodeId host(const Hypercube& cube, NodeId n) const;
+
+ private:
+  std::set<std::uint64_t> links_;
+  std::set<NodeId> dead_;
+};
+
+/// Seeded model of per-message-attempt transient faults.  Every decision is
+/// a pure hash of (seed, round, src, dst, attempt) — no mutable RNG state —
+/// so replays and resimulations see the identical fault pattern.
+struct TransientSpec {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;     ///< message lost, per attempt
+  double corrupt_prob = 0.0;  ///< detected corruption (resend), per attempt
+  double spike_prob = 0.0;    ///< latency spike, per attempt
+  double spike_time = 0.0;    ///< simulated time added by one spike
+  std::uint32_t max_attempts = 6;  ///< total attempts incl. the first
+  double backoff_base = 0.0;  ///< wait before retry k: backoff_base * 2^(k-1)
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_prob + corrupt_prob + spike_prob > 0.0;
+  }
+};
+
+/// A full fault scenario: structural faults plus the transient model.
+struct FaultPlan {
+  FaultSet set;
+  TransientSpec transient;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return set.empty() && !transient.any();
+  }
+
+  /// Deterministic outcome of one message attempt: kNone (delivered),
+  /// kSpike (delivered late), or kDrop / kCorrupt (must resend).
+  [[nodiscard]] FaultKind attempt_outcome(std::uint64_t round, NodeId src,
+                                          NodeId dst,
+                                          std::uint32_t attempt) const noexcept;
+};
+
+}  // namespace hcmm::fault

@@ -1,0 +1,36 @@
+#pragma once
+// Named, seeded fault scenarios — the catalogue the chaos campaign
+// (tools/hcmm_chaos) sweeps and the property tests draw from.  Every
+// scenario is a pure function of (cube, seed): the same arguments always
+// pick the same failed links, dead nodes and transient parameters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcmm/fault/plan.hpp"
+
+namespace hcmm::fault {
+
+/// One catalogue entry: a human-readable name plus the plan itself.
+struct Scenario {
+  std::string name;
+  FaultPlan plan;
+};
+
+/// The standard chaos catalogue for @p cube: an empty baseline plan,
+/// single-link failure, transient drops/corruption, a latency-spike storm,
+/// single node death, and a combined "storm" scenario.  Every structural
+/// fault set keeps the live cube connected, so recovery is always possible
+/// and a correct product is the required outcome.
+[[nodiscard]] std::vector<Scenario> chaos_scenarios(const Hypercube& cube,
+                                                    std::uint64_t seed);
+
+/// Up to @p count random failed links chosen so the cube stays connected
+/// after every addition (links whose removal would disconnect it are
+/// skipped).  Deterministic in (cube, seed, count).
+[[nodiscard]] FaultSet random_connected_link_faults(const Hypercube& cube,
+                                                    std::uint64_t seed,
+                                                    std::uint32_t count);
+
+}  // namespace hcmm::fault

@@ -6,14 +6,28 @@
 // pair with the same key are delivered in FIFO order; recv blocks until a
 // matching message arrives and fails loudly after a timeout instead of
 // deadlocking silently.
+//
+// Failure semantics distinguish slow peers from dead peers: a recv waits in
+// doubling slices up to the timeout (each extra slice counts as a retry, so
+// merely slow peers cost patience, not aborts), while a peer that is known
+// dead — it threw, or a test injected its death — aborts the waiter
+// immediately with a located DeadPeerError.  Team::run aggregates every
+// primary failure (one per originating rank) into its diagnosis; secondary
+// unwinding (PeerAbort / DeadPeerError) is never reported as a cause.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "hcmm/matrix/matrix.hpp"
 
@@ -21,20 +35,75 @@ namespace hcmm::rt {
 
 class Rank;
 
+/// Secondary failure: this rank aborted only because some other rank's
+/// primary failure was already diagnosed.  Team::run swallows these.
+class PeerAbort : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Secondary failure: the specific peer this rank was waiting on is known
+/// dead, so the wait was cut short with a located diagnosis instead of
+/// letting the timeout expire.
+class DeadPeerError : public std::runtime_error {
+ public:
+  DeadPeerError(std::uint32_t rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+
+ private:
+  std::uint32_t rank_;
+};
+
+/// One rank's primary failure in the last Team::run.
+struct RankError {
+  std::uint32_t rank = 0;
+  std::string message;
+};
+
 class Team {
  public:
   /// @p ranks number of SPMD ranks (threads); @p recv_timeout how long a
-  /// recv may wait before the run is declared deadlocked.
+  /// recv/barrier may wait before the run is declared deadlocked.  When
+  /// omitted, the HCMM_RT_TIMEOUT_MS environment variable (positive integer
+  /// milliseconds) is consulted, then a 30 s default.
   explicit Team(std::uint32_t ranks,
-                std::chrono::milliseconds recv_timeout =
-                    std::chrono::milliseconds(30000));
+                std::optional<std::chrono::milliseconds> recv_timeout =
+                    std::nullopt);
 
   [[nodiscard]] std::uint32_t size() const noexcept { return ranks_; }
+  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept {
+    return timeout_;
+  }
 
-  /// Run @p fn on every rank concurrently and join.  The first exception
-  /// thrown by any rank is rethrown here (other ranks may then time out and
-  /// are joined regardless).  Reusable for successive runs.
+  /// Run @p fn on every rank concurrently and join.  A single failing rank
+  /// rethrows its original exception; several failing ranks throw one
+  /// std::runtime_error naming every failed rank and message.  Secondary
+  /// PeerAbort / DeadPeerError unwinds are not failures.  Reusable for
+  /// successive runs.
   void run(const std::function<void(Rank&)>& fn);
+
+  /// Primary failures of the last run, sorted by rank (empty on success).
+  [[nodiscard]] const std::vector<RankError>& last_run_errors() const noexcept {
+    return rank_errors_;
+  }
+
+  /// Extra doubling wait slices recvs needed in the last run — evidence of
+  /// slow (but live) peers.
+  [[nodiscard]] std::uint64_t last_run_recv_retries() const noexcept {
+    return recv_retries_;
+  }
+
+  /// Fault injection (testing): @p rank dies — cleanly, as a diagnosed
+  /// primary failure — when it starts its (@p after_ops + 1)-th team
+  /// operation (send/recv/barrier) of a run.
+  void inject_rank_death(std::uint32_t rank, std::uint64_t after_ops = 0);
+
+  /// Fault injection (testing): @p rank sleeps @p delay before every team
+  /// operation, making it slow but live (exercises recv retry slices).
+  void inject_rank_delay(std::uint32_t rank, std::chrono::milliseconds delay);
+
+  void clear_injections();
 
  private:
   friend class Rank;
@@ -49,7 +118,9 @@ class Team {
   void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag, Matrix m);
   [[nodiscard]] Matrix recv(std::uint32_t to, std::uint32_t from,
                             std::uint64_t tag);
-  void barrier_wait();
+  void barrier_wait(std::uint32_t rank);
+  /// Applies injected delay/death for @p rank's next operation.
+  void check_injections(std::uint32_t rank);
 
   std::uint32_t ranks_;
   std::chrono::milliseconds timeout_;
@@ -59,7 +130,13 @@ class Team {
   // Generation-counting barrier.
   std::uint32_t barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
-  bool failed_ = false;  // a rank threw: wake everyone so they can unwind
+  bool failed_ = false;  // a rank failed: wake everyone so they can unwind
+  std::set<std::uint32_t> dead_ranks_;   // primary failures so far this run
+  std::vector<RankError> rank_errors_;   // their diagnoses
+  std::uint64_t recv_retries_ = 0;
+  std::vector<std::uint64_t> op_counts_;
+  std::map<std::uint32_t, std::uint64_t> death_at_;
+  std::map<std::uint32_t, std::chrono::milliseconds> delay_;
 };
 
 /// Per-rank handle passed to the SPMD function.
@@ -81,7 +158,7 @@ class Rank {
   }
 
   /// Block until every rank reaches the barrier.
-  void barrier() { team_.barrier_wait(); }
+  void barrier() { team_.barrier_wait(id_); }
 
  private:
   Team& team_;

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "hcmm/fault/plan.hpp"
 #include "hcmm/sim/schedule.hpp"
 #include "hcmm/sim/store.hpp"
 #include "hcmm/sim/types.hpp"
@@ -36,7 +37,23 @@ struct PhaseStats {
   std::uint64_t flops = 0;        ///< multiply-adds on the critical path
   double comm_time = 0.0;
   double compute_time = 0.0;
+
+  // Resilience accounting — all zero on fault-free runs.  The fault_* fields
+  // measure what recovery added: fault_startups start-ups are already inside
+  // `rounds`, fault_word_cost word-times inside `word_cost`, and fault_delay
+  // (backoff waits + latency spikes) inside `comm_time`.
+  std::uint64_t retries = 0;         ///< transient resends (drops + corruptions)
+  std::uint64_t reroutes = 0;        ///< transfers detoured around faults
+  std::uint64_t extra_hops = 0;      ///< detour hops beyond the direct link
+  std::uint64_t fault_startups = 0;  ///< start-ups added by recovery
+  double fault_word_cost = 0.0;      ///< word-times added by recovery
+  double fault_delay = 0.0;          ///< backoff waits and spike latency
+
   [[nodiscard]] double time() const noexcept { return comm_time + compute_time; }
+  [[nodiscard]] bool faulted() const noexcept {
+    return retries || reroutes || extra_hops || fault_startups ||
+           fault_word_cost > 0.0 || fault_delay > 0.0;
+  }
   void add(const PhaseStats& other);
 };
 
@@ -77,6 +94,9 @@ struct SimReport {
   /// gap is what the paper's phase-synchronous accounting leaves on the
   /// table (see bench_async).
   double async_makespan = 0.0;
+  /// Located fault occurrences recorded during the run (capped; the
+  /// PhaseStats counters are exhaustive even when this list is not).
+  std::vector<fault::FaultEvent> fault_events;
 
   [[nodiscard]] PhaseStats totals() const;
   /// Multi-line human-readable table.
@@ -130,9 +150,45 @@ class Machine {
     observer_ = std::move(obs);
   }
 
+  /// Install a deterministic fault plan (nullptr clears).  Survives
+  /// reset_stats(), so operands can be staged before the measured run.  With
+  /// a non-empty structural fault set this resolves every dead node's
+  /// contraction host up front and verifies the live cube stays connected,
+  /// throwing fault::FaultAbort (kHostless / kUnroutable) when recovery is
+  /// impossible.  An installed-but-empty plan takes the exact fault-free
+  /// execution path: measured costs are bit-identical to no plan at all.
+  void set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan);
+  [[nodiscard]] bool has_fault_plan() const noexcept {
+    return fault_ != nullptr;
+  }
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const noexcept {
+    return fault_.get();
+  }
+
+  /// Physical host of logical node @p n under subcube contraction: @p n
+  /// itself unless its plan declares it dead.
+  [[nodiscard]] NodeId host_of(NodeId n) const;
+
+  /// Located faults recorded since reset_stats() (capped at a few hundred;
+  /// phase counters keep exact totals).
+  [[nodiscard]] std::span<const fault::FaultEvent> fault_events() const noexcept {
+    return fault_events_;
+  }
+
  private:
   PhaseStats& current_phase();
   void execute_round(const Round& round, PhaseStats& ph);
+  void execute_round_faulty(const Round& round, PhaseStats& ph);
+  /// A detoured logical transfer: the physical node path and its word count.
+  struct Detour {
+    std::vector<NodeId> path;
+    std::size_t words = 0;
+  };
+  void execute_detours(std::vector<Detour>& detours, PhaseStats& ph);
+  void apply_transients(NodeId src, NodeId dst, std::size_t words,
+                        PhaseStats& ph);
+  void note_link(NodeId src, NodeId dst, std::size_t words);
+  void record_event(fault::FaultEvent ev);
   void validate_round(const Round& round) const;
 
   // Run-wide asynchronous timing state (reset by reset_stats).  Transfers
@@ -155,6 +211,14 @@ class Machine {
   bool link_accounting_ = false;
   std::unordered_map<std::uint64_t, LinkLoad> link_traffic_;
   std::function<void(const Schedule&)> observer_;
+
+  // Fault-injection state.  host_ maps logical -> physical node and is
+  // non-empty exactly while a non-empty plan is installed; round_seq_ is the
+  // run-wide executed-round counter feeding the transient-fault hash.
+  std::shared_ptr<const fault::FaultPlan> fault_;
+  std::vector<NodeId> host_;
+  std::vector<fault::FaultEvent> fault_events_;
+  std::uint64_t round_seq_ = 0;
 };
 
 }  // namespace hcmm

@@ -12,11 +12,14 @@
 namespace hcmm {
 
 /// CSV with header: phase,a_ts,b_tw,messages,link_words,flops,comm_time,
-/// compute_time — one row per phase plus a TOTAL row.
+/// compute_time,retries,reroutes,extra_hops,fault_startups,fault_word_cost,
+/// fault_delay — one row per phase plus a TOTAL row.
 [[nodiscard]] std::string report_csv(const SimReport& report);
 
 /// JSON object: {"port": ..., "params": {...}, "phases": [...],
-/// "totals": {...}, "peak_words_total": ...}.
+/// "totals": {...}, "peak_words_total": ..., "fault_events": [...]}.
+/// Phase objects carry the resilience counters alongside the cost fields;
+/// fault events are {"kind", "src", "dst", "round", "attempt", "detail"}.
 [[nodiscard]] std::string report_json(const SimReport& report);
 
 /// JSON export of static-analysis findings: {"errors": n, "warnings": n,

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "hcmm/fault/plan.hpp"
 #include "hcmm/sim/schedule.hpp"
 #include "hcmm/sim/types.hpp"
 
@@ -30,5 +31,24 @@ struct RouteRequest {
 /// Requests with src == dst are no-ops and contribute no cost.
 [[nodiscard]] Schedule route_p2p(const Hypercube& cube, PortModel port,
                                  std::span<const RouteRequest> reqs);
+
+/// Deterministic shortest path src..dst that avoids failed links and dead
+/// intermediate nodes (the endpoints themselves are accepted as given — the
+/// caller has already resolved contraction hosts).  Tie-breaking is
+/// lowest-dimension-first, so on a healthy cube the result is exactly the
+/// e-cube path (correct the lowest differing bit each hop).  Returns the
+/// node sequence including both endpoints; empty when unreachable.
+[[nodiscard]] std::vector<NodeId> fault_aware_path(const Hypercube& cube,
+                                                   const fault::FaultSet& faults,
+                                                   NodeId src, NodeId dst);
+
+/// route_p2p that detours around @p faults: every message follows its
+/// fault_aware_path, rounds are packed greedily under the port model.
+/// Degenerates to route_p2p's schedules when the fault set is empty.
+/// Throws CheckError when some request has no healthy path.
+[[nodiscard]] Schedule route_p2p_avoiding(const Hypercube& cube,
+                                          PortModel port,
+                                          std::span<const RouteRequest> reqs,
+                                          const fault::FaultSet& faults);
 
 }  // namespace hcmm

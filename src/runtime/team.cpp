@@ -1,15 +1,78 @@
 #include "hcmm/runtime/team.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "hcmm/support/check.hpp"
 
 namespace hcmm::rt {
+namespace {
 
-Team::Team(std::uint32_t ranks, std::chrono::milliseconds recv_timeout)
-    : ranks_(ranks), timeout_(recv_timeout) {
+/// Internal signal thrown by check_injections when a rank's injected death
+/// fires; Team::run converts it into that rank's primary failure.
+struct InjectedDeath {
+  std::uint64_t ops = 0;
+};
+
+[[nodiscard]] std::chrono::milliseconds resolve_timeout(
+    std::optional<std::chrono::milliseconds> explicit_timeout) {
+  if (explicit_timeout) return *explicit_timeout;
+  if (const char* env = std::getenv("HCMM_RT_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return std::chrono::milliseconds(v);
+    }
+  }
+  return std::chrono::milliseconds(30000);
+}
+
+}  // namespace
+
+Team::Team(std::uint32_t ranks,
+           std::optional<std::chrono::milliseconds> recv_timeout)
+    : ranks_(ranks), timeout_(resolve_timeout(recv_timeout)) {
   HCMM_CHECK(ranks >= 1 && ranks <= 4096, "Team: bad rank count " << ranks);
+}
+
+void Team::inject_rank_death(std::uint32_t rank, std::uint64_t after_ops) {
+  HCMM_CHECK(rank < ranks_, "inject_rank_death: rank " << rank
+                                                       << " out of range");
+  std::lock_guard lock(mu_);
+  death_at_[rank] = after_ops;
+}
+
+void Team::inject_rank_delay(std::uint32_t rank,
+                             std::chrono::milliseconds delay) {
+  HCMM_CHECK(rank < ranks_, "inject_rank_delay: rank " << rank
+                                                       << " out of range");
+  std::lock_guard lock(mu_);
+  delay_[rank] = delay;
+}
+
+void Team::clear_injections() {
+  std::lock_guard lock(mu_);
+  death_at_.clear();
+  delay_.clear();
+}
+
+void Team::check_injections(std::uint32_t rank) {
+  bool die = false;
+  std::uint64_t ops = 0;
+  std::chrono::milliseconds delay{0};
+  {
+    std::lock_guard lock(mu_);
+    ops = op_counts_[rank]++;
+    const auto dit = death_at_.find(rank);
+    if (dit != death_at_.end() && ops >= dit->second) die = true;
+    const auto sit = delay_.find(rank);
+    if (sit != delay_.end()) delay = sit->second;
+  }
+  if (die) throw InjectedDeath{ops};
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
 }
 
 void Team::run(const std::function<void(Rank&)>& fn) {
@@ -18,34 +81,73 @@ void Team::run(const std::function<void(Rank&)>& fn) {
     mailboxes_.clear();
     barrier_waiting_ = 0;
     failed_ = false;
+    dead_ranks_.clear();
+    rank_errors_.clear();
+    recv_retries_ = 0;
+    op_counts_.assign(ranks_, 0);
   }
-  std::vector<std::thread> threads;
-  threads.reserve(ranks_);
   std::mutex err_mu;
   std::exception_ptr first_error;
+  const auto register_failure = [&](std::uint32_t r, std::string msg,
+                                    std::exception_ptr ep) {
+    {
+      std::lock_guard lock(err_mu);
+      if (ep && !first_error) first_error = ep;
+    }
+    std::lock_guard lock(mu_);
+    rank_errors_.push_back(RankError{r, std::move(msg)});
+    dead_ranks_.insert(r);
+    failed_ = true;
+    cv_.notify_all();
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
   for (std::uint32_t r = 0; r < ranks_; ++r) {
-    threads.emplace_back([this, &fn, r, &err_mu, &first_error] {
+    threads.emplace_back([this, &fn, r, &register_failure] {
       Rank rank(*this, r);
       try {
         fn(rank);
+      } catch (const InjectedDeath& d) {
+        register_failure(r,
+                         "injected rank death (after " + std::to_string(d.ops) +
+                             " team ops)",
+                         nullptr);
+      } catch (const PeerAbort&) {
+        // Secondary: the primary failure is already registered.
+      } catch (const DeadPeerError&) {
+        // Secondary: diagnosed consequence of an already-dead peer.
+      } catch (const std::exception& e) {
+        register_failure(r, e.what(), std::current_exception());
       } catch (...) {
-        {
-          std::lock_guard lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        std::lock_guard lock(mu_);
-        failed_ = true;
-        cv_.notify_all();
+        register_failure(r, "unknown exception", std::current_exception());
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::lock_guard lock(mu_);
+  if (rank_errors_.empty()) return;
+  std::sort(rank_errors_.begin(), rank_errors_.end(),
+            [](const RankError& a, const RankError& b) {
+              return a.rank < b.rank;
+            });
+  if (rank_errors_.size() == 1 && first_error) {
+    std::rethrow_exception(first_error);
+  }
+  std::ostringstream os;
+  os << "Team: " << rank_errors_.size() << " rank(s) failed";
+  const char* sep = " — ";
+  for (const RankError& e : rank_errors_) {
+    os << sep << "rank " << e.rank << ": " << e.message;
+    sep = "; ";
+  }
+  throw std::runtime_error(os.str());
 }
 
 void Team::send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
                 Matrix m) {
   HCMM_CHECK(to < ranks_, "Team::send: rank " << to << " out of range");
+  check_injections(from);
   {
     std::lock_guard lock(mu_);
     mailboxes_[Key{to, from, tag}].push_back(std::move(m));
@@ -55,14 +157,44 @@ void Team::send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
 
 Matrix Team::recv(std::uint32_t to, std::uint32_t from, std::uint64_t tag) {
   HCMM_CHECK(from < ranks_, "Team::recv: rank " << from << " out of range");
+  check_injections(to);
   std::unique_lock lock(mu_);
   const Key key{to, from, tag};
-  const bool ok = cv_.wait_for(lock, timeout_, [&] {
+  const auto ready = [&] {
     if (failed_) return true;
     const auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
-  });
-  if (failed_) throw std::runtime_error("Team: aborting after peer failure");
+  };
+  // Wait in doubling slices: a slow peer costs extra slices (counted as
+  // retries), never an abort, until the full timeout budget is spent.
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  auto slice = std::max(timeout_ / 8, std::chrono::milliseconds(1));
+  bool ok = ready();
+  while (!ok) {
+    if (dead_ranks_.contains(from)) {
+      throw DeadPeerError(from, "Team::recv: rank " + std::to_string(to) +
+                                    " was waiting on dead rank " +
+                                    std::to_string(from));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto wait = std::min<std::chrono::steady_clock::duration>(
+        slice, deadline - now);
+    if (cv_.wait_for(lock, wait, ready)) {
+      ok = true;
+    } else {
+      recv_retries_ += 1;
+      slice *= 2;
+    }
+  }
+  if (failed_) {
+    if (dead_ranks_.contains(from)) {
+      throw DeadPeerError(from, "Team::recv: rank " + std::to_string(to) +
+                                    " was waiting on dead rank " +
+                                    std::to_string(from));
+    }
+    throw PeerAbort("Team: aborting after peer failure");
+  }
   HCMM_CHECK(ok, "Team::recv: rank " << to << " timed out waiting for ("
                                      << from << ", tag " << tag
                                      << ") — deadlock?");
@@ -73,7 +205,8 @@ Matrix Team::recv(std::uint32_t to, std::uint32_t from, std::uint64_t tag) {
   return m;
 }
 
-void Team::barrier_wait() {
+void Team::barrier_wait(std::uint32_t rank) {
+  check_injections(rank);
   std::unique_lock lock(mu_);
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
@@ -85,7 +218,7 @@ void Team::barrier_wait() {
   const bool ok = cv_.wait_for(lock, timeout_, [&] {
     return failed_ || barrier_generation_ != gen;
   });
-  if (failed_) throw std::runtime_error("Team: aborting after peer failure");
+  if (failed_) throw PeerAbort("Team: aborting after peer failure");
   HCMM_CHECK(ok, "Team::barrier: timed out — a rank is missing");
 }
 

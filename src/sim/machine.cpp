@@ -1,12 +1,14 @@
 #include "hcmm/sim/machine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
 
 #include "hcmm/analysis/legality.hpp"
+#include "hcmm/sim/router.hpp"
 #include "hcmm/support/check.hpp"
 
 namespace hcmm {
@@ -23,6 +25,12 @@ void PhaseStats::add(const PhaseStats& other) {
   flops += other.flops;
   comm_time += other.comm_time;
   compute_time += other.compute_time;
+  retries += other.retries;
+  reroutes += other.reroutes;
+  extra_hops += other.extra_hops;
+  fault_startups += other.fault_startups;
+  fault_word_cost += other.fault_word_cost;
+  fault_delay += other.fault_delay;
 }
 
 LinkBalance summarize_links(std::span<const LinkLoad> loads,
@@ -68,7 +76,15 @@ std::string SimReport::to_string() const {
        << std::setw(14) << p.compute_time << "\n";
   };
   for (const auto& p : phases) row(p);
-  row(totals());
+  const PhaseStats t = totals();
+  row(t);
+  if (t.faulted() || !fault_events.empty()) {
+    os << "faults: retries=" << t.retries << " reroutes=" << t.reroutes
+       << " extra_hops=" << t.extra_hops << " +startups=" << t.fault_startups
+       << " +words=" << std::setprecision(1) << t.fault_word_cost
+       << " delay=" << t.fault_delay << " events=" << fault_events.size()
+       << "\n";
+  }
   os << "peak store words (all nodes): " << peak_words_total << "\n";
   return os.str();
 }
@@ -93,11 +109,67 @@ void Machine::begin_phase(std::string name) {
 void Machine::run(const Schedule& s) {
   if (observer_) observer_(s);
   PhaseStats& ph = current_phase();
+  // An absent or empty plan takes the exact fault-free path so installing an
+  // empty FaultPlan is guaranteed bit-identical to no plan at all.
+  const bool faulty = fault_ && !fault_->empty();
   for (const Round& round : s.rounds) {
     if (round.empty()) continue;
     validate_round(round);
-    execute_round(round, ph);
+    if (faulty) {
+      execute_round_faulty(round, ph);
+    } else {
+      execute_round(round, ph);
+    }
+    round_seq_ += 1;
   }
+}
+
+void Machine::set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
+  fault_ = std::move(plan);
+  fault_events_.clear();
+  host_.clear();
+  if (!fault_ || fault_->empty()) return;
+  const fault::FaultSet& fs = fault_->set;
+  if (!fs.empty()) {
+    // Rerouting is only guaranteed while the live part of the cube stays
+    // connected; diagnose that up front instead of deep inside a phase.
+    if (!fs.connected(cube_)) {
+      fault::FaultEvent ev;
+      ev.kind = fault::FaultKind::kUnroutable;
+      ev.detail = "failed links/nodes disconnect the live cube";
+      throw fault::FaultAbort(std::move(ev));
+    }
+  }
+  host_.resize(cube_.size());
+  for (NodeId n = 0; n < cube_.size(); ++n) {
+    host_[n] = fs.host(cube_, n);  // throws FaultAbort(kHostless) if stuck
+    if (host_[n] != n) {
+      record_event({fault::FaultKind::kNodeDeath, n, host_[n], 0, 0,
+                    "contracted onto live partner"});
+    }
+  }
+}
+
+NodeId Machine::host_of(NodeId n) const {
+  HCMM_CHECK(cube_.contains(n), "host_of: node " << n << " out of range");
+  return host_.empty() ? n : host_[n];
+}
+
+void Machine::record_event(fault::FaultEvent ev) {
+  // The event list is a diagnosis aid, not an exhaustive log; phase counters
+  // (retries/reroutes/...) stay exact past the cap.
+  constexpr std::size_t kMaxEvents = 256;
+  if (fault_events_.size() < kMaxEvents) fault_events_.push_back(std::move(ev));
+}
+
+void Machine::note_link(NodeId src, NodeId dst, std::size_t words) {
+  if (!link_accounting_) return;
+  const std::uint64_t lk = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto& ll = link_traffic_[lk];
+  ll.src = src;
+  ll.dst = dst;
+  ll.words += words;
+  ll.messages += 1;
 }
 
 void Machine::validate_round(const Round& round) const {
@@ -199,12 +271,237 @@ void Machine::execute_round(const Round& round, PhaseStats& ph) {
   ph.comm_time += params_.ts + params_.tw * static_cast<double>(round_words);
 }
 
+void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
+  const fault::FaultSet& fs = fault_->set;
+  const double comm_before = ph.comm_time;
+
+  struct Delivery {
+    NodeId dst;
+    Tag tag;
+    Payload payload;
+    bool combine;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<std::pair<NodeId, Tag>> erasures;
+
+  // Physical single-link hops that survive contraction unscathed.
+  struct Hop {
+    NodeId src;
+    NodeId dst;
+    std::size_t words;
+  };
+  std::vector<Hop> direct;
+  std::vector<Detour> detours;
+
+  const bool contracted = !host_.empty();
+  for (const Transfer& t : round.transfers) {
+    std::size_t words = 0;
+    for (const Tag tag : t.tags) {
+      Payload p = store_.get(t.src, tag);  // throws if absent: schedule bug
+      words += p->size();
+      deliveries.push_back({t.dst, tag, std::move(p), t.combine});
+      if (t.move_src) erasures.emplace_back(t.src, tag);
+    }
+    const NodeId ps = contracted ? host_[t.src] : t.src;
+    const NodeId pd = contracted ? host_[t.dst] : t.dst;
+    if (ps == pd) continue;  // contraction made it node-local: a free move
+    if (cube_.are_neighbors(ps, pd) && !fs.link_failed(ps, pd)) {
+      direct.push_back({ps, pd, words});
+      ph.messages += 1;
+      ph.link_words += words;
+      note_link(ps, pd, words);
+    } else {
+      std::vector<NodeId> path = fault_aware_path(cube_, fs, ps, pd);
+      if (path.size() < 2) {
+        fault::FaultEvent ev;
+        ev.kind = fault::FaultKind::kUnroutable;
+        ev.src = ps;
+        ev.dst = pd;
+        ev.round = round_seq_;
+        ev.detail = "no healthy path between physical endpoints";
+        throw fault::FaultAbort(std::move(ev));
+      }
+      record_event({fault::FaultKind::kReroute, ps, pd, round_seq_, 0,
+                    std::to_string(path.size() - 1) + " hops"});
+      ph.reroutes += 1;
+      ph.extra_hops += path.size() - 2;
+      ph.messages += path.size() - 1;  // every hop is a physical message
+      ph.link_words += words * (path.size() - 1);
+      detours.push_back({std::move(path), words});
+    }
+  }
+
+  if (!direct.empty()) {
+    std::unordered_map<std::uint64_t, std::size_t> out_words;
+    std::unordered_map<std::uint64_t, std::size_t> in_words;
+    std::unordered_map<std::uint64_t, std::uint64_t> out_msgs;
+    std::unordered_map<std::uint64_t, std::uint64_t> in_msgs;
+    for (const Hop& h : direct) {
+      const analysis::PortKeys keys = analysis::port_keys(port_, h.src, h.dst);
+      out_words[keys.out] += h.words;
+      in_words[keys.in] += h.words;
+      out_msgs[keys.out] += 1;
+      in_msgs[keys.in] += 1;
+    }
+    std::size_t round_words = 0;
+    for (const auto& [k, w] : out_words) round_words = std::max(round_words, w);
+    for (const auto& [k, w] : in_words) round_words = std::max(round_words, w);
+    // Contraction can map several logical endpoints onto one physical port;
+    // that port serializes its messages, costing start-ups beyond this
+    // round's one (the word-times already serialize via the sums above).
+    std::uint64_t serial = 1;
+    for (const auto& [k, c] : out_msgs) serial = std::max(serial, c);
+    for (const auto& [k, c] : in_msgs) serial = std::max(serial, c);
+    const std::uint64_t extra = serial - 1;
+    ph.rounds += 1 + extra;
+    ph.fault_startups += extra;
+    ph.word_cost += static_cast<double>(round_words);
+    ph.comm_time += static_cast<double>(1 + extra) * params_.ts +
+                    params_.tw * static_cast<double>(round_words);
+    for (const Hop& h : direct) apply_transients(h.src, h.dst, h.words, ph);
+  }
+
+  if (!detours.empty()) execute_detours(detours, ph);
+
+  // All reads above saw pre-round state; now apply moves, then deliveries.
+  // The store stays logical throughout — contraction and detours change
+  // costs, never payload placement, so faulted runs stay numerically exact.
+  for (const auto& [node, tag] : erasures) store_.erase(node, tag);
+  for (auto& d : deliveries) {
+    if (d.combine) {
+      store_.combine(d.dst, d.tag, d.payload);
+    } else {
+      store_.put_shared(d.dst, d.tag, std::move(d.payload));
+    }
+  }
+
+  // Under faults the asynchronous timing degrades to the phase-synchronous
+  // accounting: each repaired round acts as a global barrier (documented
+  // approximation, see docs/FAULTS.md).
+  async_.floor =
+      std::max(async_.floor, async_.makespan) + (ph.comm_time - comm_before);
+  async_.makespan = async_.floor;
+}
+
+void Machine::apply_transients(NodeId src, NodeId dst, std::size_t words,
+                               PhaseStats& ph) {
+  const fault::TransientSpec& tr = fault_->transient;
+  if (!tr.any()) return;
+  for (std::uint32_t attempt = 1; attempt <= tr.max_attempts; ++attempt) {
+    const fault::FaultKind k =
+        fault_->attempt_outcome(round_seq_, src, dst, attempt);
+    if (k == fault::FaultKind::kNone) return;
+    if (k == fault::FaultKind::kSpike) {
+      record_event({fault::FaultKind::kSpike, src, dst, round_seq_, attempt,
+                    "delivered late"});
+      ph.comm_time += tr.spike_time;
+      ph.fault_delay += tr.spike_time;
+      return;  // delivered, just late
+    }
+    // Drop or detected corruption: the attempt is wasted and the message
+    // must be resent after an exponential backoff.
+    record_event({k, src, dst, round_seq_, attempt, ""});
+    if (attempt == tr.max_attempts) {
+      fault::FaultEvent ev;
+      ev.kind = fault::FaultKind::kRetryExhausted;
+      ev.src = src;
+      ev.dst = dst;
+      ev.round = round_seq_;
+      ev.attempt = attempt;
+      ev.detail = std::string(fault::to_string(k)) + " persisted through " +
+                  std::to_string(tr.max_attempts) + " attempts";
+      throw fault::FaultAbort(std::move(ev));
+    }
+    const double backoff =
+        tr.backoff_base * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+    ph.retries += 1;
+    ph.rounds += 1;  // the resend is one more start-up on the critical path
+    ph.fault_startups += 1;
+    ph.word_cost += static_cast<double>(words);
+    ph.fault_word_cost += static_cast<double>(words);
+    ph.comm_time +=
+        params_.ts + params_.tw * static_cast<double>(words) + backoff;
+    ph.fault_delay += backoff;
+  }
+}
+
+void Machine::execute_detours(std::vector<Detour>& detours, PhaseStats& ph) {
+  struct InFlight {
+    const Detour* d;
+    std::size_t pos;
+  };
+  std::vector<InFlight> live;
+  live.reserve(detours.size());
+  for (const Detour& d : detours) live.push_back({&d, 0});
+
+  // A placeholder tag lets repair rounds face the shared legality rules;
+  // repair transfers are cost-only and never touch the store.
+  const Tag kRepairTag = make_tag(0xFFFF);
+  while (!live.empty()) {
+    Round repair;
+    std::vector<std::size_t> hop_words;
+    std::unordered_map<std::uint64_t, std::size_t> out_words;
+    std::unordered_map<std::uint64_t, std::size_t> in_words;
+    for (InFlight& m : live) {
+      const NodeId cur = m.d->path[m.pos];
+      const NodeId next = m.d->path[m.pos + 1];
+      const analysis::PortKeys keys = analysis::port_keys(port_, cur, next);
+      if (out_words.contains(keys.out) || in_words.contains(keys.in)) continue;
+      out_words[keys.out] = m.d->words;
+      in_words[keys.in] = m.d->words;
+      repair.transfers.push_back(Transfer{.src = cur,
+                                          .dst = next,
+                                          .tags = {kRepairTag},
+                                          .combine = false,
+                                          .move_src = false});
+      hop_words.push_back(m.d->words);
+      note_link(cur, next, m.d->words);
+      ++m.pos;
+    }
+    HCMM_CHECK(!repair.empty(), "execute_detours: no progress (internal error)");
+    // Repaired rounds are re-validated through the same legality rules that
+    // gate every original round — recovery may not bend the architecture.
+    const auto viols = analysis::check_round(cube_, port_, repair);
+    HCMM_CHECK(viols.empty(),
+               "repair round illegal: " << viols.front().message);
+    std::size_t round_words = 0;
+    for (const auto& [k, w] : out_words) round_words = std::max(round_words, w);
+    for (const auto& [k, w] : in_words) round_words = std::max(round_words, w);
+    ph.rounds += 1;
+    ph.fault_startups += 1;
+    ph.word_cost += static_cast<double>(round_words);
+    ph.fault_word_cost += static_cast<double>(round_words);
+    ph.comm_time += params_.ts + params_.tw * static_cast<double>(round_words);
+    for (std::size_t i = 0; i < repair.transfers.size(); ++i) {
+      apply_transients(repair.transfers[i].src, repair.transfers[i].dst,
+                       hop_words[i], ph);
+    }
+    std::erase_if(live, [](const InFlight& m) {
+      return m.pos + 1 == m.d->path.size();
+    });
+  }
+}
+
 void Machine::charge_compute(
     std::span<const std::pair<NodeId, std::uint64_t>> per_node) {
   std::uint64_t max_flops = 0;
-  for (const auto& [node, flops] : per_node) {
-    HCMM_CHECK(cube_.contains(node), "charge_compute: node out of range");
-    max_flops = std::max(max_flops, flops);
+  if (!host_.empty()) {
+    // Subcube contraction: a host executes its own work plus the work of
+    // every dead node it absorbed, so flops aggregate per physical host
+    // before taking the bulk-synchronous max.
+    std::unordered_map<NodeId, std::uint64_t> per_host;
+    for (const auto& [node, flops] : per_node) {
+      HCMM_CHECK(cube_.contains(node), "charge_compute: node out of range");
+      per_host[host_[node]] += flops;
+    }
+    for (const auto& [h, flops] : per_host) {
+      max_flops = std::max(max_flops, flops);
+    }
+  } else {
+    for (const auto& [node, flops] : per_node) {
+      HCMM_CHECK(cube_.contains(node), "charge_compute: node out of range");
+      max_flops = std::max(max_flops, flops);
+    }
   }
   PhaseStats& ph = current_phase();
   ph.flops += max_flops;
@@ -222,6 +519,7 @@ SimReport Machine::report() const {
   r.phases = phases_;
   r.async_makespan = std::max(async_.makespan, async_.floor);
   r.peak_words_total = store_.total_peak_words();
+  r.fault_events = fault_events_;
   return r;
 }
 
@@ -230,6 +528,15 @@ void Machine::reset_stats() {
   store_.reset_peaks();
   link_traffic_.clear();
   async_ = AsyncState{};
+  fault_events_.clear();
+  round_seq_ = 0;
+  // Structural faults outlive a stats reset; keep their events visible.
+  for (NodeId n = 0; n < static_cast<NodeId>(host_.size()); ++n) {
+    if (host_[n] != n) {
+      record_event({fault::FaultKind::kNodeDeath, n, host_[n], 0, 0,
+                    "contracted onto live partner"});
+    }
+  }
 }
 
 std::vector<LinkLoad> Machine::link_loads() const {

@@ -8,7 +8,9 @@ namespace {
 void csv_row(std::ostringstream& os, const PhaseStats& p) {
   os << '"' << p.name << "\"," << p.rounds << ',' << p.word_cost << ','
      << p.messages << ',' << p.link_words << ',' << p.flops << ','
-     << p.comm_time << ',' << p.compute_time << '\n';
+     << p.comm_time << ',' << p.compute_time << ',' << p.retries << ','
+     << p.reroutes << ',' << p.extra_hops << ',' << p.fault_startups << ','
+     << p.fault_word_cost << ',' << p.fault_delay << '\n';
 }
 
 void json_escape(std::ostringstream& os, const std::string& s) {
@@ -26,14 +28,28 @@ void json_phase(std::ostringstream& os, const PhaseStats& p) {
   os << ", \"a_ts\": " << p.rounds << ", \"b_tw\": " << p.word_cost
      << ", \"messages\": " << p.messages << ", \"link_words\": "
      << p.link_words << ", \"flops\": " << p.flops << ", \"comm_time\": "
-     << p.comm_time << ", \"compute_time\": " << p.compute_time << "}";
+     << p.comm_time << ", \"compute_time\": " << p.compute_time
+     << ", \"retries\": " << p.retries << ", \"reroutes\": " << p.reroutes
+     << ", \"extra_hops\": " << p.extra_hops << ", \"fault_startups\": "
+     << p.fault_startups << ", \"fault_word_cost\": " << p.fault_word_cost
+     << ", \"fault_delay\": " << p.fault_delay << "}";
+}
+
+void json_fault_event(std::ostringstream& os, const fault::FaultEvent& e) {
+  os << "{\"kind\": \"" << fault::to_string(e.kind) << "\", \"src\": " << e.src
+     << ", \"dst\": " << e.dst << ", \"round\": " << e.round
+     << ", \"attempt\": " << e.attempt << ", \"detail\": ";
+  json_escape(os, e.detail);
+  os << "}";
 }
 
 }  // namespace
 
 std::string report_csv(const SimReport& report) {
   std::ostringstream os;
-  os << "phase,a_ts,b_tw,messages,link_words,flops,comm_time,compute_time\n";
+  os << "phase,a_ts,b_tw,messages,link_words,flops,comm_time,compute_time,"
+        "retries,reroutes,extra_hops,fault_startups,fault_word_cost,"
+        "fault_delay\n";
   for (const auto& p : report.phases) csv_row(os, p);
   csv_row(os, report.totals());
   return os.str();
@@ -50,7 +66,13 @@ std::string report_json(const SimReport& report) {
   }
   os << "], \"totals\": ";
   json_phase(os, report.totals());
-  os << ", \"peak_words_total\": " << report.peak_words_total << "}";
+  os << ", \"peak_words_total\": " << report.peak_words_total
+     << ", \"fault_events\": [";
+  for (std::size_t i = 0; i < report.fault_events.size(); ++i) {
+    if (i != 0) os << ", ";
+    json_fault_event(os, report.fault_events[i]);
+  }
+  os << "]}";
   return os.str();
 }
 

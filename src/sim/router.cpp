@@ -59,4 +59,110 @@ Schedule route_p2p(const Hypercube& cube, PortModel port,
   return out;
 }
 
+std::vector<NodeId> fault_aware_path(const Hypercube& cube,
+                                     const fault::FaultSet& faults,
+                                     NodeId src, NodeId dst) {
+  HCMM_CHECK(cube.contains(src) && cube.contains(dst),
+             "fault_aware_path: endpoint out of range");
+  if (src == dst) return {src};
+  // A node may carry traffic iff it is alive; the endpoints are exempt (the
+  // caller has already mapped dead endpoints to their contraction hosts).
+  const auto usable = [&](NodeId n) {
+    return n == src || n == dst || !faults.node_dead(n);
+  };
+  // BFS from dst gives dist-to-destination; the walk from src then always
+  // steps to the lowest-dimension neighbor one closer to dst, which on a
+  // healthy cube is precisely the e-cube order.
+  constexpr std::uint32_t kUnreached = ~0u;
+  std::vector<std::uint32_t> dist(cube.size(), kUnreached);
+  dist[dst] = 0;
+  std::vector<NodeId> frontier{dst};
+  while (!frontier.empty() && dist[src] == kUnreached) {
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+        const NodeId v = cube.neighbor(u, k);
+        if (dist[v] != kUnreached || !usable(v) || faults.link_failed(u, v)) {
+          continue;
+        }
+        dist[v] = dist[u] + 1;
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (dist[src] == kUnreached) return {};
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+      const NodeId v = cube.neighbor(cur, k);
+      if (dist[v] == dist[cur] - 1 && usable(v) && !faults.link_failed(cur, v)) {
+        cur = v;
+        break;
+      }
+    }
+    path.push_back(cur);
+  }
+  return path;
+}
+
+Schedule route_p2p_avoiding(const Hypercube& cube, PortModel port,
+                            std::span<const RouteRequest> reqs,
+                            const fault::FaultSet& faults) {
+  struct InFlight {
+    std::vector<NodeId> path;
+    std::size_t pos;
+    const RouteRequest* req;
+  };
+  std::vector<InFlight> live;
+  live.reserve(reqs.size());
+  for (const RouteRequest& r : reqs) {
+    HCMM_CHECK(cube.contains(r.src) && cube.contains(r.dst),
+               "route_p2p_avoiding: endpoint out of range");
+    HCMM_CHECK(!r.tags.empty(), "route_p2p_avoiding: request with no tags");
+    if (r.src == r.dst) continue;
+    std::vector<NodeId> path = fault_aware_path(cube, faults, r.src, r.dst);
+    HCMM_CHECK(!path.empty(), "route_p2p_avoiding: no healthy path "
+                                  << r.src << " -> " << r.dst
+                                  << " (failed set disconnects the cube)");
+    live.push_back({std::move(path), 0, &r});
+  }
+
+  Schedule out;
+  while (!live.empty()) {
+    Round round;
+    std::unordered_set<std::uint64_t> out_busy;
+    std::unordered_set<std::uint64_t> in_busy;
+    for (auto& m : live) {
+      const NodeId cur = m.path[m.pos];
+      const NodeId next = m.path[m.pos + 1];
+      const auto dim = exact_log2(cur ^ next);
+      std::uint64_t out_key;
+      std::uint64_t in_key;
+      if (port == PortModel::kOnePort) {
+        out_key = cur;
+        in_key = next;
+      } else {
+        out_key = (static_cast<std::uint64_t>(cur) << 8) | dim;
+        in_key = (static_cast<std::uint64_t>(next) << 8) | dim;
+      }
+      if (out_busy.contains(out_key) || in_busy.contains(in_key)) continue;
+      out_busy.insert(out_key);
+      in_busy.insert(in_key);
+      round.transfers.push_back(Transfer{.src = cur,
+                                         .dst = next,
+                                         .tags = m.req->tags,
+                                         .combine = false,
+                                         .move_src = true});
+      ++m.pos;
+    }
+    HCMM_CHECK(!round.empty(), "route_p2p_avoiding: no progress (internal error)");
+    out.rounds.push_back(std::move(round));
+    std::erase_if(live,
+                  [](const InFlight& m) { return m.pos + 1 == m.path.size(); });
+  }
+  return out;
+}
+
 }  // namespace hcmm

@@ -1,0 +1,382 @@
+// Tests for the fault-injection subsystem: FaultSet structure, deterministic
+// transient outcomes, fault-aware routing, and the Machine's layered
+// recovery (retry/backoff, rerouting, subcube contraction) with its
+// resilience accounting — including the zero-overhead guarantee for an
+// installed-but-empty plan.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/fault/scenarios.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/router.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+const Tag kTA = make_tag(1);
+
+Schedule single(Transfer t) {
+  Schedule s;
+  s.rounds.push_back(Round{.transfers = {std::move(t)}});
+  return s;
+}
+
+std::shared_ptr<const fault::FaultPlan> plan_of(fault::FaultPlan p) {
+  return std::make_shared<const fault::FaultPlan>(std::move(p));
+}
+
+TEST(FaultSet, LinksAreUndirectedAndNodesTracked) {
+  fault::FaultSet fs;
+  EXPECT_TRUE(fs.empty());
+  fs.fail_link(3, 7);
+  EXPECT_TRUE(fs.link_failed(3, 7));
+  EXPECT_TRUE(fs.link_failed(7, 3));
+  EXPECT_FALSE(fs.link_failed(3, 1));
+  fs.kill_node(5);
+  EXPECT_TRUE(fs.node_dead(5));
+  EXPECT_FALSE(fs.node_dead(4));
+  EXPECT_FALSE(fs.empty());
+}
+
+TEST(FaultSet, ConnectedDetectsDisconnection) {
+  const Hypercube cube(2);
+  fault::FaultSet fs;
+  EXPECT_TRUE(fs.connected(cube));
+  fs.fail_link(0, 1);
+  EXPECT_TRUE(fs.connected(cube)) << "one failed link leaves a detour";
+  fs.fail_link(0, 2);
+  EXPECT_FALSE(fs.connected(cube)) << "node 0 is now isolated";
+}
+
+TEST(FaultSet, HostIsLowestDimensionLivePartner) {
+  const Hypercube cube(3);
+  fault::FaultSet fs;
+  fs.kill_node(5);
+  EXPECT_EQ(fs.host(cube, 5), 4u) << "5 ^ 1 = 4 is the dim-0 partner";
+  EXPECT_EQ(fs.host(cube, 4), 4u) << "live nodes host themselves";
+  fs.kill_node(4);
+  EXPECT_EQ(fs.host(cube, 5), 7u) << "dim-0 partner dead: next dimension";
+}
+
+TEST(FaultSet, HostlessDeathAborts) {
+  const Hypercube cube(1);
+  fault::FaultSet fs;
+  fs.kill_node(0);
+  fs.kill_node(1);
+  try {
+    (void)fs.host(cube, 0);
+    FAIL() << "expected FaultAbort";
+  } catch (const fault::FaultAbort& fa) {
+    EXPECT_EQ(fa.event().kind, fault::FaultKind::kHostless);
+  }
+}
+
+TEST(FaultPlan, AttemptOutcomeIsDeterministic) {
+  fault::FaultPlan p;
+  p.transient = fault::TransientSpec{.seed = 99,
+                                     .drop_prob = 0.3,
+                                     .corrupt_prob = 0.2,
+                                     .spike_prob = 0.1,
+                                     .spike_time = 10.0,
+                                     .max_attempts = 6,
+                                     .backoff_base = 1.0};
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+      EXPECT_EQ(p.attempt_outcome(round, 2, 3, attempt),
+                p.attempt_outcome(round, 2, 3, attempt));
+    }
+  }
+  fault::FaultPlan certain;
+  certain.transient.drop_prob = 1.0;
+  certain.transient.seed = 7;
+  EXPECT_EQ(certain.attempt_outcome(0, 0, 1, 1), fault::FaultKind::kDrop);
+  EXPECT_EQ(certain.attempt_outcome(9, 4, 5, 3), fault::FaultKind::kDrop);
+}
+
+TEST(FaultRouting, HealthyPathIsExactlyECube) {
+  const Hypercube cube(4);
+  const fault::FaultSet none;
+  for (const auto& [src, dst] :
+       {std::pair<NodeId, NodeId>{0, 15}, {3, 12}, {7, 8}, {5, 5}}) {
+    const auto path = fault_aware_path(cube, none, src, dst);
+    // The e-cube reference: correct the lowest differing bit each hop.
+    std::vector<NodeId> want{src};
+    NodeId cur = src;
+    while (cur != dst) {
+      cur = flip_bit(cur, static_cast<std::uint32_t>(
+                              std::countr_zero(cur ^ dst)));
+      want.push_back(cur);
+    }
+    EXPECT_EQ(path, want) << src << " -> " << dst;
+  }
+}
+
+TEST(FaultRouting, PathDetoursAroundFailedLink) {
+  const Hypercube cube(3);
+  fault::FaultSet fs;
+  fs.fail_link(0, 1);
+  const auto path = fault_aware_path(cube, fs, 0, 1);
+  ASSERT_EQ(path.size(), 4u) << "shortest detour has 3 hops";
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 1u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(cube.are_neighbors(path[i], path[i + 1]));
+    EXPECT_FALSE(fs.link_failed(path[i], path[i + 1]));
+  }
+}
+
+TEST(FaultRouting, PathAvoidsDeadIntermediates) {
+  const Hypercube cube(3);
+  fault::FaultSet fs;
+  fs.kill_node(1);
+  fs.kill_node(2);
+  const auto path = fault_aware_path(cube, fs, 0, 3);
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    EXPECT_FALSE(fs.node_dead(path[i]));
+  }
+}
+
+TEST(FaultRouting, AvoidingEqualsPlainWhenHealthy) {
+  const Hypercube cube(3);
+  const std::vector<RouteRequest> reqs{{0, 7, {kTA}}, {3, 4, {make_tag(2)}}};
+  for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    const Schedule a = route_p2p(cube, port, reqs);
+    const Schedule b = route_p2p_avoiding(cube, port, reqs, fault::FaultSet{});
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+      ASSERT_EQ(a.rounds[r].transfers.size(), b.rounds[r].transfers.size());
+      for (std::size_t t = 0; t < a.rounds[r].transfers.size(); ++t) {
+        EXPECT_EQ(a.rounds[r].transfers[t].src, b.rounds[r].transfers[t].src);
+        EXPECT_EQ(a.rounds[r].transfers[t].dst, b.rounds[r].transfers[t].dst);
+      }
+    }
+  }
+}
+
+TEST(MachineFaults, EmptyPlanIsBitIdentical) {
+  const auto alg = algo::make_algorithm(algo::AlgoId::kCannon);
+  const Matrix a = random_matrix(8, 8, 21);
+  const Matrix b = random_matrix(8, 8, 22);
+  for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    Machine plain(Hypercube(2), port, CostParams{});
+    const SimReport want = alg->run(a, b, plain).report;
+    Machine with(Hypercube(2), port, CostParams{});
+    with.set_fault_plan(plan_of(fault::FaultPlan{}));
+    const SimReport got = alg->run(a, b, with).report;
+    ASSERT_EQ(want.phases.size(), got.phases.size());
+    for (std::size_t i = 0; i < want.phases.size(); ++i) {
+      EXPECT_EQ(want.phases[i].rounds, got.phases[i].rounds);
+      EXPECT_EQ(want.phases[i].word_cost, got.phases[i].word_cost);
+      EXPECT_EQ(want.phases[i].comm_time, got.phases[i].comm_time);
+      EXPECT_EQ(want.phases[i].compute_time, got.phases[i].compute_time);
+      EXPECT_FALSE(got.phases[i].faulted());
+    }
+    EXPECT_EQ(want.async_makespan, got.async_makespan);
+    EXPECT_TRUE(got.fault_events.empty());
+  }
+}
+
+TEST(MachineFaults, FailedLinkIsDetouredWithAccounting) {
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  fault::FaultPlan p;
+  p.set.fail_link(0, 1);
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0, 2.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+  EXPECT_FALSE(m.store().has(0, kTA));
+  EXPECT_TRUE(m.store().has(1, kTA)) << "payload still lands logically";
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.reroutes, 1u);
+  EXPECT_EQ(t.extra_hops, 2u) << "3-hop detour = 2 hops beyond the link";
+  EXPECT_EQ(t.rounds, 3u) << "one repair round per detour hop";
+  EXPECT_EQ(t.fault_startups, 3u);
+  EXPECT_EQ(t.messages, 3u);
+  EXPECT_DOUBLE_EQ(t.comm_time, 3 * (10.0 + 2.0 * 2.0));
+  EXPECT_EQ(t.retries, 0u);
+}
+
+TEST(MachineFaults, NodeDeathContractsOntoPartner) {
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  fault::FaultPlan p;
+  p.set.kill_node(3);
+  m.set_fault_plan(plan_of(std::move(p)));
+  EXPECT_EQ(m.host_of(3), 2u) << "dim-0 partner absorbs the dead node";
+  EXPECT_EQ(m.host_of(2), 2u);
+
+  // Logical transfer 1 -> 3 physically becomes 1 -> 2 (not a link): detour.
+  m.store().put(1, kTA, {4.0});
+  m.run(single({.src = 1, .dst = 3, .tags = {kTA}, .move_src = true}));
+  EXPECT_TRUE(m.store().has(3, kTA)) << "the store stays logical";
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.reroutes, 1u);
+  EXPECT_EQ(t.extra_hops, 1u);
+
+  // A node-death event is on record.
+  bool death_seen = false;
+  for (const auto& ev : m.report().fault_events) {
+    death_seen |= ev.kind == fault::FaultKind::kNodeDeath && ev.src == 3;
+  }
+  EXPECT_TRUE(death_seen);
+}
+
+TEST(MachineFaults, ContractionLocalTransferIsFree) {
+  // 2 -> 3 with 3 hosted on 2: physically node-local, no cost at all.
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  fault::FaultPlan p;
+  p.set.kill_node(3);
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(2, kTA, {4.0});
+  m.run(single({.src = 2, .dst = 3, .tags = {kTA}, .move_src = true}));
+  EXPECT_TRUE(m.store().has(3, kTA));
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.rounds, 0u);
+  EXPECT_EQ(t.messages, 0u);
+  EXPECT_DOUBLE_EQ(t.comm_time, 0.0);
+}
+
+TEST(MachineFaults, ContractionSumsComputePerHost) {
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  fault::FaultPlan p;
+  p.set.kill_node(3);
+  m.set_fault_plan(plan_of(std::move(p)));
+  const std::vector<std::pair<NodeId, std::uint64_t>> work{{2, 10}, {3, 7},
+                                                           {4, 12}};
+  m.charge_compute(work);
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.flops, 17u) << "host 2 runs its own 10 plus dead 3's 7";
+  EXPECT_DOUBLE_EQ(t.compute_time, 17.0);
+}
+
+TEST(MachineFaults, TransientRetriesMatchThePlan) {
+  fault::FaultPlan p;
+  p.transient = fault::TransientSpec{.seed = 1234,
+                                     .drop_prob = 0.5,
+                                     .corrupt_prob = 0.0,
+                                     .spike_prob = 0.0,
+                                     .spike_time = 0.0,
+                                     .max_attempts = 20,
+                                     .backoff_base = 0.0};
+  // Derive the expected number of failed attempts from the plan itself
+  // (round_seq 0, link 0 -> 1), then check the machine agrees.
+  std::uint64_t expect_retries = 0;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    if (p.attempt_outcome(0, 0, 1, attempt) == fault::FaultKind::kNone) break;
+    ++expect_retries;
+  }
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0, 2.0, 3.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.retries, expect_retries);
+  EXPECT_EQ(t.rounds, 1u + expect_retries) << "each resend is a start-up";
+  EXPECT_DOUBLE_EQ(t.comm_time,
+                   static_cast<double>(1 + expect_retries) * (10.0 + 2.0 * 3.0));
+  EXPECT_DOUBLE_EQ(t.fault_word_cost, 3.0 * static_cast<double>(expect_retries));
+}
+
+TEST(MachineFaults, SpikeDelaysWithoutRetry) {
+  fault::FaultPlan p;
+  p.transient = fault::TransientSpec{.seed = 5,
+                                     .drop_prob = 0.0,
+                                     .corrupt_prob = 0.0,
+                                     .spike_prob = 1.0,
+                                     .spike_time = 400.0,
+                                     .max_attempts = 6,
+                                     .backoff_base = 0.0};
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{10.0, 2.0, 1.0});
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0});
+  m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+  const PhaseStats t = m.report().totals();
+  EXPECT_EQ(t.retries, 0u);
+  EXPECT_EQ(t.rounds, 1u);
+  EXPECT_DOUBLE_EQ(t.fault_delay, 400.0);
+  EXPECT_DOUBLE_EQ(t.comm_time, 10.0 + 2.0 + 400.0);
+}
+
+TEST(MachineFaults, ExhaustedRetryBudgetAbortsWithDiagnosis) {
+  fault::FaultPlan p;
+  p.transient.seed = 11;
+  p.transient.drop_prob = 1.0;
+  p.transient.max_attempts = 3;
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{});
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0});
+  try {
+    m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+    FAIL() << "expected FaultAbort";
+  } catch (const fault::FaultAbort& fa) {
+    EXPECT_EQ(fa.event().kind, fault::FaultKind::kRetryExhausted);
+    EXPECT_EQ(fa.event().src, 0u);
+    EXPECT_EQ(fa.event().dst, 1u);
+    EXPECT_EQ(fa.event().attempt, 3u);
+  }
+}
+
+TEST(MachineFaults, DisconnectingPlanIsRejectedAtInstall) {
+  Machine m(Hypercube(1), PortModel::kOnePort, CostParams{});
+  fault::FaultPlan p;
+  p.set.fail_link(0, 1);  // the only link of a 2-node cube
+  try {
+    m.set_fault_plan(plan_of(std::move(p)));
+    FAIL() << "expected FaultAbort";
+  } catch (const fault::FaultAbort& fa) {
+    EXPECT_EQ(fa.event().kind, fault::FaultKind::kUnroutable);
+  }
+}
+
+TEST(PhaseStats, AddSumsResilienceFields) {
+  PhaseStats a;
+  a.retries = 2;
+  a.reroutes = 1;
+  a.extra_hops = 3;
+  a.fault_startups = 4;
+  a.fault_word_cost = 5.0;
+  a.fault_delay = 6.0;
+  PhaseStats b = a;
+  b.add(a);
+  EXPECT_EQ(b.retries, 4u);
+  EXPECT_EQ(b.reroutes, 2u);
+  EXPECT_EQ(b.extra_hops, 6u);
+  EXPECT_EQ(b.fault_startups, 8u);
+  EXPECT_DOUBLE_EQ(b.fault_word_cost, 10.0);
+  EXPECT_DOUBLE_EQ(b.fault_delay, 12.0);
+  EXPECT_TRUE(b.faulted());
+  EXPECT_FALSE(PhaseStats{}.faulted());
+}
+
+TEST(Scenarios, CatalogueIsDeterministicAndConnected) {
+  const Hypercube cube(3);
+  const auto s1 = fault::chaos_scenarios(cube, 42);
+  const auto s2 = fault::chaos_scenarios(cube, 42);
+  ASSERT_EQ(s1.size(), 6u);
+  EXPECT_EQ(s1.front().name, "baseline-empty-plan");
+  EXPECT_TRUE(s1.front().plan.empty());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].name, s2[i].name);
+    EXPECT_EQ(s1[i].plan.set.failed_links(), s2[i].plan.set.failed_links());
+    EXPECT_EQ(s1[i].plan.set.dead_nodes(), s2[i].plan.set.dead_nodes());
+    EXPECT_TRUE(s1[i].plan.set.connected(cube)) << s1[i].name;
+  }
+}
+
+TEST(Scenarios, RandomLinkFaultsKeepCubeConnected) {
+  const Hypercube cube(4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const fault::FaultSet fs =
+        fault::random_connected_link_faults(cube, seed, 4);
+    EXPECT_EQ(fs.failed_links().size(), 4u);
+    EXPECT_TRUE(fs.connected(cube));
+  }
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -10,8 +10,12 @@
 
 #include <numeric>
 
+#include "hcmm/analysis/passes.hpp"
+#include "hcmm/analysis/placement.hpp"
 #include "hcmm/coll/collectives.hpp"
+#include "hcmm/fault/scenarios.hpp"
 #include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/router.hpp"
 #include "hcmm/support/prng.hpp"
 
 namespace hcmm {
@@ -182,6 +186,63 @@ TEST_P(FuzzColl, ReduceScatterRandomSizes) {
       for (std::size_t i = 0; i < sizes[r]; ++i) {
         EXPECT_NEAR(got[i], expect[r][i], 1e-9);
       }
+    }
+  }
+}
+
+// Property: for any connected set of failed links, the fault-aware router
+// produces a schedule that (a) never crosses a failed link, (b) passes every
+// static-analysis pass against the real initial placement, and (c) delivers
+// every payload when executed.
+TEST_P(FuzzColl, FaultAwareRoutingAvoidsLinksAndStaysLegal) {
+  Prng rng(GetParam() + 5000);
+  const analysis::Analyzer analyzer = analysis::Analyzer::with_default_passes();
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto port = rng.next_below(2) == 0 ? PortModel::kOnePort
+                                             : PortModel::kMultiPort;
+    Machine m(Hypercube(4), port, CostParams{7, 2, 1});
+    const fault::FaultSet faults = fault::random_connected_link_faults(
+        m.cube(), rng.next_u64(),
+        static_cast<std::uint32_t>(1 + rng.next_below(4)));
+    ASSERT_TRUE(faults.connected(m.cube()));
+
+    const std::size_t nreq = 1 + rng.next_below(6);
+    std::vector<RouteRequest> reqs;
+    std::vector<std::vector<double>> payloads;
+    for (std::size_t i = 0; i < nreq; ++i) {
+      const auto src = static_cast<NodeId>(rng.next_below(m.cube().size()));
+      const auto dst = static_cast<NodeId>(rng.next_below(m.cube().size()));
+      const Tag tag = make_tag(6, static_cast<std::uint16_t>(i));
+      payloads.push_back(random_payload(rng, 1 + rng.next_below(12)));
+      m.store().put(src, tag, payloads.back());
+      reqs.push_back(RouteRequest{src, dst, {tag}});
+    }
+
+    const Schedule s = route_p2p_avoiding(m.cube(), port, reqs, faults);
+    for (const Round& round : s.rounds) {
+      for (const Transfer& t : round.transfers) {
+        EXPECT_FALSE(faults.link_failed(t.src, t.dst))
+            << "trial " << trial << ": transfer " << t.src << "->" << t.dst
+            << " crosses a failed link";
+      }
+    }
+
+    const analysis::Placement placed = analysis::snapshot_placement(m.store());
+    analysis::AnalysisInput in;
+    in.schedule = &s;
+    in.cube = m.cube();
+    in.port = port;
+    in.initial = &placed;
+    const analysis::DiagnosticList dl = analyzer.analyze(in);
+    EXPECT_FALSE(dl.has_errors()) << "trial " << trial << ":\n"
+                                  << dl.to_string();
+
+    m.run(s);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_TRUE(m.store().has(reqs[i].dst, reqs[i].tags[0]))
+          << "trial " << trial << ": request " << i << " (" << reqs[i].src
+          << "->" << reqs[i].dst << ") undelivered";
+      EXPECT_EQ(*m.store().get(reqs[i].dst, reqs[i].tags[0]), payloads[i]);
     }
   }
 }

@@ -20,7 +20,8 @@ SimReport sample_report() {
 TEST(ReportIo, CsvHasHeaderAndTotalRow) {
   const std::string csv = report_csv(sample_report());
   EXPECT_EQ(csv.find("phase,a_ts,b_tw,messages,link_words,flops,comm_time,"
-                     "compute_time\n"),
+                     "compute_time,retries,reroutes,extra_hops,fault_startups,"
+                     "fault_word_cost,fault_delay\n"),
             0u);
   EXPECT_NE(csv.find("\"TOTAL\","), std::string::npos);
   EXPECT_NE(csv.find("\"p2p B\","), std::string::npos);
@@ -54,6 +55,47 @@ TEST(ReportIo, EmptyReport) {
   SimReport rep;
   EXPECT_NE(report_csv(rep).find("TOTAL"), std::string::npos);
   EXPECT_NE(report_json(rep).find("\"phases\": []"), std::string::npos);
+  EXPECT_NE(report_json(rep).find("\"fault_events\": []"), std::string::npos);
+}
+
+// Hand-built report with resilience counters and a located fault event:
+// every new field must survive both exports.
+TEST(ReportIo, FaultFieldsRoundTrip) {
+  SimReport rep;
+  PhaseStats ph{.name = "shift A"};
+  ph.rounds = 4;
+  ph.word_cost = 16.0;
+  ph.retries = 3;
+  ph.reroutes = 2;
+  ph.extra_hops = 5;
+  ph.fault_startups = 7;
+  ph.fault_word_cost = 12.5;
+  ph.fault_delay = 400.25;
+  rep.phases.push_back(ph);
+  rep.fault_events.push_back(fault::FaultEvent{
+      .kind = fault::FaultKind::kDrop,
+      .src = 3,
+      .dst = 7,
+      .round = 11,
+      .attempt = 2,
+      .detail = "injected \"drop\""});
+
+  const std::string csv = report_csv(rep);
+  // Phase row: the six resilience columns follow compute_time in order.
+  EXPECT_NE(csv.find("\"shift A\",4,16,"), std::string::npos);
+  EXPECT_NE(csv.find(",3,2,5,7,12.5,400.25\n"), std::string::npos);
+
+  const std::string json = report_json(rep);
+  EXPECT_NE(json.find("\"retries\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"reroutes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"extra_hops\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_startups\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_word_cost\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_delay\": 400.25"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_events\": [{\"kind\": \"drop\", \"src\": 3, "
+                      "\"dst\": 7, \"round\": 11, \"attempt\": 2, "
+                      "\"detail\": \"injected \\\"drop\\\"\"}]"),
+            std::string::npos);
 }
 
 }  // namespace

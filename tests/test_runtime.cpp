@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
 
 #include "hcmm/algo/api.hpp"
 #include "hcmm/matrix/gemm.hpp"
@@ -70,12 +73,97 @@ TEST(Team, RecvTimesOutOnDeadlock) {
 }
 
 TEST(Team, PeerFailurePropagates) {
-  Team team(2, std::chrono::milliseconds(10000));
+  // Short timeout on purpose: the waiter must be woken by the failure, so
+  // the test passes long before any timeout could.
+  Team team(2, std::chrono::milliseconds(2000));
   EXPECT_THROW(team.run([](Rank& r) {
                  if (r.id() == 0) throw std::runtime_error("rank 0 died");
                  (void)r.recv(0, 1);  // must be woken, not time out
                }),
                std::runtime_error);
+  ASSERT_EQ(team.last_run_errors().size(), 1u);
+  EXPECT_EQ(team.last_run_errors()[0].rank, 0u);
+}
+
+TEST(Team, EnvTimeoutOverride) {
+  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "123", 1), 0);
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(123));
+  // An explicit constructor argument always beats the environment.
+  EXPECT_EQ(Team(2, std::chrono::milliseconds(77)).timeout(),
+            std::chrono::milliseconds(77));
+  // Garbage and non-positive values fall through to the default.
+  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "soon", 1), 0);
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
+  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "-5", 1), 0);
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
+  ASSERT_EQ(unsetenv("HCMM_RT_TIMEOUT_MS"), 0);
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
+}
+
+TEST(Team, TwoConcurrentFailuresAreAggregated) {
+  Team team(4, std::chrono::milliseconds(5000));
+  try {
+    // Ranks 1 and 3 fail before their first team op, so neither can be
+    // unwound early by the other's failure — both must be diagnosed.
+    team.run([](Rank& r) {
+      if (r.id() == 1) throw std::runtime_error("checksum mismatch");
+      if (r.id() == 3) throw std::invalid_argument("bad tile shape");
+      (void)r.recv(1, 5);  // never sent; woken by the failures
+    });
+    FAIL() << "run must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 rank(s) failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1: checksum mismatch"), std::string::npos);
+    EXPECT_NE(what.find("rank 3: bad tile shape"), std::string::npos);
+  }
+  ASSERT_EQ(team.last_run_errors().size(), 2u);
+  EXPECT_EQ(team.last_run_errors()[0].rank, 1u);
+  EXPECT_EQ(team.last_run_errors()[1].rank, 3u);
+}
+
+TEST(Team, InjectedDeathAbortsFastWithDiagnosis) {
+  Team team(2, std::chrono::milliseconds(10000));
+  team.inject_rank_death(1);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    team.run([](Rank& r) {
+      if (r.id() == 0) (void)r.recv(1, 9);  // peer dies before sending
+      if (r.id() == 1) r.send(0, 9, Matrix(1, 1, {1.0}));
+    });
+    FAIL() << "run must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected rank death"),
+              std::string::npos)
+        << e.what();
+  }
+  // The waiter must be cut short by the death diagnosis, not by the timeout.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(5000));
+  team.clear_injections();
+  team.run([](Rank&) {});  // clean after clearing
+  EXPECT_TRUE(team.last_run_errors().empty());
+}
+
+TEST(Team, SlowPeerCostsRetriesNotAborts) {
+  // recv waits in doubling slices starting at timeout/8; a 300 ms delay
+  // against a 100 ms first slice forces at least one retry, but the run
+  // still succeeds because the peer is merely slow.
+  Team team(2, std::chrono::milliseconds(800));
+  team.inject_rank_delay(1, std::chrono::milliseconds(300));
+  team.run([](Rank& r) {
+    if (r.id() == 0) {
+      EXPECT_EQ(r.recv(1, 4)(0, 0), 9.0);
+    }
+    if (r.id() == 1) r.send(0, 4, Matrix(1, 1, {9.0}));
+  });
+  EXPECT_GE(team.last_run_recv_retries(), 1u);
+  team.clear_injections();
+  team.run([](Rank& r) {
+    if (r.id() == 0) r.send(1, 6, Matrix(1, 1, {2.0}));
+    if (r.id() == 1) (void)r.recv(0, 6);
+  });
+  EXPECT_TRUE(team.last_run_errors().empty());
 }
 
 TEST(Team, ReusableAcrossRuns) {

@@ -1,0 +1,259 @@
+// hcmm_chaos: fault-injection campaign over the whole algorithm registry.
+//
+// Drives every registered matrix-multiplication algorithm on 8- and 64-node
+// machines under both port models through every chaos scenario (empty plan,
+// single link failure, transient drops, latency spikes, a dead node, and a
+// combined storm — see fault/scenarios.hpp).  Every run must end in one of
+// exactly two acceptable states:
+//
+//   1. a numerically correct product (verified against the serial gemm), or
+//   2. a clean fault::FaultAbort carrying a located FaultEvent diagnosis
+//      (only possible for scenarios with an exhaustible retry budget).
+//
+// Anything else — wrong product, unlocated exception, crash — is a FAIL and
+// the tool exits nonzero, so the ctest/CI wiring (`chaos_campaign`) turns a
+// recovery regression into a build failure.  The baseline-empty-plan
+// scenario additionally asserts the zero-overhead guarantee: its measured
+// report must be bit-identical to a plan-free run.
+//
+// Usage: hcmm_chaos [--json] [--out FILE] [--seed S]
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hcmm/algo/api.hpp"
+#include "hcmm/fault/scenarios.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/sim/report_io.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+/// Smallest problem size the algorithm accepts on @p p nodes, 0 if none.
+std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
+  for (const std::size_t n : {4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 256u}) {
+    if (alg.applicable(n, p)) return n;
+  }
+  return 0;
+}
+
+enum class Outcome : std::uint8_t { kCorrect, kCleanAbort, kFail };
+
+struct RunRecord {
+  std::string context;
+  std::string scenario;
+  Outcome outcome = Outcome::kFail;
+  std::string detail;  // abort diagnosis or failure description
+  PhaseStats totals;   // zeroed on aborts
+};
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrect: return "correct";
+    case Outcome::kCleanAbort: return "clean-abort";
+    case Outcome::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+std::string campaign_json(const std::vector<RunRecord>& records,
+                          std::size_t fails, std::size_t skipped) {
+  std::ostringstream os;
+  std::size_t correct = 0;
+  std::size_t aborted = 0;
+  for (const RunRecord& r : records) {
+    correct += r.outcome == Outcome::kCorrect;
+    aborted += r.outcome == Outcome::kCleanAbort;
+  }
+  os << "{\"runs\": " << records.size() << ", \"correct\": " << correct
+     << ", \"clean_aborts\": " << aborted << ", \"failures\": " << fails
+     << ", \"skipped\": " << skipped << ", \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    if (i != 0) os << ", ";
+    os << "{\"context\": ";
+    json_escape(os, r.context);
+    os << ", \"scenario\": ";
+    json_escape(os, r.scenario);
+    os << ", \"outcome\": \"" << to_string(r.outcome) << "\", \"detail\": ";
+    json_escape(os, r.detail);
+    os << ", \"retries\": " << r.totals.retries
+       << ", \"reroutes\": " << r.totals.reroutes
+       << ", \"extra_hops\": " << r.totals.extra_hops
+       << ", \"fault_startups\": " << r.totals.fault_startups
+       << ", \"fault_delay\": " << r.totals.fault_delay << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Reports must agree field-for-field — the zero-overhead guarantee for an
+/// installed-but-empty plan.  Doubles are compared exactly on purpose.
+std::string report_mismatch(const SimReport& base, const SimReport& with) {
+  if (base.phases.size() != with.phases.size()) return "phase count differs";
+  for (std::size_t i = 0; i < base.phases.size(); ++i) {
+    const PhaseStats& a = base.phases[i];
+    const PhaseStats& b = with.phases[i];
+    if (a.rounds != b.rounds) return a.name + ": a-term differs";
+    if (a.word_cost != b.word_cost) return a.name + ": b-term differs";
+    if (a.messages != b.messages) return a.name + ": messages differ";
+    if (a.link_words != b.link_words) return a.name + ": link_words differ";
+    if (a.flops != b.flops) return a.name + ": flops differ";
+    if (a.comm_time != b.comm_time) return a.name + ": comm_time differs";
+    if (a.compute_time != b.compute_time) {
+      return a.name + ": compute_time differs";
+    }
+    if (b.faulted()) return a.name + ": fault counters nonzero";
+  }
+  if (base.async_makespan != with.async_makespan) {
+    return "async_makespan differs";
+  }
+  if (base.peak_words_total != with.peak_words_total) {
+    return "peak_words_total differs";
+  }
+  if (!with.fault_events.empty()) return "fault events recorded";
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  std::uint64_t seed = 20260805;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: hcmm_chaos [--json] [--out FILE] [--seed S]\n";
+      return 2;
+    }
+  }
+
+  std::vector<RunRecord> records;
+  std::size_t fails = 0;
+  std::size_t skipped = 0;
+
+  const std::uint32_t dims[] = {3, 6};
+  const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
+
+  for (const std::uint32_t dim : dims) {
+    const Hypercube cube(dim);
+    const auto scenarios = fault::chaos_scenarios(cube, seed + dim);
+    for (const PortModel port : ports) {
+      for (const auto& alg : algo::all_algorithms()) {
+        if (!alg->supports(port)) {
+          ++skipped;
+          continue;
+        }
+        const std::size_t n = pick_n(*alg, cube.size());
+        if (n == 0) {
+          ++skipped;
+          continue;
+        }
+        const std::string context = alg->name() + " on " +
+                                    std::to_string(cube.size()) + " nodes (" +
+                                    to_string(port) + ")";
+        const Matrix a = random_matrix(n, n, 17);
+        const Matrix b = random_matrix(n, n, 18);
+        const Matrix want = multiply_naive(a, b);
+
+        // Plan-free reference run, reused for every scenario's product check
+        // and for the baseline scenario's bit-identity check.
+        SimReport clean_report;
+        {
+          Machine m(cube, port, CostParams{});
+          clean_report = alg->run(a, b, m).report;
+        }
+
+        for (const auto& sc : scenarios) {
+          RunRecord rec;
+          rec.context = context;
+          rec.scenario = sc.name;
+          try {
+            Machine m(cube, port, CostParams{});
+            m.set_fault_plan(std::make_shared<const fault::FaultPlan>(sc.plan));
+            const algo::RunResult res = alg->run(a, b, m);
+            if (!approx_equal(res.c, want, 1e-9 * static_cast<double>(n))) {
+              rec.outcome = Outcome::kFail;
+              rec.detail = "product differs from serial gemm by " +
+                           std::to_string(max_abs_diff(res.c, want));
+            } else if (sc.plan.empty()) {
+              const std::string diff =
+                  report_mismatch(clean_report, res.report);
+              if (diff.empty()) {
+                rec.outcome = Outcome::kCorrect;
+              } else {
+                rec.outcome = Outcome::kFail;
+                rec.detail = "empty plan not bit-identical: " + diff;
+              }
+            } else {
+              rec.outcome = Outcome::kCorrect;
+            }
+            rec.totals = res.report.totals();
+          } catch (const fault::FaultAbort& fa) {
+            if (sc.plan.transient.any()) {
+              rec.outcome = Outcome::kCleanAbort;  // located diagnosis — OK
+              rec.detail = fa.event().to_string();
+            } else {
+              rec.outcome = Outcome::kFail;  // structural-only plans must
+              rec.detail = "unexpected abort: " + std::string(fa.what());
+            }
+          } catch (const std::exception& e) {
+            rec.outcome = Outcome::kFail;
+            rec.detail = std::string("unlocated exception: ") + e.what();
+          }
+          fails += rec.outcome == Outcome::kFail;
+          records.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+
+  const std::string doc = campaign_json(records, fails, skipped);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << doc << "\n";
+  }
+  if (json) {
+    std::cout << doc << "\n";
+  } else {
+    std::size_t correct = 0;
+    std::size_t aborted = 0;
+    for (const RunRecord& r : records) {
+      correct += r.outcome == Outcome::kCorrect;
+      aborted += r.outcome == Outcome::kCleanAbort;
+    }
+    std::cout << "hcmm_chaos: " << records.size() << " runs — " << correct
+              << " correct, " << aborted << " clean aborts, " << fails
+              << " failures (" << skipped << " combinations skipped)\n";
+    for (const RunRecord& r : records) {
+      if (r.outcome == Outcome::kFail) {
+        std::cout << "FAIL: " << r.context << " / " << r.scenario << ": "
+                  << r.detail << "\n";
+      }
+    }
+  }
+  return fails == 0 ? 0 : 1;
+}
