@@ -1,0 +1,176 @@
+// ABFT overhead on a 64-node cube, in the paper's (a, b) cost terms: what
+// the checksum machinery of abft::protect — the encode reduce/broadcast, the
+// verify pass, and the per-phase checkpoints — adds on top of each bare
+// algorithm, and what one mid-run node death costs end to end (rollback,
+// subcube contraction, replay) relative to the fault-free protected run.
+// Every run is seeded and deterministic, so the printed overheads are
+// reproducible numbers, not noise.
+//
+// Usage: bench_abft [--json] [--out FILE]
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hcmm/abft/protect.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/fault/scenarios.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/machine.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+constexpr std::uint32_t kDim = 6;
+
+struct Row {
+  std::string algorithm;
+  std::string port;
+  std::size_t n = 0;
+  PhaseStats plain;      // bare algorithm, clean run
+  PhaseStats prot;       // ABFT-protected, clean run
+  double time_plain = 0.0;
+  double time_prot = 0.0;
+  double overhead = 0.0;       // protected vs plain, fraction
+  double time_death = 0.0;     // protected run surviving one mid-run death
+  double death_overhead = 0.0;  // death run vs clean protected, fraction
+};
+
+/// Smallest problem size the algorithm accepts on @p p nodes, 0 if none.
+std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
+  for (const std::size_t n : {16u, 24u, 32u, 48u, 64u, 96u, 128u, 256u}) {
+    if (alg.applicable(n, p)) return n;
+  }
+  return 0;
+}
+
+double run_time(const algo::DistributedMatmul& alg, const Matrix& a,
+                const Matrix& b, PortModel port, PhaseStats* totals,
+                const fault::FaultPlan* plan, SimReport* report) {
+  Machine m(Hypercube(kDim), port, CostParams{150, 3, 1});
+  if (plan != nullptr) {
+    m.set_fault_plan(std::make_shared<const fault::FaultPlan>(*plan));
+  }
+  const SimReport rep = alg.run(a, b, m).report;
+  const PhaseStats t = rep.totals();
+  if (totals != nullptr) *totals = t;
+  if (report != nullptr) *report = rep;
+  return t.comm_time + t.compute_time;
+}
+
+/// Executed-round index of the middle phase boundary of @p clean — the
+/// round a scheduled death targets for the recovery-cost measurement.
+/// PhaseStats::rounds charges one start-up per checkpoint on top of the
+/// executed rounds, so the checkpoints are subtracted back out.
+std::uint64_t mid_boundary_round(const SimReport& clean) {
+  std::vector<std::uint64_t> bounds;
+  std::uint64_t executed = 0;
+  for (const PhaseStats& ph : clean.phases) {
+    bounds.push_back(executed);
+    executed += ph.rounds - ph.checkpoints;
+  }
+  return bounds.empty() ? 0 : bounds[bounds.size() / 2];
+}
+
+std::string rows_json(const std::vector<Row>& rows) {
+  std::ostringstream os;
+  os << "{\"cube\": " << (1u << kDim) << ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i != 0) os << ", ";
+    os << "{\"algorithm\": \"" << r.algorithm << "\", \"port\": \"" << r.port
+       << "\", \"n\": " << r.n << ", \"a_plain\": " << r.plain.rounds
+       << ", \"b_plain\": " << r.plain.word_cost
+       << ", \"a_abft\": " << r.prot.rounds
+       << ", \"b_abft\": " << r.prot.word_cost
+       << ", \"checkpoint_cost\": " << r.prot.checkpoint_cost
+       << ", \"flops_plain\": " << r.plain.flops
+       << ", \"flops_abft\": " << r.prot.flops
+       << ", \"time_plain\": " << r.time_plain
+       << ", \"time_abft\": " << r.time_prot
+       << ", \"overhead\": " << r.overhead
+       << ", \"time_death\": " << r.time_death
+       << ", \"death_overhead\": " << r.death_overhead << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_abft [--json] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const Hypercube cube(kDim);
+  std::vector<Row> rows;
+  for (const PortModel port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    if (!json) {
+      bench::header(std::string("ABFT overhead, 64 nodes (") +
+                    to_string(port) + ")");
+      std::printf("  %-28s %5s | %6s %9s | %6s %9s | %9s %9s\n", "algorithm",
+                  "n", "a", "b", "a+abft", "b+abft", "overhead", "death");
+    }
+    for (const auto& alg : algo::all_algorithms()) {
+      if (!alg->supports(port)) continue;
+      const std::size_t n = pick_n(*alg, cube.size());
+      if (n == 0) continue;
+      const Matrix a = random_matrix(n, n, 41);
+      const Matrix b = random_matrix(n, n, 42);
+      const auto prot = abft::protect(algo::make_algorithm(alg->id()));
+
+      Row row;
+      row.algorithm = alg->name();
+      row.port = to_string(port);
+      row.n = n;
+      row.time_plain = run_time(*alg, a, b, port, &row.plain, nullptr, nullptr);
+      SimReport clean;
+      row.time_prot = run_time(*prot, a, b, port, &row.prot, nullptr, &clean);
+      row.overhead = (row.time_prot - row.time_plain) / row.time_plain;
+
+      fault::FaultPlan death;
+      death.kill_node_at_round(fault::safe_victim(cube, 7, fault::FaultSet{}),
+                               mid_boundary_round(clean));
+      row.time_death = run_time(*prot, a, b, port, nullptr, &death, nullptr);
+      row.death_overhead = (row.time_death - row.time_prot) / row.time_prot;
+
+      if (!json) {
+        std::printf(
+            "  %-28s %5zu | %6llu %9.0f | %6llu %9.0f | %8.1f%% %8.1f%%\n",
+            row.algorithm.c_str(), row.n,
+            static_cast<unsigned long long>(row.plain.rounds),
+            row.plain.word_cost,
+            static_cast<unsigned long long>(row.prot.rounds),
+            row.prot.word_cost, 100.0 * row.overhead,
+            100.0 * row.death_overhead);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const std::string doc = rows_json(rows);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << doc << "\n";
+  }
+  if (json) std::cout << doc << "\n";
+  return 0;
+}

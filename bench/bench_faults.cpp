@@ -6,9 +6,17 @@
 //   2. failed-link count — detours (extra hops and serialized start-ups).
 // Every run is seeded and deterministic, so the printed overheads are
 // reproducible numbers, not noise.
+//
+// Usage: bench_faults [--json] [--out FILE]
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "hcmm/algo/api.hpp"
@@ -23,6 +31,15 @@ using namespace hcmm;
 constexpr std::uint32_t kDim = 6;
 constexpr std::size_t kN = 64;
 
+struct Row {
+  std::string algorithm;
+  std::string sweep;      // "drop_prob" or "failed_links"
+  double knob = 0.0;      // p_drop or link count
+  PhaseStats totals;
+  double time = 0.0;
+  double overhead = 0.0;  // fraction of the clean-run time
+};
+
 double clean_time(const algo::DistributedMatmul& alg, const Matrix& a,
                   const Matrix& b, PortModel port) {
   Machine m(Hypercube(kDim), port, CostParams{150, 3, 1});
@@ -32,11 +49,14 @@ double clean_time(const algo::DistributedMatmul& alg, const Matrix& a,
 }
 
 void sweep_drop_prob(const algo::DistributedMatmul& alg, const Matrix& a,
-                     const Matrix& b, PortModel port, double base) {
-  bench::header(alg.name() + " (" + to_string(port) +
-                "): transient drop probability sweep");
-  std::printf("  %-8s %10s %10s %12s %10s\n", "p_drop", "retries",
-              "delay", "time", "overhead");
+                     const Matrix& b, PortModel port, double base,
+                     std::vector<Row>& rows, bool table) {
+  if (table) {
+    bench::header(alg.name() + " (" + to_string(port) +
+                  "): transient drop probability sweep");
+    std::printf("  %-8s %10s %10s %12s %10s\n", "p_drop", "retries",
+                "delay", "time", "overhead");
+  }
   for (const double p : {0.0, 0.01, 0.02, 0.05, 0.10}) {
     fault::FaultPlan plan;
     plan.transient.seed = 2026;
@@ -47,18 +67,24 @@ void sweep_drop_prob(const algo::DistributedMatmul& alg, const Matrix& a,
     m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
     const auto t = alg.run(a, b, m).report.totals();
     const double time = t.comm_time + t.compute_time;
-    std::printf("  %-8.2f %10llu %10.0f %12.0f %9.1f%%\n", p,
-                static_cast<unsigned long long>(t.retries), t.fault_delay,
-                time, 100.0 * (time - base) / base);
+    if (table) {
+      std::printf("  %-8.2f %10llu %10.0f %12.0f %9.1f%%\n", p,
+                  static_cast<unsigned long long>(t.retries), t.fault_delay,
+                  time, 100.0 * (time - base) / base);
+    }
+    rows.push_back({alg.name(), "drop_prob", p, t, time, (time - base) / base});
   }
 }
 
 void sweep_failed_links(const algo::DistributedMatmul& alg, const Matrix& a,
-                        const Matrix& b, PortModel port, double base) {
-  bench::header(alg.name() + " (" + to_string(port) +
-                "): failed-link count sweep");
-  std::printf("  %-8s %10s %10s %12s %10s\n", "links", "reroutes",
-              "extra_hops", "time", "overhead");
+                        const Matrix& b, PortModel port, double base,
+                        std::vector<Row>& rows, bool table) {
+  if (table) {
+    bench::header(alg.name() + " (" + to_string(port) +
+                  "): failed-link count sweep");
+    std::printf("  %-8s %10s %10s %12s %10s\n", "links", "reroutes",
+                "extra_hops", "time", "overhead");
+  }
   for (const std::uint32_t count : {0u, 1u, 2u, 4u, 8u}) {
     fault::FaultPlan plan;
     plan.set = fault::random_connected_link_faults(Hypercube(kDim), 7, count);
@@ -66,17 +92,55 @@ void sweep_failed_links(const algo::DistributedMatmul& alg, const Matrix& a,
     m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
     const auto t = alg.run(a, b, m).report.totals();
     const double time = t.comm_time + t.compute_time;
-    std::printf("  %-8u %10llu %10llu %12.0f %9.1f%%\n",
-                static_cast<unsigned>(plan.set.failed_links().size()),
-                static_cast<unsigned long long>(t.reroutes),
-                static_cast<unsigned long long>(t.extra_hops), time,
-                100.0 * (time - base) / base);
+    const auto links = plan.set.failed_links().size();
+    if (table) {
+      std::printf("  %-8u %10llu %10llu %12.0f %9.1f%%\n",
+                  static_cast<unsigned>(links),
+                  static_cast<unsigned long long>(t.reroutes),
+                  static_cast<unsigned long long>(t.extra_hops), time,
+                  100.0 * (time - base) / base);
+    }
+    rows.push_back({alg.name(), "failed_links", static_cast<double>(links), t,
+                    time, (time - base) / base});
   }
+}
+
+std::string rows_json(const std::vector<Row>& rows) {
+  std::ostringstream os;
+  os << "{\"cube\": " << (1u << kDim) << ", \"n\": " << kN << ", \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i != 0) os << ", ";
+    os << "{\"algorithm\": \"" << r.algorithm << "\", \"sweep\": \"" << r.sweep
+       << "\", \"knob\": " << r.knob << ", \"retries\": " << r.totals.retries
+       << ", \"reroutes\": " << r.totals.reroutes
+       << ", \"extra_hops\": " << r.totals.extra_hops
+       << ", \"fault_startups\": " << r.totals.fault_startups
+       << ", \"fault_delay\": " << r.totals.fault_delay
+       << ", \"time\": " << r.time << ", \"overhead\": " << r.overhead << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_faults [--json] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
   const Matrix a = random_matrix(kN, kN, 41);
   const Matrix b = random_matrix(kN, kN, 42);
   for (const auto id : {algo::AlgoId::kCannon, algo::AlgoId::kAll3D}) {
@@ -84,8 +148,15 @@ int main() {
     const PortModel port = PortModel::kOnePort;
     if (!alg->supports(port) || !alg->applicable(kN, 1u << kDim)) continue;
     const double base = clean_time(*alg, a, b, port);
-    sweep_drop_prob(*alg, a, b, port, base);
-    sweep_failed_links(*alg, a, b, port, base);
+    sweep_drop_prob(*alg, a, b, port, base, rows, !json);
+    sweep_failed_links(*alg, a, b, port, base, rows, !json);
   }
+
+  const std::string doc = rows_json(rows);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << doc << "\n";
+  }
+  if (json) std::cout << doc << "\n";
   return 0;
 }

@@ -1,0 +1,163 @@
+#include "hcmm/abft/protect.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "hcmm/abft/checksum.hpp"
+#include "hcmm/coll/collectives.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::abft {
+namespace {
+
+/// "abft encode": every node contributes the checksums of its slice of the
+/// product rows as one bundled 2n-word item (column-sum partial ‖ row-sum
+/// partial), reduced to node 0 and broadcast back over the whole cube
+/// through the regular collective schedules — the checksum traffic rides the
+/// same machinery, legality checks, and cost model as the data it guards.
+void run_encode(Machine& m, const Matrix& c) {
+  const std::uint32_t p = m.cube().size();
+  const std::size_t n = c.rows();
+  const Subcube sc(0, p - 1);
+  const Tag tag = make_tag(kSpaceChecksum);
+  std::vector<std::pair<NodeId, std::uint64_t>> flops;
+  flops.reserve(p);
+  for (std::uint32_t r = 0; r < p; ++r) {
+    const NodeId node = sc.node_at(r);
+    const auto [lo, hi] = chunk_bounds(n, p, r);
+    std::vector<double> part(2 * n, 0.0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        part[j] += c(i, j);  // column-sum partial
+        row_sum += c(i, j);
+      }
+      part[n + i] = row_sum;  // row-sum partial
+    }
+    m.store().put(node, tag, std::move(part));
+    flops.emplace_back(node, 2 * (hi - lo) * n);
+  }
+  m.begin_phase("abft encode");
+  m.charge_compute(flops);
+  coll::op_reduce(m, sc, 0, tag);
+  coll::op_bcast(m, sc, 0, tag);
+}
+
+/// "abft verify": each node re-sums its share of the product against the
+/// broadcast checksums — ~4n²/p multiply-adds (row pass + column pass).
+void run_verify(Machine& m, std::size_t n) {
+  const std::uint32_t p = m.cube().size();
+  m.begin_phase("abft verify");
+  const std::uint64_t per_node =
+      (4 * static_cast<std::uint64_t>(n) * n + p - 1) / p;
+  std::vector<std::pair<NodeId, std::uint64_t>> flops;
+  flops.reserve(p);
+  for (NodeId node = 0; node < p; ++node) flops.emplace_back(node, per_node);
+  m.charge_compute(flops);
+}
+
+}  // namespace
+
+Protected::Protected(std::unique_ptr<algo::DistributedMatmul> inner)
+    : inner_(std::move(inner)) {
+  HCMM_CHECK(inner_ != nullptr, "abft::protect: null inner algorithm");
+}
+
+algo::AlgoId Protected::id() const noexcept { return inner_->id(); }
+
+std::string Protected::name() const { return "ABFT(" + inner_->name() + ")"; }
+
+bool Protected::applicable(std::size_t n, std::uint32_t p) const {
+  return inner_->applicable(n, p);
+}
+
+bool Protected::supports(PortModel port) const {
+  return inner_->supports(port);
+}
+
+algo::RunResult Protected::run(const Matrix& a, const Matrix& b,
+                               Machine& m) const {
+  struct CheckpointGuard {
+    Machine& m;
+    bool prev;
+    ~CheckpointGuard() { m.set_checkpointing(prev); }
+  } guard{m, m.checkpointing()};
+  m.set_checkpointing(true);
+
+  // Each recovery converts exactly one scheduled death into a permanent
+  // structural fault, so the attempt budget is the number of scheduled
+  // victims plus the final clean pass.
+  std::uint64_t budget = 1;
+  if (const fault::FaultPlan* plan = m.fault_plan()) {
+    for (const auto& [round, victims] : plan->kill_at) {
+      budget += victims.size();
+    }
+  }
+
+  algo::RunResult res;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    try {
+      res = inner_->run(a, b, m);
+      run_encode(m, res.c);
+      break;
+    } catch (const fault::FaultAbort& abort) {
+      if (abort.event().kind != fault::FaultKind::kMidRunDeath ||
+          attempt + 1 >= budget) {
+        throw;
+      }
+      const fault::FaultEvent ev = abort.event();
+      HCMM_CHECK(m.fault_plan() != nullptr,
+                 "mid-run death without an installed fault plan");
+      auto updated = std::make_shared<fault::FaultPlan>(*m.fault_plan());
+      updated->set.kill_node(ev.src);
+      if (auto it = updated->kill_at.find(ev.round);
+          it != updated->kill_at.end()) {
+        it->second.erase(ev.src);
+        if (it->second.empty()) updated->kill_at.erase(it);
+      }
+      // Throws a located kUnroutable / kHostless FaultAbort when the death
+      // leaves no feasible contraction — a clean abort, not a wrong answer.
+      m.rollback_to_checkpoint(std::move(updated), ev);
+    }
+  }
+
+  // Verdicts use serially recomputed reference checksums: the distributed
+  // checksum channel above is charged like real traffic but could itself be
+  // silently corrupted, so trusting it would let one flip defeat the scheme
+  // (a deliberate idealization — see docs/ABFT.md).
+  const Checksums ref = reference_checksums(a, b);
+  run_verify(m, res.c.rows());
+  VerifyResult vr = verify_and_correct(res.c, ref, residue_tolerance(ref));
+  m.note_abft(vr.detected, vr.corrected);
+  std::string first_detail;
+  for (auto& ev : vr.events) {
+    if (!vr.ok && first_detail.empty() &&
+        ev.kind == EventKind::kUncorrectable) {
+      first_detail = ev.to_string();
+    }
+    m.record_abft_event(std::move(ev));
+  }
+  if (!vr.ok) {
+    throw fault::FaultAbort({fault::FaultKind::kAbftUncorrectable, 0, 0, 0, 0,
+                             first_detail});
+  }
+  res.report = m.report();
+  return res;
+}
+
+std::unique_ptr<algo::DistributedMatmul> protect(
+    std::unique_ptr<algo::DistributedMatmul> inner) {
+  return std::make_unique<Protected>(std::move(inner));
+}
+
+std::unique_ptr<algo::DistributedMatmul> make_protected(algo::AlgoId id) {
+  return protect(algo::make_algorithm(id));
+}
+
+std::vector<std::unique_ptr<algo::DistributedMatmul>> all_protected() {
+  std::vector<std::unique_ptr<algo::DistributedMatmul>> out;
+  for (auto& a : algo::all_algorithms()) out.push_back(protect(std::move(a)));
+  return out;
+}
+
+}  // namespace hcmm::abft

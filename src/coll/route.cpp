@@ -51,13 +51,15 @@ Schedule pack_rounds(std::vector<Part> parts) {
 
 PreparedColl prep_route(Machine& m, std::span<const RouteRequest> reqs) {
   PreparedColl out;
-  if (m.has_fault_plan() && !m.fault_plan()->set.empty()) {
+  if (!m.routing_faults().empty()) {
     // Structural faults void the edge-disjointness that justifies the
     // rotated-order multi-path splitting below, so compile conservatively:
     // every message follows its fault-aware e-cube path whole.  The Machine
     // still repairs contraction remnants and transients at execution time.
+    // routing_faults() (not the raw plan) so a checkpoint replay rebuilds
+    // the prefix schedules exactly as originally measured.
     out.schedule =
-        route_p2p_avoiding(m.cube(), m.port(), reqs, m.fault_plan()->set);
+        route_p2p_avoiding(m.cube(), m.port(), reqs, m.routing_faults());
     return out;
   }
   if (m.port() == PortModel::kOnePort) {

@@ -28,6 +28,18 @@ namespace {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+// Domain-separation salt so the silent-corruption stream is independent of
+// the drop/corrupt/spike stream on the same (round, src, dst) coordinates.
+constexpr std::uint64_t kSilentSalt = 0xabf7c0de5117e417ULL;
+
+[[nodiscard]] std::uint64_t silent_hash(std::uint64_t seed, std::uint64_t round,
+                                        NodeId src, NodeId dst) noexcept {
+  std::uint64_t h = mix(seed ^ kSilentSalt);
+  h = mix(h ^ round);
+  h = mix(h ^ ((static_cast<std::uint64_t>(src) << 32) | dst));
+  return h;
+}
+
 }  // namespace
 
 const char* to_string(FaultKind k) noexcept {
@@ -41,6 +53,9 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kRetryExhausted: return "retry-exhausted";
     case FaultKind::kUnroutable: return "unroutable";
     case FaultKind::kHostless: return "hostless";
+    case FaultKind::kSilentCorrupt: return "silent-corrupt";
+    case FaultKind::kMidRunDeath: return "mid-run-death";
+    case FaultKind::kAbftUncorrectable: return "abft-uncorrectable";
   }
   return "?";
 }
@@ -129,6 +144,19 @@ FaultKind FaultPlan::attempt_outcome(std::uint64_t round, NodeId src,
     return FaultKind::kSpike;
   }
   return FaultKind::kNone;
+}
+
+bool FaultPlan::silent_hit(std::uint64_t round, NodeId src,
+                           NodeId dst) const noexcept {
+  if (transient.silent_prob <= 0.0) return false;
+  const std::uint64_t h = silent_hash(transient.seed, round, src, dst);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < transient.silent_prob;
+}
+
+std::uint64_t FaultPlan::silent_site(std::uint64_t round, NodeId src,
+                                     NodeId dst) const noexcept {
+  // One extra mix so the site bits are independent of the hit decision.
+  return mix(silent_hash(transient.seed, round, src, dst));
 }
 
 }  // namespace hcmm::fault

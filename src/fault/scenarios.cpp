@@ -30,6 +30,50 @@ namespace {
 
 }  // namespace
 
+NodeId safe_victim(const Hypercube& cube, std::uint64_t seed,
+                   const FaultSet& base) {
+  Prng rng(seed);
+  return random_safe_victim(rng, cube, base);
+}
+
+std::vector<Scenario> abft_scenarios(const Hypercube& cube,
+                                     std::uint64_t seed) {
+  HCMM_CHECK(cube.dim() >= 2, "abft_scenarios: cube too small to break");
+  Prng rng(seed);
+  std::vector<Scenario> out;
+  {
+    // Rare flips: usually zero or one per run, the single-error class the
+    // Huang-Abraham residues correct outright.
+    Scenario s{"silent-rare", FaultPlan{}};
+    s.plan.transient = TransientSpec{.seed = rng.next_u64()};
+    s.plan.transient.silent_prob = 0.002;
+    out.push_back(std::move(s));
+  }
+  {
+    // Frequent flips: several per run, spanning rows and columns — the
+    // protected run must either repair them all or refuse the product.
+    Scenario s{"silent-burst", FaultPlan{}};
+    s.plan.transient = TransientSpec{.seed = rng.next_u64()};
+    s.plan.transient.silent_prob = 0.02;
+    out.push_back(std::move(s));
+  }
+  {
+    // Silent flips underneath detected drops: the retry layer resends what
+    // it can see while the checksum layer handles what it cannot.
+    Scenario s{"silent-plus-drops", FaultPlan{}};
+    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
+                                     .drop_prob = 0.04,
+                                     .corrupt_prob = 0.01,
+                                     .spike_prob = 0.0,
+                                     .spike_time = 0.0,
+                                     .max_attempts = 10,
+                                     .backoff_base = 8.0};
+    s.plan.transient.silent_prob = 0.004;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 FaultSet random_connected_link_faults(const Hypercube& cube,
                                       std::uint64_t seed,
                                       std::uint32_t count) {

@@ -1,0 +1,58 @@
+#pragma once
+// Huang–Abraham algorithm-based fault tolerance (ABFT) for matmul: the true
+// product C = A·B satisfies two linear invariants that can be computed in
+// O(n^2) without ever forming C,
+//   row sums  C·e   = A·(B·e)
+//   col sums  eᵀ·C  = (eᵀ·A)·B
+// and any corruption confined to one row or one column of C (which is what a
+// single flipped A, B, or partial-C element produces) leaves a residue
+// pattern that both locates the error and carries the exact value needed to
+// subtract it back out — detection and correction without recomputation.
+
+#include <cstdint>
+#include <vector>
+
+#include "hcmm/abft/event.hpp"
+#include "hcmm/matrix/matrix.hpp"
+
+namespace hcmm::abft {
+
+/// Reference checksums of the true product, from the operands alone.
+struct Checksums {
+  std::vector<double> row_sums;  ///< row_sums[i] = Σ_j C(i,j)  (= A·(B·e))
+  std::vector<double> col_sums;  ///< col_sums[j] = Σ_i C(i,j)  (= eᵀA·B)
+};
+
+[[nodiscard]] Checksums reference_checksums(const Matrix& a, const Matrix& b);
+
+/// Residues of a computed product against the reference:
+/// row[i] = Σ_j C(i,j) − row_sums[i],  col[j] = Σ_i C(i,j) − col_sums[j].
+struct Residues {
+  std::vector<double> row;
+  std::vector<double> col;
+};
+
+[[nodiscard]] Residues residues(const Matrix& c, const Checksums& ref);
+
+/// Detection threshold scaled to the checksum magnitudes.  Floating-point
+/// noise in the n-term residue sums is ~n·eps·scale; injected corruption is
+/// Θ(1) — many orders of magnitude apart at the sizes simulated here.
+[[nodiscard]] double residue_tolerance(const Checksums& ref);
+
+/// Outcome of one verification pass over a computed product.
+struct VerifyResult {
+  std::uint64_t detected = 0;   ///< residue entries flagged over tolerance
+  std::uint64_t corrected = 0;  ///< product elements repaired
+  bool ok = true;               ///< product certified within tolerance
+  std::vector<AbftEvent> events;
+};
+
+/// Verify @p c against @p ref and repair it in place when the flagged
+/// residues are confined to a single row or a single column (the
+/// Huang–Abraham correctable class); re-verifies after the repair.
+/// ok == false means the corruption spans several rows *and* several
+/// columns, or the repair did not converge — the product cannot be trusted.
+[[nodiscard]] VerifyResult verify_and_correct(Matrix& c, const Checksums& ref,
+                                              double tol);
+
+}  // namespace hcmm::abft

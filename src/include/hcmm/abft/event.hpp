@@ -1,0 +1,56 @@
+#pragma once
+// Located ABFT verification outcomes — the algorithm-layer counterpart of
+// fault::FaultEvent.  Deliberately standalone (no sim/ includes) so
+// SimReport can carry AbftEvents without a dependency cycle: abft builds on
+// sim, while sim only needs this vocabulary type.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace hcmm::abft {
+
+/// What the checksum verification concluded about one detected corruption.
+enum class EventKind : std::uint8_t {
+  kElementCorrected,  ///< single element error located and subtracted out
+  kRowCorrected,      ///< single-row error corrected from the column residues
+  kColCorrected,      ///< single-column error corrected from the row residues
+  kUncorrectable,     ///< residue pattern matches no single-row/column error
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kElementCorrected: return "element-corrected";
+    case EventKind::kRowCorrected: return "row-corrected";
+    case EventKind::kColCorrected: return "col-corrected";
+    case EventKind::kUncorrectable: return "uncorrectable";
+  }
+  return "?";
+}
+
+/// One located ABFT finding: which row/column of the global product the
+/// checksum residues implicated, and the residue magnitude involved.
+/// `row`/`col` are kNoIndex when the event does not pin that coordinate.
+struct AbftEvent {
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  EventKind kind = EventKind::kUncorrectable;
+  std::size_t row = kNoIndex;
+  std::size_t col = kNoIndex;
+  double magnitude = 0.0;  ///< max |residue| attributed to this event
+  std::string detail;
+
+  /// "row-corrected: row 5, |residue| 3.25 (detail)"
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << abft::to_string(kind) << ":";
+    if (row != kNoIndex) os << " row " << row;
+    if (col != kNoIndex) os << (row != kNoIndex ? "," : "") << " col " << col;
+    os << " |residue| " << magnitude;
+    if (!detail.empty()) os << " (" << detail << ")";
+    return os.str();
+  }
+};
+
+}  // namespace hcmm::abft

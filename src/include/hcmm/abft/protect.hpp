@@ -1,0 +1,60 @@
+#pragma once
+// abft::protect — wrap any DistributedMatmul in Huang–Abraham checksum
+// protection plus checkpoint/rollback recovery.  The wrapper is itself a
+// DistributedMatmul, so everything that enumerates algorithms (chaos runs,
+// the static analyzer, benches) can sweep the protected variants unchanged.
+//
+// What a protected run adds on top of the inner algorithm:
+//   * phase-boundary checkpointing on the Machine, so a scheduled mid-run
+//     node death (FaultPlan::kill_at) rolls back to the last boundary,
+//     converts the death into a permanent structural fault, and replays —
+//     deterministically — instead of failing the run;
+//   * an "abft encode" phase that reduces + broadcasts the per-node checksum
+//     partials through the regular collective schedules (charged under the
+//     paper's cost model like any other phase);
+//   * an "abft verify" phase that checks the assembled product against the
+//     reference checksums, correcting any single-row/column corruption in
+//     place and aborting cleanly (FaultAbort, kAbftUncorrectable) when the
+//     residue pattern cannot locate the error.  docs/ABFT.md is the
+//     narrative description.
+
+#include <memory>
+#include <vector>
+
+#include "hcmm/algo/api.hpp"
+
+namespace hcmm::abft {
+
+/// Tag space of the checksum items threaded through the encode collectives
+/// (disjoint from the algorithm spaces 1–7 and the audit space 0x7A/0x7B).
+inline constexpr std::uint16_t kSpaceChecksum = 0x2A;
+
+class Protected final : public algo::DistributedMatmul {
+ public:
+  explicit Protected(std::unique_ptr<algo::DistributedMatmul> inner);
+
+  [[nodiscard]] algo::AlgoId id() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool applicable(std::size_t n, std::uint32_t p) const override;
+  [[nodiscard]] bool supports(PortModel port) const override;
+  [[nodiscard]] algo::RunResult run(const Matrix& a, const Matrix& b,
+                                    Machine& machine) const override;
+
+ private:
+  std::unique_ptr<algo::DistributedMatmul> inner_;
+};
+
+/// Wrap @p inner in ABFT protection.
+[[nodiscard]] std::unique_ptr<algo::DistributedMatmul> protect(
+    std::unique_ptr<algo::DistributedMatmul> inner);
+
+/// make_algorithm + protect.
+[[nodiscard]] std::unique_ptr<algo::DistributedMatmul> make_protected(
+    algo::AlgoId id);
+
+/// Every registered algorithm, protected — the ABFT mirror of
+/// algo::all_algorithms(), in the same order.
+[[nodiscard]] std::vector<std::unique_ptr<algo::DistributedMatmul>>
+all_protected();
+
+}  // namespace hcmm::abft

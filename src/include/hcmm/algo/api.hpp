@@ -50,7 +50,8 @@ class DistributedMatmul {
   virtual ~DistributedMatmul() = default;
 
   [[nodiscard]] virtual AlgoId id() const noexcept = 0;
-  [[nodiscard]] std::string name() const { return to_string(id()); }
+  /// Display name; wrappers (e.g. abft::protect) decorate the inner name.
+  [[nodiscard]] virtual std::string name() const { return to_string(id()); }
 
   /// True iff the algorithm can run an n x n product on p nodes: processor
   /// count of the right shape (square / cube power of two), the paper's

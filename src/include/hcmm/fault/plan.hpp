@@ -11,6 +11,7 @@
 // are experiments, not noise.  docs/FAULTS.md is the narrative description.
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -37,6 +38,9 @@ enum class FaultKind : std::uint8_t {
   kRetryExhausted,  ///< transient fault persisted past the attempt budget
   kUnroutable,      ///< no healthy path between the physical endpoints
   kHostless,        ///< dead node with every neighbor dead too
+  kSilentCorrupt,   ///< payload flipped in flight; CRC passed (ABFT-only)
+  kMidRunDeath,     ///< scheduled node death fired mid-run
+  kAbftUncorrectable,  ///< ABFT detected corruption it cannot correct
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -115,19 +119,35 @@ struct TransientSpec {
   double spike_time = 0.0;    ///< simulated time added by one spike
   std::uint32_t max_attempts = 6;  ///< total attempts incl. the first
   double backoff_base = 0.0;  ///< wait before retry k: backoff_base * 2^(k-1)
+  /// Silent data corruption, per delivered message: the payload is altered
+  /// in flight but the CRC still passes, so the transport delivers it and
+  /// charges nothing.  Invisible to the retry/reroute recovery layers; only
+  /// ABFT checksum verification (abft::protect) can catch it.
+  double silent_prob = 0.0;
 
   [[nodiscard]] bool any() const noexcept {
-    return drop_prob + corrupt_prob + spike_prob > 0.0;
+    return drop_prob + corrupt_prob + spike_prob + silent_prob > 0.0;
   }
 };
 
-/// A full fault scenario: structural faults plus the transient model.
+/// A full fault scenario: structural faults, the transient model, and
+/// scheduled mid-run node deaths.
 struct FaultPlan {
   FaultSet set;
   TransientSpec transient;
+  /// Scheduled deaths: at run-wide round `r` (before the round executes),
+  /// every node in kill_at[r] dies.  The Machine raises a located
+  /// FaultAbort(kMidRunDeath); the ABFT recovery driver converts the death
+  /// into a permanent structural fault, rolls back to the last phase
+  /// checkpoint, and replays.  Ordered map so iteration is deterministic.
+  std::map<std::uint64_t, std::set<NodeId>> kill_at;
+
+  void kill_node_at_round(NodeId n, std::uint64_t round) {
+    kill_at[round].insert(n);
+  }
 
   [[nodiscard]] bool empty() const noexcept {
-    return set.empty() && !transient.any();
+    return set.empty() && !transient.any() && kill_at.empty();
   }
 
   /// Deterministic outcome of one message attempt: kNone (delivered),
@@ -135,6 +155,18 @@ struct FaultPlan {
   [[nodiscard]] FaultKind attempt_outcome(std::uint64_t round, NodeId src,
                                           NodeId dst,
                                           std::uint32_t attempt) const noexcept;
+
+  /// True iff the message sent on logical link (src, dst) in run-wide round
+  /// @p round is silently corrupted.  Keyed on *logical* endpoints so the
+  /// decision is independent of contraction state and replays bit-identically
+  /// during checkpoint recovery.
+  [[nodiscard]] bool silent_hit(std::uint64_t round, NodeId src,
+                                NodeId dst) const noexcept;
+
+  /// Deterministic site hash of a silent corruption — the corrupted tag,
+  /// element index, and delta are all derived from it.
+  [[nodiscard]] std::uint64_t silent_site(std::uint64_t round, NodeId src,
+                                          NodeId dst) const noexcept;
 };
 
 }  // namespace hcmm::fault

@@ -33,4 +33,19 @@ struct Scenario {
                                                     std::uint64_t seed,
                                                     std::uint32_t count);
 
+/// A random node, live under @p base, whose death keeps the live cube
+/// connected — the victim chaos death scenarios use.  Deterministic in
+/// (cube, seed, base).
+[[nodiscard]] NodeId safe_victim(const Hypercube& cube, std::uint64_t seed,
+                                 const FaultSet& base);
+
+/// The ABFT chaos catalogue: silent-corruption sweeps at rising intensity
+/// plus a silent+transient mix.  These faults pass the transport CRC, so
+/// the retry/reroute layers never see them — only checksum-protected
+/// (abft::protect) runs can detect, correct, or cleanly refuse them.
+/// Unprotected runs under these plans produce silently wrong products; the
+/// campaign must never sweep them unprotected.
+[[nodiscard]] std::vector<Scenario> abft_scenarios(const Hypercube& cube,
+                                                   std::uint64_t seed);
+
 }  // namespace hcmm::fault

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "hcmm/abft/event.hpp"
+#include "hcmm/analysis/placement.hpp"
 #include "hcmm/fault/plan.hpp"
 #include "hcmm/sim/schedule.hpp"
 #include "hcmm/sim/store.hpp"
@@ -49,10 +51,20 @@ struct PhaseStats {
   double fault_word_cost = 0.0;      ///< word-times added by recovery
   double fault_delay = 0.0;          ///< backoff waits and spike latency
 
+  // ABFT / checkpoint accounting (abft::protect + Machine checkpointing).
+  // checkpoint_cost time is already inside comm_time (a breakdown, not an
+  // addition); silent_corruptions counts *injected* ground-truth events,
+  // abft_detected/corrected what the checksum verification concluded.
+  std::uint64_t checkpoints = 0;        ///< phase-boundary snapshots taken
+  double checkpoint_cost = 0.0;         ///< time spent writing checkpoints
+  std::uint64_t silent_corruptions = 0; ///< payloads flipped past the CRC
+  std::uint64_t abft_detected = 0;      ///< checksum residues flagged
+  std::uint64_t abft_corrected = 0;     ///< elements repaired from residues
+
   [[nodiscard]] double time() const noexcept { return comm_time + compute_time; }
   [[nodiscard]] bool faulted() const noexcept {
     return retries || reroutes || extra_hops || fault_startups ||
-           fault_word_cost > 0.0 || fault_delay > 0.0;
+           silent_corruptions || fault_word_cost > 0.0 || fault_delay > 0.0;
   }
   void add(const PhaseStats& other);
 };
@@ -97,6 +109,10 @@ struct SimReport {
   /// Located fault occurrences recorded during the run (capped; the
   /// PhaseStats counters are exhaustive even when this list is not).
   std::vector<fault::FaultEvent> fault_events;
+  /// Located ABFT verification outcomes (capped like fault_events).
+  std::vector<abft::AbftEvent> abft_events;
+  /// Completed checkpoint rollback-and-replay recoveries.
+  std::uint64_t recoveries = 0;
 
   [[nodiscard]] PhaseStats totals() const;
   /// Multi-line human-readable table.
@@ -169,10 +185,47 @@ class Machine {
   /// itself unless its plan declares it dead.
   [[nodiscard]] NodeId host_of(NodeId n) const;
 
+  /// The structural fault set schedule builders must route around.  While a
+  /// checkpoint replay is in flight this is the set that was in effect when
+  /// the checkpoint was taken — NOT the current plan's — so the replayed
+  /// prefix rebuilds round-for-round the schedules the original execution
+  /// measured (a recovery grows the current set mid-run; routing the prefix
+  /// around the new death would drift the replay).
+  [[nodiscard]] const fault::FaultSet& routing_faults() const noexcept;
+
   /// Located faults recorded since reset_stats() (capped at a few hundred;
   /// phase counters keep exact totals).
   [[nodiscard]] std::span<const fault::FaultEvent> fault_events() const noexcept {
     return fault_events_;
+  }
+
+  /// Enable phase-boundary checkpointing: every begin_phase() snapshots the
+  /// full store placement plus the measured stats, charging the paper's
+  /// write-out cost t_w * max-per-node resident words into the new phase.
+  /// Used by abft::protect so a mid-run node death can roll back to the last
+  /// phase boundary instead of restarting the run.
+  void set_checkpointing(bool on) { checkpointing_ = on; }
+  [[nodiscard]] bool checkpointing() const noexcept { return checkpointing_; }
+
+  /// Roll back to the most recent checkpoint after a FaultAbort(kMidRunDeath):
+  /// installs @p plan (the old plan with the death converted into a permanent
+  /// structural fault — validated exactly like set_fault_plan, so this throws
+  /// a located kHostless / kUnroutable FaultAbort when contraction is
+  /// impossible), records @p death, and arms the replay state consumed by the
+  /// next reset_stats().  The caller then re-runs the algorithm from the top:
+  /// rounds before the checkpointed boundary replay their store effects
+  /// without charging costs, and measurement resumes at the boundary.
+  void rollback_to_checkpoint(std::shared_ptr<const fault::FaultPlan> plan,
+                              const fault::FaultEvent& death);
+
+  /// Number of completed rollback_to_checkpoint() recoveries this run.
+  [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+  /// ABFT accounting hooks (called by abft::protect after verification).
+  void note_abft(std::uint64_t detected, std::uint64_t corrected);
+  void record_abft_event(abft::AbftEvent ev);
+  [[nodiscard]] std::span<const abft::AbftEvent> abft_events() const noexcept {
+    return abft_events_;
   }
 
  private:
@@ -219,6 +272,35 @@ class Machine {
   std::vector<NodeId> host_;
   std::vector<fault::FaultEvent> fault_events_;
   std::uint64_t round_seq_ = 0;
+
+  // Checkpoint / replay state.  A Checkpoint freezes everything measurement
+  // depends on at a phase boundary; replay after rollback re-executes the
+  // prefix rounds for their store effects only, then verifies the rebuilt
+  // placement matches the snapshot before measurement resumes.
+  struct Checkpoint {
+    std::vector<PhaseStats> phases;
+    analysis::Placement placement;
+    std::uint64_t round_seq = 0;
+    AsyncState async;
+    std::vector<fault::FaultEvent> events;
+    std::unordered_map<std::uint64_t, LinkLoad> links;
+    fault::FaultSet faults;  ///< structural set in effect when taken
+  };
+  void take_checkpoint();
+  void execute_round_replay(const Round& round);
+  void maybe_silent_corrupt(const Transfer& t, std::span<Payload> payloads,
+                            PhaseStats* ph);
+
+  bool checkpointing_ = false;
+  std::vector<Checkpoint> checkpoints_;
+  fault::FaultSet replay_faults_;  ///< routing set frozen for the replay
+  bool pending_restore_ = false;  ///< next reset_stats() restores + replays
+  std::vector<fault::FaultEvent> pending_events_;  ///< appended after restore
+  bool replaying_ = false;
+  std::uint64_t replay_until_ = 0;       ///< round_seq_ at the target boundary
+  std::size_t replay_phase_calls_ = 0;   ///< begin_phase() calls to swallow
+  std::uint64_t recoveries_ = 0;
+  std::vector<abft::AbftEvent> abft_events_;
 };
 
 }  // namespace hcmm

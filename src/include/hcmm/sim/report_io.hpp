@@ -13,13 +13,17 @@ namespace hcmm {
 
 /// CSV with header: phase,a_ts,b_tw,messages,link_words,flops,comm_time,
 /// compute_time,retries,reroutes,extra_hops,fault_startups,fault_word_cost,
-/// fault_delay — one row per phase plus a TOTAL row.
+/// fault_delay,checkpoints,checkpoint_cost,silent_corruptions,abft_detected,
+/// abft_corrected — one row per phase plus a TOTAL row.
 [[nodiscard]] std::string report_csv(const SimReport& report);
 
 /// JSON object: {"port": ..., "params": {...}, "phases": [...],
-/// "totals": {...}, "peak_words_total": ..., "fault_events": [...]}.
-/// Phase objects carry the resilience counters alongside the cost fields;
-/// fault events are {"kind", "src", "dst", "round", "attempt", "detail"}.
+/// "totals": {...}, "peak_words_total": ..., "recoveries": ...,
+/// "fault_events": [...], "abft_events": [...]}.  Phase objects carry the
+/// resilience and ABFT counters alongside the cost fields; fault events are
+/// {"kind", "src", "dst", "round", "attempt", "detail"}, ABFT events
+/// {"kind", "row", "col", "magnitude", "detail"} (row/col null when the
+/// event does not pin that coordinate).
 [[nodiscard]] std::string report_json(const SimReport& report);
 
 /// JSON export of static-analysis findings: {"errors": n, "warnings": n,

@@ -31,6 +31,11 @@ void PhaseStats::add(const PhaseStats& other) {
   fault_startups += other.fault_startups;
   fault_word_cost += other.fault_word_cost;
   fault_delay += other.fault_delay;
+  checkpoints += other.checkpoints;
+  checkpoint_cost += other.checkpoint_cost;
+  silent_corruptions += other.silent_corruptions;
+  abft_detected += other.abft_detected;
+  abft_corrected += other.abft_corrected;
 }
 
 LinkBalance summarize_links(std::span<const LinkLoad> loads,
@@ -85,6 +90,15 @@ std::string SimReport::to_string() const {
        << " delay=" << t.fault_delay << " events=" << fault_events.size()
        << "\n";
   }
+  if (t.checkpoints || t.silent_corruptions || t.abft_detected || recoveries ||
+      !abft_events.empty()) {
+    os << "abft: checkpoints=" << t.checkpoints << " ckpt_cost="
+       << std::setprecision(1) << t.checkpoint_cost
+       << " silent=" << t.silent_corruptions
+       << " detected=" << t.abft_detected
+       << " corrected=" << t.abft_corrected << " recoveries=" << recoveries
+       << " events=" << abft_events.size() << "\n";
+  }
   os << "peak store words (all nodes): " << peak_words_total << "\n";
   return os.str();
 }
@@ -103,18 +117,98 @@ PhaseStats& Machine::current_phase() {
 }
 
 void Machine::begin_phase(std::string name) {
+  if (replaying_) {
+    if (replay_phase_calls_ > 0) {
+      // A phase boundary inside the replayed prefix: its stats were restored
+      // from the checkpoint, so the call is swallowed.
+      --replay_phase_calls_;
+      return;
+    }
+    // This is the checkpointed boundary itself.  Replay must have re-executed
+    // exactly the prefix rounds and rebuilt the exact store placement the
+    // snapshot froze — anything else means recovery is not deterministic.
+    HCMM_CHECK(round_seq_ == replay_until_,
+               "checkpoint replay drift: expected " << replay_until_
+                                                    << " rounds, re-executed "
+                                                    << round_seq_);
+    HCMM_CHECK(!checkpoints_.empty(), "replay without a checkpoint");
+    const analysis::Placement now = analysis::snapshot_placement(store_);
+    HCMM_CHECK(now.nodes() == checkpoints_.back().placement.nodes(),
+               "checkpoint replay rebuilt a different store placement");
+    replaying_ = false;
+  }
   phases_.push_back(PhaseStats{.name = std::move(name)});
+  if (checkpointing_) take_checkpoint();
+}
+
+void Machine::take_checkpoint() {
+  // Freeze everything measurement depends on, *before* charging the
+  // checkpoint's own cost (the restore path re-enters through this function
+  // and must re-charge it identically).  The just-pushed empty phase is
+  // excluded: rollback re-pushes it at the boundary.
+  Checkpoint ck;
+  ck.phases.assign(phases_.begin(), phases_.end() - 1);
+  ck.placement = analysis::snapshot_placement(store_);
+  ck.round_seq = round_seq_;
+  ck.async = async_;
+  ck.events = fault_events_;
+  ck.links = link_traffic_;
+  if (fault_) ck.faults = fault_->set;
+  // Only the latest boundary is ever rolled back to; older snapshots would
+  // just hold payload-sized placement maps alive.
+  checkpoints_.clear();
+  checkpoints_.push_back(std::move(ck));
+
+  // Write-out cost under the paper's model: every node streams its resident
+  // words to its checkpoint partner at t_w per word plus one start-up,
+  // bulk-synchronously — the slowest node gates the barrier.
+  std::size_t max_words = 0;
+  for (NodeId n = 0; n < cube_.size(); ++n) {
+    max_words = std::max(max_words, store_.words(n));
+  }
+  const double cost =
+      params_.ts + params_.tw * static_cast<double>(max_words);
+  PhaseStats& ph = phases_.back();
+  ph.checkpoints += 1;
+  ph.checkpoint_cost += cost;
+  ph.rounds += 1;  // the write-out start-up and words show up in (a, b)
+  ph.word_cost += static_cast<double>(max_words);
+  ph.comm_time += cost;
+  // The checkpoint is a global barrier for the asynchronous DAG too.
+  async_.floor = std::max(async_.floor, async_.makespan) + cost;
+  async_.makespan = async_.floor;
 }
 
 void Machine::run(const Schedule& s) {
   if (observer_) observer_(s);
   PhaseStats& ph = current_phase();
   // An absent or empty plan takes the exact fault-free path so installing an
-  // empty FaultPlan is guaranteed bit-identical to no plan at all.
-  const bool faulty = fault_ && !fault_->empty();
+  // empty FaultPlan is guaranteed bit-identical to no plan at all.  A plan
+  // whose only content is scheduled kills also runs the clean path until a
+  // trigger fires — the pre-death prefix must cost exactly the clean run so
+  // checkpoints taken before the death stay valid.
+  const bool faulty =
+      fault_ && (!fault_->set.empty() || fault_->transient.any());
   for (const Round& round : s.rounds) {
     if (round.empty()) continue;
     validate_round(round);
+    if (replaying_) {
+      execute_round_replay(round);
+      round_seq_ += 1;
+      continue;
+    }
+    if (fault_ && !fault_->kill_at.empty()) {
+      // Scheduled mid-run deaths fire before the round executes.  Replayed
+      // rounds never reach here: the recovery driver converts each fired
+      // trigger into a permanent structural fault before re-running.
+      const auto it = fault_->kill_at.find(round_seq_);
+      if (it != fault_->kill_at.end() && !it->second.empty()) {
+        const NodeId victim = *it->second.begin();
+        throw fault::FaultAbort({fault::FaultKind::kMidRunDeath, victim,
+                                 victim, round_seq_, 0,
+                                 "scheduled node death"});
+      }
+    }
     if (faulty) {
       execute_round_faulty(round, ph);
     } else {
@@ -153,6 +247,12 @@ void Machine::set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
 NodeId Machine::host_of(NodeId n) const {
   HCMM_CHECK(cube_.contains(n), "host_of: node " << n << " out of range");
   return host_.empty() ? n : host_[n];
+}
+
+const fault::FaultSet& Machine::routing_faults() const noexcept {
+  static const fault::FaultSet kNone;
+  if (replaying_) return replay_faults_;
+  return fault_ ? fault_->set : kNone;
 }
 
 void Machine::record_event(fault::FaultEvent ev) {
@@ -296,11 +396,20 @@ void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
   const bool contracted = !host_.empty();
   for (const Transfer& t : round.transfers) {
     std::size_t words = 0;
+    std::vector<Payload> payloads;
+    payloads.reserve(t.tags.size());
     for (const Tag tag : t.tags) {
       Payload p = store_.get(t.src, tag);  // throws if absent: schedule bug
       words += p->size();
-      deliveries.push_back({t.dst, tag, std::move(p), t.combine});
+      payloads.push_back(std::move(p));
       if (t.move_src) erasures.emplace_back(t.src, tag);
+    }
+    // Silent corruption strikes the wire, before contraction decides whether
+    // a wire is even involved: the decision keys on *logical* endpoints so a
+    // checkpoint replay under a different contraction corrupts identically.
+    maybe_silent_corrupt(t, payloads, &ph);
+    for (std::size_t i = 0; i < t.tags.size(); ++i) {
+      deliveries.push_back({t.dst, t.tags[i], std::move(payloads[i]), t.combine});
     }
     const NodeId ps = contracted ? host_[t.src] : t.src;
     const NodeId pd = contracted ? host_[t.dst] : t.dst;
@@ -381,6 +490,118 @@ void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
   async_.floor =
       std::max(async_.floor, async_.makespan) + (ph.comm_time - comm_before);
   async_.makespan = async_.floor;
+}
+
+void Machine::maybe_silent_corrupt(const Transfer& t,
+                                   std::span<Payload> payloads,
+                                   PhaseStats* ph) {
+  if (!fault_ || !fault_->silent_hit(round_seq_, t.src, t.dst)) return;
+  if (payloads.empty()) return;
+  const std::uint64_t h = fault_->silent_site(round_seq_, t.src, t.dst);
+  const std::size_t k = static_cast<std::size_t>(h % payloads.size());
+  const Payload& hit = payloads[k];
+  if (!hit || hit->empty()) return;
+  // Payloads are shared; the corruption happens to the copy on the wire, so
+  // the sender's replica must stay intact.
+  auto flipped = std::make_shared<std::vector<double>>(*hit);
+  const std::size_t idx = static_cast<std::size_t>((h >> 8) % flipped->size());
+  double delta = 1.0 + static_cast<double>((h >> 32) % 7);
+  if ((h >> 40) & 1u) delta = -delta;
+  (*flipped)[idx] += delta;
+  payloads[k] = std::move(flipped);
+  if (ph != nullptr) {  // null during replay: effect replays, count does not
+    ph->silent_corruptions += 1;
+    record_event({fault::FaultKind::kSilentCorrupt, t.src, t.dst, round_seq_,
+                  0,
+                  "tag " + std::to_string(t.tags[k]) + ", element " +
+                      std::to_string(idx) + ", delta " +
+                      std::to_string(delta)});
+  }
+}
+
+void Machine::execute_round_replay(const Round& round) {
+  // Checkpoint replay: re-execute the round's store effects — including the
+  // deterministic silent corruptions of the original attempt — while
+  // charging nothing.  The costs, events, and traffic of the replayed prefix
+  // were restored wholesale from the checkpoint.
+  struct Delivery {
+    NodeId dst;
+    Tag tag;
+    Payload payload;
+    bool combine;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<std::pair<NodeId, Tag>> erasures;
+  for (const Transfer& t : round.transfers) {
+    std::vector<Payload> payloads;
+    payloads.reserve(t.tags.size());
+    for (const Tag tag : t.tags) {
+      payloads.push_back(store_.get(t.src, tag));
+      if (t.move_src) erasures.emplace_back(t.src, tag);
+    }
+    maybe_silent_corrupt(t, payloads, nullptr);
+    for (std::size_t i = 0; i < t.tags.size(); ++i) {
+      deliveries.push_back(
+          {t.dst, t.tags[i], std::move(payloads[i]), t.combine});
+    }
+  }
+  for (const auto& [node, tag] : erasures) store_.erase(node, tag);
+  for (auto& d : deliveries) {
+    if (d.combine) {
+      store_.combine(d.dst, d.tag, d.payload);
+    } else {
+      store_.put_shared(d.dst, d.tag, std::move(d.payload));
+    }
+  }
+}
+
+void Machine::rollback_to_checkpoint(
+    std::shared_ptr<const fault::FaultPlan> plan,
+    const fault::FaultEvent& death) {
+  HCMM_CHECK(checkpointing_, "rollback_to_checkpoint: checkpointing is off");
+  HCMM_CHECK(!checkpoints_.empty(),
+             "rollback_to_checkpoint: no checkpoint taken yet");
+  HCMM_CHECK(plan != nullptr, "rollback_to_checkpoint: null plan");
+  // The updated plan (death converted into a permanent structural fault)
+  // faces the same feasibility gate as set_fault_plan: contraction needs a
+  // live partner and rerouting needs a connected live cube.  Failing either
+  // is a clean located abort, not a crash.
+  const fault::FaultSet& fs = plan->set;
+  if (!fs.empty() && !fs.connected(cube_)) {
+    throw fault::FaultAbort({fault::FaultKind::kUnroutable, death.src,
+                             death.dst, death.round, 0,
+                             "mid-run death disconnects the live cube"});
+  }
+  std::vector<NodeId> hosts(cube_.size());
+  for (NodeId n = 0; n < cube_.size(); ++n) {
+    hosts[n] = fs.host(cube_, n);  // throws FaultAbort(kHostless) if stuck
+  }
+  fault_ = std::move(plan);
+  host_ = std::move(hosts);
+  // The store may be mid-phase garbage; recovery restarts the algorithm on a
+  // fresh store and replays the prefix, so placement is rebuilt — and then
+  // verified against the snapshot — rather than patched.
+  store_ = DataStore(cube_.size());
+  recoveries_ += 1;
+  pending_restore_ = true;
+  pending_events_.clear();
+  pending_events_.push_back(death);
+  pending_events_.push_back({fault::FaultKind::kNodeDeath, death.src,
+                             host_[death.src], death.round, 0,
+                             "contracted onto live partner after rollback"});
+}
+
+void Machine::note_abft(std::uint64_t detected, std::uint64_t corrected) {
+  PhaseStats& ph = current_phase();
+  ph.abft_detected += detected;
+  ph.abft_corrected += corrected;
+}
+
+void Machine::record_abft_event(abft::AbftEvent ev) {
+  constexpr std::size_t kMaxAbftEvents = 64;
+  if (abft_events_.size() < kMaxAbftEvents) {
+    abft_events_.push_back(std::move(ev));
+  }
 }
 
 void Machine::apply_transients(NodeId src, NodeId dst, std::size_t words,
@@ -484,6 +705,10 @@ void Machine::execute_detours(std::vector<Detour>& detours, PhaseStats& ph) {
 
 void Machine::charge_compute(
     std::span<const std::pair<NodeId, std::uint64_t>> per_node) {
+  // Replayed prefix compute was measured on the original attempt and
+  // restored with the checkpoint; the algorithm still re-executes the local
+  // work for its store effects, it just isn't charged twice.
+  if (replaying_) return;
   std::uint64_t max_flops = 0;
   if (!host_.empty()) {
     // Subcube contraction: a host executes its own work plus the work of
@@ -520,16 +745,49 @@ SimReport Machine::report() const {
   r.async_makespan = std::max(async_.makespan, async_.floor);
   r.peak_words_total = store_.total_peak_words();
   r.fault_events = fault_events_;
+  r.abft_events = abft_events_;
+  r.recoveries = recoveries_;
   return r;
 }
 
 void Machine::reset_stats() {
+  if (pending_restore_) {
+    // Rollback recovery: instead of forgetting the measured run, restore the
+    // last phase-boundary snapshot and arm replay.  The algorithm re-runs
+    // from the top; rounds and compute before the boundary re-execute for
+    // their store effects only, then measurement resumes at the boundary.
+    pending_restore_ = false;
+    const Checkpoint& ck = checkpoints_.back();
+    phases_ = ck.phases;
+    async_ = ck.async;
+    fault_events_ = ck.events;
+    link_traffic_ = ck.links;
+    for (auto& ev : pending_events_) record_event(std::move(ev));
+    pending_events_.clear();
+    store_.reset_peaks();
+    round_seq_ = 0;
+    replaying_ = true;
+    replay_until_ = ck.round_seq;
+    replay_phase_calls_ = ck.phases.size();
+    // The prefix must rebuild the schedules the original execution measured,
+    // so routing during replay avoids the fault set of checkpoint time — the
+    // just-converted death only steers schedules built after the boundary.
+    replay_faults_ = ck.faults;
+    return;
+  }
   phases_.clear();
   store_.reset_peaks();
   link_traffic_.clear();
   async_ = AsyncState{};
   fault_events_.clear();
   round_seq_ = 0;
+  checkpoints_.clear();
+  replaying_ = false;
+  replay_until_ = 0;
+  replay_phase_calls_ = 0;
+  recoveries_ = 0;
+  abft_events_.clear();
+  pending_events_.clear();
   // Structural faults outlive a stats reset; keep their events visible.
   for (NodeId n = 0; n < static_cast<NodeId>(host_.size()); ++n) {
     if (host_[n] != n) {

@@ -10,14 +10,32 @@ void csv_row(std::ostringstream& os, const PhaseStats& p) {
      << p.messages << ',' << p.link_words << ',' << p.flops << ','
      << p.comm_time << ',' << p.compute_time << ',' << p.retries << ','
      << p.reroutes << ',' << p.extra_hops << ',' << p.fault_startups << ','
-     << p.fault_word_cost << ',' << p.fault_delay << '\n';
+     << p.fault_word_cost << ',' << p.fault_delay << ',' << p.checkpoints
+     << ',' << p.checkpoint_cost << ',' << p.silent_corruptions << ','
+     << p.abft_detected << ',' << p.abft_corrected << '\n';
 }
 
 void json_escape(std::ostringstream& os, const std::string& s) {
+  // Full JSON string escaping: quotes, backslashes, and every control
+  // character (fault-event details can carry newlines and tabs).
+  static constexpr char kHex[] = "0123456789abcdef";
   os << '"';
   for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
   }
   os << '"';
 }
@@ -32,7 +50,12 @@ void json_phase(std::ostringstream& os, const PhaseStats& p) {
      << ", \"retries\": " << p.retries << ", \"reroutes\": " << p.reroutes
      << ", \"extra_hops\": " << p.extra_hops << ", \"fault_startups\": "
      << p.fault_startups << ", \"fault_word_cost\": " << p.fault_word_cost
-     << ", \"fault_delay\": " << p.fault_delay << "}";
+     << ", \"fault_delay\": " << p.fault_delay
+     << ", \"checkpoints\": " << p.checkpoints
+     << ", \"checkpoint_cost\": " << p.checkpoint_cost
+     << ", \"silent_corruptions\": " << p.silent_corruptions
+     << ", \"abft_detected\": " << p.abft_detected
+     << ", \"abft_corrected\": " << p.abft_corrected << "}";
 }
 
 void json_fault_event(std::ostringstream& os, const fault::FaultEvent& e) {
@@ -43,13 +66,32 @@ void json_fault_event(std::ostringstream& os, const fault::FaultEvent& e) {
   os << "}";
 }
 
+void json_abft_event(std::ostringstream& os, const abft::AbftEvent& e) {
+  os << "{\"kind\": \"" << abft::to_string(e.kind) << "\", \"row\": ";
+  if (e.row == abft::AbftEvent::kNoIndex) {
+    os << "null";
+  } else {
+    os << e.row;
+  }
+  os << ", \"col\": ";
+  if (e.col == abft::AbftEvent::kNoIndex) {
+    os << "null";
+  } else {
+    os << e.col;
+  }
+  os << ", \"magnitude\": " << e.magnitude << ", \"detail\": ";
+  json_escape(os, e.detail);
+  os << "}";
+}
+
 }  // namespace
 
 std::string report_csv(const SimReport& report) {
   std::ostringstream os;
   os << "phase,a_ts,b_tw,messages,link_words,flops,comm_time,compute_time,"
         "retries,reroutes,extra_hops,fault_startups,fault_word_cost,"
-        "fault_delay\n";
+        "fault_delay,checkpoints,checkpoint_cost,silent_corruptions,"
+        "abft_detected,abft_corrected\n";
   for (const auto& p : report.phases) csv_row(os, p);
   csv_row(os, report.totals());
   return os.str();
@@ -67,10 +109,16 @@ std::string report_json(const SimReport& report) {
   os << "], \"totals\": ";
   json_phase(os, report.totals());
   os << ", \"peak_words_total\": " << report.peak_words_total
+     << ", \"recoveries\": " << report.recoveries
      << ", \"fault_events\": [";
   for (std::size_t i = 0; i < report.fault_events.size(); ++i) {
     if (i != 0) os << ", ";
     json_fault_event(os, report.fault_events[i]);
+  }
+  os << "], \"abft_events\": [";
+  for (std::size_t i = 0; i < report.abft_events.size(); ++i) {
+    if (i != 0) os << ", ";
+    json_abft_event(os, report.abft_events[i]);
   }
   os << "]}";
   return os.str();

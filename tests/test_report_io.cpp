@@ -21,7 +21,8 @@ TEST(ReportIo, CsvHasHeaderAndTotalRow) {
   const std::string csv = report_csv(sample_report());
   EXPECT_EQ(csv.find("phase,a_ts,b_tw,messages,link_words,flops,comm_time,"
                      "compute_time,retries,reroutes,extra_hops,fault_startups,"
-                     "fault_word_cost,fault_delay\n"),
+                     "fault_word_cost,fault_delay,checkpoints,checkpoint_cost,"
+                     "silent_corruptions,abft_detected,abft_corrected\n"),
             0u);
   EXPECT_NE(csv.find("\"TOTAL\","), std::string::npos);
   EXPECT_NE(csv.find("\"p2p B\","), std::string::npos);
@@ -81,9 +82,10 @@ TEST(ReportIo, FaultFieldsRoundTrip) {
       .detail = "injected \"drop\""});
 
   const std::string csv = report_csv(rep);
-  // Phase row: the six resilience columns follow compute_time in order.
+  // Phase row: the six resilience columns follow compute_time in order,
+  // then the five ABFT/checkpoint columns (all zero here).
   EXPECT_NE(csv.find("\"shift A\",4,16,"), std::string::npos);
-  EXPECT_NE(csv.find(",3,2,5,7,12.5,400.25\n"), std::string::npos);
+  EXPECT_NE(csv.find(",3,2,5,7,12.5,400.25,0,0,0,0,0\n"), std::string::npos);
 
   const std::string json = report_json(rep);
   EXPECT_NE(json.find("\"retries\": 3"), std::string::npos);
@@ -95,6 +97,87 @@ TEST(ReportIo, FaultFieldsRoundTrip) {
   EXPECT_NE(json.find("\"fault_events\": [{\"kind\": \"drop\", \"src\": 3, "
                       "\"dst\": 7, \"round\": 11, \"attempt\": 2, "
                       "\"detail\": \"injected \\\"drop\\\"\"}]"),
+            std::string::npos);
+}
+
+// Every FaultKind enumerator must print a real name — an enumerator added
+// without a to_string case would fall through to "?" and make every chaos
+// diagnosis useless.
+TEST(ReportIo, FaultKindToStringIsExhaustive) {
+  using fault::FaultKind;
+  const std::pair<FaultKind, const char*> expected[] = {
+      {FaultKind::kNone, "none"},
+      {FaultKind::kDrop, "drop"},
+      {FaultKind::kCorrupt, "corrupt"},
+      {FaultKind::kSpike, "latency-spike"},
+      {FaultKind::kReroute, "reroute"},
+      {FaultKind::kNodeDeath, "node-death"},
+      {FaultKind::kRetryExhausted, "retry-exhausted"},
+      {FaultKind::kUnroutable, "unroutable"},
+      {FaultKind::kHostless, "hostless"},
+      {FaultKind::kSilentCorrupt, "silent-corrupt"},
+      {FaultKind::kMidRunDeath, "mid-run-death"},
+      {FaultKind::kAbftUncorrectable, "abft-uncorrectable"},
+  };
+  for (const auto& [kind, name] : expected) {
+    EXPECT_STREQ(fault::to_string(kind), name);
+    EXPECT_STRNE(fault::to_string(kind), "?");
+  }
+}
+
+// A fault-event detail full of quotes, backslashes, newlines, and other
+// control characters must come out of report_json as valid JSON.
+TEST(ReportIo, JsonEscapesControlCharactersInDetail) {
+  SimReport rep;
+  rep.fault_events.push_back(fault::FaultEvent{
+      .kind = fault::FaultKind::kCorrupt,
+      .src = 1,
+      .dst = 2,
+      .round = 3,
+      .attempt = 1,
+      .detail = "line1\nline2\t\"quoted\" back\\slash\r\x01"});
+  const std::string json = report_json(rep);
+  EXPECT_NE(json.find("line1\\nline2\\t\\\"quoted\\\" "
+                      "back\\\\slash\\r\\u0001"),
+            std::string::npos);
+  // No raw control characters may survive in the output.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+// ABFT events and counters must survive the JSON export, with kNoIndex
+// coordinates mapped to null.
+TEST(ReportIo, AbftFieldsRoundTrip) {
+  SimReport rep;
+  PhaseStats ph{.name = "abft verify"};
+  ph.checkpoints = 2;
+  ph.checkpoint_cost = 450.5;
+  ph.silent_corruptions = 1;
+  ph.abft_detected = 3;
+  ph.abft_corrected = 2;
+  rep.phases.push_back(ph);
+  rep.recoveries = 1;
+  rep.abft_events.push_back(abft::AbftEvent{
+      .kind = abft::EventKind::kRowCorrected,
+      .row = 5,
+      .col = abft::AbftEvent::kNoIndex,
+      .magnitude = 3.25,
+      .detail = "residues"});
+
+  const std::string csv = report_csv(rep);
+  EXPECT_NE(csv.find(",2,450.5,1,3,2\n"), std::string::npos);
+
+  const std::string json = report_json(rep);
+  EXPECT_NE(json.find("\"checkpoints\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint_cost\": 450.5"), std::string::npos);
+  EXPECT_NE(json.find("\"silent_corruptions\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"abft_detected\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"abft_corrected\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"recoveries\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"abft_events\": [{\"kind\": \"row-corrected\", "
+                      "\"row\": 5, \"col\": null, \"magnitude\": 3.25, "
+                      "\"detail\": \"residues\"}]"),
             std::string::npos);
 }
 

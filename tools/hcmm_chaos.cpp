@@ -3,22 +3,29 @@
 // Drives every registered matrix-multiplication algorithm on 8- and 64-node
 // machines under both port models through every chaos scenario (empty plan,
 // single link failure, transient drops, latency spikes, a dead node, and a
-// combined storm — see fault/scenarios.hpp).  Every run must end in one of
-// exactly two acceptable states:
+// combined storm — see fault/scenarios.hpp), then repeats the sweep with
+// every algorithm wrapped in abft::protect against the ABFT catalogue:
+// silent corruption the transport CRC cannot see, and node deaths scheduled
+// mid-run at each phase-boundary round of the clean run.  Every run must end
+// in one of exactly two acceptable states:
 //
 //   1. a numerically correct product (verified against the serial gemm), or
 //   2. a clean fault::FaultAbort carrying a located FaultEvent diagnosis
-//      (only possible for scenarios with an exhaustible retry budget).
+//      (only possible for scenarios with a stochastic transient model).
 //
 // Anything else — wrong product, unlocated exception, crash — is a FAIL and
 // the tool exits nonzero, so the ctest/CI wiring (`chaos_campaign`) turns a
 // recovery regression into a build failure.  The baseline-empty-plan
 // scenario additionally asserts the zero-overhead guarantee: its measured
-// report must be bit-identical to a plan-free run.
+// report must be bit-identical to a plan-free run, and a protected run must
+// report zero ABFT detections on top.  Scheduled-death scenarios must end
+// correct with at least one checkpoint recovery — the death is not optional.
 //
 // Usage: hcmm_chaos [--json] [--out FILE] [--seed S]
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hcmm/abft/protect.hpp"
 #include "hcmm/algo/api.hpp"
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/generate.hpp"
@@ -52,6 +60,7 @@ struct RunRecord {
   Outcome outcome = Outcome::kFail;
   std::string detail;  // abort diagnosis or failure description
   PhaseStats totals;   // zeroed on aborts
+  std::uint64_t recoveries = 0;
 };
 
 const char* to_string(Outcome o) {
@@ -97,7 +106,11 @@ std::string campaign_json(const std::vector<RunRecord>& records,
        << ", \"reroutes\": " << r.totals.reroutes
        << ", \"extra_hops\": " << r.totals.extra_hops
        << ", \"fault_startups\": " << r.totals.fault_startups
-       << ", \"fault_delay\": " << r.totals.fault_delay << "}";
+       << ", \"fault_delay\": " << r.totals.fault_delay
+       << ", \"silent_corruptions\": " << r.totals.silent_corruptions
+       << ", \"abft_detected\": " << r.totals.abft_detected
+       << ", \"abft_corrected\": " << r.totals.abft_corrected
+       << ", \"recoveries\": " << r.recoveries << "}";
   }
   os << "]}";
   return os.str();
@@ -119,6 +132,10 @@ std::string report_mismatch(const SimReport& base, const SimReport& with) {
     if (a.compute_time != b.compute_time) {
       return a.name + ": compute_time differs";
     }
+    if (a.checkpoints != b.checkpoints) return a.name + ": checkpoints differ";
+    if (a.checkpoint_cost != b.checkpoint_cost) {
+      return a.name + ": checkpoint_cost differs";
+    }
     if (b.faulted()) return a.name + ": fault counters nonzero";
   }
   if (base.async_makespan != with.async_makespan) {
@@ -128,7 +145,89 @@ std::string report_mismatch(const SimReport& base, const SimReport& with) {
     return "peak_words_total differs";
   }
   if (!with.fault_events.empty()) return "fault events recorded";
+  if (with.recoveries != 0) return "recoveries recorded";
   return {};
+}
+
+/// round_seq_ value at the start of each measured phase of a *clean* run:
+/// PhaseStats::rounds counts one start-up per executed round plus one per
+/// checkpoint, so subtracting the checkpoints recovers the executed-round
+/// sequence the kill_at triggers key on.
+std::vector<std::uint64_t> phase_boundary_rounds(const SimReport& clean) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t executed = 0;
+  for (const PhaseStats& ph : clean.phases) {
+    out.push_back(executed);
+    executed += ph.rounds - ph.checkpoints;
+  }
+  out.push_back(executed);  // total — one past the last triggerable round
+  return out;
+}
+
+struct Campaign {
+  std::vector<RunRecord> records;
+  std::size_t fails = 0;
+  std::size_t skipped = 0;
+};
+
+/// Run one (algorithm, scenario) combination and judge the outcome.
+/// @p protected_run switches on the ABFT acceptance rules: empty plans must
+/// additionally report zero ABFT activity, and death-only plans must end
+/// correct after at least one recovery.
+void run_scenario(Campaign& camp, const algo::DistributedMatmul& alg,
+                  const Hypercube& cube, PortModel port, const Matrix& a,
+                  const Matrix& b, const Matrix& want,
+                  const SimReport& clean_report, const fault::Scenario& sc,
+                  const std::string& context, bool protected_run) {
+  const std::size_t n = a.rows();
+  RunRecord rec;
+  rec.context = context;
+  rec.scenario = sc.name;
+  const bool death_only = !sc.plan.kill_at.empty() &&
+                          !sc.plan.transient.any() && sc.plan.set.empty();
+  try {
+    Machine m(cube, port, CostParams{});
+    m.set_fault_plan(std::make_shared<const fault::FaultPlan>(sc.plan));
+    const algo::RunResult res = alg.run(a, b, m);
+    rec.totals = res.report.totals();
+    rec.recoveries = res.report.recoveries;
+    if (!approx_equal(res.c, want, 1e-9 * static_cast<double>(n))) {
+      rec.outcome = Outcome::kFail;
+      rec.detail = "product differs from serial gemm by " +
+                   std::to_string(max_abs_diff(res.c, want));
+    } else if (sc.plan.empty()) {
+      const std::string diff = report_mismatch(clean_report, res.report);
+      if (!diff.empty()) {
+        rec.outcome = Outcome::kFail;
+        rec.detail = "empty plan not bit-identical: " + diff;
+      } else if (protected_run && (rec.totals.abft_detected != 0 ||
+                                   rec.totals.abft_corrected != 0 ||
+                                   rec.totals.silent_corruptions != 0)) {
+        rec.outcome = Outcome::kFail;
+        rec.detail = "fault-free protected run reported ABFT activity";
+      } else {
+        rec.outcome = Outcome::kCorrect;
+      }
+    } else if (death_only && res.report.recoveries == 0) {
+      rec.outcome = Outcome::kFail;
+      rec.detail = "scheduled death never triggered a checkpoint recovery";
+    } else {
+      rec.outcome = Outcome::kCorrect;
+    }
+  } catch (const fault::FaultAbort& fa) {
+    if (sc.plan.transient.any()) {
+      rec.outcome = Outcome::kCleanAbort;  // located diagnosis — OK
+      rec.detail = fa.event().to_string();
+    } else {
+      rec.outcome = Outcome::kFail;  // structural/death plans must recover
+      rec.detail = "unexpected abort: " + std::string(fa.what());
+    }
+  } catch (const std::exception& e) {
+    rec.outcome = Outcome::kFail;
+    rec.detail = std::string("unlocated exception: ") + e.what();
+  }
+  camp.fails += rec.outcome == Outcome::kFail;
+  camp.records.push_back(std::move(rec));
 }
 
 }  // namespace
@@ -144,16 +243,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      // Parse strictly: a seed that silently truncates (or an exception out
+      // of main) would make a chaos reproduction irreproducible.
+      const char* text = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE) {
+        std::cerr << "hcmm_chaos: invalid --seed '" << text
+                  << "' (expected a decimal unsigned integer)\n"
+                  << "usage: hcmm_chaos [--json] [--out FILE] [--seed S]\n";
+        return 2;
+      }
+      seed = v;
     } else {
       std::cerr << "usage: hcmm_chaos [--json] [--out FILE] [--seed S]\n";
       return 2;
     }
   }
 
-  std::vector<RunRecord> records;
-  std::size_t fails = 0;
-  std::size_t skipped = 0;
+  Campaign camp;
 
   const std::uint32_t dims[] = {3, 6};
   const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
@@ -161,15 +270,18 @@ int main(int argc, char** argv) {
   for (const std::uint32_t dim : dims) {
     const Hypercube cube(dim);
     const auto scenarios = fault::chaos_scenarios(cube, seed + dim);
+    const auto abft_scs = fault::abft_scenarios(cube, seed + dim + 101);
     for (const PortModel port : ports) {
+      // Sweep 1: unprotected algorithms against the transport-level
+      // catalogue (every fault there is visible to retry/reroute recovery).
       for (const auto& alg : algo::all_algorithms()) {
         if (!alg->supports(port)) {
-          ++skipped;
+          ++camp.skipped;
           continue;
         }
         const std::size_t n = pick_n(*alg, cube.size());
         if (n == 0) {
-          ++skipped;
+          ++camp.skipped;
           continue;
         }
         const std::string context = alg->name() + " on " +
@@ -186,52 +298,81 @@ int main(int argc, char** argv) {
           Machine m(cube, port, CostParams{});
           clean_report = alg->run(a, b, m).report;
         }
-
         for (const auto& sc : scenarios) {
+          run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
+                       context, /*protected_run=*/false);
+        }
+      }
+
+      // Sweep 2: ABFT-protected algorithms against silent corruption and
+      // scheduled mid-run deaths at every phase boundary of the clean run.
+      for (const auto& alg : abft::all_protected()) {
+        if (!alg->supports(port)) {
+          ++camp.skipped;
+          continue;
+        }
+        const std::size_t n = pick_n(*alg, cube.size());
+        if (n == 0) {
+          ++camp.skipped;
+          continue;
+        }
+        const std::string context = alg->name() + " on " +
+                                    std::to_string(cube.size()) + " nodes (" +
+                                    to_string(port) + ")";
+        const Matrix a = random_matrix(n, n, 17);
+        const Matrix b = random_matrix(n, n, 18);
+        const Matrix want = multiply_naive(a, b);
+
+        SimReport clean_report;
+        {
+          Machine m(cube, port, CostParams{});
+          clean_report = alg->run(a, b, m).report;
+        }
+        bool has_encode = false;
+        bool has_verify = false;
+        for (const PhaseStats& ph : clean_report.phases) {
+          has_encode |= ph.name == "abft encode";
+          has_verify |= ph.name == "abft verify";
+        }
+        if (!has_encode || !has_verify) {
           RunRecord rec;
           rec.context = context;
-          rec.scenario = sc.name;
-          try {
-            Machine m(cube, port, CostParams{});
-            m.set_fault_plan(std::make_shared<const fault::FaultPlan>(sc.plan));
-            const algo::RunResult res = alg->run(a, b, m);
-            if (!approx_equal(res.c, want, 1e-9 * static_cast<double>(n))) {
-              rec.outcome = Outcome::kFail;
-              rec.detail = "product differs from serial gemm by " +
-                           std::to_string(max_abs_diff(res.c, want));
-            } else if (sc.plan.empty()) {
-              const std::string diff =
-                  report_mismatch(clean_report, res.report);
-              if (diff.empty()) {
-                rec.outcome = Outcome::kCorrect;
-              } else {
-                rec.outcome = Outcome::kFail;
-                rec.detail = "empty plan not bit-identical: " + diff;
-              }
-            } else {
-              rec.outcome = Outcome::kCorrect;
-            }
-            rec.totals = res.report.totals();
-          } catch (const fault::FaultAbort& fa) {
-            if (sc.plan.transient.any()) {
-              rec.outcome = Outcome::kCleanAbort;  // located diagnosis — OK
-              rec.detail = fa.event().to_string();
-            } else {
-              rec.outcome = Outcome::kFail;  // structural-only plans must
-              rec.detail = "unexpected abort: " + std::string(fa.what());
-            }
-          } catch (const std::exception& e) {
-            rec.outcome = Outcome::kFail;
-            rec.detail = std::string("unlocated exception: ") + e.what();
-          }
-          fails += rec.outcome == Outcome::kFail;
-          records.push_back(std::move(rec));
+          rec.scenario = "abft-phases-present";
+          rec.outcome = Outcome::kFail;
+          rec.detail = "protected run is missing its abft phases";
+          camp.fails += 1;
+          camp.records.push_back(std::move(rec));
+          continue;
+        }
+
+        std::vector<fault::Scenario> scs;
+        scs.push_back({"baseline-empty-plan", fault::FaultPlan{}});
+        scs.insert(scs.end(), abft_scs.begin(), abft_scs.end());
+        const std::vector<std::uint64_t> bounds =
+            phase_boundary_rounds(clean_report);
+        const std::uint64_t total = bounds.back();
+        std::uint64_t prev = ~std::uint64_t{0};
+        for (std::size_t j = 0; j + 1 < bounds.size(); ++j) {
+          const std::uint64_t r = bounds[j];
+          if (r >= total || r == prev) continue;  // no round left / duplicate
+          prev = r;
+          fault::Scenario s{"death-at-round-" + std::to_string(r),
+                            fault::FaultPlan{}};
+          s.plan.kill_node_at_round(
+              fault::safe_victim(cube, seed + dim * 1000 + j, fault::FaultSet{}),
+              r);
+          scs.push_back(std::move(s));
+        }
+
+        for (const auto& sc : scs) {
+          run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
+                       context, /*protected_run=*/true);
         }
       }
     }
   }
 
-  const std::string doc = campaign_json(records, fails, skipped);
+  const std::string doc = campaign_json(camp.records, camp.fails, camp.skipped);
   if (!out_path.empty()) {
     std::ofstream f(out_path);
     f << doc << "\n";
@@ -241,19 +382,19 @@ int main(int argc, char** argv) {
   } else {
     std::size_t correct = 0;
     std::size_t aborted = 0;
-    for (const RunRecord& r : records) {
+    for (const RunRecord& r : camp.records) {
       correct += r.outcome == Outcome::kCorrect;
       aborted += r.outcome == Outcome::kCleanAbort;
     }
-    std::cout << "hcmm_chaos: " << records.size() << " runs — " << correct
-              << " correct, " << aborted << " clean aborts, " << fails
-              << " failures (" << skipped << " combinations skipped)\n";
-    for (const RunRecord& r : records) {
+    std::cout << "hcmm_chaos: " << camp.records.size() << " runs — " << correct
+              << " correct, " << aborted << " clean aborts, " << camp.fails
+              << " failures (" << camp.skipped << " combinations skipped)\n";
+    for (const RunRecord& r : camp.records) {
       if (r.outcome == Outcome::kFail) {
         std::cout << "FAIL: " << r.context << " / " << r.scenario << ": "
                   << r.detail << "\n";
       }
     }
   }
-  return fails == 0 ? 0 : 1;
+  return camp.fails == 0 ? 0 : 1;
 }

@@ -1,21 +1,27 @@
 // hcmm_lint: static schedule verifier for the whole algorithm registry.
 //
-// Drives every registered matrix-multiplication algorithm on small 8- and
-// 64-node machines under both port models, intercepting every Schedule the
-// algorithm hands to Machine::run via the schedule observer and running the
-// default analysis pipeline (topology, port model, tag dataflow) against the
-// live store placement *before* the machine executes it.  Afterwards audits
+// Drives every registered matrix-multiplication algorithm — bare and under
+// the abft::protect wrapper, whose checksum collectives add schedules of
+// their own — on small 8- and 64-node machines under both port models,
+// intercepting every Schedule the algorithm hands to Machine::run via the
+// schedule observer and running the default analysis pipeline (topology,
+// port model, tag dataflow) against the live store placement *before* the
+// machine executes it.  Afterwards audits
 // every registered collective builder's static (a, b) cost against the
 // Table 1 closed forms.  Exits nonzero on any error-severity finding, so the
 // ctest/CI wiring turns a schedule-legality or cost regression into a build
 // failure.
 //
-// Usage: hcmm_lint [--json]
+// Usage: hcmm_lint [--json] [--out FILE]
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string_view>
+#include <vector>
 
+#include "hcmm/abft/protect.hpp"
 #include "hcmm/algo/api.hpp"
 #include "hcmm/analysis/cost_audit.hpp"
 #include "hcmm/analysis/passes.hpp"
@@ -49,12 +55,15 @@ std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
-      std::cerr << "usage: hcmm_lint [--json]\n";
+      std::cerr << "usage: hcmm_lint [--json] [--out FILE]\n";
       return 2;
     }
   }
@@ -68,45 +77,52 @@ int main(int argc, char** argv) {
   const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
   const analysis::Analyzer analyzer = analysis::Analyzer::with_default_passes();
 
+  const auto lint_registry =
+      [&](const std::vector<std::unique_ptr<algo::DistributedMatmul>>& algs,
+          const Hypercube& cube, PortModel port) {
+        for (const auto& alg : algs) {
+          if (!alg->supports(port)) {
+            ++skipped;
+            continue;
+          }
+          const std::size_t n = pick_n(*alg, cube.size());
+          if (n == 0) {
+            ++skipped;
+            continue;
+          }
+          Machine m(cube, port, CostParams{});
+          std::size_t sched_idx = 0;
+          analysis::DiagnosticList found;
+          const std::string context = alg->name() + " on " +
+                                      std::to_string(cube.size()) +
+                                      " nodes (" + to_string(port) + ")";
+          m.set_schedule_observer([&](const Schedule& s) {
+            const analysis::Placement placed =
+                analysis::snapshot_placement(m.store());
+            analysis::AnalysisInput in;
+            in.schedule = &s;
+            in.cube = m.cube();
+            in.port = m.port();
+            in.initial = &placed;
+            merge_with_context(found, analyzer.analyze(in),
+                               context + ", schedule #" +
+                                   std::to_string(sched_idx));
+            ++schedules_checked;
+            ++sched_idx;
+          });
+          const Matrix a = random_matrix(n, n, 17);
+          const Matrix b = random_matrix(n, n, 18);
+          (void)alg->run(a, b, m);
+          ++runs;
+          all.merge(std::move(found));
+        }
+      };
+
   for (const std::uint32_t dim : dims) {
     const Hypercube cube(dim);
     for (const PortModel port : ports) {
-      for (const auto& alg : algo::all_algorithms()) {
-        if (!alg->supports(port)) {
-          ++skipped;
-          continue;
-        }
-        const std::size_t n = pick_n(*alg, cube.size());
-        if (n == 0) {
-          ++skipped;
-          continue;
-        }
-        Machine m(cube, port, CostParams{});
-        std::size_t sched_idx = 0;
-        analysis::DiagnosticList found;
-        const std::string context = alg->name() + " on " +
-                                    std::to_string(cube.size()) + " nodes (" +
-                                    to_string(port) + ")";
-        m.set_schedule_observer([&](const Schedule& s) {
-          const analysis::Placement placed =
-              analysis::snapshot_placement(m.store());
-          analysis::AnalysisInput in;
-          in.schedule = &s;
-          in.cube = m.cube();
-          in.port = m.port();
-          in.initial = &placed;
-          merge_with_context(found, analyzer.analyze(in),
-                             context + ", schedule #" +
-                                 std::to_string(sched_idx));
-          ++schedules_checked;
-          ++sched_idx;
-        });
-        const Matrix a = random_matrix(n, n, 17);
-        const Matrix b = random_matrix(n, n, 18);
-        (void)alg->run(a, b, m);
-        ++runs;
-        all.merge(std::move(found));
-      }
+      lint_registry(algo::all_algorithms(), cube, port);
+      lint_registry(abft::all_protected(), cube, port);
     }
   }
 
@@ -123,6 +139,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << diagnostics_json(all) << "\n";
+  }
   if (json) {
     std::cout << diagnostics_json(all) << "\n";
   } else {
