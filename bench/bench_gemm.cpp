@@ -35,6 +35,20 @@ void BM_GemmTiled(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
+void BM_GemmLegacyTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  set_gemm_kernel(GemmKernel::kLegacyTiled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_tiled(a, b));
+  }
+  set_gemm_kernel(GemmKernel::kMicro);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmLegacyTiled)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
 void BM_GemmThreaded(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   ThreadPool pool(static_cast<std::size_t>(state.range(1)));

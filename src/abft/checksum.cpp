@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <functional>
 #include <sstream>
 
 #include "hcmm/support/check.hpp"
+#include "hcmm/support/thread_pool.hpp"
 
 namespace hcmm::abft {
 
@@ -30,6 +32,58 @@ Checksums reference_checksums(const Matrix& a, const Matrix& b) {
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t k = 0; k < n; ++k) out.col_sums[j] += ea[k] * b(k, j);
   }
+  return out;
+}
+
+Checksums reference_checksums(const Matrix& a, const Matrix& b,
+                              ThreadPool& pool) {
+  HCMM_CHECK(a.rows() == a.cols() && b.rows() == b.cols() &&
+                 a.rows() == b.rows(),
+             "reference_checksums: operands must be square and equal-sized");
+  const std::size_t n = a.rows();
+  Checksums out;
+  out.row_sums.assign(n, 0.0);
+  out.col_sums.assign(n, 0.0);
+  std::vector<double> be(n, 0.0);
+  std::vector<double> ea(n, 0.0);
+  // Partition each output vector into contiguous chunks; every entry is one
+  // job's serial inner sum, so the split never changes a rounding step.
+  const std::size_t nchunks =
+      std::min(n, std::max<std::size_t>(std::size_t{1},
+                                        4 * pool.thread_count()));
+  if (nchunks <= 1) return reference_checksums(a, b);
+  const auto bounds = [n, nchunks](std::size_t t) {
+    return std::pair{n * t / nchunks, n * (t + 1) / nchunks};
+  };
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(nchunks);
+  for (std::size_t t = 0; t < nchunks; ++t) {
+    const auto [lo, hi] = bounds(t);
+    jobs.push_back([&a, &b, &be, &ea, n, lo = lo, hi = hi] {
+      for (std::size_t k = lo; k < hi; ++k) {
+        for (std::size_t j = 0; j < n; ++j) be[k] += b(k, j);
+        for (std::size_t i = 0; i < n; ++i) ea[k] += a(i, k);
+      }
+    });
+  }
+  pool.run_batch(std::move(jobs));
+
+  jobs.clear();
+  jobs.reserve(2 * nchunks);
+  for (std::size_t t = 0; t < nchunks; ++t) {
+    const auto [lo, hi] = bounds(t);
+    jobs.push_back([&a, &be, &out, n, lo = lo, hi = hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t k = 0; k < n; ++k) out.row_sums[i] += a(i, k) * be[k];
+      }
+    });
+    jobs.push_back([&b, &ea, &out, n, lo = lo, hi = hi] {
+      for (std::size_t j = lo; j < hi; ++j) {
+        for (std::size_t k = 0; k < n; ++k) out.col_sums[j] += ea[k] * b(k, j);
+      }
+    });
+  }
+  pool.run_batch(std::move(jobs));
   return out;
 }
 

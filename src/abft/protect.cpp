@@ -121,11 +121,13 @@ algo::RunResult Protected::run(const Matrix& a, const Matrix& b,
     }
   }
 
-  // Verdicts use serially recomputed reference checksums: the distributed
+  // Verdicts use host-recomputed reference checksums: the distributed
   // checksum channel above is charged like real traffic but could itself be
   // silently corrupted, so trusting it would let one flip defeat the scheme
-  // (a deliberate idealization — see docs/ABFT.md).
-  const Checksums ref = reference_checksums(a, b);
+  // (a deliberate idealization — see docs/ABFT.md).  The recompute runs on
+  // the machine's pool; partitioning is per output entry, so the result is
+  // bit-identical to the serial sum.
+  const Checksums ref = reference_checksums(a, b, m.pool());
   run_verify(m, res.c.rows());
   VerifyResult vr = verify_and_correct(res.c, ref, residue_tolerance(ref));
   m.note_abft(vr.detected, vr.corrected);

@@ -166,12 +166,12 @@ class All3D final : public DistributedMatmul {
             for (std::uint32_t m = 0; m < q; ++m) {
               Matrix bmat(bw, bh);
               for (std::uint32_t l = 0; l < q; ++l) {
-                bmat.set_block(0, l * bw,
-                               mat_from(store, nd, tpb(i, m, l, j), bw, bw));
+                paste_block(store, nd, tpb(i, m, l, j), bw, bw, bmat, 0,
+                            l * bw);
               }
               jobs.push_back(
-                  GemmJob{nd, mat_from(store, nd, ta(k, grid.f(m, j)), bh, bw),
-                          std::move(bmat)});
+                  GemmJob{nd, mat_ref(store, nd, ta(k, grid.f(m, j)), bh, bw),
+                          mat_own(std::move(bmat))});
               owner.push_back(slot);
             }
           }
@@ -213,9 +213,8 @@ class All3D final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
-          out.c.set_block(k * bh, grid.f(i, j) * bw,
-                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
-                                   bh, bw));
+          paste_block(store, grid.node(i, j, k), ti(k, i, j), bh, bw, out.c,
+                      k * bh, grid.f(i, j) * bw);
         }
       }
     }

@@ -155,13 +155,12 @@ class All3DRect final : public DistributedMatmul {
               const std::uint32_t row_block = m * q1 + j;
               Matrix rmat(blk, static_cast<std::size_t>(q1) * blk);
               for (std::uint32_t l = 0; l < q1; ++l) {
-                rmat.set_block(
-                    0, l * blk,
-                    mat_from(store, nd, tb(row_block, grid.f(i, l)), blk, blk));
+                paste_block(store, nd, tb(row_block, grid.f(i, l)), blk, blk,
+                            rmat, 0, l * blk);
               }
               jobs.push_back(GemmJob{
-                  nd, mat_from(store, nd, ta(k, grid.f(m, j)), blk, blk),
-                  std::move(rmat)});
+                  nd, mat_ref(store, nd, ta(k, grid.f(m, j)), blk, blk),
+                  mat_own(std::move(rmat))});
               owner.push_back(slot);
             }
           }
@@ -203,9 +202,8 @@ class All3DRect final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q1; ++i) {
       for (std::uint32_t j = 0; j < q1; ++j) {
         for (std::uint32_t k = 0; k < qz; ++k) {
-          out.c.set_block(k * blk, grid.f(i, j) * blk,
-                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
-                                   blk, blk));
+          paste_block(store, grid.node(i, j, k), ti(k, i, j), blk, blk, out.c,
+                      k * blk, grid.f(i, j) * blk);
         }
       }
     }

@@ -139,8 +139,8 @@ class AllTrans final : public DistributedMatmul {
             coords.push_back({i, j, k});
             for (std::uint32_t l = 0; l < q; ++l) {
               jobs.push_back(
-                  GemmJob{nd, mat_from(store, nd, ta(k, grid.f(l, j)), bh, bw),
-                          mat_from(store, nd, tb(grid.f(l, j), i), bw, bh)});
+                  GemmJob{nd, mat_ref(store, nd, ta(k, grid.f(l, j)), bh, bw),
+                          mat_ref(store, nd, tb(grid.f(l, j), i), bw, bh)});
               owner.push_back(slot);
             }
           }
@@ -183,9 +183,8 @@ class AllTrans final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
-          out.c.set_block(k * bh, grid.f(i, j) * bw,
-                          mat_from(store, grid.node(i, j, k), ti(k, i, j),
-                                   bh, bw));
+          paste_block(store, grid.node(i, j, k), ti(k, i, j), bh, bw, out.c,
+                      k * bh, grid.f(i, j) * bw);
         }
       }
     }

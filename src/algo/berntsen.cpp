@@ -147,9 +147,8 @@ class Berntsen final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t z = 0; z < q; ++z) {
-          out.c.set_block(i * bh + z * bw, j * bh,
-                          mat_from(store, face_node(z, i, j), tc(i, j, z),
-                                   bw, bh));
+          paste_block(store, face_node(z, i, j), tc(i, j, z), bw, bh, out.c,
+                      i * bh + z * bw, j * bh);
         }
       }
     }

@@ -20,14 +20,46 @@ Tag tag3(std::uint16_t space, std::uint32_t a, std::uint32_t b,
 Matrix mat_from(const DataStore& store, NodeId node, Tag tag, std::size_t r,
                 std::size_t c) {
   const Payload& p = store.get(node, tag);
-  HCMM_CHECK(p->size() == r * c, "mat_from: payload of " << p->size()
-                                                         << " words is not "
-                                                         << r << "x" << c);
-  return Matrix(r, c, *p);
+  HCMM_CHECK(p.size() == r * c, "mat_from: payload of " << p.size()
+                                                        << " words is not "
+                                                        << r << "x" << c);
+  store.count_copy(p.size());
+  return Matrix(r, c, p.to_vector());
 }
 
 void put_mat(DataStore& store, NodeId node, Tag tag, Matrix&& m) {
   store.put(node, tag, std::move(m).take());
+}
+
+MatRef mat_ref(const DataStore& store, NodeId node, Tag tag, std::size_t r,
+               std::size_t c) {
+  const Payload& p = store.get(node, tag);
+  HCMM_CHECK(p.size() == r * c, "mat_ref: payload of " << p.size()
+                                                       << " words is not " << r
+                                                       << "x" << c);
+  if (store.copy_policy() == CopyPolicy::kDeepCopy) {
+    // Reproduce the historical materialize-per-job behavior for bench A/B.
+    store.count_copy(p.size());
+    return MatRef{make_payload(p.to_vector()), r, c};
+  }
+  store.count_alias(p.size());
+  return MatRef{p, r, c};
+}
+
+MatRef mat_own(Matrix&& m) {
+  const std::size_t r = m.rows();
+  const std::size_t c = m.cols();
+  return MatRef{make_payload(std::move(m).take()), r, c};
+}
+
+void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
+                 std::size_t c, Matrix& out, std::size_t r0, std::size_t c0) {
+  const Payload& p = store.get(node, tag);
+  HCMM_CHECK(p.size() == r * c, "paste_block: payload of " << p.size()
+                                                           << " words is not "
+                                                           << r << "x" << c);
+  store.count_copy(p.size());
+  out.set_block(r0, c0, r, c, p.span());
 }
 
 void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
@@ -37,7 +69,7 @@ void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
   work.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     work.emplace_back([&jobs, &products, i] {
-      products[i] = multiply_tiled(jobs[i].a, jobs[i].b);
+      products[i] = multiply_tiled(jobs[i].a.view(), jobs[i].b.view());
     });
   }
   machine.pool().run_batch(std::move(work));
@@ -47,7 +79,7 @@ void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
   // is the sum.
   std::unordered_map<NodeId, std::uint64_t> per_node;
   for (const auto& j : jobs) {
-    per_node[j.node] += gemm_flops(j.a.rows(), j.a.cols(), j.b.cols());
+    per_node[j.node] += gemm_flops(j.a.rows, j.a.cols, j.b.cols);
   }
   std::vector<std::pair<NodeId, std::uint64_t>> flops(per_node.begin(),
                                                       per_node.end());
@@ -104,10 +136,10 @@ void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
       }
     }
   }
-  const Schedule align_a = route_p2p(machine.cube(), machine.port(), reqs_a);
-  const Schedule align_b = route_p2p(machine.cube(), machine.port(), reqs_b);
+  Schedule align_a = route_p2p(machine.cube(), machine.port(), reqs_a);
+  Schedule align_b = route_p2p(machine.cube(), machine.port(), reqs_b);
   if (machine.port() == PortModel::kMultiPort) {
-    const Schedule both[] = {align_a, align_b};
+    const Schedule both[] = {std::move(align_a), std::move(align_b)};
     machine.run(par(both));
   } else {
     machine.run(align_a);
@@ -138,16 +170,15 @@ void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId node = faces[f].grid.node(i, j);
           jobs.push_back(GemmJob{node,
-                                 mat_from(store, node, cur_a[f][i][j], ar, ac),
-                                 mat_from(store, node, cur_b[f][i][j], ac, bc)});
+                                 mat_ref(store, node, cur_a[f][i][j], ar, ac),
+                                 mat_ref(store, node, cur_b[f][i][j], ac, bc)});
           dests.emplace_back(node, faces[f].c_tag(i, j));
         }
       }
     }
     run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
       store.combine(dests[idx].first, dests[idx].second,
-                    std::make_shared<const std::vector<double>>(
-                        std::move(m).take()));
+                    make_payload(std::move(m).take()));
     });
     if (step + 1 == q) break;
 
@@ -169,10 +200,10 @@ void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
             coll::ring_shift_unit(faces[f].grid.col_chain(c), col_tags, -1));
       }
     }
-    const Schedule shift_a = par(shifts_a);
-    const Schedule shift_b = par(shifts_b);
+    Schedule shift_a = par(shifts_a);
+    Schedule shift_b = par(shifts_b);
     if (machine.port() == PortModel::kMultiPort) {
-      const Schedule both[] = {shift_a, shift_b};
+      const Schedule both[] = {std::move(shift_a), std::move(shift_b)};
       machine.run(par(both));
     } else {
       machine.run(shift_a);
@@ -235,8 +266,8 @@ Matrix gather_blocks(
   const std::size_t w = n / bw;
   for (std::uint32_t bi = 0; bi < bh; ++bi) {
     for (std::uint32_t bj = 0; bj < bw; ++bj) {
-      out.set_block(bi * h, bj * w,
-                    mat_from(machine.store(), placer(bi, bj), tag(bi, bj), h, w));
+      paste_block(machine.store(), placer(bi, bj), tag(bi, bj), h, w, out,
+                  bi * h, bj * w);
     }
   }
   return out;

@@ -95,8 +95,8 @@ class Diag2D final : public DistributedMatmul {
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId nd = grid.node(i, j);
-          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(j), n, w),
-                                 mat_from(store, nd, tb_piece(j, i), w, w)});
+          jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(j), n, w),
+                                 mat_ref(store, nd, tb_piece(j, i), w, w)});
           dests.emplace_back(nd, tc_piece(i));
         }
       }
@@ -120,8 +120,7 @@ class Diag2D final : public DistributedMatmul {
     RunResult out;
     out.c = Matrix(n, n);
     for (std::uint32_t i = 0; i < q; ++i) {
-      out.c.set_block(0, i * w,
-                      mat_from(store, grid.node(i, i), tc_piece(i), n, w));
+      paste_block(store, grid.node(i, i), tc_piece(i), n, w, out.c, 0, i * w);
     }
     out.report = machine.report();
     return out;

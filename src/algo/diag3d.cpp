@@ -101,8 +101,8 @@ class Diag3D final : public DistributedMatmul {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
-          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(k, j), blk, blk),
-                                 mat_from(store, nd, tb(j, i), blk, blk)});
+          jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(k, j), blk, blk),
+                                 mat_ref(store, nd, tb(j, i), blk, blk)});
           dests.emplace_back(nd, tc(k, i));
         }
       }

@@ -202,10 +202,9 @@ class Diag3DCannon final : public DistributedMatmul {
       for (std::uint32_t k = 0; k < sigma; ++k) {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
-            out.c.set_block((static_cast<std::size_t>(k) * rho + u) * bs,
-                            (static_cast<std::size_t>(i) * rho + v) * bs,
-                            mat_from(store, sg.node(u, v, i, i, k),
-                                     ti(k, i, u, v), bs, bs));
+            paste_block(store, sg.node(u, v, i, i, k), ti(k, i, u, v), bs, bs,
+                        out.c, (static_cast<std::size_t>(k) * rho + u) * bs,
+                        (static_cast<std::size_t>(i) * rho + v) * bs);
           }
         }
       }

@@ -104,8 +104,8 @@ class Dns final : public DistributedMatmul {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
-          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(i, k), blk, blk),
-                                 mat_from(store, nd, tb(k, j), blk, blk)});
+          jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(i, k), blk, blk),
+                                 mat_ref(store, nd, tb(k, j), blk, blk)});
           dests.emplace_back(nd, tc(i, j));
         }
       }

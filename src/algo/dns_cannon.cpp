@@ -200,10 +200,9 @@ class DnsCannon final : public DistributedMatmul {
       for (std::uint32_t j = 0; j < sigma; ++j) {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
-            out.c.set_block((static_cast<std::size_t>(i) * rho + u) * bs,
-                            (static_cast<std::size_t>(j) * rho + v) * bs,
-                            mat_from(store, sg.node(u, v, i, j, 0),
-                                     tc(i, j, u, v), bs, bs));
+            paste_block(store, sg.node(u, v, i, j, 0), tc(i, j, u, v), bs, bs,
+                        out.c, (static_cast<std::size_t>(i) * rho + u) * bs,
+                        (static_cast<std::size_t>(j) * rho + v) * bs);
           }
         }
       }

@@ -160,8 +160,8 @@ class Hje final : public DistributedMatmul {
         for (std::uint32_t l = 0; l < g; ++l) {
           const auto [lo, hi] = chunk_bounds(blk, g, l);
           jobs.push_back(GemmJob{
-              nd, mat_from(store, nd, cur_pa[nd][l], blk, hi - lo),
-              mat_from(store, nd, cur_pb[nd][l], hi - lo, blk)});
+              nd, mat_ref(store, nd, cur_pa[nd][l], blk, hi - lo),
+              mat_ref(store, nd, cur_pb[nd][l], hi - lo, blk)});
           dests.emplace_back(nd, ct);
         }
       }
@@ -174,8 +174,7 @@ class Hje final : public DistributedMatmul {
                     });
       for (NodeId nd = 0; nd < p; ++nd) {
         store.combine(nd, dests[static_cast<std::size_t>(nd) * g].second,
-                      std::make_shared<const std::vector<double>>(
-                          std::move(csums[nd]).take()));
+                      make_payload(std::move(csums[nd]).take()));
       }
       if (step + 1 == q) break;
 

@@ -90,15 +90,14 @@ class Simple final : public DistributedMatmul {
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId nd = node(i, j);
           if (k == 0) put_mat(store, nd, tc(i, j), Matrix(blk, blk));
-          jobs.push_back(GemmJob{nd, mat_from(store, nd, ta(i, k), blk, blk),
-                                 mat_from(store, nd, tb(k, j), blk, blk)});
+          jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(i, k), blk, blk),
+                                 mat_ref(store, nd, tb(k, j), blk, blk)});
           dests.emplace_back(nd, tc(i, j));
         }
       }
       run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
         store.combine(dests[idx].first, dests[idx].second,
-                      std::make_shared<const std::vector<double>>(
-                          std::move(m).take()));
+                      make_payload(std::move(m).take()));
       });
     }
 

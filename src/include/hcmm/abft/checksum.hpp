@@ -15,6 +15,10 @@
 #include "hcmm/abft/event.hpp"
 #include "hcmm/matrix/matrix.hpp"
 
+namespace hcmm {
+class ThreadPool;
+}
+
 namespace hcmm::abft {
 
 /// Reference checksums of the true product, from the operands alone.
@@ -24,6 +28,13 @@ struct Checksums {
 };
 
 [[nodiscard]] Checksums reference_checksums(const Matrix& a, const Matrix& b);
+
+/// Same checksums with the output vectors partitioned across @p pool's
+/// threads.  Every entry is still one thread's serial sum in the exact order
+/// of the serial version, so the result is bit-identical for any thread
+/// count (including 1).
+[[nodiscard]] Checksums reference_checksums(const Matrix& a, const Matrix& b,
+                                            ThreadPool& pool);
 
 /// Residues of a computed product against the reference:
 /// row[i] = Σ_j C(i,j) − row_sums[i],  col[j] = Σ_i C(i,j) − col_sums[j].

@@ -28,18 +28,46 @@ inline constexpr std::uint16_t kSpacePieceI = 7;
 [[nodiscard]] Tag tag3(std::uint16_t space, std::uint32_t a,
                        std::uint32_t b = 0, std::uint32_t c = 0);
 
-/// Read item (node, tag) as an r x c matrix (copies the payload).
+/// Read item (node, tag) as an r x c matrix (copies the payload; use
+/// mat_ref/paste_block where a borrow or a single paste suffices).
 [[nodiscard]] Matrix mat_from(const DataStore& store, NodeId node, Tag tag,
                               std::size_t r, std::size_t c);
 
 /// Store a matrix as item (node, tag).
 void put_mat(DataStore& store, NodeId node, Tag tag, Matrix&& m);
 
-/// One local multiply-accumulate unit: result[job] = a * b.
+/// A payload-backed gemm operand: holds a reference on the payload's buffer
+/// (so later store mutations cannot invalidate it) and exposes the words as
+/// a borrowed r x c MatrixView — no copy.
+struct MatRef {
+  Payload p;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  [[nodiscard]] MatrixView view() const noexcept {
+    return {p.data(), rows, cols};
+  }
+};
+
+/// Borrow item (node, tag) as an r x c operand (zero-copy).
+[[nodiscard]] MatRef mat_ref(const DataStore& store, NodeId node, Tag tag,
+                             std::size_t r, std::size_t c);
+
+/// Wrap a locally computed matrix as an operand (takes ownership).
+[[nodiscard]] MatRef mat_own(Matrix&& m);
+
+/// Paste item (node, tag), an r x c block, into @p out with top-left corner
+/// (r0, c0) — one copy straight from the payload, no intermediate Matrix.
+void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
+                 std::size_t c, Matrix& out, std::size_t r0, std::size_t c0);
+
+/// One local multiply-accumulate unit: result[job] = a * b.  Operands are
+/// borrowed views of store payloads (or owned via mat_own), so queueing a
+/// job moves no matrix words.
 struct GemmJob {
   NodeId node = 0;
-  Matrix a;
-  Matrix b;
+  MatRef a;
+  MatRef b;
 };
 
 /// Run all jobs on the machine's thread pool, charge t_c per multiply-add

@@ -4,8 +4,18 @@
 // threaded variants exist so the examples/benches can show realistic local
 // arithmetic rates, and the naive variant is the oracle the others are
 // tested against.
+//
+// All kernels share one arithmetic contract: element (i, j) accumulates its
+// initial value plus a(i,k)*b(k,j) over strictly ascending k, one rounded
+// multiply and one rounded add per term.  That makes every kernel (naive,
+// legacy tiled, register-blocked micro) bit-identical — reordering i/j tiling
+// never touches a given element's summation order.
+//
+// Operands are MatrixView borrows, so callers can feed store payload slices
+// straight into the kernels without materializing a Matrix.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "hcmm/matrix/matrix.hpp"
 
@@ -16,15 +26,24 @@ class ThreadPool;
 /// C = A * B with the textbook triple loop (i-k-j order).  Oracle kernel.
 [[nodiscard]] Matrix multiply_naive(const Matrix& a, const Matrix& b);
 
-/// C += A * B, cache-tiled.  This is the kernel every distributed algorithm
-/// calls on its local sub-blocks.
-void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+/// Kernel selector for the accumulate/tiled/threaded entry points.  kMicro
+/// (default) is the register-blocked packed microkernel; kLegacyTiled is the
+/// previous cache-tiled scalar kernel, kept for bench A/B comparisons.
+/// Process-wide; both produce bit-identical results.
+enum class GemmKernel : std::uint8_t { kMicro, kLegacyTiled };
 
-/// C = A * B, cache-tiled.
-[[nodiscard]] Matrix multiply_tiled(const Matrix& a, const Matrix& b);
+void set_gemm_kernel(GemmKernel k) noexcept;
+[[nodiscard]] GemmKernel gemm_kernel() noexcept;
+
+/// C += A * B.  This is the kernel every distributed algorithm calls on its
+/// local sub-blocks.
+void gemm_accumulate(MatrixView a, MatrixView b, Matrix& c);
+
+/// C = A * B.
+[[nodiscard]] Matrix multiply_tiled(MatrixView a, MatrixView b);
 
 /// C = A * B with rows of C partitioned across @p pool's threads.
-[[nodiscard]] Matrix multiply_threaded(const Matrix& a, const Matrix& b,
+[[nodiscard]] Matrix multiply_threaded(MatrixView a, MatrixView b,
                                        ThreadPool& pool);
 
 /// Number of fused multiply-add operations a m x k by k x n product performs.

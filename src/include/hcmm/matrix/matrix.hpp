@@ -43,8 +43,19 @@ class Matrix {
   /// Overwrite the block at (r0, c0) with @p b.
   void set_block(std::size_t r0, std::size_t c0, const Matrix& b);
 
+  /// Overwrite the h x w block at (r0, c0) with the row-major words of
+  /// @p src (size h*w) — pastes borrowed payload views without an
+  /// intermediate Matrix.
+  void set_block(std::size_t r0, std::size_t c0, std::size_t h, std::size_t w,
+                 std::span<const double> src);
+
   /// Add @p b element-wise into the block at (r0, c0).
   void add_block(std::size_t r0, std::size_t c0, const Matrix& b);
+
+  /// Add the row-major words of @p src (size h*w) element-wise into the
+  /// h x w block at (r0, c0).
+  void add_block(std::size_t r0, std::size_t c0, std::size_t h, std::size_t w,
+                 std::span<const double> src);
 
   /// Element-wise in-place addition; shapes must match.
   Matrix& operator+=(const Matrix& other);
@@ -59,6 +70,28 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+};
+
+/// Borrowed row-major view of a rows x cols block of doubles — what the gemm
+/// kernels consume, so operands can come straight out of store payloads
+/// without being copied into a Matrix first.  Non-owning: the referenced
+/// words must outlive the view.
+struct MatrixView {
+  const double* ptr = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  MatrixView() = default;
+  MatrixView(const double* p, std::size_t r, std::size_t c)
+      : ptr(p), rows(r), cols(c) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Matrix is-a view source.
+  MatrixView(const Matrix& m)
+      : ptr(m.data().data()), rows(m.rows()), cols(m.cols()) {}
+
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return ptr[r * cols + c];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return rows * cols; }
 };
 
 /// max_{ij} |a_ij - b_ij|; shapes must match.

@@ -61,6 +61,15 @@ struct PhaseStats {
   std::uint64_t abft_detected = 0;      ///< checksum residues flagged
   std::uint64_t abft_corrected = 0;     ///< elements repaired from residues
 
+  // Host data-plane accounting (DataStore::plane_stats deltas): how many
+  // words the *simulator* physically copied vs aliased while executing the
+  // phase.  Wall-clock efficiency of the host process — never part of the
+  // charged (a, b) model cost.
+  std::uint64_t words_copied = 0;       ///< host words physically duplicated
+  std::uint64_t words_aliased = 0;      ///< host words shared by view
+  std::uint64_t combines_in_place = 0;  ///< combine() mutated in place
+  std::uint64_t combines_copied = 0;    ///< combine() clone-add-swap fallback
+
   [[nodiscard]] double time() const noexcept { return comm_time + compute_time; }
   [[nodiscard]] bool faulted() const noexcept {
     return retries || reroutes || extra_hops || fault_startups ||
@@ -230,6 +239,9 @@ class Machine {
 
  private:
   PhaseStats& current_phase();
+  /// Fold the store's copy/alias counter delta since the last fold into the
+  /// current phase (no-op on the counters when no phase exists yet).
+  void fold_plane_stats();
   void execute_round(const Round& round, PhaseStats& ph);
   void execute_round_faulty(const Round& round, PhaseStats& ph);
   /// A detoured logical transfer: the physical node path and its word count.
@@ -261,6 +273,8 @@ class Machine {
   DataStore store_;
   std::shared_ptr<ThreadPool> pool_;
   std::vector<PhaseStats> phases_;
+  /// Store counter snapshot at the last fold; deltas attribute per phase.
+  DataPlaneStats plane_mark_;
   bool link_accounting_ = false;
   std::unordered_map<std::uint64_t, LinkLoad> link_traffic_;
   std::function<void(const Schedule&)> observer_;

@@ -14,7 +14,10 @@ namespace hcmm {
 /// CSV with header: phase,a_ts,b_tw,messages,link_words,flops,comm_time,
 /// compute_time,retries,reroutes,extra_hops,fault_startups,fault_word_cost,
 /// fault_delay,checkpoints,checkpoint_cost,silent_corruptions,abft_detected,
-/// abft_corrected — one row per phase plus a TOTAL row.
+/// abft_corrected,words_copied,words_aliased,combines_in_place,
+/// combines_copied — one row per phase plus a TOTAL row.  The last four
+/// columns are host data-plane counters (simulator wall-clock accounting,
+/// never part of the charged (a, b) model).
 [[nodiscard]] std::string report_csv(const SimReport& report);
 
 /// JSON object: {"port": ..., "params": {...}, "phases": [...],

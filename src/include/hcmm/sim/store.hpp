@@ -1,9 +1,13 @@
 #pragma once
 // Per-node data stores.  Every simulated node owns a map Tag -> payload;
 // the Machine moves payloads between stores when executing schedules.
-// Payloads are immutable and shared (broadcast replicates a pointer, not the
-// words), but the store meters *logical* words per node — the quantity
-// Table 3 of the paper calls "overall space used".
+// Payloads are immutable shared *slices* of reference-counted buffers:
+// broadcast replicates a view (not the words), split/join re-alias one
+// backing buffer, and the store meters *logical* words per node — the
+// quantity Table 3 of the paper calls "overall space used".  The host-side
+// copy/alias counters (DataPlaneStats) measure the simulator's own data
+// movement, the wall-clock analogue of the paper's link-transfer counts;
+// they never feed the charged (a, b) cost model.
 
 #include <cstdint>
 #include <memory>
@@ -13,11 +17,92 @@
 #include <vector>
 
 #include "hcmm/sim/types.hpp"
+#include "hcmm/support/check.hpp"
 
 namespace hcmm {
 
-/// Immutable shared payload of `words` doubles.
-using Payload = std::shared_ptr<const std::vector<double>>;
+class DataStore;
+
+/// Immutable shared slice of `len` doubles at `offset` into a shared buffer.
+/// Copying a Payload copies the view (one shared_ptr bump), never the words.
+/// The pointer-style accessors (`p->size()`, `*p`) keep the historical
+/// shared_ptr call sites working; `*p` is a *deep copy* of the viewed words
+/// and is meant for tests and diagnostics only.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// View of all of @p buf (may be empty, must not be null).
+  explicit Payload(std::shared_ptr<std::vector<double>> buf)
+      : buf_(std::move(buf)) {
+    len_ = buf_ ? buf_->size() : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] std::size_t offset() const noexcept { return off_; }
+
+  [[nodiscard]] const double* data() const noexcept {
+    return buf_ ? buf_->data() + off_ : nullptr;
+  }
+  [[nodiscard]] std::span<const double> span() const noexcept {
+    return {data(), len_};
+  }
+  [[nodiscard]] double operator[](std::size_t i) const {
+    return (*buf_)[off_ + i];
+  }
+
+  /// Sub-view of @p len words starting @p off words into this view.
+  [[nodiscard]] Payload slice(std::size_t off, std::size_t len) const {
+    HCMM_CHECK(off + len <= len_, "payload: slice [" << off << ", "
+                                                     << off + len
+                                                     << ") exceeds view of "
+                                                     << len_ << " words");
+    Payload out = *this;
+    out.off_ += off;
+    out.len_ = len;
+    return out;
+  }
+
+  /// Deep copy of the viewed words (O(len); tests/diagnostics).
+  [[nodiscard]] std::vector<double> to_vector() const {
+    return {data(), data() + len_};
+  }
+
+  /// True iff this view is the only reference to its backing buffer — the
+  /// store may then mutate the words in place (see DataStore::combine).
+  [[nodiscard]] bool unique() const noexcept { return buf_.use_count() == 1; }
+
+  /// True iff both views share one backing buffer (regardless of range).
+  [[nodiscard]] bool same_buffer(const Payload& o) const noexcept {
+    return buf_ == o.buf_;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return buf_ != nullptr;
+  }
+  [[nodiscard]] friend bool operator==(const Payload& p,
+                                       std::nullptr_t) noexcept {
+    return p.buf_ == nullptr;
+  }
+
+  // shared_ptr-compatible spellings: p->size(), (*p)[i], *p == vector.
+  [[nodiscard]] const Payload* operator->() const noexcept { return this; }
+  [[nodiscard]] std::vector<double> operator*() const { return to_vector(); }
+
+ private:
+  friend class DataStore;  // in-place combine mutates the unique buffer
+
+  std::shared_ptr<std::vector<double>> buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// Wrap @p data as a whole-buffer payload (the one unavoidable allocation a
+/// producer pays; everything downstream moves views).
+[[nodiscard]] inline Payload make_payload(std::vector<double> data) {
+  return Payload(std::make_shared<std::vector<double>>(std::move(data)));
+}
 
 /// Inclusive chunk boundaries used whenever a payload is split into nearly
 /// equal parts (multi-port collectives): part i of n covers
@@ -27,6 +112,34 @@ using Payload = std::shared_ptr<const std::vector<double>>;
     std::size_t total, std::size_t parts, std::size_t i) noexcept {
   return {total * i / parts, total * (i + 1) / parts};
 }
+
+/// Host data-plane counters: how many words the simulator physically
+/// duplicated vs shared by aliasing.  Monotonic since construction; the
+/// Machine folds per-phase deltas into PhaseStats.
+struct DataPlaneStats {
+  std::uint64_t words_copied = 0;       ///< words physically duplicated
+  std::uint64_t words_aliased = 0;      ///< words shared by view instead
+  std::uint64_t split_ops = 0;
+  std::uint64_t join_ops = 0;
+  std::uint64_t combines_in_place = 0;  ///< accumulator mutated in place
+  std::uint64_t combines_copied = 0;    ///< clone-add-swap fallbacks
+};
+
+[[nodiscard]] constexpr DataPlaneStats operator-(
+    const DataPlaneStats& a, const DataPlaneStats& b) noexcept {
+  return {a.words_copied - b.words_copied,
+          a.words_aliased - b.words_aliased,
+          a.split_ops - b.split_ops,
+          a.join_ops - b.join_ops,
+          a.combines_in_place - b.combines_in_place,
+          a.combines_copied - b.combines_copied};
+}
+
+/// Data-plane strategy.  kZeroCopy (default) aliases on split/join and
+/// mutates unique combine targets in place; kDeepCopy reproduces the
+/// historical materialize-everything behavior so benches can A/B the two
+/// with bit-identical results (same arithmetic, different host traffic).
+enum class CopyPolicy : std::uint8_t { kZeroCopy, kDeepCopy };
 
 class DataStore {
  public:
@@ -49,12 +162,15 @@ class DataStore {
   /// Remove an item (must exist).
   void erase(NodeId node, Tag tag);
 
-  /// Element-wise add @p addend into the existing item @p tag.
+  /// Element-wise add @p addend into the existing item @p tag.  Mutates the
+  /// target buffer in place when this item is its only reference (ascending
+  /// index order either way, so the sums are bit-identical).
   void combine(NodeId node, Tag tag, const Payload& addend);
 
   /// Replace item @p tag with @p parts chunk items tagged
   /// make_part_tag(tag, i); returns the part tags.  Boundaries follow
-  /// chunk_bounds so builders can predict part sizes.
+  /// chunk_bounds so builders can predict part sizes.  Parts alias the
+  /// original buffer (no words move) under kZeroCopy.
   std::vector<Tag> split(NodeId node, Tag tag, std::size_t parts);
 
   /// Like split() but with explicit part sizes (must sum to the item's
@@ -63,6 +179,9 @@ class DataStore {
                                std::span<const std::size_t> sizes);
 
   /// Concatenate the items @p part_tags (erased) into a new item @p out_tag.
+  /// When every part is a consecutive slice of one buffer (the split() that
+  /// produced them was zero-copy and the parts come back in order), the
+  /// result is a single re-aliased view; otherwise the words materialize.
   void join(NodeId node, std::span<const Tag> part_tags, Tag out_tag);
 
   /// Deterministic derived tag for part @p i of @p tag (what split() uses).
@@ -86,6 +205,24 @@ class DataStore {
   [[nodiscard]] std::vector<std::pair<Tag, std::size_t>> items(
       NodeId node) const;
 
+  /// Host copy/alias counters since construction.
+  [[nodiscard]] const DataPlaneStats& plane_stats() const noexcept {
+    return plane_;
+  }
+
+  /// Record a host-side copy/alias performed *on* store payloads by a layer
+  /// above (e.g. assembling a Matrix from a payload, or borrowing a view
+  /// into a gemm kernel), so the counters cover the whole data plane.
+  void count_copy(std::size_t words) const noexcept {
+    plane_.words_copied += words;
+  }
+  void count_alias(std::size_t words) const noexcept {
+    plane_.words_aliased += words;
+  }
+
+  void set_copy_policy(CopyPolicy p) noexcept { policy_ = p; }
+  [[nodiscard]] CopyPolicy copy_policy() const noexcept { return policy_; }
+
  private:
   struct NodeStore {
     std::unordered_map<Tag, Payload> items;
@@ -98,6 +235,9 @@ class DataStore {
   void bump(NodeStore& ns, std::ptrdiff_t delta);
 
   std::vector<NodeStore> nodes_;
+  CopyPolicy policy_ = CopyPolicy::kZeroCopy;
+  // Metering only (never behavior); mutable so const readers can count.
+  mutable DataPlaneStats plane_;
 };
 
 }  // namespace hcmm

@@ -1,7 +1,9 @@
 #include "hcmm/matrix/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <vector>
 
 #include "hcmm/support/check.hpp"
 #include "hcmm/support/thread_pool.hpp"
@@ -9,15 +11,28 @@
 namespace hcmm {
 namespace {
 
-constexpr std::size_t kTile = 64;
+std::atomic<GemmKernel> g_kernel{GemmKernel::kMicro};
 
-// C[r0:r1] += A[r0:r1] * B, tiled over k and j for cache reuse.
-void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-               std::size_t r1) {
-  const std::size_t kk = a.cols();
-  const std::size_t nn = b.cols();
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
+// Register blocking of the microkernel: each update keeps a kMR x kNR block
+// of C in accumulators, so C is loaded/stored once per k-panel instead of
+// once per k step (the legacy kernel's main memory-traffic cost).
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+// k-panel depth: kMR rows of packed A (kKC*kMR doubles) plus the B lines the
+// panel touches stay cache-resident across the j sweep.
+constexpr std::size_t kKC = 256;
+
+constexpr std::size_t kTile = 64;  // legacy kernel's cache tile
+
+// Legacy kernel: C[r0:r1] += A[r0:r1] * B, tiled over k and j for cache
+// reuse, scalar accumulation through memory.  Kept selectable so the bench
+// harness can measure the microkernel against it on identical inputs.
+void gemm_rows_legacy(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
+                      std::size_t r1) {
+  const std::size_t kk = a.cols;
+  const std::size_t nn = b.cols;
+  const double* pa = a.ptr;
+  const double* pb = b.ptr;
   double* pc = c.data().data();
   for (std::size_t k0 = 0; k0 < kk; k0 += kTile) {
     const std::size_t k1 = std::min(kk, k0 + kTile);
@@ -36,7 +51,100 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
   }
 }
 
+// Microkernel path: C[r0:r1] += A[r0:r1] * B.  A's rows are packed into
+// kMR-interleaved micro-panels (unit-stride loads in the inner loop); full
+// kMR x kNR blocks run in register accumulators, with scalar tail paths for
+// the ragged row/column edges.  Per C element the arithmetic is the exact
+// k-ascending mul-add sequence of the legacy kernel, so results are
+// bit-identical.
+void gemm_rows_micro(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
+                     std::size_t r1) {
+  const std::size_t kk = a.cols;
+  const std::size_t nn = b.cols;
+  const double* pa = a.ptr;
+  const double* pb = b.ptr;
+  double* pc = c.data().data();
+  if (r0 >= r1 || kk == 0 || nn == 0) return;
+
+  std::vector<double> apack(kMR * std::min(kKC, kk));
+  const std::size_t full_rows = r0 + ((r1 - r0) / kMR) * kMR;
+
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKC) {
+    const std::size_t kc = std::min(kKC, kk - k0);
+    for (std::size_t i0 = r0; i0 < full_rows; i0 += kMR) {
+      // Pack the panel: apack[k*kMR + r] = A(i0+r, k0+k).
+      for (std::size_t k = 0; k < kc; ++k) {
+        for (std::size_t r = 0; r < kMR; ++r) {
+          apack[k * kMR + r] = pa[(i0 + r) * kk + k0 + k];
+        }
+      }
+      std::size_t j0 = 0;
+      for (; j0 + kNR <= nn; j0 += kNR) {
+        double acc[kMR][kNR];
+        for (std::size_t r = 0; r < kMR; ++r) {
+          const double* crow = pc + (i0 + r) * nn + j0;
+          for (std::size_t jj = 0; jj < kNR; ++jj) acc[r][jj] = crow[jj];
+        }
+        const double* ap = apack.data();
+        for (std::size_t k = 0; k < kc; ++k, ap += kMR) {
+          const double* brow = pb + (k0 + k) * nn + j0;
+          for (std::size_t r = 0; r < kMR; ++r) {
+            const double ar = ap[r];
+            for (std::size_t jj = 0; jj < kNR; ++jj) {
+              acc[r][jj] += ar * brow[jj];
+            }
+          }
+        }
+        for (std::size_t r = 0; r < kMR; ++r) {
+          double* crow = pc + (i0 + r) * nn + j0;
+          for (std::size_t jj = 0; jj < kNR; ++jj) crow[jj] = acc[r][jj];
+        }
+      }
+      // Column tail (nn % kNR): scalar, same k order, packed A reused.
+      for (; j0 < nn; ++j0) {
+        for (std::size_t r = 0; r < kMR; ++r) {
+          double cv = pc[(i0 + r) * nn + j0];
+          const double* ap = apack.data() + r;
+          for (std::size_t k = 0; k < kc; ++k) {
+            cv += ap[k * kMR] * pb[(k0 + k) * nn + j0];
+          }
+          pc[(i0 + r) * nn + j0] = cv;
+        }
+      }
+    }
+    // Row tail ((r1-r0) % kMR): plain scalar rows over this k-panel.
+    for (std::size_t i = full_rows; i < r1; ++i) {
+      const double* arow = pa + i * kk;
+      double* crow = pc + i * nn;
+      for (std::size_t j = 0; j < nn; ++j) {
+        double cv = crow[j];
+        for (std::size_t k = k0; k < k0 + kc; ++k) {
+          cv += arow[k] * pb[k * nn + j];
+        }
+        crow[j] = cv;
+      }
+    }
+  }
+}
+
+void gemm_rows(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kMicro) {
+    gemm_rows_micro(a, b, c, r0, r1);
+  } else {
+    gemm_rows_legacy(a, b, c, r0, r1);
+  }
+}
+
 }  // namespace
+
+void set_gemm_kernel(GemmKernel k) noexcept {
+  g_kernel.store(k, std::memory_order_relaxed);
+}
+
+GemmKernel gemm_kernel() noexcept {
+  return g_kernel.load(std::memory_order_relaxed);
+}
 
 Matrix multiply_naive(const Matrix& a, const Matrix& b) {
   HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ ("
@@ -51,25 +159,25 @@ Matrix multiply_naive(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
-  HCMM_CHECK(a.cols() == b.rows(), "gemm_accumulate: inner dimensions differ ("
-                                       << a.cols() << " vs " << b.rows() << ")");
-  HCMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+void gemm_accumulate(MatrixView a, MatrixView b, Matrix& c) {
+  HCMM_CHECK(a.cols == b.rows, "gemm_accumulate: inner dimensions differ ("
+                                   << a.cols << " vs " << b.rows << ")");
+  HCMM_CHECK(c.rows() == a.rows && c.cols() == b.cols,
              "gemm_accumulate: output shape mismatch");
-  gemm_rows(a, b, c, 0, a.rows());
+  gemm_rows(a, b, c, 0, a.rows);
 }
 
-Matrix multiply_tiled(const Matrix& a, const Matrix& b) {
-  HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ");
-  Matrix c(a.rows(), b.cols());
-  gemm_rows(a, b, c, 0, a.rows());
+Matrix multiply_tiled(MatrixView a, MatrixView b) {
+  HCMM_CHECK(a.cols == b.rows, "multiply: inner dimensions differ");
+  Matrix c(a.rows, b.cols);
+  gemm_rows(a, b, c, 0, a.rows);
   return c;
 }
 
-Matrix multiply_threaded(const Matrix& a, const Matrix& b, ThreadPool& pool) {
-  HCMM_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ");
-  Matrix c(a.rows(), b.cols());
-  const std::size_t m = a.rows();
+Matrix multiply_threaded(MatrixView a, MatrixView b, ThreadPool& pool) {
+  HCMM_CHECK(a.cols == b.rows, "multiply: inner dimensions differ");
+  Matrix c(a.rows, b.cols);
+  const std::size_t m = a.rows;
   const std::size_t nchunks = std::min(m, 4 * pool.thread_count());
   if (nchunks <= 1) {
     gemm_rows(a, b, c, 0, m);
@@ -81,7 +189,7 @@ Matrix multiply_threaded(const Matrix& a, const Matrix& b, ThreadPool& pool) {
     const std::size_t r0 = m * t / nchunks;
     const std::size_t r1 = m * (t + 1) / nchunks;
     if (r0 == r1) continue;
-    jobs.push_back([&a, &b, &c, r0, r1] { gemm_rows(a, b, c, r0, r1); });
+    jobs.push_back([a, b, &c, r0, r1] { gemm_rows(a, b, c, r0, r1); });
   }
   pool.run_batch(std::move(jobs));
   return c;

@@ -38,6 +38,19 @@ void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
   }
 }
 
+void Matrix::set_block(std::size_t r0, std::size_t c0, std::size_t h,
+                       std::size_t w, std::span<const double> src) {
+  HCMM_CHECK(src.size() == h * w,
+             "set_block: span of " << src.size() << " words is not " << h
+                                   << "x" << w);
+  HCMM_CHECK(r0 + h <= rows_ && c0 + w <= cols_,
+             "set_block target exceeds matrix bounds");
+  for (std::size_t r = 0; r < h; ++r) {
+    const double* s = src.data() + r * w;
+    std::copy(s, s + w, data_.data() + (r0 + r) * cols_ + c0);
+  }
+}
+
 void Matrix::add_block(std::size_t r0, std::size_t c0, const Matrix& b) {
   HCMM_CHECK(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
              "add_block target exceeds matrix bounds");
@@ -45,6 +58,20 @@ void Matrix::add_block(std::size_t r0, std::size_t c0, const Matrix& b) {
     double* dst = data_.data() + (r0 + r) * cols_ + c0;
     const double* src = b.data_.data() + r * b.cols_;
     for (std::size_t c = 0; c < b.cols_; ++c) dst[c] += src[c];
+  }
+}
+
+void Matrix::add_block(std::size_t r0, std::size_t c0, std::size_t h,
+                       std::size_t w, std::span<const double> src) {
+  HCMM_CHECK(src.size() == h * w,
+             "add_block: span of " << src.size() << " words is not " << h
+                                   << "x" << w);
+  HCMM_CHECK(r0 + h <= rows_ && c0 + w <= cols_,
+             "add_block target exceeds matrix bounds");
+  for (std::size_t r = 0; r < h; ++r) {
+    double* dst = data_.data() + (r0 + r) * cols_ + c0;
+    const double* s = src.data() + r * w;
+    for (std::size_t c = 0; c < w; ++c) dst[c] += s[c];
   }
 }
 

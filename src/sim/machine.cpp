@@ -36,6 +36,10 @@ void PhaseStats::add(const PhaseStats& other) {
   silent_corruptions += other.silent_corruptions;
   abft_detected += other.abft_detected;
   abft_corrected += other.abft_corrected;
+  words_copied += other.words_copied;
+  words_aliased += other.words_aliased;
+  combines_in_place += other.combines_in_place;
+  combines_copied += other.combines_copied;
 }
 
 LinkBalance summarize_links(std::span<const LinkLoad> loads,
@@ -99,6 +103,13 @@ std::string SimReport::to_string() const {
        << " corrected=" << t.abft_corrected << " recoveries=" << recoveries
        << " events=" << abft_events.size() << "\n";
   }
+  if (t.words_copied || t.words_aliased || t.combines_in_place ||
+      t.combines_copied) {
+    os << "host data plane: copied=" << t.words_copied
+       << " aliased=" << t.words_aliased
+       << " combines(in-place/copied)=" << t.combines_in_place << "/"
+       << t.combines_copied << "\n";
+  }
   os << "peak store words (all nodes): " << peak_words_total << "\n";
   return os.str();
 }
@@ -114,6 +125,19 @@ Machine::Machine(Hypercube cube, PortModel port, CostParams params,
 PhaseStats& Machine::current_phase() {
   if (phases_.empty()) phases_.push_back(PhaseStats{.name = "main"});
   return phases_.back();
+}
+
+void Machine::fold_plane_stats() {
+  const DataPlaneStats now = store_.plane_stats();
+  const DataPlaneStats d = now - plane_mark_;
+  if (!phases_.empty()) {
+    PhaseStats& ph = phases_.back();
+    ph.words_copied += d.words_copied;
+    ph.words_aliased += d.words_aliased;
+    ph.combines_in_place += d.combines_in_place;
+    ph.combines_copied += d.combines_copied;
+  }
+  plane_mark_ = now;
 }
 
 void Machine::begin_phase(std::string name) {
@@ -136,6 +160,11 @@ void Machine::begin_phase(std::string name) {
     HCMM_CHECK(now.nodes() == checkpoints_.back().placement.nodes(),
                "checkpoint replay rebuilt a different store placement");
     replaying_ = false;
+    // The replayed prefix's copy traffic was already folded on the original
+    // attempt and restored with the checkpoint; resync without folding.
+    plane_mark_ = store_.plane_stats();
+  } else {
+    fold_plane_stats();
   }
   phases_.push_back(PhaseStats{.name = std::move(name)});
   if (checkpointing_) take_checkpoint();
@@ -301,7 +330,7 @@ void Machine::execute_round(const Round& round, PhaseStats& ph) {
     std::size_t words = 0;
     for (const Tag tag : t.tags) {
       Payload p = store_.get(t.src, tag);  // throws if absent: schedule bug
-      words += p->size();
+      words += p.size();
       deliveries.push_back({t.dst, tag, std::move(p), t.combine});
       if (t.move_src) erasures.emplace_back(t.src, tag);
     }
@@ -400,7 +429,7 @@ void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
     payloads.reserve(t.tags.size());
     for (const Tag tag : t.tags) {
       Payload p = store_.get(t.src, tag);  // throws if absent: schedule bug
-      words += p->size();
+      words += p.size();
       payloads.push_back(std::move(p));
       if (t.move_src) erasures.emplace_back(t.src, tag);
     }
@@ -500,15 +529,15 @@ void Machine::maybe_silent_corrupt(const Transfer& t,
   const std::uint64_t h = fault_->silent_site(round_seq_, t.src, t.dst);
   const std::size_t k = static_cast<std::size_t>(h % payloads.size());
   const Payload& hit = payloads[k];
-  if (!hit || hit->empty()) return;
+  if (!hit || hit.empty()) return;
   // Payloads are shared; the corruption happens to the copy on the wire, so
-  // the sender's replica must stay intact.
-  auto flipped = std::make_shared<std::vector<double>>(*hit);
-  const std::size_t idx = static_cast<std::size_t>((h >> 8) % flipped->size());
+  // the sender's replica must stay intact — clone just the viewed slice.
+  std::vector<double> flipped = hit.to_vector();
+  const std::size_t idx = static_cast<std::size_t>((h >> 8) % flipped.size());
   double delta = 1.0 + static_cast<double>((h >> 32) % 7);
   if ((h >> 40) & 1u) delta = -delta;
-  (*flipped)[idx] += delta;
-  payloads[k] = std::move(flipped);
+  flipped[idx] += delta;
+  payloads[k] = make_payload(std::move(flipped));
   if (ph != nullptr) {  // null during replay: effect replays, count does not
     ph->silent_corruptions += 1;
     record_event({fault::FaultKind::kSilentCorrupt, t.src, t.dst, round_seq_,
@@ -581,7 +610,10 @@ void Machine::rollback_to_checkpoint(
   // The store may be mid-phase garbage; recovery restarts the algorithm on a
   // fresh store and replays the prefix, so placement is rebuilt — and then
   // verified against the snapshot — rather than patched.
+  const CopyPolicy policy = store_.copy_policy();
   store_ = DataStore(cube_.size());
+  store_.set_copy_policy(policy);
+  plane_mark_ = DataPlaneStats{};  // fresh store, fresh counters
   recoveries_ += 1;
   pending_restore_ = true;
   pending_events_.clear();
@@ -742,6 +774,15 @@ SimReport Machine::report() const {
   r.port = port_;
   r.params = params_;
   r.phases = phases_;
+  // Attribute copy traffic since the last fold to the open phase — on the
+  // exported copy only, so repeated report() calls never double count.
+  if (!r.phases.empty() && !replaying_) {
+    const DataPlaneStats d = store_.plane_stats() - plane_mark_;
+    r.phases.back().words_copied += d.words_copied;
+    r.phases.back().words_aliased += d.words_aliased;
+    r.phases.back().combines_in_place += d.combines_in_place;
+    r.phases.back().combines_copied += d.combines_copied;
+  }
   r.async_makespan = std::max(async_.makespan, async_.floor);
   r.peak_words_total = store_.total_peak_words();
   r.fault_events = fault_events_;
@@ -765,6 +806,7 @@ void Machine::reset_stats() {
     for (auto& ev : pending_events_) record_event(std::move(ev));
     pending_events_.clear();
     store_.reset_peaks();
+    plane_mark_ = store_.plane_stats();
     round_seq_ = 0;
     replaying_ = true;
     replay_until_ = ck.round_seq;
@@ -777,6 +819,7 @@ void Machine::reset_stats() {
   }
   phases_.clear();
   store_.reset_peaks();
+  plane_mark_ = store_.plane_stats();  // staging copies are not charged
   link_traffic_.clear();
   async_ = AsyncState{};
   fault_events_.clear();

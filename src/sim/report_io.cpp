@@ -12,7 +12,9 @@ void csv_row(std::ostringstream& os, const PhaseStats& p) {
      << p.reroutes << ',' << p.extra_hops << ',' << p.fault_startups << ','
      << p.fault_word_cost << ',' << p.fault_delay << ',' << p.checkpoints
      << ',' << p.checkpoint_cost << ',' << p.silent_corruptions << ','
-     << p.abft_detected << ',' << p.abft_corrected << '\n';
+     << p.abft_detected << ',' << p.abft_corrected << ',' << p.words_copied
+     << ',' << p.words_aliased << ',' << p.combines_in_place << ','
+     << p.combines_copied << '\n';
 }
 
 void json_escape(std::ostringstream& os, const std::string& s) {
@@ -55,7 +57,11 @@ void json_phase(std::ostringstream& os, const PhaseStats& p) {
      << ", \"checkpoint_cost\": " << p.checkpoint_cost
      << ", \"silent_corruptions\": " << p.silent_corruptions
      << ", \"abft_detected\": " << p.abft_detected
-     << ", \"abft_corrected\": " << p.abft_corrected << "}";
+     << ", \"abft_corrected\": " << p.abft_corrected
+     << ", \"words_copied\": " << p.words_copied
+     << ", \"words_aliased\": " << p.words_aliased
+     << ", \"combines_in_place\": " << p.combines_in_place
+     << ", \"combines_copied\": " << p.combines_copied << "}";
 }
 
 void json_fault_event(std::ostringstream& os, const fault::FaultEvent& e) {
@@ -91,7 +97,8 @@ std::string report_csv(const SimReport& report) {
   os << "phase,a_ts,b_tw,messages,link_words,flops,comm_time,compute_time,"
         "retries,reroutes,extra_hops,fault_startups,fault_word_cost,"
         "fault_delay,checkpoints,checkpoint_cost,silent_corruptions,"
-        "abft_detected,abft_corrected\n";
+        "abft_detected,abft_corrected,words_copied,words_aliased,"
+        "combines_in_place,combines_copied\n";
   for (const auto& p : report.phases) csv_row(os, p);
   csv_row(os, report.totals());
   return os.str();

@@ -25,7 +25,7 @@ void DataStore::bump(NodeStore& ns, std::ptrdiff_t delta) {
 }
 
 void DataStore::put(NodeId node, Tag tag, std::vector<double> data) {
-  put_shared(node, tag, std::make_shared<const std::vector<double>>(std::move(data)));
+  put_shared(node, tag, make_payload(std::move(data)));
 }
 
 void DataStore::put_shared(NodeId node, Tag tag, Payload payload) {
@@ -34,7 +34,7 @@ void DataStore::put_shared(NodeId node, Tag tag, Payload payload) {
   const auto [it, inserted] = ns.items.emplace(tag, std::move(payload));
   HCMM_CHECK(inserted, "store: node " << node << " already holds tag 0x"
                                       << std::hex << tag);
-  bump(ns, static_cast<std::ptrdiff_t>(it->second->size()));
+  bump(ns, static_cast<std::ptrdiff_t>(it->second.size()));
 }
 
 const Payload& DataStore::get(NodeId node, Tag tag) const {
@@ -51,7 +51,7 @@ bool DataStore::has(NodeId node, Tag tag) const {
 }
 
 std::size_t DataStore::item_words(NodeId node, Tag tag) const {
-  return get(node, tag)->size();
+  return get(node, tag).size();
 }
 
 void DataStore::erase(NodeId node, Tag tag) {
@@ -60,7 +60,7 @@ void DataStore::erase(NodeId node, Tag tag) {
   HCMM_CHECK(it != ns.items.end(),
              "store: erase of absent tag 0x" << std::hex << tag << std::dec
                                              << " on node " << node);
-  bump(ns, -static_cast<std::ptrdiff_t>(it->second->size()));
+  bump(ns, -static_cast<std::ptrdiff_t>(it->second.size()));
   ns.items.erase(it);
 }
 
@@ -70,13 +70,25 @@ void DataStore::combine(NodeId node, Tag tag, const Payload& addend) {
   HCMM_CHECK(it != ns.items.end(), "store: combine into absent tag 0x"
                                        << std::hex << tag << std::dec
                                        << " on node " << node);
-  HCMM_CHECK(it->second->size() == addend->size(),
-             "store: combine size mismatch (" << it->second->size() << " vs "
-                                              << addend->size() << ")");
-  auto sum = std::vector<double>(*it->second);
-  const auto& add = *addend;
-  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += add[i];
-  it->second = std::make_shared<const std::vector<double>>(std::move(sum));
+  Payload& dst = it->second;
+  const std::size_t n = dst.size();
+  HCMM_CHECK(n == addend.size(),
+             "store: combine size mismatch (" << n << " vs " << addend.size()
+                                              << ")");
+  const double* add = addend.data();
+  // An addend aliasing the target's buffer holds a second reference, so
+  // unique() already forbids mutating through it.
+  if (policy_ == CopyPolicy::kZeroCopy && dst.unique()) {
+    double* out = dst.buf_->data() + dst.off_;
+    for (std::size_t i = 0; i < n; ++i) out[i] += add[i];
+    plane_.combines_in_place += 1;
+  } else {
+    std::vector<double> sum(dst.data(), dst.data() + n);
+    for (std::size_t i = 0; i < n; ++i) sum[i] += add[i];
+    dst = make_payload(std::move(sum));
+    plane_.combines_copied += 1;
+    plane_.words_copied += n;
+  }
 }
 
 Tag DataStore::make_part_tag(Tag tag, std::size_t i) noexcept {
@@ -105,36 +117,67 @@ std::vector<Tag> DataStore::split_sizes(NodeId node, Tag tag,
   const Payload whole = get(node, tag);
   std::size_t total = 0;
   for (const std::size_t s : sizes) total += s;
-  HCMM_CHECK(total == whole->size(), "store: split sizes sum to "
-                                         << total << " != item size "
-                                         << whole->size());
+  HCMM_CHECK(total == whole.size(), "store: split sizes sum to "
+                                        << total << " != item size "
+                                        << whole.size());
   std::vector<Tag> out;
   out.reserve(sizes.size());
   erase(node, tag);
   std::size_t off = 0;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const Tag pt = make_part_tag(tag, i);
-    put(node, pt,
-        std::vector<double>(whole->begin() + static_cast<std::ptrdiff_t>(off),
-                            whole->begin() +
-                                static_cast<std::ptrdiff_t>(off + sizes[i])));
+    if (policy_ == CopyPolicy::kZeroCopy) {
+      put_shared(node, pt, whole.slice(off, sizes[i]));
+      plane_.words_aliased += sizes[i];
+    } else {
+      const double* base = whole.data() + off;
+      put(node, pt, std::vector<double>(base, base + sizes[i]));
+      plane_.words_copied += sizes[i];
+    }
     off += sizes[i];
     out.push_back(pt);
   }
+  plane_.split_ops += 1;
   return out;
 }
 
 void DataStore::join(NodeId node, std::span<const Tag> part_tags, Tag out_tag) {
-  std::vector<double> joined;
+  std::vector<Payload> parts;
+  parts.reserve(part_tags.size());
   std::size_t total = 0;
-  for (const Tag t : part_tags) total += item_words(node, t);
-  joined.reserve(total);
   for (const Tag t : part_tags) {
-    const Payload p = get(node, t);
-    joined.insert(joined.end(), p->begin(), p->end());
-    erase(node, t);
+    parts.push_back(get(node, t));
+    total += parts.back().size();
   }
-  put(node, out_tag, std::move(joined));
+  // Zero-copy re-aliasing is possible exactly when the parts are consecutive
+  // ascending slices of one buffer — the round trip of a zero-copy split.
+  bool contiguous = policy_ == CopyPolicy::kZeroCopy && !parts.empty();
+  if (contiguous) {
+    std::size_t off = parts[0].offset();
+    for (const Payload& p : parts) {
+      if (!p.same_buffer(parts[0]) || p.offset() != off) {
+        contiguous = false;
+        break;
+      }
+      off += p.size();
+    }
+  }
+  for (const Tag t : part_tags) erase(node, t);
+  if (contiguous) {
+    Payload joined = parts[0];  // widen the first part's view over them all
+    joined.len_ = total;
+    put_shared(node, out_tag, std::move(joined));
+    plane_.words_aliased += total;
+  } else {
+    std::vector<double> joined;
+    joined.reserve(total);
+    for (const Payload& p : parts) {
+      joined.insert(joined.end(), p.data(), p.data() + p.size());
+    }
+    put(node, out_tag, std::move(joined));
+    plane_.words_copied += total;
+  }
+  plane_.join_ops += 1;
 }
 
 std::size_t DataStore::words(NodeId node) const { return at(node).cur_words; }
@@ -162,7 +205,7 @@ std::vector<std::pair<Tag, std::size_t>> DataStore::items(NodeId node) const {
   std::vector<std::pair<Tag, std::size_t>> out;
   out.reserve(ns.items.size());
   for (const auto& [tag, payload] : ns.items) {
-    out.emplace_back(tag, payload->size());
+    out.emplace_back(tag, payload.size());
   }
   return out;
 }

@@ -1,0 +1,286 @@
+// Tests for the zero-copy data plane: payload view semantics, split/join
+// aliasing, in-place combine, copy-policy equivalence (bit-identical results
+// and identical charged costs under both policies), the register-blocked
+// gemm microkernel's exact agreement with the naive oracle on awkward
+// shapes, thread-pool exception propagation, and the parallel ABFT checksum
+// recompute's determinism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "hcmm/abft/checksum.hpp"
+#include "hcmm/algo/api.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/store.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace hcmm {
+namespace {
+
+const Tag kT1 = make_tag(1, 2, 3);
+const Tag kT2 = make_tag(1, 2, 4);
+
+// ---------------------------------------------------------------- payloads
+
+TEST(Payload, SliceViewsShareOneBuffer) {
+  const Payload whole = make_payload({0, 1, 2, 3, 4, 5});
+  const Payload mid = whole.slice(2, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.offset(), 2u);
+  EXPECT_EQ(mid[0], 2.0);
+  EXPECT_EQ(mid[2], 4.0);
+  EXPECT_TRUE(mid.same_buffer(whole));
+  EXPECT_EQ(mid.data(), whole.data() + 2);
+  EXPECT_EQ(mid.to_vector(), (std::vector<double>{2, 3, 4}));
+  EXPECT_THROW((void)whole.slice(4, 3), CheckError);
+}
+
+TEST(Payload, UniqueTracksBufferReferences) {
+  Payload p = make_payload({1, 2});
+  EXPECT_TRUE(p.unique());
+  const Payload alias = p.slice(0, 1);
+  EXPECT_FALSE(p.unique());
+  EXPECT_FALSE(alias.unique());
+}
+
+TEST(DataStore, SplitAliasesInsteadOfCopying) {
+  DataStore st(1);
+  st.put(0, kT1, {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto before = st.plane_stats();
+  const auto parts = st.split(0, kT1, 2);
+  const auto delta = st.plane_stats() - before;
+  EXPECT_EQ(delta.words_copied, 0u);
+  EXPECT_EQ(delta.words_aliased, 8u);
+  EXPECT_EQ(delta.split_ops, 1u);
+  EXPECT_TRUE(st.get(0, parts[0]).same_buffer(st.get(0, parts[1])));
+}
+
+TEST(DataStore, JoinOfOrderedSlicesRealiases) {
+  DataStore st(1);
+  st.put(0, kT1, {0, 1, 2, 3, 4, 5, 6});
+  const auto parts = st.split(0, kT1, 3);
+  const auto before = st.plane_stats();
+  st.join(0, parts, kT2);
+  const auto delta = st.plane_stats() - before;
+  EXPECT_EQ(delta.words_copied, 0u);
+  EXPECT_EQ(delta.words_aliased, 7u);
+  EXPECT_EQ(delta.join_ops, 1u);
+  EXPECT_EQ(*st.get(0, kT2), (std::vector<double>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DataStore, JoinOfForeignPartsMaterializes) {
+  DataStore st(1);
+  st.put(0, kT1, {1, 2});
+  st.put(0, kT2, {3});
+  const Tag tags[] = {kT1, kT2};
+  const Tag out = make_tag(1, 9, 9);
+  const auto before = st.plane_stats();
+  st.join(0, tags, out);
+  const auto delta = st.plane_stats() - before;
+  EXPECT_EQ(delta.words_copied, 3u);
+  EXPECT_EQ(*st.get(0, out), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(DataStore, CombineMutatesUniqueTargetInPlace) {
+  DataStore st(1);
+  st.put(0, kT1, {1.0, 2.0});
+  const auto before = st.plane_stats();
+  st.combine(0, kT1, make_payload({10.0, 20.0}));
+  const auto delta = st.plane_stats() - before;
+  EXPECT_EQ(delta.combines_in_place, 1u);
+  EXPECT_EQ(delta.combines_copied, 0u);
+  EXPECT_EQ(*st.get(0, kT1), (std::vector<double>{11.0, 22.0}));
+}
+
+TEST(DataStore, CombineCopiesWhenTargetIsShared) {
+  DataStore st(2);
+  st.put(0, kT1, {1.0, 2.0});
+  const Payload held = st.get(0, kT1);  // second reference
+  const auto before = st.plane_stats();
+  st.combine(0, kT1, make_payload({10.0, 20.0}));
+  const auto delta = st.plane_stats() - before;
+  EXPECT_EQ(delta.combines_in_place, 0u);
+  EXPECT_EQ(delta.combines_copied, 1u);
+  EXPECT_EQ(*st.get(0, kT1), (std::vector<double>{11.0, 22.0}));
+  // The held alias still sees the pre-combine words.
+  EXPECT_EQ(*held, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(DataStore, CombineWithSelfAliasFallsBackToCopy) {
+  DataStore st(1);
+  st.put(0, kT1, {1.0, 2.0});
+  // The addend aliases the target's own buffer: use_count >= 2 forbids the
+  // in-place path, so the sums come from an untouched snapshot.
+  const Payload self = st.get(0, kT1);
+  st.combine(0, kT1, self);
+  EXPECT_EQ(*st.get(0, kT1), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(DataStore, DeepCopyPolicyNeverAliases) {
+  DataStore st(1);
+  st.set_copy_policy(CopyPolicy::kDeepCopy);
+  st.put(0, kT1, {0, 1, 2, 3, 4, 5});
+  const auto parts = st.split(0, kT1, 2);
+  st.join(0, parts, kT2);
+  const auto& ps = st.plane_stats();
+  EXPECT_EQ(ps.words_aliased, 0u);
+  EXPECT_GT(ps.words_copied, 0u);
+  EXPECT_EQ(*st.get(0, kT2), (std::vector<double>{0, 1, 2, 3, 4, 5}));
+  st.combine(0, kT2, make_payload({1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(st.plane_stats().combines_in_place, 0u);
+  EXPECT_EQ(*st.get(0, kT2), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+// Same simulated run under both copy policies: every charged cost and every
+// product bit must agree — the data plane is host bookkeeping only.
+TEST(DataPlane, PoliciesAreObservationallyEquivalent) {
+  const std::size_t n = 32;
+  const Matrix a = random_matrix(n, n, 11);
+  const Matrix b = random_matrix(n, n, 12);
+  for (const auto port : {PortModel::kOnePort, PortModel::kMultiPort}) {
+    for (const auto id : {algo::AlgoId::kCannon, algo::AlgoId::kDiag3D,
+                          algo::AlgoId::kAllTrans}) {
+      const auto alg = algo::make_algorithm(id);
+      if (!alg->supports(port)) continue;
+      Machine mz(Hypercube::with_nodes(64), port, CostParams{150, 3, 1});
+      Machine md(Hypercube::with_nodes(64), port, CostParams{150, 3, 1});
+      md.store().set_copy_policy(CopyPolicy::kDeepCopy);
+      const auto rz = alg->run(a, b, mz);
+      const auto rd = alg->run(a, b, md);
+      EXPECT_LE(max_abs_diff(rz.c, rd.c), 0.0)
+          << alg->name() << ": products must be bit-identical";
+      const auto tz = rz.report.totals();
+      const auto td = rd.report.totals();
+      EXPECT_EQ(tz.rounds, td.rounds);
+      EXPECT_DOUBLE_EQ(tz.word_cost, td.word_cost);
+      EXPECT_DOUBLE_EQ(tz.comm_time, td.comm_time);
+      EXPECT_EQ(tz.flops, td.flops);
+      EXPECT_EQ(rz.report.peak_words_total, rd.report.peak_words_total);
+      // ... but the host traffic differs: zero-copy must copy strictly less.
+      EXPECT_LT(tz.words_copied, td.words_copied);
+      EXPECT_GT(tz.words_aliased, 0u);
+      EXPECT_EQ(td.words_aliased, 0u);
+    }
+  }
+}
+
+// The data-plane counters must surface through the phase stats of a run.
+TEST(DataPlane, CountersSurfaceInReport) {
+  const std::size_t n = 16;
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  const auto alg = algo::make_algorithm(algo::AlgoId::kCannon);
+  Machine m(Hypercube::with_nodes(16), PortModel::kOnePort,
+            CostParams{150, 3, 1});
+  const auto r = alg->run(a, b, m);
+  const auto totals = r.report.totals();
+  EXPECT_GT(totals.words_aliased, 0u) << "gemm operands are borrowed views";
+  EXPECT_GT(totals.combines_in_place, 0u) << "accumulators mutate in place";
+}
+
+// ------------------------------------------------------------ gemm kernels
+
+Matrix accumulate_with(GemmKernel k, const Matrix& a, const Matrix& b) {
+  set_gemm_kernel(k);
+  Matrix c(a.rows(), b.cols());
+  gemm_accumulate(a, b, c);
+  set_gemm_kernel(GemmKernel::kMicro);
+  return c;
+}
+
+TEST(GemmMicro, EdgeShapesMatchNaiveExactly) {
+  // Shapes straddling every tail path: non-multiples of the 4x8 register
+  // block and of the 256-deep k panel, single rows/columns, tiny and empty.
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 1, 1},   {1, 7, 1},    {1, 300, 9}, {3, 5, 7},
+                {4, 8, 8},   {5, 9, 17},   {6, 257, 31}, {13, 64, 13},
+                {16, 16, 1}, {1, 16, 16},  {33, 31, 29}, {64, 300, 12},
+                {0, 5, 5},   {5, 0, 5},    {5, 5, 0}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s.m, s.k, 100 + s.m);
+    const Matrix b = random_matrix(s.k, s.n, 200 + s.n);
+    const Matrix oracle = multiply_naive(a, b);
+    const Matrix micro = accumulate_with(GemmKernel::kMicro, a, b);
+    const Matrix legacy = accumulate_with(GemmKernel::kLegacyTiled, a, b);
+    EXPECT_LE(max_abs_diff(micro, oracle), 0.0)
+        << "micro != naive at " << s.m << "x" << s.k << "x" << s.n;
+    EXPECT_LE(max_abs_diff(legacy, oracle), 0.0)
+        << "legacy != naive at " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmMicro, AccumulatesOntoExistingValues) {
+  const Matrix a = random_matrix(9, 11, 1);
+  const Matrix b = random_matrix(11, 10, 2);
+  Matrix c = random_matrix(9, 10, 3);
+  Matrix expect = c;
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t k = 0; k < 11; ++k) {
+      for (std::size_t j = 0; j < 10; ++j) expect(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  gemm_accumulate(a, b, c);
+  EXPECT_LE(max_abs_diff(c, expect), 0.0);
+}
+
+TEST(GemmMicro, ThreadedMatchesSerialExactly) {
+  ThreadPool pool(4);
+  const Matrix a = random_matrix(70, 129, 5);
+  const Matrix b = random_matrix(129, 37, 6);
+  const Matrix serial = multiply_tiled(a, b);
+  const Matrix threaded = multiply_threaded(a, b, pool);
+  EXPECT_LE(max_abs_diff(serial, threaded), 0.0);
+  EXPECT_LE(max_abs_diff(serial, multiply_naive(a, b)), 0.0);
+}
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolBatch, ExceptionPropagatesOutOfRunBatch) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> jobs;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 5) throw std::runtime_error("job 5 failed");
+    });
+  }
+  EXPECT_THROW(pool.run_batch(std::move(jobs)), std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::vector<std::function<void()>> more;
+  std::atomic<int> after{0};
+  for (int i = 0; i < 8; ++i) more.push_back([&after] { after.fetch_add(1); });
+  pool.run_batch(std::move(more));
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPoolBatch, CheckErrorPropagatesIntact) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { HCMM_CHECK(false, "deliberate"); });
+  EXPECT_THROW(pool.run_batch(std::move(jobs)), CheckError);
+}
+
+// -------------------------------------------------------- abft determinism
+
+TEST(AbftChecksums, ParallelRecomputeIsBitIdentical) {
+  const Matrix a = random_matrix(65, 65, 21);
+  const Matrix b = random_matrix(65, 65, 22);
+  const auto serial = abft::reference_checksums(a, b);
+  ThreadPool one(1);
+  ThreadPool many(5);
+  const auto p1 = abft::reference_checksums(a, b, one);
+  const auto pn = abft::reference_checksums(a, b, many);
+  EXPECT_EQ(serial.row_sums, p1.row_sums);
+  EXPECT_EQ(serial.col_sums, p1.col_sums);
+  EXPECT_EQ(serial.row_sums, pn.row_sums);
+  EXPECT_EQ(serial.col_sums, pn.col_sums);
+}
+
+}  // namespace
+}  // namespace hcmm

@@ -22,7 +22,9 @@ TEST(ReportIo, CsvHasHeaderAndTotalRow) {
   EXPECT_EQ(csv.find("phase,a_ts,b_tw,messages,link_words,flops,comm_time,"
                      "compute_time,retries,reroutes,extra_hops,fault_startups,"
                      "fault_word_cost,fault_delay,checkpoints,checkpoint_cost,"
-                     "silent_corruptions,abft_detected,abft_corrected\n"),
+                     "silent_corruptions,abft_detected,abft_corrected,"
+                     "words_copied,words_aliased,combines_in_place,"
+                     "combines_copied\n"),
             0u);
   EXPECT_NE(csv.find("\"TOTAL\","), std::string::npos);
   EXPECT_NE(csv.find("\"p2p B\","), std::string::npos);
@@ -85,7 +87,8 @@ TEST(ReportIo, FaultFieldsRoundTrip) {
   // Phase row: the six resilience columns follow compute_time in order,
   // then the five ABFT/checkpoint columns (all zero here).
   EXPECT_NE(csv.find("\"shift A\",4,16,"), std::string::npos);
-  EXPECT_NE(csv.find(",3,2,5,7,12.5,400.25,0,0,0,0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find(",3,2,5,7,12.5,400.25,0,0,0,0,0,0,0,0,0\n"),
+            std::string::npos);
 
   const std::string json = report_json(rep);
   EXPECT_NE(json.find("\"retries\": 3"), std::string::npos);
@@ -166,7 +169,7 @@ TEST(ReportIo, AbftFieldsRoundTrip) {
       .detail = "residues"});
 
   const std::string csv = report_csv(rep);
-  EXPECT_NE(csv.find(",2,450.5,1,3,2\n"), std::string::npos);
+  EXPECT_NE(csv.find(",2,450.5,1,3,2,0,0,0,0\n"), std::string::npos);
 
   const std::string json = report_json(rep);
   EXPECT_NE(json.find("\"checkpoints\": 2"), std::string::npos);

@@ -79,8 +79,7 @@ TEST(DataStore, GetAbsentRejected) {
 TEST(DataStore, CombineAddsElementwise) {
   DataStore st(2);
   st.put(0, kT1, {1.0, 2.0});
-  st.combine(0, kT1, std::make_shared<const std::vector<double>>(
-                         std::vector<double>{10.0, 20.0}));
+  st.combine(0, kT1, make_payload({10.0, 20.0}));
   EXPECT_EQ((*st.get(0, kT1))[0], 11.0);
   EXPECT_EQ((*st.get(0, kT1))[1], 22.0);
 }
@@ -88,10 +87,7 @@ TEST(DataStore, CombineAddsElementwise) {
 TEST(DataStore, CombineSizeMismatchRejected) {
   DataStore st(1);
   st.put(0, kT1, {1.0, 2.0});
-  EXPECT_THROW(st.combine(0, kT1,
-                          std::make_shared<const std::vector<double>>(
-                              std::vector<double>{1.0})),
-               CheckError);
+  EXPECT_THROW(st.combine(0, kT1, make_payload({1.0})), CheckError);
 }
 
 TEST(DataStore, SplitJoinRoundTrip) {
