@@ -23,7 +23,7 @@ Matrix mat_from(const DataStore& store, NodeId node, Tag tag, std::size_t r,
   HCMM_CHECK(p.size() == r * c, "mat_from: payload of " << p.size()
                                                         << " words is not "
                                                         << r << "x" << c);
-  store.count_copy(p.size());
+  store.count_copy(p.size(), node, tag);
   return Matrix(r, c, p.to_vector());
 }
 
@@ -39,10 +39,10 @@ MatRef mat_ref(const DataStore& store, NodeId node, Tag tag, std::size_t r,
                                                        << "x" << c);
   if (store.copy_policy() == CopyPolicy::kDeepCopy) {
     // Reproduce the historical materialize-per-job behavior for bench A/B.
-    store.count_copy(p.size());
+    store.count_copy(p.size(), node, tag);
     return MatRef{make_payload(p.to_vector()), r, c};
   }
-  store.count_alias(p.size());
+  store.count_alias(p.size(), node, tag);
   return MatRef{p, r, c};
 }
 
@@ -58,7 +58,7 @@ void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
   HCMM_CHECK(p.size() == r * c, "paste_block: payload of " << p.size()
                                                            << " words is not "
                                                            << r << "x" << c);
-  store.count_copy(p.size());
+  store.count_copy(p.size(), node, tag);
   out.set_block(r0, c0, r, c, p.span());
 }
 
@@ -73,6 +73,7 @@ void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
     });
   }
   machine.pool().run_batch(std::move(work));
+  machine.notify_gemm_batch(jobs.size());
 
   // A node may own several jobs in one batch (e.g. the log q group
   // products of an HJE step); it performs them back to back, so its charge

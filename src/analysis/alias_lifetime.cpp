@@ -1,0 +1,69 @@
+// AliasLifetimePass: the data plane's borrow checker.  The abstract heap in
+// interpret_trace() reconstructs which item views which allocation at what
+// extent; this pass turns every rule the interpreter fires into a located
+// diagnostic:
+//
+//   alias.nested-split        split of a tag whose reserved byte is in use
+//   alias.split-size-mismatch part sizes do not partition the item
+//   alias.use-after-join      access to a part a join already consumed
+//   alias.duplicate-item      insert over an existing (node, tag) item
+//   alias.missing-item        access to an item that does not exist
+//   alias.combine-shared      in-place combine while other views share the
+//                             buffer (the mutation would be observable)
+//   alias.part-leak (warn)    split parts still resident at end of run
+//
+// Legal runs captured from a live Machine are clean by construction — the
+// DataStore throws on most of these — so the pass earns its keep on
+// fabricated traces (negative tests) and as the executable specification
+// the cross-validation in hcmm_lint holds the store to.
+
+#include "hcmm/analysis/trace.hpp"
+
+namespace hcmm::analysis {
+
+namespace {
+
+class AliasSink final : public TraceSink {
+ public:
+  explicit AliasSink(DiagnosticList& out) : out_(out) {}
+
+  void on_violation(std::string_view code, std::string message,
+                    std::string hint, const TraceLoc& loc) override {
+    Diagnostic d;
+    d.severity =
+        code == "alias.part-leak" ? Severity::kWarning : Severity::kError;
+    d.pass = "alias-lifetime";
+    d.code = std::string(code);
+    // Trace diagnostics locate by event index (round field) and, for
+    // schedule events, the transfer within the offending round.
+    d.round = loc.event;
+    d.transfer = loc.transfer;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    out_.add(std::move(d));
+  }
+
+ private:
+  DiagnosticList& out_;
+};
+
+class AliasLifetimePass final : public TracePass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "alias-lifetime";
+  }
+
+  void run(const TraceInput& in, DiagnosticList& out) const override {
+    if (in.trace == nullptr) return;
+    AliasSink sink(out);
+    interpret_trace(*in.trace, &sink);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TracePass> make_alias_lifetime_pass() {
+  return std::make_unique<AliasLifetimePass>();
+}
+
+}  // namespace hcmm::analysis

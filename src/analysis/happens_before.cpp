@@ -1,0 +1,160 @@
+// HappensBeforePass: vector-clock race detection over a RunTrace.
+//
+// Thread model.  Each simulated node is one logical thread; host-side ops
+// with no node (kNoNode) run on a distinguished driver thread.  Algorithm
+// code between schedule runs is node-local (an SPMD program would execute
+// it on the node), and a node that owns several GEMM jobs of one batch
+// performs them back to back (see run_gemm_jobs), so node granularity is
+// the true concurrency of the simulated machine.
+//
+// Synchronization.  The ONLY cross-thread happens-before edges are schedule
+// deliveries: a transfer src -> dst joins dst's clock with src's pre-round
+// clock.  Reads performed by a transfer happen at the source's clock;
+// in-place combine deliveries write at the destination's post-join clock.
+//
+// Races.  Every access the abstract interpreter reports carries the buffer
+// identity and extent of the touched words.  Two accesses to overlapping
+// extents of one buffer, at least one a write, whose epochs are ordered by
+// neither clock, form a race; the diagnostic names both events (witness
+// pair).  Legal runs are provably race-free: the store mutates in place
+// only through a buffer's unique reference, and uniqueness means every
+// earlier access flowed into the writer through delivery edges — the pass
+// re-derives that proof per run and refutes it on fabricated traces.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcmm/analysis/trace.hpp"
+
+namespace hcmm::analysis {
+
+namespace {
+
+/// FastTrack-style epoch: thread `tid` at its local time `t`.
+struct Epoch {
+  std::uint32_t tid = 0;
+  std::uint64_t t = 0;
+};
+
+struct Access {
+  Epoch at;
+  std::size_t off = 0;
+  std::size_t len = 0;
+  bool write = false;
+  std::size_t event = kNoLoc;  ///< witness location
+  NodeId node = 0;
+  Tag tag = 0;
+};
+
+class RaceSink final : public TraceSink {
+ public:
+  RaceSink(std::uint32_t nodes, DiagnosticList& out)
+      : driver_(nodes), clocks_(nodes + 1), times_(nodes + 1, 0), out_(out) {
+    for (auto& vc : clocks_) vc.assign(nodes + 1, 0);
+    // Every thread has observed its own time 0.
+  }
+
+  void on_read(NodeId node, Tag tag, const AbstractView& v,
+               const TraceLoc& loc) override {
+    access(node, tag, v, /*write=*/false, loc);
+  }
+
+  void on_write(NodeId node, Tag tag, const AbstractView& v,
+                const TraceLoc& loc) override {
+    access(node, tag, v, /*write=*/true, loc);
+  }
+
+  void on_edge(NodeId src, NodeId dst, const TraceLoc& loc) override {
+    (void)loc;
+    if (src == dst) return;
+    std::vector<std::uint64_t>& d = clocks_[tid_of(dst)];
+    const std::vector<std::uint64_t>& s = clocks_[tid_of(src)];
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = std::max(d[i], s[i]);
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t tid_of(NodeId node) const noexcept {
+    // Out-of-cube nodes (fabricated traces) fold onto the driver thread.
+    return node >= driver_ ? driver_ : node;
+  }
+
+  /// True iff @p e happened before the current state of thread @p tid.
+  [[nodiscard]] bool happens_before(const Epoch& e, std::uint32_t tid) const {
+    return clocks_[tid][e.tid] >= e.t;
+  }
+
+  void access(NodeId node, Tag tag, const AbstractView& v, bool write,
+              const TraceLoc& loc) {
+    const std::uint32_t tid = tid_of(node);
+    times_[tid] += 1;
+    clocks_[tid][tid] = times_[tid];
+    Access cur{{tid, times_[tid]}, v.off, v.len, write, loc.event, node, tag};
+
+    if (v.buffer >= history_.size()) history_.resize(v.buffer + 1);
+    std::vector<Access>& hist = history_[v.buffer];
+    for (const Access& prev : hist) {
+      if (!(prev.write || write)) continue;
+      if (prev.off + prev.len <= cur.off || cur.off + cur.len <= prev.off) {
+        continue;  // disjoint extents of one buffer never conflict
+      }
+      if (happens_before(prev.at, tid)) continue;
+      report_race(prev, cur, v.buffer);
+    }
+    // Drop history entries the new access supersedes: anything ordered
+    // before it, covered by its extent, and no stronger than it.
+    std::erase_if(hist, [&](const Access& prev) {
+      return happens_before(prev.at, tid) && prev.off >= cur.off &&
+             prev.off + prev.len <= cur.off + cur.len &&
+             (!prev.write || cur.write);
+    });
+    hist.push_back(cur);
+  }
+
+  void report_race(const Access& a, const Access& b, std::size_t buffer) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "happens-before";
+    d.code = "race.conflicting-access";
+    d.round = b.event;  // trace diagnostics locate by event index
+    d.message =
+        std::string(b.write ? "write" : "read") + " of tag " +
+        std::to_string(b.tag) + " on node " + std::to_string(b.node) +
+        " (event " + std::to_string(b.event) + ") races with " +
+        (a.write ? "write" : "read") + " of tag " + std::to_string(a.tag) +
+        " on node " + std::to_string(a.node) + " (event " +
+        std::to_string(a.event) + "): overlapping extents of buffer #" +
+        std::to_string(buffer) + " with no happens-before order";
+    d.hint =
+        "order the accesses with a transfer edge, or give the writer a "
+        "unique buffer";
+    out_.add(std::move(d));
+  }
+
+  const std::uint32_t driver_;  ///< tid of host ops with no node
+  std::vector<std::vector<std::uint64_t>> clocks_;  ///< per-thread VCs
+  std::vector<std::uint64_t> times_;                ///< per-thread local time
+  std::vector<std::vector<Access>> history_;        ///< per-buffer accesses
+  DiagnosticList& out_;
+};
+
+class HappensBeforePass final : public TracePass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "happens-before";
+  }
+
+  void run(const TraceInput& in, DiagnosticList& out) const override {
+    if (in.trace == nullptr) return;
+    RaceSink sink(in.cube.size(), out);
+    interpret_trace(*in.trace, &sink);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TracePass> make_happens_before_pass() {
+  return std::make_unique<HappensBeforePass>();
+}
+
+}  // namespace hcmm::analysis

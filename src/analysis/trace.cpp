@@ -1,0 +1,480 @@
+#include "hcmm/analysis/trace.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "hcmm/sim/machine.hpp"
+
+namespace hcmm::analysis {
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder(Machine& m) : machine_(m) {
+  trace_.policy = m.store().copy_policy();
+  m.store().set_op_observer([this](const StoreEvent& ev) {
+    TraceEvent te;
+    te.kind = TraceEvent::Kind::kStoreOp;
+    te.store = ev;
+    trace_.events.push_back(std::move(te));
+  });
+  m.set_phase_observer([this](std::string_view name) {
+    TraceEvent te;
+    te.kind = TraceEvent::Kind::kPhase;
+    te.phase = std::string(name);
+    trace_.events.push_back(std::move(te));
+  });
+  m.set_gemm_observer([this](std::size_t jobs) {
+    TraceEvent te;
+    te.kind = TraceEvent::Kind::kGemmBatch;
+    te.gemm_jobs = jobs;
+    trace_.events.push_back(std::move(te));
+  });
+  m.set_schedule_observer(
+      [this](const Schedule& s) { record_schedule(s); });
+}
+
+TraceRecorder::~TraceRecorder() {
+  machine_.store().set_op_observer({});
+  machine_.set_phase_observer({});
+  machine_.set_gemm_observer({});
+  machine_.set_schedule_observer({});
+}
+
+void TraceRecorder::record_schedule(const Schedule& s) {
+  TraceEvent te;
+  te.kind = TraceEvent::Kind::kSchedule;
+  te.schedule = trace_.schedules.size();
+  trace_.schedules.push_back(s);
+  trace_.events.push_back(std::move(te));
+}
+
+// ---------------------------------------------------------------------------
+// Abstract interpretation
+
+namespace {
+
+std::string hex_tag(Tag tag) {
+  std::ostringstream os;
+  os << "0x" << std::hex << tag;
+  return os.str();
+}
+
+/// The view a (node, tag) item holds into an abstract allocation.
+struct AbstractItem {
+  std::size_t buffer = 0;
+  std::size_t off = 0;
+  std::size_t len = 0;
+};
+
+class Interp {
+ public:
+  Interp(const RunTrace& trace, TraceSink* sink)
+      : trace_(trace), sink_(sink) {}
+
+  DataPlaneStats run() {
+    for (std::size_t e = 0; e < trace_.events.size(); ++e) {
+      const TraceEvent& ev = trace_.events[e];
+      TraceLoc loc;
+      loc.event = e;
+      switch (ev.kind) {
+        case TraceEvent::Kind::kStoreOp:
+          apply_store_op(ev.store, loc);
+          break;
+        case TraceEvent::Kind::kSchedule:
+          apply_schedule(trace_.schedules[ev.schedule], loc);
+          break;
+        case TraceEvent::Kind::kPhase:
+          if (sink_) sink_->on_phase(ev.phase, loc);
+          break;
+        case TraceEvent::Kind::kGemmBatch:
+          if (sink_) sink_->on_gemm_batch(ev.gemm_jobs, loc);
+          break;
+      }
+    }
+    finish();
+    return stats_;
+  }
+
+ private:
+  using Key = std::pair<NodeId, Tag>;
+
+  std::size_t fresh_buffer() {
+    refs_.push_back(0);
+    return refs_.size() - 1;
+  }
+
+  [[nodiscard]] AbstractView view_of(const AbstractItem& it) const {
+    return {it.buffer, it.off, it.len, refs_[it.buffer]};
+  }
+
+  void violation(std::string_view code, std::string message, std::string hint,
+                 const TraceLoc& loc) {
+    if (sink_) {
+      sink_->on_violation(code, std::move(message), std::move(hint), loc);
+    }
+  }
+
+  /// Report a read access on an existing item.
+  void read(NodeId node, Tag tag, const AbstractItem& it,
+            const TraceLoc& loc) {
+    if (sink_) sink_->on_read(node, tag, view_of(it), loc);
+  }
+
+  void add_ref(std::size_t buffer) { refs_[buffer] += 1; }
+  void drop_ref(std::size_t buffer) { refs_[buffer] -= 1; }
+
+  /// Insert an item, flagging a duplicate (the live store throws instead).
+  void insert(NodeId node, Tag tag, AbstractItem it, const TraceLoc& loc) {
+    const auto pos = items_.find(Key{node, tag});
+    if (pos != items_.end()) {
+      violation("alias.duplicate-item",
+                "node " + std::to_string(node) + " already holds tag " +
+                    hex_tag(tag),
+                "erase or move the existing item before re-inserting", loc);
+      drop_ref(pos->second.buffer);
+      items_.erase(pos);
+    }
+    add_ref(it.buffer);
+    items_.emplace(Key{node, tag}, it);
+    joined_.erase(Key{node, tag});
+  }
+
+  /// Remove an item if present; returns false when absent.
+  bool remove(NodeId node, Tag tag) {
+    const auto it = items_.find(Key{node, tag});
+    if (it == items_.end()) return false;
+    drop_ref(it->second.buffer);
+    items_.erase(it);
+    return true;
+  }
+
+  /// Find an item, reporting use-after-join / missing-item when absent.
+  /// @p required suppresses the missing-item report for advisory lookups.
+  AbstractItem* lookup(NodeId node, Tag tag, const TraceLoc& loc,
+                       std::string_view what, bool required = true) {
+    const auto it = items_.find(Key{node, tag});
+    if (it != items_.end()) return &it->second;
+    const auto j = joined_.find(Key{node, tag});
+    if (j != joined_.end()) {
+      violation("alias.use-after-join",
+                std::string(what) + " of tag " + hex_tag(tag) + " on node " +
+                    std::to_string(node) + " after join at event " +
+                    std::to_string(j->second.event) + " consumed it",
+                "read the joined item, or join after the last use", loc);
+    } else if (required) {
+      violation("alias.missing-item",
+                std::string(what) + " of absent tag " + hex_tag(tag) +
+                    " on node " + std::to_string(node),
+                "", loc);
+    }
+    return nullptr;
+  }
+
+  void apply_store_op(const StoreEvent& ev, const TraceLoc& loc) {
+    switch (ev.kind) {
+      case StoreEvent::Kind::kPut:
+      case StoreEvent::Kind::kPutShared:
+        // A top-level put allocates; a top-level put_shared wraps a payload
+        // the host just built (the interpreter cannot see host sharing, and
+        // delivery-level put_shared is muted, so fresh is exact).
+        insert(ev.node, ev.tag, {fresh_buffer(), 0, ev.words}, loc);
+        break;
+      case StoreEvent::Kind::kErase:
+        if (!remove(ev.node, ev.tag)) {
+          lookup(ev.node, ev.tag, loc, "erase");
+        }
+        break;
+      case StoreEvent::Kind::kSplit:
+        apply_split(ev, loc);
+        break;
+      case StoreEvent::Kind::kJoin:
+        apply_join(ev, loc);
+        break;
+      case StoreEvent::Kind::kCombineInPlace: {
+        AbstractItem* it = lookup(ev.node, ev.tag, loc, "combine");
+        if (it == nullptr) break;
+        if (refs_[it->buffer] > 1) {
+          violation("alias.combine-shared",
+                    "in-place combine into tag " + hex_tag(ev.tag) +
+                        " on node " + std::to_string(ev.node) + " while " +
+                        std::to_string(refs_[it->buffer] - 1) +
+                        " other view(s) share its buffer",
+                    "clone before accumulating, or erase the other views",
+                    loc);
+        }
+        if (sink_) sink_->on_write(ev.node, ev.tag, view_of(*it), loc);
+        stats_.combines_in_place += 1;
+        break;
+      }
+      case StoreEvent::Kind::kCombineCopied: {
+        AbstractItem* it = lookup(ev.node, ev.tag, loc, "combine");
+        if (it == nullptr) break;
+        read(ev.node, ev.tag, *it, loc);
+        drop_ref(it->buffer);
+        *it = {fresh_buffer(), 0, it->len};
+        add_ref(it->buffer);
+        stats_.combines_copied += 1;
+        stats_.words_copied += ev.words;
+        break;
+      }
+      case StoreEvent::Kind::kHostCopy:
+      case StoreEvent::Kind::kHostAlias: {
+        if (ev.kind == StoreEvent::Kind::kHostCopy) {
+          stats_.words_copied += ev.words;
+        } else {
+          stats_.words_aliased += ev.words;
+        }
+        if (ev.node == kNoNode || ev.tag == 0) break;
+        AbstractItem* it =
+            lookup(ev.node, ev.tag, loc, "host read", /*required=*/false);
+        if (it != nullptr) read(ev.node, ev.tag, *it, loc);
+        break;
+      }
+    }
+  }
+
+  void apply_split(const StoreEvent& ev, const TraceLoc& loc) {
+    if ((ev.tag >> 56) != 0) {
+      violation("alias.nested-split",
+                "split of tag " + hex_tag(ev.tag) +
+                    " whose reserved part byte is already in use "
+                    "(splitting a split part)",
+                "join the parts back before splitting again", loc);
+    }
+    AbstractItem* parent = lookup(ev.node, ev.tag, loc, "split");
+    if (parent == nullptr) return;
+    // Per-part sizes ride on the event; fall back to even chunks when a
+    // fabricated trace omits them.
+    std::vector<std::size_t> sizes = ev.sizes;
+    if (sizes.size() != ev.parts.size()) {
+      sizes.resize(ev.parts.size());
+      for (std::size_t i = 0; i < ev.parts.size(); ++i) {
+        const auto [lo, hi] = chunk_bounds(ev.words, ev.parts.size(), i);
+        sizes[i] = hi - lo;
+      }
+    }
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    if (total != parent->len) {
+      violation("alias.split-size-mismatch",
+                "split sizes of tag " + hex_tag(ev.tag) + " on node " +
+                    std::to_string(ev.node) + " sum to " +
+                    std::to_string(total) + " != item size " +
+                    std::to_string(parent->len),
+                "make the part sizes partition the item exactly", loc);
+    }
+    const AbstractItem whole = *parent;
+    remove(ev.node, ev.tag);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < ev.parts.size(); ++i) {
+      if (trace_.policy == CopyPolicy::kZeroCopy) {
+        insert(ev.node, ev.parts[i], {whole.buffer, whole.off + off, sizes[i]},
+               loc);
+        stats_.words_aliased += sizes[i];
+      } else {
+        insert(ev.node, ev.parts[i], {fresh_buffer(), 0, sizes[i]}, loc);
+        stats_.words_copied += sizes[i];
+      }
+      off += sizes[i];
+    }
+    if (trace_.policy == CopyPolicy::kDeepCopy) {
+      // Materializing the parts reads the whole parent once.
+      if (sink_) {
+        sink_->on_read(ev.node, ev.tag,
+                       {whole.buffer, whole.off, whole.len,
+                        refs_[whole.buffer] + 1},
+                       loc);
+      }
+    }
+    stats_.split_ops += 1;
+  }
+
+  void apply_join(const StoreEvent& ev, const TraceLoc& loc) {
+    std::vector<AbstractItem> parts;
+    parts.reserve(ev.parts.size());
+    bool all_present = true;
+    for (const Tag pt : ev.parts) {
+      AbstractItem* it = lookup(ev.node, pt, loc, "join");
+      if (it == nullptr) {
+        all_present = false;
+        continue;
+      }
+      parts.push_back(*it);
+    }
+    std::size_t total = 0;
+    for (const AbstractItem& p : parts) total += p.len;
+    // Mirror DataStore::join's re-alias condition exactly.
+    bool contiguous = trace_.policy == CopyPolicy::kZeroCopy && all_present &&
+                      !parts.empty();
+    if (contiguous) {
+      std::size_t off = parts[0].off;
+      for (const AbstractItem& p : parts) {
+        if (p.buffer != parts[0].buffer || p.off != off) {
+          contiguous = false;
+          break;
+        }
+        off += p.len;
+      }
+    }
+    if (!contiguous) {
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (sink_) {
+          sink_->on_read(ev.node, ev.parts[i],
+                         {parts[i].buffer, parts[i].off, parts[i].len,
+                          refs_[parts[i].buffer]},
+                         loc);
+        }
+      }
+    }
+    for (const Tag pt : ev.parts) {
+      if (remove(ev.node, pt)) joined_[Key{ev.node, pt}] = loc;
+    }
+    if (contiguous) {
+      insert(ev.node, ev.tag, {parts[0].buffer, parts[0].off, total}, loc);
+      stats_.words_aliased += total;
+    } else {
+      insert(ev.node, ev.tag, {fresh_buffer(), 0, total}, loc);
+      stats_.words_copied += total;
+    }
+    stats_.join_ops += 1;
+  }
+
+  void apply_schedule(const Schedule& s, TraceLoc loc) {
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      loc.round = r;
+      apply_round(s.rounds[r], loc);
+    }
+  }
+
+  /// In-flight delivery view during one round: the payload execute_round()
+  /// read before applying moves.  Non-combine deliveries hand their view to
+  /// the destination item; combine deliveries keep it alive to round end —
+  /// both exactly as the Machine's delivery vector does, so the uniqueness
+  /// the in-place combine test sees here matches Payload::unique() there.
+  struct Delivery {
+    NodeId src = 0;
+    NodeId dst = 0;
+    Tag tag = 0;
+    AbstractItem view;
+    bool combine = false;
+    bool live = false;  ///< view registered (source item existed)
+    TraceLoc loc;
+  };
+
+  void apply_round(const Round& round, TraceLoc loc) {
+    std::vector<Delivery> deliveries;
+    std::vector<Key> erasures;
+    // All reads see pre-round state.
+    for (std::size_t ti = 0; ti < round.transfers.size(); ++ti) {
+      const Transfer& t = round.transfers[ti];
+      loc.transfer = ti;
+      for (const Tag tag : t.tags) {
+        Delivery d;
+        d.src = t.src;
+        d.dst = t.dst;
+        d.tag = tag;
+        d.combine = t.combine;
+        d.loc = loc;
+        AbstractItem* it = lookup(t.src, tag, loc, "transfer");
+        if (it != nullptr) {
+          read(t.src, tag, *it, loc);
+          d.view = *it;
+          d.live = true;
+          add_ref(it->buffer);
+        }
+        deliveries.push_back(d);
+        if (t.move_src) erasures.emplace_back(t.src, tag);
+      }
+    }
+    loc.transfer = kNoLoc;
+    for (const auto& [node, tag] : erasures) remove(node, tag);
+    for (Delivery& d : deliveries) {
+      if (!d.live) continue;
+      if (sink_) sink_->on_edge(d.src, d.dst, d.loc);
+      if (d.combine) {
+        AbstractItem* dst = lookup(d.dst, d.tag, d.loc, "combine delivery");
+        if (dst == nullptr) continue;
+        if (trace_.policy == CopyPolicy::kZeroCopy &&
+            refs_[dst->buffer] == 1) {
+          if (sink_) sink_->on_write(d.dst, d.tag, view_of(*dst), d.loc);
+          stats_.combines_in_place += 1;
+        } else {
+          read(d.dst, d.tag, *dst, d.loc);
+          drop_ref(dst->buffer);
+          *dst = {fresh_buffer(), 0, dst->len};
+          add_ref(dst->buffer);
+          stats_.combines_copied += 1;
+          stats_.words_copied += d.view.len;
+        }
+        // The delivered view stays alive to round end (dropped below).
+      } else {
+        // put_shared: the in-flight view becomes the destination item, so
+        // the net reference count is unchanged.
+        drop_ref(d.view.buffer);
+        insert(d.dst, d.tag, d.view, d.loc);
+        d.live = false;
+      }
+    }
+    for (const Delivery& d : deliveries) {
+      if (d.live) drop_ref(d.view.buffer);
+    }
+  }
+
+  void finish() {
+    // Split parts still resident at end of run never re-joined their whole:
+    // the reserved-byte namespace leaks and the next split of the base tag
+    // would collide.
+    for (const auto& [key, item] : items_) {
+      if ((key.second >> 56) == 0) continue;
+      TraceLoc loc;  // end-of-trace, no event location
+      violation("alias.part-leak",
+                "split part " + hex_tag(key.second) + " on node " +
+                    std::to_string(key.first) +
+                    " still resident at end of run",
+                "join or erase every part the algorithm splits", loc);
+    }
+  }
+
+  const RunTrace& trace_;
+  TraceSink* sink_;
+  DataPlaneStats stats_;
+  std::map<Key, AbstractItem> items_;
+  std::map<Key, TraceLoc> joined_;  ///< tags consumed by a join, for UAJ
+  std::vector<std::size_t> refs_;   ///< per-buffer reference counts
+};
+
+}  // namespace
+
+DataPlaneStats interpret_trace(const RunTrace& trace, TraceSink* sink) {
+  return Interp(trace, sink).run();
+}
+
+void cross_validate_plane(const RunTrace& trace, const DataPlaneStats& measured,
+                          DiagnosticList& out) {
+  const DataPlaneStats predicted = interpret_trace(trace, nullptr);
+  const auto check = [&out](const char* field, std::uint64_t pred,
+                            std::uint64_t meas) {
+    if (pred == meas) return;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "plane-validate";
+    d.code = "plane.divergence";
+    d.message = std::string(field) + ": trace model predicts " +
+                std::to_string(pred) + ", store measured " +
+                std::to_string(meas);
+    d.hint = "the abstract heap no longer matches DataStore semantics";
+    out.add(std::move(d));
+  };
+  check("words_copied", predicted.words_copied, measured.words_copied);
+  check("words_aliased", predicted.words_aliased, measured.words_aliased);
+  check("split_ops", predicted.split_ops, measured.split_ops);
+  check("join_ops", predicted.join_ops, measured.join_ops);
+  check("combines_in_place", predicted.combines_in_place,
+        measured.combines_in_place);
+  check("combines_copied", predicted.combines_copied,
+        measured.combines_copied);
+}
+
+}  // namespace hcmm::analysis

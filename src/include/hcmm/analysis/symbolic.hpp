@@ -1,0 +1,98 @@
+#pragma once
+// Parametric (all-p) legality certification.
+//
+// The per-round checks in analysis/legality.cpp prove port legality for one
+// concrete cube size.  This header lifts them to symbolic *round schemas*
+// whose legality follows from structure alone, for every hypercube
+// dimension d — so one lint run certifies an algorithm for all power-of-two
+// p, not just the sizes it sampled.
+//
+// Lemma U (uniform dimension).  If every transfer of a round crosses the
+//   same dimension k (dst = src XOR 2^k) and the sources are pairwise
+//   distinct, then the destinations are pairwise distinct too, every node
+//   sends and receives at most one message, and the round is legal under
+//   BOTH port models on every cube with d > k.
+//
+// Lemma P (permutation).  If the sources are pairwise distinct and the
+//   destinations are pairwise distinct, each node sends at most one and
+//   receives at most one message (one-port legal), and since a node has one
+//   link per dimension, each (node, dimension) port carries at most one
+//   message (multi-port legal) — again for every d large enough to contain
+//   the nodes.
+//
+// Lemma D (dimension-partitioned).  If for every (node, dimension) pair at
+//   most one transfer leaves and at most one arrives, the round is
+//   multi-port legal for every d (one-port legality is NOT implied: a node
+//   may drive several dimensions at once).
+//
+// A round matching no lemma is "irregular": its legality remains exactly
+// what the concrete passes verified for the sampled sizes.  A certificate
+// is therefore sound for all p exactly when every round of every sampled
+// run matches a lemma — the sampled dims witness that the builder emits
+// only lemma-shaped rounds; an affine round-count fit R(d), when one
+// exists, is reported as corroborating description.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/types.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm::analysis {
+
+/// Which lemma (if any) covers one round.
+enum class RoundSchema : std::uint8_t {
+  kUniformDim,      ///< Lemma U: one dimension, distinct sources
+  kPermutation,     ///< Lemma P: distinct sources and destinations
+  kDimPartitioned,  ///< Lemma D: per-(node, dim) occupancy at most one
+  kIrregular,       ///< no lemma applies; concrete checking only
+};
+
+[[nodiscard]] const char* to_string(RoundSchema s) noexcept;
+
+/// Classify @p round against the lemmas (strongest first: U, then P, then
+/// D).  Empty rounds classify as kUniformDim (vacuously legal).
+[[nodiscard]] RoundSchema classify_round(const Round& round);
+
+/// One schedule run of a subject at one sampled cube dimension.
+struct SampledRun {
+  std::uint32_t dim = 0;
+  const std::vector<Schedule>* schedules = nullptr;
+};
+
+/// The all-p legality certificate for one (subject, port model) pair.
+struct DimCertificate {
+  std::string subject;  ///< e.g. "DNS" or "cube all-gather"
+  PortModel port = PortModel::kOnePort;
+  std::vector<std::uint32_t> dims_checked;
+
+  // Round census across every sampled run.
+  std::size_t rounds_total = 0;
+  std::size_t uniform_rounds = 0;
+  std::size_t permutation_rounds = 0;
+  std::size_t dim_partitioned_rounds = 0;
+  std::size_t irregular_rounds = 0;
+
+  /// Human-readable schema summary, e.g.
+  /// "R(d) = 6d - 3; every round uniform-dimension or permutation".
+  std::string closed_form;
+
+  /// True iff every round of every sampled run matches a lemma that implies
+  /// legality under `port` — a dimension-independent argument, so the
+  /// certificate extends to every power-of-two machine on which the builder
+  /// emits the same round schemas as the samples witnessed.
+  bool certified_all_p = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Certify @p subject from runs sampled at several cube dimensions.
+/// Lemma D counts toward certification only under kMultiPort.
+[[nodiscard]] DimCertificate certify_dimension_schema(
+    std::string subject, PortModel port, std::span<const SampledRun> runs);
+
+}  // namespace hcmm::analysis

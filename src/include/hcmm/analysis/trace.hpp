@@ -1,0 +1,175 @@
+#pragma once
+// Dynamic-trace capture and trace-level verification passes.
+//
+// The schedule passes in analysis/passes.hpp see one schedule at a time; the
+// alias/lifetime and happens-before analyses need the *whole run*: every
+// split/join/combine the algorithm performs on the DataStore, interleaved
+// with every schedule it executes, segmented by phase.  TraceRecorder
+// captures exactly that from a live Machine (store-op observer + phase
+// observer + GEMM-batch observer + schedule observer), producing a RunTrace.
+//
+// Trace passes then abstractly re-execute the trace over an abstract heap
+// that reconstructs buffer identity from the event sequence alone — which
+// item is a view into which allocation, at what extent, with how many
+// outstanding references — without ever looking at host pointers:
+//
+//   alias-lifetime — the data plane's "borrow checker": nested splits,
+//       split-size mismatches, use-after-join, in-place combines into a
+//       buffer other views can still observe, parts leaked at end of run
+//   happens-before — vector-clock race detection: transfer deliveries are
+//       the only cross-node synchronization edges; any two accesses to
+//       overlapping extents of one buffer, at least one a write, with
+//       incomparable clocks is a race (reported with the witness pair)
+//
+// The same interpretation predicts the DataPlaneStats the run must produce,
+// so every lint run cross-validates the static model against the measured
+// counters (plane.divergence when they disagree).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hcmm/analysis/diagnostics.hpp"
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/store.hpp"
+#include "hcmm/topology/hypercube.hpp"
+
+namespace hcmm {
+class Machine;
+}
+
+namespace hcmm::analysis {
+
+/// One captured event.  Store ops carry the StoreEvent verbatim; schedules
+/// are indexed into RunTrace::schedules to keep events cheap to copy.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kStoreOp, kSchedule, kPhase, kGemmBatch };
+  Kind kind = Kind::kStoreOp;
+  StoreEvent store;          ///< kStoreOp
+  std::size_t schedule = 0;  ///< kSchedule: index into RunTrace::schedules
+  std::string phase;         ///< kPhase
+  std::size_t gemm_jobs = 0; ///< kGemmBatch
+};
+
+/// Everything one run did to the data plane, in order.
+struct RunTrace {
+  CopyPolicy policy = CopyPolicy::kZeroCopy;
+  std::vector<TraceEvent> events;
+  std::vector<Schedule> schedules;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+  void clear() {
+    events.clear();
+    schedules.clear();
+  }
+};
+
+/// RAII capture: installs the Machine's store-op, phase, GEMM and schedule
+/// observers on construction and clears them on destruction.  A host that
+/// needs its own schedule observer (hcmm_lint does) should install it after
+/// constructing the recorder and forward each schedule to record_schedule().
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Machine& m);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Append a schedule event (also wired as the Machine's schedule observer).
+  void record_schedule(const Schedule& s);
+
+  [[nodiscard]] const RunTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] RunTrace take() { return std::move(trace_); }
+  void reset() { trace_.clear(); }
+
+ private:
+  Machine& machine_;
+  RunTrace trace_;
+};
+
+/// Location of a trace diagnostic: the event index, plus — for events that
+/// execute a schedule — the round and transfer within it.
+struct TraceLoc {
+  std::size_t event = kNoLoc;
+  std::size_t round = kNoLoc;
+  std::size_t transfer = kNoLoc;
+};
+
+/// An abstract buffer view at access time: which allocation, what extent,
+/// and how many references (item views plus in-flight deliveries) the
+/// allocation has — the static twin of Payload::unique().
+struct AbstractView {
+  std::size_t buffer = kNoLoc;
+  std::size_t off = 0;
+  std::size_t len = 0;
+  std::size_t refs = 1;
+};
+
+/// Hooks invoked by interpret_trace() as it re-executes a RunTrace over the
+/// abstract heap.  Passes subclass this; default implementations ignore.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Payload words at (node, tag) were read (transfer source read, host
+  /// copy/alias, copying combine or join).
+  virtual void on_read(NodeId node, Tag tag, const AbstractView& v,
+                       const TraceLoc& loc) {
+    (void)node, (void)tag, (void)v, (void)loc;
+  }
+  /// Payload words at (node, tag) were written in place.
+  virtual void on_write(NodeId node, Tag tag, const AbstractView& v,
+                        const TraceLoc& loc) {
+    (void)node, (void)tag, (void)v, (void)loc;
+  }
+  /// A delivery synchronized dst after src (the only cross-node HB edge).
+  virtual void on_edge(NodeId src, NodeId dst, const TraceLoc& loc) {
+    (void)src, (void)dst, (void)loc;
+  }
+  /// An alias/lifetime rule fired.
+  virtual void on_violation(std::string_view code, std::string message,
+                            std::string hint, const TraceLoc& loc) {
+    (void)code, (void)message, (void)hint, (void)loc;
+  }
+  virtual void on_phase(std::string_view name, const TraceLoc& loc) {
+    (void)name, (void)loc;
+  }
+  virtual void on_gemm_batch(std::size_t jobs, const TraceLoc& loc) {
+    (void)jobs, (void)loc;
+  }
+};
+
+/// Abstractly re-execute @p trace, reporting accesses, synchronization
+/// edges and alias violations through @p sink (may be null), and return the
+/// DataPlaneStats the run is predicted to have measured.  Exact for
+/// fault-free runs; fault detours and replay take paths the trace does not
+/// record, so prediction is only advisory there.
+DataPlaneStats interpret_trace(const RunTrace& trace, TraceSink* sink);
+
+/// Everything a trace pass may look at.
+struct TraceInput {
+  const RunTrace* trace = nullptr;
+  Hypercube cube{0};
+  PortModel port = PortModel::kOnePort;
+};
+
+class TracePass {
+ public:
+  virtual ~TracePass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual void run(const TraceInput& in, DiagnosticList& out) const = 0;
+};
+
+/// Alias/lifetime verification (codes "alias.*"; see file comment).
+[[nodiscard]] std::unique_ptr<TracePass> make_alias_lifetime_pass();
+/// Vector-clock race detection (code "race.conflicting-access").
+[[nodiscard]] std::unique_ptr<TracePass> make_happens_before_pass();
+
+/// Compare the trace-predicted DataPlaneStats against the measured counters
+/// of the run, appending one "plane.divergence" error per differing field.
+void cross_validate_plane(const RunTrace& trace, const DataPlaneStats& measured,
+                          DiagnosticList& out);
+
+}  // namespace hcmm::analysis

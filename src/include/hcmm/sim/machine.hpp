@@ -175,6 +175,26 @@ class Machine {
     observer_ = std::move(obs);
   }
 
+  /// Install a hook invoked with the phase name whenever a new phase opens
+  /// (begin_phase, including the checkpoint-boundary re-entry after a
+  /// rollback; swallowed replay boundaries do not fire).  Used by the
+  /// analysis trace recorder to segment store-op traces by phase.
+  void set_phase_observer(std::function<void(std::string_view)> obs) {
+    phase_observer_ = std::move(obs);
+  }
+
+  /// Install a hook invoked with the job count after every run_gemm_jobs
+  /// batch completes.  The jobs of one batch execute concurrently on the
+  /// pool, so the hook marks the boundary of a concurrency region for the
+  /// happens-before race analysis.
+  void set_gemm_observer(std::function<void(std::size_t)> obs) {
+    gemm_observer_ = std::move(obs);
+  }
+  /// Called by algo::detail::run_gemm_jobs after each batch.
+  void notify_gemm_batch(std::size_t jobs) {
+    if (gemm_observer_) gemm_observer_(jobs);
+  }
+
   /// Install a deterministic fault plan (nullptr clears).  Survives
   /// reset_stats(), so operands can be staged before the measured run.  With
   /// a non-empty structural fault set this resolves every dead node's
@@ -278,6 +298,8 @@ class Machine {
   bool link_accounting_ = false;
   std::unordered_map<std::uint64_t, LinkLoad> link_traffic_;
   std::function<void(const Schedule&)> observer_;
+  std::function<void(std::string_view)> phase_observer_;
+  std::function<void(std::size_t)> gemm_observer_;
 
   // Fault-injection state.  host_ maps logical -> physical node and is
   // non-empty exactly while a non-empty plan is installed; round_seq_ is the
@@ -295,6 +317,12 @@ class Machine {
     std::vector<PhaseStats> phases;
     analysis::Placement placement;
     std::uint64_t round_seq = 0;
+    /// begin_phase() calls made before this boundary.  Replay swallows
+    /// exactly this many calls before treating the next one as the boundary;
+    /// counting calls (not phases) keeps the boundary aligned when the
+    /// checkpoint contains the implicit "main" phase, which no begin_phase()
+    /// call ever opened.
+    std::size_t begin_calls = 0;
     AsyncState async;
     std::vector<fault::FaultEvent> events;
     std::unordered_map<std::uint64_t, LinkLoad> links;
@@ -307,6 +335,7 @@ class Machine {
 
   bool checkpointing_ = false;
   std::vector<Checkpoint> checkpoints_;
+  std::size_t begin_calls_ = 0;  ///< begin_phase() calls since reset_stats()
   fault::FaultSet replay_faults_;  ///< routing set frozen for the replay
   bool pending_restore_ = false;  ///< next reset_stats() restores + replays
   std::vector<fault::FaultEvent> pending_events_;  ///< appended after restore

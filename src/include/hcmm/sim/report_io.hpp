@@ -5,6 +5,7 @@
 // they go.
 
 #include <string>
+#include <vector>
 
 #include "hcmm/analysis/diagnostics.hpp"
 #include "hcmm/sim/machine.hpp"
@@ -34,5 +35,13 @@ namespace hcmm {
 /// "transfer", "message", "hint"}, ...]}.  Locationless findings emit
 /// round/transfer as null.
 [[nodiscard]] std::string diagnostics_json(const analysis::DiagnosticList& dl);
+
+/// SARIF 2.1.0 export of static-analysis findings, one run with tool driver
+/// "hcmm_lint": each distinct diagnostic code becomes a reporting rule and
+/// each diagnostic a result whose logical location is
+/// "<subject>/round <r>/transfer <t>".  @p subjects names the analyzed
+/// artifact per diagnostic (parallel to dl.diags(); pass {} to omit).
+[[nodiscard]] std::string sarif_json(const analysis::DiagnosticList& dl,
+                                     const std::vector<std::string>& subjects);
 
 }  // namespace hcmm

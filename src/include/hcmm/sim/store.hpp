@@ -10,6 +10,7 @@
 // they never feed the charged (a, b) cost model.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -141,6 +142,35 @@ struct DataPlaneStats {
 /// with bit-identical results (same arithmetic, different host traffic).
 enum class CopyPolicy : std::uint8_t { kZeroCopy, kDeepCopy };
 
+/// Sentinel node id for host-side events not tied to one node's store.
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One observable mutation of a DataStore, reported to the op observer in
+/// execution order.  The static alias/lifetime analyzer reconstructs the
+/// abstract heap (buffer identity, view extents, uniqueness) from this
+/// sequence alone — the event carries tags and sizes, never pointers.
+struct StoreEvent {
+  enum class Kind : std::uint8_t {
+    kPut,            ///< fresh item inserted (new buffer unless delivered)
+    kPutShared,      ///< shared view inserted (delivery / re-alias)
+    kErase,          ///< item removed
+    kSplit,          ///< item replaced by its parts (tags in `parts`)
+    kJoin,           ///< parts (in `parts`) concatenated into `tag`
+    kCombineInPlace, ///< combine mutated the target buffer in place
+    kCombineCopied,  ///< combine took the clone-add-swap fallback
+    kHostCopy,       ///< a layer above duplicated a payload's words
+    kHostAlias,      ///< a layer above borrowed a payload view (e.g. gemm)
+  };
+  Kind kind = Kind::kPut;
+  NodeId node = kNoNode;
+  Tag tag = 0;
+  std::vector<Tag> parts;  ///< kSplit: parts created; kJoin: parts consumed
+  std::vector<std::size_t> sizes;  ///< per-part words, parallel to `parts`
+  std::size_t words = 0;
+};
+
+using StoreObserver = std::function<void(const StoreEvent&)>;
+
 class DataStore {
  public:
   /// @p n_nodes number of simulated nodes.
@@ -212,13 +242,33 @@ class DataStore {
 
   /// Record a host-side copy/alias performed *on* store payloads by a layer
   /// above (e.g. assembling a Matrix from a payload, or borrowing a view
-  /// into a gemm kernel), so the counters cover the whole data plane.
-  void count_copy(std::size_t words) const noexcept {
+  /// into a gemm kernel), so the counters cover the whole data plane.  The
+  /// optional (node, tag) locate the access for the op observer; callers
+  /// that borrow anonymous buffers may omit them.
+  void count_copy(std::size_t words, NodeId node = kNoNode, Tag tag = 0) const {
     plane_.words_copied += words;
+    notify({StoreEvent::Kind::kHostCopy, node, tag, {}, {}, words});
   }
-  void count_alias(std::size_t words) const noexcept {
+  void count_alias(std::size_t words, NodeId node = kNoNode,
+                   Tag tag = 0) const {
     plane_.words_aliased += words;
+    notify({StoreEvent::Kind::kHostAlias, node, tag, {}, {}, words});
   }
+
+  /// Install a hook invoked after every store mutation and host copy/alias,
+  /// in execution order (empty function removes it).  Used by the static
+  /// analyzer's trace recorder; never affects behavior or counters.
+  void set_op_observer(StoreObserver obs) { op_observer_ = std::move(obs); }
+  [[nodiscard]] const StoreObserver& op_observer() const noexcept {
+    return op_observer_;
+  }
+
+  /// Suppress op-observer events while @p on (counters still accumulate).
+  /// The Machine mutes the store while executing schedule rounds: delivery
+  /// effects are derivable from the schedule itself, which the recorder
+  /// already captures, so only out-of-schedule ops (staging, collective
+  /// prep, join actions) surface as events.
+  void set_event_muting(bool on) noexcept { muted_ = on; }
 
   void set_copy_policy(CopyPolicy p) noexcept { policy_ = p; }
   [[nodiscard]] CopyPolicy copy_policy() const noexcept { return policy_; }
@@ -233,11 +283,28 @@ class DataStore {
   NodeStore& at(NodeId node);
   [[nodiscard]] const NodeStore& at(NodeId node) const;
   void bump(NodeStore& ns, std::ptrdiff_t delta);
+  /// Composite ops (split/join) emit one event, not their internal steps.
+  struct MuteScope {
+    explicit MuteScope(DataStore& store) noexcept
+        : s(store), prev(store.muted_) {
+      store.muted_ = true;
+    }
+    ~MuteScope() { s.muted_ = prev; }
+    MuteScope(const MuteScope&) = delete;
+    MuteScope& operator=(const MuteScope&) = delete;
+    DataStore& s;
+    bool prev;
+  };
+  void notify(StoreEvent ev) const {
+    if (!muted_ && op_observer_) op_observer_(ev);
+  }
 
   std::vector<NodeStore> nodes_;
   CopyPolicy policy_ = CopyPolicy::kZeroCopy;
   // Metering only (never behavior); mutable so const readers can count.
   mutable DataPlaneStats plane_;
+  StoreObserver op_observer_;
+  bool muted_ = false;
 };
 
 }  // namespace hcmm

@@ -20,7 +20,10 @@ struct InjectedDeath {
 [[nodiscard]] std::chrono::milliseconds resolve_timeout(
     std::optional<std::chrono::milliseconds> explicit_timeout) {
   if (explicit_timeout) return *explicit_timeout;
-  if (const char* env = std::getenv("HCMM_RT_TIMEOUT_MS")) {
+  // Re-read per construction (documented, tested behavior).  Safe despite
+  // concurrency-mt-unsafe: the constructor runs before any worker thread
+  // exists, and nothing in the library mutates the environment.
+  if (const char* env = std::getenv("HCMM_RT_TIMEOUT_MS")) {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     const long long v = std::strtoll(env, &end, 10);
     if (end != env && *end == '\0' && v > 0) {

@@ -141,6 +141,7 @@ void Machine::fold_plane_stats() {
 }
 
 void Machine::begin_phase(std::string name) {
+  begin_calls_ += 1;
   if (replaying_) {
     if (replay_phase_calls_ > 0) {
       // A phase boundary inside the replayed prefix: its stats were restored
@@ -166,6 +167,7 @@ void Machine::begin_phase(std::string name) {
   } else {
     fold_plane_stats();
   }
+  if (phase_observer_) phase_observer_(name);
   phases_.push_back(PhaseStats{.name = std::move(name)});
   if (checkpointing_) take_checkpoint();
 }
@@ -179,6 +181,9 @@ void Machine::take_checkpoint() {
   ck.phases.assign(phases_.begin(), phases_.end() - 1);
   ck.placement = analysis::snapshot_placement(store_);
   ck.round_seq = round_seq_;
+  // begin_calls_ already counts the begin_phase() call that opened the
+  // boundary phase; the checkpoint freezes the state before that call.
+  ck.begin_calls = begin_calls_ - 1;
   ck.async = async_;
   ck.events = fault_events_;
   ck.links = link_traffic_;
@@ -210,6 +215,17 @@ void Machine::take_checkpoint() {
 
 void Machine::run(const Schedule& s) {
   if (observer_) observer_(s);
+  // Delivery effects are fully determined by the schedule the op-trace
+  // recorder just saw; muting keeps them from surfacing twice.
+  struct MuteRounds {
+    DataStore& store;
+    explicit MuteRounds(DataStore& st) : store(st) {
+      store.set_event_muting(true);
+    }
+    ~MuteRounds() { store.set_event_muting(false); }
+    MuteRounds(const MuteRounds&) = delete;
+    MuteRounds& operator=(const MuteRounds&) = delete;
+  } mute(store_);
   PhaseStats& ph = current_phase();
   // An absent or empty plan takes the exact fault-free path so installing an
   // empty FaultPlan is guaranteed bit-identical to no plan at all.  A plan
@@ -609,10 +625,13 @@ void Machine::rollback_to_checkpoint(
   host_ = std::move(hosts);
   // The store may be mid-phase garbage; recovery restarts the algorithm on a
   // fresh store and replays the prefix, so placement is rebuilt — and then
-  // verified against the snapshot — rather than patched.
+  // verified against the snapshot — rather than patched.  Policy and op
+  // observer are configuration, not state: both survive the swap.
   const CopyPolicy policy = store_.copy_policy();
+  StoreObserver observer = store_.op_observer();
   store_ = DataStore(cube_.size());
   store_.set_copy_policy(policy);
+  store_.set_op_observer(std::move(observer));
   plane_mark_ = DataPlaneStats{};  // fresh store, fresh counters
   recoveries_ += 1;
   pending_restore_ = true;
@@ -808,9 +827,15 @@ void Machine::reset_stats() {
     store_.reset_peaks();
     plane_mark_ = store_.plane_stats();
     round_seq_ = 0;
+    begin_calls_ = 0;
     replaying_ = true;
     replay_until_ = ck.round_seq;
-    replay_phase_calls_ = ck.phases.size();
+    // Swallow one call per begin_phase() the original prefix made — NOT one
+    // per restored phase: the implicit "main" phase (opened by run() without
+    // begin_phase) has no call to swallow, and counting it would swallow the
+    // boundary itself, leaving the machine stuck in replay with the whole
+    // post-boundary phase uncharged and its data-plane counters lost.
+    replay_phase_calls_ = ck.begin_calls;
     // The prefix must rebuild the schedules the original execution measured,
     // so routing during replay avoids the fault set of checkpoint time — the
     // just-converted death only steers schedules built after the boundary.
@@ -824,6 +849,7 @@ void Machine::reset_stats() {
   async_ = AsyncState{};
   fault_events_.clear();
   round_seq_ = 0;
+  begin_calls_ = 0;
   checkpoints_.clear();
   replaying_ = false;
   replay_until_ = 0;

@@ -169,4 +169,70 @@ std::string diagnostics_json(const analysis::DiagnosticList& dl) {
   return os.str();
 }
 
+std::string sarif_json(const analysis::DiagnosticList& dl,
+                       const std::vector<std::string>& subjects) {
+  using analysis::kNoLoc;
+  using analysis::Severity;
+  const auto level = [](Severity s) {
+    switch (s) {
+      case Severity::kError: return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kNote: return "note";
+    }
+    return "none";
+  };
+  // Rules: one per distinct code, in first-appearance order.
+  std::vector<std::string> rules;
+  const auto rule_index = [&rules](const std::string& code) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == code) return i;
+    }
+    rules.push_back(code);
+    return rules.size() - 1;
+  };
+  for (const auto& d : dl.diags()) rule_index(d.code);
+
+  std::ostringstream os;
+  os << "{\"version\": \"2.1.0\", \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\", \"runs\": "
+        "[{\"tool\": {\"driver\": {\"name\": \"hcmm_lint\", \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "{\"id\": ";
+    json_escape(os, rules[i]);
+    os << "}";
+  }
+  os << "]}}, \"results\": [";
+  const auto& diags = dl.diags();
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& d = diags[i];
+    if (i != 0) os << ", ";
+    os << "{\"ruleId\": ";
+    json_escape(os, d.code);
+    os << ", \"ruleIndex\": " << rule_index(d.code) << ", \"level\": \""
+       << level(d.severity) << "\", \"message\": {\"text\": ";
+    std::string text = d.message;
+    if (!d.hint.empty()) text += " (hint: " + d.hint + ")";
+    json_escape(os, text);
+    os << "}";
+    std::string logical = i < subjects.size() ? subjects[i] : "";
+    if (d.round != kNoLoc) {
+      logical += (logical.empty() ? "round " : "/round ") +
+                 std::to_string(d.round);
+      if (d.transfer != kNoLoc) {
+        logical += "/transfer " + std::to_string(d.transfer);
+      }
+    }
+    if (!logical.empty()) {
+      os << ", \"locations\": [{\"logicalLocations\": [{"
+            "\"fullyQualifiedName\": ";
+      json_escape(os, logical);
+      os << "}]}]";
+    }
+    os << "}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
 }  // namespace hcmm

@@ -25,7 +25,12 @@ void DataStore::bump(NodeStore& ns, std::ptrdiff_t delta) {
 }
 
 void DataStore::put(NodeId node, Tag tag, std::vector<double> data) {
-  put_shared(node, tag, make_payload(std::move(data)));
+  const std::size_t words = data.size();
+  {
+    const MuteScope mute(*this);
+    put_shared(node, tag, make_payload(std::move(data)));
+  }
+  notify({StoreEvent::Kind::kPut, node, tag, {}, {}, words});
 }
 
 void DataStore::put_shared(NodeId node, Tag tag, Payload payload) {
@@ -35,6 +40,7 @@ void DataStore::put_shared(NodeId node, Tag tag, Payload payload) {
   HCMM_CHECK(inserted, "store: node " << node << " already holds tag 0x"
                                       << std::hex << tag);
   bump(ns, static_cast<std::ptrdiff_t>(it->second.size()));
+  notify({StoreEvent::Kind::kPutShared, node, tag, {}, {}, it->second.size()});
 }
 
 const Payload& DataStore::get(NodeId node, Tag tag) const {
@@ -60,8 +66,10 @@ void DataStore::erase(NodeId node, Tag tag) {
   HCMM_CHECK(it != ns.items.end(),
              "store: erase of absent tag 0x" << std::hex << tag << std::dec
                                              << " on node " << node);
-  bump(ns, -static_cast<std::ptrdiff_t>(it->second.size()));
+  const std::size_t words = it->second.size();
+  bump(ns, -static_cast<std::ptrdiff_t>(words));
   ns.items.erase(it);
+  notify({StoreEvent::Kind::kErase, node, tag, {}, {}, words});
 }
 
 void DataStore::combine(NodeId node, Tag tag, const Payload& addend) {
@@ -82,12 +90,14 @@ void DataStore::combine(NodeId node, Tag tag, const Payload& addend) {
     double* out = dst.buf_->data() + dst.off_;
     for (std::size_t i = 0; i < n; ++i) out[i] += add[i];
     plane_.combines_in_place += 1;
+    notify({StoreEvent::Kind::kCombineInPlace, node, tag, {}, {}, n});
   } else {
     std::vector<double> sum(dst.data(), dst.data() + n);
     for (std::size_t i = 0; i < n; ++i) sum[i] += add[i];
     dst = make_payload(std::move(sum));
     plane_.combines_copied += 1;
     plane_.words_copied += n;
+    notify({StoreEvent::Kind::kCombineCopied, node, tag, {}, {}, n});
   }
 }
 
@@ -122,22 +132,27 @@ std::vector<Tag> DataStore::split_sizes(NodeId node, Tag tag,
                                         << whole.size());
   std::vector<Tag> out;
   out.reserve(sizes.size());
-  erase(node, tag);
-  std::size_t off = 0;
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const Tag pt = make_part_tag(tag, i);
-    if (policy_ == CopyPolicy::kZeroCopy) {
-      put_shared(node, pt, whole.slice(off, sizes[i]));
-      plane_.words_aliased += sizes[i];
-    } else {
-      const double* base = whole.data() + off;
-      put(node, pt, std::vector<double>(base, base + sizes[i]));
-      plane_.words_copied += sizes[i];
+  {
+    const MuteScope mute(*this);
+    erase(node, tag);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const Tag pt = make_part_tag(tag, i);
+      if (policy_ == CopyPolicy::kZeroCopy) {
+        put_shared(node, pt, whole.slice(off, sizes[i]));
+        plane_.words_aliased += sizes[i];
+      } else {
+        const double* base = whole.data() + off;
+        put(node, pt, std::vector<double>(base, base + sizes[i]));
+        plane_.words_copied += sizes[i];
+      }
+      off += sizes[i];
+      out.push_back(pt);
     }
-    off += sizes[i];
-    out.push_back(pt);
   }
   plane_.split_ops += 1;
+  notify({StoreEvent::Kind::kSplit, node, tag, out,
+          std::vector<std::size_t>(sizes.begin(), sizes.end()), total});
   return out;
 }
 
@@ -162,22 +177,31 @@ void DataStore::join(NodeId node, std::span<const Tag> part_tags, Tag out_tag) {
       off += p.size();
     }
   }
-  for (const Tag t : part_tags) erase(node, t);
-  if (contiguous) {
-    Payload joined = parts[0];  // widen the first part's view over them all
-    joined.len_ = total;
-    put_shared(node, out_tag, std::move(joined));
-    plane_.words_aliased += total;
-  } else {
-    std::vector<double> joined;
-    joined.reserve(total);
-    for (const Payload& p : parts) {
-      joined.insert(joined.end(), p.data(), p.data() + p.size());
+  {
+    const MuteScope mute(*this);
+    for (const Tag t : part_tags) erase(node, t);
+    if (contiguous) {
+      Payload joined = parts[0];  // widen the first part's view over them all
+      joined.len_ = total;
+      put_shared(node, out_tag, std::move(joined));
+      plane_.words_aliased += total;
+    } else {
+      std::vector<double> joined;
+      joined.reserve(total);
+      for (const Payload& p : parts) {
+        joined.insert(joined.end(), p.data(), p.data() + p.size());
+      }
+      put(node, out_tag, std::move(joined));
+      plane_.words_copied += total;
     }
-    put(node, out_tag, std::move(joined));
-    plane_.words_copied += total;
   }
   plane_.join_ops += 1;
+  std::vector<std::size_t> part_sizes;
+  part_sizes.reserve(parts.size());
+  for (const Payload& p : parts) part_sizes.push_back(p.size());
+  notify({StoreEvent::Kind::kJoin, node, out_tag,
+          std::vector<Tag>(part_tags.begin(), part_tags.end()),
+          std::move(part_sizes), total});
 }
 
 std::size_t DataStore::words(NodeId node) const { return at(node).cur_words; }

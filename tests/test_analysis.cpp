@@ -7,11 +7,15 @@
 
 #include <algorithm>
 
+#include "hcmm/algo/api.hpp"
 #include "hcmm/analysis/cost_audit.hpp"
 #include "hcmm/analysis/legality.hpp"
 #include "hcmm/analysis/passes.hpp"
 #include "hcmm/analysis/placement.hpp"
+#include "hcmm/analysis/symbolic.hpp"
+#include "hcmm/analysis/trace.hpp"
 #include "hcmm/coll/collectives.hpp"
+#include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/machine.hpp"
 #include "hcmm/sim/report_io.hpp"
 #include "hcmm/support/check.hpp"
@@ -405,6 +409,316 @@ TEST(AnalysisDiagnostics, JsonExport) {
   w.message = "m";
   wide.add(w);
   EXPECT_NE(diagnostics_json(wide).find("\"round\": null"), std::string::npos);
+}
+
+TEST(AnalysisDiagnostics, SarifExport) {
+  DiagnosticList dl;
+  Diagnostic d1;
+  d1.severity = Severity::kError;
+  d1.pass = "port";
+  d1.code = "port.double-send";
+  d1.round = 2;
+  d1.transfer = 1;
+  d1.message = "two sends";
+  d1.hint = "serialize them";
+  dl.add(d1);
+  Diagnostic d2;
+  d2.severity = Severity::kWarning;
+  d2.pass = "alias-lifetime";
+  d2.code = "alias.part-leak";
+  d2.message = "leaked part";
+  dl.add(d2);
+  const std::string s =
+      sarif_json(dl, {"cannon on 8 nodes (one-port)", "DNS on 8 nodes"});
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"hcmm_lint\""), std::string::npos);
+  // One rule per distinct code, results referencing them by index.
+  EXPECT_NE(s.find("\"id\": \"port.double-send\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\": \"alias.part-leak\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(s.find("\"ruleIndex\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\": \"warning\""), std::string::npos);
+  // Hints fold into the message; locations are logical.
+  EXPECT_NE(s.find("(hint: serialize them)"), std::string::npos);
+  EXPECT_NE(s.find("cannon on 8 nodes (one-port)/round 2/transfer 1"),
+            std::string::npos);
+  // The locationless warning still names its subject.
+  EXPECT_NE(s.find("\"fullyQualifiedName\": \"DNS on 8 nodes\""),
+            std::string::npos);
+}
+
+// ---- trace passes: table-driven negative suite ----------------------------
+
+using analysis::RunTrace;
+using analysis::TraceEvent;
+
+constexpr Tag kTagC = make_tag(1, 3);
+constexpr Tag kPartBit = static_cast<Tag>(1) << 56;
+
+TraceEvent op(StoreEvent ev) {
+  TraceEvent te;
+  te.kind = TraceEvent::Kind::kStoreOp;
+  te.store = std::move(ev);
+  return te;
+}
+
+void add_schedule(RunTrace& t, Schedule s) {
+  TraceEvent te;
+  te.kind = TraceEvent::Kind::kSchedule;
+  te.schedule = t.schedules.size();
+  t.schedules.push_back(std::move(s));
+  t.events.push_back(std::move(te));
+}
+
+struct TraceCase {
+  const char* name;
+  enum class Check : std::uint8_t { kAlias, kRace, kSchedule } check;
+  const char* code;       ///< every produced diagnostic must carry this code
+  std::size_t count;      ///< exact number of diagnostics expected
+  Severity severity;
+  bool located;           ///< diagnostics must carry an event/round location
+  RunTrace (*build)();
+};
+
+const TraceCase kNegativeTraces[] = {
+    {"split of a split part", TraceCase::Check::kAlias, "alias.nested-split",
+     1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA | kPartBit,
+                              {}, {}, 8}));
+       t.events.push_back(op({StoreEvent::Kind::kSplit, 0, kTagA | kPartBit,
+                              {kTagB, kTagC}, {4, 4}, 8}));
+       return t;
+     }},
+    {"split sizes do not partition the item", TraceCase::Check::kAlias,
+     "alias.split-size-mismatch", 1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 8}));
+       t.events.push_back(op({StoreEvent::Kind::kSplit, 0, kTagA,
+                              {kTagB, kTagC}, {4, 3}, 8}));
+       return t;
+     }},
+    {"erase of a tag a join consumed", TraceCase::Check::kAlias,
+     "alias.use-after-join", 1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 4}));
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagB, {}, {}, 4}));
+       t.events.push_back(op({StoreEvent::Kind::kJoin, 0, kTagC,
+                              {kTagA, kTagB}, {4, 4}, 8}));
+       t.events.push_back(op({StoreEvent::Kind::kErase, 0, kTagA, {}, {}, 4}));
+       return t;
+     }},
+    {"in-place combine into a shared buffer", TraceCase::Check::kAlias,
+     "alias.combine-shared", 1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 8}));
+       t.events.push_back(op({StoreEvent::Kind::kSplit, 0, kTagA,
+                              {kTagB, kTagC}, {4, 4}, 8}));
+       t.events.push_back(
+           op({StoreEvent::Kind::kCombineInPlace, 0, kTagB, {}, {}, 4}));
+       return t;
+     }},
+    {"re-insert over a live item", TraceCase::Check::kAlias,
+     "alias.duplicate-item", 1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 4}));
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 4}));
+       return t;
+     }},
+    {"transfer of an absent tag", TraceCase::Check::kAlias,
+     "alias.missing-item", 1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       Schedule s;
+       s.rounds.push_back(Round{{Transfer{0, 1, {kTagA}, false, false}}});
+       add_schedule(t, std::move(s));
+       return t;
+     }},
+    {"split parts leaked at end of run", TraceCase::Check::kAlias,
+     "alias.part-leak", 2, Severity::kWarning, false,
+     [] {
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 8}));
+       t.events.push_back(op({StoreEvent::Kind::kSplit, 0, kTagA,
+                              {kTagA | kPartBit, kTagA | (kPartBit << 1)},
+                              {4, 4}, 8}));
+       return t;
+     }},
+    {"unsynchronized writes through shared views", TraceCase::Check::kRace,
+     "race.conflicting-access", 1, Severity::kError, true,
+     [] {
+       // One buffer is delivered (not moved) to nodes 1 and 2; both then
+       // accumulate into their view.  The only happens-before edges run
+       // 0 -> 1 and 0 -> 2, so the two writes are unordered: a race.
+       RunTrace t;
+       t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 8}));
+       Schedule s;
+       s.rounds.push_back(Round{{Transfer{0, 1, {kTagA}, false, false},
+                                 Transfer{0, 2, {kTagA}, false, false}}});
+       add_schedule(t, std::move(s));
+       t.events.push_back(
+           op({StoreEvent::Kind::kCombineInPlace, 1, kTagA, {}, {}, 8}));
+       t.events.push_back(
+           op({StoreEvent::Kind::kCombineInPlace, 2, kTagA, {}, {}, 8}));
+       return t;
+     }},
+    {"one-port double send", TraceCase::Check::kSchedule, "port.double-send",
+     1, Severity::kError, true,
+     [] {
+       RunTrace t;
+       add_schedule(t, one_round({xfer(0, 1, kTagA), xfer(0, 2, kTagB)}));
+       return t;
+     }},
+};
+
+TEST(AnalysisTrace, NegativeTraceTable) {
+  for (const TraceCase& c : kNegativeTraces) {
+    SCOPED_TRACE(c.name);
+    const RunTrace t = c.build();
+    DiagnosticList dl;
+    if (c.check == TraceCase::Check::kSchedule) {
+      dl = analysis::analyze_schedule(t.schedules[0], Hypercube(2),
+                                      PortModel::kOnePort);
+    } else {
+      analysis::TraceInput in;
+      in.trace = &t;
+      in.cube = Hypercube(2);
+      in.port = PortModel::kOnePort;
+      const auto pass = c.check == TraceCase::Check::kRace
+                            ? analysis::make_happens_before_pass()
+                            : analysis::make_alias_lifetime_pass();
+      pass->run(in, dl);
+    }
+    ASSERT_EQ(dl.size(), c.count) << dl.to_string();
+    for (const Diagnostic& d : dl.diags()) {
+      EXPECT_EQ(d.code, c.code);
+      EXPECT_EQ(d.severity, c.severity);
+      EXPECT_EQ(d.round != analysis::kNoLoc, c.located) << d.message;
+    }
+  }
+}
+
+// A fabricated race must vanish once a transfer edge orders the writers.
+TEST(AnalysisTrace, DeliveryEdgeOrdersTheWriters) {
+  RunTrace t;
+  t.events.push_back(op({StoreEvent::Kind::kPut, 0, kTagA, {}, {}, 8}));
+  Schedule s;
+  s.rounds.push_back(Round{{Transfer{0, 1, {kTagA}, false, false},
+                            Transfer{0, 2, {kTagA}, false, false}}});
+  add_schedule(t, std::move(s));
+  t.events.push_back(
+      op({StoreEvent::Kind::kCombineInPlace, 1, kTagA, {}, {}, 8}));
+  // Synchronize 1 -> 2 before node 2 writes: node 2 must observe node 1's
+  // write, so the pair is ordered and no race remains.
+  t.events.push_back(op({StoreEvent::Kind::kPut, 1, kTagB, {}, {}, 1}));
+  Schedule sync;
+  sync.rounds.push_back(Round{{Transfer{1, 3, {kTagB}, false, true}}});
+  sync.rounds.push_back(Round{{Transfer{3, 2, {kTagB}, false, true}}});
+  add_schedule(t, std::move(sync));
+  t.events.push_back(
+      op({StoreEvent::Kind::kCombineInPlace, 2, kTagA, {}, {}, 8}));
+  analysis::TraceInput in;
+  in.trace = &t;
+  in.cube = Hypercube(2);
+  in.port = PortModel::kOnePort;
+  DiagnosticList dl;
+  analysis::make_happens_before_pass()->run(in, dl);
+  EXPECT_TRUE(dl.empty()) << dl.to_string();
+}
+
+// Recorded real runs must verify clean under both trace passes, and the
+// abstract interpretation must predict the measured data-plane counters
+// exactly, under both copy policies.
+TEST(AnalysisTrace, LegalRunVerifiesCleanAndPredictsPlaneStats) {
+  const std::size_t n = 16;
+  const Matrix a = random_matrix(n, n, 5);
+  const Matrix b = random_matrix(n, n, 6);
+  for (const CopyPolicy policy :
+       {CopyPolicy::kZeroCopy, CopyPolicy::kDeepCopy}) {
+    SCOPED_TRACE(policy == CopyPolicy::kZeroCopy ? "zero-copy" : "deep-copy");
+    const auto alg = algo::make_algorithm(algo::AlgoId::kCannon);
+    Machine m(Hypercube::with_nodes(16), PortModel::kOnePort, CostParams{});
+    m.store().set_copy_policy(policy);
+    analysis::TraceRecorder rec(m);
+    (void)alg->run(a, b, m);
+    const RunTrace trace = rec.take();
+    EXPECT_FALSE(trace.events.empty());
+    EXPECT_FALSE(trace.schedules.empty());
+    analysis::TraceInput in;
+    in.trace = &trace;
+    in.cube = m.cube();
+    in.port = m.port();
+    DiagnosticList dl;
+    analysis::make_alias_lifetime_pass()->run(in, dl);
+    analysis::make_happens_before_pass()->run(in, dl);
+    analysis::cross_validate_plane(trace, m.store().plane_stats(), dl);
+    EXPECT_TRUE(dl.empty()) << dl.to_string();
+  }
+}
+
+// ---- symbolic all-p certification -----------------------------------------
+
+TEST(AnalysisSymbolic, ClassifiesRoundSchemas) {
+  using analysis::RoundSchema;
+  using analysis::classify_round;
+  // Every transfer crosses dimension 0, sources distinct.
+  EXPECT_EQ(classify_round(Round{{xfer(0, 1, kTagA), xfer(2, 3, kTagB)}}),
+            RoundSchema::kUniformDim);
+  // Mixed dimensions but a permutation of endpoints.
+  EXPECT_EQ(classify_round(Round{{xfer(0, 1, kTagA), xfer(2, 6, kTagB)}}),
+            RoundSchema::kPermutation);
+  // Node 0 drives two of its dimensions at once: multi-port only.
+  EXPECT_EQ(classify_round(Round{{xfer(0, 1, kTagA), xfer(0, 2, kTagB)}}),
+            RoundSchema::kDimPartitioned);
+  // Same link twice, and a non-link hop: no lemma applies.
+  EXPECT_EQ(classify_round(Round{{xfer(0, 1, kTagA), xfer(0, 1, kTagB)}}),
+            RoundSchema::kIrregular);
+  EXPECT_EQ(classify_round(Round{{xfer(0, 3, kTagA)}}),
+            RoundSchema::kIrregular);
+  EXPECT_EQ(classify_round(Round{}), RoundSchema::kUniformDim);
+}
+
+TEST(AnalysisSymbolic, CertifiesLemmaCoveredRunsOnly) {
+  const std::vector<Schedule> uniform3 = {one_round({xfer(0, 1, kTagA)})};
+  const std::vector<Schedule> uniform4 = {one_round({xfer(0, 1, kTagA)}),
+                                          one_round({xfer(2, 3, kTagB)})};
+  const analysis::SampledRun uruns[] = {{3, &uniform3}, {4, &uniform4}};
+  const auto ucert = analysis::certify_dimension_schema(
+      "uniform", PortModel::kOnePort, uruns);
+  EXPECT_TRUE(ucert.certified_all_p);
+  EXPECT_EQ(ucert.rounds_total, 3u);
+  EXPECT_EQ(ucert.uniform_rounds, 3u);
+  EXPECT_NE(ucert.to_string().find("CERTIFIED"), std::string::npos);
+
+  // Lemma D rounds certify multi-port, never one-port.
+  const std::vector<Schedule> dimpart = {
+      one_round({xfer(0, 1, kTagA), xfer(0, 2, kTagB)})};
+  const analysis::SampledRun druns[] = {{3, &dimpart}};
+  EXPECT_FALSE(analysis::certify_dimension_schema("dp", PortModel::kOnePort,
+                                                  druns)
+                   .certified_all_p);
+  EXPECT_TRUE(analysis::certify_dimension_schema("dp", PortModel::kMultiPort,
+                                                 druns)
+                  .certified_all_p);
+
+  // An irregular round forfeits the certificate under either model.
+  const std::vector<Schedule> irregular = {one_round({xfer(0, 3, kTagA)})};
+  const analysis::SampledRun iruns[] = {{3, &irregular}};
+  const auto icert = analysis::certify_dimension_schema(
+      "irr", PortModel::kMultiPort, iruns);
+  EXPECT_FALSE(icert.certified_all_p);
+  EXPECT_EQ(icert.irregular_rounds, 1u);
+
+  // No sampled rounds at all proves nothing.
+  EXPECT_FALSE(analysis::certify_dimension_schema("empty",
+                                                  PortModel::kOnePort, {})
+                   .certified_all_p);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "hcmm/abft/checksum.hpp"
 #include "hcmm/algo/api.hpp"
+#include "hcmm/fault/plan.hpp"
 #include "hcmm/matrix/gemm.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/store.hpp"
@@ -264,6 +265,80 @@ TEST(ThreadPoolBatch, CheckErrorPropagatesIntact) {
   std::vector<std::function<void()>> jobs;
   jobs.push_back([] { HCMM_CHECK(false, "deliberate"); });
   EXPECT_THROW(pool.run_batch(std::move(jobs)), CheckError);
+}
+
+// ------------------------------------------------ rollback replay alignment
+
+// Regression: a checkpoint whose restored phases include the implicit "main"
+// phase (opened by run() without any begin_phase call) must arm replay with
+// the count of begin_phase() *calls* before the boundary, not the count of
+// restored phases.  Counting the phases swallowed the boundary re-entry
+// itself, leaving the machine stuck in replay after recovery: the
+// post-boundary phase vanished from the report and its data-plane counters
+// were never charged.
+TEST(DataPlane, RollbackReplayAlignsImplicitMainPhase) {
+  const Hypercube cube(2);
+  const Tag tag = make_tag(2, 7);
+  const auto stage = [&](Machine& m) {
+    m.store().put(0, tag, {1, 2, 3, 4});
+    m.store().put(1, tag, {10, 20, 30, 40});
+    m.store().put(2, tag, {5, 6, 7, 8});
+  };
+  const auto combine_round = [&](NodeId src, NodeId dst) {
+    Schedule s;
+    s.rounds.push_back(Round{{Transfer{src, dst, {tag}, true, false}}});
+    return s;
+  };
+  const Schedule s1 = combine_round(0, 1);  // charged into implicit "main"
+  const Schedule s2 = combine_round(1, 0);  // phase p1
+  const Schedule s3 = combine_round(0, 2);  // phase p2, past the boundary
+  const auto drive = [&](Machine& m) {
+    m.run(s1);
+    m.begin_phase("p1");
+    m.run(s2);
+    m.begin_phase("p2");
+    m.run(s3);
+  };
+
+  Machine ref(cube, PortModel::kOnePort, CostParams{});
+  ref.set_checkpointing(true);
+  stage(ref);
+  ref.reset_stats();
+  drive(ref);
+  const SimReport want = ref.report();
+
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  m.set_checkpointing(true);
+  stage(m);
+  m.reset_stats();
+  m.run(s1);
+  m.begin_phase("p1");
+  m.run(s2);
+  m.begin_phase("p2");  // checkpoint holds {main, p1}: one begin_phase call
+  // Death discovered while executing the post-boundary schedule.
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->set.kill_node(3);
+  m.rollback_to_checkpoint(
+      plan, {fault::FaultKind::kMidRunDeath, 3, 2, 2, 0, "test death"});
+  m.reset_stats();  // restores the snapshot and arms prefix replay
+  stage(m);         // the re-run rebuilds its inputs from scratch
+  drive(m);         // s1/s2 replay uncharged; measurement resumes at p2
+  const SimReport got = m.report();
+
+  EXPECT_EQ(got.recoveries, 1u);
+  ASSERT_EQ(got.phases.size(), want.phases.size());
+  for (std::size_t i = 0; i < want.phases.size(); ++i) {
+    SCOPED_TRACE(want.phases[i].name);
+    EXPECT_EQ(got.phases[i].name, want.phases[i].name);
+    EXPECT_EQ(got.phases[i].rounds, want.phases[i].rounds);
+    EXPECT_DOUBLE_EQ(got.phases[i].word_cost, want.phases[i].word_cost);
+    EXPECT_EQ(got.phases[i].combines_in_place,
+              want.phases[i].combines_in_place);
+    EXPECT_EQ(got.phases[i].words_copied, want.phases[i].words_copied);
+    EXPECT_EQ(got.phases[i].checkpoints, want.phases[i].checkpoints);
+    EXPECT_DOUBLE_EQ(got.phases[i].checkpoint_cost,
+                     want.phases[i].checkpoint_cost);
+  }
 }
 
 // -------------------------------------------------------- abft determinism

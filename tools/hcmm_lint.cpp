@@ -1,23 +1,40 @@
-// hcmm_lint: static schedule verifier for the whole algorithm registry.
+// hcmm_lint: static verifier for the whole algorithm registry.
 //
 // Drives every registered matrix-multiplication algorithm — bare and under
 // the abft::protect wrapper, whose checksum collectives add schedules of
-// their own — on small 8- and 64-node machines under both port models,
-// intercepting every Schedule the algorithm hands to Machine::run via the
-// schedule observer and running the default analysis pipeline (topology,
-// port model, tag dataflow) against the live store placement *before* the
-// machine executes it.  Afterwards audits
-// every registered collective builder's static (a, b) cost against the
-// Table 1 closed forms.  Exits nonzero on any error-severity finding, so the
-// ctest/CI wiring turns a schedule-legality or cost regression into a build
-// failure.
+// their own — on 8-, 64- and 512-node machines under both port models, and
+// checks four things:
 //
-// Usage: hcmm_lint [--json] [--out FILE]
+//   1. Every Schedule handed to Machine::run is analyzed *before* the
+//      machine executes it (topology, port model, tag dataflow) against the
+//      live store placement, via the schedule observer.
+//   2. The whole run is captured as a RunTrace (store-op + phase + GEMM
+//      observers) and re-executed abstractly by the alias/lifetime and
+//      happens-before passes: buffer identity, view extents, uniqueness,
+//      and vector-clock race freedom are verified end to end.
+//   3. The trace-predicted DataPlaneStats are cross-validated against the
+//      counters the DataStore actually measured (plane.divergence).
+//   4. Round schemas are lifted to symbolic all-p legality certificates
+//      (analysis/symbolic): one lint run certifies the registry for every
+//      power-of-two machine size, not just the sampled cubes.
+//
+// Afterwards audits every registered collective builder's static (a, b)
+// cost against the Table 1 closed forms.  Exits nonzero on any
+// error-severity finding, so the ctest/CI wiring turns a legality, race,
+// aliasing or cost regression into a build failure.
+//
+// Usage: hcmm_lint [--json] [--out FILE] [--sarif FILE] [--dims D1,D2,...]
+//                  [--passes P1,P2,...]
+//   --dims    cube dimensions to sample (default 3,6,9)
+//   --passes  subset of topology,port,dataflow,alias,race,plane,symbolic,
+//             cost (default: all)
 
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +43,8 @@
 #include "hcmm/analysis/cost_audit.hpp"
 #include "hcmm/analysis/passes.hpp"
 #include "hcmm/analysis/placement.hpp"
+#include "hcmm/analysis/symbolic.hpp"
+#include "hcmm/analysis/trace.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/report_io.hpp"
 
@@ -33,15 +52,66 @@ namespace {
 
 using namespace hcmm;
 
-/// Append @p found to @p all with a "context: " prefix on every message.
-void merge_with_context(analysis::DiagnosticList& all,
-                        const analysis::DiagnosticList& found,
-                        const std::string& context) {
-  for (analysis::Diagnostic d : found.diags()) {
-    d.message = context + ": " + d.message;
-    all.add(std::move(d));
+struct PassSelection {
+  bool topology = true;
+  bool port = true;
+  bool dataflow = true;
+  bool alias = true;
+  bool race = true;
+  bool plane = true;
+  bool symbolic = true;
+  bool cost = true;
+};
+
+bool parse_passes(const std::string_view list, PassSelection& sel) {
+  sel = PassSelection{false, false, false, false, false, false, false, false};
+  std::stringstream ss{std::string(list)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "topology") sel.topology = true;
+    else if (item == "port") sel.port = true;
+    else if (item == "dataflow") sel.dataflow = true;
+    else if (item == "alias") sel.alias = true;
+    else if (item == "race") sel.race = true;
+    else if (item == "plane") sel.plane = true;
+    else if (item == "symbolic") sel.symbolic = true;
+    else if (item == "cost") sel.cost = true;
+    else return false;
   }
+  return true;
 }
+
+bool parse_dims(const std::string_view list, std::vector<std::uint32_t>& dims) {
+  dims.clear();
+  std::stringstream ss{std::string(list)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      const unsigned long v = std::stoul(item);
+      if (v == 0 || v > 12) return false;
+      dims.push_back(static_cast<std::uint32_t>(v));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !dims.empty();
+}
+
+/// Diagnostics plus, per diagnostic, the analyzed artifact's name (feeds
+/// the SARIF logical locations).
+struct Findings {
+  analysis::DiagnosticList list;
+  std::vector<std::string> subjects;
+
+  void merge(const analysis::DiagnosticList& found,
+             const std::string& context, const std::string& subject) {
+    for (analysis::Diagnostic d : found.diags()) {
+      d.message = context + ": " + d.message;
+      list.add(std::move(d));
+      subjects.push_back(subject);
+    }
+  }
+};
 
 /// Smallest problem size the algorithm accepts on @p p nodes, 0 if none.
 std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
@@ -56,26 +126,55 @@ std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
 int main(int argc, char** argv) {
   bool json = false;
   std::string out_path;
+  std::string sarif_path;
+  std::vector<std::uint32_t> dims = {3, 6, 9};
+  PassSelection sel;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--dims" && i + 1 < argc) {
+      if (!parse_dims(argv[++i], dims)) {
+        std::cerr << "hcmm_lint: bad --dims list\n";
+        return 2;
+      }
+    } else if (arg == "--passes" && i + 1 < argc) {
+      if (!parse_passes(argv[++i], sel)) {
+        std::cerr << "hcmm_lint: bad --passes list (know: topology, port, "
+                     "dataflow, alias, race, plane, symbolic, cost)\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: hcmm_lint [--json] [--out FILE]\n";
+      std::cerr << "usage: hcmm_lint [--json] [--out FILE] [--sarif FILE] "
+                   "[--dims D1,D2,...] [--passes P1,P2,...]\n";
       return 2;
     }
   }
 
-  analysis::DiagnosticList all;
+  Findings all;
   std::size_t schedules_checked = 0;
   std::size_t runs = 0;
   std::size_t skipped = 0;
 
-  const std::uint32_t dims[] = {3, 6};
   const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
-  const analysis::Analyzer analyzer = analysis::Analyzer::with_default_passes();
+
+  analysis::Analyzer analyzer;
+  if (sel.topology) analyzer.add_pass(analysis::make_topology_pass());
+  if (sel.port) analyzer.add_pass(analysis::make_port_pass());
+  if (sel.dataflow) analyzer.add_pass(analysis::make_dataflow_pass());
+  const bool any_schedule_pass = sel.topology || sel.port || sel.dataflow;
+
+  std::vector<std::unique_ptr<analysis::TracePass>> trace_passes;
+  if (sel.alias) trace_passes.push_back(analysis::make_alias_lifetime_pass());
+  if (sel.race) trace_passes.push_back(analysis::make_happens_before_pass());
+
+  // subject -> port -> dim -> schedules, for the symbolic certificates.
+  std::map<std::string, std::map<PortModel, std::map<std::uint32_t,
+      std::vector<Schedule>>>> samples;
 
   const auto lint_registry =
       [&](const std::vector<std::unique_ptr<algo::DistributedMatmul>>& algs,
@@ -92,21 +191,25 @@ int main(int argc, char** argv) {
           }
           Machine m(cube, port, CostParams{});
           std::size_t sched_idx = 0;
-          analysis::DiagnosticList found;
           const std::string context = alg->name() + " on " +
                                       std::to_string(cube.size()) +
                                       " nodes (" + to_string(port) + ")";
+          analysis::TraceRecorder rec(m);
+          // Replaces the recorder's schedule observer; forward to it.
           m.set_schedule_observer([&](const Schedule& s) {
-            const analysis::Placement placed =
-                analysis::snapshot_placement(m.store());
-            analysis::AnalysisInput in;
-            in.schedule = &s;
-            in.cube = m.cube();
-            in.port = m.port();
-            in.initial = &placed;
-            merge_with_context(found, analyzer.analyze(in),
-                               context + ", schedule #" +
-                                   std::to_string(sched_idx));
+            rec.record_schedule(s);
+            if (any_schedule_pass) {
+              const analysis::Placement placed =
+                  analysis::snapshot_placement(m.store());
+              analysis::AnalysisInput in;
+              in.schedule = &s;
+              in.cube = m.cube();
+              in.port = m.port();
+              in.initial = &placed;
+              all.merge(analyzer.analyze(in),
+                        context + ", schedule #" + std::to_string(sched_idx),
+                        context);
+            }
             ++schedules_checked;
             ++sched_idx;
           });
@@ -114,7 +217,26 @@ int main(int argc, char** argv) {
           const Matrix b = random_matrix(n, n, 18);
           (void)alg->run(a, b, m);
           ++runs;
-          all.merge(std::move(found));
+
+          const analysis::RunTrace trace = rec.take();
+          analysis::TraceInput tin;
+          tin.trace = &trace;
+          tin.cube = m.cube();
+          tin.port = m.port();
+          for (const auto& pass : trace_passes) {
+            analysis::DiagnosticList tfound;
+            pass->run(tin, tfound);
+            all.merge(tfound, context, context);
+          }
+          if (sel.plane) {
+            analysis::DiagnosticList pfound;
+            analysis::cross_validate_plane(trace, m.store().plane_stats(),
+                                           pfound);
+            all.merge(pfound, context, context);
+          }
+          if (sel.symbolic) {
+            samples[alg->name()][port][cube.dim()] = trace.schedules;
+          }
         }
       };
 
@@ -126,36 +248,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Lift the sampled round schemas to all-p certificates.
+  std::vector<analysis::DimCertificate> certs;
+  std::size_t certified = 0;
+  for (const auto& [subject, by_port] : samples) {
+    for (const auto& [port, by_dim] : by_port) {
+      std::vector<analysis::SampledRun> sampled;
+      sampled.reserve(by_dim.size());
+      for (const auto& [dim, schedules] : by_dim) {
+        sampled.push_back({dim, &schedules});
+      }
+      certs.push_back(
+          analysis::certify_dimension_schema(subject, port, sampled));
+      if (certs.back().certified_all_p) ++certified;
+    }
+  }
+
   // Static (a, b) of every collective builder vs. the Table 1 closed forms;
   // item size a multiple of dim so the multi-port chunking is exact.
-  for (const std::uint32_t dim : dims) {
-    for (const PortModel port : ports) {
-      const std::string context = "builder audit on " +
-                                  std::to_string(1u << dim) + " nodes (" +
-                                  to_string(port) + ")";
-      merge_with_context(
-          all, analysis::audit_collective_builders(dim, dim * 8u, port),
-          context);
+  if (sel.cost) {
+    for (const std::uint32_t dim : dims) {
+      for (const PortModel port : ports) {
+        const std::string context = "builder audit on " +
+                                    std::to_string(1u << dim) + " nodes (" +
+                                    to_string(port) + ")";
+        all.merge(analysis::audit_collective_builders(dim, dim * 8u, port),
+                  context, context);
+      }
     }
   }
 
   if (!out_path.empty()) {
     std::ofstream f(out_path);
-    f << diagnostics_json(all) << "\n";
+    f << diagnostics_json(all.list) << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream f(sarif_path);
+    f << sarif_json(all.list, all.subjects) << "\n";
   }
   if (json) {
-    std::cout << diagnostics_json(all) << "\n";
+    std::cout << diagnostics_json(all.list) << "\n";
   } else {
     std::cout << "hcmm_lint: " << runs << " algorithm runs, "
               << schedules_checked << " schedules analyzed, " << skipped
               << " combinations skipped (unsupported/inapplicable)\n";
-    if (all.empty()) {
+    if (!certs.empty()) {
+      std::cout << "all-p certificates (" << certified << "/" << certs.size()
+                << " certified):\n";
+      for (const auto& c : certs) {
+        std::cout << "  " << c.to_string() << "\n";
+      }
+    }
+    if (all.list.empty()) {
       std::cout << "no findings\n";
     } else {
-      std::cout << all.to_string();
-      std::cout << all.error_count() << " error(s), "
-                << all.count(analysis::Severity::kWarning) << " warning(s)\n";
+      std::cout << all.list.to_string();
+      std::cout << all.list.error_count() << " error(s), "
+                << all.list.count(analysis::Severity::kWarning)
+                << " warning(s)\n";
     }
   }
-  return all.has_errors() ? 1 : 0;
+  return all.list.has_errors() ? 1 : 0;
 }
