@@ -59,8 +59,10 @@ class All3D final : public DistributedMatmul {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
           const std::uint32_t f = grid.f(i, j);
-          put_mat(store, nd, ta(k, f), a.block(k * bh, f * bw, bh, bw));
-          put_mat(store, nd, tb(k, f), b.block(k * bh, f * bw, bh, bw));
+          stage_region(machine, nd, ta(k, f), SemOperand::kA, a, k * bh,
+                       f * bw, bh, bw);
+          stage_region(machine, nd, tb(k, f), SemOperand::kB, b, k * bh,
+                       f * bw, bh, bw);
         }
       }
     }
@@ -75,11 +77,12 @@ class All3D final : public DistributedMatmul {
         for (std::uint32_t j = 0; j < q; ++j) {
           for (std::uint32_t k = 0; k < q; ++k) {
             const NodeId nd = grid.node(i, j, k);
-            const Matrix blk = mat_from(store, nd, tb(k, grid.f(i, j)), bh, bw);
-            store.erase(nd, tb(k, grid.f(i, j)));
+            std::vector<SemanticEvent::Piece> pieces;
+            pieces.reserve(q);
             for (std::uint32_t l = 0; l < q; ++l) {
-              put_mat(store, nd, tpb(i, k, j, l), blk.block(l * bw, 0, bw, bw));
+              pieces.push_back({tpb(i, k, j, l), {l * bw, 0, bw, bw}});
             }
+            slice_item(machine, nd, tb(k, grid.f(i, j)), bh, bw, pieces);
           }
         }
       }
@@ -151,42 +154,38 @@ class All3D final : public DistributedMatmul {
     machine.begin_phase("compute");
     {
       std::vector<GemmJob> jobs;
-      std::vector<std::size_t> owner;
-      std::vector<NodeId> nodes;
-      std::vector<Matrix> partials;
+      std::vector<Accum> partials;
       std::vector<std::array<std::uint32_t, 3>> coords;
+      partials.reserve(static_cast<std::size_t>(q) * q * q);
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           for (std::uint32_t k = 0; k < q; ++k) {
             const NodeId nd = grid.node(i, j, k);
-            const std::size_t slot = nodes.size();
-            nodes.push_back(nd);
-            partials.emplace_back(bh, bh);
+            partials.push_back(make_accum(machine, nd, bh, bh));
             coords.push_back({i, j, k});
             for (std::uint32_t m = 0; m < q; ++m) {
-              Matrix bmat(bw, bh);
+              std::vector<Tag> piece_tags;
+              piece_tags.reserve(q);
               for (std::uint32_t l = 0; l < q; ++l) {
-                paste_block(store, nd, tpb(i, m, l, j), bw, bw, bmat, 0,
-                            l * bw);
+                piece_tags.push_back(tpb(i, m, l, j));
               }
               jobs.push_back(
                   GemmJob{nd, mat_ref(store, nd, ta(k, grid.f(m, j)), bh, bw),
-                          mat_own(std::move(bmat))});
-              owner.push_back(slot);
+                          mat_concat_cols(store, nd, piece_tags, bw, bw),
+                          GemmDest::into(partials.back())});
             }
           }
         }
       }
-      run_gemm_jobs(machine, std::move(jobs),
-                    [&](std::size_t idx, Matrix&& m) {
-                      partials[owner[idx]] += m;
-                    });
-      for (std::size_t s = 0; s < nodes.size(); ++s) {
+      run_gemm_jobs(machine, std::move(jobs));
+      for (std::size_t s = 0; s < partials.size(); ++s) {
         const auto [i, j, k] = coords[s];
+        std::vector<SemanticEvent::Piece> pieces;
+        pieces.reserve(q);
         for (std::uint32_t l = 0; l < q; ++l) {
-          put_mat(store, nodes[s], ti(k, i, l),
-                  partials[s].block(0, l * bw, bh, bw));
+          pieces.push_back({ti(k, i, l), {0, l * bw, bh, bw}});
         }
+        flush_slices(machine, partials[s], pieces);
       }
     }
 
@@ -213,8 +212,8 @@ class All3D final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
-          paste_block(store, grid.node(i, j, k), ti(k, i, j), bh, bw, out.c,
-                      k * bh, grid.f(i, j) * bw);
+          collect_block(machine, grid.node(i, j, k), ti(k, i, j), bh, bw,
+                        out.c, k * bh, grid.f(i, j) * bw);
         }
       }
     }

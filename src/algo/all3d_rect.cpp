@@ -67,8 +67,10 @@ class All3DRect final : public DistributedMatmul {
         for (std::uint32_t k = 0; k < qz; ++k) {
           const NodeId nd = grid.node(i, j, k);
           const std::uint32_t f = grid.f(i, j);
-          put_mat(store, nd, ta(k, f), a.block(k * blk, f * blk, blk, blk));
-          put_mat(store, nd, tb(k, f), b.block(k * blk, f * blk, blk, blk));
+          stage_region(machine, nd, ta(k, f), SemOperand::kA, a, k * blk,
+                       f * blk, blk, blk);
+          stage_region(machine, nd, tb(k, f), SemOperand::kB, b, k * blk,
+                       f * blk, blk, blk);
         }
       }
     }
@@ -139,43 +141,40 @@ class All3DRect final : public DistributedMatmul {
     machine.begin_phase("compute");
     {
       std::vector<GemmJob> jobs;
-      std::vector<std::size_t> owner;
-      std::vector<NodeId> nodes;
-      std::vector<Matrix> slices;
+      std::vector<Accum> slices;
       std::vector<std::array<std::uint32_t, 3>> coords;
+      slices.reserve(static_cast<std::size_t>(q1) * q1 * qz);
       for (std::uint32_t i = 0; i < q1; ++i) {
         for (std::uint32_t j = 0; j < q1; ++j) {
           for (std::uint32_t k = 0; k < qz; ++k) {
             const NodeId nd = grid.node(i, j, k);
-            const std::size_t slot = nodes.size();
-            nodes.push_back(nd);
-            slices.emplace_back(blk, static_cast<std::size_t>(q1) * blk);
+            slices.push_back(make_accum(
+                machine, nd, blk, static_cast<std::size_t>(q1) * blk));
             coords.push_back({i, j, k});
             for (std::uint32_t m = 0; m < q1; ++m) {
               const std::uint32_t row_block = m * q1 + j;
-              Matrix rmat(blk, static_cast<std::size_t>(q1) * blk);
+              std::vector<Tag> piece_tags;
+              piece_tags.reserve(q1);
               for (std::uint32_t l = 0; l < q1; ++l) {
-                paste_block(store, nd, tb(row_block, grid.f(i, l)), blk, blk,
-                            rmat, 0, l * blk);
+                piece_tags.push_back(tb(row_block, grid.f(i, l)));
               }
               jobs.push_back(GemmJob{
                   nd, mat_ref(store, nd, ta(k, grid.f(m, j)), blk, blk),
-                  mat_own(std::move(rmat))});
-              owner.push_back(slot);
+                  mat_concat_cols(store, nd, piece_tags, blk, blk),
+                  GemmDest::into(slices.back())});
             }
           }
         }
       }
-      run_gemm_jobs(machine, std::move(jobs),
-                    [&](std::size_t idx, Matrix&& m) {
-                      slices[owner[idx]] += m;
-                    });
-      for (std::size_t s = 0; s < nodes.size(); ++s) {
+      run_gemm_jobs(machine, std::move(jobs));
+      for (std::size_t s = 0; s < slices.size(); ++s) {
         const auto [i, j, k] = coords[s];
+        std::vector<SemanticEvent::Piece> pieces;
+        pieces.reserve(q1);
         for (std::uint32_t l = 0; l < q1; ++l) {
-          put_mat(store, nodes[s], ti(k, i, l),
-                  slices[s].block(0, l * blk, blk, blk));
+          pieces.push_back({ti(k, i, l), {0, l * blk, blk, blk}});
         }
+        flush_slices(machine, slices[s], pieces);
       }
     }
 
@@ -202,8 +201,8 @@ class All3DRect final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q1; ++i) {
       for (std::uint32_t j = 0; j < q1; ++j) {
         for (std::uint32_t k = 0; k < qz; ++k) {
-          paste_block(store, grid.node(i, j, k), ti(k, i, j), blk, blk, out.c,
-                      k * blk, grid.f(i, j) * blk);
+          collect_block(machine, grid.node(i, j, k), ti(k, i, j), blk, blk,
+                        out.c, k * blk, grid.f(i, j) * blk);
         }
       }
     }

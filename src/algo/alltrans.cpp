@@ -59,8 +59,10 @@ class AllTrans final : public DistributedMatmul {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
           const std::uint32_t f = grid.f(i, j);
-          put_mat(store, nd, ta(k, f), a.block(k * bh, f * bw, bh, bw));
-          put_mat(store, nd, tb(f, k), b.block(f * bw, k * bh, bw, bh));
+          stage_region(machine, nd, ta(k, f), SemOperand::kA, a, k * bh,
+                       f * bw, bh, bw);
+          stage_region(machine, nd, tb(f, k), SemOperand::kB, b, f * bw,
+                       k * bh, bw, bh);
         }
       }
     }
@@ -125,37 +127,33 @@ class AllTrans final : public DistributedMatmul {
     machine.begin_phase("compute");
     {
       std::vector<GemmJob> jobs;
-      std::vector<std::size_t> owner;  // job -> node index in flat order
-      std::vector<NodeId> nodes;
-      std::vector<Matrix> partials;
+      std::vector<Accum> partials;
       std::vector<std::array<std::uint32_t, 3>> coords;
+      partials.reserve(static_cast<std::size_t>(q) * q * q);
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           for (std::uint32_t k = 0; k < q; ++k) {
             const NodeId nd = grid.node(i, j, k);
-            const std::size_t slot = nodes.size();
-            nodes.push_back(nd);
-            partials.emplace_back(bh, bh);
+            partials.push_back(make_accum(machine, nd, bh, bh));
             coords.push_back({i, j, k});
             for (std::uint32_t l = 0; l < q; ++l) {
               jobs.push_back(
                   GemmJob{nd, mat_ref(store, nd, ta(k, grid.f(l, j)), bh, bw),
-                          mat_ref(store, nd, tb(grid.f(l, j), i), bw, bh)});
-              owner.push_back(slot);
+                          mat_ref(store, nd, tb(grid.f(l, j), i), bw, bh),
+                          GemmDest::into(partials.back())});
             }
           }
         }
       }
-      run_gemm_jobs(machine, std::move(jobs),
-                    [&](std::size_t idx, Matrix&& m) {
-                      partials[owner[idx]] += m;
-                    });
-      for (std::size_t s = 0; s < nodes.size(); ++s) {
+      run_gemm_jobs(machine, std::move(jobs));
+      for (std::size_t s = 0; s < partials.size(); ++s) {
         const auto [i, j, k] = coords[s];
+        std::vector<SemanticEvent::Piece> pieces;
+        pieces.reserve(q);
         for (std::uint32_t l = 0; l < q; ++l) {
-          put_mat(store, nodes[s], ti(k, i, l),
-                  partials[s].block(0, l * bw, bh, bw));
+          pieces.push_back({ti(k, i, l), {0, l * bw, bh, bw}});
         }
+        flush_slices(machine, partials[s], pieces);
       }
     }
 
@@ -183,8 +181,8 @@ class AllTrans final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
-          paste_block(store, grid.node(i, j, k), ti(k, i, j), bh, bw, out.c,
-                      k * bh, grid.f(i, j) * bw);
+          collect_block(machine, grid.node(i, j, k), ti(k, i, j), bh, bw,
+                        out.c, k * bh, grid.f(i, j) * bw);
         }
       }
     }

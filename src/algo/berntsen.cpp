@@ -46,7 +46,6 @@ class Berntsen final : public DistributedMatmul {
     const std::uint32_t q = grid.q();
     const std::size_t bh = n / q;        // Cannon block height on each face
     const std::size_t bw = n / (q * q);  // A block width / B block height
-    DataStore& store = machine.store();
 
     // Face k (plane z = k) gets column set k of A, block (i,j) of the set
     // at face position (row i, col j), and row set k of B likewise.
@@ -73,10 +72,10 @@ class Berntsen final : public DistributedMatmul {
         for (std::uint32_t j = 0; j < q; ++j) {
           // A set k is columns [k*n/q, (k+1)*n/q); its (i,j) sub-block is
           // (n/q) x (n/q^2).  B set k is the corresponding rows.
-          put_mat(store, face_node(k, i, j), ta(k, i, j),
-                  a.block(i * bh, k * bh + j * bw, bh, bw));
-          put_mat(store, face_node(k, i, j), tb(k, i, j),
-                  b.block(k * bh + i * bw, j * bh, bw, bh));
+          stage_region(machine, face_node(k, i, j), ta(k, i, j),
+                       SemOperand::kA, a, i * bh, k * bh + j * bw, bh, bw);
+          stage_region(machine, face_node(k, i, j), tb(k, i, j),
+                       SemOperand::kB, b, k * bh + i * bw, j * bh, bw, bh);
         }
       }
     }
@@ -119,11 +118,12 @@ class Berntsen final : public DistributedMatmul {
         for (std::uint32_t i = 0; i < q; ++i) {
           for (std::uint32_t j = 0; j < q; ++j) {
             const NodeId nd = face_node(k, i, j);
-            const Matrix blk = mat_from(store, nd, to(k, i, j), bh, bh);
-            store.erase(nd, to(k, i, j));
+            std::vector<SemanticEvent::Piece> pieces;
+            pieces.reserve(q);
             for (std::uint32_t z = 0; z < q; ++z) {
-              put_mat(store, nd, tc(i, j, z), blk.block(z * bw, 0, bw, bh));
+              pieces.push_back({tc(i, j, z), {z * bw, 0, bw, bh}});
             }
+            slice_item(machine, nd, to(k, i, j), bh, bh, pieces);
           }
         }
       }
@@ -147,8 +147,8 @@ class Berntsen final : public DistributedMatmul {
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t z = 0; z < q; ++z) {
-          paste_block(store, face_node(z, i, j), tc(i, j, z), bw, bh, out.c,
-                      i * bh + z * bw, j * bh);
+          collect_block(machine, face_node(z, i, j), tc(i, j, z), bw, bh,
+                        out.c, i * bh + z * bw, j * bh);
         }
       }
     }

@@ -39,8 +39,8 @@ class Cannon final : public DistributedMatmul {
     auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
     auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
 
-    stage_blocks(machine, a, q, q, node, ta);
-    stage_blocks(machine, b, q, q, node, tb);
+    stage_blocks(machine, a, q, q, node, ta, SemOperand::kA);
+    stage_blocks(machine, b, q, q, node, tb, SemOperand::kB);
     machine.reset_stats();
 
     GridFace face{

@@ -40,16 +40,32 @@ MatRef mat_ref(const DataStore& store, NodeId node, Tag tag, std::size_t r,
   if (store.copy_policy() == CopyPolicy::kDeepCopy) {
     // Reproduce the historical materialize-per-job behavior for bench A/B.
     store.count_copy(p.size(), node, tag);
-    return MatRef{make_payload(p.to_vector()), r, c};
+    return MatRef{make_payload(p.to_vector()), r, c, {{tag, 0}}};
   }
   store.count_alias(p.size(), node, tag);
-  return MatRef{p, r, c};
+  return MatRef{p, r, c, {{tag, 0}}};
 }
 
 MatRef mat_own(Matrix&& m) {
   const std::size_t r = m.rows();
   const std::size_t c = m.cols();
-  return MatRef{make_payload(std::move(m).take()), r, c};
+  return MatRef{make_payload(std::move(m).take()), r, c, {}};
+}
+
+MatRef mat_concat_cols(const DataStore& store, NodeId node,
+                       std::span<const Tag> piece_tags, std::size_t piece_rows,
+                       std::size_t piece_cols) {
+  Matrix whole(piece_rows, piece_tags.size() * piece_cols);
+  std::vector<std::pair<Tag, std::size_t>> srcs;
+  srcs.reserve(piece_tags.size());
+  for (std::size_t l = 0; l < piece_tags.size(); ++l) {
+    paste_block(store, node, piece_tags[l], piece_rows, piece_cols, whole, 0,
+                l * piece_cols);
+    srcs.emplace_back(piece_tags[l], l * piece_cols);
+  }
+  const std::size_t r = whole.rows();
+  const std::size_t c = whole.cols();
+  return MatRef{make_payload(std::move(whole).take()), r, c, std::move(srcs)};
 }
 
 void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
@@ -62,8 +78,15 @@ void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
   out.set_block(r0, c0, r, c, p.span());
 }
 
-void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
-                   const std::function<void(std::size_t, Matrix&&)>& sink) {
+namespace {
+
+SemanticEvent::Operand operand_of(const MatRef& m) {
+  return {m.rows, m.cols, m.srcs};
+}
+
+}  // namespace
+
+void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs) {
   std::vector<Matrix> products(jobs.size());
   std::vector<std::function<void()>> work;
   work.reserve(jobs.size());
@@ -85,9 +108,150 @@ void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
   std::vector<std::pair<NodeId, std::uint64_t>> flops(per_node.begin(),
                                                       per_node.end());
   machine.charge_compute(flops);
+
+  // Deliver each product to the destination its job declares, in job order,
+  // announcing every delivery so the semantic pass sees declaration and
+  // effect as one unit — the declaration cannot lie about where a product
+  // went, because this loop *is* where it goes.
+  DataStore& store = machine.store();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    sink(i, std::move(products[i]));
+    GemmJob& job = jobs[i];
+    if (machine.semantics_observed()) {
+      SemanticEvent ev;
+      ev.kind = SemanticEvent::Kind::kGemm;
+      ev.node = job.node;
+      ev.a = operand_of(job.a);
+      ev.b = operand_of(job.b);
+      ev.dest_kind = job.dest.kind;
+      ev.dest_tag = job.dest.tag;
+      ev.accum_id = job.dest.accum != nullptr ? job.dest.accum->id : 0;
+      machine.notify_semantic(ev);
+    }
+    switch (job.dest.kind) {
+      case SemanticEvent::Dest::kPut:
+        put_mat(store, job.node, job.dest.tag, std::move(products[i]));
+        break;
+      case SemanticEvent::Dest::kCombine:
+        store.combine(job.node, job.dest.tag,
+                      make_payload(std::move(products[i]).take()));
+        break;
+      case SemanticEvent::Dest::kAccum:
+        HCMM_CHECK(job.dest.accum != nullptr,
+                   "run_gemm_jobs: accumulate destination without an Accum");
+        HCMM_CHECK(job.dest.accum->node == job.node,
+                   "run_gemm_jobs: accumulator owned by node "
+                       << job.dest.accum->node << ", job runs on "
+                       << job.node);
+        job.dest.accum->sum += products[i];
+        break;
+    }
   }
+}
+
+Accum make_accum(Machine& machine, NodeId node, std::size_t rows,
+                 std::size_t cols) {
+  return Accum{node, Matrix(rows, cols), machine.next_accum_id()};
+}
+
+void stage_region(Machine& machine, NodeId node, Tag tag, SemOperand op,
+                  const Matrix& src, std::size_t r0, std::size_t c0,
+                  std::size_t rows, std::size_t cols) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kStage;
+    ev.node = node;
+    ev.tag = tag;
+    ev.op = op;
+    ev.rect = {r0, c0, rows, cols};
+    machine.notify_semantic(ev);
+  }
+  put_mat(machine.store(), node, tag, src.block(r0, c0, rows, cols));
+}
+
+void stage_zero(Machine& machine, NodeId node, Tag tag, std::size_t rows,
+                std::size_t cols) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kStageZero;
+    ev.node = node;
+    ev.tag = tag;
+    ev.rect = {0, 0, rows, cols};
+    machine.notify_semantic(ev);
+  }
+  put_mat(machine.store(), node, tag, Matrix(rows, cols));
+}
+
+void slice_item(Machine& machine, NodeId node, Tag tag, std::size_t src_rows,
+                std::size_t src_cols,
+                std::span<const SemanticEvent::Piece> pieces) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kSlice;
+    ev.node = node;
+    ev.tag = tag;
+    ev.rect = {0, 0, src_rows, src_cols};
+    ev.pieces.assign(pieces.begin(), pieces.end());
+    machine.notify_semantic(ev);
+  }
+  DataStore& store = machine.store();
+  const Matrix whole = mat_from(store, node, tag, src_rows, src_cols);
+  store.erase(node, tag);
+  for (const SemanticEvent::Piece& pc : pieces) {
+    HCMM_CHECK(pc.rect.r0 + pc.rect.rows <= src_rows &&
+                   pc.rect.c0 + pc.rect.cols <= src_cols,
+               "slice_item: piece exceeds the source item");
+    put_mat(store, node, pc.tag,
+            whole.block(pc.rect.r0, pc.rect.c0, pc.rect.rows, pc.rect.cols));
+  }
+}
+
+void flush_slices(Machine& machine, const Accum& acc,
+                  std::span<const SemanticEvent::Piece> pieces) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kAccumFlushSlices;
+    ev.node = acc.node;
+    ev.accum_id = acc.id;
+    ev.rect = {0, 0, acc.sum.rows(), acc.sum.cols()};
+    ev.pieces.assign(pieces.begin(), pieces.end());
+    machine.notify_semantic(ev);
+  }
+  for (const SemanticEvent::Piece& pc : pieces) {
+    HCMM_CHECK(pc.rect.r0 + pc.rect.rows <= acc.sum.rows() &&
+                   pc.rect.c0 + pc.rect.cols <= acc.sum.cols(),
+               "flush_slices: piece exceeds the accumulator");
+    put_mat(machine.store(), acc.node, pc.tag,
+            acc.sum.block(pc.rect.r0, pc.rect.c0, pc.rect.rows,
+                          pc.rect.cols));
+  }
+}
+
+void flush_combine(Machine& machine, Accum& acc, Tag dest) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kAccumFlushCombine;
+    ev.node = acc.node;
+    ev.tag = dest;
+    ev.accum_id = acc.id;
+    ev.rect = {0, 0, acc.sum.rows(), acc.sum.cols()};
+    machine.notify_semantic(ev);
+  }
+  machine.store().combine(acc.node, dest,
+                          make_payload(std::move(acc.sum).take()));
+}
+
+void collect_block(Machine& machine, NodeId node, Tag tag, std::size_t rows,
+                   std::size_t cols, Matrix& out, std::size_t r0,
+                   std::size_t c0) {
+  if (machine.semantics_observed()) {
+    SemanticEvent ev;
+    ev.kind = SemanticEvent::Kind::kCollect;
+    ev.node = node;
+    ev.tag = tag;
+    ev.rect = {r0, c0, rows, cols};
+    machine.notify_semantic(ev);
+  }
+  paste_block(machine.store(), node, tag, rows, cols, out, r0, c0);
 }
 
 void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
@@ -110,8 +274,8 @@ void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
       for (std::uint32_t j = 0; j < q; ++j) {
         cur_a[f][i][j] = faces[f].a_tag(i, j);
         cur_b[f][i][j] = faces[f].b_tag(i, j);
-        put_mat(store, faces[f].grid.node(i, j), faces[f].c_tag(i, j),
-                Matrix(ar, bc));
+        stage_zero(machine, faces[f].grid.node(i, j), faces[f].c_tag(i, j),
+                   ar, bc);
       }
     }
   }
@@ -165,22 +329,18 @@ void cannon_lockstep(Machine& machine, std::span<const CannonFace> faces,
   for (std::uint32_t step = 0; step < q; ++step) {
     std::vector<GemmJob> jobs;
     jobs.reserve(nf * q * q);
-    std::vector<std::pair<NodeId, Tag>> dests;
     for (std::size_t f = 0; f < nf; ++f) {
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId node = faces[f].grid.node(i, j);
           jobs.push_back(GemmJob{node,
                                  mat_ref(store, node, cur_a[f][i][j], ar, ac),
-                                 mat_ref(store, node, cur_b[f][i][j], ac, bc)});
-          dests.emplace_back(node, faces[f].c_tag(i, j));
+                                 mat_ref(store, node, cur_b[f][i][j], ac, bc),
+                                 GemmDest::combine(faces[f].c_tag(i, j))});
         }
       }
     }
-    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
-      store.combine(dests[idx].first, dests[idx].second,
-                    make_payload(std::move(m).take()));
-    });
+    run_gemm_jobs(machine, std::move(jobs));
     if (step + 1 == q) break;
 
     // Ring position along a row is the column coordinate; along a column it
@@ -243,7 +403,8 @@ void cannon_core(Machine& machine, const GridFace& face,
 void stage_blocks(Machine& machine, const Matrix& a, std::uint32_t bh,
                   std::uint32_t bw,
                   const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
-                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag) {
+                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag,
+                  SemOperand op) {
   HCMM_CHECK(a.rows() % bh == 0 && a.cols() % bw == 0,
              "stage_blocks: " << a.rows() << "x" << a.cols()
                               << " not divisible into " << bh << "x" << bw
@@ -252,14 +413,14 @@ void stage_blocks(Machine& machine, const Matrix& a, std::uint32_t bh,
   const std::size_t w = a.cols() / bw;
   for (std::uint32_t bi = 0; bi < bh; ++bi) {
     for (std::uint32_t bj = 0; bj < bw; ++bj) {
-      put_mat(machine.store(), placer(bi, bj), tag(bi, bj),
-              a.block(bi * h, bj * w, h, w));
+      stage_region(machine, placer(bi, bj), tag(bi, bj), op, a, bi * h,
+                   bj * w, h, w);
     }
   }
 }
 
 Matrix gather_blocks(
-    const Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
+    Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
     const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
     const std::function<Tag(std::uint32_t, std::uint32_t)>& tag) {
   Matrix out(n, n);
@@ -267,8 +428,8 @@ Matrix gather_blocks(
   const std::size_t w = n / bw;
   for (std::uint32_t bi = 0; bi < bh; ++bi) {
     for (std::uint32_t bj = 0; bj < bw; ++bj) {
-      paste_block(machine.store(), placer(bi, bj), tag(bi, bj), h, w, out,
-                  bi * h, bj * w);
+      collect_block(machine, placer(bi, bj), tag(bi, bj), h, w, out, bi * h,
+                    bj * w);
     }
   }
   return out;

@@ -51,9 +51,10 @@ class Diag2D final : public DistributedMatmul {
     auto tc_piece = [](std::uint32_t i) { return tag3(kSpaceC, i); };
     for (std::uint32_t j = 0; j < q; ++j) {
       const NodeId diag = grid.node(j, j);
-      put_mat(store, diag, ta(j), a.block(0, j * w, n, w));
+      stage_region(machine, diag, ta(j), SemOperand::kA, a, 0, j * w, n, w);
       for (std::uint32_t i = 0; i < q; ++i) {
-        put_mat(store, diag, tb_piece(j, i), b.block(j * w, i * w, w, w));
+        stage_region(machine, diag, tb_piece(j, i), SemOperand::kB, b, j * w,
+                     i * w, w, w);
       }
     }
     machine.reset_stats();
@@ -91,18 +92,15 @@ class Diag2D final : public DistributedMatmul {
     machine.begin_phase("compute");
     {
       std::vector<GemmJob> jobs;
-      std::vector<std::pair<NodeId, Tag>> dests;
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId nd = grid.node(i, j);
           jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(j), n, w),
-                                 mat_ref(store, nd, tb_piece(j, i), w, w)});
-          dests.emplace_back(nd, tc_piece(i));
+                                 mat_ref(store, nd, tb_piece(j, i), w, w),
+                                 GemmDest::put(tc_piece(i))});
         }
       }
-      run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
-        put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
-      });
+      run_gemm_jobs(machine, std::move(jobs));
     }
 
     // Phase 3: reduce C's column group i across processor row i onto the
@@ -120,7 +118,8 @@ class Diag2D final : public DistributedMatmul {
     RunResult out;
     out.c = Matrix(n, n);
     for (std::uint32_t i = 0; i < q; ++i) {
-      paste_block(store, grid.node(i, i), tc_piece(i), n, w, out.c, 0, i * w);
+      collect_block(machine, grid.node(i, i), tc_piece(i), n, w, out.c, 0,
+                    i * w);
     }
     out.report = machine.report();
     return out;

@@ -49,8 +49,8 @@ class Diag3D final : public DistributedMatmul {
     auto diag_node = [&grid](std::uint32_t k, std::uint32_t i) {
       return grid.node(i, i, k);
     };
-    stage_blocks(machine, a, q, q, diag_node, ta);
-    stage_blocks(machine, b, q, q, diag_node, tb);
+    stage_blocks(machine, a, q, q, diag_node, ta, SemOperand::kA);
+    stage_blocks(machine, b, q, q, diag_node, tb, SemOperand::kB);
     machine.reset_stats();
 
     // Phase 1: p_{i,i,k} sends B_{k,i} to p_{i,k,k}.  Each message travels
@@ -96,20 +96,17 @@ class Diag3D final : public DistributedMatmul {
     // Compute: p_{i,j,k} forms I_{k,i} = A_{k,j} * B_{j,i}.
     machine.begin_phase("compute");
     std::vector<GemmJob> jobs;
-    std::vector<std::pair<NodeId, Tag>> dests;
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
           jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(k, j), blk, blk),
-                                 mat_ref(store, nd, tb(j, i), blk, blk)});
-          dests.emplace_back(nd, tc(k, i));
+                                 mat_ref(store, nd, tb(j, i), blk, blk),
+                                 GemmDest::put(tc(k, i))});
         }
       }
     }
-    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
-      put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
-    });
+    run_gemm_jobs(machine, std::move(jobs));
 
     // Phase 3: all-to-one reduction along y onto the diagonal plane.
     machine.begin_phase("reduce");

@@ -64,7 +64,6 @@ class Diag3DCannon final : public DistributedMatmul {
     const auto [sigma, rho] = *split_for(p);
     const SuperGrid sg(sigma, rho);
     const std::size_t bs = n / (static_cast<std::size_t>(sigma) * rho);
-    DataStore& store = machine.store();
 
     // Superblock (r, c) of A, sub-block (u, v): tag packs (r*sigma + c).
     auto ta = [sigma = sigma](std::uint32_t r, std::uint32_t c,
@@ -79,10 +78,12 @@ class Diag3DCannon final : public DistributedMatmul {
                               std::uint32_t u, std::uint32_t v) {
       return tag3(kSpaceI, r * sigma + c, u, v);
     };
-    auto sub = [&](const Matrix& src, std::uint32_t r, std::uint32_t c,
-                   std::uint32_t u, std::uint32_t v) {
-      return src.block((static_cast<std::size_t>(r) * rho + u) * bs,
-                       (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
+    auto stage_sub = [&](const Matrix& src, SemOperand op, Tag tag, NodeId nd,
+                         std::uint32_t r, std::uint32_t c, std::uint32_t u,
+                         std::uint32_t v) {
+      stage_region(machine, nd, tag, op, src,
+                   (static_cast<std::size_t>(r) * rho + u) * bs,
+                   (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
     };
 
     // Stage on the diagonal supernode plane: supernode (i,i,k) holds the
@@ -92,8 +93,8 @@ class Diag3DCannon final : public DistributedMatmul {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
             const NodeId nd = sg.node(u, v, i, i, k);
-            put_mat(store, nd, ta(k, i, u, v), sub(a, k, i, u, v));
-            put_mat(store, nd, tb(k, i, u, v), sub(b, k, i, u, v));
+            stage_sub(a, SemOperand::kA, ta(k, i, u, v), nd, k, i, u, v);
+            stage_sub(b, SemOperand::kB, tb(k, i, u, v), nd, k, i, u, v);
           }
         }
       }
@@ -202,9 +203,10 @@ class Diag3DCannon final : public DistributedMatmul {
       for (std::uint32_t k = 0; k < sigma; ++k) {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
-            paste_block(store, sg.node(u, v, i, i, k), ti(k, i, u, v), bs, bs,
-                        out.c, (static_cast<std::size_t>(k) * rho + u) * bs,
-                        (static_cast<std::size_t>(i) * rho + v) * bs);
+            collect_block(machine, sg.node(u, v, i, i, k), ti(k, i, u, v), bs,
+                          bs, out.c,
+                          (static_cast<std::size_t>(k) * rho + u) * bs,
+                          (static_cast<std::size_t>(i) * rho + v) * bs);
           }
         }
       }

@@ -44,8 +44,8 @@ class Dns final : public DistributedMatmul {
       return grid.node(i, j, 0);
     };
 
-    stage_blocks(machine, a, q, q, face_node, ta);
-    stage_blocks(machine, b, q, q, face_node, tb);
+    stage_blocks(machine, a, q, q, face_node, ta, SemOperand::kA);
+    stage_blocks(machine, b, q, q, face_node, tb, SemOperand::kB);
     machine.reset_stats();
 
     // Phase 1: A_ij to p_{i,j,j} and B_ij to p_{i,j,i}, point-to-point
@@ -99,20 +99,17 @@ class Dns final : public DistributedMatmul {
     // Compute: p_{i,j,k} multiplies A_{i,k} * B_{k,j}.
     machine.begin_phase("compute");
     std::vector<GemmJob> jobs;
-    std::vector<std::pair<NodeId, Tag>> dests;
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < q; ++j) {
         for (std::uint32_t k = 0; k < q; ++k) {
           const NodeId nd = grid.node(i, j, k);
           jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(i, k), blk, blk),
-                                 mat_ref(store, nd, tb(k, j), blk, blk)});
-          dests.emplace_back(nd, tc(i, j));
+                                 mat_ref(store, nd, tb(k, j), blk, blk),
+                                 GemmDest::put(tc(i, j))});
         }
       }
     }
-    run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
-      put_mat(store, dests[idx].first, dests[idx].second, std::move(m));
-    });
+    run_gemm_jobs(machine, std::move(jobs));
 
     // Phase 3: all-to-one reduction along z back to the face.
     machine.begin_phase("reduce");

@@ -59,7 +59,6 @@ class DnsCannon final : public DistributedMatmul {
     const auto [sigma, rho] = *split_for(p);
     const SuperGrid sg(sigma, rho);
     const std::size_t bs = n / (static_cast<std::size_t>(sigma) * rho);
-    DataStore& store = machine.store();
 
     auto ta = [sigma = sigma](std::uint32_t r, std::uint32_t c,
                               std::uint32_t u, std::uint32_t v) {
@@ -73,10 +72,12 @@ class DnsCannon final : public DistributedMatmul {
                               std::uint32_t u, std::uint32_t v) {
       return tag3(kSpaceC, r * sigma + c, u, v);
     };
-    auto sub = [&](const Matrix& src, std::uint32_t r, std::uint32_t c,
-                   std::uint32_t u, std::uint32_t v) {
-      return src.block((static_cast<std::size_t>(r) * rho + u) * bs,
-                       (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
+    auto stage_sub = [&](const Matrix& src, SemOperand op, Tag tag, NodeId nd,
+                         std::uint32_t r, std::uint32_t c, std::uint32_t u,
+                         std::uint32_t v) {
+      stage_region(machine, nd, tag, op, src,
+                   (static_cast<std::size_t>(r) * rho + u) * bs,
+                   (static_cast<std::size_t>(c) * rho + v) * bs, bs, bs);
     };
 
     // Stage on the z = 0 supernode face.
@@ -85,8 +86,8 @@ class DnsCannon final : public DistributedMatmul {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
             const NodeId nd = sg.node(u, v, i, j, 0);
-            put_mat(store, nd, ta(i, j, u, v), sub(a, i, j, u, v));
-            put_mat(store, nd, tb(i, j, u, v), sub(b, i, j, u, v));
+            stage_sub(a, SemOperand::kA, ta(i, j, u, v), nd, i, j, u, v);
+            stage_sub(b, SemOperand::kB, tb(i, j, u, v), nd, i, j, u, v);
           }
         }
       }
@@ -200,9 +201,10 @@ class DnsCannon final : public DistributedMatmul {
       for (std::uint32_t j = 0; j < sigma; ++j) {
         for (std::uint32_t u = 0; u < rho; ++u) {
           for (std::uint32_t v = 0; v < rho; ++v) {
-            paste_block(store, sg.node(u, v, i, j, 0), tc(i, j, u, v), bs, bs,
-                        out.c, (static_cast<std::size_t>(i) * rho + u) * bs,
-                        (static_cast<std::size_t>(j) * rho + v) * bs);
+            collect_block(machine, sg.node(u, v, i, j, 0), tc(i, j, u, v), bs,
+                          bs, out.c,
+                          (static_cast<std::size_t>(i) * rho + u) * bs,
+                          (static_cast<std::size_t>(j) * rho + v) * bs);
           }
         }
       }

@@ -67,8 +67,8 @@ class Hje final : public DistributedMatmul {
     auto node_of = [&grid](std::uint32_t i, std::uint32_t j) {
       return grid.node(i, j);
     };
-    stage_blocks(machine, a, q, q, node_of, ta);
-    stage_blocks(machine, b, q, q, node_of, tb);
+    stage_blocks(machine, a, q, q, node_of, ta, SemOperand::kA);
+    stage_blocks(machine, b, q, q, node_of, tb, SemOperand::kB);
     machine.reset_stats();
 
     // Current whole-block tag per node (indexed by node id).
@@ -77,7 +77,7 @@ class Hje final : public DistributedMatmul {
       for (std::uint32_t j = 0; j < q; ++j) {
         cur_a[node_of(i, j)] = ta(i, j);
         cur_b[node_of(i, j)] = tb(i, j);
-        put_mat(store, node_of(i, j), tc(i, j), Matrix(blk, blk));
+        stage_zero(machine, node_of(i, j), tc(i, j), blk, blk);
       }
     }
 
@@ -131,19 +131,19 @@ class Hje final : public DistributedMatmul {
     std::vector<std::vector<Tag>> cur_pa(p, std::vector<Tag>(g));
     std::vector<std::vector<Tag>> cur_pb(p, std::vector<Tag>(g));
     for (NodeId nd = 0; nd < p; ++nd) {
-      const Matrix am = mat_from(store, nd, cur_a[nd], blk, blk);
-      const Matrix bm = mat_from(store, nd, cur_b[nd], blk, blk);
       const auto [ai, aj] = unpack(cur_a[nd]);
       const auto [bi, bj] = unpack(cur_b[nd]);
-      store.erase(nd, cur_a[nd]);
-      store.erase(nd, cur_b[nd]);
+      std::vector<SemanticEvent::Piece> a_pieces;
+      std::vector<SemanticEvent::Piece> b_pieces;
       for (std::uint32_t l = 0; l < g; ++l) {
         const auto [lo, hi] = chunk_bounds(blk, g, l);
-        put_mat(store, nd, tpa(ai, aj, l), am.block(0, lo, blk, hi - lo));
-        put_mat(store, nd, tpb(bi, bj, l), bm.block(lo, 0, hi - lo, blk));
+        a_pieces.push_back({tpa(ai, aj, l), {0, lo, blk, hi - lo}});
+        b_pieces.push_back({tpb(bi, bj, l), {lo, 0, hi - lo, blk}});
         cur_pa[nd][l] = tpa(ai, aj, l);
         cur_pb[nd][l] = tpb(bi, bj, l);
       }
+      slice_item(machine, nd, cur_a[nd], blk, blk, a_pieces);
+      slice_item(machine, nd, cur_b[nd], blk, blk, b_pieces);
     }
 
     // Main loop: q multiply steps; between steps, piece l of A swaps across
@@ -151,30 +151,29 @@ class Hje final : public DistributedMatmul {
     // of the row field, where c_k is the Gray-code change bit of step k.
     machine.begin_phase("steps");
     for (std::uint32_t step = 0; step < q; ++step) {
-      std::vector<GemmJob> jobs;
-      std::vector<std::pair<NodeId, Tag>> dests;
+      // Group products accumulate host-side per node, then one combine
+      // lands the step's sum in the node's C block.
+      std::vector<Accum> csums;
+      csums.reserve(p);
       for (NodeId nd = 0; nd < p; ++nd) {
-        const std::uint32_t v = nd & (q - 1);
-        const std::uint32_t u = nd >> g;
-        const Tag ct = tc(gray_decode(u), gray_decode(v));
+        csums.push_back(make_accum(machine, nd, blk, blk));
+      }
+      std::vector<GemmJob> jobs;
+      for (NodeId nd = 0; nd < p; ++nd) {
         for (std::uint32_t l = 0; l < g; ++l) {
           const auto [lo, hi] = chunk_bounds(blk, g, l);
           jobs.push_back(GemmJob{
               nd, mat_ref(store, nd, cur_pa[nd][l], blk, hi - lo),
-              mat_ref(store, nd, cur_pb[nd][l], hi - lo, blk)});
-          dests.emplace_back(nd, ct);
+              mat_ref(store, nd, cur_pb[nd][l], hi - lo, blk),
+              GemmDest::into(csums[nd])});
         }
       }
-      // Group products accumulate into the node's C block.
-      std::vector<Matrix> csums(p);
-      for (NodeId nd = 0; nd < p; ++nd) csums[nd] = Matrix(blk, blk);
-      run_gemm_jobs(machine, std::move(jobs),
-                    [&](std::size_t idx, Matrix&& m) {
-                      csums[dests[idx].first] += m;
-                    });
+      run_gemm_jobs(machine, std::move(jobs));
       for (NodeId nd = 0; nd < p; ++nd) {
-        store.combine(nd, dests[static_cast<std::size_t>(nd) * g].second,
-                      make_payload(std::move(csums[nd]).take()));
+        const std::uint32_t v = nd & (q - 1);
+        const std::uint32_t u = nd >> g;
+        flush_combine(machine, csums[nd],
+                      tc(gray_decode(u), gray_decode(v)));
       }
       if (step + 1 == q) break;
 

@@ -41,8 +41,8 @@ class Simple final : public DistributedMatmul {
     auto tb = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceB, i, j); };
     auto tc = [](std::uint32_t i, std::uint32_t j) { return tag3(kSpaceC, i, j); };
 
-    stage_blocks(machine, a, q, q, node, ta);
-    stage_blocks(machine, b, q, q, node, tb);
+    stage_blocks(machine, a, q, q, node, ta, SemOperand::kA);
+    stage_blocks(machine, b, q, q, node, tb, SemOperand::kB);
     machine.reset_stats();
 
     // Phase 1: all-to-all broadcast of A inside every row; phase 2: of B
@@ -85,20 +85,16 @@ class Simple final : public DistributedMatmul {
     DataStore& store = machine.store();
     for (std::uint32_t k = 0; k < q; ++k) {
       std::vector<GemmJob> jobs;
-      std::vector<std::pair<NodeId, Tag>> dests;
       for (std::uint32_t i = 0; i < q; ++i) {
         for (std::uint32_t j = 0; j < q; ++j) {
           const NodeId nd = node(i, j);
-          if (k == 0) put_mat(store, nd, tc(i, j), Matrix(blk, blk));
+          if (k == 0) stage_zero(machine, nd, tc(i, j), blk, blk);
           jobs.push_back(GemmJob{nd, mat_ref(store, nd, ta(i, k), blk, blk),
-                                 mat_ref(store, nd, tb(k, j), blk, blk)});
-          dests.emplace_back(nd, tc(i, j));
+                                 mat_ref(store, nd, tb(k, j), blk, blk),
+                                 GemmDest::combine(tc(i, j))});
         }
       }
-      run_gemm_jobs(machine, std::move(jobs), [&](std::size_t idx, Matrix&& m) {
-        store.combine(dests[idx].first, dests[idx].second,
-                      make_payload(std::move(m).take()));
-      });
+      run_gemm_jobs(machine, std::move(jobs));
     }
 
     RunResult out;

@@ -1,0 +1,113 @@
+#include "hcmm/analysis/rules.hpp"
+
+#include <algorithm>
+
+namespace hcmm::analysis {
+namespace {
+
+// Sorted by id (find_rule binary-searches).
+constexpr RuleMeta kRules[] = {
+    {"alias.combine-shared", "AliasCombineShared",
+     "A combine targeted a buffer that is still aliased by another live item",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.duplicate-item", "AliasDuplicateItem",
+     "An item was created under a (node, tag) that is already live",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.missing-item", "AliasMissingItem",
+     "An operation referenced a (node, tag) with no live item",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.nested-split", "AliasNestedSplit",
+     "A split part was split again before its parent join",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.part-leak", "AliasPartLeak",
+     "A split part was never rejoined or erased",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.split-size-mismatch", "AliasSplitSizeMismatch",
+     "Split part sizes do not sum to the parent item's words",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"alias.use-after-join", "AliasUseAfterJoin",
+     "A split part was used after its join consumed it",
+     "docs/ANALYSIS.md#alias-and-lifetime-verification"},
+    {"cost.inexact", "CostInexact",
+     "Static cost extraction saw a transferred tag absent from the placement",
+     "docs/ANALYSIS.md#table-1-builder-audit"},
+    {"cost.startup-mismatch", "CostStartupMismatch",
+     "A collective builder's static start-up count diverged from Table 1",
+     "docs/ANALYSIS.md#table-1-builder-audit"},
+    {"cost.table2-divergence", "CostTable2Divergence",
+     "An algorithm's end-to-end static (a, b) left the calibrated band "
+     "around its Table 2 closed form",
+     "docs/ANALYSIS.md#table-2-closed-form-audit"},
+    {"cost.word-mismatch", "CostWordMismatch",
+     "A collective builder's static word cost diverged from Table 1",
+     "docs/ANALYSIS.md#table-1-builder-audit"},
+    {"dataflow.absent-tag", "DataflowAbsentTag",
+     "A transfer sources a tag that is not present at its source node",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.combine-into-absent", "DataflowCombineIntoAbsent",
+     "A combine transfer targets a node holding no item under the tag",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.combine-size-mismatch", "DataflowCombineSizeMismatch",
+     "A combine transfer's payload size differs from its target item",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.dead-transfer", "DataflowDeadTransfer",
+     "A delivered item is overwritten before anything reads it",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.duplicate-delivery", "DataflowDuplicateDelivery",
+     "Two non-combine transfers deliver the same (node, tag) in one round",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.final-missing", "DataflowFinalMissing",
+     "A tag expected live at schedule end is absent",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"dataflow.use-after-move", "DataflowUseAfterMove",
+     "A transfer sources a tag already consumed by a move in the same round",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"plane.divergence", "PlaneDivergence",
+     "Trace-predicted data-plane stats diverge from the store's counters",
+     "docs/ANALYSIS.md#data-plane-cross-validation"},
+    {"port.double-recv", "PortDoubleRecv",
+     "A node receives twice in one round under the one-port model",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"port.double-send", "PortDoubleSend",
+     "A node sends twice in one round under the one-port model",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"race.conflicting-access", "RaceConflictingAccess",
+     "Two accesses to one buffer are unordered by happens-before",
+     "docs/ANALYSIS.md#happens-before-race-detection"},
+    {"semantic.duplicate-product", "SemanticDuplicateProduct",
+     "Some scalar product a_ik*b_kj contributed to C more than once",
+     "docs/ANALYSIS.md#semantic-dataflow-certification"},
+    {"semantic.misplaced-product", "SemanticMisplacedProduct",
+     "A product term landed at C coordinates its factors do not dictate",
+     "docs/ANALYSIS.md#semantic-dataflow-certification"},
+    {"semantic.missing-product", "SemanticMissingProduct",
+     "Some scalar product a_ik*b_kj never reached C",
+     "docs/ANALYSIS.md#semantic-dataflow-certification"},
+    {"semantic.operand-mismatch", "SemanticOperandMismatch",
+     "A GEMM operand's provenance does not form the operand rectangle the "
+     "multiplication needs, or a collected item is not a product multiset",
+     "docs/ANALYSIS.md#semantic-dataflow-certification"},
+    {"topology.empty-tags", "TopologyEmptyTags",
+     "A transfer bundles no tags",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"topology.endpoint-range", "TopologyEndpointRange",
+     "A transfer endpoint lies outside the machine's node range",
+     "docs/ANALYSIS.md#schedule-passes"},
+    {"topology.not-a-link", "TopologyNotALink",
+     "A transfer's endpoints are not hypercube neighbors",
+     "docs/ANALYSIS.md#schedule-passes"},
+};
+
+}  // namespace
+
+std::span<const RuleMeta> all_rules() { return kRules; }
+
+const RuleMeta* find_rule(std::string_view id) {
+  const auto it = std::lower_bound(
+      std::begin(kRules), std::end(kRules), id,
+      [](const RuleMeta& r, std::string_view v) { return r.id < v; });
+  if (it != std::end(kRules) && it->id == id) return &*it;
+  return nullptr;
+}
+
+}  // namespace hcmm::analysis

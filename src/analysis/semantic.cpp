@@ -1,0 +1,914 @@
+// Semantic dataflow certification (see analysis/semantic.hpp).
+//
+// The interpreter walks the RunTrace exactly like analysis/trace.cpp's
+// physical replay — store ops in order, schedules round by round with
+// pre-round source capture — but over a heap of *symbolic* values:
+//
+//   Opaque       — words with no tracked provenance (ABFT checksums, items
+//                  put outside the declarative helpers)
+//   Region       — a rectangle of operand A or B in absolute element
+//                  coordinates (stage_region)
+//   Prods        — a multiset of product-term boxes, each the scalar
+//                  products a_{ik} b_{kj} of one (i-range, k-range, j-range)
+//                  triple at a local rectangle of the item (GEMM results,
+//                  zero-staged accumulators, combines thereof)
+//   Frag         — a word range of a parent value (chunked transfers); the
+//                  parent snapshot rides along so a later join restores it
+//   Concat       — ordered juxtaposition of values a join could not merge
+//
+// Values are immutable and shared; every trace operation maps to a total
+// function on them.  Declarations bind to the store ops that follow them:
+// the trusted helpers in algo/detail.cpp emit each declaration immediately
+// before performing exactly the physical operation it describes, so a
+// (node, tag)-keyed pending map pairs them up without any lookahead.
+
+#include "hcmm/analysis/semantic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/store.hpp"
+
+namespace hcmm::analysis {
+namespace {
+
+using Rect = SemanticEvent::Rect;
+using Piece = SemanticEvent::Piece;
+
+std::string hex_tag(Tag t) {
+  std::ostringstream os;
+  os << "0x" << std::hex << t;
+  return os.str();
+}
+
+std::string rect_str(const Rect& r) {
+  std::ostringstream os;
+  os << "[" << r.r0 << "," << r.r0 + r.rows << ")x[" << r.c0 << ","
+     << r.c0 + r.cols << ")";
+  return os.str();
+}
+
+/// One product-term box: the scalar products a_{ik} b_{kj} for
+/// i in [gr, gr+rows), j in [gc, gc+cols), k in [k0, k1), laid out at local
+/// rectangle (lr, lc, rows, cols) of the item that carries them.
+struct Term {
+  std::size_t lr = 0, lc = 0, rows = 0, cols = 0;
+  std::size_t gr = 0, gc = 0;
+  std::size_t k0 = 0, k1 = 0;
+
+  friend bool operator<(const Term& a, const Term& b) {
+    return std::tie(a.lr, a.lc, a.rows, a.cols, a.gr, a.gc, a.k0, a.k1) <
+           std::tie(b.lr, b.lc, b.rows, b.cols, b.gr, b.gc, b.k0, b.k1);
+  }
+  friend bool operator==(const Term& a, const Term& b) {
+    return std::tie(a.lr, a.lc, a.rows, a.cols, a.gr, a.gc, a.k0, a.k1) ==
+           std::tie(b.lr, b.lc, b.rows, b.cols, b.gr, b.gc, b.k0, b.k1);
+  }
+};
+
+struct SymVal;
+using SymPtr = std::shared_ptr<const SymVal>;
+
+struct SymVal {
+  enum class Kind : std::uint8_t { kOpaque, kRegion, kProds, kConcat, kFrag };
+  Kind kind = Kind::kOpaque;
+  std::size_t words = 0;
+
+  SemOperand op = SemOperand::kA;  ///< kRegion
+  Rect rect{};                     ///< kRegion: operand rectangle
+  std::size_t rows = 0, cols = 0;  ///< kProds: item shape
+  std::vector<Term> terms;         ///< kProds, kept sorted (canonical form)
+  std::vector<SymPtr> pieces;      ///< kConcat
+  SymPtr parent;                   ///< kFrag
+  std::size_t off = 0;             ///< kFrag: word offset into parent
+};
+
+using VK = SymVal::Kind;
+
+SymPtr make_opaque(std::size_t words) {
+  auto v = std::make_shared<SymVal>();
+  v->words = words;
+  return v;
+}
+
+SymPtr make_region(SemOperand op, const Rect& r) {
+  auto v = std::make_shared<SymVal>();
+  v->kind = VK::kRegion;
+  v->op = op;
+  v->rect = r;
+  v->words = r.rows * r.cols;
+  return v;
+}
+
+SymPtr make_prods(std::size_t rows, std::size_t cols, std::vector<Term> ts) {
+  auto v = std::make_shared<SymVal>();
+  v->kind = VK::kProds;
+  v->rows = rows;
+  v->cols = cols;
+  v->words = rows * cols;
+  std::sort(ts.begin(), ts.end());
+  v->terms = std::move(ts);
+  return v;
+}
+
+SymPtr make_concat(std::vector<SymPtr> pieces) {
+  auto v = std::make_shared<SymVal>();
+  v->kind = VK::kConcat;
+  for (const SymPtr& p : pieces) v->words += p->words;
+  v->pieces = std::move(pieces);
+  return v;
+}
+
+SymPtr make_frag(SymPtr parent, std::size_t off, std::size_t len) {
+  auto v = std::make_shared<SymVal>();
+  v->kind = VK::kFrag;
+  v->parent = std::move(parent);
+  v->off = off;
+  v->words = len;
+  return v;
+}
+
+bool rect_eq(const Rect& a, const Rect& b) {
+  return a.r0 == b.r0 && a.c0 == b.c0 && a.rows == b.rows && a.cols == b.cols;
+}
+
+/// Structural equality.  Prods terms are sorted at construction, so two
+/// values built from the same multiset through different combine orders
+/// compare equal — which is what lets chunked reduces rejoin exactly.
+bool sym_equal(const SymPtr& a, const SymPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->words != b->words) return false;
+  switch (a->kind) {
+    case VK::kOpaque:
+      return true;
+    case VK::kRegion:
+      return a->op == b->op && rect_eq(a->rect, b->rect);
+    case VK::kProds:
+      return a->rows == b->rows && a->cols == b->cols && a->terms == b->terms;
+    case VK::kConcat:
+      if (a->pieces.size() != b->pieces.size()) return false;
+      for (std::size_t i = 0; i < a->pieces.size(); ++i) {
+        if (!sym_equal(a->pieces[i], b->pieces[i])) return false;
+      }
+      return true;
+    case VK::kFrag:
+      return a->off == b->off && sym_equal(a->parent, b->parent);
+  }
+  return false;
+}
+
+/// Word range [off, off+len) of @p v — a split part.  Partial ranges stay
+/// Frags (never eagerly restricted), so a later join of sibling parts can
+/// always recognize the common parent and restore it exactly.
+SymPtr sub_words(const SymPtr& v, std::size_t off, std::size_t len) {
+  if (off == 0 && len == v->words) return v;
+  if (v->kind == VK::kOpaque) return make_opaque(len);
+  if (v->kind == VK::kFrag) return make_frag(v->parent, v->off + off, len);
+  return make_frag(v, off, len);
+}
+
+/// Sub-rectangle @p p of a shaped value — a slice_item / flush_slices piece.
+SymPtr sub_rect(const SymPtr& v, const Rect& p) {
+  switch (v->kind) {
+    case VK::kRegion:
+      return make_region(
+          v->op, {v->rect.r0 + p.r0, v->rect.c0 + p.c0, p.rows, p.cols});
+    case VK::kProds: {
+      std::vector<Term> ts;
+      for (const Term& t : v->terms) {
+        const std::size_t rlo = std::max(t.lr, p.r0);
+        const std::size_t rhi = std::min(t.lr + t.rows, p.r0 + p.rows);
+        const std::size_t clo = std::max(t.lc, p.c0);
+        const std::size_t chi = std::min(t.lc + t.cols, p.c0 + p.cols);
+        if (rlo >= rhi || clo >= chi) continue;
+        Term nt;
+        nt.lr = rlo - p.r0;
+        nt.lc = clo - p.c0;
+        nt.rows = rhi - rlo;
+        nt.cols = chi - clo;
+        nt.gr = t.gr + (rlo - t.lr);
+        nt.gc = t.gc + (clo - t.lc);
+        nt.k0 = t.k0;
+        nt.k1 = t.k1;
+        ts.push_back(nt);
+      }
+      return make_prods(p.rows, p.cols, std::move(ts));
+    }
+    default:
+      return make_opaque(p.rows * p.cols);
+  }
+}
+
+/// Element-wise sum.  Product multisets union; equal-range fragments push
+/// the combine down to their parents (chunked reduces); anything touching
+/// an untracked value stays untracked.
+SymPtr combine_vals(const SymPtr& x, const SymPtr& y) {
+  if (x == nullptr) return y;
+  if (y == nullptr) return x;
+  if (x->words != y->words) return make_opaque(std::max(x->words, y->words));
+  if (x->kind == VK::kProds && y->kind == VK::kProds && x->rows == y->rows &&
+      x->cols == y->cols) {
+    std::vector<Term> ts = x->terms;
+    ts.insert(ts.end(), y->terms.begin(), y->terms.end());
+    return make_prods(x->rows, x->cols, std::move(ts));
+  }
+  if (x->kind == VK::kFrag && y->kind == VK::kFrag && x->off == y->off &&
+      x->parent->words == y->parent->words) {
+    return sub_words(combine_vals(x->parent, y->parent), x->off, x->words);
+  }
+  if (x->kind == VK::kConcat && y->kind == VK::kConcat &&
+      x->pieces.size() == y->pieces.size()) {
+    std::vector<SymPtr> ps;
+    ps.reserve(x->pieces.size());
+    for (std::size_t i = 0; i < x->pieces.size(); ++i) {
+      if (x->pieces[i]->words != y->pieces[i]->words) {
+        return make_opaque(x->words);
+      }
+      ps.push_back(combine_vals(x->pieces[i], y->pieces[i]));
+    }
+    return make_concat(std::move(ps));
+  }
+  return make_opaque(x->words);
+}
+
+/// Merge two adjacent join parts into one value, or nullptr if they do not
+/// compose: sibling fragments of one parent re-fuse (restoring the parent
+/// when the last sibling arrives), regions stack vertically, product
+/// multisets stack with rebased local rows.
+SymPtr merge2(const SymPtr& x, const SymPtr& y) {
+  if (x->kind == VK::kOpaque && y->kind == VK::kOpaque) {
+    return make_opaque(x->words + y->words);
+  }
+  if (x->kind == VK::kFrag && y->kind == VK::kFrag &&
+      y->off == x->off + x->words && sym_equal(x->parent, y->parent)) {
+    return sub_words(x->parent, x->off, x->words + y->words);
+  }
+  if (x->kind == VK::kRegion && y->kind == VK::kRegion && x->op == y->op &&
+      x->rect.c0 == y->rect.c0 && x->rect.cols == y->rect.cols &&
+      y->rect.r0 == x->rect.r0 + x->rect.rows) {
+    return make_region(
+        x->op, {x->rect.r0, x->rect.c0, x->rect.rows + y->rect.rows,
+                x->rect.cols});
+  }
+  if (x->kind == VK::kProds && y->kind == VK::kProds && x->cols == y->cols) {
+    std::vector<Term> ts = x->terms;
+    ts.reserve(ts.size() + y->terms.size());
+    for (Term t : y->terms) {
+      t.lr += x->rows;
+      ts.push_back(t);
+    }
+    return make_prods(x->rows + y->rows, x->cols, std::move(ts));
+  }
+  return nullptr;
+}
+
+SymPtr join_vals(const std::vector<SymPtr>& parts) {
+  std::vector<SymPtr> flat;
+  for (const SymPtr& p : parts) {
+    if (p->kind == VK::kConcat) {
+      flat.insert(flat.end(), p->pieces.begin(), p->pieces.end());
+    } else {
+      flat.push_back(p);
+    }
+  }
+  if (flat.empty()) return make_opaque(0);
+  std::vector<SymPtr> acc;
+  for (const SymPtr& p : flat) {
+    if (!acc.empty()) {
+      if (SymPtr m = merge2(acc.back(), p)) {
+        acc.back() = std::move(m);
+        continue;
+      }
+    }
+    acc.push_back(p);
+  }
+  return acc.size() == 1 ? acc[0] : make_concat(std::move(acc));
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> value_shape(
+    const SymPtr& v) {
+  if (v->kind == VK::kRegion) return std::pair{v->rect.rows, v->rect.cols};
+  if (v->kind == VK::kProds) return std::pair{v->rows, v->cols};
+  return std::nullopt;
+}
+
+constexpr const char* kOperandMismatch = "semantic.operand-mismatch";
+constexpr const char* kMisplaced = "semantic.misplaced-product";
+constexpr const char* kMissing = "semantic.missing-product";
+constexpr const char* kDuplicate = "semantic.duplicate-product";
+
+/// Per-code cap: a single upstream defect cascades (every downstream GEMM
+/// and collect sees the poisoned value), and the coverage check can fault
+/// many cells; past the cap one suppression notice replaces the flood.
+constexpr std::size_t kMaxPerCode = 8;
+
+class SemInterp {
+ public:
+  SemInterp(const RunTrace& trace, DiagnosticList& out)
+      : trace_(trace), out_(out) {}
+
+  SemanticSummary run() {
+    for (std::size_t ei = 0; ei < trace_.events.size(); ++ei) {
+      const TraceEvent& ev = trace_.events[ei];
+      TraceLoc loc;
+      loc.event = ei;
+      switch (ev.kind) {
+        case TraceEvent::Kind::kStoreOp:
+          apply_store(ev.store, loc);
+          break;
+        case TraceEvent::Kind::kSchedule:
+          apply_schedule(trace_.schedules[ev.schedule], loc);
+          break;
+        case TraceEvent::Kind::kSemantic:
+          apply_semantic(ev.sem, loc);
+          break;
+        case TraceEvent::Kind::kPhase:
+        case TraceEvent::Kind::kGemmBatch:
+          break;
+      }
+    }
+    check_coverage();
+    summary_.n = n_;
+    return summary_;
+  }
+
+ private:
+  using Key = std::pair<NodeId, Tag>;
+
+  void diag(const char* code, std::string msg, std::string hint,
+            const TraceLoc& loc) {
+    summary_.clean = false;
+    std::size_t& count = diag_count_[code];
+    count += 1;
+    if (count > kMaxPerCode) return;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "semantic";
+    d.code = code;
+    // Trace diagnostics locate by event index (round field) and, inside a
+    // schedule event, the (round, transfer) via the transfer field.
+    d.round = loc.event;
+    d.transfer = loc.transfer;
+    d.message = std::move(msg);
+    if (count == kMaxPerCode) {
+      d.message += " (further " + std::string(code) + " suppressed)";
+    }
+    d.hint = std::move(hint);
+    out_.add(std::move(d));
+  }
+
+  SymPtr take_pending(std::map<Key, SymPtr>& pend, const Key& key) {
+    const auto it = pend.find(key);
+    if (it == pend.end()) return nullptr;
+    SymPtr v = std::move(it->second);
+    pend.erase(it);
+    return v;
+  }
+
+  [[nodiscard]] SymPtr lookup(NodeId node, Tag tag) const {
+    const auto it = heap_.find(Key{node, tag});
+    return it == heap_.end() ? nullptr : it->second;
+  }
+
+  // -- store ops -----------------------------------------------------------
+
+  void apply_store(const StoreEvent& ev, const TraceLoc& loc) {
+    const Key key{ev.node, ev.tag};
+    switch (ev.kind) {
+      case StoreEvent::Kind::kPut:
+      case StoreEvent::Kind::kPutShared: {
+        SymPtr v = take_pending(pend_put_, key);
+        if (v == nullptr || v->words != ev.words) v = make_opaque(ev.words);
+        heap_[key] = std::move(v);
+        break;
+      }
+      case StoreEvent::Kind::kErase:
+        heap_.erase(key);
+        break;
+      case StoreEvent::Kind::kSplit: {
+        SymPtr parent = lookup(ev.node, ev.tag);
+        if (parent == nullptr) parent = make_opaque(ev.words);
+        std::vector<std::size_t> sizes = ev.sizes;
+        if (sizes.size() != ev.parts.size()) {
+          sizes.resize(ev.parts.size());
+          for (std::size_t i = 0; i < ev.parts.size(); ++i) {
+            const auto [lo, hi] = chunk_bounds(ev.words, ev.parts.size(), i);
+            sizes[i] = hi - lo;
+          }
+        }
+        std::size_t total = 0;
+        for (const std::size_t s : sizes) total += s;
+        if (total != parent->words) parent = make_opaque(total);
+        heap_.erase(key);
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < ev.parts.size(); ++i) {
+          heap_[Key{ev.node, ev.parts[i]}] = sub_words(parent, off, sizes[i]);
+          off += sizes[i];
+        }
+        break;
+      }
+      case StoreEvent::Kind::kJoin: {
+        std::vector<SymPtr> vals;
+        vals.reserve(ev.parts.size());
+        bool complete = true;
+        for (const Tag part : ev.parts) {
+          SymPtr v = lookup(ev.node, part);
+          if (v == nullptr) complete = false;
+          vals.push_back(std::move(v));
+          heap_.erase(Key{ev.node, part});
+        }
+        SymPtr joined =
+            complete ? join_vals(vals) : make_opaque(ev.words);
+        if (joined->words != ev.words) joined = make_opaque(ev.words);
+        heap_[key] = std::move(joined);
+        break;
+      }
+      case StoreEvent::Kind::kCombineInPlace:
+      case StoreEvent::Kind::kCombineCopied: {
+        const auto it = heap_.find(key);
+        if (it == heap_.end()) break;
+        SymPtr incoming = take_pending(pend_combine_, key);
+        if (incoming == nullptr) incoming = make_opaque(ev.words);
+        it->second = combine_vals(it->second, incoming);
+        break;
+      }
+      case StoreEvent::Kind::kHostCopy:
+      case StoreEvent::Kind::kHostAlias:
+        break;
+    }
+    (void)loc;
+  }
+
+  // -- schedules (mirrors trace.cpp: reads see pre-round state) ------------
+
+  void apply_schedule(const Schedule& s, TraceLoc loc) {
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      loc.round = r;
+      apply_round(s.rounds[r], loc);
+    }
+  }
+
+  void apply_round(const Round& round, const TraceLoc& loc) {
+    struct Delivery {
+      NodeId dst = 0;
+      Tag tag = 0;
+      SymPtr v;
+      bool combine = false;
+    };
+    std::vector<Delivery> deliveries;
+    std::vector<Key> erasures;
+    for (const Transfer& t : round.transfers) {
+      for (const Tag tag : t.tags) {
+        deliveries.push_back({t.dst, tag, lookup(t.src, tag), t.combine});
+        if (t.move_src) erasures.emplace_back(t.src, tag);
+      }
+    }
+    for (const Key& k : erasures) heap_.erase(k);
+    for (Delivery& d : deliveries) {
+      if (d.v == nullptr) continue;
+      if (d.combine) {
+        const auto it = heap_.find(Key{d.dst, d.tag});
+        if (it != heap_.end()) {
+          it->second = combine_vals(it->second, d.v);
+        }
+      } else {
+        heap_[Key{d.dst, d.tag}] = std::move(d.v);
+      }
+    }
+    (void)loc;
+  }
+
+  // -- semantic declarations -----------------------------------------------
+
+  void apply_semantic(const SemanticEvent& s, const TraceLoc& loc) {
+    switch (s.kind) {
+      case SemanticEvent::Kind::kStage:
+        n_ = std::max({n_, s.rect.r0 + s.rect.rows, s.rect.c0 + s.rect.cols});
+        pend_put_[Key{s.node, s.tag}] = make_region(s.op, s.rect);
+        break;
+      case SemanticEvent::Kind::kStageZero:
+        pend_put_[Key{s.node, s.tag}] =
+            make_prods(s.rect.rows, s.rect.cols, {});
+        break;
+      case SemanticEvent::Kind::kSlice:
+        apply_slice(s, loc);
+        break;
+      case SemanticEvent::Kind::kGemm:
+        apply_gemm(s, loc);
+        break;
+      case SemanticEvent::Kind::kAccumFlushSlices: {
+        const SymPtr v = take_accum(s.accum_id, s.rect);
+        for (const Piece& pc : s.pieces) {
+          pend_put_[Key{s.node, pc.tag}] = sub_rect(v, pc.rect);
+        }
+        break;
+      }
+      case SemanticEvent::Kind::kAccumFlushCombine:
+        pend_combine_[Key{s.node, s.tag}] = take_accum(s.accum_id, s.rect);
+        break;
+      case SemanticEvent::Kind::kCollect:
+        apply_collect(s, loc);
+        break;
+    }
+  }
+
+  SymPtr take_accum(std::uint64_t id, const Rect& shape) {
+    const auto it = accums_.find(id);
+    if (it == accums_.end()) return make_prods(shape.rows, shape.cols, {});
+    SymPtr v = std::move(it->second);
+    accums_.erase(it);
+    return v;
+  }
+
+  void apply_slice(const SemanticEvent& s, const TraceLoc& loc) {
+    const SymPtr v = lookup(s.node, s.tag);
+    if (v == nullptr) return;  // untracked source; pieces fall to Opaque
+    if (const auto sh = value_shape(v);
+        sh && (sh->first != s.rect.rows || sh->second != s.rect.cols)) {
+      diag(kOperandMismatch,
+           "sliced item " + hex_tag(s.tag) + " on node " +
+               std::to_string(s.node) + " declared " +
+               std::to_string(s.rect.rows) + "x" +
+               std::to_string(s.rect.cols) + " but carries a " +
+               std::to_string(sh->first) + "x" + std::to_string(sh->second) +
+               " value",
+           "make the slice declaration match the staged shape", loc);
+      return;
+    }
+    for (const Piece& pc : s.pieces) {
+      pend_put_[Key{s.node, pc.tag}] = sub_rect(v, pc.rect);
+    }
+  }
+
+  /// One GEMM operand resolved to its global coordinates: pieces sorted by
+  /// column offset, tiling [0, cols) contiguously, all sharing row start r0.
+  struct ResolvedOp {
+    std::size_t rows = 0, cols = 0;
+    std::size_t r0 = 0;
+    struct Pc {
+      std::size_t off = 0;  ///< column offset within the operand
+      Rect rect{};          ///< global region the piece covers
+    };
+    std::vector<Pc> pieces;
+  };
+
+  std::optional<ResolvedOp> resolve_operand(NodeId node,
+                                            const SemanticEvent::Operand& o,
+                                            SemOperand which, const char* side,
+                                            const TraceLoc& loc) {
+    const char* want = which == SemOperand::kA ? "A" : "B";
+    if (o.srcs.empty()) {
+      diag(kOperandMismatch,
+           std::string("GEMM ") + side + " operand on node " +
+               std::to_string(node) + " has no tracked provenance",
+           "build operands with mat_ref/mat_concat_cols, not mat_own", loc);
+      return std::nullopt;
+    }
+    ResolvedOp r;
+    r.rows = o.rows;
+    r.cols = o.cols;
+    for (const auto& [tag, off] : o.srcs) {
+      const SymPtr v = lookup(node, tag);
+      if (v == nullptr) {
+        diag(kOperandMismatch,
+             std::string("GEMM ") + side + " operand reads item " +
+                 hex_tag(tag) + " absent from node " + std::to_string(node),
+             "the item was never delivered, or was erased before use", loc);
+        return std::nullopt;
+      }
+      if (v->kind != VK::kRegion || v->op != which) {
+        diag(kOperandMismatch,
+             std::string("GEMM ") + side + " operand item " + hex_tag(tag) +
+                 " on node " + std::to_string(node) + " is not a region of " +
+                 want,
+             "stage the operand with stage_region and move it intact", loc);
+        return std::nullopt;
+      }
+      if (v->rect.rows != o.rows) {
+        diag(kOperandMismatch,
+             std::string("GEMM ") + side + " operand item " + hex_tag(tag) +
+                 " spans " + std::to_string(v->rect.rows) + " rows of " +
+                 want + ", operand declares " + std::to_string(o.rows),
+             "", loc);
+        return std::nullopt;
+      }
+      r.pieces.push_back({off, v->rect});
+    }
+    std::sort(r.pieces.begin(), r.pieces.end(),
+              [](const ResolvedOp::Pc& a, const ResolvedOp::Pc& b) {
+                return a.off < b.off;
+              });
+    std::size_t at = 0;
+    for (const ResolvedOp::Pc& pc : r.pieces) {
+      if (pc.off != at) {
+        diag(kOperandMismatch,
+             std::string("GEMM ") + side + " operand pieces on node " +
+                 std::to_string(node) + " do not tile its columns: gap at " +
+                 std::to_string(at),
+             "concatenate pieces contiguously with mat_concat_cols", loc);
+        return std::nullopt;
+      }
+      at += pc.rect.cols;
+      if (pc.rect.r0 != r.pieces.front().rect.r0) {
+        diag(kOperandMismatch,
+             std::string("GEMM ") + side + " operand pieces on node " +
+                 std::to_string(node) + " mix " + want + " row starts " +
+                 std::to_string(r.pieces.front().rect.r0) + " and " +
+                 std::to_string(pc.rect.r0),
+             "", loc);
+        return std::nullopt;
+      }
+    }
+    if (at != o.cols) {
+      diag(kOperandMismatch,
+           std::string("GEMM ") + side + " operand pieces on node " +
+               std::to_string(node) + " cover " + std::to_string(at) +
+               " of its " + std::to_string(o.cols) + " columns",
+           "", loc);
+      return std::nullopt;
+    }
+    r.r0 = r.pieces.front().rect.r0;
+    return r;
+  }
+
+  void apply_gemm(const SemanticEvent& s, const TraceLoc& loc) {
+    summary_.gemm_products += 1;
+    SymPtr product;
+    const auto a = resolve_operand(s.node, s.a, SemOperand::kA, "A", loc);
+    const auto b = resolve_operand(s.node, s.b, SemOperand::kB, "B", loc);
+    if (a && b) {
+      bool ok = true;
+      if (a->cols != b->rows) {
+        diag(kOperandMismatch,
+             "GEMM on node " + std::to_string(s.node) +
+                 ": inner dimensions disagree (A has " +
+                 std::to_string(a->cols) + " cols, B has " +
+                 std::to_string(b->rows) + " rows)",
+             "", loc);
+        ok = false;
+      }
+      // A's global column range must coincide with B's global row range:
+      // the product then sums a_{ik} b_{kj} over k in [b.r0, b.r0+a.cols).
+      if (ok) {
+        for (const ResolvedOp::Pc& pc : a->pieces) {
+          if (pc.rect.c0 != b->r0 + pc.off) {
+            diag(kOperandMismatch,
+                 "GEMM on node " + std::to_string(s.node) +
+                     ": A columns at offset " + std::to_string(pc.off) +
+                     " hold k=" + std::to_string(pc.rect.c0) +
+                     " but B rows supply k=" + std::to_string(b->r0 + pc.off),
+                 "pair operand blocks with matching k ranges", loc);
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        std::vector<Term> ts;
+        ts.reserve(b->pieces.size());
+        for (const ResolvedOp::Pc& pc : b->pieces) {
+          Term t;
+          t.lr = 0;
+          t.lc = pc.off;
+          t.rows = a->rows;
+          t.cols = pc.rect.cols;
+          t.gr = a->r0;
+          t.gc = pc.rect.c0;
+          t.k0 = b->r0;
+          t.k1 = b->r0 + a->cols;
+          ts.push_back(t);
+        }
+        product = make_prods(a->rows, b->cols, std::move(ts));
+      }
+    }
+    if (product == nullptr) product = make_opaque(s.a.rows * s.b.cols);
+    switch (s.dest_kind) {
+      case SemanticEvent::Dest::kPut:
+        pend_put_[Key{s.node, s.dest_tag}] = std::move(product);
+        break;
+      case SemanticEvent::Dest::kCombine:
+        pend_combine_[Key{s.node, s.dest_tag}] = std::move(product);
+        break;
+      case SemanticEvent::Dest::kAccum: {
+        const auto it = accums_.find(s.accum_id);
+        accums_[s.accum_id] = it == accums_.end()
+                                  ? std::move(product)
+                                  : combine_vals(it->second, product);
+        break;
+      }
+    }
+  }
+
+  void apply_collect(const SemanticEvent& s, const TraceLoc& loc) {
+    summary_.blocks_collected += 1;
+    const SymPtr v = lookup(s.node, s.tag);
+    if (v == nullptr) {
+      diag(kOperandMismatch,
+           "collected item " + hex_tag(s.tag) + " absent from node " +
+               std::to_string(s.node),
+           "the C block was never produced or was erased", loc);
+      return;
+    }
+    if (v->kind != VK::kProds) {
+      diag(kOperandMismatch,
+           "collected item " + hex_tag(s.tag) + " on node " +
+               std::to_string(s.node) +
+               " has untracked provenance (not a product multiset)",
+           "C blocks must flow from declared GEMM destinations", loc);
+      return;
+    }
+    if (v->rows != s.rect.rows || v->cols != s.rect.cols) {
+      diag(kOperandMismatch,
+           "collected item " + hex_tag(s.tag) + " is " +
+               std::to_string(v->rows) + "x" + std::to_string(v->cols) +
+               ", declared C block is " + rect_str(s.rect),
+           "", loc);
+      return;
+    }
+    for (const Term& t : v->terms) {
+      summary_.terms_collected += 1;
+      if (t.gr != s.rect.r0 + t.lr || t.gc != s.rect.c0 + t.lc) {
+        diag(kMisplaced,
+             "product block for C rows [" + std::to_string(t.gr) + "," +
+                 std::to_string(t.gr + t.rows) + ") cols [" +
+                 std::to_string(t.gc) + "," + std::to_string(t.gc + t.cols) +
+                 ") collected at C(" + std::to_string(s.rect.r0 + t.lr) +
+                 "," + std::to_string(s.rect.c0 + t.lc) + ") from item " +
+                 hex_tag(s.tag) + " on node " + std::to_string(s.node),
+             "collect each block at the coordinates its factors dictate",
+             loc);
+      }
+      boxes_.push_back(
+          {t.gr, t.gr + t.rows, t.gc, t.gc + t.cols, t.k0, t.k1, loc.event});
+    }
+  }
+
+  // -- exactly-once coverage -----------------------------------------------
+
+  struct Box {
+    std::size_t r0, r1, c0, c1, k0, k1;
+    std::size_t event;  ///< collect event that contributed it
+  };
+
+  void check_coverage() {
+    if (n_ == 0) return;  // no staged operands: nothing was claimed
+    std::vector<Box> bs;
+    bs.reserve(boxes_.size());
+    for (Box b : boxes_) {
+      b.r1 = std::min(b.r1, n_);
+      b.c1 = std::min(b.c1, n_);
+      b.k1 = std::min(b.k1, n_);
+      if (b.r0 < b.r1 && b.c0 < b.c1 && b.k0 < b.k1) bs.push_back(b);
+    }
+    std::vector<std::size_t> xs{0, n_}, ys{0, n_}, zs{0, n_};
+    for (const Box& b : bs) {
+      xs.push_back(b.r0);
+      xs.push_back(b.r1);
+      ys.push_back(b.c0);
+      ys.push_back(b.c1);
+      zs.push_back(b.k0);
+      zs.push_back(b.k1);
+    }
+    for (auto* v : {&xs, &ys, &zs}) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    }
+    const std::size_t nx = xs.size() - 1;
+    const std::size_t ny = ys.size() - 1;
+    const std::size_t nz = zs.size() - 1;
+    std::vector<std::uint32_t> cnt(nx * ny * nz, 0);
+    const auto cell = [&](std::size_t i, std::size_t j, std::size_t k) {
+      return (i * ny + j) * nz + k;
+    };
+    const auto span = [](const std::vector<std::size_t>& v, std::size_t lo,
+                         std::size_t hi) {
+      const auto a = std::lower_bound(v.begin(), v.end(), lo) - v.begin();
+      const auto b = std::lower_bound(v.begin(), v.end(), hi) - v.begin();
+      return std::pair<std::size_t, std::size_t>(a, b);
+    };
+    for (const Box& b : bs) {
+      const auto [i0, i1] = span(xs, b.r0, b.r1);
+      const auto [j0, j1] = span(ys, b.c0, b.c1);
+      const auto [k0, k1] = span(zs, b.k0, b.k1);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          for (std::size_t k = k0; k < k1; ++k) cnt[cell(i, j, k)] += 1;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t k = 0; k < nz; ++k) {
+          const std::uint32_t c = cnt[cell(i, j, k)];
+          if (c == 1) continue;
+          const std::string where =
+              "a[i,k]*b[k,j] for i in [" + std::to_string(xs[i]) + "," +
+              std::to_string(xs[i + 1]) + "), k in [" + std::to_string(zs[k]) +
+              "," + std::to_string(zs[k + 1]) + "), j in [" +
+              std::to_string(ys[j]) + "," + std::to_string(ys[j + 1]) + ")";
+          if (c == 0) {
+            TraceLoc loc;  // end-of-trace: no witness event
+            diag(kMissing, "products " + where + " never reached C",
+                 "some GEMM contribution was dropped or never computed", loc);
+          } else {
+            TraceLoc loc;
+            std::string events;
+            std::size_t found = 0;
+            for (const Box& b : bs) {
+              if (xs[i] >= b.r0 && xs[i] < b.r1 && ys[j] >= b.c0 &&
+                  ys[j] < b.c1 && zs[k] >= b.k0 && zs[k] < b.k1) {
+                loc.event = loc.event == kNoLoc
+                                ? b.event
+                                : std::max(loc.event, b.event);
+                events += (events.empty() ? "" : ", ") +
+                          std::to_string(b.event);
+                if (++found == 2) break;
+              }
+            }
+            diag(kDuplicate,
+                 "products " + where + " reached C " + std::to_string(c) +
+                     " times (collect events " + events + ")",
+                 "the same contribution was accumulated more than once", loc);
+          }
+        }
+      }
+    }
+  }
+
+  const RunTrace& trace_;
+  DiagnosticList& out_;
+  SemanticSummary summary_;
+  std::size_t n_ = 0;
+  std::map<Key, SymPtr> heap_;
+  std::map<Key, SymPtr> pend_put_;
+  std::map<Key, SymPtr> pend_combine_;
+  std::map<std::uint64_t, SymPtr> accums_;
+  std::vector<Box> boxes_;
+  std::map<std::string, std::size_t> diag_count_;
+};
+
+class SemanticTracePass final : public TracePass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "semantic";
+  }
+  void run(const TraceInput& in, DiagnosticList& out) const override {
+    if (in.trace != nullptr) run_semantic_pass(*in.trace, out);
+  }
+};
+
+}  // namespace
+
+SemanticSummary run_semantic_pass(const RunTrace& trace,
+                                  DiagnosticList& out) {
+  return SemInterp(trace, out).run();
+}
+
+std::unique_ptr<TracePass> make_semantic_pass() {
+  return std::make_unique<SemanticTracePass>();
+}
+
+std::string SemanticCertificate::to_string() const {
+  std::ostringstream os;
+  os << subject << " ["
+     << (port == PortModel::kOnePort ? "one-port" : "multi-port") << "] d={";
+  for (std::size_t i = 0; i < dims_checked.size(); ++i) {
+    os << (i != 0 ? "," : "") << dims_checked[i];
+  }
+  os << "} exactly-once: " << (clean_all_dims ? "PROVEN" : "VIOLATED");
+  if (certified_all_p) {
+    os << "; all p via schema: " << closed_form;
+  } else if (clean_all_dims) {
+    os << "; sampled dimensions only";
+  }
+  return os.str();
+}
+
+SemanticCertificate certify_semantics(
+    std::string subject, PortModel port,
+    const std::vector<std::pair<std::uint32_t, SemanticSummary>>& by_dim,
+    const DimCertificate* legality) {
+  SemanticCertificate c;
+  c.subject = std::move(subject);
+  c.port = port;
+  c.clean_all_dims = !by_dim.empty();
+  for (const auto& [d, s] : by_dim) {
+    c.dims_checked.push_back(d);
+    c.summaries.push_back(s);
+    if (!s.clean || s.terms_collected == 0) c.clean_all_dims = false;
+  }
+  if (legality != nullptr) {
+    c.closed_form = legality->closed_form;
+    c.certified_all_p = c.clean_all_dims && legality->certified_all_p;
+  }
+  return c;
+}
+
+}  // namespace hcmm::analysis

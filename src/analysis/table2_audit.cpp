@@ -1,0 +1,247 @@
+#include "hcmm/analysis/table2_audit.hpp"
+
+#include <sstream>
+
+#include "hcmm/analysis/placement.hpp"
+#include "hcmm/cost/model.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/sim/machine.hpp"
+
+namespace hcmm::analysis {
+
+using algo::AlgoId;
+
+Table2Form table2_form(AlgoId id, PortModel port) {
+  const bool multi = port == PortModel::kMultiPort;
+  switch (id) {
+    case AlgoId::kSimple:
+      if (multi) {
+        return {"lg(p)/2", "n^2/(sqrt(p) lg sqrt(p)) (1 - 1/sqrt(p))"};
+      }
+      return {"lg p", "2n^2/sqrt(p) (1 - 1/sqrt(p))"};
+    case AlgoId::kCannon:
+      if (multi) {
+        return {"sqrt(p) - 1 + lg(p)/2",
+                "n^2/sqrt(p) (1 - 1/sqrt(p) + lg(p)/(2 sqrt(p)))"};
+      }
+      return {"2(sqrt(p) - 1) + lg p",
+              "n^2/sqrt(p) (2 - 2/sqrt(p) + lg(p)/sqrt(p))"};
+    case AlgoId::kHJE:
+      if (multi) {
+        return {"sqrt(p) - 1 + lg(p)/2",
+                "n^2/sqrt(p) (2/lg(p) - 2/(sqrt(p) lg(p)) + lg(p)/(2 sqrt(p)))"};
+      }
+      return table2_form(AlgoId::kCannon, port);  // the paper's "-"
+    case AlgoId::kBerntsen:
+      if (multi) {
+        return {"cbrt(p) - 1 + 2 lg(p)/3",
+                "n^2/p^(2/3) ((1 + 3/lg(p))(1 - 1/cbrt(p)) + lg(p)/(3 cbrt(p)))"};
+      }
+      return {"2(cbrt(p) - 1) + lg p",
+              "n^2/p^(2/3) (3(1 - 1/cbrt(p)) + 2 lg(p)/(3 cbrt(p)))"};
+    case AlgoId::kDNS:
+      if (multi) return {"4 lg(p)/3", "4 n^2/p^(2/3)"};
+      return {"5 lg(p)/3", "n^2/p^(2/3) * 5 lg(p)/3"};
+    case AlgoId::kDiag2D:
+      if (multi) {
+        return {"3 lg(p)/2",
+                "n^2/sqrt(p) ((1 - 1/sqrt(p))/lg sqrt(p) + 2)"};
+      }
+      return {"3 lg(p)/2", "n^2/sqrt(p) (1 - 1/sqrt(p) + lg p)"};
+    case AlgoId::kDiag3D:
+      if (multi) return {"lg p", "3 n^2/p^(2/3)"};
+      return {"4 lg(p)/3", "n^2/p^(2/3) * 4 lg(p)/3"};
+    case AlgoId::kAllTrans:
+      if (multi) {
+        return {"lg p", "n^2/p^(2/3) ((6/lg(p))(1 - 1/cbrt(p)) + 1)"};
+      }
+      return {"4 lg(p)/3", "n^2/p^(2/3) (3(1 - 1/cbrt(p)) + lg(p)/3)"};
+    case AlgoId::kAll3D:
+      if (multi) {
+        return {"lg p",
+                "n^2/p^(2/3) ((6/lg(p))(1 - 1/cbrt(p)) + [n^2/(p cbrt(p)) >= "
+                "lg cbrt(p) ? 1/(2 cbrt(p)) : lg(p)/(6 cbrt(p))])"};
+      }
+      return {"4 lg(p)/3",
+              "n^2/p^(2/3) (3(1 - 1/cbrt(p)) + lg(p)/(6 cbrt(p)))"};
+    case AlgoId::kAll3DRect:
+      // q1 = p^(1/4); derived for the extension (DESIGN.md).
+      if (multi) {
+        return {"2 lg(q1) + lg sqrt(p)",
+                "2(q1 - 1) n^2/(p lg(q1)) + max((q1 - 1) n^2/(p lg(q1)), "
+                "q1 n^2/p (lg(q1) + q1 - 1)/lg sqrt(p))"};
+      }
+      return {"3 lg(q1) + lg sqrt(p)",
+              "3(q1 - 1) n^2/p + q1 n^2/p (lg(q1) + q1 - 1)"};
+    case AlgoId::kDNSCannon:
+      // p = sigma^3 rho^2, m = n^2/(sigma^2 rho^2); rho = 1 reduces to
+      // DNS, sigma = 1 to pure Cannon (the movement terms vanish).
+      if (multi) {
+        return {"4 lg(sigma) + lg(rho) + (rho - 1)",
+                "m (4 + lg(rho) + (rho - 1))"};
+      }
+      return {"5 lg(sigma) + 2 lg(rho) + 2(rho - 1)",
+              "m (5 lg(sigma) + 2 lg(rho) + 2(rho - 1))"};
+    case AlgoId::kDiag3DCannon:
+      if (multi) {
+        return {"3 lg(sigma) + lg(rho) + (rho - 1)",
+                "m (3 + lg(rho) + (rho - 1))"};
+      }
+      return {"4 lg(sigma) + 2 lg(rho) + 2(rho - 1)",
+              "m (4 lg(sigma) + 2 lg(rho) + 2(rho - 1))"};
+  }
+  return {"?", "?"};
+}
+
+Table2Tolerance table2_tolerance(AlgoId id, PortModel port) {
+  // Calibrated against EXPERIMENTS.md's measured worst cases (the "within
+  // k%" column of the Table 2 section plus the documented structural gaps),
+  // with headroom for the small-chunk rounding the lint dims exercise.
+  // Anything beyond these bands is a real cost regression.
+  const bool multi = port == PortModel::kMultiPort;
+  switch (id) {
+    case AlgoId::kSimple:
+      return multi ? Table2Tolerance{0.05, 0.10} : Table2Tolerance{0.02, 0.03};
+    case AlgoId::kCannon:
+      return multi ? Table2Tolerance{0.02, 0.06} : Table2Tolerance{0.01, 0.01};
+    case AlgoId::kHJE:
+      return multi ? Table2Tolerance{0.05, 0.12} : Table2Tolerance{0.01, 0.01};
+    case AlgoId::kBerntsen:
+      return multi ? Table2Tolerance{0.05, 0.08} : Table2Tolerance{0.02, 0.03};
+    case AlgoId::kDNS:
+      // One-port runs ~10% *below* the paper: e-cube routing pipelines
+      // phase 1's two messages, which Table 2 charges sequentially.
+      return multi ? Table2Tolerance{0.05, 0.08} : Table2Tolerance{0.15, 0.15};
+    case AlgoId::kDiag2D:
+      return multi ? Table2Tolerance{0.05, 0.06} : Table2Tolerance{0.02, 0.03};
+    case AlgoId::kDiag3D:
+      return multi ? Table2Tolerance{0.05, 0.08} : Table2Tolerance{0.02, 0.03};
+    case AlgoId::kAllTrans:
+      return multi ? Table2Tolerance{0.05, 0.10} : Table2Tolerance{0.02, 0.05};
+    case AlgoId::kAll3D:
+      return multi ? Table2Tolerance{0.05, 0.09} : Table2Tolerance{0.02, 0.05};
+    case AlgoId::kAll3DRect:
+      // The multi-port z-phase sits up to ~1.4x above the ideal
+      // rotated-tree bound (sparse-contributor rank clustering).
+      return multi ? Table2Tolerance{0.10, 0.45} : Table2Tolerance{0.05, 0.10};
+    case AlgoId::kDNSCannon:
+    case AlgoId::kDiag3DCannon:
+      // rho = 1 degenerates to DNS / 3DD, so the one-port band must cover
+      // DNS's e-cube start-up pipelining (13% fewer start-ups at d = 9).
+      return multi ? Table2Tolerance{0.10, 0.20} : Table2Tolerance{0.15, 0.15};
+  }
+  return {0.0, 0.0};
+}
+
+std::string Table2Sample::to_string() const {
+  std::ostringstream os;
+  os << algo::to_string(id) << " ["
+     << (port == PortModel::kOnePort ? "one-port" : "multi-port")
+     << "] d=" << dim << " n=" << n << ": static (a, b) = (" << got_a << ", "
+     << got_b << ") vs Table 2 (" << want_a << ", " << want_b << ") — "
+     << (within ? "WITHIN band" : "DIVERGED");
+  return os.str();
+}
+
+std::size_t table2_audit_n(AlgoId id, PortModel port, std::uint32_t dim) {
+  const auto alg = algo::make_algorithm(id);
+  if (!alg->supports(port)) return 0;
+  const std::uint32_t p = 1u << dim;
+  std::size_t best = 0;
+  for (const std::size_t n :
+       {8u, 12u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 144u, 192u}) {
+    if (alg->applicable(n, p) &&
+        cost::applicable(id, port, static_cast<double>(n),
+                         static_cast<double>(p))) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+std::optional<Table2Sample> audit_algorithm_table2(AlgoId id, PortModel port,
+                                                   std::uint32_t dim,
+                                                   DiagnosticList& out) {
+  const std::size_t n = table2_audit_n(id, port, dim);
+  if (n == 0) return std::nullopt;
+  const auto alg = algo::make_algorithm(id);
+  const Hypercube cube(dim);
+  Machine m(cube, port, CostParams{});
+
+  Table2Sample s;
+  s.id = id;
+  s.port = port;
+  s.dim = dim;
+  s.n = n;
+  m.set_schedule_observer([&](const Schedule& sched) {
+    const Placement placed = snapshot_placement(m.store());
+    const StaticCost c = static_cost(sched, cube, port, placed);
+    s.got_a += static_cast<double>(c.a);
+    s.got_b += static_cast<double>(c.b);
+    s.exact = s.exact && c.exact;
+  });
+  const Matrix a = random_matrix(n, n, 23);
+  const Matrix b = random_matrix(n, n, 29);
+  (void)alg->run(a, b, m);
+
+  const cost::CommCost want = cost::table2(id, port, static_cast<double>(n),
+                                           static_cast<double>(1u << dim));
+  s.want_a = want.a;
+  s.want_b = want.b;
+
+  const std::string where = alg->name() + " on " + std::to_string(1u << dim) +
+                            " nodes (" + to_string(port) + ", n=" +
+                            std::to_string(n) + ")";
+  if (!s.exact) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "table2";
+    d.code = "cost.inexact";
+    d.message = where + ": static cost could not be computed exactly "
+                        "(absent tags in an emitted schedule)";
+    out.add(std::move(d));
+    s.within = false;
+    return s;
+  }
+
+  const Table2Tolerance tol = table2_tolerance(id, port);
+  const auto rel = [](double got, double want_v) {
+    return std::abs(got - want_v) / std::max(want_v, 1.0);
+  };
+  const double da = rel(s.got_a, s.want_a);
+  const double db = rel(s.got_b, s.want_b);
+  const Table2Form form = table2_form(id, port);
+  if (da > tol.a) {
+    std::ostringstream os;
+    os << where << ": start-ups " << s.got_a << " diverge from Table 2's "
+       << s.want_a << " (a = " << form.a << ") by " << da * 100.0
+       << "% (band " << tol.a * 100.0 << "%)";
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "table2";
+    d.code = "cost.table2-divergence";
+    d.message = os.str();
+    d.hint = "a phase gained or lost rounds — diff the schedule round count "
+             "against the startup polynomial";
+    out.add(std::move(d));
+    s.within = false;
+  }
+  if (db > tol.b) {
+    std::ostringstream os;
+    os << where << ": critical-path words " << s.got_b
+       << " diverge from Table 2's " << s.want_b << " (b = " << form.b
+       << ") by " << db * 100.0 << "% (band " << tol.b * 100.0 << "%)";
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = "table2";
+    d.code = "cost.table2-divergence";
+    d.message = os.str();
+    d.hint = "message sizes or chunking changed — diff per-phase word "
+             "volumes against the bandwidth polynomial";
+    out.add(std::move(d));
+    s.within = false;
+  }
+  return s;
+}
+
+}  // namespace hcmm::analysis

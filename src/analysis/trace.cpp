@@ -31,6 +31,12 @@ TraceRecorder::TraceRecorder(Machine& m) : machine_(m) {
     te.gemm_jobs = jobs;
     trace_.events.push_back(std::move(te));
   });
+  m.set_semantic_observer([this](const SemanticEvent& ev) {
+    TraceEvent te;
+    te.kind = TraceEvent::Kind::kSemantic;
+    te.sem = ev;
+    trace_.events.push_back(std::move(te));
+  });
   m.set_schedule_observer(
       [this](const Schedule& s) { record_schedule(s); });
 }
@@ -39,6 +45,7 @@ TraceRecorder::~TraceRecorder() {
   machine_.store().set_op_observer({});
   machine_.set_phase_observer({});
   machine_.set_gemm_observer({});
+  machine_.set_semantic_observer({});
   machine_.set_schedule_observer({});
 }
 
@@ -90,6 +97,11 @@ class Interp {
           break;
         case TraceEvent::Kind::kGemmBatch:
           if (sink_) sink_->on_gemm_batch(ev.gemm_jobs, loc);
+          break;
+        case TraceEvent::Kind::kSemantic:
+          // Provenance declarations never touch the abstract heap; they are
+          // consumed by the semantic pass (analysis/semantic.hpp).
+          if (sink_) sink_->on_semantic(ev.sem, loc);
           break;
       }
     }

@@ -126,6 +126,12 @@ CommCost table2(AlgoId id, PortModel port, double n, double p) {
           break;
         }
       }
+      // sigma = 1 means no supernode grid at all: the canonical split is a
+      // pure rho x rho Cannon and the superblock-movement terms vanish.
+      // (The one-port forms get this for free — their movement terms scale
+      // with lg sigma — but the multi-port bandwidth term is a constant
+      // per-phase volume that must be dropped explicitly.)
+      if (a3 == 1.0) return table2(AlgoId::kCannon, port, n, p);
       const double m = n2 / (a3 * a3 * rho * rho);
       const double ls = lg(a3);
       const double lr = std::max(0.0, lg(rho));

@@ -3,6 +3,14 @@
 // Matrix <-> payload conversion, the parallel local-compute helper, and the
 // Cannon core reused by both Cannon's algorithm and Berntsen's subcube
 // outer products.
+//
+// Every helper that creates, cuts, multiplies or collects operand data also
+// *declares* what it did as a SemanticEvent (sim/semantic.hpp) on the
+// machine's semantic observer.  The helpers physically perform exactly what
+// they declare — run_gemm_jobs delivers each product to the destination its
+// job names, slice_item cuts the rectangles it announces — so the semantic
+// certification pass (analysis/semantic.hpp) can trust the declarations
+// without trusting the algorithms.
 
 #include <functional>
 #include <span>
@@ -11,6 +19,7 @@
 #include "hcmm/matrix/gemm.hpp"
 #include "hcmm/matrix/matrix.hpp"
 #include "hcmm/sim/machine.hpp"
+#include "hcmm/sim/semantic.hpp"
 #include "hcmm/topology/hypercube.hpp"
 
 namespace hcmm::algo::detail {
@@ -38,11 +47,15 @@ void put_mat(DataStore& store, NodeId node, Tag tag, Matrix&& m);
 
 /// A payload-backed gemm operand: holds a reference on the payload's buffer
 /// (so later store mutations cannot invalidate it) and exposes the words as
-/// a borrowed r x c MatrixView — no copy.
+/// a borrowed r x c MatrixView — no copy.  `srcs` is the operand's
+/// provenance: the store items the words came from as (tag, column offset)
+/// pairs (one at offset 0 for mat_ref; one per pasted block for
+/// mat_concat_cols; empty for mat_own, which has none).
 struct MatRef {
   Payload p;
   std::size_t rows = 0;
   std::size_t cols = 0;
+  std::vector<std::pair<Tag, std::size_t>> srcs;
 
   [[nodiscard]] MatrixView view() const noexcept {
     return {p.data(), rows, cols};
@@ -53,29 +66,107 @@ struct MatRef {
 [[nodiscard]] MatRef mat_ref(const DataStore& store, NodeId node, Tag tag,
                              std::size_t r, std::size_t c);
 
-/// Wrap a locally computed matrix as an operand (takes ownership).
+/// Wrap a locally computed matrix as an operand (takes ownership).  The
+/// operand carries no provenance; prefer mat_concat_cols for operands
+/// assembled from store items so the semantic pass can track them.
 [[nodiscard]] MatRef mat_own(Matrix&& m);
+
+/// Assemble an operand by pasting the store items @p piece_tags (each
+/// @p piece_rows x @p piece_cols, all on @p node) side by side into one
+/// piece_rows x (count * piece_cols) matrix; provenance records each piece
+/// at its column offset.
+[[nodiscard]] MatRef mat_concat_cols(const DataStore& store, NodeId node,
+                                     std::span<const Tag> piece_tags,
+                                     std::size_t piece_rows,
+                                     std::size_t piece_cols);
 
 /// Paste item (node, tag), an r x c block, into @p out with top-left corner
 /// (r0, c0) — one copy straight from the payload, no intermediate Matrix.
+/// Carries no semantic meaning; use collect_block for final C assembly.
 void paste_block(const DataStore& store, NodeId node, Tag tag, std::size_t r,
                  std::size_t c, Matrix& out, std::size_t r0, std::size_t c0);
 
-/// One local multiply-accumulate unit: result[job] = a * b.  Operands are
-/// borrowed views of store payloads (or owned via mat_own), so queueing a
-/// job moves no matrix words.
+/// A host-side product accumulator: run_gemm_jobs adds products into `sum`,
+/// flush_slices / flush_combine store the total back into the data plane.
+/// The id ties the accumulate declarations to the flush declaration.
+struct Accum {
+  NodeId node = 0;
+  Matrix sum;
+  std::uint64_t id = 0;
+};
+
+/// Fresh zeroed rows x cols accumulator owned by @p node.
+[[nodiscard]] Accum make_accum(Machine& machine, NodeId node,
+                               std::size_t rows, std::size_t cols);
+
+/// Where run_gemm_jobs delivers one job's product.
+struct GemmDest {
+  SemanticEvent::Dest kind = SemanticEvent::Dest::kPut;
+  Tag tag = 0;          ///< kPut: fresh item; kCombine: existing item
+  Accum* accum = nullptr;
+
+  [[nodiscard]] static GemmDest put(Tag t) {
+    return {SemanticEvent::Dest::kPut, t, nullptr};
+  }
+  [[nodiscard]] static GemmDest combine(Tag t) {
+    return {SemanticEvent::Dest::kCombine, t, nullptr};
+  }
+  [[nodiscard]] static GemmDest into(Accum& a) {
+    return {SemanticEvent::Dest::kAccum, 0, &a};
+  }
+};
+
+/// One local multiply-accumulate unit: a * b delivered to `dest`.  Operands
+/// are borrowed views of store payloads (or assembled via mat_concat_cols),
+/// so queueing a job moves no matrix words.
 struct GemmJob {
   NodeId node = 0;
   MatRef a;
   MatRef b;
+  GemmDest dest;
 };
 
 /// Run all jobs on the machine's thread pool, charge t_c per multiply-add
-/// (max over nodes, accumulating per node across jobs), and hand each
-/// product to @p sink(job_index, product).  Deterministic: products are
-/// computed in parallel but consumed in job order.
-void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs,
-                   const std::function<void(std::size_t, Matrix&&)>& sink);
+/// (max over nodes, accumulating per node across jobs), and deliver each
+/// product to its declared destination — put_mat / store.combine on the
+/// job's node, or a host Accum.  Deterministic: products are computed in
+/// parallel but delivered in job order.
+void run_gemm_jobs(Machine& machine, std::vector<GemmJob> jobs);
+
+/// Stage @p src block (r0, c0, rows, cols) — absolute element coordinates —
+/// as item (node, tag) declared as that rectangle of operand @p op.  Not
+/// charged (initial distribution / host-side prep).
+void stage_region(Machine& machine, NodeId node, Tag tag, SemOperand op,
+                  const Matrix& src, std::size_t r0, std::size_t c0,
+                  std::size_t rows, std::size_t cols);
+
+/// Stage a zeroed rows x cols accumulator item (an empty product multiset).
+void stage_zero(Machine& machine, NodeId node, Tag tag, std::size_t rows,
+                std::size_t cols);
+
+/// Cut item (node, tag) — shape src_rows x src_cols — into @p pieces, each
+/// a sub-rectangle within the item: the source is erased and every piece
+/// becomes its own item.  The pieces need not cover the source.
+void slice_item(Machine& machine, NodeId node, Tag tag, std::size_t src_rows,
+                std::size_t src_cols,
+                std::span<const SemanticEvent::Piece> pieces);
+
+/// Store sub-rectangles of @p acc's sum as items on its node (the
+/// outer-product slice handoff of AllTrans / 3-D All).
+void flush_slices(Machine& machine, const Accum& acc,
+                  std::span<const SemanticEvent::Piece> pieces);
+
+/// Combine @p acc's whole sum into the existing item (acc.node, dest);
+/// consumes the sum.
+void flush_combine(Machine& machine, Accum& acc, Tag dest);
+
+/// Read item (node, tag), a rows x cols block, into @p out at (r0, c0),
+/// declaring it as the C block with top-left element (r0, c0) — every final
+/// C assembly must go through this (or gather_blocks) so the semantic pass
+/// can check the collected product multiset.
+void collect_block(Machine& machine, NodeId node, Tag tag, std::size_t rows,
+                   std::size_t cols, Matrix& out, std::size_t r0,
+                   std::size_t c0);
 
 /// A q x q processor grid view: Cannon's core runs on any structure that
 /// provides node lookup and row/column chain subcubes (the whole machine for
@@ -120,16 +211,18 @@ void cannon_core(Machine& machine, const GridFace& face,
                  const std::string& phase_prefix);
 
 /// Stage a's blocks: block (bi, bj) of the bh x bw block grid goes to
-/// placer(bi, bj) under tag(bi, bj).  Not charged (initial distribution).
+/// placer(bi, bj) under tag(bi, bj), declared as that rectangle of operand
+/// @p op.  Not charged (initial distribution).
 void stage_blocks(Machine& machine, const Matrix& a, std::uint32_t bh,
                   std::uint32_t bw,
                   const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
-                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag);
+                  const std::function<Tag(std::uint32_t, std::uint32_t)>& tag,
+                  SemOperand op);
 
 /// Assemble an n x n matrix from blocks: block (bi, bj) read from
-/// placer(bi, bj) under tag(bi, bj).
+/// placer(bi, bj) under tag(bi, bj), declared as collected C blocks.
 [[nodiscard]] Matrix gather_blocks(
-    const Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
+    Machine& machine, std::size_t n, std::uint32_t bh, std::uint32_t bw,
     const std::function<NodeId(std::uint32_t, std::uint32_t)>& placer,
     const std::function<Tag(std::uint32_t, std::uint32_t)>& tag);
 

@@ -1,0 +1,32 @@
+#pragma once
+// The diagnostic-rule registry: one metadata record per rule ID any
+// analysis pass can emit.  sarif_json() folds these into the SARIF
+// tool.driver.rules array (name, short description, help URI into
+// docs/ANALYSIS.md), so SARIF consumers — code-scanning UIs, triage
+// dashboards — render every finding with documentation attached.
+//
+// Adding a diagnostic code to a pass REQUIRES registering it here:
+// tests/test_semantic.cpp's rule-exhaustiveness test scans the source tree
+// for rule-ID literals and fails on any that lack metadata (and on any
+// registered rule no pass emits, so the registry cannot rot).
+
+#include <span>
+#include <string_view>
+
+namespace hcmm::analysis {
+
+/// SARIF reportingDescriptor metadata for one rule ID.
+struct RuleMeta {
+  std::string_view id;          ///< e.g. "semantic.missing-product"
+  std::string_view name;        ///< SARIF PascalCase name
+  std::string_view short_desc;  ///< one-sentence description
+  std::string_view help_uri;    ///< docs/ANALYSIS.md anchor
+};
+
+/// Every registered rule, sorted by id.
+[[nodiscard]] std::span<const RuleMeta> all_rules();
+
+/// Metadata for @p id, or nullptr if unregistered.
+[[nodiscard]] const RuleMeta* find_rule(std::string_view id);
+
+}  // namespace hcmm::analysis

@@ -1,0 +1,85 @@
+#pragma once
+// Semantic dataflow certification: prove that a run computed C = A·B with
+// every scalar product a_{ik}·b_{kj} contributed exactly once, from the
+// trace alone.
+//
+// The trusted algo::detail helpers annotate the trace with provenance
+// declarations (sim/semantic.hpp) that they physically enforce: stage_region
+// declares which rectangle of which operand an item holds, run_gemm_jobs
+// declares each product and then *is* the code that delivers it, slice and
+// flush declare how items are cut, collect_block declares where an item
+// lands in C.  The semantic pass abstractly re-executes the trace over a
+// per-(node, tag) heap of symbolic values — operand regions, product-term
+// multisets, byte-range fragments — propagating them through every split,
+// join, combine and schedule delivery exactly as analysis/trace.cpp replays
+// the physical data plane.  At the end the collected C blocks must tile
+// [0,n)² and their product terms must cover the cube [0,n)³ of (i, k, j)
+// index triples exactly once.
+//
+// Diagnostics (all errors, SARIF-exported and located at the witness event):
+//   semantic.operand-mismatch  — a GEMM operand's provenance does not form
+//       the contiguous operand rectangle the multiplication needs (wrong
+//       region, wrong operand, k-misaligned pieces), or a collected item is
+//       not a product multiset at all
+//   semantic.misplaced-product — a product term landed at C coordinates
+//       other than the ones its factors dictate
+//   semantic.missing-product   — some a_{ik}·b_{kj} never reached C
+//   semantic.duplicate-product — some a_{ik}·b_{kj} reached C twice
+//
+// A clean pass at one dimension is a proof for that p.  certify_semantics()
+// lifts it: clean passes at every sampled dimension plus the Lemma U/P/D
+// schema-legality certificate (analysis/symbolic.hpp) — whose argument is
+// dimension-independent — yield an all-p semantic certificate.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hcmm/analysis/diagnostics.hpp"
+#include "hcmm/analysis/symbolic.hpp"
+#include "hcmm/analysis/trace.hpp"
+
+namespace hcmm::analysis {
+
+/// Census of one run's semantic interpretation.
+struct SemanticSummary {
+  std::size_t n = 0;                 ///< matrix order inferred from staging
+  std::size_t gemm_products = 0;     ///< product declarations interpreted
+  std::size_t blocks_collected = 0;  ///< C blocks collected
+  std::size_t terms_collected = 0;   ///< product terms inside those blocks
+  bool clean = true;                 ///< no semantic.* diagnostics emitted
+};
+
+/// Abstractly re-execute @p trace's data plane over the symbolic-value heap,
+/// checking exactly-once product coverage.  Appends semantic.* diagnostics
+/// to @p out and returns the census.
+SemanticSummary run_semantic_pass(const RunTrace& trace, DiagnosticList& out);
+
+/// TracePass adapter (pass name "semantic") for generic pass pipelines.
+[[nodiscard]] std::unique_ptr<TracePass> make_semantic_pass();
+
+/// All-p semantic certificate: exactly-once coverage witnessed at every
+/// sampled dimension, extended to all p by the schema-legality certificate.
+struct SemanticCertificate {
+  std::string subject;
+  PortModel port = PortModel::kOnePort;
+  std::vector<std::uint32_t> dims_checked;
+  std::vector<SemanticSummary> summaries;  ///< parallel to dims_checked
+  bool clean_all_dims = false;   ///< zero semantic.* diagnostics at every dim
+  bool certified_all_p = false;  ///< clean_all_dims && schema legality all-p
+  std::string closed_form;       ///< round-schema summary from the lifter
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Assemble the certificate from per-dimension semantic summaries and the
+/// (optional) Lemma U/P/D legality certificate for the same subject.
+[[nodiscard]] SemanticCertificate certify_semantics(
+    std::string subject, PortModel port,
+    const std::vector<std::pair<std::uint32_t, SemanticSummary>>& by_dim,
+    const DimCertificate* legality);
+
+}  // namespace hcmm::analysis

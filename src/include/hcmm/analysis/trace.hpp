@@ -34,6 +34,7 @@
 
 #include "hcmm/analysis/diagnostics.hpp"
 #include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/semantic.hpp"
 #include "hcmm/sim/store.hpp"
 #include "hcmm/topology/hypercube.hpp"
 
@@ -46,12 +47,15 @@ namespace hcmm::analysis {
 /// One captured event.  Store ops carry the StoreEvent verbatim; schedules
 /// are indexed into RunTrace::schedules to keep events cheap to copy.
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kStoreOp, kSchedule, kPhase, kGemmBatch };
+  enum class Kind : std::uint8_t {
+    kStoreOp, kSchedule, kPhase, kGemmBatch, kSemantic,
+  };
   Kind kind = Kind::kStoreOp;
   StoreEvent store;          ///< kStoreOp
   std::size_t schedule = 0;  ///< kSchedule: index into RunTrace::schedules
   std::string phase;         ///< kPhase
   std::size_t gemm_jobs = 0; ///< kGemmBatch
+  SemanticEvent sem;         ///< kSemantic (see sim/semantic.hpp)
 };
 
 /// Everything one run did to the data plane, in order.
@@ -138,6 +142,11 @@ class TraceSink {
   }
   virtual void on_gemm_batch(std::size_t jobs, const TraceLoc& loc) {
     (void)jobs, (void)loc;
+  }
+  /// A semantic provenance declaration (ignored by the alias/race passes;
+  /// consumed by analysis/semantic.hpp).
+  virtual void on_semantic(const SemanticEvent& ev, const TraceLoc& loc) {
+    (void)ev, (void)loc;
   }
 };
 

@@ -22,6 +22,7 @@
 #include "hcmm/analysis/placement.hpp"
 #include "hcmm/fault/plan.hpp"
 #include "hcmm/sim/schedule.hpp"
+#include "hcmm/sim/semantic.hpp"
 #include "hcmm/sim/store.hpp"
 #include "hcmm/sim/types.hpp"
 #include "hcmm/support/thread_pool.hpp"
@@ -195,6 +196,26 @@ class Machine {
     if (gemm_observer_) gemm_observer_(jobs);
   }
 
+  /// Install a hook invoked with every semantic provenance declaration the
+  /// trusted algo::detail helpers emit (staging, cuts, GEMM destinations,
+  /// accumulator flushes, C-block collection).  Each event precedes the
+  /// store op(s) it annotates.  Used by the analysis trace recorder; empty
+  /// function removes.
+  void set_semantic_observer(std::function<void(const SemanticEvent&)> obs) {
+    semantic_observer_ = std::move(obs);
+  }
+  /// Called by the algo::detail helpers; a no-op unless observed.
+  void notify_semantic(const SemanticEvent& ev) {
+    if (semantic_observer_) semantic_observer_(ev);
+  }
+  [[nodiscard]] bool semantics_observed() const noexcept {
+    return static_cast<bool>(semantic_observer_);
+  }
+
+  /// Fresh per-run id for a host-side GEMM accumulator (algo::detail::Accum);
+  /// ties kGemm accumulate events to the flush that stores the sum.
+  [[nodiscard]] std::uint64_t next_accum_id() noexcept { return ++accum_seq_; }
+
   /// Install a deterministic fault plan (nullptr clears).  Survives
   /// reset_stats(), so operands can be staged before the measured run.  With
   /// a non-empty structural fault set this resolves every dead node's
@@ -300,6 +321,8 @@ class Machine {
   std::function<void(const Schedule&)> observer_;
   std::function<void(std::string_view)> phase_observer_;
   std::function<void(std::size_t)> gemm_observer_;
+  std::function<void(const SemanticEvent&)> semantic_observer_;
+  std::uint64_t accum_seq_ = 0;
 
   // Fault-injection state.  host_ maps logical -> physical node and is
   // non-empty exactly while a non-empty plan is installed; round_seq_ is the

@@ -36,11 +36,21 @@ namespace hcmm {
 /// round/transfer as null.
 [[nodiscard]] std::string diagnostics_json(const analysis::DiagnosticList& dl);
 
+/// CSV export of static-analysis findings with header
+/// severity,pass,code,round,transfer,message,hint — one row per diagnostic.
+/// Text fields are double-quoted with embedded quotes doubled; control
+/// characters (newlines, tabs in multi-line hints) are escaped as \xNN so
+/// every diagnostic stays on one physical row.  Locationless findings leave
+/// round/transfer empty.
+[[nodiscard]] std::string diagnostics_csv(const analysis::DiagnosticList& dl);
+
 /// SARIF 2.1.0 export of static-analysis findings, one run with tool driver
-/// "hcmm_lint": each distinct diagnostic code becomes a reporting rule and
-/// each diagnostic a result whose logical location is
-/// "<subject>/round <r>/transfer <t>".  @p subjects names the analyzed
-/// artifact per diagnostic (parallel to dl.diags(); pass {} to omit).
+/// "hcmm_lint": each distinct diagnostic code becomes a reporting rule —
+/// carrying the registered name, short description and docs/ANALYSIS.md
+/// help URI from analysis/rules.hpp — and each diagnostic a result whose
+/// logical location is "<subject>/round <r>/transfer <t>".  @p subjects
+/// names the analyzed artifact per diagnostic (parallel to dl.diags();
+/// pass {} to omit).
 [[nodiscard]] std::string sarif_json(const analysis::DiagnosticList& dl,
                                      const std::vector<std::string>& subjects);
 

@@ -1,0 +1,99 @@
+#pragma once
+// Semantic provenance events: the dataflow declarations the semantic
+// certification pass (analysis/semantic.hpp) interprets.
+//
+// A StoreEvent says *that* an item appeared; a SemanticEvent says *what the
+// item means* in terms of the product C = A·B — which sub-rectangle of an
+// input operand it stages, which partial products a GEMM wrote where, how a
+// host-side cut partitions an item, and which C block a final host read
+// collects.  Every event is emitted by a trusted helper in algo/detail that
+// *physically performs* exactly what the event declares (run_gemm_jobs
+// delivers to the declared destination itself; slice_item cuts the declared
+// rectangles itself), so a declaration cannot drift from the behavior it
+// describes.  Events are emitted immediately *before* the store ops they
+// annotate; the interpreter binds each pending declaration to the matching
+// store op that follows it.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hcmm/sim/types.hpp"
+
+namespace hcmm {
+
+/// Which input operand a staged region belongs to.
+enum class SemOperand : std::uint8_t { kA, kB };
+
+/// One semantic provenance declaration.  Field use by kind:
+///  kStage             item `tag` on `node` is rect `rect` of operand `op`
+///                     (rect in absolute element coordinates of A or B)
+///  kStageZero         item `tag` on `node` is a zeroed rect.rows x rect.cols
+///                     accumulator (an empty product multiset)
+///  kSlice             item `tag` on `node` (shape rect.rows x rect.cols) is
+///                     cut into `pieces`, each a sub-rect *within the item*
+///  kGemm              one product a x b on `node` goes to the destination
+///                     (dest_kind / dest_tag / accum_id)
+///  kAccumFlushSlices  host accumulator `accum_id` on `node` (shape
+///                     rect.rows x rect.cols) is stored as the items in
+///                     `pieces`, each a sub-rect within the accumulator
+///  kAccumFlushCombine host accumulator `accum_id` on `node` is combined
+///                     into the existing item `tag`
+///  kCollect           item `tag` on `node`, a rect.rows x rect.cols block,
+///                     is read back as C(rect.r0 .. , rect.c0 ..)
+struct SemanticEvent {
+  enum class Kind : std::uint8_t {
+    kStage,
+    kStageZero,
+    kSlice,
+    kGemm,
+    kAccumFlushSlices,
+    kAccumFlushCombine,
+    kCollect,
+  };
+
+  /// Half-open element rectangle [r0, r0+rows) x [c0, c0+cols).
+  struct Rect {
+    std::size_t r0 = 0;
+    std::size_t c0 = 0;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+  };
+
+  /// One cut piece: the item it becomes and its rect within the source.
+  struct Piece {
+    Tag tag = 0;
+    Rect rect;
+  };
+
+  /// Provenance of one GEMM operand: its shape plus the store items whose
+  /// words it borrows — (tag, column offset) pairs, each piece occupying the
+  /// full row range starting at its column offset (mat_ref yields a single
+  /// piece at offset 0; mat_concat_cols yields one per pasted block).  An
+  /// empty `srcs` means the operand has no provenance (mat_own of a host
+  /// matrix the helpers did not build), which the semantic pass reports.
+  struct Operand {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::pair<Tag, std::size_t>> srcs;
+  };
+
+  /// Where run_gemm_jobs delivers a product.
+  enum class Dest : std::uint8_t { kPut, kCombine, kAccum };
+
+  Kind kind = Kind::kStage;
+  NodeId node = 0;
+  Tag tag = 0;
+  SemOperand op = SemOperand::kA;  ///< kStage only
+  Rect rect;
+  std::vector<Piece> pieces;  ///< kSlice / kAccumFlushSlices
+
+  // kGemm only.
+  Operand a;
+  Operand b;
+  Dest dest_kind = Dest::kPut;
+  Tag dest_tag = 0;
+  std::uint64_t accum_id = 0;  ///< kGemm (kAccum dest) and kAccumFlush*
+};
+
+}  // namespace hcmm

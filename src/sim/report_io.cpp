@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "hcmm/analysis/rules.hpp"
+
 namespace hcmm {
 namespace {
 
@@ -169,6 +171,42 @@ std::string diagnostics_json(const analysis::DiagnosticList& dl) {
   return os.str();
 }
 
+std::string diagnostics_csv(const analysis::DiagnosticList& dl) {
+  using analysis::kNoLoc;
+  std::ostringstream os;
+  const auto field = [&os](const std::string& s) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    os << '"';
+    for (const char c : s) {
+      if (c == '"') {
+        os << "\"\"";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        os << "\\x" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+      } else {
+        os << c;
+      }
+    }
+    os << '"';
+  };
+  os << "severity,pass,code,round,transfer,message,hint\n";
+  for (const auto& d : dl.diags()) {
+    os << analysis::to_string(d.severity) << ',';
+    field(d.pass);
+    os << ',';
+    field(d.code);
+    os << ',';
+    if (d.round != kNoLoc) os << d.round;
+    os << ',';
+    if (d.transfer != kNoLoc) os << d.transfer;
+    os << ',';
+    field(d.message);
+    os << ',';
+    field(d.hint);
+    os << '\n';
+  }
+  return os.str();
+}
+
 std::string sarif_json(const analysis::DiagnosticList& dl,
                        const std::vector<std::string>& subjects) {
   using analysis::kNoLoc;
@@ -200,6 +238,17 @@ std::string sarif_json(const analysis::DiagnosticList& dl,
     if (i != 0) os << ", ";
     os << "{\"id\": ";
     json_escape(os, rules[i]);
+    // Registered rules carry their full reportingDescriptor metadata; an
+    // unregistered code still exports (the finding must not be lost) but
+    // the rule-exhaustiveness test keeps the registry complete.
+    if (const analysis::RuleMeta* meta = analysis::find_rule(rules[i])) {
+      os << ", \"name\": ";
+      json_escape(os, std::string(meta->name));
+      os << ", \"shortDescription\": {\"text\": ";
+      json_escape(os, std::string(meta->short_desc));
+      os << "}, \"helpUri\": ";
+      json_escape(os, std::string(meta->help_uri));
+    }
     os << "}";
   }
   os << "]}}, \"results\": [";

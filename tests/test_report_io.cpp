@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+
 #include "hcmm/algo/api.hpp"
+#include "hcmm/analysis/rules.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/report_io.hpp"
 
@@ -184,5 +190,155 @@ TEST(ReportIo, AbftFieldsRoundTrip) {
             std::string::npos);
 }
 
+// ---- diagnostic exports ----------------------------------------------------
+
+analysis::Diagnostic diag(const char* pass, const char* code,
+                          const char* message, const char* hint,
+                          std::size_t round = analysis::kNoLoc,
+                          std::size_t transfer = analysis::kNoLoc) {
+  analysis::Diagnostic d;
+  d.severity = analysis::Severity::kError;
+  d.pass = pass;
+  d.code = code;
+  d.message = message;
+  d.hint = hint;
+  d.round = round;
+  d.transfer = transfer;
+  return d;
+}
+
+// The semantic and Table 2 diagnostic kinds must survive every export:
+// JSON, CSV and SARIF, located and locationless.
+TEST(ReportIo, SemanticDiagnosticsRoundTrip) {
+  analysis::DiagnosticList dl;
+  dl.add(diag("semantic", "semantic.missing-product",
+              "product cell (0, 4, 8) never reached C", "check the collects",
+              12, 3));
+  dl.add(diag("semantic", "semantic.duplicate-product",
+              "product cell (1, 2, 3) reached C twice", "", 20));
+  dl.add(diag("semantic", "semantic.operand-mismatch",
+              "A operand pieces leave a k-gap", "", 7, 0));
+  dl.add(diag("semantic", "semantic.misplaced-product",
+              "term (0,0)x(8,8) landed at C(8, 0)", "", 31));
+  dl.add(diag("table2", "cost.table2-divergence",
+              "start-ups 12 diverge from Table 2's 15", "diff the rounds"));
+
+  const std::string json = diagnostics_json(dl);
+  EXPECT_NE(json.find("\"errors\": 5"), std::string::npos);
+  for (const char* code :
+       {"semantic.missing-product", "semantic.duplicate-product",
+        "semantic.operand-mismatch", "semantic.misplaced-product",
+        "cost.table2-divergence"}) {
+    EXPECT_NE(json.find("\"code\": \"" + std::string(code) + "\""),
+              std::string::npos)
+        << code;
+  }
+  EXPECT_NE(json.find("\"round\": 12, \"transfer\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"round\": 20, \"transfer\": null"),
+            std::string::npos);
+  // The locationless table2 finding emits null for both.
+  EXPECT_NE(json.find("\"round\": null, \"transfer\": null"),
+            std::string::npos);
+
+  const std::string csv = diagnostics_csv(dl);
+  EXPECT_EQ(csv.find("severity,pass,code,round,transfer,message,hint\n"), 0u);
+  EXPECT_NE(csv.find("error,\"semantic\",\"semantic.missing-product\",12,3,"
+                     "\"product cell (0, 4, 8) never reached C\","
+                     "\"check the collects\"\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("error,\"table2\",\"cost.table2-divergence\",,,"),
+            std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+// Control characters in messages must not break row/field framing in
+// either export (the JSON path uses \u escapes, the CSV path \xNN).
+TEST(ReportIo, DiagnosticEscapingControlCharacters) {
+  analysis::DiagnosticList dl;
+  dl.add(diag("semantic", "semantic.operand-mismatch",
+              "line one\nline two\twith \"quotes\"", "hint\x01" "end"));
+  const std::string json = diagnostics_json(dl);
+  EXPECT_NE(json.find("line one\\nline two\\twith \\\"quotes\\\""),
+            std::string::npos);
+  EXPECT_NE(json.find("hint\\u0001end"), std::string::npos);
+
+  const std::string csv = diagnostics_csv(dl);
+  EXPECT_NE(csv.find("\"line one\\x0aline two\\x09with \"\"quotes\"\"\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"hint\\x01end\""), std::string::npos);
+  // One header + one row: embedded newlines must not add physical rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+// Every exported rule must carry its registered SARIF metadata.
+TEST(ReportIo, SarifCarriesRuleMetadata) {
+  analysis::DiagnosticList dl;
+  dl.add(diag("semantic", "semantic.missing-product", "cell never reached C",
+              "", 4, 1));
+  dl.add(diag("table2", "cost.table2-divergence", "band exceeded", ""));
+  const std::string sarif = sarif_json(dl, {"DNS on 64 nodes", "DNS"});
+  EXPECT_NE(sarif.find("\"id\": \"semantic.missing-product\", "
+                       "\"name\": \"SemanticMissingProduct\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"helpUri\": "
+                       "\"docs/ANALYSIS.md#semantic-dataflow-certification\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"helpUri\": "
+                       "\"docs/ANALYSIS.md#table-2-closed-form-audit\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"shortDescription\""), std::string::npos);
+  EXPECT_NE(sarif.find("DNS on 64 nodes/round 4/transfer 1"),
+            std::string::npos);
+}
+
+// ---- rule registry ---------------------------------------------------------
+
+// Exhaustiveness both ways: every diagnostic-code literal in the source
+// tree must be registered (so SARIF exports carry metadata for it), and
+// every registered rule must be emitted somewhere (so the registry cannot
+// accumulate dead entries).  The registry file itself is excluded from the
+// scan — its own literals must not satisfy the "emitted somewhere" check.
+TEST(RuleRegistry, SourceCodesAndRegistryMatchExactly) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(HCMM_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src));
+  const std::regex code_re(
+      "\"((topology|port|dataflow|alias|race|plane|cost|semantic)"
+      "\\.[a-z0-9-]+)\"");
+  std::set<std::string> emitted;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    if (path.filename() == "rules.cpp") continue;
+    std::ifstream f(path);
+    const std::string text((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), code_re);
+         it != std::sregex_iterator(); ++it) {
+      emitted.insert((*it)[1].str());
+    }
+  }
+  ASSERT_GE(emitted.size(), 28u);  // the scan actually found the passes
+
+  for (const std::string& code : emitted) {
+    EXPECT_NE(analysis::find_rule(code), nullptr)
+        << code << " is emitted but has no SARIF rule metadata — register "
+                   "it in src/analysis/rules.cpp";
+  }
+  std::string_view prev;
+  for (const analysis::RuleMeta& r : analysis::all_rules()) {
+    EXPECT_TRUE(emitted.count(std::string(r.id)) != 0)
+        << r.id << " is registered but no pass emits it";
+    EXPECT_LT(prev, r.id) << "registry must stay sorted and duplicate-free";
+    prev = r.id;
+    EXPECT_FALSE(r.name.empty()) << r.id;
+    EXPECT_FALSE(r.short_desc.empty()) << r.id;
+    EXPECT_EQ(r.help_uri.rfind("docs/ANALYSIS.md#", 0), 0u) << r.id;
+  }
+}
+
 }  // namespace
 }  // namespace hcmm
+

@@ -17,17 +17,24 @@
 //   4. Round schemas are lifted to symbolic all-p legality certificates
 //      (analysis/symbolic): one lint run certifies the registry for every
 //      power-of-two machine size, not just the sampled cubes.
+//   5. The semantic pass (analysis/semantic) abstractly re-executes every
+//      trace over symbolic product multisets and proves C = A·B was
+//      computed with every a_{ik}·b_{kj} contributed exactly once; clean
+//      passes at every dim combine with the legality certificate into
+//      all-p semantic certificates.
 //
 // Afterwards audits every registered collective builder's static (a, b)
-// cost against the Table 1 closed forms.  Exits nonzero on any
-// error-severity finding, so the ctest/CI wiring turns a legality, race,
-// aliasing or cost regression into a build failure.
+// cost against the Table 1 closed forms, and every registered algorithm's
+// end-to-end static (a, b) against the Table 2 closed forms (the table2
+// pass, analysis/table2_audit).  Exits nonzero on any error-severity
+// finding, so the ctest/CI wiring turns a legality, race, aliasing,
+// semantic or cost regression into a build failure.
 //
 // Usage: hcmm_lint [--json] [--out FILE] [--sarif FILE] [--dims D1,D2,...]
 //                  [--passes P1,P2,...]
 //   --dims    cube dimensions to sample (default 3,6,9)
 //   --passes  subset of topology,port,dataflow,alias,race,plane,symbolic,
-//             cost (default: all)
+//             semantic,cost,table2 (default: all)
 
 #include <cstdint>
 #include <fstream>
@@ -43,7 +50,9 @@
 #include "hcmm/analysis/cost_audit.hpp"
 #include "hcmm/analysis/passes.hpp"
 #include "hcmm/analysis/placement.hpp"
+#include "hcmm/analysis/semantic.hpp"
 #include "hcmm/analysis/symbolic.hpp"
+#include "hcmm/analysis/table2_audit.hpp"
 #include "hcmm/analysis/trace.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/report_io.hpp"
@@ -60,11 +69,14 @@ struct PassSelection {
   bool race = true;
   bool plane = true;
   bool symbolic = true;
+  bool semantic = true;
   bool cost = true;
+  bool table2 = true;
 };
 
 bool parse_passes(const std::string_view list, PassSelection& sel) {
-  sel = PassSelection{false, false, false, false, false, false, false, false};
+  sel = PassSelection{false, false, false, false, false,
+                      false, false, false, false, false};
   std::stringstream ss{std::string(list)};
   std::string item;
   while (std::getline(ss, item, ',')) {
@@ -75,7 +87,9 @@ bool parse_passes(const std::string_view list, PassSelection& sel) {
     else if (item == "race") sel.race = true;
     else if (item == "plane") sel.plane = true;
     else if (item == "symbolic") sel.symbolic = true;
+    else if (item == "semantic") sel.semantic = true;
     else if (item == "cost") sel.cost = true;
+    else if (item == "table2") sel.table2 = true;
     else return false;
   }
   return true;
@@ -145,7 +159,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--passes" && i + 1 < argc) {
       if (!parse_passes(argv[++i], sel)) {
         std::cerr << "hcmm_lint: bad --passes list (know: topology, port, "
-                     "dataflow, alias, race, plane, symbolic, cost)\n";
+                     "dataflow, alias, race, plane, symbolic, semantic, "
+                     "cost, table2)\n";
         return 2;
       }
     } else {
@@ -175,6 +190,11 @@ int main(int argc, char** argv) {
   // subject -> port -> dim -> schedules, for the symbolic certificates.
   std::map<std::string, std::map<PortModel, std::map<std::uint32_t,
       std::vector<Schedule>>>> samples;
+  // subject -> port -> per-dim semantic summaries, for the semantic
+  // certificates (same subjects as `samples`).
+  std::map<std::string, std::map<PortModel,
+      std::vector<std::pair<std::uint32_t, analysis::SemanticSummary>>>>
+      sem_samples;
 
   const auto lint_registry =
       [&](const std::vector<std::unique_ptr<algo::DistributedMatmul>>& algs,
@@ -234,6 +254,13 @@ int main(int argc, char** argv) {
                                            pfound);
             all.merge(pfound, context, context);
           }
+          if (sel.semantic) {
+            analysis::DiagnosticList sfound;
+            const analysis::SemanticSummary sum =
+                analysis::run_semantic_pass(trace, sfound);
+            all.merge(sfound, context, context);
+            sem_samples[alg->name()][port].emplace_back(cube.dim(), sum);
+          }
           if (sel.symbolic) {
             samples[alg->name()][port][cube.dim()] = trace.schedules;
           }
@@ -261,6 +288,40 @@ int main(int argc, char** argv) {
       certs.push_back(
           analysis::certify_dimension_schema(subject, port, sampled));
       if (certs.back().certified_all_p) ++certified;
+    }
+  }
+
+  // Pair the per-dim semantic summaries with the matching legality
+  // certificate into all-p semantic certificates.
+  std::vector<analysis::SemanticCertificate> sem_certs;
+  std::size_t sem_certified = 0;
+  for (const auto& [subject, by_port] : sem_samples) {
+    for (const auto& [port, by_dim] : by_port) {
+      const analysis::DimCertificate* legality = nullptr;
+      for (const auto& c : certs) {
+        if (c.subject == subject && c.port == port) legality = &c;
+      }
+      sem_certs.push_back(
+          analysis::certify_semantics(subject, port, by_dim, legality));
+      if (sem_certs.back().certified_all_p) ++sem_certified;
+    }
+  }
+
+  // Every registered algorithm's end-to-end static (a, b) vs. Table 2.
+  std::vector<analysis::Table2Sample> table2_rows;
+  if (sel.table2) {
+    for (const auto& alg : algo::all_algorithms()) {
+      for (const std::uint32_t dim : dims) {
+        for (const PortModel port : ports) {
+          analysis::DiagnosticList tfound;
+          const auto sample =
+              analysis::audit_algorithm_table2(alg->id(), port, dim, tfound);
+          if (!sample) continue;
+          const std::string context = "table2 audit: " + alg->name();
+          all.merge(tfound, context, context);
+          table2_rows.push_back(*sample);
+        }
+      }
     }
   }
 
@@ -297,6 +358,19 @@ int main(int argc, char** argv) {
                 << " certified):\n";
       for (const auto& c : certs) {
         std::cout << "  " << c.to_string() << "\n";
+      }
+    }
+    if (!sem_certs.empty()) {
+      std::cout << "semantic certificates (" << sem_certified << "/"
+                << sem_certs.size() << " proven for all p):\n";
+      for (const auto& c : sem_certs) {
+        std::cout << "  " << c.to_string() << "\n";
+      }
+    }
+    if (!table2_rows.empty()) {
+      std::cout << "Table 2 cost certificates:\n";
+      for (const auto& r : table2_rows) {
+        std::cout << "  " << r.to_string() << "\n";
       }
     }
     if (all.list.empty()) {
