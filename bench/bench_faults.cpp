@@ -1,9 +1,12 @@
 // Fault-tolerance overhead on a 64-node cube: how much simulated time the
 // layered recovery machinery (retry with backoff, fault-aware rerouting,
 // subcube contraction) costs relative to a clean run of the same algorithm.
-// Two sweeps:
+// Three sweeps:
 //   1. transient drop probability — retries and backoff delay;
-//   2. failed-link count — detours (extra hops and serialized start-ups).
+//   2. failed-link count — detours (extra hops and serialized start-ups);
+//   3. correlated-burst vs independent fault processes at equal mean drop
+//      rate — how much the *temporal structure* of faults costs on top of
+//      their mass (bursts pile retries onto the same backoff ladder).
 // Every run is seeded and deterministic, so the printed overheads are
 // reproducible numbers, not noise.
 //
@@ -33,11 +36,12 @@ constexpr std::size_t kN = 64;
 
 struct Row {
   std::string algorithm;
-  std::string sweep;      // "drop_prob" or "failed_links"
+  std::string sweep;      // "drop_prob", "failed_links" or "fault_process"
   double knob = 0.0;      // p_drop or link count
   PhaseStats totals;
   double time = 0.0;
   double overhead = 0.0;  // fraction of the clean-run time
+  std::string process;    // "independent" / "burst" for the process sweep
 };
 
 double clean_time(const algo::DistributedMatmul& alg, const Matrix& a,
@@ -72,7 +76,8 @@ void sweep_drop_prob(const algo::DistributedMatmul& alg, const Matrix& a,
                   static_cast<unsigned long long>(t.retries), t.fault_delay,
                   time, 100.0 * (time - base) / base);
     }
-    rows.push_back({alg.name(), "drop_prob", p, t, time, (time - base) / base});
+    rows.push_back(
+        {alg.name(), "drop_prob", p, t, time, (time - base) / base, ""});
   }
 }
 
@@ -101,7 +106,51 @@ void sweep_failed_links(const algo::DistributedMatmul& alg, const Matrix& a,
                   100.0 * (time - base) / base);
     }
     rows.push_back({alg.name(), "failed_links", static_cast<double>(links), t,
-                    time, (time - base) / base});
+                    time, (time - base) / base, ""});
+  }
+}
+
+void sweep_fault_process(const algo::DistributedMatmul& alg, const Matrix& a,
+                         const Matrix& b, PortModel port, double base,
+                         std::vector<Row>& rows, bool table) {
+  // Equal fault mass, different temporal structure: independent per-attempt
+  // drops at p versus burst-modulated drops whose base rate is halved while
+  // windows of 2 rounds per 8-round cycle multiply it by 5 — the
+  // cycle-averaged multiplier (2*5 + 6)/8 = 2 restores the same mean p, so
+  // any overhead gap is purely the cost of correlation.
+  if (table) {
+    bench::header(alg.name() + " (" + to_string(port) +
+                  "): burst vs independent fault process (equal mean p)");
+    std::printf("  %-8s %-12s %10s %10s %12s %10s\n", "p_drop", "process",
+                "retries", "delay", "time", "overhead");
+  }
+  for (const double p : {0.01, 0.02, 0.05, 0.10}) {
+    for (const bool burst : {false, true}) {
+      fault::FaultPlan plan;
+      plan.transient.seed = 2027;
+      plan.transient.max_attempts = 12;
+      plan.transient.backoff_base = 10.0;
+      if (burst) {
+        plan.transient.drop_prob = p / 2.0;
+        plan.transient.burst.period = 8;
+        plan.transient.burst.len = 2;
+        plan.transient.burst.factor = 5.0;
+      } else {
+        plan.transient.drop_prob = p;
+      }
+      Machine m(Hypercube(kDim), port, CostParams{150, 3, 1});
+      m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
+      const auto t = alg.run(a, b, m).report.totals();
+      const double time = t.comm_time + t.compute_time;
+      const char* name = burst ? "burst" : "independent";
+      if (table) {
+        std::printf("  %-8.2f %-12s %10llu %10.0f %12.0f %9.1f%%\n", p, name,
+                    static_cast<unsigned long long>(t.retries), t.fault_delay,
+                    time, 100.0 * (time - base) / base);
+      }
+      rows.push_back({alg.name(), "fault_process", p, t, time,
+                      (time - base) / base, name});
+    }
   }
 }
 
@@ -117,7 +166,9 @@ std::string rows_json(const std::vector<Row>& rows) {
        << ", \"extra_hops\": " << r.totals.extra_hops
        << ", \"fault_startups\": " << r.totals.fault_startups
        << ", \"fault_delay\": " << r.totals.fault_delay
-       << ", \"time\": " << r.time << ", \"overhead\": " << r.overhead << "}";
+       << ", \"time\": " << r.time << ", \"overhead\": " << r.overhead;
+    if (!r.process.empty()) os << ", \"process\": \"" << r.process << "\"";
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -150,6 +201,7 @@ int main(int argc, char** argv) {
     const double base = clean_time(*alg, a, b, port);
     sweep_drop_prob(*alg, a, b, port, base, rows, !json);
     sweep_failed_links(*alg, a, b, port, base, rows, !json);
+    sweep_fault_process(*alg, a, b, port, base, rows, !json);
   }
 
   const std::string doc = rows_json(rows);

@@ -84,12 +84,17 @@ algo::RunResult Protected::run(const Matrix& a, const Matrix& b,
   } guard{m, m.checkpointing()};
   m.set_checkpointing(true);
 
-  // Each recovery converts exactly one scheduled death into a permanent
-  // structural fault, so the attempt budget is the number of scheduled
-  // victims plus the final clean pass.
+  // Each recovery converts exactly one scheduled death — mid-run or
+  // mid-replay — into a permanent structural fault, so the attempt budget is
+  // the number of scheduled victims plus the final clean pass.  Checkpoint
+  // corruption consumes no extra attempt: it only escalates the rollback a
+  // death already paid for into a restart from scratch.
   std::uint64_t budget = 1;
   if (const fault::FaultPlan* plan = m.fault_plan()) {
     for (const auto& [round, victims] : plan->kill_at) {
+      budget += victims.size();
+    }
+    for (const auto& [round, victims] : plan->kill_at_replay) {
       budget += victims.size();
     }
   }
@@ -101,23 +106,32 @@ algo::RunResult Protected::run(const Matrix& a, const Matrix& b,
       run_encode(m, res.c);
       break;
     } catch (const fault::FaultAbort& abort) {
-      if (abort.event().kind != fault::FaultKind::kMidRunDeath ||
-          attempt + 1 >= budget) {
-        throw;
-      }
       const fault::FaultEvent ev = abort.event();
+      const bool death = ev.kind == fault::FaultKind::kMidRunDeath ||
+                         ev.kind == fault::FaultKind::kReplayDeath;
+      if (!death || attempt + 1 >= budget) throw;
       HCMM_CHECK(m.fault_plan() != nullptr,
                  "mid-run death without an installed fault plan");
       auto updated = std::make_shared<fault::FaultPlan>(*m.fault_plan());
       updated->set.kill_node(ev.src);
-      if (auto it = updated->kill_at.find(ev.round);
-          it != updated->kill_at.end()) {
+      auto& triggers = ev.kind == fault::FaultKind::kMidRunDeath
+                           ? updated->kill_at
+                           : updated->kill_at_replay;
+      if (auto it = triggers.find(ev.round); it != triggers.end()) {
         it->second.erase(ev.src);
-        if (it->second.empty()) updated->kill_at.erase(it);
+        if (it->second.empty()) triggers.erase(it);
       }
-      // Throws a located kUnroutable / kHostless FaultAbort when the death
-      // leaves no feasible contraction — a clean abort, not a wrong answer.
-      m.rollback_to_checkpoint(std::move(updated), ev);
+      try {
+        // Throws a located kUnroutable / kHostless FaultAbort when the death
+        // leaves no feasible contraction — a clean abort, not a wrong answer.
+        m.rollback_to_checkpoint(updated, ev);
+      } catch (const fault::FaultAbort& ck) {
+        // The snapshot the ladder wanted is corrupt (or was never taken):
+        // escalate past rollback and re-run the whole algorithm from scratch
+        // under the same updated plan.  Anything else is terminal.
+        if (ck.event().kind != fault::FaultKind::kCheckpointCorrupt) throw;
+        m.restart_from_scratch(updated, ck.event());
+      }
     }
   }
 

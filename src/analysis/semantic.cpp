@@ -332,6 +332,19 @@ class SemInterp {
         case TraceEvent::Kind::kPhase:
         case TraceEvent::Kind::kGemmBatch:
           break;
+        case TraceEvent::Kind::kRollback:
+          // Recovery discarded the store: every symbolic value, pending
+          // transfer, accumulator, and staged box dies with it.  The re-run
+          // re-stages operands and rebuilds coverage from scratch, so the
+          // exactly-once check judges only the surviving (replayed +
+          // resumed) computation — which is exactly what produced the final
+          // C.
+          heap_.clear();
+          pend_put_.clear();
+          pend_combine_.clear();
+          accums_.clear();
+          boxes_.clear();
+          break;
       }
     }
     check_coverage();

@@ -39,6 +39,11 @@ TraceRecorder::TraceRecorder(Machine& m) : machine_(m) {
   });
   m.set_schedule_observer(
       [this](const Schedule& s) { record_schedule(s); });
+  m.set_rollback_observer([this]() {
+    TraceEvent te;
+    te.kind = TraceEvent::Kind::kRollback;
+    trace_.events.push_back(std::move(te));
+  });
 }
 
 TraceRecorder::~TraceRecorder() {
@@ -47,6 +52,7 @@ TraceRecorder::~TraceRecorder() {
   machine_.set_gemm_observer({});
   machine_.set_semantic_observer({});
   machine_.set_schedule_observer({});
+  machine_.set_rollback_observer({});
 }
 
 void TraceRecorder::record_schedule(const Schedule& s) {
@@ -102,6 +108,16 @@ class Interp {
           // Provenance declarations never touch the abstract heap; they are
           // consumed by the semantic pass (analysis/semantic.hpp).
           if (sink_) sink_->on_semantic(ev.sem, loc);
+          break;
+        case TraceEvent::Kind::kRollback:
+          // Recovery discarded the store: every live item dies with it and
+          // the run rebuilds from empty.  Buffer ids stay monotone (refs_
+          // keeps growing) so race history in sinks never aliases a new
+          // allocation onto a pre-rollback one.
+          items_.clear();
+          joined_.clear();
+          stats_ = DataPlaneStats{};
+          if (sink_) sink_->on_rollback(loc);
           break;
       }
     }

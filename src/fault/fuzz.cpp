@@ -1,0 +1,873 @@
+#include "hcmm/fault/fuzz.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/prng.hpp"
+
+namespace hcmm::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Feature universe
+
+/// Ladder rungs in escalation order.  "clean" sits outside the escalation
+/// chain (a clean pass escalates to nothing), so transitions pair only the
+/// six recovery rungs.
+constexpr const char* kRungs[] = {
+    "clean", "retry", "reroute", "contraction", "rollback", "restart", "abort",
+};
+
+/// Every located FaultKind a run can observe (kNone excluded).
+constexpr FaultKind kKinds[] = {
+    FaultKind::kDrop,           FaultKind::kCorrupt,
+    FaultKind::kSpike,          FaultKind::kReroute,
+    FaultKind::kNodeDeath,      FaultKind::kRetryExhausted,
+    FaultKind::kUnroutable,     FaultKind::kHostless,
+    FaultKind::kSilentCorrupt,  FaultKind::kMidRunDeath,
+    FaultKind::kAbftUncorrectable, FaultKind::kDetourFault,
+    FaultKind::kReplayDeath,    FaultKind::kCheckpointCorrupt,
+    FaultKind::kBudgetExhausted,
+};
+
+[[nodiscard]] std::string rung_feature(const char* rung) {
+  return std::string("rung:") + rung;
+}
+
+[[nodiscard]] std::string kind_feature(FaultKind k) {
+  return std::string("kind:") + to_string(k);
+}
+
+[[nodiscard]] std::string esc_feature(const char* from, const char* to) {
+  return std::string("esc:") + from + "->" + to;
+}
+
+// ---------------------------------------------------------------------------
+// Shared formatting helpers (reproducer spec)
+
+[[nodiscard]] std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void spec_error(const std::string& token, const char* why) {
+  throw std::invalid_argument("plan_from_spec: " + std::string(why) +
+                              " in token \"" + token + "\"");
+}
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& token,
+                                      const std::string& text) {
+  if (text.empty()) spec_error(token, "empty integer");
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    spec_error(token, "malformed integer");
+  }
+  return v;
+}
+
+[[nodiscard]] double parse_double(const std::string& token,
+                                  const std::string& text) {
+  if (text.empty()) spec_error(token, "empty number");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    spec_error(token, "malformed number");
+  }
+  return v;
+}
+
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation helpers
+
+/// A random link of @p cube.
+[[nodiscard]] std::pair<NodeId, NodeId> random_link(Prng& rng,
+                                                    const Hypercube& cube) {
+  const auto a = static_cast<NodeId>(rng.next_below(cube.size()));
+  const auto k = static_cast<std::uint32_t>(rng.next_below(cube.dim()));
+  return {a, cube.neighbor(a, k)};
+}
+
+/// Add one connectivity-preserving link fault; false when 32 draws found
+/// none (the plan keeps working without it).
+bool add_connected_link(FaultPlan& plan, const Hypercube& cube, Prng& rng) {
+  for (int tries = 0; tries < 32; ++tries) {
+    const auto [a, b] = random_link(rng, cube);
+    if (plan.set.link_failed(a, b)) continue;
+    FaultSet with = plan.set;
+    with.fail_link(a, b);
+    if (!with.connected(cube)) continue;
+    plan.set = std::move(with);
+    return true;
+  }
+  return false;
+}
+
+/// Kill one node whose death keeps the live cube connected and hostable;
+/// returns the victim, or no value when 32 draws found none.
+[[nodiscard]] bool pick_safe_victim(const FaultPlan& plan,
+                                    const Hypercube& cube, Prng& rng,
+                                    NodeId& victim) {
+  for (int tries = 0; tries < 32; ++tries) {
+    const auto n = static_cast<NodeId>(rng.next_below(cube.size()));
+    if (plan.set.node_dead(n)) continue;
+    FaultSet with = plan.set;
+    with.kill_node(n);
+    if (!with.connected(cube)) continue;
+    bool hostable = true;
+    try {
+      for (NodeId d : with.dead_nodes()) (void)with.host(cube, d);
+    } catch (const FaultAbort&) {
+      hostable = false;
+    }
+    if (!hostable) continue;
+    victim = n;
+    return true;
+  }
+  return false;
+}
+
+/// Make sure a plan whose transient model is live has a usable retry loop.
+void ensure_retry_defaults(FaultPlan& plan, Prng& rng) {
+  if (!plan.transient.any()) return;
+  if (plan.transient.seed == 0) plan.transient.seed = rng.next_u64() | 1u;
+  if (plan.transient.backoff_base == 0.0) plan.transient.backoff_base = 0.25;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// observed_features / CoverageMap
+
+std::vector<std::string> observed_features(const RunObservation& obs) {
+  bool rung[sizeof kRungs / sizeof kRungs[0]] = {};
+  const bool recovered = obs.retries > 0 || obs.reroutes > 0 ||
+                         obs.recoveries > 0 || obs.restarts > 0 ||
+                         obs.contracted;
+  rung[0] = obs.completed && !recovered && obs.event_kinds.empty();
+  rung[1] = obs.retries > 0;
+  rung[2] = obs.reroutes > 0;
+  rung[3] = obs.contracted;
+  rung[4] = obs.recoveries > 0;
+  rung[5] = obs.restarts > 0;
+  rung[6] = obs.abort_kind != FaultKind::kNone;
+
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < sizeof kRungs / sizeof kRungs[0]; ++i) {
+    if (rung[i]) out.push_back(rung_feature(kRungs[i]));
+  }
+  // An escalation transition is two adjacent ladder rungs exercised by the
+  // same run — the co-occurrence is what a second-order fault forces.
+  for (std::size_t i = 1; i + 1 < sizeof kRungs / sizeof kRungs[0]; ++i) {
+    if (rung[i] && rung[i + 1]) {
+      out.push_back(esc_feature(kRungs[i], kRungs[i + 1]));
+    }
+  }
+  std::set<FaultKind> kinds(obs.event_kinds.begin(), obs.event_kinds.end());
+  if (obs.abort_kind != FaultKind::kNone) kinds.insert(obs.abort_kind);
+  kinds.erase(FaultKind::kNone);
+  for (FaultKind k : kinds) out.push_back(kind_feature(k));
+  return out;
+}
+
+const std::vector<std::string>& CoverageMap::universe() {
+  static const std::vector<std::string> u = [] {
+    std::vector<std::string> v;
+    for (const char* r : kRungs) v.push_back(rung_feature(r));
+    for (std::size_t i = 1; i + 1 < sizeof kRungs / sizeof kRungs[0]; ++i) {
+      v.push_back(esc_feature(kRungs[i], kRungs[i + 1]));
+    }
+    for (FaultKind k : kKinds) v.push_back(kind_feature(k));
+    return v;
+  }();
+  return u;
+}
+
+bool CoverageMap::record(const std::string& feature) {
+  return seen_.insert(feature).second;
+}
+
+std::size_t CoverageMap::record_all(const std::vector<std::string>& features) {
+  std::size_t novel = 0;
+  for (const auto& f : features) novel += record(f) ? 1u : 0u;
+  return novel;
+}
+
+double CoverageMap::ratio() const {
+  const auto& u = universe();
+  std::size_t covered = 0;
+  for (const auto& f : u) covered += seen_.contains(f) ? 1u : 0u;
+  return u.empty() ? 1.0
+                   : static_cast<double>(covered) /
+                         static_cast<double>(u.size());
+}
+
+std::vector<std::string> CoverageMap::missing() const {
+  std::vector<std::string> out;
+  for (const auto& f : universe()) {
+    if (!seen_.contains(f)) out.push_back(f);
+  }
+  return out;
+}
+
+std::string CoverageMap::json() const {
+  const auto& u = universe();
+  std::size_t covered = 0;
+  for (const auto& f : u) covered += seen_.contains(f) ? 1u : 0u;
+  std::ostringstream os;
+  os << "{\n  \"universe\": " << u.size() << ",\n  \"covered\": " << covered
+     << ",\n  \"ratio\": " << fmt_double(ratio()) << ",\n  \"seen\": [";
+  bool first = true;
+  for (const auto& f : seen_) {
+    os << (first ? "" : ", ") << '"' << f << '"';
+    first = false;
+  }
+  os << "],\n  \"missing\": [";
+  first = true;
+  for (const auto& f : missing()) {
+    os << (first ? "" : ", ") << '"' << f << '"';
+    first = false;
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Seed corpus
+
+std::vector<Scenario> fuzz_seed_corpus(const Hypercube& cube,
+                                       std::uint64_t seed) {
+  HCMM_CHECK(cube.dim() >= 3, "fuzz_seed_corpus: cube dimension must be >= 3");
+  Prng rng(seed ^ 0xf022a9e5eedc0de5ULL);
+  std::vector<Scenario> out;
+
+  {
+    // The clean rung: recovery machinery armed but never fired.
+    out.push_back({"baseline-empty", FaultPlan{}});
+  }
+  {
+    // Correlated bursts amplified on retransmissions, decorrelated by
+    // jitter: the retry rung under its hardest transient regime.
+    Scenario s{"burst-retry-storm", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.drop_prob = 0.03;
+    s.plan.transient.corrupt_prob = 0.02;
+    s.plan.transient.burst = {8, 3, 5.0};
+    s.plan.transient.retry_factor = 3.0;
+    s.plan.transient.jitter = 0.4;
+    s.plan.transient.backoff_base = 0.5;
+    s.plan.transient.max_attempts = 16;
+    out.push_back(std::move(s));
+  }
+  {
+    // Detours across a minefield: every re-planned hop may itself be
+    // discovered failed, forcing mid-flight re-planning.
+    Scenario s{"detour-minefield", FaultPlan{}};
+    s.plan.set = random_connected_link_faults(cube, rng.next_u64(), 2);
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.detour_fail_prob = 0.25;
+    out.push_back(std::move(s));
+  }
+  {
+    // First-order death, then a second death while the rollback replays
+    // the checkpointed prefix: two full recoveries in one run.
+    Scenario s{"death-then-replay-death", FaultPlan{}};
+    const NodeId v1 = safe_victim(cube, rng.next_u64(), s.plan.set);
+    s.plan.kill_node_at_round(v1, 6);
+    FaultSet after = s.plan.set;
+    after.kill_node(v1);
+    const NodeId v2 = safe_victim(cube, rng.next_u64(), after);
+    s.plan.kill_node_at_replay_round(v2, 0);
+    out.push_back(std::move(s));
+  }
+  {
+    // Every early checkpoint corrupt: the rollback a death pays for keeps
+    // failing its integrity check, so recovery escalates to a restart.
+    Scenario s{"corrupt-checkpoint", FaultPlan{}};
+    const NodeId v = safe_victim(cube, rng.next_u64(), s.plan.set);
+    s.plan.kill_node_at_round(v, 6);
+    for (std::uint64_t ord = 0; ord < 8; ++ord) {
+      s.plan.corrupt_checkpoint.insert(ord);
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    // Restart first (early checkpoints corrupt), then a later death rolls
+    // back onto a post-restart healthy checkpoint: restart and rollback
+    // rungs in one run.
+    Scenario s{"restart-then-rollback", FaultPlan{}};
+    const NodeId v1 = safe_victim(cube, rng.next_u64(), s.plan.set);
+    s.plan.kill_node_at_round(v1, 4);
+    FaultSet after = s.plan.set;
+    after.kill_node(v1);
+    const NodeId v2 = safe_victim(cube, rng.next_u64(), after);
+    s.plan.kill_node_at_round(v2, 6);
+    for (std::uint64_t ord = 0; ord < 4; ++ord) {
+      s.plan.corrupt_checkpoint.insert(ord);
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    // Same shape, but the recovery allowance covers only the restart: the
+    // second death finds the budget spent and must abort cleanly.
+    Scenario s{"recovery-budget-abort", FaultPlan{}};
+    const NodeId v1 = safe_victim(cube, rng.next_u64(), s.plan.set);
+    s.plan.kill_node_at_round(v1, 4);
+    FaultSet after = s.plan.set;
+    after.kill_node(v1);
+    const NodeId v2 = safe_victim(cube, rng.next_u64(), after);
+    s.plan.kill_node_at_round(v2, 6);
+    for (std::uint64_t ord = 0; ord < 4; ++ord) {
+      s.plan.corrupt_checkpoint.insert(ord);
+    }
+    s.plan.budget.max_recoveries = 1;
+    out.push_back(std::move(s));
+  }
+  {
+    // Heavy drops under a tight retry allowance: the budget, not the
+    // per-message attempt cap, is what gives out.
+    Scenario s{"retry-budget-squeeze", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.drop_prob = 0.6;
+    s.plan.transient.max_attempts = 10;
+    s.plan.transient.backoff_base = 0.1;
+    s.plan.budget.max_retries = 3;
+    out.push_back(std::move(s));
+  }
+  {
+    // Latency spikes against a recovery deadline on cumulative fault delay.
+    Scenario s{"deadline-squeeze", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.spike_prob = 0.9;
+    s.plan.transient.spike_time = 5.0;
+    s.plan.budget.deadline = 8.0;
+    out.push_back(std::move(s));
+  }
+  {
+    // A dead node with every neighbor dead: contraction has no host and the
+    // plan must be rejected with a located abort.
+    Scenario s{"hostless-cluster", FaultPlan{}};
+    s.plan.set.kill_node(0);
+    for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+      s.plan.set.kill_node(cube.neighbor(0, k));
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    // Every link of one node cut: the live cube is disconnected and no
+    // route can exist.
+    Scenario s{"severed-node", FaultPlan{}};
+    const NodeId n = static_cast<NodeId>(cube.size() - 1);
+    for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+      s.plan.set.fail_link(n, cube.neighbor(n, k));
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    // Structural storm: a pre-dead node plus link faults plus transients —
+    // retries, reroutes and contraction all active in one run.
+    Scenario s{"contraction-storm", FaultPlan{}};
+    s.plan.set = random_connected_link_faults(cube, rng.next_u64(), 2);
+    const NodeId v = safe_victim(cube, rng.next_u64(), s.plan.set);
+    s.plan.set.kill_node(v);
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.drop_prob = 0.02;
+    s.plan.transient.corrupt_prob = 0.01;
+    s.plan.transient.backoff_base = 0.25;
+    s.plan.transient.max_attempts = 12;
+    out.push_back(std::move(s));
+  }
+  {
+    // Rare silent flips: the ABFT-protected run must detect and correct.
+    Scenario s{"silent-flips", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.silent_prob = 0.004;
+    out.push_back(std::move(s));
+  }
+  {
+    // Flip storm: more corruption than single-error residues can repair —
+    // the protected run must refuse the product, not return it wrong.
+    Scenario s{"silent-storm", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.silent_prob = 0.3;
+    out.push_back(std::move(s));
+  }
+  {
+    // Total loss on every attempt: the per-message attempt cap is the
+    // abort path (kRetryExhausted), not the run-wide budget.
+    Scenario s{"drop-exhaustion", FaultPlan{}};
+    s.plan.transient.seed = rng.next_u64() | 1u;
+    s.plan.transient.drop_prob = 1.0;
+    s.plan.transient.max_attempts = 3;
+    s.plan.transient.backoff_base = 0.1;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation
+
+FaultPlan mutate_plan(const FaultPlan& base, const Hypercube& cube,
+                      std::uint64_t seed) {
+  Prng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  FaultPlan plan = base;
+  const std::uint64_t steps = 1 + rng.next_below(3);
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    switch (rng.next_below(20)) {
+      case 0:
+        add_connected_link(plan, cube, rng);
+        break;
+      case 1: {
+        NodeId v = 0;
+        if (pick_safe_victim(plan, cube, rng, v)) plan.set.kill_node(v);
+        break;
+      }
+      case 2:
+        plan.transient.drop_prob = rng.uniform(0.0, 0.08);
+        break;
+      case 3:
+        plan.transient.corrupt_prob = rng.uniform(0.0, 0.05);
+        break;
+      case 4:
+        plan.transient.spike_prob = rng.uniform(0.0, 0.5);
+        plan.transient.spike_time = rng.uniform(0.5, 4.0);
+        break;
+      case 5:
+        plan.transient.silent_prob = rng.uniform(0.0, 0.01);
+        break;
+      case 6:
+        plan.transient.burst = {
+            static_cast<std::uint32_t>(4 + rng.next_below(12)),
+            static_cast<std::uint32_t>(1 + rng.next_below(4)),
+            rng.uniform(2.0, 8.0)};
+        break;
+      case 7:
+        plan.transient.retry_factor = rng.uniform(1.0, 5.0);
+        break;
+      case 8:
+        plan.transient.jitter = rng.uniform(0.0, 0.5);
+        break;
+      case 9:
+        plan.transient.detour_fail_prob = rng.uniform(0.0, 0.3);
+        break;
+      case 10: {
+        NodeId v = 0;
+        if (pick_safe_victim(plan, cube, rng, v)) {
+          plan.kill_node_at_round(v, 2 + rng.next_below(16));
+        }
+        break;
+      }
+      case 11: {
+        NodeId v = 0;
+        if (pick_safe_victim(plan, cube, rng, v)) {
+          plan.kill_node_at_replay_round(v, rng.next_below(4));
+        }
+        break;
+      }
+      case 12:
+        plan.corrupt_checkpoint.insert(rng.next_below(6));
+        break;
+      case 13:
+        plan.budget.max_retries = 1 + rng.next_below(8);
+        break;
+      case 14:
+        plan.budget.max_reroutes = 1 + rng.next_below(4);
+        break;
+      case 15:
+        plan.budget.max_recoveries = 1 + rng.next_below(3);
+        break;
+      case 16:
+        plan.budget.deadline = rng.uniform(2.0, 40.0);
+        break;
+      case 17:
+        plan.transient.seed = rng.next_u64() | 1u;
+        break;
+      case 18: {
+        // Deliberate hostless cluster — the kHostless abort path is itself
+        // a coverage target.
+        const auto n = static_cast<NodeId>(rng.next_below(cube.size()));
+        plan.set.kill_node(n);
+        for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+          plan.set.kill_node(cube.neighbor(n, k));
+        }
+        break;
+      }
+      case 19: {
+        // Deliberate disconnect — the kUnroutable abort path.
+        const auto n = static_cast<NodeId>(rng.next_below(cube.size()));
+        for (std::uint32_t k = 0; k < cube.dim(); ++k) {
+          plan.set.fail_link(n, cube.neighbor(n, k));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  ensure_retry_defaults(plan, rng);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+
+namespace {
+
+/// Every one-component-removed sub-plan of @p p, in deterministic order.
+[[nodiscard]] std::vector<FaultPlan> shrink_candidates(const FaultPlan& p) {
+  std::vector<FaultPlan> out;
+  for (const std::uint64_t key : p.set.failed_links()) {
+    FaultPlan c = p;
+    FaultSet rebuilt;
+    for (const std::uint64_t other : p.set.failed_links()) {
+      if (other == key) continue;
+      rebuilt.fail_link(static_cast<NodeId>(other >> 32),
+                        static_cast<NodeId>(other & 0xffffffffULL));
+    }
+    for (const NodeId d : p.set.dead_nodes()) rebuilt.kill_node(d);
+    c.set = std::move(rebuilt);
+    out.push_back(std::move(c));
+  }
+  for (const NodeId dead : p.set.dead_nodes()) {
+    FaultPlan c = p;
+    FaultSet rebuilt;
+    for (const std::uint64_t key : p.set.failed_links()) {
+      rebuilt.fail_link(static_cast<NodeId>(key >> 32),
+                        static_cast<NodeId>(key & 0xffffffffULL));
+    }
+    for (const NodeId d : p.set.dead_nodes()) {
+      if (d != dead) rebuilt.kill_node(d);
+    }
+    c.set = std::move(rebuilt);
+    out.push_back(std::move(c));
+  }
+  for (const auto& [round, victims] : p.kill_at) {
+    for (const NodeId v : victims) {
+      FaultPlan c = p;
+      c.kill_at[round].erase(v);
+      if (c.kill_at[round].empty()) c.kill_at.erase(round);
+      out.push_back(std::move(c));
+    }
+  }
+  for (const auto& [round, victims] : p.kill_at_replay) {
+    for (const NodeId v : victims) {
+      FaultPlan c = p;
+      c.kill_at_replay[round].erase(v);
+      if (c.kill_at_replay[round].empty()) c.kill_at_replay.erase(round);
+      out.push_back(std::move(c));
+    }
+  }
+  for (const std::uint64_t ord : p.corrupt_checkpoint) {
+    FaultPlan c = p;
+    c.corrupt_checkpoint.erase(ord);
+    out.push_back(std::move(c));
+  }
+  const auto channel = [&out, &p](auto&& zero) {
+    FaultPlan c = p;
+    zero(c);
+    out.push_back(std::move(c));
+  };
+  const TransientSpec& t = p.transient;
+  if (t.drop_prob != 0.0) {
+    channel([](FaultPlan& c) { c.transient.drop_prob = 0.0; });
+  }
+  if (t.corrupt_prob != 0.0) {
+    channel([](FaultPlan& c) { c.transient.corrupt_prob = 0.0; });
+  }
+  if (t.spike_prob != 0.0 || t.spike_time != 0.0) {
+    channel([](FaultPlan& c) {
+      c.transient.spike_prob = 0.0;
+      c.transient.spike_time = 0.0;
+    });
+  }
+  if (t.silent_prob != 0.0) {
+    channel([](FaultPlan& c) { c.transient.silent_prob = 0.0; });
+  }
+  if (t.burst.active()) {
+    channel([](FaultPlan& c) { c.transient.burst = {}; });
+  }
+  if (t.retry_factor != 1.0) {
+    channel([](FaultPlan& c) { c.transient.retry_factor = 1.0; });
+  }
+  if (t.jitter != 0.0) {
+    channel([](FaultPlan& c) { c.transient.jitter = 0.0; });
+  }
+  if (t.detour_fail_prob != 0.0) {
+    channel([](FaultPlan& c) { c.transient.detour_fail_prob = 0.0; });
+  }
+  if (p.budget.max_retries != 0) {
+    channel([](FaultPlan& c) { c.budget.max_retries = 0; });
+  }
+  if (p.budget.max_reroutes != 0) {
+    channel([](FaultPlan& c) { c.budget.max_reroutes = 0; });
+  }
+  if (p.budget.max_recoveries != 0) {
+    channel([](FaultPlan& c) { c.budget.max_recoveries = 0; });
+  }
+  if (p.budget.deadline != 0.0) {
+    channel([](FaultPlan& c) { c.budget.deadline = 0.0; });
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan shrink_plan(
+    const FaultPlan& plan,
+    const std::function<bool(const FaultPlan&)>& still_fails) {
+  FaultPlan cur = plan;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FaultPlan& cand : shrink_candidates(cur)) {
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Reproducer spec + JSON
+
+std::string plan_spec(const FaultPlan& plan) {
+  std::vector<std::string> tokens;
+  const TransientSpec& t = plan.transient;
+  const TransientSpec dflt;
+  if (t.seed != dflt.seed) tokens.push_back("seed=" + std::to_string(t.seed));
+  if (t.drop_prob != dflt.drop_prob) {
+    tokens.push_back("drop=" + fmt_double(t.drop_prob));
+  }
+  if (t.corrupt_prob != dflt.corrupt_prob) {
+    tokens.push_back("corrupt=" + fmt_double(t.corrupt_prob));
+  }
+  if (t.spike_prob != dflt.spike_prob || t.spike_time != dflt.spike_time) {
+    tokens.push_back("spike=" + fmt_double(t.spike_prob) + "," +
+                     fmt_double(t.spike_time));
+  }
+  if (t.max_attempts != dflt.max_attempts) {
+    tokens.push_back("attempts=" + std::to_string(t.max_attempts));
+  }
+  if (t.backoff_base != dflt.backoff_base) {
+    tokens.push_back("backoff=" + fmt_double(t.backoff_base));
+  }
+  if (t.silent_prob != dflt.silent_prob) {
+    tokens.push_back("silent=" + fmt_double(t.silent_prob));
+  }
+  if (t.burst.period != 0 || t.burst.len != 0 || t.burst.factor != 1.0) {
+    tokens.push_back("burst=" + std::to_string(t.burst.period) + "," +
+                     std::to_string(t.burst.len) + "," +
+                     fmt_double(t.burst.factor));
+  }
+  if (t.retry_factor != dflt.retry_factor) {
+    tokens.push_back("rfactor=" + fmt_double(t.retry_factor));
+  }
+  if (t.jitter != dflt.jitter) {
+    tokens.push_back("jitter=" + fmt_double(t.jitter));
+  }
+  if (t.detour_fail_prob != dflt.detour_fail_prob) {
+    tokens.push_back("detour=" + fmt_double(t.detour_fail_prob));
+  }
+  for (const std::uint64_t key : plan.set.failed_links()) {
+    tokens.push_back("link=" + std::to_string(key >> 32) + "-" +
+                     std::to_string(key & 0xffffffffULL));
+  }
+  for (const NodeId d : plan.set.dead_nodes()) {
+    tokens.push_back("dead=" + std::to_string(d));
+  }
+  for (const auto& [round, victims] : plan.kill_at) {
+    for (const NodeId v : victims) {
+      tokens.push_back("kill@" + std::to_string(round) + "=" +
+                       std::to_string(v));
+    }
+  }
+  for (const auto& [round, victims] : plan.kill_at_replay) {
+    for (const NodeId v : victims) {
+      tokens.push_back("killr@" + std::to_string(round) + "=" +
+                       std::to_string(v));
+    }
+  }
+  for (const std::uint64_t ord : plan.corrupt_checkpoint) {
+    tokens.push_back("ckpt=" + std::to_string(ord));
+  }
+  if (plan.budget.any()) {
+    tokens.push_back("budget=" + std::to_string(plan.budget.max_retries) +
+                     "," + std::to_string(plan.budget.max_reroutes) + "," +
+                     std::to_string(plan.budget.max_recoveries) + "," +
+                     fmt_double(plan.budget.deadline));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += ';';
+    out += tokens[i];
+  }
+  return out;
+}
+
+FaultPlan plan_from_spec(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& token : split(spec, ';')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) spec_error(token, "missing '='");
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    if (key == "seed") {
+      plan.transient.seed = parse_u64(token, val);
+    } else if (key == "drop") {
+      plan.transient.drop_prob = parse_double(token, val);
+    } else if (key == "corrupt") {
+      plan.transient.corrupt_prob = parse_double(token, val);
+    } else if (key == "spike") {
+      const auto parts = split(val, ',');
+      if (parts.size() != 2) spec_error(token, "want spike=<prob>,<time>");
+      plan.transient.spike_prob = parse_double(token, parts[0]);
+      plan.transient.spike_time = parse_double(token, parts[1]);
+    } else if (key == "attempts") {
+      plan.transient.max_attempts =
+          static_cast<std::uint32_t>(parse_u64(token, val));
+    } else if (key == "backoff") {
+      plan.transient.backoff_base = parse_double(token, val);
+    } else if (key == "silent") {
+      plan.transient.silent_prob = parse_double(token, val);
+    } else if (key == "burst") {
+      const auto parts = split(val, ',');
+      if (parts.size() != 3) {
+        spec_error(token, "want burst=<period>,<len>,<factor>");
+      }
+      plan.transient.burst.period =
+          static_cast<std::uint32_t>(parse_u64(token, parts[0]));
+      plan.transient.burst.len =
+          static_cast<std::uint32_t>(parse_u64(token, parts[1]));
+      plan.transient.burst.factor = parse_double(token, parts[2]);
+    } else if (key == "rfactor") {
+      plan.transient.retry_factor = parse_double(token, val);
+    } else if (key == "jitter") {
+      plan.transient.jitter = parse_double(token, val);
+    } else if (key == "detour") {
+      plan.transient.detour_fail_prob = parse_double(token, val);
+    } else if (key == "link") {
+      const auto parts = split(val, '-');
+      if (parts.size() != 2) spec_error(token, "want link=<a>-<b>");
+      plan.set.fail_link(static_cast<NodeId>(parse_u64(token, parts[0])),
+                         static_cast<NodeId>(parse_u64(token, parts[1])));
+    } else if (key == "dead") {
+      plan.set.kill_node(static_cast<NodeId>(parse_u64(token, val)));
+    } else if (key.rfind("kill@", 0) == 0) {
+      plan.kill_node_at_round(static_cast<NodeId>(parse_u64(token, val)),
+                              parse_u64(token, key.substr(5)));
+    } else if (key.rfind("killr@", 0) == 0) {
+      plan.kill_node_at_replay_round(
+          static_cast<NodeId>(parse_u64(token, val)),
+          parse_u64(token, key.substr(6)));
+    } else if (key == "ckpt") {
+      plan.corrupt_checkpoint.insert(parse_u64(token, val));
+    } else if (key == "budget") {
+      const auto parts = split(val, ',');
+      if (parts.size() != 4) {
+        spec_error(token,
+                   "want budget=<retries>,<reroutes>,<recoveries>,<deadline>");
+      }
+      plan.budget.max_retries = parse_u64(token, parts[0]);
+      plan.budget.max_reroutes = parse_u64(token, parts[1]);
+      plan.budget.max_recoveries = parse_u64(token, parts[2]);
+      plan.budget.deadline = parse_double(token, parts[3]);
+    } else {
+      spec_error(token, "unknown key");
+    }
+  }
+  return plan;
+}
+
+std::string plan_json(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "{\"spec\": \"" << plan_spec(plan) << "\", \"links\": [";
+  bool first = true;
+  for (const std::uint64_t key : plan.set.failed_links()) {
+    os << (first ? "" : ", ") << "[" << (key >> 32) << ", "
+       << (key & 0xffffffffULL) << "]";
+    first = false;
+  }
+  os << "], \"dead\": [";
+  first = true;
+  for (const NodeId d : plan.set.dead_nodes()) {
+    os << (first ? "" : ", ") << d;
+    first = false;
+  }
+  os << "], \"kill_at\": {";
+  first = true;
+  for (const auto& [round, victims] : plan.kill_at) {
+    os << (first ? "" : ", ") << '"' << round << "\": [";
+    bool inner = true;
+    for (const NodeId v : victims) {
+      os << (inner ? "" : ", ") << v;
+      inner = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << "}, \"kill_at_replay\": {";
+  first = true;
+  for (const auto& [round, victims] : plan.kill_at_replay) {
+    os << (first ? "" : ", ") << '"' << round << "\": [";
+    bool inner = true;
+    for (const NodeId v : victims) {
+      os << (inner ? "" : ", ") << v;
+      inner = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << "}, \"corrupt_checkpoint\": [";
+  first = true;
+  for (const std::uint64_t ord : plan.corrupt_checkpoint) {
+    os << (first ? "" : ", ") << ord;
+    first = false;
+  }
+  os << "], \"transient\": {\"seed\": " << plan.transient.seed
+     << ", \"drop\": " << fmt_double(plan.transient.drop_prob)
+     << ", \"corrupt\": " << fmt_double(plan.transient.corrupt_prob)
+     << ", \"spike\": " << fmt_double(plan.transient.spike_prob)
+     << ", \"silent\": " << fmt_double(plan.transient.silent_prob)
+     << ", \"burst_period\": " << plan.transient.burst.period
+     << ", \"burst_len\": " << plan.transient.burst.len
+     << ", \"burst_factor\": " << fmt_double(plan.transient.burst.factor)
+     << ", \"retry_factor\": " << fmt_double(plan.transient.retry_factor)
+     << ", \"jitter\": " << fmt_double(plan.transient.jitter)
+     << ", \"detour\": " << fmt_double(plan.transient.detour_fail_prob)
+     << "}, \"budget\": {\"max_retries\": " << plan.budget.max_retries
+     << ", \"max_reroutes\": " << plan.budget.max_reroutes
+     << ", \"max_recoveries\": " << plan.budget.max_recoveries
+     << ", \"deadline\": " << fmt_double(plan.budget.deadline) << "}}";
+  return os.str();
+}
+
+}  // namespace hcmm::fault

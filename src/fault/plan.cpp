@@ -31,6 +31,11 @@ namespace {
 // Domain-separation salt so the silent-corruption stream is independent of
 // the drop/corrupt/spike stream on the same (round, src, dst) coordinates.
 constexpr std::uint64_t kSilentSalt = 0xabf7c0de5117e417ULL;
+// Further salts keep the burst-window, backoff-jitter, and detour-discovery
+// streams independent of each other and of every stream above.
+constexpr std::uint64_t kBurstSalt = 0xb0857c0de1234567ULL;
+constexpr std::uint64_t kJitterSalt = 0x217e7e00b0ff0000ULL;
+constexpr std::uint64_t kDetourSalt = 0xde700cde70e4faceULL;
 
 [[nodiscard]] std::uint64_t silent_hash(std::uint64_t seed, std::uint64_t round,
                                         NodeId src, NodeId dst) noexcept {
@@ -56,6 +61,10 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kSilentCorrupt: return "silent-corrupt";
     case FaultKind::kMidRunDeath: return "mid-run-death";
     case FaultKind::kAbftUncorrectable: return "abft-uncorrectable";
+    case FaultKind::kDetourFault: return "detour-fault";
+    case FaultKind::kReplayDeath: return "replay-death";
+    case FaultKind::kCheckpointCorrupt: return "checkpoint-corrupt";
+    case FaultKind::kBudgetExhausted: return "budget-exhausted";
   }
   return "?";
 }
@@ -135,14 +144,18 @@ FaultKind FaultPlan::attempt_outcome(std::uint64_t round, NodeId src,
                                      std::uint32_t attempt) const noexcept {
   if (!transient.any()) return FaultKind::kNone;
   const double u = hash_unit(transient.seed, round, src, dst, attempt);
-  if (u < transient.drop_prob) return FaultKind::kDrop;
-  if (u < transient.drop_prob + transient.corrupt_prob) {
-    return FaultKind::kCorrupt;
-  }
-  if (u < transient.drop_prob + transient.corrupt_prob +
-              transient.spike_prob) {
-    return FaultKind::kSpike;
-  }
+  // Correlated bursts scale every probability inside the window; targeted
+  // retry faults scale drop/corrupt on retransmissions (attempt >= 2).
+  // Both multipliers compose, clamped so thresholds stay well ordered.
+  double scale = in_burst(round) ? transient.burst.factor : 1.0;
+  double rscale = attempt >= 2 ? transient.retry_factor : 1.0;
+  const auto clamp01 = [](double p) { return p < 1.0 ? p : 1.0; };
+  const double drop = clamp01(transient.drop_prob * scale * rscale);
+  const double corrupt = clamp01(transient.corrupt_prob * scale * rscale);
+  const double spike = clamp01(transient.spike_prob * scale);
+  if (u < drop) return FaultKind::kDrop;
+  if (u < clamp01(drop + corrupt)) return FaultKind::kCorrupt;
+  if (u < clamp01(drop + corrupt + spike)) return FaultKind::kSpike;
   return FaultKind::kNone;
 }
 
@@ -157,6 +170,38 @@ std::uint64_t FaultPlan::silent_site(std::uint64_t round, NodeId src,
                                      NodeId dst) const noexcept {
   // One extra mix so the site bits are independent of the hit decision.
   return mix(silent_hash(transient.seed, round, src, dst));
+}
+
+bool FaultPlan::in_burst(std::uint64_t round) const noexcept {
+  const BurstSpec& b = transient.burst;
+  if (!b.active()) return false;
+  // The window start inside each cycle is a pure hash of (seed, cycle); the
+  // window may wrap into the next cycle so every offset is reachable.
+  const std::uint64_t cycle = round / b.period;
+  const std::uint64_t start =
+      mix(mix(transient.seed ^ kBurstSalt) ^ cycle) % b.period;
+  const std::uint64_t off = round % b.period;
+  const std::uint64_t rel = (off + b.period - start) % b.period;
+  return rel < b.len;
+}
+
+bool FaultPlan::detour_hit(std::uint64_t round, NodeId a,
+                           NodeId b) const noexcept {
+  if (transient.detour_fail_prob <= 0.0) return false;
+  std::uint64_t h = mix(transient.seed ^ kDetourSalt);
+  h = mix(h ^ round);
+  h = mix(h ^ link_key(a, b));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         transient.detour_fail_prob;
+}
+
+double FaultPlan::jitter_unit(std::uint64_t round, NodeId src, NodeId dst,
+                              std::uint32_t attempt) const noexcept {
+  std::uint64_t h = mix(transient.seed ^ kJitterSalt);
+  h = mix(h ^ round);
+  h = mix(h ^ ((static_cast<std::uint64_t>(src) << 32) | dst));
+  h = mix(h ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
 }  // namespace hcmm::fault

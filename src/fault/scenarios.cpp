@@ -45,7 +45,7 @@ std::vector<Scenario> abft_scenarios(const Hypercube& cube,
     // Rare flips: usually zero or one per run, the single-error class the
     // Huang-Abraham residues correct outright.
     Scenario s{"silent-rare", FaultPlan{}};
-    s.plan.transient = TransientSpec{.seed = rng.next_u64()};
+    s.plan.transient.seed = rng.next_u64();
     s.plan.transient.silent_prob = 0.002;
     out.push_back(std::move(s));
   }
@@ -53,7 +53,7 @@ std::vector<Scenario> abft_scenarios(const Hypercube& cube,
     // Frequent flips: several per run, spanning rows and columns — the
     // protected run must either repair them all or refuse the product.
     Scenario s{"silent-burst", FaultPlan{}};
-    s.plan.transient = TransientSpec{.seed = rng.next_u64()};
+    s.plan.transient.seed = rng.next_u64();
     s.plan.transient.silent_prob = 0.02;
     out.push_back(std::move(s));
   }
@@ -61,13 +61,11 @@ std::vector<Scenario> abft_scenarios(const Hypercube& cube,
     // Silent flips underneath detected drops: the retry layer resends what
     // it can see while the checksum layer handles what it cannot.
     Scenario s{"silent-plus-drops", FaultPlan{}};
-    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
-                                     .drop_prob = 0.04,
-                                     .corrupt_prob = 0.01,
-                                     .spike_prob = 0.0,
-                                     .spike_time = 0.0,
-                                     .max_attempts = 10,
-                                     .backoff_base = 8.0};
+    s.plan.transient.seed = rng.next_u64();
+    s.plan.transient.drop_prob = 0.04;
+    s.plan.transient.corrupt_prob = 0.01;
+    s.plan.transient.max_attempts = 10;
+    s.plan.transient.backoff_base = 8.0;
     s.plan.transient.silent_prob = 0.004;
     out.push_back(std::move(s));
   }
@@ -109,24 +107,19 @@ std::vector<Scenario> chaos_scenarios(const Hypercube& cube,
   }
   {
     Scenario s{"transient-drops", FaultPlan{}};
-    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
-                                     .drop_prob = 0.06,
-                                     .corrupt_prob = 0.02,
-                                     .spike_prob = 0.0,
-                                     .spike_time = 0.0,
-                                     .max_attempts = 10,
-                                     .backoff_base = 8.0};
+    s.plan.transient.seed = rng.next_u64();
+    s.plan.transient.drop_prob = 0.06;
+    s.plan.transient.corrupt_prob = 0.02;
+    s.plan.transient.max_attempts = 10;
+    s.plan.transient.backoff_base = 8.0;
     out.push_back(std::move(s));
   }
   {
     Scenario s{"latency-spikes", FaultPlan{}};
-    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
-                                     .drop_prob = 0.0,
-                                     .corrupt_prob = 0.0,
-                                     .spike_prob = 0.1,
-                                     .spike_time = 400.0,
-                                     .max_attempts = 6,
-                                     .backoff_base = 0.0};
+    s.plan.transient.seed = rng.next_u64();
+    s.plan.transient.spike_prob = 0.1;
+    s.plan.transient.spike_time = 400.0;
+    s.plan.transient.max_attempts = 6;
     out.push_back(std::move(s));
   }
   {
@@ -141,13 +134,13 @@ std::vector<Scenario> chaos_scenarios(const Hypercube& cube,
                                               cube.dim() >= 4 ? 3u : 1u);
     s.plan.set.kill_node(random_safe_victim(rng, cube, s.plan.set));
     HCMM_CHECK(s.plan.set.connected(cube), "chaos_scenarios: storm broke the cube");
-    s.plan.transient = TransientSpec{.seed = rng.next_u64(),
-                                     .drop_prob = 0.04,
-                                     .corrupt_prob = 0.01,
-                                     .spike_prob = 0.05,
-                                     .spike_time = 200.0,
-                                     .max_attempts = 12,
-                                     .backoff_base = 4.0};
+    s.plan.transient.seed = rng.next_u64();
+    s.plan.transient.drop_prob = 0.04;
+    s.plan.transient.corrupt_prob = 0.01;
+    s.plan.transient.spike_prob = 0.05;
+    s.plan.transient.spike_time = 200.0;
+    s.plan.transient.max_attempts = 12;
+    s.plan.transient.backoff_base = 4.0;
     out.push_back(std::move(s));
   }
   return out;

@@ -48,7 +48,7 @@ namespace hcmm::analysis {
 /// are indexed into RunTrace::schedules to keep events cheap to copy.
 struct TraceEvent {
   enum class Kind : std::uint8_t {
-    kStoreOp, kSchedule, kPhase, kGemmBatch, kSemantic,
+    kStoreOp, kSchedule, kPhase, kGemmBatch, kSemantic, kRollback,
   };
   Kind kind = Kind::kStoreOp;
   StoreEvent store;          ///< kStoreOp
@@ -56,6 +56,8 @@ struct TraceEvent {
   std::string phase;         ///< kPhase
   std::size_t gemm_jobs = 0; ///< kGemmBatch
   SemanticEvent sem;         ///< kSemantic (see sim/semantic.hpp)
+  // kRollback carries no payload: recovery discarded the store (checkpoint
+  // rollback or restart from scratch) and the run rebuilds from empty.
 };
 
 /// Everything one run did to the data plane, in order.
@@ -148,6 +150,10 @@ class TraceSink {
   virtual void on_semantic(const SemanticEvent& ev, const TraceLoc& loc) {
     (void)ev, (void)loc;
   }
+  /// Recovery discarded the store and the run restarts from empty state
+  /// (checkpoint rollback / restart).  Passes drop their abstract heaps —
+  /// surviving items are recovery casualties, not leaks or races.
+  virtual void on_rollback(const TraceLoc& loc) { (void)loc; }
 };
 
 /// Abstractly re-execute @p trace, reporting accesses, synchronization

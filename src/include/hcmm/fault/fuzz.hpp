@@ -1,0 +1,124 @@
+#pragma once
+// Coverage-guided chaos fuzzing of the recovery ladder.
+//
+// The chaos campaign (tools/hcmm_chaos) no longer just sweeps a fixed
+// scenario catalogue: it *searches* the fault-plan space for recovery paths
+// it has not exercised yet.  The search is classic coverage-guided fuzzing,
+// specialized to the simulator's determinism:
+//
+//   feature map — every run is distilled into named recovery-path features:
+//       which ladder rungs fired (retry, reroute, contraction, rollback,
+//       restart, located abort, clean pass), which FaultKinds were observed,
+//       and which adjacent ladder escalations co-occurred in one run.  The
+//       universe is enumerable up front, so "coverage" is a plain ratio.
+//   corpus + mutation — plans that light up novel features are admitted to
+//       the corpus; children are derived by seeded structural/transient/
+//       scheduled-fault mutations.  Everything is a pure function of the
+//       campaign seed: the same seed replays the identical campaign.
+//   shrinking — a failing plan is delta-debugged against its failure
+//       predicate down to a locally-minimal sub-plan, serialized as a
+//       one-line spec that round-trips exactly (the reproducer format
+//       checked into CI artifacts; see docs/FAULTS.md).
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hcmm/fault/plan.hpp"
+#include "hcmm/fault/scenarios.hpp"
+
+namespace hcmm::fault {
+
+/// What one chaos run exercised, distilled from its SimReport (or its
+/// located abort).  The driver fills this; observed_features() names it.
+struct RunObservation {
+  bool completed = false;            ///< a product was produced
+  std::uint64_t retries = 0;         ///< totals().retries
+  std::uint64_t reroutes = 0;        ///< totals().reroutes
+  std::uint64_t recoveries = 0;      ///< report.recoveries
+  std::uint64_t restarts = 0;        ///< report.restarts
+  bool contracted = false;           ///< any dead node was hosted
+  std::vector<FaultKind> event_kinds;           ///< located fault events
+  FaultKind abort_kind = FaultKind::kNone;      ///< kNone unless aborted
+};
+
+/// The recovery-path feature names @p obs exercised: ladder rungs
+/// ("rung:retry"), observed fault kinds ("kind:drop"), and the adjacent
+/// ladder escalations that co-occurred in the run ("esc:rollback->restart").
+[[nodiscard]] std::vector<std::string> observed_features(
+    const RunObservation& obs);
+
+/// Coverage over the enumerable recovery-path feature universe.
+class CoverageMap {
+ public:
+  /// Every feature the fuzzer aims for: the 7 ladder rungs, the located
+  /// FaultKind vocabulary, and the 5 adjacent escalation transitions.
+  [[nodiscard]] static const std::vector<std::string>& universe();
+
+  /// Record @p feature; true when it was novel.  Off-universe features are
+  /// kept (they show up in json()) but do not count toward ratio().
+  bool record(const std::string& feature);
+  /// Record every feature; returns how many were novel.
+  std::size_t record_all(const std::vector<std::string>& features);
+
+  [[nodiscard]] bool seen(const std::string& feature) const {
+    return seen_.contains(feature);
+  }
+  /// Covered fraction of universe(), in [0, 1].
+  [[nodiscard]] double ratio() const;
+  /// Universe features not yet seen, in universe order.
+  [[nodiscard]] std::vector<std::string> missing() const;
+  /// {"universe": N, "covered": M, "ratio": r, "seen": [...], "missing":
+  /// [...]} — the CI coverage artifact.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::set<std::string> seen_;
+};
+
+/// Hand-tuned second-order seed plans the fuzzer starts from.  Each is
+/// chosen to reach a specific corner of the feature universe (burst-
+/// modulated retries, detour minefields, replay deaths, corrupt
+/// checkpoints, budget exhaustion, structural aborts...), so the campaign
+/// crosses the coverage gate quickly and mutation explores from there.
+/// Deterministic in (cube, seed); requires cube.dim() >= 3.
+[[nodiscard]] std::vector<Scenario> fuzz_seed_corpus(const Hypercube& cube,
+                                                     std::uint64_t seed);
+
+/// One deterministic mutation step: derive a child from @p base by applying
+/// 1-3 seeded mutations — structural faults (connectivity-preserving except
+/// for the deliberate disconnect/hostless mutations, which target the
+/// structural abort paths), transient knobs (probabilities, bursts, retry
+/// amplification, jitter, detour discovery), scheduled mid-run and replay
+/// deaths, checkpoint corruption, and budget tightening.  Pure function of
+/// (base, cube, seed).
+[[nodiscard]] FaultPlan mutate_plan(const FaultPlan& base,
+                                    const Hypercube& cube, std::uint64_t seed);
+
+/// Delta-debug @p plan against @p still_fails down to a locally-minimal
+/// failing plan: greedily remove one component at a time — a failed link, a
+/// dead node, one scheduled death, one checkpoint corruption, one transient
+/// channel, one budget limit — keeping each removal only when the predicate
+/// still fails, iterated to a fixpoint.  Every candidate handed to the
+/// predicate is a sub-plan of the input; the input itself is assumed
+/// failing and is returned unchanged when nothing can be removed.
+[[nodiscard]] FaultPlan shrink_plan(
+    const FaultPlan& plan,
+    const std::function<bool(const FaultPlan&)>& still_fails);
+
+/// One-line reproducer spec: ordered `key=value` tokens joined by ';'
+/// ("link=0-1;dead=5;drop=0.03;kill@6=2;ckpt=0;budget=4,0,0,0;...").
+/// plan_from_spec(plan_spec(p)) reconstructs p exactly, doubles included.
+[[nodiscard]] std::string plan_spec(const FaultPlan& plan);
+
+/// Parse a plan_spec() string.  Throws std::invalid_argument with the
+/// offending token on malformed input.
+[[nodiscard]] FaultPlan plan_from_spec(const std::string& spec);
+
+/// JSON rendering of a plan for human-facing campaign reports (the spec
+/// string is embedded under "spec" so the JSON is also machine-replayable).
+[[nodiscard]] std::string plan_json(const FaultPlan& plan);
+
+}  // namespace hcmm::fault

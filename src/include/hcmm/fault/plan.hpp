@@ -41,6 +41,10 @@ enum class FaultKind : std::uint8_t {
   kSilentCorrupt,   ///< payload flipped in flight; CRC passed (ABFT-only)
   kMidRunDeath,     ///< scheduled node death fired mid-run
   kAbftUncorrectable,  ///< ABFT detected corruption it cannot correct
+  kDetourFault,        ///< reroute detour link discovered failed mid-flight
+  kReplayDeath,        ///< node death during checkpoint rollback/replay
+  kCheckpointCorrupt,  ///< checkpoint snapshot failed its integrity digest
+  kBudgetExhausted,    ///< recovery budget / deadline exceeded
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -108,6 +112,22 @@ class FaultSet {
   std::set<NodeId> dead_;
 };
 
+/// Correlated-burst modulation of the transient model: real transports fail
+/// in bursts, not as independent per-message events (CommBench-style
+/// measurements, PAPERS.md).  Rounds inside a burst window see every
+/// transient probability multiplied by `factor`.  The window position inside
+/// each cycle is a pure hash of (seed, cycle), so bursts move around from
+/// cycle to cycle but replay bit-identically.
+struct BurstSpec {
+  std::uint32_t period = 0;  ///< rounds per burst cycle; 0 disables
+  std::uint32_t len = 0;     ///< burst window length in rounds
+  double factor = 1.0;       ///< probability multiplier inside the window
+
+  [[nodiscard]] bool active() const noexcept {
+    return period > 0 && len > 0 && factor != 1.0;
+  }
+};
+
 /// Seeded model of per-message-attempt transient faults.  Every decision is
 /// a pure hash of (seed, round, src, dst, attempt) — no mutable RNG state —
 /// so replays and resimulations see the identical fault pattern.
@@ -124,9 +144,42 @@ struct TransientSpec {
   /// charges nothing.  Invisible to the retry/reroute recovery layers; only
   /// ABFT checksum verification (abft::protect) can catch it.
   double silent_prob = 0.0;
+  /// Correlated burst windows (see BurstSpec).  Inert without base
+  /// probabilities, so the empty-plan bit-identity guarantee is unaffected.
+  BurstSpec burst{};
+  /// Faults that target recovery traffic: retransmission attempts (attempt
+  /// >= 2) see drop_prob and corrupt_prob multiplied by this factor — the
+  /// link that just dropped a message is more likely to drop the resend.
+  double retry_factor = 1.0;
+  /// Deterministic backoff jitter: retry k waits
+  /// backoff_base * 2^(k-1) * (1 + jitter * u) with u a pure hash in [0, 1),
+  /// so synchronized retries across links decorrelate instead of storming.
+  /// 0 keeps the historical bit-identical backoff.
+  double jitter = 0.0;
+  /// Per detour hop: probability that the hop's link is *discovered* failed
+  /// mid-flight (a second-order fault only reroute recovery can trigger).
+  /// The Machine converts the discovery into a permanent structural fault
+  /// and re-plans the detour from the current node.
+  double detour_fail_prob = 0.0;
 
   [[nodiscard]] bool any() const noexcept {
     return drop_prob + corrupt_prob + spike_prob + silent_prob > 0.0;
+  }
+};
+
+/// Run-wide budgets on recovery work.  0 fields are unlimited.  Exceeding a
+/// budget raises a located FaultAbort(kBudgetExhausted): when the machine
+/// cannot finish within its recovery allowance it must abort cleanly at the
+/// point of exhaustion, never thrash.
+struct RecoveryBudget {
+  std::uint64_t max_retries = 0;     ///< transient resends across the run
+  std::uint64_t max_reroutes = 0;    ///< detours incl. mid-flight re-plans
+  std::uint64_t max_recoveries = 0;  ///< checkpoint rollbacks + restarts
+  double deadline = 0.0;             ///< cap on cumulative fault_delay
+
+  [[nodiscard]] bool any() const noexcept {
+    return max_retries > 0 || max_reroutes > 0 || max_recoveries > 0 ||
+           deadline > 0.0;
   }
 };
 
@@ -141,13 +194,30 @@ struct FaultPlan {
   /// into a permanent structural fault, rolls back to the last phase
   /// checkpoint, and replays.  Ordered map so iteration is deterministic.
   std::map<std::uint64_t, std::set<NodeId>> kill_at;
+  /// Second-order deaths: node dies while the machine is *replaying* the
+  /// checkpointed prefix after a rollback.  Keyed by run-wide round like
+  /// kill_at, but only consulted while replay is in progress, so the fault
+  /// specifically targets recovery traffic.  Raises kReplayDeath.
+  std::map<std::uint64_t, std::set<NodeId>> kill_at_replay;
+  /// Checkpoint-state corruption: the k-th checkpoint taken during the run
+  /// (0-based ordinal, monotone across rollbacks) fails its integrity digest
+  /// when a rollback later tries to restore it.  Raises kCheckpointCorrupt;
+  /// the recovery driver escalates to a restart from scratch.
+  std::set<std::uint64_t> corrupt_checkpoint;
+  /// Run-wide recovery budgets / deadline (0 = unlimited).
+  RecoveryBudget budget{};
 
   void kill_node_at_round(NodeId n, std::uint64_t round) {
     kill_at[round].insert(n);
   }
+  void kill_node_at_replay_round(NodeId n, std::uint64_t round) {
+    kill_at_replay[round].insert(n);
+  }
 
   [[nodiscard]] bool empty() const noexcept {
-    return set.empty() && !transient.any() && kill_at.empty();
+    return set.empty() && !transient.any() && kill_at.empty() &&
+           kill_at_replay.empty() && corrupt_checkpoint.empty() &&
+           !budget.any();
   }
 
   /// Deterministic outcome of one message attempt: kNone (delivered),
@@ -167,6 +237,22 @@ struct FaultPlan {
   /// element index, and delta are all derived from it.
   [[nodiscard]] std::uint64_t silent_site(std::uint64_t round, NodeId src,
                                           NodeId dst) const noexcept;
+
+  /// True iff run-wide round @p round falls inside a correlated burst
+  /// window (pure hash of the transient seed and the round's burst cycle).
+  [[nodiscard]] bool in_burst(std::uint64_t round) const noexcept;
+
+  /// True iff detour hop (a, b) attempted in round @p round is discovered
+  /// failed mid-flight.  Keyed on the canonical link so both directions
+  /// agree, and salted so it is independent of attempt_outcome draws.
+  [[nodiscard]] bool detour_hit(std::uint64_t round, NodeId a,
+                                NodeId b) const noexcept;
+
+  /// Deterministic jitter unit in [0, 1) for retry @p attempt of message
+  /// (src, dst) in round @p round; scales the backoff by
+  /// (1 + transient.jitter * u).
+  [[nodiscard]] double jitter_unit(std::uint64_t round, NodeId src, NodeId dst,
+                                   std::uint32_t attempt) const noexcept;
 };
 
 }  // namespace hcmm::fault

@@ -123,6 +123,8 @@ struct SimReport {
   std::vector<abft::AbftEvent> abft_events;
   /// Completed checkpoint rollback-and-replay recoveries.
   std::uint64_t recoveries = 0;
+  /// Restart-from-scratch escalations (checkpoint corrupt / unavailable).
+  std::uint64_t restarts = 0;
 
   [[nodiscard]] PhaseStats totals() const;
   /// Multi-line human-readable table.
@@ -268,8 +270,29 @@ class Machine {
   void rollback_to_checkpoint(std::shared_ptr<const fault::FaultPlan> plan,
                               const fault::FaultEvent& death);
 
+  /// Escalation above rollback: restart the whole run from scratch because
+  /// the checkpoint the ladder wanted is corrupt or was never taken.  Like
+  /// rollback_to_checkpoint this installs @p plan (validated the same way),
+  /// records @p cause, and arms the next reset_stats() — but the restore
+  /// target is the empty initial state, so the caller's re-run measures from
+  /// round 0.  Run-wide recovery accounting (budgets, restart/recovery
+  /// counts, discovered detour faults, checkpoint ordinals) survives: a
+  /// restart does not launder the recovery budget.
+  void restart_from_scratch(std::shared_ptr<const fault::FaultPlan> plan,
+                            const fault::FaultEvent& cause);
+
   /// Number of completed rollback_to_checkpoint() recoveries this run.
   [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+  /// Number of restart_from_scratch() escalations this run.
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+
+  /// Install a hook fired whenever recovery discards store state — a
+  /// checkpoint rollback or a restart from scratch.  The analysis trace
+  /// recorder uses it to emit a kRollback event so the abstract interpreters
+  /// reset alongside the machine instead of diagnosing phantom leaks.
+  void set_rollback_observer(std::function<void()> obs) {
+    rollback_observer_ = std::move(obs);
+  }
 
   /// ABFT accounting hooks (called by abft::protect after verification).
   void note_abft(std::uint64_t detected, std::uint64_t corrected);
@@ -293,6 +316,14 @@ class Machine {
   void execute_detours(std::vector<Detour>& detours, PhaseStats& ph);
   void apply_transients(NodeId src, NodeId dst, std::size_t words,
                         PhaseStats& ph);
+  /// Count one retry / one reroute / @p delay seconds of recovery delay
+  /// against the plan's run-wide RecoveryBudget; throws a located
+  /// FaultAbort(kBudgetExhausted) at the first overrun.
+  void charge_retry_budget(NodeId src, NodeId dst, std::uint32_t attempt);
+  void charge_reroute_budget(NodeId src, NodeId dst);
+  void charge_delay_budget(double delay, NodeId src, NodeId dst);
+  /// Gate shared by rollback/restart on budget.max_recoveries.
+  void charge_recovery_budget(const fault::FaultEvent& cause);
   void note_link(NodeId src, NodeId dst, std::size_t words);
   void record_event(fault::FaultEvent ev);
   void validate_round(const Round& round) const;
@@ -322,15 +353,28 @@ class Machine {
   std::function<void(std::string_view)> phase_observer_;
   std::function<void(std::size_t)> gemm_observer_;
   std::function<void(const SemanticEvent&)> semantic_observer_;
+  std::function<void()> rollback_observer_;
   std::uint64_t accum_seq_ = 0;
 
   // Fault-injection state.  host_ maps logical -> physical node and is
   // non-empty exactly while a non-empty plan is installed; round_seq_ is the
   // run-wide executed-round counter feeding the transient-fault hash.
+  // discovered_ holds detour links found failed mid-flight — physical
+  // reality, so it persists across rollbacks and restarts — and effective_
+  // is always plan set ∪ discovered_, the set routing actually avoids.
   std::shared_ptr<const fault::FaultPlan> fault_;
   std::vector<NodeId> host_;
+  fault::FaultSet discovered_;
+  fault::FaultSet effective_;
   std::vector<fault::FaultEvent> fault_events_;
   std::uint64_t round_seq_ = 0;
+
+  // Run-wide recovery-budget meters.  Never checkpointed and never restored:
+  // budgets cap what the whole run may spend on recovery, so rolling back
+  // must not refund them.
+  std::uint64_t rb_retries_ = 0;
+  std::uint64_t rb_reroutes_ = 0;
+  double rb_delay_ = 0.0;
 
   // Checkpoint / replay state.  A Checkpoint freezes everything measurement
   // depends on at a phase boundary; replay after rollback re-executes the
@@ -350,6 +394,9 @@ class Machine {
     std::vector<fault::FaultEvent> events;
     std::unordered_map<std::uint64_t, LinkLoad> links;
     fault::FaultSet faults;  ///< structural set in effect when taken
+    /// The plan scheduled this snapshot's integrity digest to fail; a later
+    /// rollback discovers the corruption and must escalate to a restart.
+    bool corrupted = false;
   };
   void take_checkpoint();
   void execute_round_replay(const Round& round);
@@ -361,11 +408,24 @@ class Machine {
   std::size_t begin_calls_ = 0;  ///< begin_phase() calls since reset_stats()
   fault::FaultSet replay_faults_;  ///< routing set frozen for the replay
   bool pending_restore_ = false;  ///< next reset_stats() restores + replays
-  std::vector<fault::FaultEvent> pending_events_;  ///< appended after restore
+  bool pending_restart_ = false;  ///< next reset_stats() is a from-scratch
+                                  ///< re-measure that keeps budget meters
+  /// Recovery-ladder history (deaths, contractions after rollback, restart
+  /// causes).  Part of the run-wide recovery ledger: rollbacks restore
+  /// fault_events_ to the checkpoint's state, which would silently erase
+  /// the very fault a *previous* recovery handled, so ladder events are
+  /// kept here and prepended to the report instead.
+  std::vector<fault::FaultEvent> recovery_events_;
   bool replaying_ = false;
   std::uint64_t replay_until_ = 0;       ///< round_seq_ at the target boundary
   std::size_t replay_phase_calls_ = 0;   ///< begin_phase() calls to swallow
   std::uint64_t recoveries_ = 0;
+  std::uint64_t restarts_ = 0;
+  /// 0-based ordinal of the next checkpoint taken; monotone across rollbacks
+  /// and restarts so corrupt_checkpoint[k] targets the k-th snapshot of the
+  /// whole run, not of the current attempt (resetting it would re-corrupt
+  /// snapshot 0 forever and recovery could never terminate).
+  std::uint64_t ckpt_ordinal_ = 0;
   std::vector<abft::AbftEvent> abft_events_;
 };
 

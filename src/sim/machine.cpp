@@ -12,6 +12,18 @@
 #include "hcmm/support/check.hpp"
 
 namespace hcmm {
+namespace {
+
+/// Union @p from's failed links into @p into (dead nodes are plan-owned and
+/// never discovered mid-flight, so links are all a merge needs).
+void merge_links(fault::FaultSet& into, const fault::FaultSet& from) {
+  for (const std::uint64_t key : from.failed_links()) {
+    into.fail_link(static_cast<NodeId>(key >> 32),
+                   static_cast<NodeId>(key & 0xffffffffULL));
+  }
+}
+
+}  // namespace
 
 const char* to_string(PortModel m) noexcept {
   return m == PortModel::kOnePort ? "one-port" : "multi-port";
@@ -95,13 +107,13 @@ std::string SimReport::to_string() const {
        << "\n";
   }
   if (t.checkpoints || t.silent_corruptions || t.abft_detected || recoveries ||
-      !abft_events.empty()) {
+      restarts || !abft_events.empty()) {
     os << "abft: checkpoints=" << t.checkpoints << " ckpt_cost="
        << std::setprecision(1) << t.checkpoint_cost
        << " silent=" << t.silent_corruptions
        << " detected=" << t.abft_detected
        << " corrected=" << t.abft_corrected << " recoveries=" << recoveries
-       << " events=" << abft_events.size() << "\n";
+       << " restarts=" << restarts << " events=" << abft_events.size() << "\n";
   }
   if (t.words_copied || t.words_aliased || t.combines_in_place ||
       t.combines_copied) {
@@ -187,7 +199,13 @@ void Machine::take_checkpoint() {
   ck.async = async_;
   ck.events = fault_events_;
   ck.links = link_traffic_;
-  if (fault_) ck.faults = fault_->set;
+  if (fault_) ck.faults = effective_;
+  // Scheduled checkpoint-state corruption: the digest failure is discovered
+  // at restore time, not here — taking the snapshot looks healthy.
+  if (fault_ && fault_->corrupt_checkpoint.contains(ckpt_ordinal_)) {
+    ck.corrupted = true;
+  }
+  ckpt_ordinal_ += 1;
   // Only the latest boundary is ever rolled back to; older snapshots would
   // just hold payload-sized placement maps alive.
   checkpoints_.clear();
@@ -231,13 +249,28 @@ void Machine::run(const Schedule& s) {
   // empty FaultPlan is guaranteed bit-identical to no plan at all.  A plan
   // whose only content is scheduled kills also runs the clean path until a
   // trigger fires — the pre-death prefix must cost exactly the clean run so
-  // checkpoints taken before the death stay valid.
+  // checkpoints taken before the death stay valid.  effective_ (plan set
+  // plus mid-flight discovered links) decides, not the plan set alone.
   const bool faulty =
-      fault_ && (!fault_->set.empty() || fault_->transient.any());
+      fault_ && (!effective_.empty() || fault_->transient.any());
   for (const Round& round : s.rounds) {
     if (round.empty()) continue;
     validate_round(round);
     if (replaying_) {
+      if (fault_ && !fault_->kill_at_replay.empty()) {
+        // Second-order death: the node dies while the checkpointed prefix is
+        // being replayed — recovery traffic itself is the victim.  A located
+        // abort hands the ladder back to the driver, which converts the
+        // death and rolls back again (the replay is deterministic, so the
+        // second rollback replays identically up to this round).
+        const auto it = fault_->kill_at_replay.find(round_seq_);
+        if (it != fault_->kill_at_replay.end() && !it->second.empty()) {
+          const NodeId victim = *it->second.begin();
+          throw fault::FaultAbort({fault::FaultKind::kReplayDeath, victim,
+                                   victim, round_seq_, 0,
+                                   "node death during checkpoint replay"});
+        }
+      }
       execute_round_replay(round);
       round_seq_ += 1;
       continue;
@@ -267,6 +300,13 @@ void Machine::set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
   fault_ = std::move(plan);
   fault_events_.clear();
   host_.clear();
+  // A fresh plan is a fresh experiment: discovered faults and budget meters
+  // belong to the previous plan's run.
+  discovered_ = fault::FaultSet{};
+  effective_ = fault_ ? fault_->set : fault::FaultSet{};
+  rb_retries_ = 0;
+  rb_reroutes_ = 0;
+  rb_delay_ = 0.0;
   if (!fault_ || fault_->empty()) return;
   const fault::FaultSet& fs = fault_->set;
   if (!fs.empty()) {
@@ -297,7 +337,7 @@ NodeId Machine::host_of(NodeId n) const {
 const fault::FaultSet& Machine::routing_faults() const noexcept {
   static const fault::FaultSet kNone;
   if (replaying_) return replay_faults_;
-  return fault_ ? fault_->set : kNone;
+  return fault_ ? effective_ : kNone;
 }
 
 void Machine::record_event(fault::FaultEvent ev) {
@@ -417,7 +457,9 @@ void Machine::execute_round(const Round& round, PhaseStats& ph) {
 }
 
 void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
-  const fault::FaultSet& fs = fault_->set;
+  // Route around everything known failed: the plan's structural set plus
+  // detour links discovered failed mid-flight in earlier rounds.
+  const fault::FaultSet& fs = effective_;
   const double comm_before = ph.comm_time;
 
   struct Delivery {
@@ -477,6 +519,7 @@ void Machine::execute_round_faulty(const Round& round, PhaseStats& ph) {
       }
       record_event({fault::FaultKind::kReroute, ps, pd, round_seq_, 0,
                     std::to_string(path.size() - 1) + " hops"});
+      charge_reroute_budget(ps, pd);
       ph.reroutes += 1;
       ph.extra_hops += path.size() - 2;
       ph.messages += path.size() - 1;  // every hop is a physical message
@@ -604,9 +647,21 @@ void Machine::rollback_to_checkpoint(
     std::shared_ptr<const fault::FaultPlan> plan,
     const fault::FaultEvent& death) {
   HCMM_CHECK(checkpointing_, "rollback_to_checkpoint: checkpointing is off");
-  HCMM_CHECK(!checkpoints_.empty(),
-             "rollback_to_checkpoint: no checkpoint taken yet");
   HCMM_CHECK(plan != nullptr, "rollback_to_checkpoint: null plan");
+  // Rollback needs a usable snapshot.  Missing (death before the first
+  // boundary) or corrupt checkpoints are located escalation points — the
+  // recovery driver's next rung is restart_from_scratch — never crashes.
+  if (checkpoints_.empty()) {
+    throw fault::FaultAbort({fault::FaultKind::kCheckpointCorrupt, death.src,
+                             death.dst, death.round, 0,
+                             "no checkpoint available to roll back to"});
+  }
+  if (checkpoints_.back().corrupted) {
+    throw fault::FaultAbort({fault::FaultKind::kCheckpointCorrupt, death.src,
+                             death.dst, death.round, 0,
+                             "checkpoint integrity digest mismatch"});
+  }
+  charge_recovery_budget(death);
   // The updated plan (death converted into a permanent structural fault)
   // faces the same feasibility gate as set_fault_plan: contraction needs a
   // live partner and rerouting needs a connected live cube.  Failing either
@@ -623,6 +678,8 @@ void Machine::rollback_to_checkpoint(
   }
   fault_ = std::move(plan);
   host_ = std::move(hosts);
+  effective_ = fault_->set;
+  merge_links(effective_, discovered_);
   // The store may be mid-phase garbage; recovery restarts the algorithm on a
   // fresh store and replays the prefix, so placement is rebuilt — and then
   // verified against the snapshot — rather than patched.  Policy and op
@@ -635,11 +692,49 @@ void Machine::rollback_to_checkpoint(
   plane_mark_ = DataPlaneStats{};  // fresh store, fresh counters
   recoveries_ += 1;
   pending_restore_ = true;
-  pending_events_.clear();
-  pending_events_.push_back(death);
-  pending_events_.push_back({fault::FaultKind::kNodeDeath, death.src,
-                             host_[death.src], death.round, 0,
-                             "contracted onto live partner after rollback"});
+  pending_restart_ = false;
+  recovery_events_.push_back(death);
+  recovery_events_.push_back({fault::FaultKind::kNodeDeath, death.src,
+                              host_[death.src], death.round, 0,
+                              "contracted onto live partner after rollback"});
+  if (rollback_observer_) rollback_observer_();
+}
+
+void Machine::restart_from_scratch(
+    std::shared_ptr<const fault::FaultPlan> plan,
+    const fault::FaultEvent& cause) {
+  HCMM_CHECK(plan != nullptr, "restart_from_scratch: null plan");
+  charge_recovery_budget(cause);
+  const fault::FaultSet& fs = plan->set;
+  if (!fs.empty() && !fs.connected(cube_)) {
+    throw fault::FaultAbort({fault::FaultKind::kUnroutable, cause.src,
+                             cause.dst, cause.round, 0,
+                             "fault disconnects the live cube"});
+  }
+  std::vector<NodeId> hosts(cube_.size());
+  for (NodeId n = 0; n < cube_.size(); ++n) {
+    hosts[n] = fs.host(cube_, n);  // throws FaultAbort(kHostless) if stuck
+  }
+  fault_ = std::move(plan);
+  host_ = std::move(hosts);
+  effective_ = fault_->set;
+  merge_links(effective_, discovered_);
+  const CopyPolicy policy = store_.copy_policy();
+  StoreObserver observer = store_.op_observer();
+  store_ = DataStore(cube_.size());
+  store_.set_copy_policy(policy);
+  store_.set_op_observer(std::move(observer));
+  plane_mark_ = DataPlaneStats{};
+  // Old snapshots froze placements of the abandoned attempt; dropping them
+  // keeps the next rollback from replaying into a run that never happened.
+  // The ordinal is NOT reset, so a plan corrupting checkpoint k cannot
+  // re-corrupt the restarted run's first snapshot forever.
+  checkpoints_.clear();
+  restarts_ += 1;
+  pending_restart_ = true;
+  pending_restore_ = false;
+  recovery_events_.push_back(cause);
+  if (rollback_observer_) rollback_observer_();
 }
 
 void Machine::note_abft(std::uint64_t detected, std::uint64_t corrected) {
@@ -668,6 +763,7 @@ void Machine::apply_transients(NodeId src, NodeId dst, std::size_t words,
                     "delivered late"});
       ph.comm_time += tr.spike_time;
       ph.fault_delay += tr.spike_time;
+      charge_delay_budget(tr.spike_time, src, dst);
       return;  // delivered, just late
     }
     // Drop or detected corruption: the attempt is wasted and the message
@@ -684,8 +780,16 @@ void Machine::apply_transients(NodeId src, NodeId dst, std::size_t words,
                   std::to_string(tr.max_attempts) + " attempts";
       throw fault::FaultAbort(std::move(ev));
     }
-    const double backoff =
+    // Deterministic jittered exponential backoff: the jitter term spreads
+    // retries that would otherwise synchronize across links into a storm.
+    // jitter == 0 reproduces the historical bit-identical backoff.
+    double backoff =
         tr.backoff_base * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+    if (tr.jitter > 0.0) {
+      backoff *=
+          1.0 + tr.jitter * fault_->jitter_unit(round_seq_, src, dst, attempt);
+    }
+    charge_retry_budget(src, dst, attempt);
     ph.retries += 1;
     ph.rounds += 1;  // the resend is one more start-up on the critical path
     ph.fault_startups += 1;
@@ -694,17 +798,98 @@ void Machine::apply_transients(NodeId src, NodeId dst, std::size_t words,
     ph.comm_time +=
         params_.ts + params_.tw * static_cast<double>(words) + backoff;
     ph.fault_delay += backoff;
+    charge_delay_budget(backoff, src, dst);
+  }
+}
+
+void Machine::charge_retry_budget(NodeId src, NodeId dst,
+                                  std::uint32_t attempt) {
+  rb_retries_ += 1;
+  const fault::RecoveryBudget& b = fault_->budget;
+  if (b.max_retries > 0 && rb_retries_ > b.max_retries) {
+    throw fault::FaultAbort({fault::FaultKind::kBudgetExhausted, src, dst,
+                             round_seq_, attempt,
+                             "retry budget (" + std::to_string(b.max_retries) +
+                                 ") exhausted"});
+  }
+}
+
+void Machine::charge_reroute_budget(NodeId src, NodeId dst) {
+  rb_reroutes_ += 1;
+  const fault::RecoveryBudget& b = fault_->budget;
+  if (b.max_reroutes > 0 && rb_reroutes_ > b.max_reroutes) {
+    throw fault::FaultAbort({fault::FaultKind::kBudgetExhausted, src, dst,
+                             round_seq_, 0,
+                             "reroute budget (" +
+                                 std::to_string(b.max_reroutes) +
+                                 ") exhausted"});
+  }
+}
+
+void Machine::charge_delay_budget(double delay, NodeId src, NodeId dst) {
+  rb_delay_ += delay;
+  const fault::RecoveryBudget& b = fault_->budget;
+  if (b.deadline > 0.0 && rb_delay_ > b.deadline) {
+    throw fault::FaultAbort({fault::FaultKind::kBudgetExhausted, src, dst,
+                             round_seq_, 0,
+                             "recovery deadline (" + std::to_string(b.deadline) +
+                                 ") exceeded by cumulative fault delay"});
+  }
+}
+
+void Machine::charge_recovery_budget(const fault::FaultEvent& cause) {
+  if (!fault_) return;
+  const fault::RecoveryBudget& b = fault_->budget;
+  if (b.max_recoveries > 0 && recoveries_ + restarts_ >= b.max_recoveries) {
+    throw fault::FaultAbort({fault::FaultKind::kBudgetExhausted, cause.src,
+                             cause.dst, cause.round, 0,
+                             "recovery budget (" +
+                                 std::to_string(b.max_recoveries) +
+                                 ") exhausted"});
   }
 }
 
 void Machine::execute_detours(std::vector<Detour>& detours, PhaseStats& ph) {
   struct InFlight {
-    const Detour* d;
+    Detour* d;
     std::size_t pos;
   };
   std::vector<InFlight> live;
   live.reserve(detours.size());
-  for (const Detour& d : detours) live.push_back({&d, 0});
+  for (Detour& d : detours) live.push_back({&d, 0});
+
+  // Re-plan a detour from its current node after hop (cur -> next) turned
+  // out to cross a failed link, adjusting the counters that were charged for
+  // the remaining hops of the abandoned path.
+  const auto replan = [&](InFlight& m, NodeId cur) {
+    const NodeId dest = m.d->path.back();
+    std::vector<NodeId> fresh = fault_aware_path(cube_, effective_, cur, dest);
+    if (fresh.size() < 2) {
+      throw fault::FaultAbort({fault::FaultKind::kUnroutable, cur, dest,
+                               round_seq_, 0,
+                               "no healthy path after mid-flight detour "
+                               "fault"});
+    }
+    charge_reroute_budget(cur, dest);
+    ph.reroutes += 1;
+    const auto old_rem = static_cast<std::int64_t>(m.d->path.size() - 1 - m.pos);
+    const auto new_rem = static_cast<std::int64_t>(fresh.size() - 1);
+    const std::int64_t delta = new_rem - old_rem;
+    // The abandoned hops were pre-charged in execute_round_faulty; patch the
+    // traffic counters by the signed difference.
+    ph.messages = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(ph.messages) + delta);
+    ph.extra_hops = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(ph.extra_hops) + delta);
+    ph.link_words = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(ph.link_words) +
+        delta * static_cast<std::int64_t>(m.d->words));
+    std::vector<NodeId> spliced(m.d->path.begin(),
+                                m.d->path.begin() +
+                                    static_cast<std::ptrdiff_t>(m.pos));
+    spliced.insert(spliced.end(), fresh.begin(), fresh.end());
+    m.d->path = std::move(spliced);
+  };
 
   // A placeholder tag lets repair rounds face the shared legality rules;
   // repair transfers are cost-only and never touch the store.
@@ -717,6 +902,24 @@ void Machine::execute_detours(std::vector<Detour>& detours, PhaseStats& ph) {
     for (InFlight& m : live) {
       const NodeId cur = m.d->path[m.pos];
       const NodeId next = m.d->path[m.pos + 1];
+      // Second-order faults on the recovery path itself: the planned hop may
+      // cross a link another detour just discovered failed, or be discovered
+      // failed right now.  Either way the message re-plans from where it
+      // stands and waits out this wave.
+      if (effective_.link_failed(cur, next)) {
+        record_event({fault::FaultKind::kReroute, cur, next, round_seq_, 0,
+                      "detour re-planned around discovered fault"});
+        replan(m, cur);
+        continue;
+      }
+      if (fault_->detour_hit(round_seq_, cur, next)) {
+        discovered_.fail_link(cur, next);
+        effective_.fail_link(cur, next);
+        record_event({fault::FaultKind::kDetourFault, cur, next, round_seq_, 0,
+                      "detour link discovered failed mid-flight"});
+        replan(m, cur);
+        continue;
+      }
       const analysis::PortKeys keys = analysis::port_keys(port_, cur, next);
       if (out_words.contains(keys.out) || in_words.contains(keys.in)) continue;
       out_words[keys.out] = m.d->words;
@@ -730,7 +933,10 @@ void Machine::execute_detours(std::vector<Detour>& detours, PhaseStats& ph) {
       note_link(cur, next, m.d->words);
       ++m.pos;
     }
-    HCMM_CHECK(!repair.empty(), "execute_detours: no progress (internal error)");
+    // A wave where every live message re-planned moves no data but did make
+    // progress: each re-plan permanently grew the discovered fault set or
+    // switched to a path that avoids it, so the loop terminates.
+    if (repair.empty()) continue;
     // Repaired rounds are re-validated through the same legality rules that
     // gate every original round — recovery may not bend the architecture.
     const auto viols = analysis::check_round(cube_, port_, repair);
@@ -804,9 +1010,14 @@ SimReport Machine::report() const {
   }
   r.async_makespan = std::max(async_.makespan, async_.floor);
   r.peak_words_total = store_.total_peak_words();
-  r.fault_events = fault_events_;
+  // Ladder history first: a rollback restores fault_events_ to checkpoint
+  // state, but the deaths/restarts already handled are run-wide facts.
+  r.fault_events = recovery_events_;
+  r.fault_events.insert(r.fault_events.end(), fault_events_.begin(),
+                        fault_events_.end());
   r.abft_events = abft_events_;
   r.recoveries = recoveries_;
+  r.restarts = restarts_;
   return r;
 }
 
@@ -822,8 +1033,6 @@ void Machine::reset_stats() {
     async_ = ck.async;
     fault_events_ = ck.events;
     link_traffic_ = ck.links;
-    for (auto& ev : pending_events_) record_event(std::move(ev));
-    pending_events_.clear();
     store_.reset_peaks();
     plane_mark_ = store_.plane_stats();
     round_seq_ = 0;
@@ -842,6 +1051,32 @@ void Machine::reset_stats() {
     replay_faults_ = ck.faults;
     return;
   }
+  if (pending_restart_) {
+    // Restart-from-scratch escalation: measurement starts over, but the
+    // run-wide recovery ledger — budget meters, recovery/restart counts,
+    // checkpoint ordinals, discovered detour faults — survives.  A restart
+    // that refunded the budget would let an adversarial fault process buy
+    // unlimited recovery by corrupting checkpoints.
+    pending_restart_ = false;
+    phases_.clear();
+    store_.reset_peaks();
+    plane_mark_ = store_.plane_stats();
+    link_traffic_.clear();
+    async_ = AsyncState{};
+    fault_events_.clear();
+    round_seq_ = 0;
+    begin_calls_ = 0;
+    replaying_ = false;
+    replay_until_ = 0;
+    replay_phase_calls_ = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(host_.size()); ++n) {
+      if (host_[n] != n) {
+        record_event({fault::FaultKind::kNodeDeath, n, host_[n], 0, 0,
+                      "contracted onto live partner"});
+      }
+    }
+    return;
+  }
   phases_.clear();
   store_.reset_peaks();
   plane_mark_ = store_.plane_stats();  // staging copies are not charged
@@ -855,8 +1090,15 @@ void Machine::reset_stats() {
   replay_until_ = 0;
   replay_phase_calls_ = 0;
   recoveries_ = 0;
+  restarts_ = 0;
+  ckpt_ordinal_ = 0;
+  rb_retries_ = 0;
+  rb_reroutes_ = 0;
+  rb_delay_ = 0.0;
+  discovered_ = fault::FaultSet{};
+  effective_ = fault_ ? fault_->set : fault::FaultSet{};
   abft_events_.clear();
-  pending_events_.clear();
+  recovery_events_.clear();
   // Structural faults outlive a stats reset; keep their events visible.
   for (NodeId n = 0; n < static_cast<NodeId>(host_.size()); ++n) {
     if (host_[n] != n) {

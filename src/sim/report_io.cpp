@@ -119,6 +119,7 @@ std::string report_json(const SimReport& report) {
   json_phase(os, report.totals());
   os << ", \"peak_words_total\": " << report.peak_words_total
      << ", \"recoveries\": " << report.recoveries
+     << ", \"restarts\": " << report.restarts
      << ", \"fault_events\": [";
   for (std::size_t i = 0; i < report.fault_events.size(); ++i) {
     if (i != 0) os << ", ";

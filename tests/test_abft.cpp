@@ -11,6 +11,8 @@
 #include "hcmm/abft/checksum.hpp"
 #include "hcmm/abft/protect.hpp"
 #include "hcmm/algo/api.hpp"
+#include "hcmm/analysis/semantic.hpp"
+#include "hcmm/analysis/trace.hpp"
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/gemm.hpp"
 #include "hcmm/matrix/generate.hpp"
@@ -211,6 +213,99 @@ TEST(AbftProtect, MidRunDeathRecoversDeterministically) {
     } else {
       EXPECT_EQ(first_json, report_json(res.report));
     }
+  }
+}
+
+TEST(AbftProtect, ReplayDeathRecoversWithASecondRollback) {
+  // A node dies mid-run; while the rollback is replaying the checkpointed
+  // prefix, a *second* node dies — a fault aimed squarely at recovery
+  // traffic.  The driver must roll back again and still finish correctly,
+  // with both deaths located in the report.
+  const Hypercube cube(3);
+  const auto alg = abft::make_protected(algo::AlgoId::kBerntsen);
+  const std::size_t n = pick_n(*alg, cube.size());
+  const Matrix a = random_matrix(n, n, 31);
+  const Matrix b = random_matrix(n, n, 32);
+  const Matrix want = multiply_naive(a, b);
+
+  fault::FaultPlan plan;
+  plan.kill_node_at_round(5, 6);
+  plan.kill_node_at_replay_round(1, 0);
+
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
+  const auto res = alg->run(a, b, m);
+  EXPECT_TRUE(approx_equal(res.c, want, 1e-9 * double(n)));
+  EXPECT_EQ(res.report.recoveries, 2u);
+  bool mid_run = false;
+  bool replay = false;
+  for (const auto& ev : res.report.fault_events) {
+    mid_run |= ev.kind == fault::FaultKind::kMidRunDeath;
+    replay |= ev.kind == fault::FaultKind::kReplayDeath;
+  }
+  EXPECT_TRUE(mid_run) << "first death not located in the report";
+  EXPECT_TRUE(replay) << "replay death not located in the report";
+}
+
+TEST(AbftProtect, CorruptCheckpointEscalatesToRestart) {
+  // Every checkpoint taken during the run fails its integrity digest, so
+  // the rollback after the scheduled death cannot restore — the driver must
+  // escalate to a restart from scratch and still produce the right product.
+  const Hypercube cube(3);
+  const auto alg = abft::make_protected(algo::AlgoId::kAll3D);
+  const std::size_t n = pick_n(*alg, cube.size());
+  const Matrix a = random_matrix(n, n, 33);
+  const Matrix b = random_matrix(n, n, 34);
+  const Matrix want = multiply_naive(a, b);
+
+  fault::FaultPlan plan;
+  plan.kill_node_at_round(fault::safe_victim(cube, 9, fault::FaultSet{}), 6);
+  for (std::uint64_t ord = 0; ord < 8; ++ord) {
+    plan.corrupt_checkpoint.insert(ord);
+  }
+
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
+  const auto res = alg->run(a, b, m);
+  EXPECT_TRUE(approx_equal(res.c, want, 1e-9 * double(n)));
+  EXPECT_GE(res.report.restarts, 1u);
+  bool corrupt_seen = false;
+  for (const auto& ev : res.report.fault_events) {
+    corrupt_seen |= ev.kind == fault::FaultKind::kCheckpointCorrupt;
+  }
+  EXPECT_TRUE(corrupt_seen) << "corrupt checkpoint not located in the report";
+}
+
+TEST(AbftProtect, RecoveredRunPassesPostRecoveryCertification) {
+  // The trace of a rollback-recovered run must still certify: alias/lifetime
+  // discipline, happens-before ordering, and semantic exactly-once coverage
+  // all hold after the recovery rewound and replayed part of the run.
+  const Hypercube cube(3);
+  const auto alg = abft::make_protected(algo::AlgoId::kAll3D);
+  const std::size_t n = pick_n(*alg, cube.size());
+  const Matrix a = random_matrix(n, n, 35);
+  const Matrix b = random_matrix(n, n, 36);
+
+  fault::FaultPlan plan;
+  plan.kill_node_at_round(fault::safe_victim(cube, 13, fault::FaultSet{}), 3);
+
+  Machine m(cube, PortModel::kOnePort, CostParams{});
+  analysis::TraceRecorder rec(m);
+  m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
+  const auto res = alg->run(a, b, m);
+  EXPECT_TRUE(approx_equal(res.c, multiply_naive(a, b), 1e-9 * double(n)));
+  ASSERT_GE(res.report.recoveries, 1u);
+
+  analysis::TraceInput tin;
+  tin.trace = &rec.trace();
+  tin.cube = cube;
+  tin.port = PortModel::kOnePort;
+  analysis::DiagnosticList found;
+  analysis::make_alias_lifetime_pass()->run(tin, found);
+  analysis::make_happens_before_pass()->run(tin, found);
+  (void)analysis::run_semantic_pass(rec.trace(), found);
+  for (const auto& d : found.diags()) {
+    EXPECT_NE(d.severity, analysis::Severity::kError) << d.to_string();
   }
 }
 

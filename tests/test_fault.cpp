@@ -8,8 +8,11 @@
 
 #include <bit>
 #include <memory>
+#include <set>
+#include <string>
 
 #include "hcmm/algo/api.hpp"
+#include "hcmm/fault/fuzz.hpp"
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/machine.hpp"
@@ -376,6 +379,245 @@ TEST(Scenarios, RandomLinkFaultsKeepCubeConnected) {
     EXPECT_EQ(fs.failed_links().size(), 4u);
     EXPECT_TRUE(fs.connected(cube));
   }
+}
+
+TEST(FaultPlan, BurstWindowsAreDeterministicAndExactlySized) {
+  fault::FaultPlan p;
+  p.transient.seed = 77;
+  p.transient.drop_prob = 0.05;
+  p.transient.burst.period = 16;
+  p.transient.burst.len = 4;
+  p.transient.burst.factor = 10.0;
+  const fault::FaultPlan q = p;
+  for (std::uint64_t cycle = 0; cycle < 32; ++cycle) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t off = 0; off < 16; ++off) {
+      const std::uint64_t r = cycle * 16 + off;
+      EXPECT_EQ(p.in_burst(r), q.in_burst(r));  // pure hash, no state
+      hits += p.in_burst(r) ? 1u : 0u;
+    }
+    // rel = (off - start) mod period sweeps every residue once per cycle, so
+    // each cycle holds exactly `len` burst rounds wherever the window sits.
+    EXPECT_EQ(hits, 4u) << "cycle " << cycle;
+  }
+  fault::FaultPlan inert = p;
+  inert.transient.burst.factor = 1.0;  // a x1 window is no window at all
+  EXPECT_FALSE(inert.transient.burst.active());
+  EXPECT_FALSE(inert.in_burst(3));
+  // The window must actually amplify: the per-round drop rate inside burst
+  // windows strictly exceeds the rate outside (cross-multiplied to stay
+  // integral).
+  std::uint64_t in = 0, in_drops = 0, out = 0, out_drops = 0;
+  for (std::uint64_t r = 0; r < 512; ++r) {
+    const bool burst = p.in_burst(r);
+    const bool drop =
+        p.attempt_outcome(r, 0, 1, 1) == fault::FaultKind::kDrop;
+    (burst ? in : out) += 1;
+    if (drop) (burst ? in_drops : out_drops) += 1;
+  }
+  EXPECT_GT(in_drops * out, out_drops * in);
+}
+
+TEST(FaultPlan, JitterUnitIsDeterministicAndDecorrelates) {
+  fault::FaultPlan p;
+  p.transient.seed = 5;
+  const fault::FaultPlan q = p;
+  for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+    const double u = p.jitter_unit(9, 2, 3, attempt);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, q.jitter_unit(9, 2, 3, attempt));  // pure hash, no state
+  }
+  // Successive attempts and different rounds draw different units — that is
+  // the whole point: synchronized retries must decorrelate.
+  EXPECT_NE(p.jitter_unit(9, 2, 3, 1), p.jitter_unit(9, 2, 3, 2));
+  EXPECT_NE(p.jitter_unit(9, 2, 3, 1), p.jitter_unit(10, 2, 3, 1));
+}
+
+TEST(MachineFaults, ZeroJitterKeepsBackoffBitIdenticalAndJitterOnlyAdds) {
+  const auto fault_delay = [](double jitter) {
+    fault::FaultPlan p;
+    p.transient.seed = 11;
+    p.transient.drop_prob = 0.8;
+    p.transient.max_attempts = 20;
+    p.transient.backoff_base = 0.5;
+    p.transient.jitter = jitter;
+    Machine m(Hypercube(3), PortModel::kOnePort, CostParams{});
+    m.set_fault_plan(plan_of(std::move(p)));
+    m.store().put(0, kTA, {1.0});
+    m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+    const PhaseStats t = m.report().totals();
+    EXPECT_GE(t.retries, 1u);
+    return t.fault_delay;
+  };
+  const double plain = fault_delay(0.0);
+  // jitter = 0 is the historical backoff, reproduced bit-for-bit.
+  EXPECT_EQ(fault_delay(0.0), plain);
+  // The jitter multiplier is (1 + jitter * u) with u in [0, 1): it can only
+  // lengthen the wait, and with retries present it almost surely does.
+  EXPECT_GT(fault_delay(0.4), plain);
+}
+
+TEST(FaultPlan, DetourDiscoveryIsDeterministicAndDirectionless) {
+  fault::FaultPlan p;
+  p.transient.seed = 21;
+  p.transient.detour_fail_prob = 0.5;
+  const fault::FaultPlan q = p;
+  bool any_hit = false;
+  bool any_miss = false;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    const bool h = p.detour_hit(r, 3, 7);
+    EXPECT_EQ(h, q.detour_hit(r, 3, 7));  // pure hash, no state
+    EXPECT_EQ(h, p.detour_hit(r, 7, 3));  // canonical link key
+    any_hit |= h;
+    any_miss |= !h;
+  }
+  EXPECT_TRUE(any_hit);
+  EXPECT_TRUE(any_miss);
+  p.transient.detour_fail_prob = 0.0;
+  EXPECT_FALSE(p.detour_hit(0, 3, 7));
+}
+
+TEST(MachineFaults, RunWideRetryBudgetAbortsBeforePerMessageAttempts) {
+  fault::FaultPlan p;
+  p.transient.seed = 11;
+  p.transient.drop_prob = 1.0;
+  p.transient.max_attempts = 32;  // the per-message budget is ample...
+  p.budget.max_retries = 3;       // ...the run-wide budget is not
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{});
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0});
+  try {
+    m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+    FAIL() << "expected FaultAbort";
+  } catch (const fault::FaultAbort& fa) {
+    EXPECT_EQ(fa.event().kind, fault::FaultKind::kBudgetExhausted);
+    EXPECT_NE(fa.event().detail.find("retry budget (3)"), std::string::npos)
+        << fa.event().detail;
+  }
+}
+
+TEST(MachineFaults, RecoveryDeadlineAbortsOnCumulativeFaultDelay) {
+  fault::FaultPlan p;
+  p.transient.seed = 13;
+  p.transient.spike_prob = 1.0;
+  p.transient.spike_time = 10.0;
+  p.budget.deadline = 8.0;  // one guaranteed spike already exceeds it
+  Machine m(Hypercube(3), PortModel::kOnePort, CostParams{});
+  m.set_fault_plan(plan_of(std::move(p)));
+  m.store().put(0, kTA, {1.0});
+  try {
+    m.run(single({.src = 0, .dst = 1, .tags = {kTA}, .move_src = true}));
+    FAIL() << "expected FaultAbort";
+  } catch (const fault::FaultAbort& fa) {
+    EXPECT_EQ(fa.event().kind, fault::FaultKind::kBudgetExhausted);
+    EXPECT_NE(fa.event().detail.find("deadline"), std::string::npos)
+        << fa.event().detail;
+  }
+}
+
+TEST(FaultFuzz, SpecRoundTripsExactly) {
+  const Hypercube cube(3);
+  for (const fault::Scenario& s : fault::fuzz_seed_corpus(cube, 7)) {
+    const std::string spec = fault::plan_spec(s.plan);
+    const fault::FaultPlan back = fault::plan_from_spec(spec);
+    EXPECT_EQ(fault::plan_spec(back), spec) << s.name;
+    EXPECT_EQ(back.empty(), s.plan.empty()) << s.name;
+  }
+  EXPECT_THROW((void)fault::plan_from_spec("drop=fast"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::plan_from_spec("warp=0.5"),
+               std::invalid_argument);
+}
+
+TEST(FaultFuzz, SeedCorpusAndMutationAreDeterministic) {
+  const Hypercube cube(3);
+  const auto c1 = fault::fuzz_seed_corpus(cube, 7);
+  const auto c2 = fault::fuzz_seed_corpus(cube, 7);
+  ASSERT_EQ(c1.size(), c2.size());
+  ASSERT_FALSE(c1.empty());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].name, c2[i].name);
+    EXPECT_EQ(fault::plan_spec(c1[i].plan), fault::plan_spec(c2[i].plan));
+  }
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const fault::FaultPlan& base = c1[seed % c1.size()].plan;
+    EXPECT_EQ(fault::plan_spec(fault::mutate_plan(base, cube, seed)),
+              fault::plan_spec(fault::mutate_plan(base, cube, seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultFuzz, CoverageMapTracksTheFeatureUniverse) {
+  const auto& universe = fault::CoverageMap::universe();
+  EXPECT_EQ(universe.size(), 27u);  // 7 rungs + 5 escalations + 15 kinds
+  fault::CoverageMap cov;
+  EXPECT_DOUBLE_EQ(cov.ratio(), 0.0);
+  EXPECT_TRUE(cov.record("rung:retry"));
+  EXPECT_FALSE(cov.record("rung:retry"));  // novel only the first time
+  EXPECT_TRUE(cov.record("bogus:feature"));  // kept, but never counted
+  EXPECT_DOUBLE_EQ(cov.ratio(), 1.0 / 27.0);
+  EXPECT_EQ(cov.missing().size(), 26u);
+  EXPECT_EQ(cov.record_all(universe), 26u);
+  EXPECT_DOUBLE_EQ(cov.ratio(), 1.0);
+  EXPECT_TRUE(cov.missing().empty());
+  EXPECT_NE(cov.json().find("\"ratio\""), std::string::npos);
+}
+
+TEST(FaultFuzz, ObservedFeaturesNameRungsKindsAndEscalations) {
+  fault::RunObservation obs;
+  obs.completed = true;
+  auto feats = fault::observed_features(obs);
+  ASSERT_EQ(feats.size(), 1u);
+  EXPECT_EQ(feats[0], "rung:clean");
+  obs.retries = 2;
+  obs.reroutes = 1;
+  obs.event_kinds = {fault::FaultKind::kDrop, fault::FaultKind::kReroute};
+  feats = fault::observed_features(obs);
+  const std::set<std::string> set(feats.begin(), feats.end());
+  EXPECT_TRUE(set.contains("rung:retry"));
+  EXPECT_TRUE(set.contains("rung:reroute"));
+  EXPECT_TRUE(set.contains("esc:retry->reroute"));
+  EXPECT_TRUE(set.contains("kind:drop"));
+  EXPECT_TRUE(set.contains("kind:reroute"));
+  EXPECT_FALSE(set.contains("rung:clean"));  // a recovered run is not clean
+  obs.recoveries = 1;
+  obs.restarts = 1;
+  obs.abort_kind = fault::FaultKind::kBudgetExhausted;
+  feats = fault::observed_features(obs);
+  const std::set<std::string> esc(feats.begin(), feats.end());
+  EXPECT_TRUE(esc.contains("esc:rollback->restart"));
+  EXPECT_TRUE(esc.contains("esc:restart->abort"));
+  EXPECT_TRUE(esc.contains("kind:budget-exhausted"));
+}
+
+TEST(FaultFuzz, ShrinkRemovesEverythingIrrelevant) {
+  const Hypercube cube(3);
+  fault::FaultPlan noisy;
+  noisy.set.fail_link(0, 1);
+  noisy.set.fail_link(2, 6);
+  noisy.set.kill_node(7);
+  noisy.transient.seed = 9;
+  noisy.transient.drop_prob = 0.2;
+  noisy.transient.spike_prob = 0.1;
+  noisy.transient.spike_time = 2.0;
+  noisy.kill_node_at_round(3, 4);
+  noisy.kill_node_at_replay_round(5, 1);
+  noisy.corrupt_checkpoint.insert(0);
+  noisy.budget.max_reroutes = 5;
+  const auto fails = [](const fault::FaultPlan& p) {
+    return p.set.link_failed(0, 1);  // the "bug" needs only this one link
+  };
+  ASSERT_TRUE(fails(noisy));
+  const fault::FaultPlan min = fault::shrink_plan(noisy, fails);
+  EXPECT_TRUE(fails(min));
+  EXPECT_EQ(min.set.failed_links().size(), 1u);
+  EXPECT_TRUE(min.set.dead_nodes().empty());
+  EXPECT_TRUE(min.kill_at.empty());
+  EXPECT_TRUE(min.kill_at_replay.empty());
+  EXPECT_TRUE(min.corrupt_checkpoint.empty());
+  EXPECT_FALSE(min.transient.any());
+  EXPECT_FALSE(min.budget.any());
 }
 
 }  // namespace

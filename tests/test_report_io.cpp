@@ -127,6 +127,10 @@ TEST(ReportIo, FaultKindToStringIsExhaustive) {
       {FaultKind::kSilentCorrupt, "silent-corrupt"},
       {FaultKind::kMidRunDeath, "mid-run-death"},
       {FaultKind::kAbftUncorrectable, "abft-uncorrectable"},
+      {FaultKind::kDetourFault, "detour-fault"},
+      {FaultKind::kReplayDeath, "replay-death"},
+      {FaultKind::kCheckpointCorrupt, "checkpoint-corrupt"},
+      {FaultKind::kBudgetExhausted, "budget-exhausted"},
   };
   for (const auto& [kind, name] : expected) {
     EXPECT_STREQ(fault::to_string(kind), name);
@@ -167,6 +171,7 @@ TEST(ReportIo, AbftFieldsRoundTrip) {
   ph.abft_corrected = 2;
   rep.phases.push_back(ph);
   rep.recoveries = 1;
+  rep.restarts = 2;
   rep.abft_events.push_back(abft::AbftEvent{
       .kind = abft::EventKind::kRowCorrected,
       .row = 5,
@@ -184,6 +189,7 @@ TEST(ReportIo, AbftFieldsRoundTrip) {
   EXPECT_NE(json.find("\"abft_detected\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"abft_corrected\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"recoveries\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"restarts\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"abft_events\": [{\"kind\": \"row-corrected\", "
                       "\"row\": 5, \"col\": null, \"magnitude\": 3.25, "
                       "\"detail\": \"residues\"}]"),

@@ -175,6 +175,76 @@ TEST(Team, ReusableAcrossRuns) {
   }
 }
 
+TEST(Team, TwoDeadPeersRaiseLocatedDeadPeerErrors) {
+  Team team(4, std::chrono::milliseconds(10000));
+  team.inject_rank_death(1);
+  team.inject_rank_death(2);
+  std::atomic<int> located{0};
+  try {
+    team.run([&](Rank& r) {
+      if (r.id() == 1) r.send(0, 7, Matrix(1, 1, {1.0}));  // dies at op start
+      if (r.id() == 2) r.send(0, 8, Matrix(1, 1, {1.0}));  // dies at op start
+      if (r.id() == 0) {
+        // Both waits must be cut short with the *specific* dead peer named,
+        // not a generic timeout — and diagnosing the first dead peer must
+        // not mask the second.
+        try {
+          (void)r.recv(1, 7);
+        } catch (const rt::DeadPeerError& e) {
+          if (e.rank() == 1) ++located;
+        }
+        try {
+          (void)r.recv(2, 8);
+        } catch (const rt::DeadPeerError& e) {
+          if (e.rank() == 2) ++located;
+          throw;  // unwind as a secondary failure
+        }
+      }
+    });
+    FAIL() << "run must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 rank(s) failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+  }
+  EXPECT_EQ(located.load(), 2);
+  ASSERT_EQ(team.last_run_errors().size(), 2u);
+  EXPECT_EQ(team.last_run_errors()[0].rank, 1u);
+  EXPECT_EQ(team.last_run_errors()[1].rank, 2u);
+}
+
+TEST(Team, SlowVsDeadDiscriminationAtEnvTimeout) {
+  // Both halves run against the same HCMM_RT_TIMEOUT_MS budget: a peer that
+  // is slow but inside the budget costs retries and succeeds, while a dead
+  // peer aborts the waiter well before the budget expires.
+  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "1000", 1), 0);
+  Team team(2);
+  ASSERT_EQ(team.timeout(), std::chrono::milliseconds(1000));
+  team.inject_rank_delay(1, std::chrono::milliseconds(250));
+  team.run([](Rank& r) {
+    if (r.id() == 0) {
+      EXPECT_EQ(r.recv(1, 3)(0, 0), 5.0);
+    }
+    if (r.id() == 1) r.send(0, 3, Matrix(1, 1, {5.0}));
+  });
+  EXPECT_TRUE(team.last_run_errors().empty());
+  EXPECT_GE(team.last_run_recv_retries(), 1u);  // 250 ms > the 125 ms slice
+  team.clear_injections();
+  team.inject_rank_death(1);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(team.run([](Rank& r) {
+                 if (r.id() == 0) (void)r.recv(1, 4);
+                 if (r.id() == 1) r.send(0, 4, Matrix(1, 1, {5.0}));
+               }),
+               std::runtime_error);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(1000));
+  ASSERT_EQ(team.last_run_errors().size(), 1u);
+  EXPECT_EQ(team.last_run_errors()[0].rank, 1u);
+  ASSERT_EQ(unsetenv("HCMM_RT_TIMEOUT_MS"), 0);
+}
+
 TEST(SpmdCannon, MatchesOracle) {
   for (const std::uint32_t p : {1u, 4u, 16u}) {
     Team team(p, std::chrono::milliseconds(20000));

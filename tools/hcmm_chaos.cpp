@@ -1,13 +1,15 @@
-// hcmm_chaos: fault-injection campaign over the whole algorithm registry.
+// hcmm_chaos: fault-injection campaign over the whole algorithm registry,
+// plus a coverage-guided fuzzer for the recovery ladder.
 //
-// Drives every registered matrix-multiplication algorithm on 8- and 64-node
-// machines under both port models through every chaos scenario (empty plan,
-// single link failure, transient drops, latency spikes, a dead node, and a
-// combined storm — see fault/scenarios.hpp), then repeats the sweep with
-// every algorithm wrapped in abft::protect against the ABFT catalogue:
-// silent corruption the transport CRC cannot see, and node deaths scheduled
-// mid-run at each phase-boundary round of the clean run.  Every run must end
-// in one of exactly two acceptable states:
+// Scenario sweep (default mode).  Drives every registered matrix-
+// multiplication algorithm on 8- and 64-node machines under both port models
+// through every chaos scenario (empty plan, single link failure, transient
+// drops, latency spikes, a dead node, and a combined storm — see
+// fault/scenarios.hpp), then repeats the sweep with every algorithm wrapped
+// in abft::protect against the ABFT catalogue: silent corruption the
+// transport CRC cannot see, and node deaths scheduled mid-run at each
+// phase-boundary round of the clean run.  Every run must end in one of
+// exactly two acceptable states:
 //
 //   1. a numerically correct product (verified against the serial gemm), or
 //   2. a clean fault::FaultAbort carrying a located FaultEvent diagnosis
@@ -19,15 +21,33 @@
 // scenario additionally asserts the zero-overhead guarantee: its measured
 // report must be bit-identical to a plan-free run, and a protected run must
 // report zero ABFT detections on top.  Scheduled-death scenarios must end
-// correct with at least one checkpoint recovery — the death is not optional.
+// correct with at least one checkpoint rollback or restart — the death is
+// not optional.
 //
-// Usage: hcmm_chaos [--json] [--out FILE] [--seed S]
+// Fuzz mode (--fuzz N, replaces the scenario sweep).  Starts from the
+// hand-tuned second-order seed corpus (fault::fuzz_seed_corpus), then runs N
+// seeded mutation iterations; plans that light up novel recovery-path
+// features (ladder rungs, FaultKinds, escalation transitions — see
+// fault/fuzz.hpp) join the corpus.  Every completed run is *certified*: its
+// captured trace is re-run through the alias/lifetime, happens-before and
+// semantic exactly-once passes, so a recovery that leaves the data plane in
+// a corrupt state fails the campaign even when the product happens to be
+// right.  A located abort is acceptable only when the plan can plausibly
+// force that abort kind (may_abort below).  Failing plans are delta-debug
+// shrunk to minimal reproducers (spec strings, written to --repro-dir).
+// The campaign fails unless coverage reaches 90% of the feature universe.
+//
+// Usage: hcmm_chaos [--json] [--out FILE] [--seed S] [--list-scenarios]
+//                   [--fuzz N] [--budget N] [--shrink N]
+//                   [--repro-dir DIR] [--coverage-out FILE]
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -35,6 +55,9 @@
 
 #include "hcmm/abft/protect.hpp"
 #include "hcmm/algo/api.hpp"
+#include "hcmm/analysis/semantic.hpp"
+#include "hcmm/analysis/trace.hpp"
+#include "hcmm/fault/fuzz.hpp"
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/matrix/gemm.hpp"
@@ -43,6 +66,11 @@
 namespace {
 
 using namespace hcmm;
+
+constexpr const char* kUsage =
+    "usage: hcmm_chaos [--json] [--out FILE] [--seed S] [--list-scenarios]\n"
+    "                  [--fuzz N] [--budget N] [--shrink N]\n"
+    "                  [--repro-dir DIR] [--coverage-out FILE]\n";
 
 /// Smallest problem size the algorithm accepts on @p p nodes, 0 if none.
 std::size_t pick_n(const algo::DistributedMatmul& alg, std::uint32_t p) {
@@ -61,6 +89,8 @@ struct RunRecord {
   std::string detail;  // abort diagnosis or failure description
   PhaseStats totals;   // zeroed on aborts
   std::uint64_t recoveries = 0;
+  std::uint64_t restarts = 0;
+  std::string spec;    // fuzz runs: the plan's reproducer spec
 };
 
 const char* to_string(Outcome o) {
@@ -82,7 +112,8 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 }
 
 std::string campaign_json(const std::vector<RunRecord>& records,
-                          std::size_t fails, std::size_t skipped) {
+                          std::size_t fails, std::size_t skipped,
+                          const std::string& fuzz_block) {
   std::ostringstream os;
   std::size_t correct = 0;
   std::size_t aborted = 0;
@@ -110,9 +141,17 @@ std::string campaign_json(const std::vector<RunRecord>& records,
        << ", \"silent_corruptions\": " << r.totals.silent_corruptions
        << ", \"abft_detected\": " << r.totals.abft_detected
        << ", \"abft_corrected\": " << r.totals.abft_corrected
-       << ", \"recoveries\": " << r.recoveries << "}";
+       << ", \"recoveries\": " << r.recoveries
+       << ", \"restarts\": " << r.restarts;
+    if (!r.spec.empty()) {
+      os << ", \"spec\": ";
+      json_escape(os, r.spec);
+    }
+    os << "}";
   }
-  os << "]}";
+  os << "]";
+  if (!fuzz_block.empty()) os << ", \"fuzz\": " << fuzz_block;
+  os << "}";
   return os.str();
 }
 
@@ -146,6 +185,7 @@ std::string report_mismatch(const SimReport& base, const SimReport& with) {
   }
   if (!with.fault_events.empty()) return "fault events recorded";
   if (with.recoveries != 0) return "recoveries recorded";
+  if (with.restarts != 0) return "restarts recorded";
   return {};
 }
 
@@ -172,8 +212,9 @@ struct Campaign {
 
 /// Run one (algorithm, scenario) combination and judge the outcome.
 /// @p protected_run switches on the ABFT acceptance rules: empty plans must
-/// additionally report zero ABFT activity, and death-only plans must end
-/// correct after at least one recovery.
+/// additionally report zero ABFT activity, and plans whose only faults are
+/// scheduled deaths / checkpoint corruption must end correct after at least
+/// one rollback or restart.
 void run_scenario(Campaign& camp, const algo::DistributedMatmul& alg,
                   const Hypercube& cube, PortModel port, const Matrix& a,
                   const Matrix& b, const Matrix& want,
@@ -183,14 +224,16 @@ void run_scenario(Campaign& camp, const algo::DistributedMatmul& alg,
   RunRecord rec;
   rec.context = context;
   rec.scenario = sc.name;
-  const bool death_only = !sc.plan.kill_at.empty() &&
-                          !sc.plan.transient.any() && sc.plan.set.empty();
+  const bool recovery_required =
+      (!sc.plan.kill_at.empty() || !sc.plan.kill_at_replay.empty()) &&
+      !sc.plan.transient.any() && sc.plan.set.empty();
   try {
     Machine m(cube, port, CostParams{});
     m.set_fault_plan(std::make_shared<const fault::FaultPlan>(sc.plan));
     const algo::RunResult res = alg.run(a, b, m);
     rec.totals = res.report.totals();
     rec.recoveries = res.report.recoveries;
+    rec.restarts = res.report.restarts;
     if (!approx_equal(res.c, want, 1e-9 * static_cast<double>(n))) {
       rec.outcome = Outcome::kFail;
       rec.detail = "product differs from serial gemm by " +
@@ -208,7 +251,8 @@ void run_scenario(Campaign& camp, const algo::DistributedMatmul& alg,
       } else {
         rec.outcome = Outcome::kCorrect;
       }
-    } else if (death_only && res.report.recoveries == 0) {
+    } else if (recovery_required &&
+               res.report.recoveries + res.report.restarts == 0) {
       rec.outcome = Outcome::kFail;
       rec.detail = "scheduled death never triggered a checkpoint recovery";
     } else {
@@ -230,149 +274,534 @@ void run_scenario(Campaign& camp, const algo::DistributedMatmul& alg,
   camp.records.push_back(std::move(rec));
 }
 
+// ---------------------------------------------------------------------------
+// Fuzz mode
+
+/// Can @p plan plausibly force a clean abort of kind @p kind?  Fuzzed plans
+/// are arbitrary, so the judge accepts exactly the abort kinds the plan's
+/// ingredients can cause — anything else is a recovery regression.
+bool may_abort(const fault::FaultPlan& plan, fault::FaultKind kind) {
+  using fault::FaultKind;
+  const bool structural = !plan.set.empty() || !plan.kill_at.empty() ||
+                          !plan.kill_at_replay.empty() ||
+                          plan.transient.detour_fail_prob > 0.0;
+  switch (kind) {
+    case FaultKind::kRetryExhausted:
+      return plan.transient.any();
+    case FaultKind::kBudgetExhausted:
+      return plan.budget.any();
+    case FaultKind::kUnroutable:
+    case FaultKind::kHostless:
+      return structural;
+    case FaultKind::kAbftUncorrectable:
+      return plan.transient.silent_prob > 0.0;
+    case FaultKind::kCheckpointCorrupt:
+      return !plan.corrupt_checkpoint.empty();
+    default:
+      return false;
+  }
+}
+
+/// Post-recovery certification: re-run the captured trace through the
+/// alias/lifetime, happens-before and semantic exactly-once passes.  Silent
+/// corruption swaps delivered payloads for fresh buffers the trace cannot
+/// see, so the buffer-identity passes (alias, race) are skipped for plans
+/// that inject it; the symbolic semantic pass judges event structure only
+/// and always runs.  cross_validate_plane is exact only for fault-free runs
+/// and is deliberately not part of the certificate.  Returns the first
+/// error diagnostic, or "" when the run is certified.
+std::string certify_run(const analysis::RunTrace& trace, const Hypercube& cube,
+                        PortModel port, bool skip_buffer_passes) {
+  analysis::TraceInput tin;
+  tin.trace = &trace;
+  tin.cube = cube;
+  tin.port = port;
+  analysis::DiagnosticList found;
+  if (!skip_buffer_passes) {
+    analysis::make_alias_lifetime_pass()->run(tin, found);
+    analysis::make_happens_before_pass()->run(tin, found);
+  }
+  (void)analysis::run_semantic_pass(trace, found);
+  for (const analysis::Diagnostic& d : found.diags()) {
+    if (d.severity == analysis::Severity::kError) return d.to_string();
+  }
+  return {};
+}
+
+struct FuzzEnv {
+  Hypercube cube{3};
+  PortModel port = PortModel::kOnePort;
+  std::unique_ptr<algo::DistributedMatmul> alg;  // ABFT-protected
+  Matrix a{0, 0};
+  Matrix b{0, 0};
+  Matrix want{0, 0};
+};
+
+struct FuzzRun {
+  Outcome outcome = Outcome::kFail;
+  std::string detail;
+  fault::RunObservation obs;
+  PhaseStats totals;
+  std::uint64_t recoveries = 0;
+  std::uint64_t restarts = 0;
+};
+
+void observe_report(fault::RunObservation& obs, const SimReport& report) {
+  const PhaseStats t = report.totals();
+  obs.retries = t.retries;
+  obs.reroutes = t.reroutes;
+  obs.recoveries = report.recoveries;
+  obs.restarts = report.restarts;
+  for (const fault::FaultEvent& ev : report.fault_events) {
+    obs.event_kinds.push_back(ev.kind);
+    obs.contracted |= ev.kind == fault::FaultKind::kNodeDeath;
+  }
+}
+
+/// Run one fuzzed plan under the ABFT-protected algorithm and judge it:
+/// correct + certified, clean located abort of a plausible kind, or FAIL.
+FuzzRun run_fuzz_plan(const FuzzEnv& env, const fault::FaultPlan& plan) {
+  FuzzRun out;
+  Machine m(env.cube, env.port, CostParams{});
+  analysis::TraceRecorder rec(m);
+  try {
+    m.set_fault_plan(std::make_shared<const fault::FaultPlan>(plan));
+  } catch (const fault::FaultAbort& fa) {
+    // Structural rejection at install time (hostless cluster, disconnected
+    // live cube) — clean iff the plan's shape can cause it.
+    out.obs.abort_kind = fa.event().kind;
+    if (may_abort(plan, fa.event().kind)) {
+      out.outcome = Outcome::kCleanAbort;
+      out.detail = fa.event().to_string();
+    } else {
+      out.outcome = Outcome::kFail;
+      out.detail = "implausible plan rejection: " + std::string(fa.what());
+    }
+    return out;
+  }
+  try {
+    const algo::RunResult res = env.alg->run(env.a, env.b, m);
+    out.totals = res.report.totals();
+    out.recoveries = res.report.recoveries;
+    out.restarts = res.report.restarts;
+    out.obs.completed = true;
+    observe_report(out.obs, res.report);
+    const std::size_t n = env.a.rows();
+    if (!approx_equal(res.c, env.want, 1e-9 * static_cast<double>(n))) {
+      out.outcome = Outcome::kFail;
+      out.detail = "product differs from serial gemm by " +
+                   std::to_string(max_abs_diff(res.c, env.want));
+      return out;
+    }
+    const std::string diag =
+        certify_run(rec.trace(), env.cube, env.port,
+                    /*skip_buffer_passes=*/plan.transient.silent_prob > 0.0);
+    if (!diag.empty()) {
+      out.outcome = Outcome::kFail;
+      out.detail = "uncertified recovery: " + diag;
+      return out;
+    }
+    out.outcome = Outcome::kCorrect;
+  } catch (const fault::FaultAbort& fa) {
+    const SimReport partial = m.report();  // run up to the abort
+    observe_report(out.obs, partial);
+    out.totals = partial.totals();
+    out.recoveries = partial.recoveries;
+    out.restarts = partial.restarts;
+    out.obs.abort_kind = fa.event().kind;
+    if (may_abort(plan, fa.event().kind)) {
+      out.outcome = Outcome::kCleanAbort;
+      out.detail = fa.event().to_string();
+    } else {
+      out.outcome = Outcome::kFail;
+      out.detail = "implausible abort: " + std::string(fa.what());
+    }
+  } catch (const std::exception& e) {
+    out.outcome = Outcome::kFail;
+    out.detail = std::string("unlocated exception: ") + e.what();
+  }
+  return out;
+}
+
+struct FuzzConfig {
+  std::uint64_t iterations = 0;    ///< mutation rounds after the seed corpus
+  std::uint64_t run_budget = 0;    ///< cap on total simulated runs (0 = off)
+  std::uint64_t shrink_budget = 200;  ///< predicate evals per shrink (0 = off)
+  std::string repro_dir;
+  std::string coverage_out;
+  std::uint64_t seed = 0;
+};
+
+/// splitmix64 — per-iteration seed derivation.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Coverage-guided fuzz campaign; fills camp.records and returns the JSON
+/// fuzz block.  Gate: coverage must reach 90% of the feature universe.
+std::string run_fuzz_campaign(Campaign& camp, const FuzzConfig& cfg) {
+  FuzzEnv env;
+  // First registry algorithm that runs on the fuzz cube under one-port —
+  // deterministic, and independent of registry additions ahead of it only
+  // if their applicability changes, which the campaign log makes obvious.
+  std::size_t n = 0;
+  for (auto& alg : abft::all_protected()) {
+    if (!alg->supports(env.port)) continue;
+    n = pick_n(*alg, env.cube.size());
+    if (n != 0) {
+      env.alg = std::move(alg);
+      break;
+    }
+  }
+  if (env.alg == nullptr) {
+    camp.fails += 1;
+    RunRecord rec;
+    rec.scenario = "fuzz-setup";
+    rec.outcome = Outcome::kFail;
+    rec.detail = "no registered algorithm is applicable on the fuzz cube";
+    camp.records.push_back(std::move(rec));
+    return "{}";
+  }
+  env.a = random_matrix(n, n, 17);
+  env.b = random_matrix(n, n, 18);
+  env.want = multiply_naive(env.a, env.b);
+  const std::string context = env.alg->name() + " on " +
+                              std::to_string(env.cube.size()) + " nodes (" +
+                              to_string(env.port) + ")";
+
+  fault::CoverageMap coverage;
+  std::vector<fault::FaultPlan> corpus;
+  std::uint64_t runs = 0;
+  std::vector<std::pair<std::string, std::string>> reproducers;
+  std::size_t repro_idx = 0;
+
+  const auto over_budget = [&] {
+    return cfg.run_budget != 0 && runs >= cfg.run_budget;
+  };
+
+  // Shrink a failing plan to a minimal reproducer and persist its spec.
+  const auto report_failure = [&](const std::string& scenario,
+                                  const fault::FaultPlan& plan,
+                                  RunRecord& rec) {
+    fault::FaultPlan minimal = plan;
+    if (cfg.shrink_budget != 0) {
+      std::uint64_t evals = 0;
+      minimal = fault::shrink_plan(plan, [&](const fault::FaultPlan& cand) {
+        if (evals >= cfg.shrink_budget || over_budget()) return false;
+        ++evals;
+        ++runs;
+        return run_fuzz_plan(env, cand).outcome == Outcome::kFail;
+      });
+    }
+    const std::string spec = fault::plan_spec(minimal);
+    rec.spec = spec;
+    rec.detail += " [reproducer: " + (spec.empty() ? "<empty plan>" : spec) +
+                  "]";
+    reproducers.emplace_back(scenario, spec);
+    if (!cfg.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cfg.repro_dir, ec);
+      std::ofstream f(cfg.repro_dir + "/repro-" +
+                      std::to_string(repro_idx++) + ".txt");
+      f << "# hcmm_chaos reproducer: " << scenario << "\n"
+        << "# replay: feed the spec line to fault::plan_from_spec\n"
+        << spec << "\n"
+        << fault::plan_json(minimal) << "\n";
+    }
+  };
+
+  const auto run_one = [&](const std::string& scenario,
+                           const fault::FaultPlan& plan) {
+    ++runs;
+    FuzzRun r = run_fuzz_plan(env, plan);
+    const std::size_t novel = coverage.record_all(observed_features(r.obs));
+    RunRecord rec;
+    rec.context = context;
+    rec.scenario = scenario;
+    rec.outcome = r.outcome;
+    rec.detail = std::move(r.detail);
+    rec.totals = r.totals;
+    rec.recoveries = r.recoveries;
+    rec.restarts = r.restarts;
+    if (r.outcome == Outcome::kFail) {
+      report_failure(scenario, plan, rec);
+    } else if (rec.spec.empty()) {
+      rec.spec = fault::plan_spec(plan);
+    }
+    camp.fails += rec.outcome == Outcome::kFail;
+    camp.records.push_back(std::move(rec));
+    // Plans that light up novel features and were not structurally rejected
+    // are worth mutating further.
+    if (novel > 0 && r.outcome != Outcome::kFail &&
+        (r.obs.completed || r.obs.abort_kind != fault::FaultKind::kNone)) {
+      corpus.push_back(plan);
+    }
+  };
+
+  corpus.push_back(fault::FaultPlan{});  // mutation base of last resort
+  for (const fault::Scenario& sc :
+       fault::fuzz_seed_corpus(env.cube, cfg.seed)) {
+    if (over_budget()) break;
+    run_one("seed:" + sc.name, sc.plan);
+  }
+  for (std::uint64_t i = 0; i < cfg.iterations && !over_budget(); ++i) {
+    const std::uint64_t pick = mix(cfg.seed ^ (i * 2 + 1));
+    const fault::FaultPlan& base = corpus[pick % corpus.size()];
+    const fault::FaultPlan child =
+        fault::mutate_plan(base, env.cube, mix(cfg.seed ^ (i * 2)));
+    run_one("fuzz-" + std::to_string(i), child);
+  }
+
+  constexpr double kCoverageGate = 0.9;
+  if (coverage.ratio() < kCoverageGate) {
+    camp.fails += 1;
+    RunRecord rec;
+    rec.context = context;
+    rec.scenario = "coverage-gate";
+    rec.outcome = Outcome::kFail;
+    std::string missing;
+    for (const std::string& f : coverage.missing()) {
+      missing += (missing.empty() ? "" : ", ") + f;
+    }
+    rec.detail = "recovery-path coverage " + std::to_string(coverage.ratio()) +
+                 " < 0.9; missing: " + missing;
+    camp.records.push_back(std::move(rec));
+  }
+  if (!cfg.coverage_out.empty()) {
+    std::ofstream f(cfg.coverage_out);
+    f << coverage.json();
+  }
+
+  std::ostringstream os;
+  os << "{\"runs\": " << runs << ", \"corpus\": " << corpus.size()
+     << ", \"coverage_ratio\": " << coverage.ratio()
+     << ", \"universe\": " << fault::CoverageMap::universe().size()
+     << ", \"missing\": [";
+  bool first = true;
+  for (const std::string& f : coverage.missing()) {
+    if (!first) os << ", ";
+    json_escape(os, f);
+    first = false;
+  }
+  os << "], \"reproducers\": [";
+  first = true;
+  for (const auto& [scenario, spec] : reproducers) {
+    if (!first) os << ", ";
+    os << "{\"scenario\": ";
+    json_escape(os, scenario);
+    os << ", \"spec\": ";
+    json_escape(os, spec);
+    os << "}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Strict decimal parse shared by every numeric flag: silent truncation
+/// would make a chaos reproduction irreproducible, so reject and exit 2.
+bool parse_u64_flag(const char* flag, const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::cerr << "hcmm_chaos: invalid " << flag << " '" << text
+              << "' (expected a decimal unsigned integer)\n"
+              << kUsage;
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+void list_scenarios(std::uint64_t seed) {
+  const Hypercube cube(3);
+  std::cout << "chaos scenarios (unprotected sweep):\n";
+  for (const auto& sc : fault::chaos_scenarios(cube, seed)) {
+    std::cout << "  " << sc.name << "\n";
+  }
+  std::cout << "abft scenarios (protected sweep):\n";
+  for (const auto& sc : fault::abft_scenarios(cube, seed)) {
+    std::cout << "  " << sc.name << "\n";
+  }
+  std::cout << "fuzz seed corpus (--fuzz mode):\n";
+  for (const auto& sc : fault::fuzz_seed_corpus(cube, seed)) {
+    std::cout << "  " << sc.name << "  [" << fault::plan_spec(sc.plan)
+              << "]\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool list_only = false;
+  bool fuzz_mode = false;
   std::string out_path;
   std::uint64_t seed = 20260805;
+  FuzzConfig fuzz;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--list-scenarios") {
+      list_only = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--repro-dir" && i + 1 < argc) {
+      fuzz.repro_dir = argv[++i];
+    } else if (arg == "--coverage-out" && i + 1 < argc) {
+      fuzz.coverage_out = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
-      // Parse strictly: a seed that silently truncates (or an exception out
-      // of main) would make a chaos reproduction irreproducible.
-      const char* text = argv[++i];
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long long v = std::strtoull(text, &end, 10);
-      if (end == text || *end != '\0' || errno == ERANGE) {
-        std::cerr << "hcmm_chaos: invalid --seed '" << text
-                  << "' (expected a decimal unsigned integer)\n"
-                  << "usage: hcmm_chaos [--json] [--out FILE] [--seed S]\n";
+      if (!parse_u64_flag("--seed", argv[++i], seed)) return 2;
+    } else if (arg == "--fuzz" && i + 1 < argc) {
+      if (!parse_u64_flag("--fuzz", argv[++i], fuzz.iterations)) return 2;
+      fuzz_mode = true;
+    } else if (arg == "--budget" && i + 1 < argc) {
+      if (!parse_u64_flag("--budget", argv[++i], fuzz.run_budget)) return 2;
+    } else if (arg == "--shrink" && i + 1 < argc) {
+      if (!parse_u64_flag("--shrink", argv[++i], fuzz.shrink_budget)) {
         return 2;
       }
-      seed = v;
     } else {
-      std::cerr << "usage: hcmm_chaos [--json] [--out FILE] [--seed S]\n";
+      std::cerr << kUsage;
       return 2;
     }
   }
+  if (!fuzz_mode && (fuzz.run_budget != 0 || fuzz.shrink_budget != 200 ||
+                     !fuzz.repro_dir.empty() || !fuzz.coverage_out.empty())) {
+    std::cerr << "hcmm_chaos: --budget/--shrink/--repro-dir/--coverage-out "
+                 "require --fuzz\n"
+              << kUsage;
+    return 2;
+  }
+  if (list_only) {
+    list_scenarios(seed);
+    return 0;
+  }
 
   Campaign camp;
+  std::string fuzz_block;
 
-  const std::uint32_t dims[] = {3, 6};
-  const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
+  if (fuzz_mode) {
+    fuzz.seed = seed;
+    fuzz_block = run_fuzz_campaign(camp, fuzz);
+  } else {
+    const std::uint32_t dims[] = {3, 6};
+    const PortModel ports[] = {PortModel::kOnePort, PortModel::kMultiPort};
 
-  for (const std::uint32_t dim : dims) {
-    const Hypercube cube(dim);
-    const auto scenarios = fault::chaos_scenarios(cube, seed + dim);
-    const auto abft_scs = fault::abft_scenarios(cube, seed + dim + 101);
-    for (const PortModel port : ports) {
-      // Sweep 1: unprotected algorithms against the transport-level
-      // catalogue (every fault there is visible to retry/reroute recovery).
-      for (const auto& alg : algo::all_algorithms()) {
-        if (!alg->supports(port)) {
-          ++camp.skipped;
-          continue;
-        }
-        const std::size_t n = pick_n(*alg, cube.size());
-        if (n == 0) {
-          ++camp.skipped;
-          continue;
-        }
-        const std::string context = alg->name() + " on " +
-                                    std::to_string(cube.size()) + " nodes (" +
-                                    to_string(port) + ")";
-        const Matrix a = random_matrix(n, n, 17);
-        const Matrix b = random_matrix(n, n, 18);
-        const Matrix want = multiply_naive(a, b);
+    for (const std::uint32_t dim : dims) {
+      const Hypercube cube(dim);
+      const auto scenarios = fault::chaos_scenarios(cube, seed + dim);
+      const auto abft_scs = fault::abft_scenarios(cube, seed + dim + 101);
+      for (const PortModel port : ports) {
+        // Sweep 1: unprotected algorithms against the transport-level
+        // catalogue (every fault there is visible to retry/reroute recovery).
+        for (const auto& alg : algo::all_algorithms()) {
+          if (!alg->supports(port)) {
+            ++camp.skipped;
+            continue;
+          }
+          const std::size_t n = pick_n(*alg, cube.size());
+          if (n == 0) {
+            ++camp.skipped;
+            continue;
+          }
+          const std::string context = alg->name() + " on " +
+                                      std::to_string(cube.size()) +
+                                      " nodes (" + to_string(port) + ")";
+          const Matrix a = random_matrix(n, n, 17);
+          const Matrix b = random_matrix(n, n, 18);
+          const Matrix want = multiply_naive(a, b);
 
-        // Plan-free reference run, reused for every scenario's product check
-        // and for the baseline scenario's bit-identity check.
-        SimReport clean_report;
-        {
-          Machine m(cube, port, CostParams{});
-          clean_report = alg->run(a, b, m).report;
-        }
-        for (const auto& sc : scenarios) {
-          run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
-                       context, /*protected_run=*/false);
-        }
-      }
-
-      // Sweep 2: ABFT-protected algorithms against silent corruption and
-      // scheduled mid-run deaths at every phase boundary of the clean run.
-      for (const auto& alg : abft::all_protected()) {
-        if (!alg->supports(port)) {
-          ++camp.skipped;
-          continue;
-        }
-        const std::size_t n = pick_n(*alg, cube.size());
-        if (n == 0) {
-          ++camp.skipped;
-          continue;
-        }
-        const std::string context = alg->name() + " on " +
-                                    std::to_string(cube.size()) + " nodes (" +
-                                    to_string(port) + ")";
-        const Matrix a = random_matrix(n, n, 17);
-        const Matrix b = random_matrix(n, n, 18);
-        const Matrix want = multiply_naive(a, b);
-
-        SimReport clean_report;
-        {
-          Machine m(cube, port, CostParams{});
-          clean_report = alg->run(a, b, m).report;
-        }
-        bool has_encode = false;
-        bool has_verify = false;
-        for (const PhaseStats& ph : clean_report.phases) {
-          has_encode |= ph.name == "abft encode";
-          has_verify |= ph.name == "abft verify";
-        }
-        if (!has_encode || !has_verify) {
-          RunRecord rec;
-          rec.context = context;
-          rec.scenario = "abft-phases-present";
-          rec.outcome = Outcome::kFail;
-          rec.detail = "protected run is missing its abft phases";
-          camp.fails += 1;
-          camp.records.push_back(std::move(rec));
-          continue;
+          // Plan-free reference run, reused for every scenario's product
+          // check and for the baseline scenario's bit-identity check.
+          SimReport clean_report;
+          {
+            Machine m(cube, port, CostParams{});
+            clean_report = alg->run(a, b, m).report;
+          }
+          for (const auto& sc : scenarios) {
+            run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
+                         context, /*protected_run=*/false);
+          }
         }
 
-        std::vector<fault::Scenario> scs;
-        scs.push_back({"baseline-empty-plan", fault::FaultPlan{}});
-        scs.insert(scs.end(), abft_scs.begin(), abft_scs.end());
-        const std::vector<std::uint64_t> bounds =
-            phase_boundary_rounds(clean_report);
-        const std::uint64_t total = bounds.back();
-        std::uint64_t prev = ~std::uint64_t{0};
-        for (std::size_t j = 0; j + 1 < bounds.size(); ++j) {
-          const std::uint64_t r = bounds[j];
-          if (r >= total || r == prev) continue;  // no round left / duplicate
-          prev = r;
-          fault::Scenario s{"death-at-round-" + std::to_string(r),
-                            fault::FaultPlan{}};
-          s.plan.kill_node_at_round(
-              fault::safe_victim(cube, seed + dim * 1000 + j, fault::FaultSet{}),
-              r);
-          scs.push_back(std::move(s));
-        }
+        // Sweep 2: ABFT-protected algorithms against silent corruption and
+        // scheduled mid-run deaths at every phase boundary of the clean run.
+        for (const auto& alg : abft::all_protected()) {
+          if (!alg->supports(port)) {
+            ++camp.skipped;
+            continue;
+          }
+          const std::size_t n = pick_n(*alg, cube.size());
+          if (n == 0) {
+            ++camp.skipped;
+            continue;
+          }
+          const std::string context = alg->name() + " on " +
+                                      std::to_string(cube.size()) +
+                                      " nodes (" + to_string(port) + ")";
+          const Matrix a = random_matrix(n, n, 17);
+          const Matrix b = random_matrix(n, n, 18);
+          const Matrix want = multiply_naive(a, b);
 
-        for (const auto& sc : scs) {
-          run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
-                       context, /*protected_run=*/true);
+          SimReport clean_report;
+          {
+            Machine m(cube, port, CostParams{});
+            clean_report = alg->run(a, b, m).report;
+          }
+          bool has_encode = false;
+          bool has_verify = false;
+          for (const PhaseStats& ph : clean_report.phases) {
+            has_encode |= ph.name == "abft encode";
+            has_verify |= ph.name == "abft verify";
+          }
+          if (!has_encode || !has_verify) {
+            RunRecord rec;
+            rec.context = context;
+            rec.scenario = "abft-phases-present";
+            rec.outcome = Outcome::kFail;
+            rec.detail = "protected run is missing its abft phases";
+            camp.fails += 1;
+            camp.records.push_back(std::move(rec));
+            continue;
+          }
+
+          std::vector<fault::Scenario> scs;
+          scs.push_back({"baseline-empty-plan", fault::FaultPlan{}});
+          scs.insert(scs.end(), abft_scs.begin(), abft_scs.end());
+          const std::vector<std::uint64_t> bounds =
+              phase_boundary_rounds(clean_report);
+          const std::uint64_t total = bounds.back();
+          std::uint64_t prev = ~std::uint64_t{0};
+          for (std::size_t j = 0; j + 1 < bounds.size(); ++j) {
+            const std::uint64_t r = bounds[j];
+            if (r >= total || r == prev) continue;  // no round left / dup
+            prev = r;
+            fault::Scenario s{"death-at-round-" + std::to_string(r),
+                              fault::FaultPlan{}};
+            s.plan.kill_node_at_round(
+                fault::safe_victim(cube, seed + dim * 1000 + j,
+                                   fault::FaultSet{}),
+                r);
+            scs.push_back(std::move(s));
+          }
+
+          for (const auto& sc : scs) {
+            run_scenario(camp, *alg, cube, port, a, b, want, clean_report, sc,
+                         context, /*protected_run=*/true);
+          }
         }
       }
     }
   }
 
-  const std::string doc = campaign_json(camp.records, camp.fails, camp.skipped);
+  const std::string doc =
+      campaign_json(camp.records, camp.fails, camp.skipped, fuzz_block);
   if (!out_path.empty()) {
     std::ofstream f(out_path);
     f << doc << "\n";
