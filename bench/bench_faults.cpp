@@ -21,10 +21,16 @@
 #include <string_view>
 #include <vector>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "hcmm/algo/api.hpp"
+#include "hcmm/fault/fuzz.hpp"
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/socket_transport.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+#include "hcmm/runtime/team.hpp"
 #include "hcmm/sim/machine.hpp"
 
 namespace {
@@ -36,12 +42,16 @@ constexpr std::size_t kN = 64;
 
 struct Row {
   std::string algorithm;
-  std::string sweep;      // "drop_prob", "failed_links" or "fault_process"
+  std::string sweep;      // "drop_prob", "failed_links", "fault_process"
+                          // or "wire_drop"
   double knob = 0.0;      // p_drop or link count
   PhaseStats totals;
   double time = 0.0;
   double overhead = 0.0;  // fraction of the clean-run time
   std::string process;    // "independent" / "burst" for the process sweep
+  std::string backend;    // transport the faults ran over ("simulator" for
+                          // the modeled sweeps, Transport::name() otherwise)
+  std::string spec;       // fault::plan_spec reproducer of the fault process
 };
 
 double clean_time(const algo::DistributedMatmul& alg, const Matrix& a,
@@ -76,8 +86,8 @@ void sweep_drop_prob(const algo::DistributedMatmul& alg, const Matrix& a,
                   static_cast<unsigned long long>(t.retries), t.fault_delay,
                   time, 100.0 * (time - base) / base);
     }
-    rows.push_back(
-        {alg.name(), "drop_prob", p, t, time, (time - base) / base, ""});
+    rows.push_back({alg.name(), "drop_prob", p, t, time, (time - base) / base,
+                    "", "simulator", fault::plan_spec(plan)});
   }
 }
 
@@ -106,7 +116,8 @@ void sweep_failed_links(const algo::DistributedMatmul& alg, const Matrix& a,
                   100.0 * (time - base) / base);
     }
     rows.push_back({alg.name(), "failed_links", static_cast<double>(links), t,
-                    time, (time - base) / base, ""});
+                    time, (time - base) / base, "", "simulator",
+                    fault::plan_spec(plan)});
   }
 }
 
@@ -149,8 +160,50 @@ void sweep_fault_process(const algo::DistributedMatmul& alg, const Matrix& a,
                     time, 100.0 * (time - base) / base);
       }
       rows.push_back({alg.name(), "fault_process", p, t, time,
-                      (time - base) / base, name});
+                      (time - base) / base, name, "simulator",
+                      fault::plan_spec(plan)});
     }
+  }
+}
+
+void sweep_wire(std::vector<Row>& rows, bool table) {
+  // The same question asked of real I/O: what does frame loss cost in wall
+  // clock when recovery is the socket transport's ARQ instead of the
+  // simulator's ladder?  SPMD Cannon on 4 ranks over loopback sockets; the
+  // p = 0 row is the clean baseline.
+  using namespace std::chrono_literals;
+  const Matrix a = random_matrix(16, 16, 43);
+  const Matrix b = random_matrix(16, 16, 44);
+  if (table) {
+    bench::header("spmd_cannon over sockets: wire drop probability sweep");
+    std::printf("  %-8s %-14s %12s %12s %10s\n", "p_drop", "backend",
+                "retransmits", "time_us", "overhead");
+  }
+  double base = 0.0;
+  for (const double p : {0.0, 0.02, 0.05, 0.10}) {
+    fault::FaultPlan plan;
+    plan.wire.seed = 2028;
+    plan.wire.drop_prob = p;
+    rt::Team team(rt::make_socket_transport(4, 10s, plan.wire), 10s);
+    (void)rt::spmd_cannon(team, a, b);  // warm the connections
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)rt::spmd_cannon(team, a, b);
+    const double time = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (p == 0.0) base = time;
+    const rt::WireStats ws = team.wire_stats();
+    PhaseStats t{};
+    t.retries = ws.retransmits;
+    if (table) {
+      std::printf("  %-8.2f %-14s %12llu %12.0f %9.1f%%\n", p,
+                  team.transport().name(),
+                  static_cast<unsigned long long>(ws.retransmits), time,
+                  100.0 * (time - base) / base);
+    }
+    rows.push_back({"spmd_cannon", "wire_drop", p, t, time,
+                    (time - base) / base, "", team.transport().name(),
+                    fault::plan_spec(plan)});
   }
 }
 
@@ -168,7 +221,8 @@ std::string rows_json(const std::vector<Row>& rows) {
        << ", \"fault_delay\": " << r.totals.fault_delay
        << ", \"time\": " << r.time << ", \"overhead\": " << r.overhead;
     if (!r.process.empty()) os << ", \"process\": \"" << r.process << "\"";
-    os << "}";
+    os << ", \"backend\": \"" << r.backend << "\", \"spec\": \"" << r.spec
+       << "\"}";
   }
   os << "]}";
   return os.str();
@@ -203,6 +257,7 @@ int main(int argc, char** argv) {
     sweep_failed_links(*alg, a, b, port, base, rows, !json);
     sweep_fault_process(*alg, a, b, port, base, rows, !json);
   }
+  sweep_wire(rows, !json);
 
   const std::string doc = rows_json(rows);
   if (!out_path.empty()) {

@@ -1,0 +1,204 @@
+// Transport backend comparison: the real (t_s, t_w) of every Team backend,
+// point latency and bandwidth from the calibration sweep, and the cost of
+// the recovery ladder over genuinely lossy I/O — detection latency of a
+// dead rank and the wall clock of the restart rung that heals it.
+//
+// Like bench_dataplane, the harness exits nonzero when its deterministic
+// checks fail — bit identity of the SPMD product across backends, a located
+// death diagnosis, and a clean bit-identical restart — so CI can gate on
+// the exit code while wall-clock numbers are only reported.
+//
+// Usage: bench_transport [--json] [--out FILE] [--quick]
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hcmm/analysis/calibration.hpp"
+#include "hcmm/fault/fuzz.hpp"
+#include "hcmm/fault/plan.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/socket_transport.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+#include "hcmm/runtime/team.hpp"
+
+namespace {
+
+using namespace hcmm;
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+fault::WireFaultSpec mild_loss() {
+  fault::WireFaultSpec w;
+  w.seed = 0xBE7C;
+  w.drop_prob = 0.03;
+  w.dup_prob = 0.03;
+  w.reorder_prob = 0.03;
+  return w;
+}
+
+struct BackendRow {
+  std::string name;
+  analysis::Calibration cal;
+  double latency_us = 0.0;    ///< 1-word one-way time
+  double bandwidth_mbps = 0.0;  ///< largest sweep point, MB/s one way
+  // Socket backends only: recovery drill numbers (0 for mailbox).
+  double abort_us = 0.0;    ///< run start -> located death diagnosis
+  double restart_us = 0.0;  ///< clean restart run over the same transport
+  std::string wire_spec;    ///< lossy backends: the reproducer fault spec
+};
+
+std::unique_ptr<rt::Team> make_team(const std::string& backend,
+                                    std::uint32_t ranks) {
+  if (backend == "mailbox") return std::make_unique<rt::Team>(ranks, 10s);
+  if (backend == "socket") {
+    return std::make_unique<rt::Team>(rt::make_socket_transport(ranks, 10s),
+                                      10s);
+  }
+  return std::make_unique<rt::Team>(
+      rt::make_socket_transport(ranks, 10s, mild_loss()), 10s);
+}
+
+/// Injected-death drill over @p backend: detection latency, then the
+/// restart rung, whose product must be bit-identical to @p want.
+void recovery_drill(const std::string& backend, const Matrix& a,
+                    const Matrix& b, const Matrix& want, BackendRow& row) {
+  auto team = make_team(backend, 4);
+  team->inject_rank_death(2);
+  const auto t0 = Clock::now();
+  bool located = false;
+  try {
+    (void)rt::spmd_cannon(*team, a, b);
+  } catch (const std::runtime_error& e) {
+    row.abort_us = us_since(t0);
+    located = std::string(e.what()).find("rank 2") != std::string::npos;
+  }
+  if (!located) {
+    throw std::runtime_error("bench_transport: death on " + backend +
+                             " was not diagnosed as rank 2");
+  }
+  team->clear_injections();
+  const auto t1 = Clock::now();
+  const Matrix c = rt::spmd_cannon(*team, a, b);
+  row.restart_us = us_since(t1);
+  if (std::memcmp(c.data().data(), want.data().data(),
+                  want.rows() * want.cols() * sizeof(double)) != 0) {
+    throw std::runtime_error("bench_transport: restart over " + backend +
+                             " is not bit-identical to the mailbox run");
+  }
+}
+
+std::string rows_json(const std::vector<BackendRow>& rows) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"backends\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BackendRow& r = rows[i];
+    if (i != 0) os << ", ";
+    os << "{\"name\": \"" << r.name << "\", \"ts_us\": " << r.cal.ts_us
+       << ", \"tw_us\": " << r.cal.tw_us
+       << ", \"latency_us\": " << r.latency_us
+       << ", \"bandwidth_mbps\": " << r.bandwidth_mbps
+       << ", \"recovery_abort_us\": " << r.abort_us
+       << ", \"recovery_restart_us\": " << r.restart_us;
+    if (!r.wire_spec.empty()) os << ", \"wire_spec\": \"" << r.wire_spec
+                                 << "\"";
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_transport [--json] [--out FILE] [--quick]\n";
+      return 2;
+    }
+  }
+
+  analysis::CalibrationConfig cfg;
+  if (quick) {
+    cfg.warmup = 2;
+    cfg.iters = 8;
+    cfg.reps = 3;
+    cfg.words = {1, 64, 1024};
+  }
+
+  const Matrix a = random_matrix(16, 16, 71);
+  const Matrix b = random_matrix(16, 16, 72);
+  rt::Team ref(4, 10s);
+  const Matrix want = rt::spmd_cannon(ref, a, b);
+
+  std::vector<BackendRow> rows;
+  try {
+    for (const char* backend : {"mailbox", "socket", "socket+lossy"}) {
+      BackendRow row;
+      row.name = backend;
+      if (row.name == "socket+lossy") {
+        fault::FaultPlan wire_only;
+        wire_only.wire = mild_loss();
+        row.wire_spec = fault::plan_spec(wire_only);
+      }
+      {
+        auto team = make_team(backend, 2);
+        row.cal = analysis::calibrate(*team, cfg);
+      }
+      row.latency_us = row.cal.samples.front().oneway_us;
+      const analysis::PingPongSample& big = row.cal.samples.back();
+      if (big.oneway_us > 0) {
+        row.bandwidth_mbps =
+            static_cast<double>(big.words) * sizeof(double) / big.oneway_us;
+      }
+      if (row.name != "mailbox") recovery_drill(backend, a, b, want, row);
+      rows.push_back(std::move(row));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_transport: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!json) {
+    bench::header("transport backends: measured constants and recovery");
+    std::printf("  %-14s %10s %10s %12s %12s %12s %12s\n", "backend", "ts_us",
+                "tw_us", "lat_us", "bw_MB/s", "abort_us", "restart_us");
+    for (const BackendRow& r : rows) {
+      std::printf("  %-14s %10.2f %10.4f %12.2f %12.1f %12.0f %12.0f\n",
+                  r.name.c_str(), r.cal.ts_us, r.cal.tw_us, r.latency_us,
+                  r.bandwidth_mbps, r.abort_us, r.restart_us);
+    }
+  }
+
+  const std::string doc = rows_json(rows);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << doc << "\n";
+  }
+  if (json) std::cout << doc << "\n";
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "hcmm/analysis/calibration.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "hcmm/cost/model.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::analysis {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Tag space reserved for the calibration ping-pong (ordinary user tags,
+/// bit 63 clear; one tag per sweep point keeps the streams disjoint).
+constexpr std::uint64_t kCalTag = 0x0Cu << 24;
+
+/// Multiply-add time from a short local gemm, min over repetitions.
+[[nodiscard]] double measure_tc_us() {
+  constexpr std::size_t kSide = 48;
+  const Matrix a = random_matrix(kSide, kSide, 11);
+  const Matrix b = random_matrix(kSide, kSide, 12);
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    Matrix c(kSide, kSide);
+    const auto t0 = Clock::now();
+    gemm_accumulate(a, b, c);
+    best = std::min(best, us_between(t0, Clock::now()));
+  }
+  const double madds = static_cast<double>(kSide * kSide * kSide);
+  return best / madds;
+}
+
+/// Least squares for oneway_us ~ ts + tw * words, slope and intercept
+/// clamped non-negative (a loopback sweep can fit a slightly negative slope
+/// when every size lands in one cache line; the clamp keeps the constants
+/// physical).
+void fit_line(const std::vector<PingPongSample>& s, double& ts, double& tw,
+              double& residual) {
+  const double n = static_cast<double>(s.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const PingPongSample& p : s) {
+    const double x = static_cast<double>(p.words);
+    sx += x;
+    sy += p.oneway_us;
+    sxx += x * x;
+    sxy += x * p.oneway_us;
+  }
+  const double denom = n * sxx - sx * sx;
+  tw = denom > 0 ? std::max(0.0, (n * sxy - sx * sy) / denom) : 0.0;
+  ts = std::max((sy - tw * sx) / n, 1e-3);
+  residual = 0.0;
+  for (const PingPongSample& p : s) {
+    const double fit = ts + tw * static_cast<double>(p.words);
+    residual = std::max(residual, std::abs(fit - p.oneway_us) /
+                                      std::max(p.oneway_us, 1e-9));
+  }
+}
+
+struct AuditPoint {
+  const rt::SpmdAlgo* algo;
+  algo::AlgoId id;
+  std::uint32_t ranks;
+  std::size_t n;
+};
+
+[[nodiscard]] std::vector<AuditPoint> audit_points(std::uint32_t max_ranks) {
+  // CLI-name -> cost-model identity for the eight SPMD ports.
+  static constexpr std::pair<std::string_view, algo::AlgoId> kIds[] = {
+      {"cannon", algo::AlgoId::kCannon},     {"all3d", algo::AlgoId::kAll3D},
+      {"simple", algo::AlgoId::kSimple},     {"dns", algo::AlgoId::kDNS},
+      {"diag3d", algo::AlgoId::kDiag3D},     {"berntsen", algo::AlgoId::kBerntsen},
+      {"diag2d", algo::AlgoId::kDiag2D},     {"alltrans", algo::AlgoId::kAllTrans},
+  };
+  std::vector<AuditPoint> points;
+  for (const rt::SpmdAlgo& a : rt::spmd_algorithms()) {
+    const std::uint32_t p = a.grid_dim == 2 ? 4u : 8u;
+    if (p > max_ranks) continue;
+    // Grid side is 2 either way; blocks of side n/2 or n/4.
+    const std::size_t n = a.block_exp == 2 || a.grid_dim == 2 ? 32 : 16;
+    for (const auto& [name, id] : kIds) {
+      if (name == a.name) points.push_back({&a, id, p, n});
+    }
+  }
+  return points;
+}
+
+[[nodiscard]] std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Calibration calibrate(rt::Team& team, const CalibrationConfig& cfg) {
+  HCMM_CHECK(team.size() >= 2, "calibrate: need at least 2 ranks");
+  HCMM_CHECK(cfg.iters >= 1 && cfg.reps >= 1 && !cfg.words.empty(),
+             "calibrate: bad config");
+  Calibration cal;
+  cal.backend = team.transport().name();
+  cal.tc_us = measure_tc_us();
+  cal.samples.resize(cfg.words.size());
+
+  // One run per sweep: every warmup/iter/rep round trip happens inside a
+  // single team.run so thread spawn cost never pollutes the timings.
+  team.run([&](rt::Rank& r) {
+    if (r.id() > 1) return;  // spectators (the factory may give more ranks)
+    for (std::size_t si = 0; si < cfg.words.size(); ++si) {
+      const std::size_t words = cfg.words[si];
+      const std::uint64_t tag = kCalTag + si;
+      Matrix payload(1, words);
+      double best = std::numeric_limits<double>::infinity();
+      for (std::uint32_t rep = 0; rep < cfg.reps + 1; ++rep) {
+        // rep 0 is the untimed warmup round (cfg.warmup ping-pongs).
+        const std::uint32_t count = rep == 0 ? cfg.warmup : cfg.iters;
+        const auto t0 = Clock::now();
+        for (std::uint32_t it = 0; it < count; ++it) {
+          if (r.id() == 0) {
+            r.send(1, tag, payload);
+            payload = r.recv(1, tag);
+          } else {
+            payload = r.recv(0, tag);
+            r.send(0, tag, payload);
+          }
+        }
+        if (rep == 0 || count == 0) continue;
+        const double rt_us = us_between(t0, Clock::now());
+        best = std::min(best, rt_us / (2.0 * count));
+      }
+      if (r.id() == 0) {
+        cal.samples[si] = {words, best};
+      }
+    }
+  });
+  fit_line(cal.samples, cal.ts_us, cal.tw_us, cal.fit_residual);
+  return cal;
+}
+
+CostParams measured_params(const Calibration& cal) {
+  return CostParams{cal.ts_us, cal.tw_us, cal.tc_us};
+}
+
+Table2CalReport table2_report(const TeamFactory& make_team,
+                              const CalibrationConfig& cfg,
+                              std::uint32_t max_ranks) {
+  Table2CalReport report;
+  report.band_lo = cfg.band_lo;
+  report.band_hi = cfg.band_hi;
+  {
+    auto team = make_team(2);
+    report.cal = calibrate(*team, cfg);
+  }
+  const CostParams cp = measured_params(report.cal);
+
+  for (const AuditPoint& pt : audit_points(max_ranks)) {
+    auto team = make_team(pt.ranks);
+    const std::size_t n = pt.n;
+    const Matrix a = random_matrix(n, n, 901);
+    const Matrix b = random_matrix(n, n, 902);
+    // Per-run dispatch overhead (thread spawn, join, run bookkeeping) is a
+    // constant the closed form does not model; measure it the same way and
+    // fold it into the prediction, or every row at audit-friendly n would
+    // really be gating the thread library.
+    double spawn_us = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto s0 = Clock::now();
+      team->run([](rt::Rank&) {});
+      spawn_us = std::min(spawn_us, us_between(s0, Clock::now()));
+    }
+    // One warmup run (connections, allocator), then the timed one.
+    (void)pt.algo->fn(*team, a, b);
+    const auto t0 = Clock::now();
+    const Matrix c = pt.algo->fn(*team, a, b);
+    const double measured = us_between(t0, Clock::now());
+    HCMM_CHECK(c.rows() == n, "table2_report: bad result shape");
+
+    const double dn = static_cast<double>(n);
+    const double dp = static_cast<double>(pt.ranks);
+    const cost::CommCost comm =
+        cost::table2(pt.id, PortModel::kOnePort, dn, dp);
+    const double predicted =
+        spawn_us + comm.time(cp) + 2.0 * dn * dn * dn / dp * cp.tc;
+
+    Table2Measured row;
+    row.algo = std::string(pt.algo->name);
+    row.ranks = pt.ranks;
+    row.n = n;
+    row.predicted_us = predicted;
+    row.measured_us = measured;
+    row.ratio = predicted > 0 ? measured / predicted : 0.0;
+    row.within = row.ratio >= cfg.band_lo && row.ratio <= cfg.band_hi;
+    report.all_within = report.all_within && row.within;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string to_json(const Table2CalReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"backend\": \"" << report.cal.backend << "\",\n"
+     << "  \"ts_us\": " << fmt(report.cal.ts_us) << ",\n"
+     << "  \"tw_us\": " << fmt(report.cal.tw_us) << ",\n"
+     << "  \"tc_us\": " << fmt(report.cal.tc_us) << ",\n"
+     << "  \"fit_residual\": " << fmt(report.cal.fit_residual) << ",\n"
+     << "  \"samples\": [";
+  for (std::size_t i = 0; i < report.cal.samples.size(); ++i) {
+    const PingPongSample& s = report.cal.samples[i];
+    os << (i != 0 ? "," : "") << "\n    {\"words\": " << s.words
+       << ", \"oneway_us\": " << fmt(s.oneway_us) << "}";
+  }
+  os << "\n  ],\n  \"band\": [" << fmt(report.band_lo) << ", "
+     << fmt(report.band_hi) << "],\n  \"table2\": [";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const Table2Measured& r = report.rows[i];
+    os << (i != 0 ? "," : "") << "\n    {\"algo\": \"" << r.algo
+       << "\", \"ranks\": " << r.ranks << ", \"n\": " << r.n
+       << ", \"predicted_us\": " << fmt(r.predicted_us)
+       << ", \"measured_us\": " << fmt(r.measured_us)
+       << ", \"ratio\": " << fmt(r.ratio)
+       << ", \"within\": " << (r.within ? "true" : "false") << "}";
+  }
+  os << "\n  ],\n  \"all_within\": "
+     << (report.all_within ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace hcmm::analysis

@@ -48,6 +48,14 @@ constexpr FaultKind kKinds[] = {
   return std::string("esc:") + from + "->" + to;
 }
 
+/// Wire-layer fault kinds the socket transport's ARQ recovers from (kDelay
+/// excluded: a delayed frame is indistinguishable from a slow wire and
+/// exercises no dedicated recovery path).
+constexpr const char* kWireFeatures[] = {
+    "wire:drop", "wire:duplicate", "wire:reorder", "wire:flip",
+    "wire:reconnect",
+};
+
 // ---------------------------------------------------------------------------
 // Shared formatting helpers (reproducer spec)
 
@@ -151,8 +159,12 @@ bool add_connected_link(FaultPlan& plan, const Hypercube& cube, Prng& rng) {
   return false;
 }
 
-/// Make sure a plan whose transient model is live has a usable retry loop.
+/// Make sure a plan whose transient model is live has a usable retry loop,
+/// and a live wire model a seed of its own.
 void ensure_retry_defaults(FaultPlan& plan, Prng& rng) {
+  if (plan.wire.any() && plan.wire.seed == 0) {
+    plan.wire.seed = rng.next_u64() | 1u;
+  }
   if (!plan.transient.any()) return;
   if (plan.transient.seed == 0) plan.transient.seed = rng.next_u64() | 1u;
   if (plan.transient.backoff_base == 0.0) plan.transient.backoff_base = 0.25;
@@ -191,6 +203,11 @@ std::vector<std::string> observed_features(const RunObservation& obs) {
   if (obs.abort_kind != FaultKind::kNone) kinds.insert(obs.abort_kind);
   kinds.erase(FaultKind::kNone);
   for (FaultKind k : kinds) out.push_back(kind_feature(k));
+  if (obs.wire_drops > 0) out.emplace_back("wire:drop");
+  if (obs.wire_dups > 0) out.emplace_back("wire:duplicate");
+  if (obs.wire_reorders > 0) out.emplace_back("wire:reorder");
+  if (obs.wire_flips > 0) out.emplace_back("wire:flip");
+  if (obs.wire_reconnects > 0) out.emplace_back("wire:reconnect");
   return out;
 }
 
@@ -202,6 +219,7 @@ const std::vector<std::string>& CoverageMap::universe() {
       v.push_back(esc_feature(kRungs[i], kRungs[i + 1]));
     }
     for (FaultKind k : kKinds) v.push_back(kind_feature(k));
+    for (const char* w : kWireFeatures) v.emplace_back(w);
     return v;
   }();
   return u;
@@ -438,7 +456,7 @@ FaultPlan mutate_plan(const FaultPlan& base, const Hypercube& cube,
   FaultPlan plan = base;
   const std::uint64_t steps = 1 + rng.next_below(3);
   for (std::uint64_t step = 0; step < steps; ++step) {
-    switch (rng.next_below(20)) {
+    switch (rng.next_below(24)) {
       case 0:
         add_connected_link(plan, cube, rng);
         break;
@@ -525,6 +543,24 @@ FaultPlan mutate_plan(const FaultPlan& base, const Hypercube& cube,
         }
         break;
       }
+      // Wire-layer (socket transport) mutations.  No-ops on the simulator;
+      // the chaos tool's wire stage runs the plan's .wire over a lossy
+      // socket team, so these arms explore the transport recovery paths.
+      case 20:
+        plan.wire.drop_prob = rng.uniform(0.0, 0.3);
+        break;
+      case 21:
+        plan.wire.dup_prob = rng.uniform(0.0, 0.3);
+        plan.wire.reorder_prob = rng.uniform(0.0, 0.3);
+        break;
+      case 22:
+        plan.wire.flip_prob = rng.uniform(0.0, 0.2);
+        plan.wire.delay_prob = rng.uniform(0.0, 0.2);
+        plan.wire.delay_ms = static_cast<std::uint32_t>(1 + rng.next_below(8));
+        break;
+      case 23:
+        plan.wire.reconnect_prob = rng.uniform(0.0, 0.05);
+        break;
       default:
         break;
     }
@@ -632,6 +668,28 @@ namespace {
   if (p.budget.deadline != 0.0) {
     channel([](FaultPlan& c) { c.budget.deadline = 0.0; });
   }
+  const WireFaultSpec& w = p.wire;
+  if (w.drop_prob != 0.0) {
+    channel([](FaultPlan& c) { c.wire.drop_prob = 0.0; });
+  }
+  if (w.dup_prob != 0.0) {
+    channel([](FaultPlan& c) { c.wire.dup_prob = 0.0; });
+  }
+  if (w.reorder_prob != 0.0) {
+    channel([](FaultPlan& c) { c.wire.reorder_prob = 0.0; });
+  }
+  if (w.delay_prob != 0.0) {
+    channel([](FaultPlan& c) {
+      c.wire.delay_prob = 0.0;
+      c.wire.delay_ms = WireFaultSpec{}.delay_ms;
+    });
+  }
+  if (w.flip_prob != 0.0) {
+    channel([](FaultPlan& c) { c.wire.flip_prob = 0.0; });
+  }
+  if (w.reconnect_prob != 0.0) {
+    channel([](FaultPlan& c) { c.wire.reconnect_prob = 0.0; });
+  }
   return out;
 }
 
@@ -695,6 +753,28 @@ std::string plan_spec(const FaultPlan& plan) {
   }
   if (t.detour_fail_prob != dflt.detour_fail_prob) {
     tokens.push_back("detour=" + fmt_double(t.detour_fail_prob));
+  }
+  const WireFaultSpec& w = plan.wire;
+  const WireFaultSpec wdflt;
+  if (w.seed != wdflt.seed) tokens.push_back("wseed=" + std::to_string(w.seed));
+  if (w.drop_prob != wdflt.drop_prob) {
+    tokens.push_back("wdrop=" + fmt_double(w.drop_prob));
+  }
+  if (w.dup_prob != wdflt.dup_prob) {
+    tokens.push_back("wdup=" + fmt_double(w.dup_prob));
+  }
+  if (w.reorder_prob != wdflt.reorder_prob) {
+    tokens.push_back("wreorder=" + fmt_double(w.reorder_prob));
+  }
+  if (w.delay_prob != wdflt.delay_prob || w.delay_ms != wdflt.delay_ms) {
+    tokens.push_back("wdelay=" + fmt_double(w.delay_prob) + "," +
+                     std::to_string(w.delay_ms));
+  }
+  if (w.flip_prob != wdflt.flip_prob) {
+    tokens.push_back("wflip=" + fmt_double(w.flip_prob));
+  }
+  if (w.reconnect_prob != wdflt.reconnect_prob) {
+    tokens.push_back("wreconn=" + fmt_double(w.reconnect_prob));
   }
   for (const std::uint64_t key : plan.set.failed_links()) {
     tokens.push_back("link=" + std::to_string(key >> 32) + "-" +
@@ -774,6 +854,24 @@ FaultPlan plan_from_spec(const std::string& spec) {
       plan.transient.jitter = parse_double(token, val);
     } else if (key == "detour") {
       plan.transient.detour_fail_prob = parse_double(token, val);
+    } else if (key == "wseed") {
+      plan.wire.seed = parse_u64(token, val);
+    } else if (key == "wdrop") {
+      plan.wire.drop_prob = parse_double(token, val);
+    } else if (key == "wdup") {
+      plan.wire.dup_prob = parse_double(token, val);
+    } else if (key == "wreorder") {
+      plan.wire.reorder_prob = parse_double(token, val);
+    } else if (key == "wdelay") {
+      const auto parts = split(val, ',');
+      if (parts.size() != 2) spec_error(token, "want wdelay=<prob>,<ms>");
+      plan.wire.delay_prob = parse_double(token, parts[0]);
+      plan.wire.delay_ms =
+          static_cast<std::uint32_t>(parse_u64(token, parts[1]));
+    } else if (key == "wflip") {
+      plan.wire.flip_prob = parse_double(token, val);
+    } else if (key == "wreconn") {
+      plan.wire.reconnect_prob = parse_double(token, val);
     } else if (key == "link") {
       const auto parts = split(val, '-');
       if (parts.size() != 2) spec_error(token, "want link=<a>-<b>");
@@ -863,6 +961,14 @@ std::string plan_json(const FaultPlan& plan) {
      << ", \"retry_factor\": " << fmt_double(plan.transient.retry_factor)
      << ", \"jitter\": " << fmt_double(plan.transient.jitter)
      << ", \"detour\": " << fmt_double(plan.transient.detour_fail_prob)
+     << "}, \"wire\": {\"seed\": " << plan.wire.seed
+     << ", \"drop\": " << fmt_double(plan.wire.drop_prob)
+     << ", \"duplicate\": " << fmt_double(plan.wire.dup_prob)
+     << ", \"reorder\": " << fmt_double(plan.wire.reorder_prob)
+     << ", \"delay\": " << fmt_double(plan.wire.delay_prob)
+     << ", \"delay_ms\": " << plan.wire.delay_ms
+     << ", \"flip\": " << fmt_double(plan.wire.flip_prob)
+     << ", \"reconnect\": " << fmt_double(plan.wire.reconnect_prob)
      << "}, \"budget\": {\"max_retries\": " << plan.budget.max_retries
      << ", \"max_reroutes\": " << plan.budget.max_reroutes
      << ", \"max_recoveries\": " << plan.budget.max_recoveries

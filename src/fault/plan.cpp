@@ -36,6 +36,31 @@ constexpr std::uint64_t kSilentSalt = 0xabf7c0de5117e417ULL;
 constexpr std::uint64_t kBurstSalt = 0xb0857c0de1234567ULL;
 constexpr std::uint64_t kJitterSalt = 0x217e7e00b0ff0000ULL;
 constexpr std::uint64_t kDetourSalt = 0xde700cde70e4faceULL;
+// Wire-layer (socket transport) streams: frame fate, reconnect tear-downs,
+// retransmission jitter, and flip-site selection are four independent
+// streams over the same (channel, seq, attempt) coordinates.
+constexpr std::uint64_t kWireFrameSalt = 0x3169e7f8a3e0c0deULL;
+constexpr std::uint64_t kWireReconnSalt = 0x7ec0127ec0127ec0ULL;
+constexpr std::uint64_t kWireJitterSalt = 0x91b7e12fdead5a17ULL;
+constexpr std::uint64_t kWireFlipSalt = 0xf11b517e0fb17f1bULL;
+
+[[nodiscard]] std::uint64_t wire_hash(std::uint64_t seed, std::uint64_t salt,
+                                      std::uint64_t channel, std::uint64_t seq,
+                                      std::uint32_t attempt) noexcept {
+  std::uint64_t h = mix(seed ^ salt);
+  h = mix(h ^ channel);
+  h = mix(h ^ seq);
+  h = mix(h ^ attempt);
+  return h;
+}
+
+[[nodiscard]] double wire_unit(std::uint64_t seed, std::uint64_t salt,
+                               std::uint64_t channel, std::uint64_t seq,
+                               std::uint32_t attempt) noexcept {
+  return static_cast<double>(wire_hash(seed, salt, channel, seq, attempt) >>
+                             11) *
+         0x1.0p-53;
+}
 
 [[nodiscard]] std::uint64_t silent_hash(std::uint64_t seed, std::uint64_t round,
                                         NodeId src, NodeId dst) noexcept {
@@ -67,6 +92,55 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kBudgetExhausted: return "budget-exhausted";
   }
   return "?";
+}
+
+const char* to_string(WireFault f) noexcept {
+  switch (f) {
+    case WireFault::kNone: return "none";
+    case WireFault::kDrop: return "wire-drop";
+    case WireFault::kDuplicate: return "wire-duplicate";
+    case WireFault::kReorder: return "wire-reorder";
+    case WireFault::kDelay: return "wire-delay";
+    case WireFault::kFlip: return "wire-flip";
+    case WireFault::kReconnect: return "wire-reconnect";
+  }
+  return "?";
+}
+
+WireFault WireFaultSpec::frame_fault(std::uint64_t channel, std::uint64_t seq,
+                                     std::uint32_t attempt) const noexcept {
+  if (!any() || attempt >= kWireAttemptCeiling) return WireFault::kNone;
+  const double u = wire_unit(seed, kWireFrameSalt, channel, seq, attempt);
+  const auto clamp01 = [](double p) { return p < 1.0 ? p : 1.0; };
+  double acc = clamp01(drop_prob);
+  if (u < acc) return WireFault::kDrop;
+  acc = clamp01(acc + dup_prob);
+  if (u < acc) return WireFault::kDuplicate;
+  acc = clamp01(acc + reorder_prob);
+  if (u < acc) return WireFault::kReorder;
+  acc = clamp01(acc + delay_prob);
+  if (u < acc) return WireFault::kDelay;
+  acc = clamp01(acc + flip_prob);
+  if (u < acc) return WireFault::kFlip;
+  return WireFault::kNone;
+}
+
+bool WireFaultSpec::reconnect_hit(std::uint64_t channel, std::uint64_t seq,
+                                  std::uint32_t attempt) const noexcept {
+  if (reconnect_prob <= 0.0 || attempt >= kWireAttemptCeiling) return false;
+  return wire_unit(seed, kWireReconnSalt, channel, seq, attempt) <
+         reconnect_prob;
+}
+
+double WireFaultSpec::jitter_unit(std::uint64_t channel, std::uint64_t seq,
+                                  std::uint32_t attempt) const noexcept {
+  return wire_unit(seed, kWireJitterSalt, channel, seq, attempt);
+}
+
+std::uint64_t WireFaultSpec::flip_site(std::uint64_t channel,
+                                       std::uint64_t seq,
+                                       std::uint32_t attempt) const noexcept {
+  return wire_hash(seed, kWireFlipSalt, channel, seq, attempt);
 }
 
 std::string FaultEvent::to_string() const {

@@ -42,6 +42,13 @@ struct RunObservation {
   bool contracted = false;           ///< any dead node was hosted
   std::vector<FaultKind> event_kinds;           ///< located fault events
   FaultKind abort_kind = FaultKind::kNone;      ///< kNone unless aborted
+  /// Wire-layer (socket transport) fault counters, from WireStats of a run
+  /// over the lossy transport; all zero for simulator-only runs.
+  std::uint64_t wire_drops = 0;       ///< frames lost pre-transmit
+  std::uint64_t wire_dups = 0;        ///< frames transmitted twice
+  std::uint64_t wire_reorders = 0;    ///< frames swapped behind a successor
+  std::uint64_t wire_flips = 0;       ///< payload flips (CRC rejections)
+  std::uint64_t wire_reconnects = 0;  ///< connection tear-down / re-establish
 };
 
 /// The recovery-path feature names @p obs exercised: ladder rungs
@@ -54,7 +61,10 @@ struct RunObservation {
 class CoverageMap {
  public:
   /// Every feature the fuzzer aims for: the 7 ladder rungs, the located
-  /// FaultKind vocabulary, and the 5 adjacent escalation transitions.
+  /// FaultKind vocabulary, the 5 adjacent escalation transitions, and the
+  /// 5 wire-layer fault kinds the socket transport recovers from
+  /// ("wire:drop", "wire:duplicate", "wire:reorder", "wire:flip",
+  /// "wire:reconnect").
   [[nodiscard]] static const std::vector<std::string>& universe();
 
   /// Record @p feature; true when it was novel.  Off-universe features are

@@ -49,6 +49,79 @@ enum class FaultKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
 
+/// What the lossy wire layer does to one frame transmission.  These are
+/// *transport-level* faults — they happen to encoded frames between two
+/// rt::Team ranks, below the message abstraction, and are recovered by the
+/// socket transport's ARQ (retransmission, dedup, reordering buffer, CRC
+/// rejection) rather than by the simulator's recovery ladder.
+enum class WireFault : std::uint8_t {
+  kNone,       ///< frame goes out untouched
+  kDrop,       ///< frame never hits the wire; the RTO retransmits it
+  kDuplicate,  ///< frame transmitted twice; receiver dedups by sequence
+  kReorder,    ///< frame held back and released after its successor
+  kDelay,      ///< frame held back delay_ms, then released (no reordering)
+  kFlip,       ///< one payload byte flipped; the CRC rejects the frame
+  kReconnect,  ///< connection torn down; session epoch bumps on reconnect
+};
+
+[[nodiscard]] const char* to_string(WireFault f) noexcept;
+
+/// Seeded deterministic wire-layer fault process — the "LossyTransport"
+/// decoration of the socket backend.  Every decision is a pure hash of
+/// (seed, channel, seq, attempt) in the same splitmix64 style as
+/// TransientSpec, with its own domain-separation salts, so a given frame
+/// transmission always suffers the same fate under the same spec while the
+/// streams stay independent of the simulator's fault draws.  `channel` is
+/// the directed rank pair ((from << 32) | to); `attempt` is 1 for the first
+/// transmission and counts retransmissions up.  Faults stop firing at
+/// attempt >= kWireAttemptCeiling so every frame eventually gets through on
+/// a live connection — loss shapes timing and recovery work, never
+/// delivery, which is what keeps spmd results bit-identical under loss.
+struct WireFaultSpec {
+  /// Retransmission attempts are fault-exempt from this attempt on: the
+  /// escape hatch that bounds worst-case delivery under drop_prob = 1.
+  static constexpr std::uint32_t kWireAttemptCeiling = 6;
+
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;       ///< lose the frame, per transmission
+  double dup_prob = 0.0;        ///< transmit the frame twice
+  double reorder_prob = 0.0;    ///< swap the frame behind its successor
+  double delay_prob = 0.0;      ///< hold the frame delay_ms before sending
+  std::uint32_t delay_ms = 5;   ///< held-frame release delay
+  double flip_prob = 0.0;       ///< flip one payload byte (CRC rejects)
+  double reconnect_prob = 0.0;  ///< tear the connection down pre-transmit
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_prob + dup_prob + reorder_prob + delay_prob + flip_prob +
+               reconnect_prob >
+           0.0;
+  }
+
+  /// Deterministic fate of transmission @p attempt of frame @p seq on
+  /// @p channel: one of kNone / kDrop / kDuplicate / kReorder / kDelay /
+  /// kFlip from a single hash draw against the stacked thresholds.
+  [[nodiscard]] WireFault frame_fault(std::uint64_t channel, std::uint64_t seq,
+                                      std::uint32_t attempt) const noexcept;
+
+  /// True iff the connection is torn down instead of transmitting this
+  /// frame (an independent salted stream, so reconnects compose with the
+  /// per-frame faults above).
+  [[nodiscard]] bool reconnect_hit(std::uint64_t channel, std::uint64_t seq,
+                                   std::uint32_t attempt) const noexcept;
+
+  /// Deterministic jitter unit in [0, 1) for retransmission backoff —
+  /// the same decorrelation machinery as TransientSpec::jitter, keyed on
+  /// the wire coordinates.
+  [[nodiscard]] double jitter_unit(std::uint64_t channel, std::uint64_t seq,
+                                   std::uint32_t attempt) const noexcept;
+
+  /// Deterministic site hash of a kFlip: which payload byte flips and by
+  /// which XOR mask (low 8 bits, never 0).
+  [[nodiscard]] std::uint64_t flip_site(std::uint64_t channel,
+                                        std::uint64_t seq,
+                                        std::uint32_t attempt) const noexcept;
+};
+
 /// One located fault occurrence — the unit of chaos diagnosis.  `round` is
 /// the machine's run-wide round sequence number at the time of the fault
 /// (0-based, reset together with the stats).
@@ -206,6 +279,10 @@ struct FaultPlan {
   std::set<std::uint64_t> corrupt_checkpoint;
   /// Run-wide recovery budgets / deadline (0 = unlimited).
   RecoveryBudget budget{};
+  /// Wire-layer fault process for the socket transport (the LossyTransport
+  /// decoration).  Invisible to the simulated Machine — only rt::Team's
+  /// socket backend consumes it.
+  WireFaultSpec wire{};
 
   void kill_node_at_round(NodeId n, std::uint64_t round) {
     kill_at[round].insert(n);
@@ -217,7 +294,7 @@ struct FaultPlan {
   [[nodiscard]] bool empty() const noexcept {
     return set.empty() && !transient.any() && kill_at.empty() &&
            kill_at_replay.empty() && corrupt_checkpoint.empty() &&
-           !budget.any();
+           !budget.any() && !wire.any();
   }
 
   /// Deterministic outcome of one message attempt: kNone (delivered),

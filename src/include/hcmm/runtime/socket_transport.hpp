@@ -1,0 +1,144 @@
+#pragma once
+// TCP socket backend for rt::Team: the same SPMD programs, over real I/O.
+//
+// Topology: one *endpoint* per rank — a loopback listener plus a dedicated
+// I/O thread owning every socket of that rank — and a full mesh of
+// connections between ranks, the higher rank connecting to the lower
+// rank's listener.  Ranks may all live in one process (the loopback
+// configuration the tests and the calibration tool use) or be spread over
+// many processes (tools/hcmm_rank), one endpoint each.
+//
+// Reliability is end-to-end at the frame layer, not delegated to TCP,
+// because the LossyTransport decorator deliberately breaks the wire:
+//
+//   ARQ           — every data frame carries a per-connection sequence
+//                   number; the receiver delivers in order, buffers
+//                   reordered frames, drops duplicates, and returns
+//                   cumulative acks.  Unacked frames retransmit on an
+//                   exponential-backoff timer whose jitter comes from the
+//                   FaultPlan wire machinery (fault::WireFaultSpec::
+//                   jitter_unit), so retry schedules are deterministic.
+//   CRC           — payload corruption (injected bit flips) is caught by
+//                   the payload CRC; the frame is dropped unacked and the
+//                   retransmission heals it.
+//   heartbeats    — each connection beacons at timeout/8; silence past the
+//                   failure-detector horizon (the Team timeout) marks the
+//                   peer dead.  A *slow* rank never trips this: its
+//                   endpoint's I/O thread keeps beaconing while the rank
+//                   thread computes, preserving the mailbox backend's
+//                   slow-vs-dead semantics.
+//   reconnection  — a broken connection is re-established by the connector
+//                   side under a new session epoch, at most
+//                   kReconnectAttempts consecutive times; frames from a
+//                   stale epoch are discarded, and unacked frames are
+//                   retransmitted under the new epoch.  Exhausting the
+//                   budget (or a vanished listener) marks the peer dead
+//                   with a located diagnosis.
+//   death notices — a rank's primary failure is broadcast as a kDeath
+//                   frame so remote waiters fail fast with DeadPeerError
+//                   instead of waiting out the detector horizon.
+//   run isolation — frames carry the Team::run generation; frames from an
+//                   earlier run are acked (to stop their retransmission)
+//                   but never delivered into the current run.
+//
+// Wire-fault injection (drop / duplicate / reorder / delay / bit-flip /
+// forced reconnect) sits exactly at the frame-transmit seam, driven by the
+// seeded pure-hash fault::WireFaultSpec carried in a FaultPlan, so chaos
+// campaigns replay bit-for-bit.  Control frames (ack, heartbeat, death,
+// hello) are exempt — faults attack data, not the failure detector — and
+// fault draws stop at WireFaultSpec::kWireAttemptCeiling retransmissions of
+// the same frame, so delivery over a live connection is guaranteed and
+// results stay bit-identical to the mailbox backend.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hcmm/fault/plan.hpp"
+#include "hcmm/runtime/transport.hpp"
+
+namespace hcmm::rt {
+
+namespace detail {
+class SocketTeam;
+}
+
+class SocketTransport : public Transport {
+ public:
+  /// Consecutive failed reconnection attempts after which a peer is
+  /// declared dead (the counter resets on every successful reconnect).
+  static constexpr std::uint32_t kReconnectAttempts = 3;
+
+  struct Config {
+    std::uint32_t ranks = 0;
+    /// Ranks hosted by this process (ascending, non-empty).
+    std::vector<std::uint32_t> local_ranks;
+    /// Failure-detector horizon; normally the Team recv timeout.
+    std::chrono::milliseconds horizon{30000};
+    /// Wire-fault injection; default (empty) transmits cleanly.
+    fault::WireFaultSpec wire{};
+  };
+
+  /// Binds one loopback listener per local rank; no connections yet.
+  explicit SocketTransport(Config cfg);
+  ~SocketTransport() override;
+
+  /// Listener port of local rank @p rank (valid after construction, before
+  /// connect_mesh) — what a multi-process harness exchanges out of band.
+  [[nodiscard]] std::uint16_t listen_port(std::uint32_t rank) const;
+
+  /// Establish the full mesh: @p ports maps every rank to its listener
+  /// port.  Blocks until every connection this side initiates is up, then
+  /// starts the I/O threads.  Must be called exactly once before use.
+  void connect_mesh(const std::vector<std::uint16_t>& ports);
+
+  [[nodiscard]] const char* name() const noexcept override;
+  [[nodiscard]] std::uint32_t ranks() const noexcept override;
+  [[nodiscard]] const std::vector<std::uint32_t>& local_ranks()
+      const noexcept override;
+  void begin_run() override;
+  void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
+            Matrix m) override;
+  [[nodiscard]] RecvStatus wait_recv(std::uint32_t to, std::uint32_t from,
+                                     std::uint64_t tag,
+                                     std::chrono::milliseconds slice,
+                                     Matrix* out) override;
+  [[nodiscard]] BarrierStatus barrier(
+      std::uint32_t rank, std::chrono::milliseconds timeout) override;
+  void notify_failure(std::uint32_t rank, const std::string& message) override;
+  [[nodiscard]] std::vector<RemoteFailure> remote_failures() const override;
+  [[nodiscard]] WireStats wire_stats() const override;
+
+ private:
+  std::unique_ptr<detail::SocketTeam> impl_;
+};
+
+/// The wire-layer fault decorator: a SocketTransport whose transmit path
+/// runs every data frame through the seeded drop/duplicate/reorder/delay/
+/// bit-flip/reconnect fate draw of @p Config::wire.  Construct it with a
+/// FaultPlan's wire spec (fault::plan_from_spec understands the wdrop=/
+/// wflip=/... tokens) and the chaos campaign replays deterministically.
+class LossyTransport final : public SocketTransport {
+ public:
+  explicit LossyTransport(Config cfg) : SocketTransport(arm(std::move(cfg))) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "socket+lossy";
+  }
+
+ private:
+  static Config arm(Config cfg) {
+    // A LossyTransport with an all-zero spec would silently test nothing.
+    if (!cfg.wire.any()) cfg.wire.drop_prob = 0.05;
+    if (cfg.wire.seed == 0) cfg.wire.seed = 1;
+    return cfg;
+  }
+};
+
+/// Convenience: an all-ranks-local loopback socket team, mesh already
+/// connected.  @p wire non-empty yields a LossyTransport.
+[[nodiscard]] std::unique_ptr<SocketTransport> make_socket_transport(
+    std::uint32_t ranks, std::chrono::milliseconds horizon,
+    fault::WireFaultSpec wire = {});
+
+}  // namespace hcmm::rt

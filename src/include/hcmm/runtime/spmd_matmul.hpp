@@ -6,6 +6,9 @@
 // same dataflow executing with genuine concurrency, and they share no code
 // with the simulator, so agreement between the two is itself a check.
 
+#include <span>
+#include <string_view>
+
 #include "hcmm/matrix/matrix.hpp"
 #include "hcmm/runtime/team.hpp"
 
@@ -45,5 +48,27 @@ namespace hcmm::rt {
 // (Ho–Johnsson–Edelman has no topology-agnostic port: its whole point is
 // driving all log p hypercube links at once, which a rank abstraction
 // cannot express; on the simulated machine see algo/hje.cpp.)
+
+/// Signature shared by every SPMD port above.
+using SpmdFn = Matrix (*)(Team&, const Matrix&, const Matrix&);
+
+struct SpmdAlgo {
+  std::string_view name;  ///< stable CLI name, e.g. "cannon", "all3d"
+  SpmdFn fn = nullptr;
+  /// p must be a perfect grid_dim-th power: 2 for the sqrt(p) x sqrt(p)
+  /// grids, 3 for the cbrt(p)^3 cubes.
+  std::uint32_t grid_dim = 2;
+  /// n must divide by (grid side)^block_exp — 1 when ranks own blk x blk
+  /// blocks of side n/q, 2 when they own slices of side n/q^2.
+  std::uint32_t block_exp = 1;
+};
+
+/// Name-indexed registry over the eight ports — what tools (hcmm_rank,
+/// hcmm_calibrate) use to pick an algorithm from the command line without
+/// hard-coding the list in every binary.
+[[nodiscard]] std::span<const SpmdAlgo> spmd_algorithms() noexcept;
+
+/// Lookup by CLI name; nullptr when unknown.
+[[nodiscard]] const SpmdAlgo* spmd_by_name(std::string_view name) noexcept;
 
 }  // namespace hcmm::rt

@@ -1,35 +1,41 @@
 #pragma once
-// A minimal SPMD runtime: one OS thread per rank, blocking point-to-point
-// matrix messages and a barrier — the MPI subset the paper's algorithms
-// need, so they can run as real parallel programs (runtime/spmd_matmul.hpp)
-// and not only on the simulated machine.  Messages between a (from, to)
-// pair with the same key are delivered in FIFO order; recv blocks until a
-// matching message arrives and fails loudly after a timeout instead of
-// deadlocking silently.
+// A minimal SPMD runtime: one OS thread per local rank, blocking
+// point-to-point matrix messages and a barrier — the MPI subset the paper's
+// algorithms need, so they can run as real parallel programs
+// (runtime/spmd_matmul.hpp) and not only on the simulated machine.
+// Messages between a (from, to) pair with the same tag are delivered in
+// FIFO order; recv blocks until a matching message arrives and fails loudly
+// after a timeout instead of deadlocking silently.
+//
+// The message mechanism is pluggable (runtime/transport.hpp): by default
+// ranks are threads of this process exchanging matrices through in-memory
+// mailboxes, but the same Team (and the same SPMD functions) run unchanged
+// over the TCP socket backend, where ranks may live in other OS processes
+// (runtime/socket_transport.hpp, tools/hcmm_rank).
 //
 // Failure semantics distinguish slow peers from dead peers: a recv waits in
 // doubling slices up to the timeout (each extra slice counts as a retry, so
 // merely slow peers cost patience, not aborts), while a peer that is known
-// dead — it threw, or a test injected its death — aborts the waiter
-// immediately with a located DeadPeerError.  Team::run aggregates every
-// primary failure (one per originating rank) into its diagnosis; secondary
+// dead — it threw, a test injected its death, or its process vanished —
+// aborts the waiter immediately with a located DeadPeerError.  Team::run
+// aggregates every primary failure (one per originating rank, including
+// failures reported by remote processes) into its diagnosis; secondary
 // unwinding (PeerAbort / DeadPeerError) is never reported as a cause.
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "hcmm/matrix/matrix.hpp"
+#include "hcmm/runtime/transport.hpp"
 
 namespace hcmm::rt {
 
@@ -61,13 +67,27 @@ struct RankError {
   std::string message;
 };
 
+/// Forget the cached HCMM_RT_TIMEOUT_MS value so the next Team
+/// construction re-reads the environment.  Test-only: the variable is
+/// otherwise read exactly once per process.
+void reset_env_overrides_for_testing();
+
 class Team {
  public:
-  /// @p ranks number of SPMD ranks (threads); @p recv_timeout how long a
-  /// recv/barrier may wait before the run is declared deadlocked.  When
-  /// omitted, the HCMM_RT_TIMEOUT_MS environment variable (positive integer
-  /// milliseconds) is consulted, then a 30 s default.
+  /// @p ranks number of SPMD ranks (threads of this process, mailbox
+  /// backend); @p recv_timeout how long a recv/barrier may wait before the
+  /// run is declared deadlocked.  When omitted, the HCMM_RT_TIMEOUT_MS
+  /// environment variable (strict positive integer milliseconds, read once
+  /// per process) is consulted, then a 30 s default.  A malformed value —
+  /// trailing garbage, zero, overflow — throws with a diagnostic naming the
+  /// offending text.
   explicit Team(std::uint32_t ranks,
+                std::optional<std::chrono::milliseconds> recv_timeout =
+                    std::nullopt);
+
+  /// Run over an explicit backend (socket, lossy socket, ...).  The
+  /// transport decides the team size and which ranks this process hosts.
+  explicit Team(std::unique_ptr<Transport> transport,
                 std::optional<std::chrono::milliseconds> recv_timeout =
                     std::nullopt);
 
@@ -75,12 +95,16 @@ class Team {
   [[nodiscard]] std::chrono::milliseconds timeout() const noexcept {
     return timeout_;
   }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const Transport& transport() const noexcept {
+    return *transport_;
+  }
 
-  /// Run @p fn on every rank concurrently and join.  A single failing rank
-  /// rethrows its original exception; several failing ranks throw one
-  /// std::runtime_error naming every failed rank and message.  Secondary
-  /// PeerAbort / DeadPeerError unwinds are not failures.  Reusable for
-  /// successive runs.
+  /// Run @p fn on every local rank concurrently and join.  A single failing
+  /// rank rethrows its original exception; several failing ranks (or any
+  /// failure reported by a remote process) throw one std::runtime_error
+  /// naming every failed rank and message.  Secondary PeerAbort /
+  /// DeadPeerError unwinds are not failures.  Reusable for successive runs.
   void run(const std::function<void(Rank&)>& fn);
 
   /// Primary failures of the last run, sorted by rank (empty on success).
@@ -91,8 +115,12 @@ class Team {
   /// Extra doubling wait slices recvs needed in the last run — evidence of
   /// slow (but live) peers.
   [[nodiscard]] std::uint64_t last_run_recv_retries() const noexcept {
-    return recv_retries_;
+    return recv_retries_.load(std::memory_order_relaxed);
   }
+
+  /// Cumulative wire counters of the underlying transport (all zero for
+  /// the mailbox backend).
+  [[nodiscard]] WireStats wire_stats() const { return transport_->wire_stats(); }
 
   /// Fault injection (testing): @p rank dies — cleanly, as a diagnosed
   /// primary failure — when it starts its (@p after_ops + 1)-th team
@@ -108,13 +136,6 @@ class Team {
  private:
   friend class Rank;
 
-  struct Key {
-    std::uint32_t to;
-    std::uint32_t from;
-    std::uint64_t tag;
-    auto operator<=>(const Key&) const = default;
-  };
-
   void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag, Matrix m);
   [[nodiscard]] Matrix recv(std::uint32_t to, std::uint32_t from,
                             std::uint64_t tag);
@@ -122,18 +143,12 @@ class Team {
   /// Applies injected delay/death for @p rank's next operation.
   void check_injections(std::uint32_t rank);
 
+  std::unique_ptr<Transport> transport_;
   std::uint32_t ranks_;
   std::chrono::milliseconds timeout_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<Matrix>> mailboxes_;
-  // Generation-counting barrier.
-  std::uint32_t barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-  bool failed_ = false;  // a rank failed: wake everyone so they can unwind
-  std::set<std::uint32_t> dead_ranks_;   // primary failures so far this run
-  std::vector<RankError> rank_errors_;   // their diagnoses
-  std::uint64_t recv_retries_ = 0;
+  std::vector<RankError> rank_errors_;  // primary failures, last run
+  std::atomic<std::uint64_t> recv_retries_{0};
+  std::mutex inj_mu_;  // guards the injection tables below
   std::vector<std::uint64_t> op_counts_;
   std::map<std::uint32_t, std::uint64_t> death_at_;
   std::map<std::uint32_t, std::chrono::milliseconds> delay_;

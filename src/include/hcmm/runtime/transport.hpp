@@ -1,0 +1,138 @@
+#pragma once
+// Pluggable message-passing backends for the SPMD runtime.
+//
+// rt::Team owns *policy* — doubling-slice recv waits, slow-vs-dead
+// discrimination, primary-failure aggregation, fault injection — while a
+// Transport owns *mechanism*: how a matrix message physically travels from
+// one rank to another and how the team-wide barrier and failure flags are
+// shared.  Two backends exist:
+//
+//   MailboxTransport  — the original in-process backend: one mutex, one
+//       condition variable, FIFO deques keyed by (to, from, tag).  All
+//       ranks are local; nothing ever touches a wire.
+//   SocketTransport   — TCP loopback/process backend (socket_transport.hpp):
+//       length-prefixed CRC-framed messages, per-frame retransmission with
+//       exponential backoff and deterministic jitter, heartbeat failure
+//       detection, session epochs, and bounded reconnection.  Ranks may be
+//       spread over several OS processes (tools/hcmm_rank).
+//
+// The Transport contract deliberately mirrors the semantics the mailbox
+// backend always had, so Team behaves identically over both: a wait_recv
+// reports *why* it returned (message, slice expiry, located dead peer,
+// team-wide abort) and Team turns that into retries, DeadPeerError, or
+// PeerAbort exactly as before.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hcmm/matrix/matrix.hpp"
+
+namespace hcmm::rt {
+
+/// Wire-level counters a transport accumulates over its lifetime.  The
+/// mailbox backend reports all-zero; the socket backend counts real frames
+/// plus every injected wire fault (LossyTransport), which is how chaos
+/// campaigns prove the lossy paths actually fired.
+struct WireStats {
+  std::uint64_t frames_sent = 0;      ///< data frames handed to the wire
+  std::uint64_t frames_received = 0;  ///< well-formed frames accepted
+  std::uint64_t payload_bytes = 0;    ///< matrix payload bytes delivered
+  std::uint64_t retransmits = 0;      ///< RTO-expired resends
+  std::uint64_t crc_rejects = 0;      ///< frames dropped for bad CRC
+  std::uint64_t heartbeats = 0;       ///< heartbeat frames sent
+  std::uint64_t drops = 0;            ///< injected: frame lost pre-transmit
+  std::uint64_t dups = 0;             ///< injected: frame transmitted twice
+  std::uint64_t reorders = 0;         ///< injected: frame swapped back
+  std::uint64_t delays = 0;           ///< injected: frame held back
+  std::uint64_t flips = 0;            ///< injected: payload bit flipped
+  std::uint64_t reconnects = 0;       ///< connection re-establishments
+  std::uint64_t stale_discards = 0;   ///< stale epoch/run frames discarded
+};
+
+/// Why a bounded wait for a message returned.
+enum class RecvStatus : std::uint8_t {
+  kReady,     ///< a matching message was dequeued
+  kTimedOut,  ///< the slice expired with no message (peer merely slow?)
+  kPeerDead,  ///< the specific sender is known dead — located diagnosis
+  kAborted,   ///< some rank failed — unwind without a located cause
+};
+
+/// Why a barrier wait returned.
+enum class BarrierStatus : std::uint8_t { kOk, kTimedOut, kAborted };
+
+/// A failure that originated outside this process (socket backend): a peer
+/// process reported a rank's primary failure, or its connection died.
+struct RemoteFailure {
+  std::uint32_t rank = 0;
+  std::string message;
+};
+
+class Transport {
+ public:
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  /// Backend name for reports/benchmarks ("mailbox", "socket",
+  /// "socket+lossy").
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Total ranks in the team, across every participating process.
+  [[nodiscard]] virtual std::uint32_t ranks() const noexcept = 0;
+
+  /// The ranks hosted by *this* process, ascending.  Team::run spawns one
+  /// thread per local rank; remote ranks run elsewhere.
+  [[nodiscard]] virtual const std::vector<std::uint32_t>& local_ranks()
+      const noexcept = 0;
+
+  /// Reset per-run state (pending messages, failure flags, barrier) and
+  /// advance the run generation so frames from a previous run can never be
+  /// delivered into this one.
+  virtual void begin_run() = 0;
+
+  /// Asynchronous FIFO send of @p m from @p from to @p to under @p tag.
+  /// Tag bit 63 is reserved for transport control traffic.
+  virtual void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
+                    Matrix m) = 0;
+
+  /// Wait up to @p slice for a message matching (to, from, tag); on kReady
+  /// the message is moved into @p out.  Failure reporting wins over a ready
+  /// message, and a located dead sender wins over a generic abort — the
+  /// order Team's recv semantics require.
+  [[nodiscard]] virtual RecvStatus wait_recv(std::uint32_t to,
+                                             std::uint32_t from,
+                                             std::uint64_t tag,
+                                             std::chrono::milliseconds slice,
+                                             Matrix* out) = 0;
+
+  /// Block rank @p rank until every rank reaches the barrier, up to
+  /// @p timeout.
+  [[nodiscard]] virtual BarrierStatus barrier(
+      std::uint32_t rank, std::chrono::milliseconds timeout) = 0;
+
+  /// Record rank @p rank's primary failure: mark it dead, set the team-wide
+  /// failure flag, wake every waiter — and, on the socket backend,
+  /// broadcast the death to every peer process.
+  virtual void notify_failure(std::uint32_t rank,
+                              const std::string& message) = 0;
+
+  /// Failures that originated in *other* processes during the current run
+  /// (empty for in-process backends).  Team::run merges these into its
+  /// diagnosis so a dead worker process surfaces as a located primary
+  /// failure, not a silent zero result.
+  [[nodiscard]] virtual std::vector<RemoteFailure> remote_failures() const = 0;
+
+  /// Cumulative wire counters (all zero for in-process backends).
+  [[nodiscard]] virtual WireStats wire_stats() const = 0;
+};
+
+/// The original in-process backend: every rank is a thread of this process,
+/// messages live in FIFO deques under one mutex.
+[[nodiscard]] std::unique_ptr<Transport> make_mailbox_transport(
+    std::uint32_t ranks);
+
+}  // namespace hcmm::rt

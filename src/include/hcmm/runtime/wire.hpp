@@ -1,0 +1,86 @@
+#pragma once
+// Frame codec for the socket transport: length-prefixed, CRC-protected
+// matrix messages plus the control vocabulary (acks, heartbeats, death
+// notices, connection hellos).
+//
+// A frame is a fixed 72-byte header followed by payload_len payload bytes.
+// All integers are little-endian.  The header carries its own CRC32 over
+// the preceding 68 bytes, and the payload carries a separate CRC32 so a
+// flipped payload bit is rejected without tearing the stream — the header
+// still parses, the reader skips payload_len bytes, drops the frame, and
+// the sender's retransmission timer heals the loss.
+//
+//   offset  field        notes
+//   ------  -----------  ------------------------------------------
+//      0    magic        0x4843'4D4D ("HCMM")
+//      4    kind         FrameKind
+//      5    (pad)        3 zero bytes
+//      8    from         sending rank (kDeath: the dead rank)
+//     12    to           receiving rank
+//     16    epoch        connection incarnation (connector-owned)
+//     20    (pad)        4 zero bytes
+//     24    run_gen      Team::run generation the message belongs to
+//     32    seq          per-connection data sequence number
+//     40    ack          cumulative ack: highest contiguous seq received
+//     48    tag          message tag (bit 63 = transport control)
+//     56    rows, cols   matrix shape (u32 each; kData only)
+//     64    payload_len  payload bytes following the header
+//     68    payload_crc  CRC32 of the payload bytes
+//     72    header_crc   CRC32 of bytes [0, 72)
+//
+// (Total header size 76 bytes with the trailing header_crc.)
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace hcmm::rt::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4843'4D4Du;
+inline constexpr std::size_t kHeaderSize = 76;
+/// Refuse absurd frames before allocating: 1 GiB of payload is far beyond
+/// any matrix block the algorithms exchange.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+enum class FrameKind : std::uint8_t {
+  kData = 0,       ///< matrix message (payload = rows*cols doubles)
+  kAck = 1,        ///< bare cumulative ack
+  kHeartbeat = 2,  ///< liveness beacon
+  kDeath = 3,      ///< rank `from` suffered a primary failure (payload = msg)
+  kHello = 4,      ///< connection handshake: `from` + `epoch` identify it
+};
+
+[[nodiscard]] const char* to_string(FrameKind k) noexcept;
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kData;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t run_gen = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint64_t tag = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) of @p bytes.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Serialize @p h (and its header CRC) into @p out, which must hold
+/// kHeaderSize bytes.
+void encode_header(const FrameHeader& h, std::uint8_t* out) noexcept;
+
+/// Parse and validate kHeaderSize bytes: magic, header CRC, kind range, and
+/// payload_len <= kMaxPayload.  nullopt means the stream is corrupt beyond
+/// recovery (on TCP this only happens under deliberate fault injection into
+/// the header, which the transport does not do — payload flips are the
+/// recoverable corruption).
+[[nodiscard]] std::optional<FrameHeader> decode_header(
+    const std::uint8_t* buf) noexcept;
+
+}  // namespace hcmm::rt::wire

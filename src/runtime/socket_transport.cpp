@@ -1,0 +1,1221 @@
+#include "hcmm/runtime/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hcmm/runtime/wire.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm::rt {
+namespace detail {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::chrono::milliseconds kRtoBase{25};
+constexpr std::chrono::milliseconds kPollTick{10};
+constexpr std::uint32_t kRtoExpCap = 6;          // RTO stops doubling here
+constexpr std::uint32_t kMaxTxAttempts = 24;     // then the conn is broken
+constexpr int kListenBacklog = 128;
+
+[[nodiscard]] std::uint64_t channel_id(std::uint32_t from,
+                                       std::uint32_t to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+[[nodiscard]] pollfd make_pfd(int fd, bool want_out) noexcept {
+  pollfd p{};
+  p.fd = fd;
+  p.events = static_cast<short>(want_out ? (POLLIN | POLLOUT) : POLLIN);
+  return p;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  HCMM_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             "SocketTransport: fcntl(O_NONBLOCK) failed: " << errno);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Loopback listener on an ephemeral port; returns {fd, port}.
+[[nodiscard]] std::pair<int, std::uint16_t> make_listener() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HCMM_CHECK(fd >= 0, "SocketTransport: socket() failed: " << errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  HCMM_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+             "SocketTransport: bind() failed: " << errno);
+  HCMM_CHECK(::listen(fd, kListenBacklog) == 0,
+             "SocketTransport: listen() failed: " << errno);
+  socklen_t len = sizeof(addr);
+  HCMM_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      "SocketTransport: getsockname() failed: " << errno);
+  return {fd, ntohs(addr.sin_port)};
+}
+
+/// Connect to loopback:@p port within @p deadline; -1 on failure.
+[[nodiscard]] int try_connect(std::uint16_t port, Clock::time_point deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nonblocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        ::close(fd);
+        return -1;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(
+                                         std::min<long long>(left.count(),
+                                                             200)));
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr > 0) break;
+    }
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+struct AtomicWireStats {
+  std::atomic<std::uint64_t> frames_sent{0}, frames_received{0},
+      payload_bytes{0}, retransmits{0}, crc_rejects{0}, heartbeats{0},
+      drops{0}, dups{0}, reorders{0}, delays{0}, flips{0}, reconnects{0},
+      stale_discards{0};
+
+  [[nodiscard]] WireStats snapshot() const {
+    WireStats s;
+    s.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    s.frames_received = frames_received.load(std::memory_order_relaxed);
+    s.payload_bytes = payload_bytes.load(std::memory_order_relaxed);
+    s.retransmits = retransmits.load(std::memory_order_relaxed);
+    s.crc_rejects = crc_rejects.load(std::memory_order_relaxed);
+    s.heartbeats = heartbeats.load(std::memory_order_relaxed);
+    s.drops = drops.load(std::memory_order_relaxed);
+    s.dups = dups.load(std::memory_order_relaxed);
+    s.reorders = reorders.load(std::memory_order_relaxed);
+    s.delays = delays.load(std::memory_order_relaxed);
+    s.flips = flips.load(std::memory_order_relaxed);
+    s.reconnects = reconnects.load(std::memory_order_relaxed);
+    s.stale_discards = stale_discards.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// One unacked data frame awaiting a cumulative ack, re-encoded with the
+/// connection's *current* epoch on every (re)transmission.
+struct TxEntry {
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t attempts = 0;
+  Clock::time_point next_due;
+};
+
+/// State of one rank-pair connection, owned by the endpoint's I/O thread.
+struct Conn {
+  std::uint32_t peer = 0;
+  bool connector = false;  ///< we dial (local rank > peer rank)
+  int fd = -1;
+  bool broken = false;
+  std::uint32_t epoch = 1;
+  std::uint32_t reconnect_failures = 0;
+  Clock::time_point next_reconnect_due{};
+  // TX side.
+  std::uint64_t next_seq = 1;
+  std::deque<TxEntry> unacked;
+  std::vector<std::uint8_t> tx_stream;  ///< bytes pending on the socket
+  std::optional<std::vector<std::uint8_t>> reorder_stash;
+  struct Delayed {
+    std::vector<std::uint8_t> bytes;
+    Clock::time_point due;
+  };
+  std::vector<Delayed> delayed;
+  Clock::time_point last_hb_tx{};
+  // RX side.
+  std::uint64_t rx_expected = 1;
+  std::map<std::uint64_t, std::pair<wire::FrameHeader,
+                                    std::vector<std::uint8_t>>> rx_reorder;
+  std::vector<std::uint8_t> rx_bytes;
+  Clock::time_point last_rx{};
+};
+
+/// A run-scoped death notice, stamped with the Team::run generation it
+/// belongs to so a revived rank is not re-killed by a stale re-announcement.
+struct DeathNote {
+  std::uint64_t gen = 0;
+  std::uint32_t rank = 0;
+  std::string msg;
+};
+
+/// One local rank's endpoint: listener + self-pipe + I/O thread + conns.
+struct Endpoint {
+  std::uint32_t rank = 0;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  int wake_rfd = -1;
+  int wake_wfd = -1;
+  std::thread io;
+
+  struct Out {
+    std::uint32_t to = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t run_gen = 0;
+    Matrix m;
+  };
+  std::mutex outbox_mu;
+  std::deque<Out> outbox;
+  std::deque<DeathNote> death_outbox;
+
+  // I/O-thread-only state.
+  std::map<std::uint32_t, Conn> conns;
+  /// Deaths already broadcast; re-announced to a peer after reconnection so
+  /// a notice lost to a broken connection still lands.  Notes whose run
+  /// generation has passed are pruned — the peer would discard them anyway.
+  std::vector<DeathNote> deaths_announced;
+  struct Pending {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+  };
+  std::vector<Pending> pending_accepts;
+};
+
+}  // namespace
+
+class SocketTeam {
+ public:
+  explicit SocketTeam(SocketTransport::Config cfg) : cfg_(std::move(cfg)) {
+    HCMM_CHECK(cfg_.ranks >= 1 && cfg_.ranks <= 4096,
+               "SocketTransport: bad rank count " << cfg_.ranks);
+    HCMM_CHECK(!cfg_.local_ranks.empty() &&
+                   std::is_sorted(cfg_.local_ranks.begin(),
+                                  cfg_.local_ranks.end()),
+               "SocketTransport: local_ranks must be non-empty and sorted");
+    for (const std::uint32_t r : cfg_.local_ranks) {
+      HCMM_CHECK(r < cfg_.ranks,
+                 "SocketTransport: local rank " << r << " out of range");
+    }
+    name_ = cfg_.wire.any() ? "socket+lossy" : "socket";
+    hb_interval_ = std::clamp(cfg_.horizon / 8,
+                              std::chrono::milliseconds(10),
+                              std::chrono::milliseconds(500));
+    barrier_gen_.assign(cfg_.local_ranks.size(), 0);
+    for (std::size_t i = 0; i < cfg_.local_ranks.size(); ++i) {
+      ep_index_[cfg_.local_ranks[i]] = i;
+      auto ep = std::make_unique<Endpoint>();
+      ep->rank = cfg_.local_ranks[i];
+      std::tie(ep->listen_fd, ep->port) = make_listener();
+      set_nonblocking(ep->listen_fd);
+      int pipefd[2];
+      HCMM_CHECK(::pipe(pipefd) == 0,
+                 "SocketTransport: pipe() failed: " << errno);
+      ep->wake_rfd = pipefd[0];
+      ep->wake_wfd = pipefd[1];
+      set_nonblocking(ep->wake_rfd);
+      set_nonblocking(ep->wake_wfd);
+      eps_.push_back(std::move(ep));
+    }
+  }
+
+  ~SocketTeam() {
+    shutdown_.store(true, std::memory_order_relaxed);
+    for (auto& ep : eps_) {
+      wake(*ep);
+      if (ep->io.joinable()) ep->io.join();
+    }
+    for (auto& ep : eps_) {
+      for (auto& [peer, conn] : ep->conns) {
+        if (conn.fd >= 0) ::close(conn.fd);
+      }
+      for (auto& pending : ep->pending_accepts) ::close(pending.fd);
+      ::close(ep->listen_fd);
+      ::close(ep->wake_rfd);
+      ::close(ep->wake_wfd);
+    }
+  }
+
+  [[nodiscard]] std::uint16_t listen_port(std::uint32_t rank) const {
+    const auto it = ep_index_.find(rank);
+    HCMM_CHECK(it != ep_index_.end(),
+               "SocketTransport: rank " << rank << " is not local");
+    return eps_[it->second]->port;
+  }
+
+  void connect_mesh(const std::vector<std::uint16_t>& ports) {
+    HCMM_CHECK(ports.size() == cfg_.ranks,
+               "SocketTransport: want " << cfg_.ranks << " ports, got "
+                                        << ports.size());
+    HCMM_CHECK(!connected_, "SocketTransport: connect_mesh called twice");
+    ports_ = ports;
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    for (auto& ep : eps_) {
+      for (std::uint32_t q = 0; q < cfg_.ranks; ++q) {
+        if (q == ep->rank) continue;
+        Conn c;
+        c.peer = q;
+        c.connector = ep->rank > q;
+        c.last_rx = Clock::now();
+        ep->conns.emplace(q, std::move(c));
+      }
+      // Dial every lower-ranked peer now; their accept happens in their
+      // I/O loop (the kernel backlog holds the connection meanwhile).
+      for (auto& [peer, conn] : ep->conns) {
+        if (!conn.connector) continue;
+        conn.fd = try_connect(ports_[peer], deadline);
+        HCMM_CHECK(conn.fd >= 0, "SocketTransport: rank "
+                                     << ep->rank << " could not connect to "
+                                     << "rank " << peer << " on port "
+                                     << ports_[peer]);
+        send_hello(*ep, conn);
+        flush(conn);
+      }
+    }
+    connected_ = true;
+    for (auto& ep : eps_) {
+      Endpoint* raw = ep.get();
+      ep->io = std::thread([this, raw] { io_loop(*raw); });
+    }
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_.c_str(); }
+  [[nodiscard]] std::uint32_t ranks() const noexcept { return cfg_.ranks; }
+  [[nodiscard]] const std::vector<std::uint32_t>& local_ranks()
+      const noexcept {
+    return cfg_.local_ranks;
+  }
+
+  void begin_run() {
+    const std::uint64_t gen =
+        run_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard lock(mu_);
+    // Purge mail from past runs; mail for future runs (a faster peer
+    // process already started the next one) is kept for delivery.
+    for (auto it = mail_.begin(); it != mail_.end();) {
+      it = it->first.gen < gen ? mail_.erase(it) : std::next(it);
+    }
+    std::fill(barrier_gen_.begin(), barrier_gen_.end(), 0);
+    // Run-scoped deaths (a rank threw) reset; a vanished process stays
+    // dead and re-arms the failure flag immediately.
+    dead_run_.clear();
+    remote_run_.clear();
+    // Death notices a faster peer stamped for this very run arrived early
+    // and were parked; apply them now, drop ones for runs already over.
+    std::erase_if(future_deaths_,
+                  [gen](const DeathNote& d) { return d.gen < gen; });
+    for (auto it = future_deaths_.begin(); it != future_deaths_.end();) {
+      if (it->gen == gen) {
+        dead_run_.insert(it->rank);
+        remote_run_.push_back(RemoteFailure{it->rank, std::move(it->msg)});
+        it = future_deaths_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    failed_ = !dead_perm_.empty() || !dead_run_.empty();
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
+            Matrix m) {
+    HCMM_CHECK(connected_, "SocketTransport: connect_mesh not called");
+    const auto it = ep_index_.find(from);
+    HCMM_CHECK(it != ep_index_.end(),
+               "SocketTransport: sending rank " << from << " is not local");
+    const std::uint64_t gen = run_gen_.load(std::memory_order_relaxed);
+    if (from == to) {
+      {
+        std::lock_guard lock(mu_);
+        mail_[MailKey{gen, to, from, tag}].push_back(std::move(m));
+      }
+      cv_.notify_all();
+      return;
+    }
+    Endpoint& ep = *eps_[it->second];
+    {
+      std::lock_guard lock(ep.outbox_mu);
+      ep.outbox.push_back(Endpoint::Out{to, tag, gen, std::move(m)});
+    }
+    wake(ep);
+  }
+
+  [[nodiscard]] RecvStatus wait_recv(std::uint32_t to, std::uint32_t from,
+                                     std::uint64_t tag,
+                                     std::chrono::milliseconds slice,
+                                     Matrix* out) {
+    const std::uint64_t gen = run_gen_.load(std::memory_order_relaxed);
+    std::unique_lock lock(mu_);
+    const MailKey key{gen, to, from, tag};
+    const auto ready = [&] {
+      if (failed_) return true;
+      const auto it = mail_.find(key);
+      return it != mail_.end() && !it->second.empty();
+    };
+    cv_.wait_for(lock, slice, ready);
+    if (failed_) {
+      return dead_run_.contains(from) || dead_perm_.contains(from)
+                 ? RecvStatus::kPeerDead
+                 : RecvStatus::kAborted;
+    }
+    const auto it = mail_.find(key);
+    if (it == mail_.end() || it->second.empty()) return RecvStatus::kTimedOut;
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mail_.erase(it);
+    return RecvStatus::kReady;
+  }
+
+  [[nodiscard]] BarrierStatus barrier(std::uint32_t rank,
+                                      std::chrono::milliseconds timeout) {
+    const std::uint32_t p = cfg_.ranks;
+    if (p == 1) return BarrierStatus::kOk;
+    const std::size_t idx = ep_index_.at(rank);
+    const std::uint64_t bgen = barrier_gen_[idx]++;
+    const auto deadline = Clock::now() + timeout;
+    // Dissemination barrier: round k talks distance 2^k around the ring;
+    // after ceil(log2 p) rounds every rank has transitively heard from all.
+    std::uint32_t round = 0;
+    for (std::uint32_t step = 1; step < p; step <<= 1, ++round) {
+      const std::uint32_t to = (rank + step) % p;
+      const std::uint32_t from = (rank + p - step) % p;
+      const std::uint64_t tag =
+          (1ull << 63) | (bgen << 8) | static_cast<std::uint64_t>(round);
+      send(rank, to, tag, Matrix(1, 1));
+      for (;;) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+        if (left.count() <= 0) return BarrierStatus::kTimedOut;
+        Matrix token;
+        switch (wait_recv(rank, from, tag,
+                          std::min(left, std::chrono::milliseconds(100)),
+                          &token)) {
+          case RecvStatus::kReady:
+            break;
+          case RecvStatus::kTimedOut:
+            continue;
+          case RecvStatus::kPeerDead:
+          case RecvStatus::kAborted:
+            return BarrierStatus::kAborted;
+        }
+        break;
+      }
+    }
+    return BarrierStatus::kOk;
+  }
+
+  void notify_failure(std::uint32_t rank, const std::string& message) {
+    {
+      std::lock_guard lock(mu_);
+      dead_run_.insert(rank);
+      failed_ = true;
+    }
+    cv_.notify_all();
+    // Broadcast the death from the dead rank's own endpoint — its mesh
+    // reaches every peer directly.  (Remote-only ranks can't fail locally.)
+    const auto it = ep_index_.find(rank);
+    if (it == ep_index_.end()) return;
+    Endpoint& ep = *eps_[it->second];
+    {
+      std::lock_guard lock(ep.outbox_mu);
+      ep.death_outbox.push_back(DeathNote{
+          run_gen_.load(std::memory_order_relaxed), rank, message});
+    }
+    wake(ep);
+  }
+
+  [[nodiscard]] std::vector<RemoteFailure> remote_failures() const {
+    std::lock_guard lock(mu_);
+    std::vector<RemoteFailure> out = remote_run_;
+    for (const auto& [rank, msg] : dead_perm_msgs_) {
+      const bool known = std::any_of(
+          out.begin(), out.end(),
+          [&, r = rank](const RemoteFailure& f) { return f.rank == r; });
+      if (!known) out.push_back(RemoteFailure{rank, msg});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RemoteFailure& a, const RemoteFailure& b) {
+                return a.rank < b.rank;
+              });
+    return out;
+  }
+
+  [[nodiscard]] WireStats wire_stats() const { return stats_.snapshot(); }
+
+ private:
+  struct MailKey {
+    std::uint64_t gen;
+    std::uint32_t to;
+    std::uint32_t from;
+    std::uint64_t tag;
+    auto operator<=>(const MailKey&) const = default;
+  };
+
+  static void wake(Endpoint& ep) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(ep.wake_wfd, &byte, 1);
+  }
+
+  // --- frame emission (I/O thread of the owning endpoint) ----------------
+
+  void emit(Conn& c, std::span<const std::uint8_t> bytes) {
+    if (c.fd < 0 || c.broken) return;
+    c.tx_stream.insert(c.tx_stream.end(), bytes.begin(), bytes.end());
+    flush(c);
+  }
+
+  void flush(Conn& c) {
+    while (!c.tx_stream.empty()) {
+      const ssize_t n = ::send(c.fd, c.tx_stream.data(), c.tx_stream.size(),
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        c.tx_stream.erase(c.tx_stream.begin(), c.tx_stream.begin() + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      return;  // hard error: the read side will see it and break the conn
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> encode_frame(
+      const wire::FrameHeader& h, std::span<const std::uint8_t> payload) {
+    // The explicit kMaxPayload clamp also gives the compiler a finite
+    // bound for the copy (payloads are validated long before this point).
+    const std::size_t len = std::min<std::size_t>(payload.size(),
+                                                  wire::kMaxPayload);
+    std::vector<std::uint8_t> bytes(wire::kHeaderSize + len);
+    wire::encode_header(h, bytes.data());
+    if (len != 0) {
+      std::memcpy(bytes.data() + wire::kHeaderSize, payload.data(), len);
+    }
+    return bytes;
+  }
+
+  void send_control(Conn& c, wire::FrameKind kind, std::uint32_t from,
+                    std::span<const std::uint8_t> payload,
+                    std::uint64_t gen_override = 0) {
+    wire::FrameHeader h;
+    h.kind = kind;
+    h.from = from;
+    h.to = c.peer;
+    h.epoch = c.epoch;
+    h.run_gen = gen_override != 0
+                    ? gen_override
+                    : run_gen_.load(std::memory_order_relaxed);
+    h.ack = c.rx_expected - 1;
+    h.payload_len = static_cast<std::uint32_t>(payload.size());
+    h.payload_crc = wire::crc32(payload);
+    emit(c, encode_frame(h, payload));
+  }
+
+  void send_hello(Endpoint& ep, Conn& c) {
+    wire::FrameHeader h;
+    h.kind = wire::FrameKind::kHello;
+    h.from = ep.rank;
+    h.to = c.peer;
+    h.epoch = c.epoch;
+    const auto bytes = encode_frame(h, {});
+    // Hello must reach the wire even while `broken` is being cleared.
+    c.tx_stream.insert(c.tx_stream.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Deterministic retransmission timeout with FaultPlan-style jitter.
+  [[nodiscard]] Clock::duration rto(const Endpoint& ep, const Conn& c,
+                                    std::uint64_t seq,
+                                    std::uint32_t attempt) const {
+    const double jitter = cfg_.wire.jitter_unit(channel_id(ep.rank, c.peer),
+                                                seq, attempt);
+    const double scale =
+        static_cast<double>(1u << std::min(attempt, kRtoExpCap)) *
+        (1.0 + 0.5 * jitter);
+    return std::chrono::duration_cast<Clock::duration>(kRtoBase * scale);
+  }
+
+  /// Transmit one data frame through the wire-fault fate draw.
+  void wire_tx(Endpoint& ep, Conn& c, TxEntry& entry) {
+    if (c.fd < 0 || c.broken) return;  // queued; retransmit on reconnect
+    entry.header.epoch = c.epoch;
+    entry.header.ack = c.rx_expected - 1;
+    const std::uint64_t chan = channel_id(ep.rank, c.peer);
+    stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.wire.any()) {
+      if (cfg_.wire.reconnect_hit(chan, entry.header.seq, entry.attempts)) {
+        break_conn(ep, c, "injected reconnect");
+        return;
+      }
+      const fault::WireFault fate =
+          cfg_.wire.frame_fault(chan, entry.header.seq, entry.attempts);
+      switch (fate) {
+        case fault::WireFault::kDrop:
+          stats_.drops.fetch_add(1, std::memory_order_relaxed);
+          return;  // the RTO heals it
+        case fault::WireFault::kDuplicate: {
+          stats_.dups.fetch_add(1, std::memory_order_relaxed);
+          const auto bytes = encode_frame(entry.header, entry.payload);
+          emit(c, bytes);
+          emit(c, bytes);
+          return;
+        }
+        case fault::WireFault::kReorder: {
+          stats_.reorders.fetch_add(1, std::memory_order_relaxed);
+          if (!c.reorder_stash) {
+            c.reorder_stash = encode_frame(entry.header, entry.payload);
+            return;  // transmitted after the next frame (or the next tick)
+          }
+          break;
+        }
+        case fault::WireFault::kDelay: {
+          stats_.delays.fetch_add(1, std::memory_order_relaxed);
+          c.delayed.push_back(Conn::Delayed{
+              encode_frame(entry.header, entry.payload),
+              Clock::now() + std::chrono::milliseconds(cfg_.wire.delay_ms)});
+          return;
+        }
+        case fault::WireFault::kFlip: {
+          stats_.flips.fetch_add(1, std::memory_order_relaxed);
+          auto bytes = encode_frame(entry.header, entry.payload);
+          if (!entry.payload.empty()) {
+            const std::uint64_t site = cfg_.wire.flip_site(
+                chan, entry.header.seq, entry.attempts);
+            bytes[wire::kHeaderSize + site % entry.payload.size()] ^= 0x10u;
+          }
+          emit(c, bytes);
+          flush_reorder_stash(c);
+          return;
+        }
+        case fault::WireFault::kNone:
+        case fault::WireFault::kReconnect:  // drawn via reconnect_hit above
+          break;
+      }
+    }
+    emit(c, encode_frame(entry.header, entry.payload));
+    flush_reorder_stash(c);
+  }
+
+  void flush_reorder_stash(Conn& c) {
+    if (c.reorder_stash) {
+      const std::vector<std::uint8_t> bytes = std::move(*c.reorder_stash);
+      c.reorder_stash.reset();
+      emit(c, bytes);
+    }
+  }
+
+  // --- failure bookkeeping ------------------------------------------------
+
+  void mark_dead_remote(std::uint32_t rank, const std::string& msg,
+                        bool permanent) {
+    {
+      std::lock_guard lock(mu_);
+      if (permanent) {
+        dead_perm_.insert(rank);
+        dead_perm_msgs_.try_emplace(rank, msg);
+      } else {
+        dead_run_.insert(rank);
+        const bool known = std::any_of(
+            remote_run_.begin(), remote_run_.end(),
+            [&](const RemoteFailure& f) { return f.rank == rank; });
+        if (!known) remote_run_.push_back(RemoteFailure{rank, msg});
+      }
+      failed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void break_conn(Endpoint& ep, Conn& c, const char* reason) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.broken = true;
+    c.tx_stream.clear();
+    c.reorder_stash.reset();
+    c.delayed.clear();
+    c.rx_bytes.clear();
+    if (c.connector) {
+      c.next_reconnect_due =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             kRtoBase * static_cast<double>(
+                                            1u << std::min(
+                                                c.reconnect_failures, 4u)));
+    }
+    (void)ep;
+    (void)reason;
+  }
+
+  /// Connector-side reconnection under a fresh session epoch; bounded by
+  /// kReconnectAttempts consecutive failures.
+  void attempt_reconnect(Endpoint& ep, Conn& c) {
+    const int fd =
+        try_connect(ports_[c.peer],
+                    Clock::now() + std::chrono::milliseconds(250));
+    if (fd < 0) {
+      c.reconnect_failures += 1;
+      if (c.reconnect_failures >= SocketTransport::kReconnectAttempts) {
+        mark_dead_remote(c.peer,
+                         "connection to rank " + std::to_string(c.peer) +
+                             " lost and " +
+                             std::to_string(c.reconnect_failures) +
+                             " reconnect attempts failed (process exited?)",
+                         /*permanent=*/true);
+        return;
+      }
+      c.next_reconnect_due =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             kRtoBase *
+                             static_cast<double>(
+                                 1u << std::min(c.reconnect_failures, 4u)));
+      return;
+    }
+    c.fd = fd;
+    c.broken = false;
+    c.epoch += 1;  // new incarnation: stale frames are now discardable
+    c.reconnect_failures = 0;
+    c.last_rx = Clock::now();
+    stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    send_hello(ep, c);
+    reannounce_deaths(ep, c);
+    // Everything unacked goes again under the new epoch, immediately.
+    for (TxEntry& entry : c.unacked) {
+      entry.next_due = Clock::now();
+    }
+    flush(c);
+  }
+
+  /// A death notice is fire-and-forget; repeat it on every fresh socket so
+  /// one lost to a broken connection still reaches the peer.  Only notes for
+  /// the current (or a future) run generation are repeated: re-announcing a
+  /// past run's death after a reconnect would re-kill a rank that begin_run
+  /// already revived.
+  void reannounce_deaths(Endpoint& ep, Conn& c) {
+    const std::uint64_t cur = run_gen_.load(std::memory_order_relaxed);
+    std::erase_if(ep.deaths_announced,
+                  [cur](const DeathNote& d) { return d.gen < cur; });
+    for (const DeathNote& d : ep.deaths_announced) {
+      const std::span<const std::uint8_t> payload{
+          reinterpret_cast<const std::uint8_t*>(d.msg.data()), d.msg.size()};
+      send_control(c, wire::FrameKind::kDeath, d.rank, payload, d.gen);
+    }
+  }
+
+  /// Acceptor side of a (re)connection: a hello arrived on @p fd.
+  void attach_accepted(Endpoint& ep, int fd, const wire::FrameHeader& hello,
+                       std::vector<std::uint8_t> leftover) {
+    const auto it = ep.conns.find(hello.from);
+    if (it == ep.conns.end() || hello.to != ep.rank) {
+      ::close(fd);
+      return;
+    }
+    Conn& c = it->second;
+    if (c.fd >= 0 && hello.epoch < c.epoch) {
+      ::close(fd);  // stale incarnation raced in; keep the newer socket
+      return;
+    }
+    if (c.fd >= 0) ::close(c.fd);
+    c.fd = fd;
+    c.broken = false;
+    c.epoch = hello.epoch;
+    c.reconnect_failures = 0;
+    c.tx_stream.clear();
+    c.rx_bytes = std::move(leftover);
+    c.last_rx = Clock::now();
+    reannounce_deaths(ep, c);
+    for (TxEntry& entry : c.unacked) {
+      entry.next_due = Clock::now();
+    }
+    parse_stream(ep, c);
+  }
+
+  // --- frame reception ----------------------------------------------------
+
+  void on_ack(Conn& c, std::uint64_t ack) {
+    while (!c.unacked.empty() && c.unacked.front().header.seq <= ack) {
+      c.unacked.pop_front();
+    }
+  }
+
+  void deliver(const wire::FrameHeader& h,
+               std::span<const std::uint8_t> payload) {
+    const std::uint64_t gen = run_gen_.load(std::memory_order_relaxed);
+    if (h.run_gen < gen) {
+      // A frame from a finished run: acked so its sender stops resending,
+      // but never delivered into the current run.
+      stats_.stale_discards.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t words = payload.size() / sizeof(double);
+    if (words != static_cast<std::size_t>(h.rows) * h.cols) {
+      // Shape/payload mismatch that still passed both CRCs: drop rather
+      // than throw across the I/O thread; the sender's RTO retries.
+      stats_.crc_rejects.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<double> data(words);
+    std::memcpy(data.data(), payload.data(), payload.size());
+    Matrix m(h.rows, h.cols, std::move(data));
+    // Count before delivery: the recv this frame satisfies may be the last
+    // op of a run, and a stats snapshot right after Team::run must already
+    // include every delivered byte.
+    stats_.payload_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard lock(mu_);
+      mail_[MailKey{h.run_gen, h.to, h.from, h.tag}].push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  void on_frame(Endpoint& ep, Conn& c, const wire::FrameHeader& h,
+                std::vector<std::uint8_t> payload) {
+    c.last_rx = Clock::now();
+    if (h.kind == wire::FrameKind::kHello) {
+      // Hello on an established conn: the peer rebuilt its side (its view
+      // of the epoch is authoritative if newer).
+      if (h.epoch > c.epoch) {
+        c.epoch = h.epoch;
+        c.rx_bytes.clear();
+        for (TxEntry& entry : c.unacked) entry.next_due = Clock::now();
+      }
+      return;
+    }
+    if (h.epoch != c.epoch) {
+      stats_.stale_discards.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    switch (h.kind) {
+      case wire::FrameKind::kAck:
+      case wire::FrameKind::kHeartbeat:
+        on_ack(c, h.ack);
+        return;
+      case wire::FrameKind::kDeath: {
+        std::string msg(reinterpret_cast<const char*>(payload.data()),
+                        payload.size());
+        const std::uint64_t cur = run_gen_.load(std::memory_order_relaxed);
+        if (h.run_gen < cur) {
+          // A notice from a finished run (delayed frame or reconnect
+          // re-announcement): begin_run already revived the rank.
+          stats_.stale_discards.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (h.run_gen > cur) {
+          // A faster peer process is already in the next run; hold the
+          // notice until begin_run reaches that generation.
+          std::lock_guard lock(mu_);
+          future_deaths_.push_back(DeathNote{h.run_gen, h.from,
+                                             std::move(msg)});
+          return;
+        }
+        mark_dead_remote(h.from, msg, /*permanent=*/false);
+        return;
+      }
+      case wire::FrameKind::kData: {
+        if (wire::crc32(payload) != h.payload_crc) {
+          // A flipped payload: drop unacked; the sender's RTO heals it.
+          stats_.crc_rejects.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        on_ack(c, h.ack);
+        if (h.seq < c.rx_expected) {
+          send_control(c, wire::FrameKind::kAck, ep.rank, {});  // duplicate
+          return;
+        }
+        if (h.seq > c.rx_expected) {
+          c.rx_reorder.try_emplace(h.seq, h, std::move(payload));
+          send_control(c, wire::FrameKind::kAck, ep.rank, {});
+          return;
+        }
+        deliver(h, payload);
+        c.rx_expected += 1;
+        while (!c.rx_reorder.empty() &&
+               c.rx_reorder.begin()->first == c.rx_expected) {
+          auto& [hdr, body] = c.rx_reorder.begin()->second;
+          deliver(hdr, body);
+          c.rx_reorder.erase(c.rx_reorder.begin());
+          c.rx_expected += 1;
+        }
+        send_control(c, wire::FrameKind::kAck, ep.rank, {});
+        return;
+      }
+      case wire::FrameKind::kHello:
+        return;  // handled above
+    }
+  }
+
+  void parse_stream(Endpoint& ep, Conn& c) {
+    while (c.rx_bytes.size() >= wire::kHeaderSize) {
+      const auto header = wire::decode_header(c.rx_bytes.data());
+      if (!header) {
+        // Header corruption cannot be resynchronized on a byte stream;
+        // treat the connection as broken and let reconnection recover.
+        stats_.crc_rejects.fetch_add(1, std::memory_order_relaxed);
+        break_conn(ep, c, "corrupt header");
+        return;
+      }
+      const std::size_t frame_len = wire::kHeaderSize + header->payload_len;
+      if (c.rx_bytes.size() < frame_len) return;
+      std::vector<std::uint8_t> payload(
+          c.rx_bytes.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderSize),
+          c.rx_bytes.begin() + static_cast<std::ptrdiff_t>(frame_len));
+      c.rx_bytes.erase(c.rx_bytes.begin(),
+                       c.rx_bytes.begin() +
+                           static_cast<std::ptrdiff_t>(frame_len));
+      on_frame(ep, c, *header, std::move(payload));
+      if (c.broken || c.fd < 0) return;
+    }
+  }
+
+  // --- the I/O loop -------------------------------------------------------
+
+  void drain_outbox(Endpoint& ep) {
+    std::deque<Endpoint::Out> out;
+    std::deque<DeathNote> deaths;
+    {
+      std::lock_guard lock(ep.outbox_mu);
+      out.swap(ep.outbox);
+      deaths.swap(ep.death_outbox);
+    }
+    for (Endpoint::Out& o : out) {
+      const auto it = ep.conns.find(o.to);
+      if (it == ep.conns.end()) continue;
+      Conn& c = it->second;
+      TxEntry entry;
+      entry.header.kind = wire::FrameKind::kData;
+      entry.header.from = ep.rank;
+      entry.header.to = o.to;
+      entry.header.run_gen = o.run_gen;
+      entry.header.seq = c.next_seq++;
+      entry.header.tag = o.tag;
+      entry.header.rows = static_cast<std::uint32_t>(o.m.rows());
+      entry.header.cols = static_cast<std::uint32_t>(o.m.cols());
+      const std::span<const double> words = o.m.data();
+      entry.payload.resize(words.size_bytes());
+      std::memcpy(entry.payload.data(), words.data(), words.size_bytes());
+      entry.header.payload_len =
+          static_cast<std::uint32_t>(entry.payload.size());
+      entry.header.payload_crc = wire::crc32(entry.payload);
+      entry.next_due = Clock::now() + rto(ep, c, entry.header.seq, 0);
+      c.unacked.push_back(std::move(entry));
+      wire_tx(ep, c, c.unacked.back());
+    }
+    for (DeathNote& d : deaths) {
+      const std::vector<std::uint8_t> payload(d.msg.begin(), d.msg.end());
+      for (auto& [peer, conn] : ep.conns) {
+        send_control(conn, wire::FrameKind::kDeath, d.rank, payload, d.gen);
+      }
+      ep.deaths_announced.push_back(std::move(d));
+    }
+  }
+
+  void service_timers(Endpoint& ep) {
+    const auto now = Clock::now();
+    for (auto& [peer, c] : ep.conns) {
+      // Injected-delay frames whose hold expired.
+      for (auto it = c.delayed.begin(); it != c.delayed.end();) {
+        if (it->due <= now) {
+          emit(c, it->bytes);
+          it = c.delayed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // A reorder stash nothing followed: flush it now.
+      flush_reorder_stash(c);
+      // Retransmission timeouts.
+      if (!c.broken && c.fd >= 0) {
+        for (TxEntry& entry : c.unacked) {
+          if (entry.next_due > now) continue;
+          entry.attempts += 1;
+          if (entry.attempts > kMaxTxAttempts) {
+            break_conn(ep, c, "retransmission budget exhausted");
+            break;
+          }
+          stats_.retransmits.fetch_add(1, std::memory_order_relaxed);
+          entry.next_due = now + rto(ep, c, entry.header.seq, entry.attempts);
+          wire_tx(ep, c, entry);
+          if (c.broken) break;
+        }
+      }
+      if (c.broken) {
+        if (c.connector && c.next_reconnect_due <= now &&
+            !is_dead(c.peer)) {
+          attempt_reconnect(ep, c);
+        }
+      } else if (c.fd >= 0 && now - c.last_hb_tx >= hb_interval_) {
+        send_control(c, wire::FrameKind::kHeartbeat, ep.rank, {});
+        stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
+        c.last_hb_tx = now;
+      }
+      // The failure detector horizon applies to established *and* broken
+      // connections (an acceptor cannot redial, it can only wait): total
+      // silence past the horizon means the peer endpoint is gone.  A slow
+      // *rank* never trips this — its endpoint's I/O thread keeps
+      // beaconing while the rank thread computes.
+      if ((c.fd >= 0 || c.broken) && now - c.last_rx > cfg_.horizon &&
+          !is_dead(c.peer)) {
+        mark_dead_remote(c.peer,
+                         "rank " + std::to_string(c.peer) +
+                             " sent no heartbeat within the failure "
+                             "detector horizon",
+                         /*permanent=*/true);
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_dead(std::uint32_t rank) const {
+    std::lock_guard lock(mu_);
+    return dead_run_.contains(rank) || dead_perm_.contains(rank);
+  }
+
+  void io_loop(Endpoint& ep) {
+    while (!shutdown_.load(std::memory_order_relaxed)) {
+      std::vector<pollfd> pfds;
+      pfds.push_back(make_pfd(ep.wake_rfd, false));
+      pfds.push_back(make_pfd(ep.listen_fd, false));
+      std::vector<std::uint32_t> conn_of_pfd;
+      for (auto& [peer, c] : ep.conns) {
+        if (c.fd < 0) continue;
+        pfds.push_back(make_pfd(c.fd, !c.tx_stream.empty()));
+        conn_of_pfd.push_back(peer);
+      }
+      const std::size_t pending_base = pfds.size();
+      for (const Endpoint::Pending& pending : ep.pending_accepts) {
+        pfds.push_back(make_pfd(pending.fd, false));
+      }
+      const int pr = ::poll(pfds.data(), pfds.size(),
+                            static_cast<int>(kPollTick.count()));
+      if (pr < 0 && errno != EINTR) break;
+
+      if ((pfds[0].revents & POLLIN) != 0) {
+        std::array<char, 256> sink{};
+        while (::read(ep.wake_rfd, sink.data(), sink.size()) > 0) {
+        }
+      }
+      drain_outbox(ep);
+
+      if ((pfds[1].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = ::accept(ep.listen_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          set_nodelay(fd);
+          ep.pending_accepts.push_back(Endpoint::Pending{fd, {}});
+        }
+      }
+
+      // Established connections.
+      for (std::size_t i = 2; i < pending_base; ++i) {
+        const auto it = ep.conns.find(conn_of_pfd[i - 2]);
+        if (it == ep.conns.end()) continue;
+        Conn& c = it->second;
+        if (c.fd != pfds[i].fd) continue;  // replaced mid-iteration
+        if ((pfds[i].revents & POLLOUT) != 0) flush(c);
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          read_conn(ep, c);
+        }
+      }
+
+      // Pending accepts waiting for their hello.
+      for (std::size_t i = pending_base; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        read_pending(ep, pfds[i].fd);
+      }
+
+      service_timers(ep);
+    }
+  }
+
+  void read_conn(Endpoint& ep, Conn& c) {
+    std::array<std::uint8_t, 65536> buf;
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf.data(), buf.size());
+      if (n > 0) {
+        c.rx_bytes.insert(c.rx_bytes.end(), buf.begin(), buf.begin() + n);
+        if (n < static_cast<ssize_t>(buf.size())) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error: the peer closed (reconnect fault, process
+      // death, ...).  Connector redials; acceptor waits for a new hello
+      // under the heartbeat horizon.
+      break_conn(ep, c, "peer closed connection");
+      return;
+    }
+    parse_stream(ep, c);
+  }
+
+  void read_pending(Endpoint& ep, int fd) {
+    const auto it = std::find_if(
+        ep.pending_accepts.begin(), ep.pending_accepts.end(),
+        [fd](const Endpoint::Pending& pending) { return pending.fd == fd; });
+    if (it == ep.pending_accepts.end()) return;
+    std::array<std::uint8_t, 4096> buf;
+    for (;;) {
+      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      if (n > 0) {
+        it->buf.insert(it->buf.end(), buf.begin(), buf.begin() + n);
+        if (n < static_cast<ssize_t>(buf.size())) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      ep.pending_accepts.erase(it);
+      return;
+    }
+    if (it->buf.size() < wire::kHeaderSize) return;
+    const auto header = wire::decode_header(it->buf.data());
+    if (!header || header->kind != wire::FrameKind::kHello) {
+      ::close(fd);
+      ep.pending_accepts.erase(it);
+      return;
+    }
+    std::vector<std::uint8_t> leftover(
+        it->buf.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderSize),
+        it->buf.end());
+    const wire::FrameHeader hello = *header;
+    ep.pending_accepts.erase(it);
+    attach_accepted(ep, fd, hello, std::move(leftover));
+  }
+
+  SocketTransport::Config cfg_;
+  std::string name_;
+  std::chrono::milliseconds hb_interval_{100};
+  std::vector<std::uint16_t> ports_;
+  bool connected_ = false;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+  std::map<std::uint32_t, std::size_t> ep_index_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> run_gen_{1};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<MailKey, std::deque<Matrix>> mail_;
+  bool failed_ = false;
+  std::set<std::uint32_t> dead_run_;          // a rank threw this run
+  std::set<std::uint32_t> dead_perm_;         // its process is gone
+  std::map<std::uint32_t, std::string> dead_perm_msgs_;
+  std::vector<DeathNote> future_deaths_;      // stamped for a later run
+  std::vector<RemoteFailure> remote_run_;
+  std::vector<std::uint64_t> barrier_gen_;    // per local rank
+  AtomicWireStats stats_;
+};
+
+}  // namespace detail
+
+SocketTransport::SocketTransport(Config cfg)
+    : impl_(std::make_unique<detail::SocketTeam>(std::move(cfg))) {}
+
+SocketTransport::~SocketTransport() = default;
+
+std::uint16_t SocketTransport::listen_port(std::uint32_t rank) const {
+  return impl_->listen_port(rank);
+}
+
+void SocketTransport::connect_mesh(const std::vector<std::uint16_t>& ports) {
+  impl_->connect_mesh(ports);
+}
+
+const char* SocketTransport::name() const noexcept { return impl_->name(); }
+
+std::uint32_t SocketTransport::ranks() const noexcept {
+  return impl_->ranks();
+}
+
+const std::vector<std::uint32_t>& SocketTransport::local_ranks()
+    const noexcept {
+  return impl_->local_ranks();
+}
+
+void SocketTransport::begin_run() { impl_->begin_run(); }
+
+void SocketTransport::send(std::uint32_t from, std::uint32_t to,
+                           std::uint64_t tag, Matrix m) {
+  impl_->send(from, to, tag, std::move(m));
+}
+
+RecvStatus SocketTransport::wait_recv(std::uint32_t to, std::uint32_t from,
+                                      std::uint64_t tag,
+                                      std::chrono::milliseconds slice,
+                                      Matrix* out) {
+  return impl_->wait_recv(to, from, tag, slice, out);
+}
+
+BarrierStatus SocketTransport::barrier(std::uint32_t rank,
+                                       std::chrono::milliseconds timeout) {
+  return impl_->barrier(rank, timeout);
+}
+
+void SocketTransport::notify_failure(std::uint32_t rank,
+                                     const std::string& message) {
+  impl_->notify_failure(rank, message);
+}
+
+std::vector<RemoteFailure> SocketTransport::remote_failures() const {
+  return impl_->remote_failures();
+}
+
+WireStats SocketTransport::wire_stats() const { return impl_->wire_stats(); }
+
+std::unique_ptr<SocketTransport> make_socket_transport(
+    std::uint32_t ranks, std::chrono::milliseconds horizon,
+    fault::WireFaultSpec wire) {
+  SocketTransport::Config cfg;
+  cfg.ranks = ranks;
+  cfg.local_ranks.resize(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) cfg.local_ranks[r] = r;
+  cfg.horizon = horizon;
+  cfg.wire = wire;
+  std::unique_ptr<SocketTransport> t =
+      wire.any() ? std::make_unique<LossyTransport>(std::move(cfg))
+                 : std::make_unique<SocketTransport>(std::move(cfg));
+  std::vector<std::uint16_t> ports(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) ports[r] = t->listen_port(r);
+  t->connect_mesh(ports);
+  return t;
+}
+
+}  // namespace hcmm::rt

@@ -1,5 +1,7 @@
 #include "hcmm/runtime/spmd_matmul.hpp"
 
+#include <array>
+
 #include "hcmm/matrix/gemm.hpp"
 #include "hcmm/support/bits.hpp"
 #include "hcmm/support/check.hpp"
@@ -479,6 +481,30 @@ Matrix spmd_alltrans(Team& team, const Matrix& a, const Matrix& b) {
     out.set_block(k * bh, f * bw, c_piece);  // aligned like A
   });
   return out;
+}
+
+namespace {
+
+constexpr std::array<SpmdAlgo, 8> kSpmdAlgos{{
+    {"cannon", &spmd_cannon, 2, 1},
+    {"all3d", &spmd_all3d, 3, 2},
+    {"simple", &spmd_simple, 2, 1},
+    {"dns", &spmd_dns, 3, 1},
+    {"diag3d", &spmd_diag3d, 3, 1},
+    {"berntsen", &spmd_berntsen, 3, 2},
+    {"diag2d", &spmd_diag2d, 2, 1},
+    {"alltrans", &spmd_alltrans, 3, 2},
+}};
+
+}  // namespace
+
+std::span<const SpmdAlgo> spmd_algorithms() noexcept { return kSpmdAlgos; }
+
+const SpmdAlgo* spmd_by_name(std::string_view name) noexcept {
+  for (const SpmdAlgo& a : kSpmdAlgos) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
 }
 
 }  // namespace hcmm::rt

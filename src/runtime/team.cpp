@@ -1,9 +1,12 @@
 #include "hcmm/runtime/team.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "hcmm/support/check.hpp"
@@ -17,34 +20,72 @@ struct InjectedDeath {
   std::uint64_t ops = 0;
 };
 
+/// Strict parse of HCMM_RT_TIMEOUT_MS: a positive decimal integer with no
+/// trailing garbage, no sign games, and no overflow — the same strtoull
+/// discipline hcmm_chaos applies to --seed.  Malformed input throws with
+/// the offending text; absent returns nullopt.
+[[nodiscard]] std::optional<std::chrono::milliseconds> parse_env_timeout() {
+  const char* env = std::getenv("HCMM_RT_TIMEOUT_MS");  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  constexpr unsigned long long kMaxMs = 86'400'000ULL;  // one day
+  // strtoull quietly skips leading whitespace and negates a leading '-';
+  // demanding a digit first keeps the value strictly what it looks like.
+  const bool starts_with_digit = env[0] >= '0' && env[0] <= '9';
+  HCMM_CHECK(starts_with_digit && end != env && *end == '\0' &&
+                 errno != ERANGE && v > 0 && v <= kMaxMs,
+             "HCMM_RT_TIMEOUT_MS: expected a positive integer number of "
+             "milliseconds (at most "
+                 << kMaxMs << "), got \"" << env << "\"");
+  return std::chrono::milliseconds(static_cast<std::int64_t>(v));
+}
+
+// The environment is read once per process, not per Team construction: the
+// cached value lives here and reset_env_overrides_for_testing drops it.
+std::mutex g_env_mu;
+bool g_env_loaded = false;                                  // NOLINT
+std::optional<std::chrono::milliseconds> g_env_timeout;     // NOLINT
+
 [[nodiscard]] std::chrono::milliseconds resolve_timeout(
     std::optional<std::chrono::milliseconds> explicit_timeout) {
   if (explicit_timeout) return *explicit_timeout;
-  // Re-read per construction (documented, tested behavior).  Safe despite
-  // concurrency-mt-unsafe: the constructor runs before any worker thread
-  // exists, and nothing in the library mutates the environment.
-  if (const char* env = std::getenv("HCMM_RT_TIMEOUT_MS")) {  // NOLINT(concurrency-mt-unsafe)
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return std::chrono::milliseconds(v);
-    }
+  std::lock_guard lock(g_env_mu);
+  if (!g_env_loaded) {
+    g_env_timeout = parse_env_timeout();
+    g_env_loaded = true;
   }
-  return std::chrono::milliseconds(30000);
+  return g_env_timeout.value_or(std::chrono::milliseconds(30000));
 }
 
 }  // namespace
 
+void reset_env_overrides_for_testing() {
+  std::lock_guard lock(g_env_mu);
+  g_env_loaded = false;
+  g_env_timeout.reset();
+}
+
 Team::Team(std::uint32_t ranks,
            std::optional<std::chrono::milliseconds> recv_timeout)
-    : ranks_(ranks), timeout_(resolve_timeout(recv_timeout)) {
-  HCMM_CHECK(ranks >= 1 && ranks <= 4096, "Team: bad rank count " << ranks);
+    : Team(make_mailbox_transport(ranks), recv_timeout) {}
+
+Team::Team(std::unique_ptr<Transport> transport,
+           std::optional<std::chrono::milliseconds> recv_timeout)
+    : transport_(std::move(transport)),
+      ranks_(transport_->ranks()),
+      timeout_(resolve_timeout(recv_timeout)) {
+  HCMM_CHECK(ranks_ >= 1 && ranks_ <= 4096, "Team: bad rank count " << ranks_);
+  for (const std::uint32_t r : transport_->local_ranks()) {
+    HCMM_CHECK(r < ranks_, "Team: local rank " << r << " out of range");
+  }
 }
 
 void Team::inject_rank_death(std::uint32_t rank, std::uint64_t after_ops) {
   HCMM_CHECK(rank < ranks_, "inject_rank_death: rank " << rank
                                                        << " out of range");
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(inj_mu_);
   death_at_[rank] = after_ops;
 }
 
@@ -52,12 +93,12 @@ void Team::inject_rank_delay(std::uint32_t rank,
                              std::chrono::milliseconds delay) {
   HCMM_CHECK(rank < ranks_, "inject_rank_delay: rank " << rank
                                                        << " out of range");
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(inj_mu_);
   delay_[rank] = delay;
 }
 
 void Team::clear_injections() {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(inj_mu_);
   death_at_.clear();
   delay_.clear();
 }
@@ -67,7 +108,7 @@ void Team::check_injections(std::uint32_t rank) {
   std::uint64_t ops = 0;
   std::chrono::milliseconds delay{0};
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(inj_mu_);
     ops = op_counts_[rank]++;
     const auto dit = death_at_.find(rank);
     if (dit != death_at_.end() && ops >= dit->second) die = true;
@@ -80,15 +121,13 @@ void Team::check_injections(std::uint32_t rank) {
 
 void Team::run(const std::function<void(Rank&)>& fn) {
   {
-    std::lock_guard lock(mu_);
-    mailboxes_.clear();
-    barrier_waiting_ = 0;
-    failed_ = false;
-    dead_ranks_.clear();
-    rank_errors_.clear();
-    recv_retries_ = 0;
+    std::lock_guard lock(inj_mu_);
     op_counts_.assign(ranks_, 0);
   }
+  rank_errors_.clear();
+  recv_retries_.store(0, std::memory_order_relaxed);
+  transport_->begin_run();
+
   std::mutex err_mu;
   std::exception_ptr first_error;
   const auto register_failure = [&](std::uint32_t r, std::string msg,
@@ -96,16 +135,14 @@ void Team::run(const std::function<void(Rank&)>& fn) {
     {
       std::lock_guard lock(err_mu);
       if (ep && !first_error) first_error = ep;
+      rank_errors_.push_back(RankError{r, msg});
     }
-    std::lock_guard lock(mu_);
-    rank_errors_.push_back(RankError{r, std::move(msg)});
-    dead_ranks_.insert(r);
-    failed_ = true;
-    cv_.notify_all();
+    transport_->notify_failure(r, msg);
   };
   std::vector<std::thread> threads;
-  threads.reserve(ranks_);
-  for (std::uint32_t r = 0; r < ranks_; ++r) {
+  const std::vector<std::uint32_t>& local = transport_->local_ranks();
+  threads.reserve(local.size());
+  for (const std::uint32_t r : local) {
     threads.emplace_back([this, &fn, r, &register_failure] {
       Rank rank(*this, r);
       try {
@@ -128,7 +165,17 @@ void Team::run(const std::function<void(Rank&)>& fn) {
   }
   for (auto& t : threads) t.join();
 
-  std::lock_guard lock(mu_);
+  // Failures that originated in other processes (socket backend) are
+  // primary too: without them a dead worker would read as a silent success.
+  for (RemoteFailure& rf : transport_->remote_failures()) {
+    const bool known =
+        std::any_of(rank_errors_.begin(), rank_errors_.end(),
+                    [&](const RankError& e) { return e.rank == rf.rank; });
+    if (!known) {
+      rank_errors_.push_back(RankError{rf.rank, std::move(rf.message)});
+    }
+  }
+
   if (rank_errors_.empty()) return;
   std::sort(rank_errors_.begin(), rank_errors_.end(),
             [](const RankError& a, const RankError& b) {
@@ -150,79 +197,56 @@ void Team::run(const std::function<void(Rank&)>& fn) {
 void Team::send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
                 Matrix m) {
   HCMM_CHECK(to < ranks_, "Team::send: rank " << to << " out of range");
+  HCMM_CHECK((tag >> 63) == 0,
+             "Team::send: tag bit 63 is reserved for transport control");
   check_injections(from);
-  {
-    std::lock_guard lock(mu_);
-    mailboxes_[Key{to, from, tag}].push_back(std::move(m));
-  }
-  cv_.notify_all();
+  transport_->send(from, to, tag, std::move(m));
 }
 
 Matrix Team::recv(std::uint32_t to, std::uint32_t from, std::uint64_t tag) {
   HCMM_CHECK(from < ranks_, "Team::recv: rank " << from << " out of range");
   check_injections(to);
-  std::unique_lock lock(mu_);
-  const Key key{to, from, tag};
-  const auto ready = [&] {
-    if (failed_) return true;
-    const auto it = mailboxes_.find(key);
-    return it != mailboxes_.end() && !it->second.empty();
-  };
   // Wait in doubling slices: a slow peer costs extra slices (counted as
   // retries), never an abort, until the full timeout budget is spent.
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   auto slice = std::max(timeout_ / 8, std::chrono::milliseconds(1));
-  bool ok = ready();
-  while (!ok) {
-    if (dead_ranks_.contains(from)) {
-      throw DeadPeerError(from, "Team::recv: rank " + std::to_string(to) +
-                                    " was waiting on dead rank " +
-                                    std::to_string(from));
-    }
+  for (;;) {
     const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) break;
-    const auto wait = std::min<std::chrono::steady_clock::duration>(
-        slice, deadline - now);
-    if (cv_.wait_for(lock, wait, ready)) {
-      ok = true;
-    } else {
-      recv_retries_ += 1;
-      slice *= 2;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const auto wait = std::clamp(left, std::chrono::milliseconds(0), slice);
+    Matrix out;
+    switch (transport_->wait_recv(to, from, tag, wait, &out)) {
+      case RecvStatus::kReady:
+        return out;
+      case RecvStatus::kPeerDead:
+        throw DeadPeerError(from, "Team::recv: rank " + std::to_string(to) +
+                                      " was waiting on dead rank " +
+                                      std::to_string(from));
+      case RecvStatus::kAborted:
+        throw PeerAbort("Team: aborting after peer failure");
+      case RecvStatus::kTimedOut:
+        HCMM_CHECK(now < deadline, "Team::recv: rank "
+                                       << to << " timed out waiting for ("
+                                       << from << ", tag " << tag
+                                       << ") — deadlock?");
+        recv_retries_.fetch_add(1, std::memory_order_relaxed);
+        slice *= 2;
+        break;
     }
   }
-  if (failed_) {
-    if (dead_ranks_.contains(from)) {
-      throw DeadPeerError(from, "Team::recv: rank " + std::to_string(to) +
-                                    " was waiting on dead rank " +
-                                    std::to_string(from));
-    }
-    throw PeerAbort("Team: aborting after peer failure");
-  }
-  HCMM_CHECK(ok, "Team::recv: rank " << to << " timed out waiting for ("
-                                     << from << ", tag " << tag
-                                     << ") — deadlock?");
-  auto& box = mailboxes_[key];
-  Matrix m = std::move(box.front());
-  box.pop_front();
-  if (box.empty()) mailboxes_.erase(key);
-  return m;
 }
 
 void Team::barrier_wait(std::uint32_t rank) {
   check_injections(rank);
-  std::unique_lock lock(mu_);
-  const std::uint64_t gen = barrier_generation_;
-  if (++barrier_waiting_ == ranks_) {
-    barrier_waiting_ = 0;
-    ++barrier_generation_;
-    cv_.notify_all();
-    return;
+  switch (transport_->barrier(rank, timeout_)) {
+    case BarrierStatus::kOk:
+      return;
+    case BarrierStatus::kAborted:
+      throw PeerAbort("Team: aborting after peer failure");
+    case BarrierStatus::kTimedOut:
+      HCMM_CHECK(false, "Team::barrier: timed out — a rank is missing");
   }
-  const bool ok = cv_.wait_for(lock, timeout_, [&] {
-    return failed_ || barrier_generation_ != gen;
-  });
-  if (failed_) throw PeerAbort("Team: aborting after peer failure");
-  HCMM_CHECK(ok, "Team::barrier: timed out — a rank is missing");
 }
 
 }  // namespace hcmm::rt

@@ -1,0 +1,138 @@
+#include "hcmm/runtime/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <set>
+
+namespace hcmm::rt {
+namespace {
+
+/// The thread-mailbox backend rt::Team was originally built on, extracted
+/// behind the Transport seam.  One mutex + condition variable guard FIFO
+/// deques keyed by (to, from, tag) plus the failure flags and a
+/// generation-counting barrier.
+class MailboxTransport final : public Transport {
+ public:
+  explicit MailboxTransport(std::uint32_t ranks)
+      : ranks_(ranks), local_(ranks) {
+    std::iota(local_.begin(), local_.end(), 0u);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "mailbox";
+  }
+  [[nodiscard]] std::uint32_t ranks() const noexcept override {
+    return ranks_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& local_ranks()
+      const noexcept override {
+    return local_;
+  }
+
+  void begin_run() override {
+    std::lock_guard lock(mu_);
+    mailboxes_.clear();
+    barrier_waiting_ = 0;
+    failed_ = false;
+    dead_ranks_.clear();
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, std::uint64_t tag,
+            Matrix m) override {
+    {
+      std::lock_guard lock(mu_);
+      mailboxes_[Key{to, from, tag}].push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] RecvStatus wait_recv(std::uint32_t to, std::uint32_t from,
+                                     std::uint64_t tag,
+                                     std::chrono::milliseconds slice,
+                                     Matrix* out) override {
+    std::unique_lock lock(mu_);
+    const Key key{to, from, tag};
+    const auto ready = [&] {
+      if (failed_) return true;
+      const auto it = mailboxes_.find(key);
+      return it != mailboxes_.end() && !it->second.empty();
+    };
+    cv_.wait_for(lock, slice, ready);
+    // Failure wins over a ready message; a located dead sender wins over a
+    // generic abort.
+    if (failed_) {
+      return dead_ranks_.contains(from) ? RecvStatus::kPeerDead
+                                        : RecvStatus::kAborted;
+    }
+    const auto it = mailboxes_.find(key);
+    if (it == mailboxes_.end() || it->second.empty()) {
+      return RecvStatus::kTimedOut;
+    }
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mailboxes_.erase(it);
+    return RecvStatus::kReady;
+  }
+
+  [[nodiscard]] BarrierStatus barrier(
+      std::uint32_t /*rank*/, std::chrono::milliseconds timeout) override {
+    std::unique_lock lock(mu_);
+    const std::uint64_t gen = barrier_generation_;
+    if (++barrier_waiting_ == ranks_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+      cv_.notify_all();
+      return BarrierStatus::kOk;
+    }
+    const bool ok = cv_.wait_for(lock, timeout, [&] {
+      return failed_ || barrier_generation_ != gen;
+    });
+    if (failed_) return BarrierStatus::kAborted;
+    return ok ? BarrierStatus::kOk : BarrierStatus::kTimedOut;
+  }
+
+  void notify_failure(std::uint32_t rank,
+                      const std::string& /*message*/) override {
+    {
+      std::lock_guard lock(mu_);
+      dead_ranks_.insert(rank);
+      failed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<RemoteFailure> remote_failures() const override {
+    return {};
+  }
+
+  [[nodiscard]] WireStats wire_stats() const override { return {}; }
+
+ private:
+  struct Key {
+    std::uint32_t to;
+    std::uint32_t from;
+    std::uint64_t tag;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::uint32_t ranks_;
+  std::vector<std::uint32_t> local_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Matrix>> mailboxes_;
+  std::uint32_t barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool failed_ = false;
+  std::set<std::uint32_t> dead_ranks_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_mailbox_transport(std::uint32_t ranks) {
+  return std::make_unique<MailboxTransport>(ranks);
+}
+
+}  // namespace hcmm::rt

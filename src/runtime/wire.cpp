@@ -1,0 +1,113 @@
+#include "hcmm/runtime/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace hcmm::rt::wire {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* to_string(FrameKind k) noexcept {
+  switch (k) {
+    case FrameKind::kData:
+      return "data";
+    case FrameKind::kAck:
+      return "ack";
+    case FrameKind::kHeartbeat:
+      return "heartbeat";
+    case FrameKind::kDeath:
+      return "death";
+    case FrameKind::kHello:
+      return "hello";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = 0xFFFF'FFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFF'FFFFu;
+}
+
+void encode_header(const FrameHeader& h, std::uint8_t* out) noexcept {
+  std::memset(out, 0, kHeaderSize);
+  put_u32(out, kMagic);
+  out[4] = static_cast<std::uint8_t>(h.kind);
+  put_u32(out + 8, h.from);
+  put_u32(out + 12, h.to);
+  put_u32(out + 16, h.epoch);
+  put_u64(out + 24, h.run_gen);
+  put_u64(out + 32, h.seq);
+  put_u64(out + 40, h.ack);
+  put_u64(out + 48, h.tag);
+  put_u32(out + 56, h.rows);
+  put_u32(out + 60, h.cols);
+  put_u32(out + 64, h.payload_len);
+  put_u32(out + 68, h.payload_crc);
+  put_u32(out + 72, crc32({out, kHeaderSize - 4}));
+}
+
+std::optional<FrameHeader> decode_header(const std::uint8_t* buf) noexcept {
+  if (get_u32(buf) != kMagic) return std::nullopt;
+  if (get_u32(buf + 72) != crc32({buf, kHeaderSize - 4})) return std::nullopt;
+  const std::uint8_t kind = buf[4];
+  if (kind > static_cast<std::uint8_t>(FrameKind::kHello)) return std::nullopt;
+  FrameHeader h;
+  h.kind = static_cast<FrameKind>(kind);
+  h.from = get_u32(buf + 8);
+  h.to = get_u32(buf + 12);
+  h.epoch = get_u32(buf + 16);
+  h.run_gen = get_u64(buf + 24);
+  h.seq = get_u64(buf + 32);
+  h.ack = get_u64(buf + 40);
+  h.tag = get_u64(buf + 48);
+  h.rows = get_u32(buf + 56);
+  h.cols = get_u32(buf + 60);
+  h.payload_len = get_u32(buf + 64);
+  h.payload_crc = get_u32(buf + 68);
+  if (h.payload_len > kMaxPayload) return std::nullopt;
+  return h;
+}
+
+}  // namespace hcmm::rt::wire

@@ -550,15 +550,16 @@ TEST(FaultFuzz, SeedCorpusAndMutationAreDeterministic) {
 
 TEST(FaultFuzz, CoverageMapTracksTheFeatureUniverse) {
   const auto& universe = fault::CoverageMap::universe();
-  EXPECT_EQ(universe.size(), 27u);  // 7 rungs + 5 escalations + 15 kinds
+  // 7 rungs + 5 escalations + 15 kinds + 5 wire-fault features
+  EXPECT_EQ(universe.size(), 32u);
   fault::CoverageMap cov;
   EXPECT_DOUBLE_EQ(cov.ratio(), 0.0);
   EXPECT_TRUE(cov.record("rung:retry"));
   EXPECT_FALSE(cov.record("rung:retry"));  // novel only the first time
   EXPECT_TRUE(cov.record("bogus:feature"));  // kept, but never counted
-  EXPECT_DOUBLE_EQ(cov.ratio(), 1.0 / 27.0);
-  EXPECT_EQ(cov.missing().size(), 26u);
-  EXPECT_EQ(cov.record_all(universe), 26u);
+  EXPECT_DOUBLE_EQ(cov.ratio(), 1.0 / 32.0);
+  EXPECT_EQ(cov.missing().size(), 31u);
+  EXPECT_EQ(cov.record_all(universe), 31u);
   EXPECT_DOUBLE_EQ(cov.ratio(), 1.0);
   EXPECT_TRUE(cov.missing().empty());
   EXPECT_NE(cov.json().find("\"ratio\""), std::string::npos);

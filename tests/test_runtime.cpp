@@ -86,17 +86,44 @@ TEST(Team, PeerFailurePropagates) {
 }
 
 TEST(Team, EnvTimeoutOverride) {
+  rt::reset_env_overrides_for_testing();
   ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "123", 1), 0);
   EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(123));
   // An explicit constructor argument always beats the environment.
   EXPECT_EQ(Team(2, std::chrono::milliseconds(77)).timeout(),
             std::chrono::milliseconds(77));
-  // Garbage and non-positive values fall through to the default.
-  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "soon", 1), 0);
-  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
-  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "-5", 1), 0);
-  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
+  // The variable is read once per process: later edits are invisible until
+  // the cache is dropped.
+  ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "456", 1), 0);
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(123));
+  rt::reset_env_overrides_for_testing();
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(456));
   ASSERT_EQ(unsetenv("HCMM_RT_TIMEOUT_MS"), 0);
+  rt::reset_env_overrides_for_testing();
+  EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
+}
+
+TEST(Team, EnvTimeoutRejectsMalformedValues) {
+  // Strict strtoull discipline (the same hcmm_chaos applies to --seed):
+  // trailing garbage, non-numbers, zero, negatives, and out-of-range values
+  // are configuration errors, not silent fallbacks to the default.
+  for (const char* bad : {"soon", "-5", "0", "1500ms", " 250", "250 ",
+                          "99999999999999999999", "86400001", ""}) {
+    rt::reset_env_overrides_for_testing();
+    ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", bad, 1), 0);
+    try {
+      Team team(2);
+      FAIL() << "value \"" << bad << "\" must be rejected";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("HCMM_RT_TIMEOUT_MS"), std::string::npos) << what;
+      EXPECT_NE(what.find(std::string("got \"") + bad + "\""),
+                std::string::npos)
+          << "diagnostic must name the offending text: " << what;
+    }
+  }
+  ASSERT_EQ(unsetenv("HCMM_RT_TIMEOUT_MS"), 0);
+  rt::reset_env_overrides_for_testing();
   EXPECT_EQ(Team(2).timeout(), std::chrono::milliseconds(30000));
 }
 
@@ -218,6 +245,7 @@ TEST(Team, SlowVsDeadDiscriminationAtEnvTimeout) {
   // Both halves run against the same HCMM_RT_TIMEOUT_MS budget: a peer that
   // is slow but inside the budget costs retries and succeeds, while a dead
   // peer aborts the waiter well before the budget expires.
+  rt::reset_env_overrides_for_testing();
   ASSERT_EQ(setenv("HCMM_RT_TIMEOUT_MS", "1000", 1), 0);
   Team team(2);
   ASSERT_EQ(team.timeout(), std::chrono::milliseconds(1000));
@@ -243,6 +271,81 @@ TEST(Team, SlowVsDeadDiscriminationAtEnvTimeout) {
   ASSERT_EQ(team.last_run_errors().size(), 1u);
   EXPECT_EQ(team.last_run_errors()[0].rank, 1u);
   ASSERT_EQ(unsetenv("HCMM_RT_TIMEOUT_MS"), 0);
+  rt::reset_env_overrides_for_testing();
+}
+
+TEST(Team, BarrierReusableAcrossFailedRuns) {
+  // A failed run must not leave the barrier's generation counting wedged:
+  // two successive runs that abort mid-barrier, then a clean run, all over
+  // the same Team.
+  Team team(4, std::chrono::milliseconds(5000));
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_THROW(team.run([&](Rank& r) {
+                   if (r.id() == 3) {
+                     throw std::runtime_error("round casualty");
+                   }
+                   r.barrier();  // rank 3 never arrives; woken by its failure
+                 }),
+                 std::runtime_error)
+        << "round " << round;
+    ASSERT_EQ(team.last_run_errors().size(), 1u);
+    EXPECT_EQ(team.last_run_errors()[0].rank, 3u);
+  }
+  std::atomic<int> after{0};
+  team.run([&](Rank& r) {
+    r.barrier();
+    ++after;
+    r.barrier();
+  });
+  EXPECT_EQ(after.load(), 4);
+  EXPECT_TRUE(team.last_run_errors().empty());
+}
+
+TEST(Team, DeadlockDiagnosisNamesTheMissingMessage) {
+  // When the timeout genuinely expires (no failure, no death — just a
+  // message that never comes) the diagnostic must locate the deadlock:
+  // which rank waited, on whom, and for which tag.
+  Team team(2, std::chrono::milliseconds(150));
+  try {
+    team.run([](Rank& r) {
+      if (r.id() == 0) (void)r.recv(1, 42);  // rank 1 never sends
+    });
+    FAIL() << "run must throw";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0 timed out waiting for (1, tag 42)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("deadlock?"), std::string::npos) << what;
+  }
+}
+
+TEST(Team, FifoHoldsForInterleavedSendersOnOneKey) {
+  // FIFO is per (to, from, tag) key: two senders interleaving sends to the
+  // same receiver under the same tag must each be received in their own
+  // send order, whatever the cross-sender interleaving.
+  constexpr int kMsgs = 64;
+  Team team(3, std::chrono::milliseconds(10000));
+  team.run([](Rank& r) {
+    if (r.id() == 2) {
+      double expect1 = 0.0;
+      double expect2 = 1000.0;
+      for (int i = 0; i < 2 * kMsgs; ++i) {
+        // Drain in an order chosen by the receiver, alternating sources so
+        // both streams stay interleaved in the mailbox.
+        const std::uint32_t from = (i % 2 == 0) ? 0u : 1u;
+        const double got = r.recv(from, 5)(0, 0);
+        double& expect = (from == 0) ? expect1 : expect2;
+        EXPECT_EQ(got, expect) << "stream from rank " << from;
+        expect += 1.0;
+      }
+    } else {
+      const double base = (r.id() == 0) ? 0.0 : 1000.0;
+      for (int s = 0; s < kMsgs; ++s) {
+        r.send(2, 5, Matrix(1, 1, {base + s}));
+      }
+    }
+  });
 }
 
 TEST(SpmdCannon, MatchesOracle) {

@@ -1,0 +1,148 @@
+// hcmm_calibrate: measure the real (t_s, t_w) of each transport backend and
+// close the loop with the paper's Table 2 cost model.
+//
+// For every requested backend (mailbox, socket, socket+lossy) the tool runs
+// the mpptest-style ping-pong sweep from analysis/calibration.hpp — warmup
+// iterations, `iters` timed round trips per rep, minimum over reps, least
+// squares through the per-size one-way times — and then re-runs every SPMD
+// algorithm port over that backend, diffing wall clock against the Table 2
+// closed form evaluated at the *measured* constants.  The output is one
+// JSON document per backend (tolerance-banded predicted-vs-measured rows;
+// see the header for why the band is wide), concatenated into a JSON array.
+//
+// Exit status is nonzero when any row of any backend falls outside its
+// band, which is what the `transport_calibration` ctest gate and the CI
+// runtime-soak job key on.
+//
+// Usage: hcmm_calibrate [--backends mailbox,socket,lossy] [--quick]
+//                       [--out FILE] [--band-lo X] [--band-hi X]
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hcmm/analysis/calibration.hpp"
+#include "hcmm/fault/plan.hpp"
+#include "hcmm/runtime/socket_transport.hpp"
+#include "hcmm/runtime/team.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+constexpr const char* kUsage =
+    "usage: hcmm_calibrate [--backends mailbox,socket,lossy] [--quick]\n"
+    "                      [--out FILE] [--band-lo X] [--band-hi X]\n";
+
+constexpr std::chrono::milliseconds kHorizon{30000};
+
+[[nodiscard]] analysis::TeamFactory make_factory(const std::string& backend) {
+  if (backend == "mailbox") {
+    return [](std::uint32_t ranks) {
+      return std::make_unique<rt::Team>(ranks, kHorizon);
+    };
+  }
+  if (backend == "socket") {
+    return [](std::uint32_t ranks) {
+      return std::make_unique<rt::Team>(
+          rt::make_socket_transport(ranks, kHorizon), kHorizon);
+    };
+  }
+  if (backend == "lossy") {
+    return [](std::uint32_t ranks) {
+      fault::WireFaultSpec wire;
+      wire.seed = 0x5eed;
+      wire.drop_prob = 0.02;
+      wire.dup_prob = 0.02;
+      wire.reorder_prob = 0.02;
+      return std::make_unique<rt::Team>(
+          rt::make_socket_transport(ranks, kHorizon, wire), kHorizon);
+    };
+  }
+  HCMM_CHECK(false, "hcmm_calibrate: unknown backend \"" << backend << "\"");
+}
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> backends = {"mailbox", "socket"};
+    std::string out_path;
+    analysis::CalibrationConfig cfg;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        HCMM_CHECK(i + 1 < argc, "hcmm_calibrate: " << arg << " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--backends") {
+        backends = split_csv(value());
+      } else if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--out") {
+        out_path = value();
+      } else if (arg == "--band-lo") {
+        cfg.band_lo = std::stod(value());
+      } else if (arg == "--band-hi") {
+        cfg.band_hi = std::stod(value());
+      } else {
+        std::cerr << kUsage;
+        HCMM_CHECK(false, "hcmm_calibrate: unknown argument " << arg);
+      }
+    }
+    if (quick) {
+      cfg.warmup = 2;
+      cfg.iters = 8;
+      cfg.reps = 3;
+      cfg.words = {1, 64, 1024};
+    }
+
+    bool all_within = true;
+    std::ostringstream json;
+    json << "[";
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const analysis::Table2CalReport report =
+          analysis::table2_report(make_factory(backends[i]), cfg);
+      all_within = all_within && report.all_within;
+      std::cerr << "calibrated " << report.cal.backend
+                << ": ts=" << report.cal.ts_us
+                << "us tw=" << report.cal.tw_us
+                << "us/word tc=" << report.cal.tc_us << "us ("
+                << report.rows.size() << " table2 rows, "
+                << (report.all_within ? "all within band" : "OUT OF BAND")
+                << ")\n";
+      json << (i != 0 ? "," : "") << "\n" << analysis::to_json(report);
+    }
+    json << "]\n";
+
+    if (out_path.empty()) {
+      std::cout << json.str();
+    } else {
+      std::ofstream out(out_path);
+      HCMM_CHECK(out.good(), "hcmm_calibrate: cannot write " << out_path);
+      out << json.str();
+      std::cout << "wrote " << out_path << "\n";
+    }
+    return all_within ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "hcmm_calibrate: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -42,8 +42,10 @@
 //                   [--repro-dir DIR] [--coverage-out FILE]
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -61,6 +63,8 @@
 #include "hcmm/fault/scenarios.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/matrix/gemm.hpp"
+#include "hcmm/runtime/socket_transport.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
 #include "hcmm/sim/report_io.hpp"
 
 namespace {
@@ -440,6 +444,136 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// One deterministic point of the wire stage: a named WireFaultSpec plus
+/// whether the run also injects a rank death (ladder-top drill).
+struct WireCase {
+  const char* name;
+  fault::WireFaultSpec wire;
+  bool inject_death = false;
+};
+
+[[nodiscard]] std::vector<WireCase> wire_cases(std::uint64_t seed) {
+  std::vector<WireCase> cases;
+  {
+    fault::WireFaultSpec w;
+    w.seed = mix(seed ^ 0x11);
+    w.drop_prob = 0.15;
+    w.flip_prob = 0.10;
+    cases.push_back({"wire:drop+flip", w, false});
+  }
+  {
+    fault::WireFaultSpec w;
+    w.seed = mix(seed ^ 0x22);
+    w.dup_prob = 0.15;
+    w.reorder_prob = 0.15;
+    w.delay_prob = 0.10;
+    w.delay_ms = 2;
+    cases.push_back({"wire:dup+reorder+delay", w, false});
+  }
+  {
+    fault::WireFaultSpec w;
+    w.seed = mix(seed ^ 0x33);
+    w.reconnect_prob = 0.10;
+    cases.push_back({"wire:reconnect", w, false});
+  }
+  {
+    fault::WireFaultSpec w;
+    w.seed = mix(seed ^ 0x44);
+    w.drop_prob = 0.10;
+    w.dup_prob = 0.05;
+    w.reorder_prob = 0.05;
+    w.flip_prob = 0.05;
+    w.reconnect_prob = 0.05;
+    cases.push_back({"wire:storm+death+restart", w, true});
+  }
+  return cases;
+}
+
+/// The real-I/O stage of the fuzz campaign: SPMD runs over a
+/// LossyTransport, judged by bit identity against the mailbox backend.
+void run_wire_stage(Campaign& camp, fault::CoverageMap& coverage,
+                    const std::string& context, std::uint64_t& runs,
+                    const FuzzConfig& cfg) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::size_t kN = 16;
+  constexpr std::chrono::milliseconds kTimeout{10000};
+  const Matrix a = random_matrix(kN, kN, 27);
+  const Matrix b = random_matrix(kN, kN, 28);
+  rt::Team mailbox(kRanks, kTimeout);
+  const Matrix want = rt::spmd_cannon(mailbox, a, b);
+  const auto identical = [&](const Matrix& got) {
+    if (got.rows() != want.rows() || got.cols() != want.cols()) return false;
+    return std::memcmp(got.data().data(), want.data().data(),
+                       want.rows() * want.cols() * sizeof(double)) == 0;
+  };
+
+  for (const WireCase& wc : wire_cases(cfg.seed)) {
+    ++runs;
+    RunRecord rec;
+    rec.context = context;
+    rec.scenario = wc.name;
+    rec.outcome = Outcome::kCorrect;
+    {
+      fault::FaultPlan spec_only;
+      spec_only.wire = wc.wire;
+      rec.spec = fault::plan_spec(spec_only);
+    }
+    fault::RunObservation obs;
+    try {
+      rt::Team team(rt::make_socket_transport(kRanks, kTimeout, wc.wire),
+                    kTimeout);
+      if (wc.inject_death) {
+        // Ladder top over the lossy wire: the death must surface as a
+        // located primary failure, not a hang and not a wrong answer.
+        team.inject_rank_death(2);
+        try {
+          (void)rt::spmd_cannon(team, a, b);
+          rec.outcome = Outcome::kFail;
+          rec.detail = "injected death over lossy wire was swallowed";
+        } catch (const std::runtime_error& e) {
+          if (std::string(e.what()).find("injected rank death") ==
+              std::string::npos) {
+            rec.outcome = Outcome::kFail;
+            rec.detail = std::string("unlocated death diagnosis: ") + e.what();
+          }
+        }
+        team.clear_injections();
+        obs.restarts = 1;  // the rerun below is the restart rung
+      }
+      if (rec.outcome == Outcome::kCorrect) {
+        const Matrix got = rt::spmd_cannon(team, a, b);
+        const rt::WireStats ws = team.wire_stats();
+        obs.completed = true;
+        obs.wire_drops = ws.drops;
+        obs.wire_dups = ws.dups;
+        obs.wire_reorders = ws.reorders;
+        obs.wire_flips = ws.flips;
+        obs.wire_reconnects = ws.reconnects;
+        obs.retries = team.last_run_recv_retries();
+        if (!identical(got)) {
+          rec.outcome = Outcome::kFail;
+          rec.detail =
+              "lossy-wire product is not bit-identical to the mailbox run";
+        } else {
+          rec.detail = "bit-identical over " + std::string(team.transport().name()) +
+                       " (drops=" + std::to_string(ws.drops) +
+                       " dups=" + std::to_string(ws.dups) +
+                       " reorders=" + std::to_string(ws.reorders) +
+                       " flips=" + std::to_string(ws.flips) +
+                       " reconnects=" + std::to_string(ws.reconnects) +
+                       " retransmits=" + std::to_string(ws.retransmits) + ")";
+        }
+      }
+    } catch (const std::exception& e) {
+      rec.outcome = Outcome::kFail;
+      rec.detail = std::string("wire stage exception: ") + e.what();
+    }
+    coverage.record_all(observed_features(obs));
+    camp.fails += rec.outcome == Outcome::kFail;
+    camp.records.push_back(std::move(rec));
+  }
+}
+
 /// Coverage-guided fuzz campaign; fills camp.records and returns the JSON
 /// fuzz block.  Gate: coverage must reach 90% of the feature universe.
 std::string run_fuzz_campaign(Campaign& camp, const FuzzConfig& cfg) {
@@ -554,6 +688,18 @@ std::string run_fuzz_campaign(Campaign& camp, const FuzzConfig& cfg) {
         fault::mutate_plan(base, env.cube, mix(cfg.seed ^ (i * 2)));
     run_one("fuzz-" + std::to_string(i), child);
   }
+
+  // Wire stage: the simulator cannot light the wire:* features — they only
+  // exist on the real socket transport.  Run the SPMD Cannon port over a
+  // LossyTransport under seeded wire-fault specs, feed the transport's
+  // WireStats deltas into the same coverage map, and hold the runs to the
+  // strongest possible oracle: *bit identity* with the clean mailbox run
+  // (the ARQ layer must make every injected drop/dup/reorder/flip
+  // invisible).  The final spec also tests the ladder top: an injected
+  // rank death over the lossy wire must abort every peer with a located
+  // diagnosis, and the restart rung — a fresh run over the *same* damaged
+  // transport — must still be bit-identical.
+  run_wire_stage(camp, coverage, context, runs, cfg);
 
   constexpr double kCoverageGate = 0.9;
   if (coverage.ratio() < kCoverageGate) {

@@ -1,0 +1,545 @@
+// hcmm_rank: the multi-process face of the socket transport.
+//
+// Worker mode (--worker --local R) hosts one rank of a P-rank SPMD job in
+// its own OS process: it binds a loopback listener, reports the port on
+// stdout (`PORT R port`), reads everyone's ports back on stdin
+// (`PORTS p0 ... pP-1`), joins the full mesh, and runs the requested
+// algorithm --rounds times on identical seeded operands.  Because the SPMD
+// ports write result blocks only for the ranks that executed locally, the
+// worker's output matrix is the *partial* product of its rank — emitted as
+// exact IEEE-754 bit patterns (`ROW i hex16...`) so the harness can merge
+// and compare without any decimal round trip.
+//
+// Harness mode (--launch) fork/execs one worker per rank from
+// /proc/self/exe, brokers the port exchange over pipes, merges the partial
+// outputs by bit pattern (an entry is owned by whichever worker produced a
+// nonzero bit pattern; two different nonzero patterns for one entry is a
+// layout violation), and with --check verifies the merged product is
+// *bit-identical* to the same algorithm run in-process on the mailbox
+// transport — the cross-backend determinism guarantee the runtime promises.
+//
+// --kill R exercises the failure ladder for real: workers run an unbounded
+// round loop, the harness SIGKILLs rank R once the mesh is up, and every
+// survivor must abort with a *located* diagnosis naming rank R (dead-peer
+// wait, lost connection after bounded reconnects, or heartbeat-horizon
+// expiry — never a bare deadlock timeout).  The harness then executes the
+// ladder's restart rung: relaunch the full job fresh and require a correct,
+// checked product.  --wire applies a FaultPlan wire spec (wdrop=...;
+// wflip=...) to every worker, so the kill/recovery drill can run over a
+// genuinely lossy wire.
+//
+// Usage:
+//   hcmm_rank --launch --ranks P [--algo cannon] [--n N] [--seed S]
+//             [--wire SPEC] [--kill R] [--check] [--timeout-ms T] [--json]
+//   hcmm_rank --worker --ranks P --local R [... same job options]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hcmm/fault/fuzz.hpp"
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/runtime/socket_transport.hpp"
+#include "hcmm/runtime/spmd_matmul.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace {
+
+using namespace hcmm;
+
+constexpr const char* kUsage =
+    "usage: hcmm_rank --launch --ranks P [--algo NAME] [--n N] [--seed S]\n"
+    "                 [--wire SPEC] [--kill R] [--check] [--timeout-ms T]\n"
+    "                 [--rounds K] [--json]\n"
+    "       hcmm_rank --worker --ranks P --local R [same job options]\n";
+
+struct Options {
+  bool worker = false;
+  bool launch = false;
+  bool check = false;
+  bool json = false;
+  std::uint32_t ranks = 0;
+  std::uint32_t local = 0;
+  bool have_local = false;
+  std::int64_t kill = -1;
+  std::string algo = "cannon";
+  std::size_t n = 16;
+  std::uint64_t seed = 7;
+  std::uint64_t rounds = 1;
+  std::uint64_t repeat = 1;
+  std::uint64_t timeout_ms = 8000;
+  std::string wire_spec;
+};
+
+[[nodiscard]] std::uint64_t parse_u64_arg(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  HCMM_CHECK(end != text && *end == '\0' && errno != ERANGE,
+             "hcmm_rank: " << flag << " expects an unsigned integer, got \""
+                           << text << "\"");
+  return v;
+}
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      HCMM_CHECK(i + 1 < argc, "hcmm_rank: " << arg << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--worker") {
+      opt.worker = true;
+    } else if (arg == "--launch") {
+      opt.launch = true;
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--ranks") {
+      opt.ranks = static_cast<std::uint32_t>(parse_u64_arg("--ranks", value()));
+    } else if (arg == "--local") {
+      opt.local = static_cast<std::uint32_t>(parse_u64_arg("--local", value()));
+      opt.have_local = true;
+    } else if (arg == "--kill") {
+      opt.kill =
+          static_cast<std::int64_t>(parse_u64_arg("--kill", value()));
+    } else if (arg == "--algo") {
+      opt.algo = value();
+    } else if (arg == "--n") {
+      opt.n = parse_u64_arg("--n", value());
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64_arg("--seed", value());
+    } else if (arg == "--rounds") {
+      opt.rounds = parse_u64_arg("--rounds", value());
+    } else if (arg == "--repeat") {
+      opt.repeat = parse_u64_arg("--repeat", value());
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = parse_u64_arg("--timeout-ms", value());
+    } else if (arg == "--wire") {
+      opt.wire_spec = value();
+    } else {
+      std::cerr << kUsage;
+      HCMM_CHECK(false, "hcmm_rank: unknown argument " << arg);
+    }
+  }
+  HCMM_CHECK(opt.worker != opt.launch,
+             "hcmm_rank: exactly one of --worker / --launch required");
+  HCMM_CHECK(opt.ranks >= 1, "hcmm_rank: --ranks required");
+  HCMM_CHECK(!opt.worker || opt.have_local,
+             "hcmm_rank: --worker needs --local R");
+  HCMM_CHECK(rt::spmd_by_name(opt.algo) != nullptr,
+             "hcmm_rank: unknown algorithm \"" << opt.algo << "\"");
+  return opt;
+}
+
+[[nodiscard]] fault::WireFaultSpec parse_wire(const std::string& spec) {
+  if (spec.empty()) return {};
+  return fault::plan_from_spec(spec).wire;
+}
+
+[[nodiscard]] std::string hex_word(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+[[nodiscard]] double word_from_hex(const std::string& hex) {
+  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+[[nodiscard]] std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- worker --
+
+int run_worker(const Options& opt) {
+  rt::SocketTransport::Config cfg;
+  cfg.ranks = opt.ranks;
+  cfg.local_ranks = {opt.local};
+  // Failure-detector horizon at half the recv budget: a dead peer is
+  // diagnosed by heartbeat silence before the waiter's own deadline can
+  // expire into an unlocated timeout.
+  cfg.horizon = std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::max<std::uint64_t>(opt.timeout_ms / 2, 1)));
+  cfg.wire = parse_wire(opt.wire_spec);
+
+  auto transport = cfg.wire.any()
+                       ? std::make_unique<rt::LossyTransport>(cfg)
+                       : std::make_unique<rt::SocketTransport>(cfg);
+  std::cout << "PORT " << opt.local << " " << transport->listen_port(opt.local)
+            << "\n"
+            << std::flush;
+
+  std::string line;
+  HCMM_CHECK(std::getline(std::cin, line) && line.rfind("PORTS ", 0) == 0,
+             "hcmm_rank: worker expected a PORTS line, got \"" << line << "\"");
+  std::istringstream in(line.substr(6));
+  std::vector<std::uint16_t> ports(opt.ranks, 0);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    unsigned p = 0;
+    HCMM_CHECK(static_cast<bool>(in >> p) && p != 0 && p <= 65535,
+               "hcmm_rank: bad port for rank " << r);
+    ports[r] = static_cast<std::uint16_t>(p);
+  }
+  transport->connect_mesh(ports);
+  std::cout << "READY " << opt.local << "\n" << std::flush;
+
+  rt::Team team(std::move(transport),
+                std::chrono::milliseconds(
+                    static_cast<std::int64_t>(opt.timeout_ms)));
+  const rt::SpmdAlgo& algo = *rt::spmd_by_name(opt.algo);
+  const Matrix a = random_matrix(opt.n, opt.n, opt.seed);
+  const Matrix b = random_matrix(opt.n, opt.n, opt.seed + 1);
+
+  Matrix out(0, 0);
+  try {
+    for (std::uint64_t round = 0; round < opt.rounds; ++round) {
+      out = algo.fn(team, a, b);
+    }
+  } catch (const std::exception& e) {
+    std::cout << "ERROR " << opt.local << " " << one_line(e.what()) << "\n"
+              << std::flush;
+    return 2;
+  }
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    std::cout << "ROW " << i;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      std::cout << " " << hex_word(out(i, j));
+    }
+    std::cout << "\n";
+  }
+  const auto ws = team.wire_stats();
+  std::cout << "STATS " << opt.local << " frames=" << ws.frames_sent
+            << " retransmits=" << ws.retransmits << " crc=" << ws.crc_rejects
+            << " reconnects=" << ws.reconnects << "\n"
+            << "DONE " << opt.local << "\n"
+            << std::flush;
+  // Hold the endpoint open until the harness has seen DONE from *every*
+  // worker: exiting now would close this rank's sockets while a slower peer
+  // is still mid-run, and the peer's failure detector would (correctly, from
+  // its point of view) diagnose the vanished process as a death.  This is
+  // the job-level finalize handshake — the transport itself stays honest
+  // about vanished peers.
+  HCMM_CHECK(std::getline(std::cin, line) && line == "BYE",
+             "hcmm_rank: worker expected BYE, got \"" << line << "\"");
+  return 0;
+}
+
+// --------------------------------------------------------------- harness --
+
+struct Worker {
+  pid_t pid = -1;
+  int to_child = -1;    // harness writes the PORTS line here
+  int from_child = -1;  // harness reads PORT/READY/ROW/... here
+  std::FILE* in = nullptr;
+  std::string pending;  // buffered but unparsed child output
+  bool ready = false;
+  int exit_code = -1;
+  std::string error;  // the worker's ERROR line, if any
+};
+
+/// Reads one line from the child (blocking); false on EOF.
+[[nodiscard]] bool read_line(Worker& w, std::string& out) {
+  out.clear();
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, w.in) != nullptr) {
+    out += buf;
+    if (!out.empty() && out.back() == '\n') {
+      out.pop_back();
+      return true;
+    }
+  }
+  return !out.empty();
+}
+
+void spawn_workers(const Options& opt, std::uint64_t rounds,
+                   std::vector<Worker>& workers) {
+  workers.assign(opt.ranks, Worker{});
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    int down[2];  // harness -> worker stdin
+    int up[2];    // worker stdout -> harness
+    HCMM_CHECK(pipe(down) == 0 && pipe(up) == 0, "hcmm_rank: pipe failed");
+    const pid_t pid = fork();
+    HCMM_CHECK(pid >= 0, "hcmm_rank: fork failed");
+    if (pid == 0) {
+      dup2(down[0], STDIN_FILENO);
+      dup2(up[1], STDOUT_FILENO);
+      close(down[0]);
+      close(down[1]);
+      close(up[0]);
+      close(up[1]);
+      std::vector<std::string> args = {
+          "/proc/self/exe", "--worker",
+          "--ranks",        std::to_string(opt.ranks),
+          "--local",        std::to_string(r),
+          "--algo",         opt.algo,
+          "--n",            std::to_string(opt.n),
+          "--seed",         std::to_string(opt.seed),
+          "--rounds",       std::to_string(rounds),
+          "--timeout-ms",   std::to_string(opt.timeout_ms)};
+      if (!opt.wire_spec.empty()) {
+        args.push_back("--wire");
+        args.push_back(opt.wire_spec);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv("/proc/self/exe", argv.data());
+      std::perror("hcmm_rank: execv");
+      _exit(127);
+    }
+    close(down[0]);
+    close(up[1]);
+    Worker& w = workers[r];
+    w.pid = pid;
+    w.to_child = down[1];
+    w.from_child = up[0];
+    w.in = fdopen(up[0], "r");
+    HCMM_CHECK(w.in != nullptr, "hcmm_rank: fdopen failed");
+  }
+}
+
+void broker_ports(const Options& opt, std::vector<Worker>& workers) {
+  std::vector<std::uint16_t> ports(opt.ranks, 0);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    std::string line;
+    HCMM_CHECK(read_line(workers[r], line) && line.rfind("PORT ", 0) == 0,
+               "hcmm_rank: worker " << r << " said \"" << line
+                                    << "\" instead of PORT");
+    unsigned rank = 0;
+    unsigned port = 0;
+    HCMM_CHECK(std::sscanf(line.c_str(), "PORT %u %u", &rank, &port) == 2 &&
+                   rank == r && port != 0 && port <= 65535,
+               "hcmm_rank: malformed PORT line \"" << line << "\"");
+    ports[r] = static_cast<std::uint16_t>(port);
+  }
+  std::ostringstream msg;
+  msg << "PORTS";
+  for (const std::uint16_t p : ports) msg << " " << p;
+  msg << "\n";
+  const std::string text = msg.str();
+  for (Worker& w : workers) {
+    HCMM_CHECK(write(w.to_child, text.data(), text.size()) ==
+                   static_cast<ssize_t>(text.size()),
+               "hcmm_rank: PORTS write failed");
+  }
+  // The mesh is fully up once every worker's own dials have completed.
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    std::string line;
+    HCMM_CHECK(read_line(workers[r], line) &&
+                   line == "READY " + std::to_string(r),
+               "hcmm_rank: worker " << r << " said \"" << line
+                                    << "\" instead of READY");
+    workers[r].ready = true;
+  }
+}
+
+/// Read a worker's output up to its DONE line (or EOF on error/kill);
+/// partial rows land in @p partial (already sized n x n, zero) by bit
+/// pattern.  The worker then blocks awaiting BYE — see finish_worker.
+void drain_worker(const Options& opt, Worker& w, Matrix* partial) {
+  std::string line;
+  while (read_line(w, line)) {
+    if (line.rfind("ROW ", 0) == 0 && partial != nullptr) {
+      std::istringstream in(line.substr(4));
+      std::size_t row = 0;
+      in >> row;
+      HCMM_CHECK(row < opt.n, "hcmm_rank: bad ROW index " << row);
+      std::string hex;
+      for (std::size_t j = 0; j < opt.n && in >> hex; ++j) {
+        (*partial)(row, j) = word_from_hex(hex);
+      }
+    } else if (line.rfind("ERROR ", 0) == 0) {
+      w.error = line;
+    } else if (line.rfind("DONE ", 0) == 0) {
+      return;  // endpoint stays open until finish_worker says BYE
+    }
+  }
+}
+
+/// Release the worker (the finalize handshake: every endpoint stays up
+/// until all workers have drained) and reap it.
+void finish_worker(Worker& w) {
+  // EPIPE is fine: a worker that errored or was killed is already gone.
+  (void)!write(w.to_child, "BYE\n", 4);
+  int status = 0;
+  HCMM_CHECK(waitpid(w.pid, &status, 0) == w.pid, "hcmm_rank: waitpid failed");
+  w.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                  : 128 + WTERMSIG(status);
+  std::fclose(w.in);
+  close(w.to_child);
+}
+
+/// Merge partial products: an entry belongs to whichever worker produced a
+/// nonzero bit pattern for it.  Two distinct nonzero patterns would mean two
+/// ranks wrote the same output block — a layout violation.
+void merge_partial(const Matrix& partial, Matrix& merged) {
+  for (std::size_t i = 0; i < partial.rows(); ++i) {
+    for (std::size_t j = 0; j < partial.cols(); ++j) {
+      const double v = partial(i, j);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      if (bits == 0) continue;
+      std::uint64_t have = 0;
+      std::memcpy(&have, &merged(i, j), sizeof have);
+      HCMM_CHECK(have == 0 || have == bits,
+                 "hcmm_rank: two workers produced entry (" << i << ", " << j
+                                                           << ")");
+      merged(i, j) = v;
+    }
+  }
+}
+
+/// One full multi-process run; returns the merged product.  @p killed
+/// (optional) receives the per-worker error lines when --kill is active.
+Matrix launch_once(const Options& opt, std::uint64_t rounds,
+                   std::vector<Worker>& workers) {
+  spawn_workers(opt, rounds, workers);
+  broker_ports(opt, workers);
+  Matrix merged(opt.n, opt.n);
+  std::vector<Matrix> partials(opt.ranks, Matrix(opt.n, opt.n));
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    drain_worker(opt, workers[r], &partials[r]);
+  }
+  for (Worker& w : workers) finish_worker(w);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    HCMM_CHECK(workers[r].exit_code == 0,
+               "hcmm_rank: worker " << r << " exited with code "
+                                    << workers[r].exit_code << " "
+                                    << workers[r].error);
+    merge_partial(partials[r], merged);
+  }
+  return merged;
+}
+
+[[nodiscard]] bool bit_identical(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  return std::memcmp(x.data().data(), y.data().data(),
+                     x.rows() * x.cols() * sizeof(double)) == 0;
+}
+
+int check_against_reference(const Options& opt, const Matrix& merged) {
+  const Matrix a = random_matrix(opt.n, opt.n, opt.seed);
+  const Matrix b = random_matrix(opt.n, opt.n, opt.seed + 1);
+  rt::Team team(opt.ranks, std::chrono::milliseconds(30000));
+  const Matrix reference = rt::spmd_by_name(opt.algo)->fn(team, a, b);
+  if (!bit_identical(merged, reference)) {
+    std::cerr << "hcmm_rank: socket product is NOT bit-identical to the "
+                 "mailbox product\n";
+    return 1;
+  }
+  const double err = max_abs_diff(merged, multiply_naive(a, b));
+  if (err > 1e-9) {
+    std::cerr << "hcmm_rank: merged product diverges from the serial oracle "
+                 "by "
+              << err << "\n";
+    return 1;
+  }
+  std::cout << "CHECK identical-to-mailbox and oracle-correct\n";
+  return 0;
+}
+
+int run_kill_drill(const Options& opt) {
+  HCMM_CHECK(opt.kill >= 0 && opt.kill < static_cast<std::int64_t>(opt.ranks),
+             "hcmm_rank: --kill rank out of range");
+  const auto victim = static_cast<std::uint32_t>(opt.kill);
+
+  // Phase 1: unbounded rounds, then kill the victim once the mesh is up.
+  std::vector<Worker> workers;
+  spawn_workers(opt, /*rounds=*/1'000'000'000, workers);
+  broker_ports(opt, workers);
+  usleep(300'000);  // let the round loop get going
+  std::cout << "KILL rank " << victim << " (pid " << workers[victim].pid
+            << ")\n";
+  HCMM_CHECK(kill(workers[victim].pid, SIGKILL) == 0,
+             "hcmm_rank: SIGKILL failed");
+
+  bool all_located = true;
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    drain_worker(opt, workers[r], nullptr);
+  }
+  for (Worker& w : workers) finish_worker(w);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    if (r == victim) continue;
+    const std::string needle_dead =
+        "dead rank " + std::to_string(victim);
+    const std::string needle_conn =
+        "connection to rank " + std::to_string(victim);
+    const std::string needle_rank = "rank " + std::to_string(victim);
+    const bool located =
+        workers[r].exit_code == 2 &&
+        (workers[r].error.find(needle_dead) != std::string::npos ||
+         workers[r].error.find(needle_conn) != std::string::npos ||
+         workers[r].error.find(needle_rank) != std::string::npos);
+    std::cout << "SURVIVOR " << r << " exit=" << workers[r].exit_code << " "
+              << workers[r].error << "\n";
+    if (!located) {
+      std::cerr << "hcmm_rank: survivor " << r
+                << " did not diagnose the killed rank\n";
+      all_located = false;
+    }
+  }
+  if (!all_located) return 1;
+  std::cout << "LOCATED all survivors diagnosed rank " << victim << "\n";
+
+  // Phase 2: the restart rung — relaunch the whole job and demand a
+  // correct, bit-identical product.
+  std::vector<Worker> fresh;
+  const Matrix merged = launch_once(opt, /*rounds=*/1, fresh);
+  const int rc = check_against_reference(opt, merged);
+  if (rc == 0) std::cout << "RECOVERED restart rung produced a clean run\n";
+  return rc;
+}
+
+int run_launch(const Options& opt) {
+  if (opt.kill >= 0) return run_kill_drill(opt);
+  std::vector<Worker> workers;
+  Matrix merged(0, 0);
+  for (std::uint64_t rep = 0; rep < opt.repeat; ++rep) {
+    merged = launch_once(opt, opt.rounds, workers);
+  }
+  int rc = 0;
+  if (opt.check) rc = check_against_reference(opt, merged);
+  if (rc == 0) {
+    std::cout << "OK " << opt.algo << " p=" << opt.ranks << " n=" << opt.n
+              << (opt.wire_spec.empty() ? ""
+                                        : " wire=" + opt.wire_spec)
+              << "\n";
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // a reaped worker's pipe is not an error
+  try {
+    const Options opt = parse_args(argc, argv);
+    return opt.worker ? run_worker(opt) : run_launch(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "hcmm_rank: " << e.what() << "\n";
+    return 1;
+  }
+}
