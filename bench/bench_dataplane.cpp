@@ -1,5 +1,5 @@
-// A/B harness for the zero-copy data plane and the register-blocked gemm
-// microkernel.  Two deterministic configurations of the same simulated run:
+// A/B harness for the zero-copy data plane and the gemm kernel ladder.  Two
+// deterministic configurations of the same simulated run:
 //
 //   optimized  = CopyPolicy::kZeroCopy  + GemmKernel::kMicro
 //   baseline   = CopyPolicy::kDeepCopy  + GemmKernel::kLegacyTiled
@@ -10,6 +10,17 @@
 // counters are deterministic, so the harness *asserts* on them (exit 1 on a
 // regression) and merely reports wall-clock, which is noisy on shared CI.
 //
+// The kernel section times four rungs of the ladder per size: naive (only
+// at sizes where it is not painfully slow; recorded as null when skipped),
+// the legacy tiled and register-blocked micro kernels (bit-identical by
+// construction, asserted), and the SIMD vector path behind
+// gemm_accumulate_fast (ULP-gated against the bit-exact micro result with
+// the gemm_tolerance error model — never bit-compared).  When a SIMD ISA is
+// dispatched, conservative GFLOP/s floors and a best-to-worst decay band
+// across the full sizes gate the run (exit 1), so a vectorization
+// regression fails perf-smoke; the scalar fallback build skips the floors
+// but still takes the ULP gate.
+//
 //   bench_dataplane [--smoke] [--gemm-out PATH] [--dataplane-out PATH]
 //
 // Writes BENCH_GEMM.json (kernel GFLOP/s) and BENCH_DATAPLANE.json (store
@@ -17,6 +28,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -25,6 +37,7 @@
 
 #include "hcmm/algo/api.hpp"
 #include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/gemm_verify.hpp"
 #include "hcmm/matrix/generate.hpp"
 #include "hcmm/sim/store.hpp"
 #include "hcmm/support/check.hpp"
@@ -49,9 +62,13 @@ void expect(bool ok, const char* what) {
 
 struct KernelResult {
   std::size_t m, k, n;
-  double naive_gflops = 0.0;   // 0 when skipped (too slow at full size)
+  bool has_naive = false;      // naive skipped (too slow) -> null in JSON
+  double naive_gflops = 0.0;
   double legacy_gflops = 0.0;
   double micro_gflops = 0.0;
+  double vector_gflops = 0.0;
+  std::uint64_t vector_max_ulp = 0;  // worst ULP distance vs the oracle
+  double vector_tolerance = 0.0;     // gemm_tolerance bound applied
 };
 
 double time_gflops(std::size_t m, std::size_t k, std::size_t n,
@@ -74,6 +91,7 @@ KernelResult bench_kernels(std::size_t m, std::size_t k, std::size_t n,
   KernelResult out{m, k, n};
   Matrix sink(m, n);
   if (with_naive) {
+    out.has_naive = true;
     out.naive_gflops =
         time_gflops(m, k, n, [&] { sink = multiply_naive(a, b); }, reps);
   }
@@ -86,6 +104,21 @@ KernelResult bench_kernels(std::size_t m, std::size_t k, std::size_t n,
       time_gflops(m, k, n, [&] { sink = multiply_tiled(a, b); }, reps);
   expect(max_abs_diff(legacy_c, sink) <= 0.0,
          "micro and legacy kernels agree bit-for-bit");
+
+  // Vector path: time the accumulate call the SPMD runtime makes (the
+  // output is preallocated there too, so allocation is rightly excluded),
+  // then ULP-gate one clean product against the bit-exact micro result.
+  const Matrix oracle = sink;
+  Matrix vec(m, n);
+  out.vector_gflops =
+      time_gflops(m, k, n, [&] { gemm_accumulate_fast(a, b, vec); }, reps);
+  Matrix clean(m, n);
+  gemm_accumulate_fast(a, b, clean);
+  const GemmCompare cmp = compare_gemm(clean, oracle, k, max_abs(a),
+                                       max_abs(b));
+  out.vector_max_ulp = cmp.max_ulp;
+  out.vector_tolerance = cmp.tolerance;
+  expect(cmp.ok, "vector kernel within ULP-ladder tolerance of the oracle");
   return out;
 }
 
@@ -217,7 +250,10 @@ int main(int argc, char** argv) {
   }
 
   // ---- kernel GFLOP/s ----------------------------------------------------
-  std::printf("== gemm kernels ==\n");
+  const GemmIdent vec_ident = gemm_vector_ident();
+  const bool simd = vec_ident.isa != "scalar";
+  std::printf("== gemm kernels (vector: %s %zux%zu) ==\n",
+              vec_ident.isa.c_str(), vec_ident.mr, vec_ident.nr);
   std::vector<KernelResult> kernels;
   if (smoke) {
     kernels.push_back(bench_kernels(128, 128, 128, true, 3));
@@ -228,10 +264,59 @@ int main(int argc, char** argv) {
     kernels.push_back(bench_kernels(1024, 1024, 1024, false, 3));
   }
   for (const auto& k : kernels) {
-    std::printf("  %4zux%4zux%4zu  naive %6.2f  legacy %6.2f  micro %6.2f "
-                "GFLOP/s  (micro/legacy %.2fx)\n",
-                k.m, k.k, k.n, k.naive_gflops, k.legacy_gflops,
-                k.micro_gflops, k.micro_gflops / k.legacy_gflops);
+    char naive[32];
+    if (k.has_naive) {
+      std::snprintf(naive, sizeof naive, "%6.2f", k.naive_gflops);
+    } else {
+      std::snprintf(naive, sizeof naive, "  skip");
+    }
+    std::printf("  %4zux%4zux%4zu  naive %s  legacy %6.2f  micro %6.2f  "
+                "vector %6.2f GFLOP/s  (vector/micro %.2fx, max %llu ulp)\n",
+                k.m, k.k, k.n, naive, k.legacy_gflops, k.micro_gflops,
+                k.vector_gflops, k.vector_gflops / k.micro_gflops,
+                static_cast<unsigned long long>(k.vector_max_ulp));
+  }
+
+  // ---- GFLOP/s gates ------------------------------------------------------
+  // Conservative floors: this machine sustains ~50 GFLOP/s on the AVX-512
+  // path, so a 10 GFLOP/s floor (6 in smoke mode, whose shapes are smaller
+  // and reps fewer) only trips on a real vectorization regression — e.g.
+  // the dispatch silently landing on the scalar kernel — while leaving
+  // ~5x headroom for slower shared CI silicon.  Skipped entirely when the
+  // build has no SIMD kernels (HCMM_SIMD=OFF): a floor would then gate the
+  // scalar kernel, which the ULP checks above already cover.  Also skipped
+  // under sanitizers (HCMM_SANITIZED): shadow-memory checks on every packed
+  // load/store cost ~25x, which no floor can straddle meaningfully.
+#if defined(HCMM_SANITIZED)
+  constexpr bool kSanitized = true;
+#else
+  constexpr bool kSanitized = false;
+#endif
+  if (simd && !kSanitized) {
+    const double floor_gflops = smoke ? 6.0 : 10.0;
+    double best = 0.0, worst = 1e300;
+    for (const auto& k : kernels) {
+      char label[96];
+      std::snprintf(label, sizeof label,
+                    "vector >= %.0f GFLOP/s at n=%zu (got %.2f)",
+                    floor_gflops, k.n, k.vector_gflops);
+      expect(k.vector_gflops >= floor_gflops, label);
+      best = std::max(best, k.vector_gflops);
+      worst = std::min(worst, k.vector_gflops);
+    }
+    if (!smoke) {
+      // The blocking hierarchy exists to hold GFLOP/s flat as operands fall
+      // out of cache; a decay cliff between n=256 and n=1024 means a block
+      // size regressed.  (Smoke runs too few reps for this to be stable.)
+      char label[96];
+      std::snprintf(label, sizeof label,
+                    "vector best-to-worst decay %.2fx within 1.5x band",
+                    best / worst);
+      expect(best <= 1.5 * worst, label);
+    }
+  } else {
+    std::printf("  (GFLOP/s floors skipped: %s)\n",
+                kSanitized ? "sanitized build" : "no SIMD ISA dispatched");
   }
 
   // ---- store ops ---------------------------------------------------------
@@ -282,19 +367,34 @@ int main(int argc, char** argv) {
 
   // ---- artifacts ---------------------------------------------------------
   if (FILE* f = std::fopen(gemm_out.c_str(), "w")) {
-    std::fprintf(f, "{\"unit\": \"GFLOP/s\", \"smoke\": %s, \"kernels\": [",
-                 smoke ? "true" : "false");
+    std::fprintf(f,
+                 "{\"unit\": \"GFLOP/s\", \"smoke\": %s, "
+                 "\"vector_isa\": \"%s\", \"vector_mr\": %zu, "
+                 "\"vector_nr\": %zu, \"kernels\": [",
+                 smoke ? "true" : "false", vec_ident.isa.c_str(),
+                 vec_ident.mr, vec_ident.nr);
     for (std::size_t i = 0; i < kernels.size(); ++i) {
       const auto& k = kernels[i];
+      char naive[32];
+      if (k.has_naive) {
+        std::snprintf(naive, sizeof naive, "%.3f", k.naive_gflops);
+      } else {
+        std::snprintf(naive, sizeof naive, "null");  // skipped, not 0 GFLOP/s
+      }
       std::fprintf(f,
-                   "%s{\"m\": %zu, \"k\": %zu, \"n\": %zu, \"naive\": %.3f, "
-                   "\"legacy_tiled\": %.3f, \"micro\": %.3f, "
-                   "\"micro_vs_legacy\": %.3f}",
-                   i ? ", " : "", k.m, k.k, k.n, k.naive_gflops,
-                   k.legacy_gflops, k.micro_gflops,
-                   k.micro_gflops / k.legacy_gflops);
+                   "%s\n  {\"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                   "\"naive\": %s, \"legacy_tiled\": %.3f, \"micro\": %.3f, "
+                   "\"vector\": %.3f, \"micro_vs_legacy\": %.3f, "
+                   "\"vector_vs_micro\": %.3f, \"vector_max_ulp\": %llu, "
+                   "\"vector_tolerance\": %.3e}",
+                   i ? "," : "", k.m, k.k, k.n, naive, k.legacy_gflops,
+                   k.micro_gflops, k.vector_gflops,
+                   k.micro_gflops / k.legacy_gflops,
+                   k.vector_gflops / k.micro_gflops,
+                   static_cast<unsigned long long>(k.vector_max_ulp),
+                   k.vector_tolerance);
     }
-    std::fprintf(f, "]}\n");
+    std::fprintf(f, "\n]}\n");
     std::fclose(f);
     std::printf("wrote %s\n", gemm_out.c_str());
   } else {
@@ -315,10 +415,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(st.zero_plane.words_copied),
         static_cast<unsigned long long>(st.deep_plane.words_copied), nodes, n,
         reps);
-    std::fprintf(f, "  \"optimized\": {\"wall_ms\": %.3f, \"plane\": ",
+    std::fprintf(f,
+                 "  \"optimized\": {\"gemm_kernel\": \"micro\", "
+                 "\"gemm_isa\": \"scalar-exact\", \"wall_ms\": %.3f, "
+                 "\"plane\": ",
                  opt.wall_ms);
     json_plane(f, opt.totals);
-    std::fprintf(f, "},\n  \"baseline\": {\"wall_ms\": %.3f, \"plane\": ",
+    std::fprintf(f,
+                 "},\n  \"baseline\": {\"gemm_kernel\": \"legacy_tiled\", "
+                 "\"gemm_isa\": \"scalar-exact\", \"wall_ms\": %.3f, "
+                 "\"plane\": ",
                  base.wall_ms);
     json_plane(f, base.totals);
     std::fprintf(f,

@@ -62,6 +62,45 @@ void BM_GemmThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmThreaded)->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
+void BM_GemmVector(benchmark::State& state) {
+  // The SIMD fast path behind gemm_accumulate_fast — what the SPMD runtime
+  // and benches dispatch.  Accumulates into a preallocated output, like the
+  // runtime call sites.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  state.SetLabel(gemm_vector_ident().isa);
+  for (auto _ : state) {
+    gemm_accumulate_fast(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmVector)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmVectorThreaded(benchmark::State& state) {
+  // Vector path through multiply_threaded: parallel B packing plus MC-block
+  // macro-loop parallelism, bit-identical to the serial vector path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  set_gemm_kernel(GemmKernel::kVector);
+  state.SetLabel(gemm_vector_ident().isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_threaded(a, b, pool));
+  }
+  set_gemm_kernel(GemmKernel::kMicro);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmVectorThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
 void BM_GemmAccumulateBlocks(benchmark::State& state) {
   // The distributed algorithms' inner shape: accumulate q narrow products.
   const std::size_t bh = 64;

@@ -65,7 +65,11 @@ struct Calibration {
   std::string backend;       ///< Transport::name() of the measured backend
   double ts_us = 0.0;        ///< fitted start-up, us per message
   double tw_us = 0.0;        ///< fitted bandwidth, us per 8-byte word
-  double tc_us = 0.0;        ///< measured multiply-add time, us
+  double tc_us = 0.0;        ///< multiply-add time of the SPMD compute path
+  double tc_oracle_us = 0.0; ///< multiply-add time of the bit-exact oracle
+  double tc_vector_us = 0.0; ///< multiply-add time of the vector fast path
+  std::string gemm_kernel;   ///< gemm path backing tc_us ("vector", ...)
+  std::string gemm_isa;      ///< ISA of that path ("avx512", "scalar", ...)
   double fit_residual = 0.0; ///< worst relative residual of the (ts,tw) fit
   std::vector<PingPongSample> samples;
 };

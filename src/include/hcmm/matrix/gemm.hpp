@@ -16,6 +16,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "hcmm/matrix/matrix.hpp"
 
@@ -26,18 +28,68 @@ class ThreadPool;
 /// C = A * B with the textbook triple loop (i-k-j order).  Oracle kernel.
 [[nodiscard]] Matrix multiply_naive(const Matrix& a, const Matrix& b);
 
-/// Kernel selector for the accumulate/tiled/threaded entry points.  kMicro
-/// (default) is the register-blocked packed microkernel; kLegacyTiled is the
-/// previous cache-tiled scalar kernel, kept for bench A/B comparisons.
-/// Process-wide; both produce bit-identical results.
-enum class GemmKernel : std::uint8_t { kMicro, kLegacyTiled };
+/// Kernel selector for the accumulate/tiled/threaded entry points.
+///
+///  * kMicro (default) — register-blocked packed scalar microkernel; obeys
+///    the strictly-ascending-k one-rounding-per-step contract, so it is
+///    bit-identical to multiply_naive.  This is the bit-exact oracle rung
+///    of the verification ladder; distributed algorithms and ABFT stay here.
+///  * kLegacyTiled — the previous cache-tiled scalar kernel, also
+///    bit-exact, kept for bench A/B comparisons.
+///  * kVector — the SIMD path: runtime-dispatched microkernel (AVX-512 ->
+///    AVX2+FMA -> NEON -> packed scalar) under the full BLIS mc/kc/nc
+///    blocking hierarchy with packed A micropanels and packed B panels.
+///    FMA fuses each term's rounding, so results are ULP-bounded against
+///    the oracle (gemm_verify.hpp), not bit-identical — opt in where that
+///    ladder rung is acceptable (benches, the SPMD runtime path).
+///
+/// Process-wide.  The HCMM_GEMM_KERNEL environment variable overrides the
+/// default: "oracle"/"micro", "legacy", "vector" select the path; "scalar",
+/// "avx2", "avx512", "neon" select the vector path pinned to that
+/// microkernel (an unavailable ISA or any other value throws CheckError —
+/// same strict parsing as HCMM_RT_TIMEOUT_MS).
+enum class GemmKernel : std::uint8_t { kMicro, kLegacyTiled, kVector };
 
 void set_gemm_kernel(GemmKernel k) noexcept;
 [[nodiscard]] GemmKernel gemm_kernel() noexcept;
 
+/// Identity of a gemm path, for bench JSON rows and calibration output.
+struct GemmIdent {
+  std::string path;  ///< "micro" | "legacy" | "vector"
+  std::string isa;   ///< microkernel ISA; "scalar-exact" for the bit-exact paths
+  std::size_t mr = 0, nr = 0;  ///< register tile of the path's microkernel
+};
+
+/// Identity of the currently selected process-wide kernel.
+[[nodiscard]] GemmIdent gemm_ident();
+
+/// Identity of the vector path (which microkernel dispatch resolved to),
+/// independent of the process-wide selector.  First call resolves dispatch:
+/// HCMM_GEMM_KERNEL pin if set, else the widest ISA the CPU supports, and
+/// gates the chosen kernel on a quick ULP-bounded self-test against the
+/// oracle (CheckError if it fails — a miscompiled kernel never dispatches).
+[[nodiscard]] GemmIdent gemm_vector_ident();
+
+/// ISA names the vector path can be pinned to on this build + machine
+/// (always contains "scalar").  These are the dispatchable kernels the
+/// equivalence tests sweep.
+[[nodiscard]] std::vector<std::string> gemm_vector_isas();
+
+/// Drops the cached HCMM_GEMM_KERNEL parse and the resolved vector kernel
+/// so tests can exercise the override; also resets the process-wide
+/// selector to its (env-aware) default.
+void reset_gemm_env_for_testing();
+
 /// C += A * B.  This is the kernel every distributed algorithm calls on its
-/// local sub-blocks.
+/// local sub-blocks; it follows the process-wide selector.
 void gemm_accumulate(MatrixView a, MatrixView b, Matrix& c);
+
+/// C += A * B through the vector path regardless of the process-wide
+/// selector (still honoring an HCMM_GEMM_KERNEL ISA pin).  The SPMD runtime
+/// ranks call this: their products are verified under the ULP rung, not the
+/// bit-exact one, so they get the fast kernels without flipping the global
+/// default under the simulator's feet.
+void gemm_accumulate_fast(MatrixView a, MatrixView b, Matrix& c);
 
 /// C = A * B.
 [[nodiscard]] Matrix multiply_tiled(MatrixView a, MatrixView b);

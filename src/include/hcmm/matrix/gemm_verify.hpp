@@ -1,0 +1,88 @@
+#pragma once
+// The ULP-bounded rung of the gemm verification ladder.
+//
+// The ladder has two rungs:
+//
+//   1. Bit-exact:  kMicro and kLegacyTiled follow the strictly-ascending-k
+//      one-rounded-multiply-one-rounded-add contract, so they equal
+//      multiply_naive to the bit.  Distributed algorithms and ABFT run on
+//      this rung by default — every existing bit-identity gate still holds.
+//
+//   2. ULP-bounded:  the vectorized kernels keep ascending-k accumulation
+//      per element but fuse each term's multiply and add into one rounding
+//      (FMA), and edge tiles accumulate a panel partial sum before adding
+//      it to C.  Both deviations are classical backward-stable roundoff:
+//      per element the difference from the oracle is at most
+//
+//          |c_vec - c_oracle| <= 2 * k * eps * amax * bmax
+//
+//      (k rounded terms, each of magnitude <= amax*bmax, each rounding
+//      contributing <= eps of its term, for both sequences).  That is the
+//      same error model abft::residue_tolerance applies to its n-term
+//      checksum sums, with the generic 1e-10 headline constant replaced by
+//      the sharp per-term bound.  gemm_tolerance() evaluates it; a safety
+//      factor of 8 covers the edge-tile reassociation and keeps the gate
+//      meaningful: real kernel bugs are wrong by whole values, ~1e12 ULPs.
+//
+// compare_gemm() applies the bound element-wise and also reports the worst
+// ULP distance, so the gate reads "within B(k) ULPs at accumulation scale".
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hcmm/matrix/matrix.hpp"
+
+namespace hcmm {
+
+/// Distance in units-in-the-last-place between two doubles: the number of
+/// representable doubles strictly between them (0 when bitwise equal).
+/// Signed values are mapped onto a monotone integer line, so the distance
+/// across +/-0 is well defined (ulp_distance(-0.0, +0.0) == 0).  Any NaN
+/// yields the maximum distance.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b);
+
+/// Element-wise absolute tolerance for a k-deep gemm accumulation over
+/// operands bounded by |a| <= amax, |b| <= bmax (see the error model above).
+[[nodiscard]] double gemm_tolerance(std::size_t k, double amax, double bmax);
+
+/// max |m_ij| over all elements (0 for empty matrices).
+[[nodiscard]] double max_abs(const Matrix& m);
+
+/// Result of a ULP-bounded comparison of a computed product against the
+/// bit-exact oracle's product.
+struct GemmCompare {
+  bool ok = true;             ///< every element within gemm_tolerance
+  double max_abs_diff = 0.0;  ///< worst |test - oracle|
+  double tolerance = 0.0;     ///< the bound applied
+  std::uint64_t max_ulp = 0;  ///< worst element-wise ULP distance
+  std::size_t over = 0;       ///< elements beyond tolerance
+};
+
+/// Compare @p test against @p oracle (same shape) for a product whose inner
+/// dimension was @p k and whose operands were bounded by amax/bmax.
+[[nodiscard]] GemmCompare compare_gemm(const Matrix& test, const Matrix& oracle,
+                                       std::size_t k, double amax, double bmax);
+
+/// One shape of the kernel-equivalence matrix.
+struct LadderRow {
+  std::size_t m = 0, k = 0, n = 0;
+  GemmCompare cmp;
+};
+
+/// Report of one vectorized kernel gated against the bit-exact oracle
+/// across the edge-shape matrix (tile remainders, k < kc, k spanning
+/// several kc panels, single rows/columns, 1x1).
+struct LadderReport {
+  std::string isa;  ///< microkernel the vector path resolved to
+  std::vector<LadderRow> rows;
+  bool ok = true;
+};
+
+/// Run the currently selected vector kernel over the edge-shape matrix and
+/// compare against the oracle under the ULP bound.  This is the gate the
+/// tests and the bench harness apply to every dispatchable kernel.
+[[nodiscard]] LadderReport verify_vector_kernel();
+
+}  // namespace hcmm

@@ -1,0 +1,36 @@
+#pragma once
+// Runtime CPU-feature detection for kernel dispatch.  x86 features come from
+// cpuid (via the compiler's __builtin_cpu_supports, which also checks that
+// the OS enabled the corresponding xsave state); AArch64 features come from
+// getauxval(AT_HWCAP).  Detection runs once per process and is cached.
+//
+// The gemm dispatcher consumes this to pick the widest microkernel the
+// machine actually supports (AVX-512 -> AVX2+FMA -> NEON -> scalar); the
+// HCMM_GEMM_KERNEL environment override (parsed in matrix/gemm.cpp) can pin
+// a narrower one for A/B runs and for proving the fallback paths.
+
+#include <string>
+
+namespace hcmm::cpu {
+
+struct Features {
+  // x86-64.  avx512 here means the F+DQ+VL subset the gemm kernel needs.
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  // AArch64 (Advanced SIMD is architecturally mandatory, but we still read
+  // the auxval so a future SVE bit lands the same way).
+  bool neon = false;
+};
+
+/// Detected features of the executing CPU, cached after the first call.
+[[nodiscard]] const Features& features();
+
+/// Space-separated list of the detected feature names ("avx2 fma avx512f
+/// ..."), or "generic" when none of the known SIMD sets is present.
+[[nodiscard]] std::string summary();
+
+}  // namespace hcmm::cpu

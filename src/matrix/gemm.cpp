@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <vector>
 
+#include "gemm_kernels.hpp"
+#include "hcmm/matrix/gemm_verify.hpp"
+#include "hcmm/matrix/generate.hpp"
 #include "hcmm/support/check.hpp"
+#include "hcmm/support/cpu.hpp"
 #include "hcmm/support/thread_pool.hpp"
 
 namespace hcmm {
@@ -13,9 +21,15 @@ namespace {
 
 std::atomic<GemmKernel> g_kernel{GemmKernel::kMicro};
 
-// Register blocking of the microkernel: each update keeps a kMR x kNR block
-// of C in accumulators, so C is loaded/stored once per k-panel instead of
-// once per k step (the legacy kernel's main memory-traffic cost).
+// ---------------------------------------------------------------------------
+// Bit-exact rung: the register-blocked scalar microkernel (kMicro, the
+// verification-ladder oracle) and the legacy cache-tiled kernel.  Both obey
+// the strictly-ascending-k one-rounded-multiply-one-rounded-add contract,
+// so they equal multiply_naive to the bit.
+
+// Register blocking of the oracle microkernel: each update keeps a kMR x kNR
+// block of C in accumulators, so C is loaded/stored once per k-panel instead
+// of once per k step (the legacy kernel's main memory-traffic cost).
 constexpr std::size_t kMR = 4;
 constexpr std::size_t kNR = 8;
 // k-panel depth: kMR rows of packed A (kKC*kMR doubles) plus the B lines the
@@ -51,11 +65,11 @@ void gemm_rows_legacy(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
   }
 }
 
-// Microkernel path: C[r0:r1] += A[r0:r1] * B.  A's rows are packed into
-// kMR-interleaved micro-panels (unit-stride loads in the inner loop); full
-// kMR x kNR blocks run in register accumulators, with scalar tail paths for
-// the ragged row/column edges.  Per C element the arithmetic is the exact
-// k-ascending mul-add sequence of the legacy kernel, so results are
+// Oracle microkernel path: C[r0:r1] += A[r0:r1] * B.  A's rows are packed
+// into kMR-interleaved micro-panels (unit-stride loads in the inner loop);
+// full kMR x kNR blocks run in register accumulators, with scalar tail paths
+// for the ragged row/column edges.  Per C element the arithmetic is the
+// exact k-ascending mul-add sequence of the legacy kernel, so results are
 // bit-identical.
 void gemm_rows_micro(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
                      std::size_t r1) {
@@ -129,11 +143,296 @@ void gemm_rows_micro(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
 
 void gemm_rows(MatrixView a, MatrixView b, Matrix& c, std::size_t r0,
                std::size_t r1) {
-  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kMicro) {
-    gemm_rows_micro(a, b, c, r0, r1);
-  } else {
+  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kLegacyTiled) {
     gemm_rows_legacy(a, b, c, r0, r1);
+  } else {
+    gemm_rows_micro(a, b, c, r0, r1);
   }
+}
+
+// ---------------------------------------------------------------------------
+// ULP-bounded rung: the vectorized BLIS hierarchy.
+//
+//   for jc in steps of NC:                       (columns of B/C)
+//     for k0 in steps of KC:                     (depth)
+//       pack B(k0:k0+kc, jc:jc+nc) -> nr-interleaved panels   [~L3]
+//       for ic in steps of MC:                   (rows of A/C)
+//         pack A(ic:ic+mc, k0:k0+kc) -> mr-interleaved panels [~L2]
+//         for jr, ir over the packed panels:     (macrokernel)
+//           microkernel: mr x nr register tile, kc-deep FMA   [~L1/regs]
+//
+// Full tiles run straight into C; edge tiles (m % mr, n % nr) run into a
+// zeroed mr x nr scratch tile whose valid region is then added to C — the
+// packed panels are zero-padded so the scratch lanes are exact zeros.
+
+constexpr std::size_t kVecMC = 128;   // rows per packed-A block
+constexpr std::size_t kVecKC = 256;   // k-panel depth
+constexpr std::size_t kVecNC = 2048;  // columns per packed-B panel
+constexpr std::size_t kMaxMR = 8;     // largest mr over all microkernels
+constexpr std::size_t kMaxNR = 16;    // largest nr over all microkernels
+
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+// Pack the mc x kc block of A at @p a (row stride lda) into mr-interleaved
+// micropanels: out[panel][k*mr + r] = A(panel*mr + r, k), missing rows of
+// the last panel zero-padded.
+void pack_a_block(const double* a, std::size_t lda, std::size_t mc,
+                  std::size_t kc, std::size_t mr, double* out) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += mr) {
+    const std::size_t rows = std::min(mr, mc - i0);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        out[k * mr + r] = a[(i0 + r) * lda + k];
+      }
+      for (std::size_t r = rows; r < mr; ++r) out[k * mr + r] = 0.0;
+    }
+    out += kc * mr;
+  }
+}
+
+// Pack the kc x nc block of B at @p b (row stride ldb) into nr-interleaved
+// panels: out[panel][k*nr + j] = B(k, panel*nr + j), missing columns of the
+// last panel zero-padded.
+void pack_b_block(const double* b, std::size_t ldb, std::size_t kc,
+                  std::size_t nc, std::size_t nr, double* out) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += nr) {
+    const std::size_t cols = std::min(nr, nc - j0);
+    double* dst = out;
+    for (std::size_t k = 0; k < kc; ++k, dst += nr) {
+      const double* src = b + k * ldb + j0;
+      for (std::size_t j = 0; j < cols; ++j) dst[j] = src[j];
+      for (std::size_t j = cols; j < nr; ++j) dst[j] = 0.0;
+    }
+    out += kc * nr;
+  }
+}
+
+// C[0:mc, 0:nc] += Apack * Bpack over one (mc x kc) x (kc x nc) block pair.
+void macro_kernel(const gemmk::MicroKernel& uk, const double* apack,
+                  const double* bpack, std::size_t mc, std::size_t nc,
+                  std::size_t kc, double* c, std::size_t ldc) {
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
+  for (std::size_t j0 = 0; j0 < nc; j0 += nr) {
+    const std::size_t cols = std::min(nr, nc - j0);
+    const double* bp = bpack + (j0 / nr) * kc * nr;
+    for (std::size_t i0 = 0; i0 < mc; i0 += mr) {
+      const std::size_t rows = std::min(mr, mc - i0);
+      const double* ap = apack + (i0 / mr) * kc * mr;
+      double* cblk = c + i0 * ldc + j0;
+      if (rows == mr && cols == nr) {
+        uk.fn(kc, ap, bp, cblk, ldc);
+      } else {
+        double tile[kMaxMR * kMaxNR] = {};
+        uk.fn(kc, ap, bp, tile, nr);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t j = 0; j < cols; ++j) {
+            cblk[r * ldc + j] += tile[r * nr + j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// The vector-path driver.  With a pool, B packing is split across threads
+// and the MC row blocks of each (jc, k0) panel pair run as one batch; every
+// C element is computed by exactly one job with arithmetic independent of
+// the split, so threaded and serial runs are bit-identical to each other.
+void gemm_vector(const gemmk::MicroKernel& uk, MatrixView a, MatrixView b,
+                 Matrix& c, ThreadPool* pool) {
+  const std::size_t m = a.rows;
+  const std::size_t kk = a.cols;
+  const std::size_t nn = b.cols;
+  if (m == 0 || kk == 0 || nn == 0) return;
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
+  double* pc = c.data().data();
+
+  std::vector<double> bpack(ceil_div(std::min(kVecNC, nn), nr) * nr * kVecKC);
+  std::vector<double> apack;  // serial path only; jobs allocate their own
+
+  for (std::size_t jc = 0; jc < nn; jc += kVecNC) {
+    const std::size_t nc = std::min(kVecNC, nn - jc);
+    for (std::size_t k0 = 0; k0 < kk; k0 += kVecKC) {
+      const std::size_t kc = std::min(kVecKC, kk - k0);
+      const double* bsrc = b.ptr + k0 * nn + jc;
+      const std::size_t npanels = ceil_div(nc, nr);
+      if (pool != nullptr && npanels > 1) {
+        // Multithreaded packing: disjoint nr-panel ranges per job.
+        const std::size_t nchunks =
+            std::min(npanels, std::max<std::size_t>(1, pool->thread_count()));
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(nchunks);
+        for (std::size_t t = 0; t < nchunks; ++t) {
+          const std::size_t p0 = npanels * t / nchunks;
+          const std::size_t p1 = npanels * (t + 1) / nchunks;
+          if (p0 == p1) continue;
+          jobs.push_back([&, p0, p1] {
+            pack_b_block(bsrc + p0 * nr, nn, kc,
+                         std::min(nc, p1 * nr) - p0 * nr, nr,
+                         bpack.data() + p0 * nr * kc);
+          });
+        }
+        pool->run_batch(std::move(jobs));
+      } else {
+        pack_b_block(bsrc, nn, kc, nc, nr, bpack.data());
+      }
+
+      const std::size_t nblocks = ceil_div(m, kVecMC);
+      if (pool != nullptr && nblocks > 1) {
+        // Macro-loop parallelism: each job packs its own A block and owns
+        // a disjoint row range of C.
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(nblocks);
+        for (std::size_t blk = 0; blk < nblocks; ++blk) {
+          const std::size_t ic = blk * kVecMC;
+          const std::size_t mc = std::min(kVecMC, m - ic);
+          jobs.push_back([&, ic, mc] {
+            std::vector<double> ap(ceil_div(mc, mr) * mr * kc);
+            pack_a_block(a.ptr + ic * kk + k0, kk, mc, kc, mr, ap.data());
+            macro_kernel(uk, ap.data(), bpack.data(), mc, nc, kc,
+                         pc + ic * nn + jc, nn);
+          });
+        }
+        pool->run_batch(std::move(jobs));
+      } else {
+        apack.resize(ceil_div(std::min(kVecMC, m), mr) * mr * kc);
+        for (std::size_t ic = 0; ic < m; ic += kVecMC) {
+          const std::size_t mc = std::min(kVecMC, m - ic);
+          pack_a_block(a.ptr + ic * kk + k0, kk, mc, kc, mr, apack.data());
+          macro_kernel(uk, apack.data(), bpack.data(), mc, nc, kc,
+                       pc + ic * nn + jc, nn);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: environment override, CPU-feature resolution, ULP self-test.
+
+struct EnvSelect {
+  std::optional<GemmKernel> kernel;  ///< process-default override
+  std::optional<std::string> isa;    ///< vector-path microkernel pin
+};
+
+/// Strict parse of HCMM_GEMM_KERNEL — the same reject-garbage discipline as
+/// HCMM_RT_TIMEOUT_MS: an unknown value throws instead of silently running
+/// a kernel the operator did not ask for.
+[[nodiscard]] EnvSelect parse_env_kernel() {
+  const char* env = std::getenv("HCMM_GEMM_KERNEL");  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr) return {};
+  const std::string v(env);
+  EnvSelect s;
+  if (v == "oracle" || v == "micro") {
+    s.kernel = GemmKernel::kMicro;
+  } else if (v == "legacy") {
+    s.kernel = GemmKernel::kLegacyTiled;
+  } else if (v == "vector") {
+    s.kernel = GemmKernel::kVector;
+  } else if (v == "scalar" || v == "avx2" || v == "avx512" || v == "neon") {
+    s.kernel = GemmKernel::kVector;
+    s.isa = v;
+  } else {
+    HCMM_CHECK(false, "HCMM_GEMM_KERNEL: expected one of oracle|micro|legacy|"
+                      "vector|scalar|avx2|avx512|neon, got \""
+                          << v << "\"");
+  }
+  return s;
+}
+
+[[nodiscard]] bool isa_supported(const std::string& isa) {
+  const cpu::Features& f = cpu::features();
+  if (isa == "avx512") return f.avx512f && f.avx512dq && f.avx512vl;
+  if (isa == "avx2") return f.avx2 && f.fma;
+  if (isa == "neon") return f.neon;
+  return isa == "scalar";
+}
+
+[[nodiscard]] gemmk::MicroKernel kernel_for(const std::string& isa) {
+  if (isa == "avx512") return gemmk::avx512_kernel();
+  if (isa == "avx2") return gemmk::avx2_kernel();
+  if (isa == "neon") return gemmk::neon_kernel();
+  return gemmk::scalar_kernel();
+}
+
+[[nodiscard]] gemmk::MicroKernel resolve_kernel(
+    const std::optional<std::string>& pin) {
+  if (pin) {
+    const gemmk::MicroKernel k = kernel_for(*pin);
+    HCMM_CHECK(k.fn != nullptr,
+               "HCMM_GEMM_KERNEL: ISA \"" << *pin
+                                          << "\" is not compiled into this "
+                                             "build");
+    HCMM_CHECK(isa_supported(*pin), "HCMM_GEMM_KERNEL: ISA \""
+                                        << *pin
+                                        << "\" is not supported by this CPU");
+    return k;
+  }
+  for (const char* isa : {"avx512", "avx2", "neon"}) {
+    const gemmk::MicroKernel k = kernel_for(isa);
+    if (k.fn != nullptr && isa_supported(isa)) return k;
+  }
+  return gemmk::scalar_kernel();
+}
+
+/// The dispatch gate: before a vectorized kernel is published, its results
+/// over a few tail-heavy shapes must sit within the ULP bound of the
+/// bit-exact oracle.  A miscompiled or wrong kernel is off by whole values
+/// (~1e12 ULPs), so this cheap check can never pass one.
+void self_test(const gemmk::MicroKernel& uk) {
+  constexpr struct {
+    std::size_t m, k, n;
+  } kShapes[] = {{4, 8, 8}, {5, 9, 17}, {3, 300, 7}};
+  for (const auto& s : kShapes) {
+    const Matrix a = random_matrix(s.m, s.k, 7001 + s.m);
+    const Matrix b = random_matrix(s.k, s.n, 7002 + s.n);
+    const Matrix oracle = multiply_naive(a, b);
+    Matrix c(s.m, s.n);
+    gemm_vector(uk, a, b, c, nullptr);
+    const GemmCompare cmp =
+        compare_gemm(c, oracle, s.k, max_abs(a), max_abs(b));
+    HCMM_CHECK(cmp.ok, "gemm self-test: vector kernel '"
+                           << uk.isa << "' diverges from the oracle by "
+                           << cmp.max_abs_diff << " (" << cmp.max_ulp
+                           << " ULPs) at " << s.m << "x" << s.k << "x" << s.n
+                           << ", beyond tolerance " << cmp.tolerance);
+  }
+}
+
+// Environment and dispatch state, read once per process; the reset hook
+// drops it the way rt::reset_env_overrides_for_testing does.
+std::mutex g_gemm_mu;
+bool g_env_applied = false;     // NOLINT
+EnvSelect g_env;                // NOLINT
+bool g_vec_resolved = false;    // NOLINT
+gemmk::MicroKernel g_vec;       // NOLINT
+
+void apply_env_locked() {
+  if (g_env_applied) return;
+  g_env = parse_env_kernel();
+  g_env_applied = true;
+  if (g_env.kernel) g_kernel.store(*g_env.kernel, std::memory_order_relaxed);
+}
+
+void ensure_env() {
+  std::lock_guard lock(g_gemm_mu);
+  apply_env_locked();
+}
+
+[[nodiscard]] gemmk::MicroKernel vector_kernel() {
+  std::lock_guard lock(g_gemm_mu);
+  apply_env_locked();
+  if (!g_vec_resolved) {
+    const gemmk::MicroKernel k = resolve_kernel(g_env.isa);
+    self_test(k);  // throws on failure; resolution retried next call
+    g_vec = k;
+    g_vec_resolved = true;
+  }
+  return g_vec;
 }
 
 }  // namespace
@@ -144,6 +443,44 @@ void set_gemm_kernel(GemmKernel k) noexcept {
 
 GemmKernel gemm_kernel() noexcept {
   return g_kernel.load(std::memory_order_relaxed);
+}
+
+GemmIdent gemm_ident() {
+  ensure_env();
+  switch (g_kernel.load(std::memory_order_relaxed)) {
+    case GemmKernel::kLegacyTiled:
+      return {"legacy", "scalar-exact", 1, kTile};
+    case GemmKernel::kVector:
+      return gemm_vector_ident();
+    case GemmKernel::kMicro:
+      break;
+  }
+  return {"micro", "scalar-exact", kMR, kNR};
+}
+
+GemmIdent gemm_vector_ident() {
+  const gemmk::MicroKernel k = vector_kernel();
+  return {"vector", k.isa, k.mr, k.nr};
+}
+
+std::vector<std::string> gemm_vector_isas() {
+  std::vector<std::string> out;
+  for (const char* isa : {"avx512", "avx2", "neon"}) {
+    if (kernel_for(isa).fn != nullptr && isa_supported(isa)) {
+      out.emplace_back(isa);
+    }
+  }
+  out.emplace_back("scalar");
+  return out;
+}
+
+void reset_gemm_env_for_testing() {
+  std::lock_guard lock(g_gemm_mu);
+  g_env_applied = false;
+  g_env = {};
+  g_vec_resolved = false;
+  g_vec = {};
+  g_kernel.store(GemmKernel::kMicro, std::memory_order_relaxed);
 }
 
 Matrix multiply_naive(const Matrix& a, const Matrix& b) {
@@ -164,20 +501,46 @@ void gemm_accumulate(MatrixView a, MatrixView b, Matrix& c) {
                                    << a.cols << " vs " << b.rows << ")");
   HCMM_CHECK(c.rows() == a.rows && c.cols() == b.cols,
              "gemm_accumulate: output shape mismatch");
-  gemm_rows(a, b, c, 0, a.rows);
+  ensure_env();
+  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kVector) {
+    gemm_vector(vector_kernel(), a, b, c, nullptr);
+  } else {
+    gemm_rows(a, b, c, 0, a.rows);
+  }
+}
+
+void gemm_accumulate_fast(MatrixView a, MatrixView b, Matrix& c) {
+  HCMM_CHECK(a.cols == b.rows, "gemm_accumulate_fast: inner dimensions differ ("
+                                   << a.cols << " vs " << b.rows << ")");
+  HCMM_CHECK(c.rows() == a.rows && c.cols() == b.cols,
+             "gemm_accumulate_fast: output shape mismatch");
+  gemm_vector(vector_kernel(), a, b, c, nullptr);
 }
 
 Matrix multiply_tiled(MatrixView a, MatrixView b) {
   HCMM_CHECK(a.cols == b.rows, "multiply: inner dimensions differ");
   Matrix c(a.rows, b.cols);
-  gemm_rows(a, b, c, 0, a.rows);
+  ensure_env();
+  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kVector) {
+    gemm_vector(vector_kernel(), a, b, c, nullptr);
+  } else {
+    gemm_rows(a, b, c, 0, a.rows);
+  }
   return c;
 }
 
 Matrix multiply_threaded(MatrixView a, MatrixView b, ThreadPool& pool) {
   HCMM_CHECK(a.cols == b.rows, "multiply: inner dimensions differ");
   Matrix c(a.rows, b.cols);
+  ensure_env();
   const std::size_t m = a.rows;
+  if (g_kernel.load(std::memory_order_relaxed) == GemmKernel::kVector) {
+    // Blocked parallelism: threaded B packing + MC-block macro loops.
+    gemm_vector(vector_kernel(), a, b, c, &pool);
+    return c;
+  }
+  // Bit-exact kernels: split over whole rows — thread count can never touch
+  // an element's summation order.
   const std::size_t nchunks = std::min(m, 4 * pool.thread_count());
   if (nchunks <= 1) {
     gemm_rows(a, b, c, 0, m);

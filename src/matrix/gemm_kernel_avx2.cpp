@@ -1,0 +1,54 @@
+// AVX2+FMA gemm microkernel: 6x8 tile of C in 12 ymm accumulators, two ymm
+// B loads and one folded A broadcast per row per k step.  Compiled with a
+// per-function target attribute instead of a global -mavx2 flag, so this TU
+// builds (as a stub) on every architecture and the no-SIMD CI leg only has
+// to define HCMM_DISABLE_SIMD.
+
+#include "gemm_kernels.hpp"
+
+#if !defined(HCMM_DISABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HCMM_GEMM_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace hcmm::gemmk {
+
+#if defined(HCMM_GEMM_AVX2)
+namespace {
+
+constexpr std::size_t kMR = 6;
+constexpr std::size_t kNR = 8;
+
+__attribute__((target("avx2,fma"))) void tile_6x8(std::size_t kc,
+                                                  const double* ap,
+                                                  const double* bp, double* c,
+                                                  std::size_t ldc) {
+  __m256d acc[kMR][2];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm256_loadu_pd(c + r * ldc);
+    acc[r][1] = _mm256_loadu_pd(c + r * ldc + 4);
+  }
+  for (std::size_t k = 0; k < kc; ++k, ap += kMR, bp += kNR) {
+    const __m256d b0 = _mm256_loadu_pd(bp);
+    const __m256d b1 = _mm256_loadu_pd(bp + 4);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const __m256d a = _mm256_set1_pd(ap[r]);
+      acc[r][0] = _mm256_fmadd_pd(a, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(a, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    _mm256_storeu_pd(c + r * ldc, acc[r][0]);
+    _mm256_storeu_pd(c + r * ldc + 4, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+MicroKernel avx2_kernel() { return {"avx2", kMR, kNR, &tile_6x8}; }
+#else
+MicroKernel avx2_kernel() { return {}; }
+#endif
+
+}  // namespace hcmm::gemmk

@@ -1,0 +1,51 @@
+// AVX-512 gemm microkernel: 8x16 tile of C in 16 zmm accumulators, two zmm
+// B loads and folded A broadcasts per k step.  Per-function target
+// attribute; stub on non-x86 or HCMM_DISABLE_SIMD builds.
+
+#include "gemm_kernels.hpp"
+
+#if !defined(HCMM_DISABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HCMM_GEMM_AVX512 1
+#include <immintrin.h>
+#endif
+
+namespace hcmm::gemmk {
+
+#if defined(HCMM_GEMM_AVX512)
+namespace {
+
+constexpr std::size_t kMR = 8;
+constexpr std::size_t kNR = 16;
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void tile_8x16(
+    std::size_t kc, const double* ap, const double* bp, double* c,
+    std::size_t ldc) {
+  __m512d acc[kMR][2];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm512_loadu_pd(c + r * ldc);
+    acc[r][1] = _mm512_loadu_pd(c + r * ldc + 8);
+  }
+  for (std::size_t k = 0; k < kc; ++k, ap += kMR, bp += kNR) {
+    const __m512d b0 = _mm512_loadu_pd(bp);
+    const __m512d b1 = _mm512_loadu_pd(bp + 8);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const __m512d a = _mm512_set1_pd(ap[r]);
+      acc[r][0] = _mm512_fmadd_pd(a, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_pd(a, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    _mm512_storeu_pd(c + r * ldc, acc[r][0]);
+    _mm512_storeu_pd(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+MicroKernel avx512_kernel() { return {"avx512", kMR, kNR, &tile_8x16}; }
+#else
+MicroKernel avx512_kernel() { return {}; }
+#endif
+
+}  // namespace hcmm::gemmk

@@ -1,0 +1,53 @@
+// AArch64 Advanced SIMD (NEON) gemm microkernel: 4x8 tile of C in 16
+// float64x2 accumulators using lane-broadcast FMLA.  Advanced SIMD is
+// architecturally mandatory on AArch64, so no target attribute is needed —
+// the guard only excludes other architectures and no-SIMD builds.
+
+#include "gemm_kernels.hpp"
+
+#if !defined(HCMM_DISABLE_SIMD) && defined(__aarch64__)
+#define HCMM_GEMM_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace hcmm::gemmk {
+
+#if defined(HCMM_GEMM_NEON)
+namespace {
+
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+
+void tile_4x8(std::size_t kc, const double* ap, const double* bp, double* c,
+              std::size_t ldc) {
+  float64x2_t acc[kMR][4];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      acc[r][v] = vld1q_f64(c + r * ldc + 2 * v);
+    }
+  }
+  for (std::size_t k = 0; k < kc; ++k, ap += kMR, bp += kNR) {
+    float64x2_t b[4];
+    for (std::size_t v = 0; v < 4; ++v) b[v] = vld1q_f64(bp + 2 * v);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float64x2_t a = vdupq_n_f64(ap[r]);
+      for (std::size_t v = 0; v < 4; ++v) {
+        acc[r][v] = vfmaq_f64(acc[r][v], a, b[v]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      vst1q_f64(c + r * ldc + 2 * v, acc[r][v]);
+    }
+  }
+}
+
+}  // namespace
+
+MicroKernel neon_kernel() { return {"neon", kMR, kNR, &tile_4x8}; }
+#else
+MicroKernel neon_kernel() { return {}; }
+#endif
+
+}  // namespace hcmm::gemmk

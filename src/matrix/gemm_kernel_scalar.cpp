@@ -1,0 +1,36 @@
+// Portable packed-panel gemm microkernel: the dispatch floor every build
+// has.  Same packed ABI and loop structure as the vector kernels, but plain
+// rounded multiply + rounded add per term (no FMA) — on interior tiles this
+// is the oracle's exact arithmetic, and it is what the no-SIMD CI leg and
+// non-x86/non-ARM machines run.
+
+#include "gemm_kernels.hpp"
+
+namespace hcmm::gemmk {
+namespace {
+
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+
+void tile_4x8(std::size_t kc, const double* ap, const double* bp, double* c,
+              std::size_t ldc) {
+  double acc[kMR][kNR];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (std::size_t k = 0; k < kc; ++k, ap += kMR, bp += kNR) {
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const double a = ap[r];
+      for (std::size_t j = 0; j < kNR; ++j) acc[r][j] += a * bp[j];
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+}  // namespace
+
+MicroKernel scalar_kernel() { return {"scalar", kMR, kNR, &tile_4x8}; }
+
+}  // namespace hcmm::gemmk

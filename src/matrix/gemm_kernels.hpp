@@ -1,0 +1,46 @@
+#pragma once
+// Private microkernel ABI of the vectorized gemm path (matrix/gemm.cpp).
+//
+// A microkernel computes one MR x NR register tile:
+//
+//     C[0:mr, 0:nr] += Apanel * Bpanel
+//
+// where Apanel is an mr-interleaved packed micropanel (ap[k*mr + r] =
+// A(i0+r, k0+k), kc steps deep) and Bpanel an nr-interleaved packed panel
+// (bp[k*nr + j] = B(k0+k, j0+j)).  C is written in place with row stride
+// ldc.  Each C element accumulates its kc terms over strictly ascending k;
+// the vector kernels use FMA (one rounding per term instead of two), which
+// is exactly the deviation the ULP verification ladder bounds.
+//
+// Every ISA TU always compiles; when its instruction set cannot be targeted
+// (wrong architecture, or -DHCMM_SIMD=OFF defining HCMM_DISABLE_SIMD) the
+// getter returns {fn = nullptr} and the dispatcher skips it.  The vector
+// kernels are compiled with per-function target attributes, so no global
+// -mavx2/-mavx512 flags are needed and the fallback build is just a macro.
+
+#include <cstddef>
+
+namespace hcmm::gemmk {
+
+struct MicroKernel {
+  using Fn = void (*)(std::size_t kc, const double* ap, const double* bp,
+                      double* c, std::size_t ldc);
+  const char* isa = "none";  ///< "avx512" | "avx2+fma" | "neon" | "scalar"
+  std::size_t mr = 0;
+  std::size_t nr = 0;
+  Fn fn = nullptr;
+};
+
+/// 8x16 FMA tile over 512-bit registers; needs AVX-512 F+DQ+VL.
+[[nodiscard]] MicroKernel avx512_kernel();
+
+/// 6x8 FMA tile over 256-bit registers; needs AVX2 + FMA.
+[[nodiscard]] MicroKernel avx2_kernel();
+
+/// 4x8 tile over 128-bit float64x2 FMLA; AArch64 Advanced SIMD.
+[[nodiscard]] MicroKernel neon_kernel();
+
+/// Portable 4x8 tile, plain mul+add — the dispatch floor on any machine.
+[[nodiscard]] MicroKernel scalar_kernel();
+
+}  // namespace hcmm::gemmk

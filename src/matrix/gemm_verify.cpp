@@ -1,0 +1,107 @@
+#include "hcmm/matrix/gemm_verify.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/check.hpp"
+
+namespace hcmm {
+namespace {
+
+[[nodiscard]] std::uint64_t bits_of(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+/// Monotone map of the double line onto the unsigned integer line: negative
+/// values (sign bit set) map below positives, adjacent representable
+/// doubles map to adjacent integers.  The two's-complement form (~u + 1 for
+/// negatives) sends -0.0 and +0.0 to the same integer, so distances across
+/// zero count only the representable nonzero values between the operands.
+[[nodiscard]] std::uint64_t ordered(double x) {
+  const std::uint64_t u = bits_of(x);
+  constexpr std::uint64_t kSign = 0x8000000000000000ULL;
+  return (u & kSign) != 0 ? ~u + 1 : (u | kSign);
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t x = ordered(a);
+  const std::uint64_t y = ordered(b);
+  return x > y ? x - y : y - x;
+}
+
+double gemm_tolerance(std::size_t k, double amax, double bmax) {
+  // Each of the k terms is bounded by amax*bmax and contributes at most one
+  // deviating rounding (FMA fuses the multiply's), each worth eps of the
+  // term; 8x safety covers the edge-tile panel reassociation.  The same
+  // model as abft::residue_tolerance (1e-10 * scale * n) with the generic
+  // headline constant replaced by the sharp per-term bound.
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  const double depth = static_cast<double>(std::max<std::size_t>(1, k));
+  const double tol = 8.0 * kEps * depth * amax * bmax;
+  // Floor for degenerate all-zero operands: exactness is still required
+  // there (0 * x contributes exact zeros), but keep the bound positive.
+  return std::max(tol, std::numeric_limits<double>::min());
+}
+
+double max_abs(const Matrix& m) {
+  double out = 0.0;
+  for (const double v : m.data()) out = std::max(out, std::abs(v));
+  return out;
+}
+
+GemmCompare compare_gemm(const Matrix& test, const Matrix& oracle,
+                         std::size_t k, double amax, double bmax) {
+  HCMM_CHECK(test.rows() == oracle.rows() && test.cols() == oracle.cols(),
+             "compare_gemm: shape mismatch");
+  GemmCompare out;
+  out.tolerance = gemm_tolerance(k, amax, bmax);
+  const auto t = test.data();
+  const auto o = oracle.data();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double diff = std::abs(t[i] - o[i]);
+    out.max_abs_diff = std::max(out.max_abs_diff, diff);
+    out.max_ulp = std::max(out.max_ulp, ulp_distance(t[i], o[i]));
+    if (!(diff <= out.tolerance)) ++out.over;  // NaN compares as over
+  }
+  out.ok = out.over == 0;
+  return out;
+}
+
+LadderReport verify_vector_kernel() {
+  // The edge-shape matrix: every microkernel tail (m % mr, n % nr for mr up
+  // to 8 and nr up to 16), k below one kc panel, k spanning several kc
+  // panels (kc = 256), blocks beyond one mc stripe (mc = 128), single rows
+  // and columns, and 1x1.
+  constexpr struct {
+    std::size_t m, k, n;
+  } kShapes[] = {{1, 1, 1},     {1, 7, 1},     {1, 300, 9},  {3, 5, 7},
+                 {4, 8, 8},     {5, 9, 17},    {6, 257, 31}, {8, 16, 16},
+                 {13, 64, 13},  {16, 16, 1},   {1, 16, 16},  {33, 31, 29},
+                 {64, 300, 12}, {12, 600, 20}, {30, 257, 31}, {130, 520, 40}};
+  LadderReport report;
+  report.isa = gemm_vector_ident().isa;
+  for (const auto& s : kShapes) {
+    const Matrix a = random_matrix(s.m, s.k, 100 + s.m);
+    const Matrix b = random_matrix(s.k, s.n, 200 + s.n);
+    const Matrix oracle = multiply_naive(a, b);
+    Matrix c(s.m, s.n);
+    gemm_accumulate_fast(a, b, c);
+    LadderRow row{s.m, s.k, s.n,
+                  compare_gemm(c, oracle, s.k, max_abs(a), max_abs(b))};
+    report.ok = report.ok && row.cmp.ok;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace hcmm

@@ -53,7 +53,7 @@ Matrix spmd_cannon(Team& team, const Matrix& a, const Matrix& b) {
 
     Matrix c(blk, blk);
     for (std::uint32_t step = 0; step < q; ++step) {
-      gemm_accumulate(blk_a, blk_b, c);
+      gemm_accumulate_fast(blk_a, blk_b, c);
       if (step + 1 == q) break;
       r.send(rank_of(i, (j + q - 1) % q), kShiftA + step, std::move(blk_a));
       blk_a = r.recv(rank_of(i, (j + 1) % q), kShiftA + step);
@@ -133,7 +133,7 @@ Matrix spmd_all3d(Team& team, const Matrix& a, const Matrix& b) {
       for (std::uint32_t l = 0; l < q; ++l) {
         rhs.set_block(0, l * bw, bz[m][l]);
       }
-      gemm_accumulate(a_blocks[m], rhs, partial);
+      gemm_accumulate_fast(a_blocks[m], rhs, partial);
     }
 
     // Phase 3: all-to-all reduction along y of the column pieces.
@@ -187,7 +187,7 @@ Matrix spmd_simple(Team& team, const Matrix& a, const Matrix& b) {
 
     Matrix c(blk, blk);
     for (std::uint32_t k = 0; k < q; ++k) {
-      gemm_accumulate(row_a[k], col_b[k], c);
+      gemm_accumulate_fast(row_a[k], col_b[k], c);
     }
     out.set_block(i * blk, j * blk, c);
   });
@@ -240,7 +240,7 @@ Matrix spmd_dns(Team& team, const Matrix& a, const Matrix& b) {
     const Matrix my_b = r.recv(rank_of(k, j, k), kScatterB);
 
     Matrix partial(blk, blk);
-    gemm_accumulate(my_a, my_b, partial);
+    gemm_accumulate_fast(my_a, my_b, partial);
 
     // Phase 3: reduce along z onto the face.
     if (k != 0) {
@@ -296,7 +296,7 @@ Matrix spmd_diag3d(Team& team, const Matrix& a, const Matrix& b) {
     const Matrix my_b = r.recv(rank_of(i, j, j), kBundleB);   // B_{j,i}
 
     Matrix partial(blk, blk);
-    gemm_accumulate(my_a, my_b, partial);
+    gemm_accumulate_fast(my_a, my_b, partial);
 
     // Phase 3: reduce along y back onto the diagonal plane.
     if (i != j) {
@@ -345,7 +345,7 @@ Matrix spmd_berntsen(Team& team, const Matrix& a, const Matrix& b) {
     }
     Matrix outer(bh, bh);
     for (std::uint32_t step = 0; step < q; ++step) {
-      gemm_accumulate(blk_a, blk_b, outer);
+      gemm_accumulate_fast(blk_a, blk_b, outer);
       if (step + 1 == q) break;
       r.send(rank_of(i, (j + q - 1) % q, k), kShiftA + step, std::move(blk_a));
       blk_a = r.recv(rank_of(i, (j + 1) % q, k), kShiftA + step);
@@ -397,7 +397,7 @@ Matrix spmd_diag2d(Team& team, const Matrix& a, const Matrix& b) {
     const Matrix a_group = r.recv(rank_of(j, j), kGatherA);
 
     Matrix partial(n, w);
-    gemm_accumulate(a_group, piece_b, partial);
+    gemm_accumulate_fast(a_group, piece_b, partial);
 
     // Reduce C's column group i across row i onto the diagonal.
     if (i != j) {
@@ -465,7 +465,7 @@ Matrix spmd_alltrans(Team& team, const Matrix& a, const Matrix& b) {
     // I_{k,i} = sum_l A_{k,f(l,j)} * B_{f(l,j),i}.
     Matrix partial(bh, bh);
     for (std::uint32_t l = 0; l < q; ++l) {
-      gemm_accumulate(a_blocks[l], b_rows[l], partial);
+      gemm_accumulate_fast(a_blocks[l], b_rows[l], partial);
     }
 
     // Phase 3: all-to-all reduction along y of the column pieces.

@@ -1,0 +1,60 @@
+#include "hcmm/support/cpu.hpp"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace hcmm::cpu {
+namespace {
+
+[[nodiscard]] Features detect() {
+  Features f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports executes cpuid once (the libgcc resolver caches
+  // it) and folds in the OS xsave check, so a kernel that masked AVX-512
+  // state reports false here even though cpuid alone would say yes.
+  f.avx = __builtin_cpu_supports("avx") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  f.avx512dq = __builtin_cpu_supports("avx512dq") != 0;
+  f.avx512vl = __builtin_cpu_supports("avx512vl") != 0;
+#elif defined(__aarch64__)
+#if defined(__linux__)
+  f.neon = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  f.neon = true;  // Advanced SIMD is mandatory in AArch64.
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const Features& features() {
+  static const Features f = detect();
+  return f;
+}
+
+std::string summary() {
+  const Features& f = features();
+  std::string out;
+  const auto add = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.avx, "avx");
+  add(f.fma, "fma");
+  add(f.avx2, "avx2");
+  add(f.avx512f, "avx512f");
+  add(f.avx512dq, "avx512dq");
+  add(f.avx512vl, "avx512vl");
+  add(f.neon, "neon");
+  return out.empty() ? "generic" : out;
+}
+
+}  // namespace hcmm::cpu

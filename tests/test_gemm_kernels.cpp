@@ -1,0 +1,300 @@
+// Tests for the SIMD gemm dispatch ladder: the ULP-compare harness itself
+// (ulp_distance properties, the gemm_tolerance error model, worst-case
+// cancellation inputs), the kernel-equivalence matrix over every
+// dispatchable ISA x edge shapes, strict HCMM_GEMM_KERNEL parsing, vector
+// threaded == serial bit-identity, and the cpu feature probe.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hcmm/matrix/gemm.hpp"
+#include "hcmm/matrix/gemm_verify.hpp"
+#include "hcmm/matrix/generate.hpp"
+#include "hcmm/support/check.hpp"
+#include "hcmm/support/cpu.hpp"
+#include "hcmm/support/thread_pool.hpp"
+
+namespace hcmm {
+namespace {
+
+/// Pins HCMM_GEMM_KERNEL for one scope and restores pristine dispatch state
+/// (no env var, default kernel, re-resolved vector microkernel) on exit.
+class EnvKernelGuard {
+ public:
+  explicit EnvKernelGuard(const std::string& value) {
+    ::setenv("HCMM_GEMM_KERNEL", value.c_str(), 1);
+    reset_gemm_env_for_testing();
+  }
+  ~EnvKernelGuard() {
+    ::unsetenv("HCMM_GEMM_KERNEL");
+    reset_gemm_env_for_testing();
+  }
+  EnvKernelGuard(const EnvKernelGuard&) = delete;
+  EnvKernelGuard& operator=(const EnvKernelGuard&) = delete;
+};
+
+// -------------------------------------------------------------- ulp harness
+
+TEST(UlpDistance, AdjacentDoublesAreOneApart) {
+  const double one_up = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(ulp_distance(1.0, one_up), 1u);
+  EXPECT_EQ(ulp_distance(one_up, 1.0), 1u);
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+}
+
+TEST(UlpDistance, CountsStepsAcrossPowerOfTwoBoundary) {
+  // 2.0 is a binade boundary: one step down has half the spacing of one step
+  // up, but both are exactly one representable value away.
+  EXPECT_EQ(ulp_distance(std::nextafter(2.0, 1.0), 2.0), 1u);
+  EXPECT_EQ(ulp_distance(2.0, std::nextafter(2.0, 3.0)), 1u);
+  EXPECT_EQ(ulp_distance(std::nextafter(2.0, 1.0), std::nextafter(2.0, 3.0)),
+            2u);
+}
+
+TEST(UlpDistance, SignedZerosCollapse) {
+  EXPECT_EQ(ulp_distance(-0.0, 0.0), 0u);
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+  // The smallest denormals straddle zero two representable steps apart.
+  const double dmin = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(ulp_distance(-dmin, dmin), 2u);
+  EXPECT_EQ(ulp_distance(-dmin, 0.0), 1u);
+}
+
+TEST(UlpDistance, NanIsInfinitelyFar) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ulp_distance(nan, 1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(1.0, nan), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(UlpDistance, OrderedAcrossSigns) {
+  // The mapping is monotone over the whole double line, so distances through
+  // zero behave like counting representable values.
+  EXPECT_GT(ulp_distance(-1.0, 1.0), ulp_distance(-0.5, 0.5));
+  EXPECT_EQ(ulp_distance(-1.0, -1.0), 0u);
+}
+
+TEST(GemmTolerance, ScalesWithDepthAndMagnitude) {
+  const double t1 = gemm_tolerance(16, 1.0, 1.0);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_DOUBLE_EQ(gemm_tolerance(32, 1.0, 1.0), 2.0 * t1);
+  EXPECT_DOUBLE_EQ(gemm_tolerance(16, 4.0, 1.0), 4.0 * t1);
+  // Degenerate all-zero operands still get a positive bound.
+  EXPECT_GT(gemm_tolerance(0, 0.0, 0.0), 0.0);
+}
+
+TEST(CompareGemm, AcceptsReassociationAndRejectsRealErrors) {
+  // Worst-case summation input: one huge cancelling pair plus k-2 units.
+  // Any reassociation of the sum lands within a few ULPs of 2^53 of the
+  // true value — comfortably inside the per-term error model — while a
+  // genuinely wrong kernel is off by whole units.
+  constexpr std::size_t k = 8;
+  Matrix a(1, k);
+  Matrix b(k, 1);
+  a(0, 0) = 9.0e15;
+  a(0, 1) = -9.0e15;
+  for (std::size_t i = 2; i < k; ++i) a(0, i) = 1.0;
+  for (std::size_t i = 0; i < k; ++i) b(i, 0) = 1.0;
+  const Matrix oracle = multiply_naive(a, b);
+
+  const double tol = gemm_tolerance(k, max_abs(a), max_abs(b));
+  Matrix near = oracle;
+  near(0, 0) += 0.25 * tol;
+  const GemmCompare ok_cmp = compare_gemm(near, oracle, k, max_abs(a),
+                                          max_abs(b));
+  EXPECT_TRUE(ok_cmp.ok);
+  EXPECT_GT(ok_cmp.max_ulp, 0u);
+
+  Matrix far = oracle;
+  far(0, 0) += 10.0 * tol;
+  const GemmCompare bad_cmp = compare_gemm(far, oracle, k, max_abs(a),
+                                           max_abs(b));
+  EXPECT_FALSE(bad_cmp.ok);
+  EXPECT_EQ(bad_cmp.over, 1u);
+}
+
+TEST(CompareGemm, NanNeverPasses) {
+  Matrix oracle(2, 2);
+  Matrix test = oracle;
+  test(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(compare_gemm(test, oracle, 4, 1.0, 1.0).ok);
+}
+
+// ---------------------------------------------------- kernel equivalence
+
+// Every microkernel tail and blocking boundary: m % mr != 0 and n % nr != 0
+// for mr up to 8 / nr up to 16, k under one kc panel, k spanning multiple
+// kc panels (kc = 256), m beyond one mc stripe (mc = 128), and 1x1.
+constexpr struct {
+  std::size_t m, k, n;
+} kEdgeShapes[] = {{1, 1, 1},    {1, 300, 9},   {3, 5, 7},    {5, 9, 17},
+                   {6, 257, 31}, {13, 64, 13},  {16, 16, 1},  {33, 31, 29},
+                   {12, 600, 20}, {130, 520, 40}};
+
+TEST(GemmKernelMatrix, EveryDispatchableIsaPassesTheUlpGate) {
+  for (const std::string& isa : gemm_vector_isas()) {
+    EnvKernelGuard guard(isa);
+    EXPECT_EQ(gemm_vector_ident().isa, isa);
+    for (const auto& s : kEdgeShapes) {
+      const Matrix a = random_matrix(s.m, s.k, 300 + s.m);
+      const Matrix b = random_matrix(s.k, s.n, 400 + s.n);
+      const Matrix oracle = multiply_naive(a, b);
+      Matrix c(s.m, s.n);
+      gemm_accumulate_fast(a, b, c);
+      const GemmCompare cmp = compare_gemm(c, oracle, s.k, max_abs(a),
+                                           max_abs(b));
+      EXPECT_TRUE(cmp.ok) << isa << " at " << s.m << "x" << s.k << "x" << s.n
+                          << ": diff " << cmp.max_abs_diff << " > tol "
+                          << cmp.tolerance;
+    }
+  }
+}
+
+TEST(GemmKernelMatrix, ScalarFallbackIsAlwaysListed) {
+  const std::vector<std::string> isas = gemm_vector_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.back(), "scalar");
+}
+
+TEST(GemmKernelMatrix, VerificationLadderPasses) {
+  const LadderReport report = verify_vector_kernel();
+  EXPECT_EQ(report.rows.size(), 16u);
+  for (const LadderRow& row : report.rows) {
+    EXPECT_TRUE(row.cmp.ok) << row.m << "x" << row.k << "x" << row.n;
+  }
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(GemmKernelMatrix, FastPathAccumulatesOntoExistingValues) {
+  const Matrix a = random_matrix(9, 33, 71);
+  const Matrix b = random_matrix(33, 14, 72);
+  Matrix c(9, 14);
+  for (double& v : c.data()) v = 2.0;
+  gemm_accumulate_fast(a, b, c);
+  Matrix expected = multiply_naive(a, b);
+  for (double& v : expected.data()) v += 2.0;
+  const GemmCompare cmp = compare_gemm(c, expected, 33, max_abs(a),
+                                       max_abs(b));
+  EXPECT_TRUE(cmp.ok) << "diff " << cmp.max_abs_diff;
+}
+
+// ------------------------------------------------------- threaded identity
+
+TEST(GemmKernelMatrix, VectorThreadedMatchesSerialBitExactly) {
+  // The vector path parallelizes B packing and MC row blocks — all disjoint
+  // writes — so any pool size must reproduce the serial result bit for bit.
+  EnvKernelGuard guard("vector");
+  const Matrix a = random_matrix(130, 257, 81);
+  const Matrix b = random_matrix(257, 70, 82);
+  const Matrix serial = multiply_tiled(a, b);
+  for (const std::size_t threads : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(threads);
+    const Matrix threaded = multiply_threaded(a, b, pool);
+    EXPECT_LE(max_abs_diff(serial, threaded), 0.0)
+        << "pool size " << threads;
+  }
+}
+
+TEST(GemmKernelMatrix, DefaultPathStaysBitExact) {
+  // With no env override the process default remains the bit-exact micro
+  // kernel: distributed algorithms and ABFT depend on it.
+  reset_gemm_env_for_testing();
+  EXPECT_EQ(gemm_kernel(), GemmKernel::kMicro);
+  EXPECT_EQ(gemm_ident().path, "micro");
+  const Matrix a = random_matrix(13, 77, 91);
+  const Matrix b = random_matrix(77, 21, 92);
+  Matrix c(13, 21);
+  gemm_accumulate(a, b, c);
+  EXPECT_LE(max_abs_diff(c, multiply_naive(a, b)), 0.0);
+}
+
+// ------------------------------------------------------------ env override
+
+TEST(GemmEnvOverride, GarbageValueThrows) {
+  EnvKernelGuard guard("fastest-please");
+  EXPECT_THROW(gemm_ident(), CheckError);
+}
+
+TEST(GemmEnvOverride, UnavailableIsaThrows) {
+  // Pick a named ISA this build/CPU cannot dispatch; every platform lacks
+  // at least one of these two.
+  const std::vector<std::string> isas = gemm_vector_isas();
+  auto missing = [&](const char* isa) {
+    return std::find(isas.begin(), isas.end(), isa) == isas.end();
+  };
+  const char* unavailable =
+      missing("neon") ? "neon" : (missing("avx512") ? "avx512" : nullptr);
+  ASSERT_NE(unavailable, nullptr);
+  EnvKernelGuard guard(unavailable);
+  Matrix c(2, 2);
+  const Matrix a = random_matrix(2, 2, 1);
+  const Matrix b = random_matrix(2, 2, 2);
+  EXPECT_THROW(gemm_accumulate_fast(a, b, c), CheckError);
+}
+
+TEST(GemmEnvOverride, NamedKernelsPinTheDefaultPath) {
+  {
+    EnvKernelGuard guard("legacy");
+    EXPECT_EQ(gemm_ident().path, "legacy");
+  }
+  {
+    EnvKernelGuard guard("oracle");
+    EXPECT_EQ(gemm_ident().path, "micro");
+  }
+  {
+    EnvKernelGuard guard("vector");
+    const GemmIdent ident = gemm_ident();
+    EXPECT_EQ(ident.path, "vector");
+    EXPECT_FALSE(ident.isa.empty());
+    EXPECT_GE(ident.mr, 1u);
+    EXPECT_GE(ident.nr, 1u);
+    // The pinned vector default must still produce correct products.
+    const Matrix a = random_matrix(10, 40, 5);
+    const Matrix b = random_matrix(40, 11, 6);
+    const Matrix c = multiply_tiled(a, b);
+    const GemmCompare cmp = compare_gemm(c, multiply_naive(a, b), 40,
+                                         max_abs(a), max_abs(b));
+    EXPECT_TRUE(cmp.ok);
+  }
+}
+
+// -------------------------------------------------------------- cpu probe
+
+TEST(CpuFeatures, SummaryIsConsistentWithDispatch) {
+  const cpu::Features& f = cpu::features();
+  const std::string summary = cpu::summary();
+  EXPECT_FALSE(summary.empty());
+  const std::vector<std::string> isas = gemm_vector_isas();
+  auto listed = [&](const char* isa) {
+    return std::find(isas.begin(), isas.end(), isa) != isas.end();
+  };
+#if !defined(HCMM_DISABLE_SIMD)
+  // When the hardware has the ISA and the kernels are compiled in, dispatch
+  // must offer it.
+  if (f.avx512f && f.avx512dq && f.avx512vl) {
+    EXPECT_TRUE(listed("avx512"));
+  }
+  if (f.avx2 && f.fma) {
+    EXPECT_TRUE(listed("avx2"));
+  }
+  if (f.neon) {
+    EXPECT_TRUE(listed("neon"));
+  }
+#else
+  // SIMD compiled out: dispatch offers scalar only, whatever the hardware
+  // reports.
+  (void)f;
+  EXPECT_FALSE(listed("avx512"));
+  EXPECT_FALSE(listed("avx2"));
+  EXPECT_FALSE(listed("neon"));
+  EXPECT_EQ(isas.size(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace hcmm

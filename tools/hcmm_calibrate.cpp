@@ -124,7 +124,9 @@ int main(int argc, char** argv) {
       std::cerr << "calibrated " << report.cal.backend
                 << ": ts=" << report.cal.ts_us
                 << "us tw=" << report.cal.tw_us
-                << "us/word tc=" << report.cal.tc_us << "us ("
+                << "us/word tc=" << report.cal.tc_us << "us [gemm "
+                << report.cal.gemm_kernel << "/" << report.cal.gemm_isa
+                << ", oracle tc=" << report.cal.tc_oracle_us << "us] ("
                 << report.rows.size() << " table2 rows, "
                 << (report.all_within ? "all within band" : "OUT OF BAND")
                 << ")\n";
